@@ -1,0 +1,220 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   (default mode) and runs Bechamel microbenchmarks of the operations each
+   table stresses (mode "micro").
+
+   Usage:
+     dune exec bench/main.exe                 # all 26 benchmarks, Tables 1-4
+     dune exec bench/main.exe -- quick        # 8-benchmark subset
+     dune exec bench/main.exe -- micro        # Bechamel microbenchmarks
+     dune exec bench/main.exe -- table1 ...   # a single table *)
+
+module Experiments = Tea_report.Experiments
+
+let quick_set =
+  [
+    "171.swim"; "172.mgrid"; "177.mesa"; "164.gzip"; "176.gcc"; "181.mcf";
+    "253.perlbmk"; "256.bzip2";
+  ]
+
+let progress fmt = Printf.eprintf (fmt ^^ "\n%!")
+
+let run_tables ~benchmarks ~which =
+  progress "[bench] preparing %d benchmarks (recording mret/ctt/tt under the DBT)..."
+    (List.length benchmarks);
+  let t0 = Unix.gettimeofday () in
+  let benches = Experiments.prepare ~benchmarks () in
+  progress "[bench] prepare done in %.1fs" (Unix.gettimeofday () -. t0);
+  let wants t = which = [] || List.mem t which in
+  if wants "table1" then begin
+    progress "[bench] table 1 (size savings)...";
+    print_string (Experiments.render_table1 (Experiments.table1 benches));
+    print_newline ()
+  end;
+  if wants "table2" then begin
+    progress "[bench] table 2 (replaying)...";
+    print_string (Experiments.render_table2 (Experiments.table2 benches));
+    print_newline ()
+  end;
+  if wants "table3" then begin
+    progress "[bench] table 3 (recording)...";
+    print_string (Experiments.render_table3 (Experiments.table3 benches));
+    print_newline ()
+  end;
+  if wants "table4" then begin
+    progress "[bench] table 4 (overhead ablation)...";
+    print_string (Experiments.render_table4 (Experiments.table4 benches));
+    print_newline ()
+  end;
+  progress "[bench] total %.1fs" (Unix.gettimeofday () -. t0)
+
+(* ---- Bechamel microbenchmarks: the hot operation behind each table ---- *)
+
+let micro_env () =
+  (* A mid-sized workload and its MRET traces as a shared fixture. *)
+  let profile = Option.get (Tea_workloads.Spec2000.by_name "176.gcc") in
+  let image = Tea_workloads.Spec2000.image profile in
+  let strategy = Option.get (Tea_traces.Registry.by_name "mret") in
+  let result = Tea_dbt.Stardbt.record ~strategy image in
+  let traces = Tea_traces.Trace_set.to_list result.Tea_dbt.Stardbt.set in
+  (image, traces)
+
+let benchmarks () =
+  let open Bechamel in
+  let image, traces = micro_env () in
+  let auto = Tea_core.Builder.build traces in
+  let heads = Tea_core.Automaton.heads auto in
+  let addrs = Array.of_list (List.map fst heads) in
+  let n = Array.length addrs in
+  (* Table 1's core cost: building the automaton from a trace set and
+     measuring its serialized size. *)
+  let table1 =
+    Test.make ~name:"table1/algorithm1-build"
+      (Staged.stage (fun () ->
+           let a = Tea_core.Builder.build traces in
+           Sys.opaque_identity (Tea_core.Automaton.byte_size a)))
+  in
+  (* Table 2's core cost: one replay transition step (Global/Local). *)
+  let step_test name config =
+    let trans = Tea_core.Transition.create config auto in
+    let i = ref 0 in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           incr i;
+           let pc = addrs.(!i mod n) in
+           Sys.opaque_identity (Tea_core.Transition.step trans Tea_core.Automaton.nte pc)))
+  in
+  (* Table 3's core cost: the Algorithm 2 state machine on a block stream. *)
+  let blocks =
+    let acc = ref [] in
+    let cb =
+      {
+        Tea_cfg.Discovery.on_block = (fun b -> if List.length !acc < 4096 then acc := b :: !acc);
+        Tea_cfg.Discovery.on_edge = (fun _ _ -> ());
+      }
+    in
+    let _ = Tea_cfg.Discovery.run ~fuel:200_000 image cb in
+    Array.of_list (List.rev !acc)
+  in
+  let table3 =
+    let strategy = Option.get (Tea_traces.Registry.by_name "mret") in
+    let online = ref (Tea_core.Online.create strategy) in
+    let i = ref 0 in
+    Test.make ~name:"table3/algorithm2-feed"
+      (Staged.stage (fun () ->
+           if !i mod 100_000 = 0 then online := Tea_core.Online.create strategy;
+           incr i;
+           Tea_core.Online.feed !online blocks.(!i mod Array.length blocks)))
+  in
+  [
+    table1;
+    step_test "table2/replay-step-global-local" Tea_core.Transition.config_global_local;
+    table3;
+    step_test "table4/step-no-global-local" Tea_core.Transition.config_no_global_local;
+    step_test "table4/step-global-no-local" Tea_core.Transition.config_global_no_local;
+    step_test "table4/step-global-local" Tea_core.Transition.config_global_local;
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-40s %12.1f ns/op\n%!" name est
+          | Some _ | None -> Printf.printf "%-40s (no estimate)\n%!" name)
+        ols)
+    (benchmarks ())
+
+let run_ablations () =
+  progress "[bench] ablation: selection strategies (incl. MFET)...";
+  print_string (Tea_report.Ablations.(render_strategies (strategies ())));
+  print_newline ();
+  progress "[bench] ablation: local-cache size sweep...";
+  print_string (Tea_report.Ablations.(render_cache_slots (cache_slots ())));
+  print_newline ();
+  progress "[bench] ablation: hot-threshold sweep...";
+  print_string (Tea_report.Ablations.(render_hot_threshold (hot_threshold ())))
+
+(* Extension studies: the simulator-side use cases of §1, exercised on a
+   few benchmarks so the bench output demonstrates them end to end. *)
+let run_extensions () =
+  let mret = Option.get (Tea_traces.Registry.by_name "mret") in
+  let with_traces name f =
+    match Tea_workloads.Spec2000.by_name name with
+    | None -> ()
+    | Some p ->
+        let image = Tea_workloads.Spec2000.image p in
+        let dbt = Tea_dbt.Stardbt.record ~strategy:mret image in
+        f image (Tea_traces.Trace_set.to_list dbt.Tea_dbt.Stardbt.set)
+  in
+  progress "[bench] extension: per-trace cache attribution (181.mcf)...";
+  with_traces "181.mcf" (fun image traces ->
+      let report = Tea_cachesim.Collector.profile ~traces image in
+      print_string (Tea_cachesim.Collector.render report);
+      print_newline ());
+  progress "[bench] extension: per-trace branch prediction (186.crafty)...";
+  with_traces "186.crafty" (fun image traces ->
+      let report = Tea_bpred.Collector.profile ~traces image in
+      print_string (Tea_bpred.Collector.render report);
+      print_newline ());
+  progress "[bench] extension: trace-cache layout study (scattered micro)...";
+  let scattered = Tea_workloads.Micro.scattered () in
+  let dbt = Tea_dbt.Stardbt.record ~strategy:mret scattered in
+  let r =
+    Tea_cachesim.Layout.study
+      ~traces:(Tea_traces.Trace_set.to_list dbt.Tea_dbt.Stardbt.set)
+      scattered
+  in
+  print_string (Tea_cachesim.Layout.render r);
+  print_newline ();
+  progress "[bench] extension: profile-weighted optimization (171.swim)...";
+  with_traces "171.swim" (fun image traces ->
+      let auto = Tea_core.Builder.build traces in
+      let trans =
+        Tea_core.Transition.create Tea_core.Transition.config_global_local auto
+      in
+      let rep = Tea_core.Replayer.create trans in
+      let filter =
+        Tea_pinsim.Edge_filter.create ~emit:(fun b ~expanded ->
+            Tea_core.Replayer.feed_addr rep ~insns:expanded b.Tea_cfg.Block.start)
+      in
+      let _ = Tea_pinsim.Pin.run ~tool:(Tea_pinsim.Edge_filter.callbacks filter) image in
+      Tea_pinsim.Edge_filter.flush filter;
+      let total =
+        List.fold_left
+          (fun acc t -> acc + (Tea_opt.Opt.weighted rep t).Tea_opt.Opt.expected_cycles)
+          0 traces
+      in
+      Printf.printf
+        "expected cycles recovered by optimizing swim's traces: %d (of %d native)\n"
+        total (Tea_pinsim.Pin.native_cycles image))
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "micro" ] -> run_micro ()
+  | [ "quick" ] -> run_tables ~benchmarks:quick_set ~which:[]
+  | [ "ablation" ] -> run_ablations ()
+  | [ "extensions" ] -> run_extensions ()
+  | [] ->
+      run_tables ~benchmarks:Tea_workloads.Spec2000.names ~which:[];
+      print_newline ();
+      run_ablations ();
+      print_newline ();
+      run_extensions ()
+  | which when List.for_all (fun a -> String.length a > 5 && String.sub a 0 5 = "table") which
+    ->
+      run_tables ~benchmarks:Tea_workloads.Spec2000.names ~which
+  | _ ->
+      prerr_endline
+        "usage: main.exe [quick | micro | ablation | extensions | table1 table2 table3 table4]";
+      exit 2

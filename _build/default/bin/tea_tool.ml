@@ -1,0 +1,511 @@
+(* tea_tool: command-line front door to the TEA reproduction.
+
+   Workloads are named either after the synthetic SPEC 2000 profiles
+   (e.g. 176.gcc) or micro workloads (micro:listscan, micro:copy,
+   micro:nested, micro:branchy, micro:rep). *)
+
+open Cmdliner
+
+let resolve_workload name =
+  match name with
+  | "micro:listscan" -> Ok (Tea_workloads.Micro.list_scan ())
+  | "micro:copy" -> Ok (Tea_workloads.Micro.copy_loop ())
+  | "micro:nested" -> Ok (Tea_workloads.Micro.nested_loop ())
+  | "micro:branchy" -> Ok (Tea_workloads.Micro.branchy_loop ())
+  | "micro:rep" -> Ok (Tea_workloads.Micro.rep_copy ())
+  | "micro:stream" -> Ok (Tea_workloads.Micro.stream ())
+  | "micro:chase" -> Ok (Tea_workloads.Micro.big_chase ())
+  | "micro:twophase" -> Ok (Tea_workloads.Micro.two_phase ())
+  | "micro:scattered" -> Ok (Tea_workloads.Micro.scattered ())
+  | _ -> (
+      match Tea_workloads.Spec2000.by_name name with
+      | Some p -> Ok (Tea_workloads.Spec2000.image p)
+      | None -> Error (Printf.sprintf "unknown workload %S (try `tea_tool list')" name))
+
+let workload_arg =
+  let doc = "Workload name (a SPEC profile like 176.gcc, or micro:listscan)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let strategy_arg =
+  let doc = "Trace selection strategy: mret, ctt or tt." in
+  Arg.(value & opt string "mret" & info [ "s"; "strategy" ] ~docv:"STRATEGY" ~doc)
+
+let resolve_strategy name =
+  match Tea_traces.Registry.by_name name with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "unknown strategy %S (mret/ctt/tt)" name)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("tea_tool: " ^ msg);
+      exit 1
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    print_endline "SPEC 2000 synthetic workloads:";
+    List.iter
+      (fun p ->
+        Printf.printf "  %-14s %s\n" p.Tea_workloads.Proggen.name
+          (if Tea_workloads.Spec2000.is_fp p.Tea_workloads.Proggen.name then "CFP2000"
+           else "CINT2000"))
+      Tea_workloads.Spec2000.all;
+    print_endline "micro workloads:";
+    List.iter
+      (fun m -> Printf.printf "  micro:%s\n" m)
+      [ "listscan"; "copy"; "nested"; "branchy"; "rep"; "stream"; "chase"; "twophase"; "scattered" ]
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available workloads")
+    Term.(const run $ const ())
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let run name =
+    let image = or_die (resolve_workload name) in
+    let machine, stop = Tea_machine.Interp.run image in
+    let outcome =
+      match stop.Tea_machine.Interp.outcome with
+      | Tea_machine.Interp.Exited n -> Printf.sprintf "exited %d" n
+      | Tea_machine.Interp.Halted -> "halted"
+      | Tea_machine.Interp.Fuel_exhausted -> "fuel exhausted"
+      | Tea_machine.Interp.Fault m -> "fault: " ^ m
+    in
+    Printf.printf
+      "%s: %s\nstatic insns: %d\ndynamic insns: %d (Pin counting: %d)\ncycles: %d\noutput: %s\n"
+      name outcome
+      (Tea_isa.Image.instruction_count image)
+      (Tea_machine.Interp.dyn_instrs machine)
+      (Tea_machine.Interp.dyn_instrs_expanded machine)
+      (Tea_machine.Interp.cycles machine)
+      (String.concat ", " (List.map string_of_int (Tea_machine.Interp.output machine)))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a workload natively")
+    Term.(const run $ workload_arg)
+
+(* ---- record ---- *)
+
+let out_arg =
+  let doc = "Output file for the recorded traces." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let record_cmd =
+  let run name strategy_name out =
+    let image = or_die (resolve_workload name) in
+    let strategy = or_die (resolve_strategy strategy_name) in
+    let r = Tea_dbt.Stardbt.record ~strategy image in
+    let set = r.Tea_dbt.Stardbt.set in
+    let traces = Tea_traces.Trace_set.to_list set in
+    let auto = Tea_core.Builder.build traces in
+    Printf.printf
+      "recorded %d traces, %d TBBs (coverage %.1f%%)\n\
+       DBT bytes %d, TEA bytes %d (savings %.0f%%)\n"
+      (Tea_traces.Trace_set.n_traces set)
+      (Tea_traces.Trace_set.n_tbbs set)
+      (100.0 *. r.Tea_dbt.Stardbt.coverage)
+      (Tea_traces.Trace_set.dbt_bytes set image)
+      (Tea_core.Automaton.byte_size auto)
+      (100.0
+      *. Tea_report.Stats.savings
+           ~dbt:(Tea_traces.Trace_set.dbt_bytes set image)
+           ~tea:(Tea_core.Automaton.byte_size auto));
+    match out with
+    | Some path ->
+        Tea_traces.Serialize.save path traces;
+        Printf.printf "traces written to %s\n" path
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "record" ~doc:"Record traces under the StarDBT-like runtime")
+    Term.(const run $ workload_arg $ strategy_arg $ out_arg)
+
+(* ---- replay ---- *)
+
+let traces_arg =
+  let doc = "Trace file produced by `record -o' (records in-process if absent)." in
+  Arg.(value & opt (some string) None & info [ "t"; "traces" ] ~docv:"FILE" ~doc)
+
+let pc_trace_arg =
+  let doc = "Replay against a captured PC-trace file instead of re-executing." in
+  Arg.(value & opt (some string) None & info [ "pc-trace" ] ~docv:"FILE" ~doc)
+
+let config_arg =
+  let doc = "Lookup configuration: global-local, global-no-local, no-global-local." in
+  Arg.(value & opt string "global-local" & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
+
+let resolve_config = function
+  | "global-local" -> Ok Tea_core.Transition.config_global_local
+  | "global-no-local" -> Ok Tea_core.Transition.config_global_no_local
+  | "no-global-local" -> Ok Tea_core.Transition.config_no_global_local
+  | c -> Error (Printf.sprintf "unknown config %S" c)
+
+let replay_cmd =
+  let run name strategy_name traces_file config_name pc_trace =
+    let image = or_die (resolve_workload name) in
+    let config = or_die (resolve_config config_name) in
+    let traces =
+      match traces_file with
+      | Some path -> Tea_traces.Serialize.load image path
+      | None ->
+          let strategy = or_die (resolve_strategy strategy_name) in
+          let r = Tea_dbt.Stardbt.record ~strategy image in
+          Tea_traces.Trace_set.to_list r.Tea_dbt.Stardbt.set
+    in
+    match pc_trace with
+    | Some path ->
+        (* fully offline: no program execution, just the trace file *)
+        let trans =
+          Tea_core.Transition.create config (Tea_core.Builder.build traces)
+        in
+        let rep = Tea_core.Pc_trace.replay trans path in
+        Printf.printf
+          "offline replay of %s: %d blocks, coverage %.1f%%, %d trace entries\n"
+          path
+          (Tea_core.Pc_trace.length path)
+          (100.0 *. Tea_core.Replayer.coverage rep)
+          (Tea_core.Replayer.trace_enters rep)
+    | None ->
+        let result, _ =
+          Tea_pinsim.Pintool_replay.replay ~transition:config ~traces image
+        in
+        let st = result.Tea_pinsim.Pintool_replay.transition_stats in
+        Printf.printf
+          "replayed %d traces\ncoverage: %.1f%%\nslowdown vs native: %.2fx\n\
+           transition stats: %d steps, %d in-trace, %d cache hits, %d container \
+           hits, %d NTE\n"
+          (List.length traces)
+          (100.0 *. result.Tea_pinsim.Pintool_replay.coverage)
+          result.Tea_pinsim.Pintool_replay.slowdown
+          st.Tea_core.Transition.steps st.Tea_core.Transition.in_trace_hits
+          st.Tea_core.Transition.cache_hits st.Tea_core.Transition.global_hits
+          st.Tea_core.Transition.global_misses
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay traces through the TEA under the Pin-like frontend")
+    Term.(const run $ workload_arg $ strategy_arg $ traces_arg $ config_arg $ pc_trace_arg)
+
+let capture_cmd =
+  let out_required =
+    let doc = "Output PC-trace file." in
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run name out =
+    let image = or_die (resolve_workload name) in
+    let n = Tea_pinsim.Trace_capture.record image out in
+    Printf.printf "captured %d blocks to %s (%d bytes)\n" n out
+      (Unix.stat out).Unix.st_size
+  in
+  Cmd.v
+    (Cmd.info "capture" ~doc:"Capture an execution's block stream to a PC-trace file")
+    Term.(const run $ workload_arg $ out_required)
+
+(* ---- dot ---- *)
+
+let dot_cmd =
+  let run name strategy_name out =
+    let image = or_die (resolve_workload name) in
+    let strategy = or_die (resolve_strategy strategy_name) in
+    let r = Tea_dbt.Stardbt.record ~strategy image in
+    let auto = Tea_core.Builder.of_set r.Tea_dbt.Stardbt.set in
+    let dot = Tea_core.Dot.of_automaton ~title:name auto in
+    match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc dot;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    | None -> print_string dot
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Emit the TEA as Graphviz")
+    Term.(const run $ workload_arg $ strategy_arg $ out_arg)
+
+(* ---- analyze ---- *)
+
+let replay_with_detector image traces =
+  let auto = Tea_core.Builder.build traces in
+  let trans =
+    Tea_core.Transition.create Tea_core.Transition.config_global_local auto
+  in
+  let replayer = Tea_core.Replayer.create trans in
+  let detector = Tea_core.Phases.create () in
+  let filter =
+    Tea_pinsim.Edge_filter.create ~emit:(fun block ~expanded ->
+        Tea_core.Replayer.feed_addr replayer ~insns:expanded
+          block.Tea_cfg.Block.start;
+        Tea_core.Phases.feed detector (Tea_core.Replayer.state replayer))
+  in
+  let _ = Tea_pinsim.Pin.run ~tool:(Tea_pinsim.Edge_filter.callbacks filter) image in
+  Tea_pinsim.Edge_filter.flush filter;
+  Tea_core.Phases.finish detector;
+  (replayer, detector)
+
+let record_traces image strategy_name =
+  let strategy = or_die (resolve_strategy strategy_name) in
+  let r = Tea_dbt.Stardbt.record ~strategy image in
+  Tea_traces.Trace_set.to_list r.Tea_dbt.Stardbt.set
+
+let analyze_cmd =
+  let run name strategy_name =
+    let image = or_die (resolve_workload name) in
+    let traces = record_traces image strategy_name in
+    let replayer, _ = replay_with_detector image traces in
+    print_endline (Tea_core.Analysis.coverage_summary replayer);
+    print_endline "hottest traces:";
+    List.iter
+      (fun s -> Format.printf "  %a@." Tea_core.Analysis.pp_trace_stats s)
+      (Tea_core.Analysis.hottest ~n:10 replayer);
+    match Tea_core.Analysis.side_exit_candidates ~n:5 replayer with
+    | [] -> ()
+    | sites ->
+        print_endline "hot open TBBs (side-exit / extension candidates):";
+        List.iter
+          (fun site ->
+            Printf.printf "  trace %d tbb %d @0x%x: %d executions\n"
+              site.Tea_core.Analysis.site_trace site.Tea_core.Analysis.site_tbb
+              site.Tea_core.Analysis.block_start site.Tea_core.Analysis.executions)
+          sites
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Replay and print trace-quality analytics")
+    Term.(const run $ workload_arg $ strategy_arg)
+
+(* ---- phases ---- *)
+
+let phases_cmd =
+  let run name strategy_name =
+    let image = or_die (resolve_workload name) in
+    let traces = record_traces image strategy_name in
+    let _, detector = replay_with_detector image traces in
+    Format.printf "%a" Tea_core.Phases.pp detector
+  in
+  Cmd.v
+    (Cmd.info "phases" ~doc:"Detect program phases from trace stability (§5, [22])")
+    Term.(const run $ workload_arg $ strategy_arg)
+
+(* ---- cachesim ---- *)
+
+let cachesim_cmd =
+  let run name strategy_name =
+    let image = or_die (resolve_workload name) in
+    let traces = record_traces image strategy_name in
+    let report = Tea_cachesim.Collector.profile ~traces image in
+    print_string (Tea_cachesim.Collector.render report)
+  in
+  Cmd.v
+    (Cmd.info "cachesim"
+       ~doc:"Replay traces on the cache simulator with per-trace attribution")
+    Term.(const run $ workload_arg $ strategy_arg)
+
+(* ---- bpred ---- *)
+
+let bpred_cmd =
+  let kind_arg =
+    let doc = "Predictor: always-taken, btfn, bimodal, gshare." in
+    Arg.(value & opt string "gshare" & info [ "p"; "predictor" ] ~docv:"KIND" ~doc)
+  in
+  let resolve_kind = function
+    | "always-taken" -> Ok Tea_bpred.Predictor.Always_taken
+    | "btfn" -> Ok Tea_bpred.Predictor.Btfn
+    | "bimodal" -> Ok (Tea_bpred.Predictor.Bimodal 12)
+    | "gshare" -> Ok (Tea_bpred.Predictor.Gshare 12)
+    | k -> Error (Printf.sprintf "unknown predictor %S" k)
+  in
+  let run name strategy_name kind_name =
+    let image = or_die (resolve_workload name) in
+    let kind = or_die (resolve_kind kind_name) in
+    let traces = record_traces image strategy_name in
+    let report = Tea_bpred.Collector.profile ~kind ~traces image in
+    print_string (Tea_bpred.Collector.render report)
+  in
+  Cmd.v
+    (Cmd.info "bpred"
+       ~doc:"Replay traces with per-trace branch-prediction attribution")
+    Term.(const run $ workload_arg $ strategy_arg $ kind_arg)
+
+(* ---- inspect ---- *)
+
+let inspect_cmd =
+  let id_arg =
+    let doc = "Trace id to inspect (default: the hottest by replay)." in
+    Arg.(value & opt (some int) None & info [ "i"; "id" ] ~docv:"ID" ~doc)
+  in
+  let run name strategy_name id =
+    let image = or_die (resolve_workload name) in
+    let traces = record_traces image strategy_name in
+    let replayer, _ = replay_with_detector image traces in
+    let target_id =
+      match id with
+      | Some i -> i
+      | None -> (
+          match Tea_core.Analysis.hottest ~n:1 replayer with
+          | [ t ] -> t.Tea_core.Analysis.trace_id
+          | _ ->
+              prerr_endline "tea_tool: no trace executed";
+              exit 1)
+    in
+    match List.find_opt (fun t -> t.Tea_traces.Trace.id = target_id) traces with
+    | None ->
+        prerr_endline (Printf.sprintf "tea_tool: no trace with id %d" target_id);
+        exit 1
+    | Some trace ->
+        let profile = Tea_core.Replayer.trace_profile replayer target_id in
+        Format.printf "%a@." Tea_traces.Trace.pp trace;
+        Array.iteri
+          (fun i tb ->
+            let count =
+              Option.value (List.assoc_opt i profile) ~default:0
+            in
+            Printf.printf "tbb #%d (executed %d times) -> [%s]
+" i count
+              (String.concat "; "
+                 (List.map string_of_int (Tea_traces.Trace.successors trace i)));
+            Array.iter
+              (fun (a, insn) ->
+                Printf.printf "    0x%08x  %s
+" a (Tea_isa.Insn.to_string insn))
+              tb.Tea_traces.Tbb.block.Tea_cfg.Block.insns)
+          trace.Tea_traces.Trace.tbbs
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Disassemble one trace with its replayed per-TBB profile")
+    Term.(const run $ workload_arg $ strategy_arg $ id_arg)
+
+(* ---- characterize ---- *)
+
+let characterize_cmd =
+  let run name =
+    let image = or_die (resolve_workload name) in
+    let dc = Tea_cfg.Dcfg.create () in
+    let machine, _stop, _disc =
+      Tea_cfg.Discovery.run ~policy:Tea_cfg.Discovery.Stardbt image
+        (Tea_cfg.Dcfg.callbacks dc)
+    in
+    let blocks = Tea_cfg.Dcfg.blocks dc in
+    let execs = Tea_cfg.Dcfg.total_block_execs dc in
+    let insns = Tea_cfg.Dcfg.total_insns dc in
+    let weighted_block_size = float_of_int insns /. float_of_int (max 1 execs) in
+    let conditional =
+      List.fold_left
+        (fun acc (b, n) ->
+          if Tea_isa.Insn.is_conditional (Tea_cfg.Block.terminator b) then acc + n
+          else acc)
+        0 blocks
+    in
+    let indirect =
+      List.fold_left
+        (fun acc (b, n) -> if Tea_cfg.Block.has_indirect_exit b then acc + n else acc)
+        0 blocks
+    in
+    Printf.printf
+      "%s:
+      \  static instructions: %d (%d bytes)
+      \  dynamic instructions: %d (%d cycles)
+      \  distinct dynamic blocks: %d
+      \  block executions: %d (mean dynamic block size %.2f insns)
+      \  conditional-branch block endings: %.1f%%
+      \  indirect block endings: %.1f%%
+"
+      name
+      (Tea_isa.Image.instruction_count image)
+      (Tea_isa.Image.code_bytes image)
+      (Tea_machine.Interp.dyn_instrs machine)
+      (Tea_machine.Interp.cycles machine)
+      (List.length blocks) execs weighted_block_size
+      (100.0 *. float_of_int conditional /. float_of_int (max 1 execs))
+      (100.0 *. float_of_int indirect /. float_of_int (max 1 execs))
+  in
+  Cmd.v
+    (Cmd.info "characterize" ~doc:"Dynamic control-flow characteristics of a workload")
+    Term.(const run $ workload_arg)
+
+(* ---- optimize ---- *)
+
+let optimize_cmd =
+  let run name strategy_name =
+    let image = or_die (resolve_workload name) in
+    let traces = record_traces image strategy_name in
+    let replayer, _ = replay_with_detector image traces in
+    let total = ref 0 in
+    List.iter
+      (fun trace ->
+        let savings = Tea_opt.Opt.weighted replayer trace in
+        total := !total + savings.Tea_opt.Opt.expected_cycles;
+        if savings.Tea_opt.Opt.findings <> [] then
+          print_string (Tea_opt.Opt.render trace savings))
+      traces;
+    let native = Tea_pinsim.Pin.native_cycles image in
+    Printf.printf "expected improvement from optimizing all traces: %d / %d cycles (%.2f%%)
+"
+      !total native
+      (100.0 *. float_of_int !total /. float_of_int (max 1 native))
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Profile-weighted trace-optimization opportunities from TEA replay")
+    Term.(const run $ workload_arg $ strategy_arg)
+
+(* ---- layout ---- *)
+
+let layout_cmd =
+  let run name strategy_name =
+    let image = or_die (resolve_workload name) in
+    let traces = record_traces image strategy_name in
+    let r = Tea_cachesim.Layout.study ~traces image in
+    print_string (Tea_cachesim.Layout.render r)
+  in
+  Cmd.v
+    (Cmd.info "layout"
+       ~doc:"I-cache comparison: original code layout vs packed trace cache")
+    Term.(const run $ workload_arg $ strategy_arg)
+
+(* ---- reuse ---- *)
+
+let reuse_cmd =
+  let run name =
+    let image = or_die (resolve_workload name) in
+    let h = Tea_cachesim.Reuse.profile_data_stream image in
+    print_string (Tea_cachesim.Reuse.render h);
+    List.iter
+      (fun k ->
+        Printf.printf "  fully-assoc LRU with %5d lines would hit %.1f%%\n" k
+          (100.0 *. Tea_cachesim.Reuse.hit_rate_for h k))
+      [ 64; 256; 1024; 4096 ]
+  in
+  Cmd.v
+    (Cmd.info "reuse" ~doc:"Exact LRU reuse-distance histogram of the data stream")
+    Term.(const run $ workload_arg)
+
+(* ---- tables ---- *)
+
+let tables_cmd =
+  let benchmarks_arg =
+    let doc = "Benchmarks to include (default: all 26)." in
+    Arg.(value & opt_all string [] & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+  in
+  let run benchmarks =
+    let benchmarks = if benchmarks = [] then Tea_workloads.Spec2000.names else benchmarks in
+    let benches = Tea_report.Experiments.prepare ~benchmarks () in
+    print_string (Tea_report.Experiments.render_table1 (Tea_report.Experiments.table1 benches));
+    print_newline ();
+    print_string (Tea_report.Experiments.render_table2 (Tea_report.Experiments.table2 benches));
+    print_newline ();
+    print_string (Tea_report.Experiments.render_table3 (Tea_report.Experiments.table3 benches));
+    print_newline ();
+    print_string (Tea_report.Experiments.render_table4 (Tea_report.Experiments.table4 benches))
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Render the paper's Tables 1-4")
+    Term.(const run $ benchmarks_arg)
+
+let () =
+  let doc = "Trace Execution Automata: record, replay and inspect traces" in
+  let info = Cmd.info "tea_tool" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; run_cmd; record_cmd; replay_cmd; capture_cmd; dot_cmd;
+            analyze_cmd;
+            phases_cmd; cachesim_cmd; bpred_cmd; inspect_cmd; characterize_cmd;
+            optimize_cmd; layout_cmd; reuse_cmd; tables_cmd;
+          ]))

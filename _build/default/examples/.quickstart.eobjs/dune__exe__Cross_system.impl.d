@@ -1,0 +1,1 @@
+examples/cross_system.ml: Filename List Option Printf Sys Tea_dbt Tea_pinsim Tea_traces Tea_workloads Unix

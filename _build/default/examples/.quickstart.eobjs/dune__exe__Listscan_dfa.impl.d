@@ -1,0 +1,1 @@
+examples/listscan_dfa.ml: Format Hashtbl List Option Printf String Tea_core Tea_dbt Tea_isa Tea_traces Tea_workloads

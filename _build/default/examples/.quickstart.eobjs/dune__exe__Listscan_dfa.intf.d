@@ -1,0 +1,1 @@
+examples/listscan_dfa.mli:

@@ -1,0 +1,1 @@
+examples/phase_detection.ml: Format List Option Printf Tea_cfg Tea_core Tea_dbt Tea_pinsim Tea_traces Tea_workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Option Printf Tea_core Tea_dbt Tea_isa Tea_pinsim Tea_report Tea_traces Tea_workloads

@@ -1,0 +1,1 @@
+examples/strategy_comparison.ml: Array Hashtbl List Option Printf Tea_core Tea_dbt Tea_pinsim Tea_traces Tea_workloads

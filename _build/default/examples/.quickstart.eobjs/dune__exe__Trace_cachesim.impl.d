@@ -1,0 +1,1 @@
+examples/trace_cachesim.ml: List Option Printf Tea_cachesim Tea_dbt Tea_traces Tea_workloads

@@ -1,0 +1,1 @@
+examples/trace_optimizer.ml: Cond Insn List Operand Option Printf Reg Tea_cfg Tea_core Tea_dbt Tea_isa Tea_opt Tea_pinsim Tea_traces Tea_workloads

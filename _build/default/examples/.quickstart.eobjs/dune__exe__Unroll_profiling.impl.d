@@ -1,0 +1,1 @@
+examples/unroll_profiling.ml: Format List Option Printf Tea_cfg Tea_core Tea_dbt Tea_pinsim Tea_traces Tea_workloads

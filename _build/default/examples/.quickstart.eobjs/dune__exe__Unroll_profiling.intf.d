@@ -1,0 +1,1 @@
+examples/unroll_profiling.mli:

@@ -1,0 +1,58 @@
+(* Phase detection from trace stability (paper §5, Wimmer et al. [22]).
+
+   The synthetic benchmarks literally execute in phases: main runs a few
+   distinct hot loops in sequence, with cold setup code between them. A
+   program is "in a phase" while execution stays inside the recorded
+   traces (low trace-exit ratio in the TEA replay) and "between phases"
+   when the exit ratio spikes. This example replays a benchmark through
+   its TEA, feeds the state stream to the detector, and prints the
+   segments it finds.
+
+   Run with: dune exec examples/phase_detection.exe *)
+
+let () =
+  (* Two hot loops separated by a long once-executed stretch: in-phase,
+     between-phases, in-phase. *)
+  let image = Tea_workloads.Micro.two_phase ~phase_iters:3000 ~gap_blocks:400 () in
+  Printf.printf "workload: micro:two_phase (2 hot loops, 400-block cold gap)\n";
+
+  (* Record traces, build the TEA. *)
+  let strategy = Option.get (Tea_traces.Registry.by_name "mret") in
+  let dbt = Tea_dbt.Stardbt.record ~strategy image in
+  let auto = Tea_core.Builder.of_set dbt.Tea_dbt.Stardbt.set in
+  let trans = Tea_core.Transition.create Tea_core.Transition.config_global_local auto in
+  let replayer = Tea_core.Replayer.create trans in
+
+  (* Replay, streaming every post-step state into the detector. *)
+  let detector =
+    Tea_core.Phases.create
+      ~config:
+        {
+          Tea_core.Phases.window = 256;
+          max_stable_exit_ratio = 0.05;
+          min_stable_coverage = 0.7;
+        }
+      ()
+  in
+  let filter =
+    Tea_pinsim.Edge_filter.create ~emit:(fun block ~expanded ->
+        Tea_core.Replayer.feed_addr replayer ~insns:expanded
+          block.Tea_cfg.Block.start;
+        Tea_core.Phases.feed detector (Tea_core.Replayer.state replayer))
+  in
+  let _ = Tea_pinsim.Pin.run ~tool:(Tea_pinsim.Edge_filter.callbacks filter) image in
+  Tea_pinsim.Edge_filter.flush filter;
+  Tea_core.Phases.finish detector;
+
+  Format.printf "%a" Tea_core.Phases.pp detector;
+  Printf.printf "stable fraction: %.1f%%\n"
+    (100.0
+    *. float_of_int (Tea_core.Phases.stable_steps detector)
+    /. float_of_int (max 1 (Tea_core.Phases.total_steps detector)));
+
+  (* And the trace analytics the replay produced along the way. *)
+  print_endline "\nhottest traces:";
+  List.iter
+    (fun s -> Format.printf "  %a@." Tea_core.Analysis.pp_trace_stats s)
+    (Tea_core.Analysis.hottest ~n:5 replayer);
+  print_endline (Tea_core.Analysis.coverage_summary replayer)

@@ -1,0 +1,53 @@
+(* The paper's first listed use of TEA (§1): "building traces in one
+   system, e.g. by using a DBT, and collecting statistics and profiling
+   information for them on a second system, e.g. by replaying the traces
+   on a cycle accurate simulator."
+
+   Here the "second system" is a two-level cache simulator. Traces are
+   recorded under the StarDBT-like runtime; the TEA replay then attributes
+   every instruction fetch and data access of an *unmodified* execution to
+   the trace executing at that moment — per-trace I-cache and D-cache miss
+   profiles for traces that have no generated code.
+
+   Run with: dune exec examples/trace_cachesim.exe *)
+
+let () =
+  (* A pointer-chasing workload whose ring (16 K nodes x 16 B = 256 KB)
+     blows through L1D: the hot trace is exactly the one with terrible
+     data locality. *)
+  let image = Tea_workloads.Micro.big_chase ~nodes:16384 ~steps:150000 () in
+
+  (* System A: record traces under the DBT. *)
+  let strategy = Option.get (Tea_traces.Registry.by_name "mret") in
+  let dbt = Tea_dbt.Stardbt.record ~strategy image in
+  let traces = Tea_traces.Trace_set.to_list dbt.Tea_dbt.Stardbt.set in
+  Printf.printf "recorded %d traces under the DBT (coverage %.1f%%)\n\n"
+    (List.length traces)
+    (100.0 *. dbt.Tea_dbt.Stardbt.coverage);
+
+  (* System B: the cache simulator, with per-trace attribution via TEA. *)
+  let report = Tea_cachesim.Collector.profile ~traces image in
+  print_string (Tea_cachesim.Collector.render report);
+
+  (* The actionable outcome: which trace suffers the worst data locality? *)
+  match
+    List.filter (fun r -> r.Tea_cachesim.Collector.d_accesses > 1000) report.rows
+  with
+  | [] -> ()
+  | rows ->
+      let worst =
+        List.fold_left
+          (fun best r ->
+            let rate (x : Tea_cachesim.Collector.row) =
+              float_of_int x.d_misses /. float_of_int (max 1 x.d_accesses)
+            in
+            if rate r > rate best then r else best)
+          (List.hd rows) rows
+      in
+      Printf.printf
+        "\nworst data locality: trace %d (%.2f%% D-miss rate) — the trace an \
+         optimizer would prefetch for\n"
+        worst.trace_id
+        (100.0
+        *. float_of_int worst.d_misses
+        /. float_of_int (max 1 worst.d_accesses))

@@ -1,0 +1,1 @@
+lib/bpred/collector.ml: Buffer Hashtbl Int List Option Predictor Printf Tea_cfg Tea_core Tea_isa Tea_machine Tea_pinsim Tea_util

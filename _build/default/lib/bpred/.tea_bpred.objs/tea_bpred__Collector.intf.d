@@ -1,0 +1,1 @@
+lib/bpred/collector.mli: Predictor Tea_isa Tea_traces

@@ -1,0 +1,110 @@
+module Interp = Tea_machine.Interp
+module Block = Tea_cfg.Block
+module I = Tea_isa.Insn
+
+type row = {
+  trace_id : int;
+  branches : int;
+  mispredicted : int;
+  miss_rate : float;
+}
+
+type report = {
+  rows : row list;
+  cold : row;
+  total : Predictor.t;
+  replay_coverage : float;
+}
+
+type acc = { mutable b : int; mutable m : int }
+
+type pending = { pc : int; target : int; taken : bool }
+
+let profile ?(kind = Predictor.Gshare 12) ?fuel ~traces image =
+  let predictor = Predictor.create kind in
+  let auto = Tea_core.Builder.build traces in
+  let trans =
+    Tea_core.Transition.create Tea_core.Transition.config_global_local auto
+  in
+  let replayer = Tea_core.Replayer.create trans in
+  let per_trace : (int, acc) Hashtbl.t = Hashtbl.create 64 in
+  let acc_for id =
+    match Hashtbl.find_opt per_trace id with
+    | Some a -> a
+    | None ->
+        let a = { b = 0; m = 0 } in
+        Hashtbl.replace per_trace id a;
+        a
+  in
+  let buffer : pending Tea_util.Vec.t = Tea_util.Vec.create () in
+  let charge block ~expanded =
+    Tea_core.Replayer.feed_addr replayer ~insns:expanded block.Block.start;
+    let state = Tea_core.Replayer.state replayer in
+    let trace_id =
+      if state = Tea_core.Automaton.nte then -1
+      else
+        match Tea_core.Automaton.state_info auto state with
+        | Some info -> info.Tea_core.Automaton.trace_id
+        | None -> -1
+    in
+    let a = acc_for trace_id in
+    Tea_util.Vec.iter
+      (fun p ->
+        a.b <- a.b + 1;
+        if not (Predictor.record predictor ~pc:p.pc ~target:p.target ~taken:p.taken)
+        then a.m <- a.m + 1)
+      buffer;
+    Tea_util.Vec.clear buffer
+  in
+  let filter = Tea_pinsim.Edge_filter.create ~emit:charge in
+  let discovery =
+    Tea_cfg.Discovery.create ~policy:Tea_cfg.Discovery.Pin image
+      (Tea_pinsim.Edge_filter.callbacks filter)
+  in
+  let on_event (ev : Interp.event) =
+    (match ev.Interp.insn with
+    | I.Jcc (_, I.Abs target) ->
+        Tea_util.Vec.push buffer
+          { pc = ev.Interp.pc; target; taken = ev.Interp.next_pc = target }
+    | _ -> ());
+    Tea_cfg.Discovery.feed discovery ev
+  in
+  let _machine, _stop = Interp.run ?fuel ~on_event image in
+  Tea_cfg.Discovery.flush discovery;
+  Tea_pinsim.Edge_filter.flush filter;
+  let row_of trace_id (a : acc) =
+    {
+      trace_id;
+      branches = a.b;
+      mispredicted = a.m;
+      miss_rate = (if a.b = 0 then 0.0 else float_of_int a.m /. float_of_int a.b);
+    }
+  in
+  let cold =
+    row_of (-1)
+      (Option.value (Hashtbl.find_opt per_trace (-1)) ~default:{ b = 0; m = 0 })
+  in
+  let rows =
+    Hashtbl.fold (fun id a l -> if id = -1 then l else row_of id a :: l) per_trace []
+    |> List.sort (fun a b -> Int.compare b.mispredicted a.mispredicted)
+  in
+  { rows; cold; total = predictor; replay_coverage = Tea_core.Replayer.coverage replayer }
+
+let render report =
+  let buf = Buffer.create 512 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "per-trace branch prediction (replayed, no trace code):\n";
+  pr "%8s %10s %12s %10s\n" "trace" "branches" "mispredicts" "miss rate";
+  let line r =
+    pr "%8s %10d %12d %9.2f%%\n"
+      (if r.trace_id = -1 then "cold" else string_of_int r.trace_id)
+      r.branches r.mispredicted (100.0 *. r.miss_rate)
+  in
+  List.iter line report.rows;
+  line report.cold;
+  pr "overall: %d branches, %d mispredicted (%.2f%%), coverage %.1f%%\n"
+    (Predictor.predictions report.total)
+    (Predictor.mispredictions report.total)
+    (100.0 *. Predictor.miss_rate report.total)
+    (100.0 *. report.replay_coverage);
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Per-trace branch-prediction statistics via TEA replay.
+
+    Like {!Tea_cachesim.Collector}, but for conditional-branch direction:
+    one pass runs the program, the TEA replay labels every executed
+    conditional branch with the trace containing it, and a direction
+    predictor scores it. The actionable output is the paper's motivating
+    profile data: which traces contain the poorly-predicted branches an
+    optimizer should reshape (e.g. by picking a different trace path or
+    if-converting). *)
+
+type row = {
+  trace_id : int;      (** -1 = cold (NTE) *)
+  branches : int;
+  mispredicted : int;
+  miss_rate : float;
+}
+
+type report = {
+  rows : row list;     (** sorted by mispredictions, descending *)
+  cold : row;
+  total : Predictor.t; (** the shared predictor with overall stats *)
+  replay_coverage : float;
+}
+
+val profile :
+  ?kind:Predictor.kind ->
+  ?fuel:int ->
+  traces:Tea_traces.Trace.t list ->
+  Tea_isa.Image.t ->
+  report
+(** Default predictor: [Gshare 12]. *)
+
+val render : report -> string

@@ -1,0 +1,80 @@
+type kind =
+  | Always_taken
+  | Btfn
+  | Bimodal of int
+  | Gshare of int
+
+let kind_name = function
+  | Always_taken -> "always-taken"
+  | Btfn -> "btfn"
+  | Bimodal n -> Printf.sprintf "bimodal-%d" (1 lsl n)
+  | Gshare n -> Printf.sprintf "gshare-%d" (1 lsl n)
+
+type state =
+  | S_static of [ `Taken | `Btfn ]
+  | S_bimodal of { mask : int; counters : int array }
+  | S_gshare of { mask : int; counters : int array; mutable history : int }
+
+type t = {
+  state : state;
+  mutable n_predictions : int;
+  mutable n_miss : int;
+}
+
+let create kind =
+  let state =
+    match kind with
+    | Always_taken -> S_static `Taken
+    | Btfn -> S_static `Btfn
+    | Bimodal bits ->
+        if bits < 1 || bits > 24 then invalid_arg "Predictor.create: bimodal bits";
+        S_bimodal { mask = (1 lsl bits) - 1; counters = Array.make (1 lsl bits) 2 }
+    | Gshare bits ->
+        if bits < 1 || bits > 24 then invalid_arg "Predictor.create: gshare bits";
+        S_gshare
+          { mask = (1 lsl bits) - 1; counters = Array.make (1 lsl bits) 2; history = 0 }
+  in
+  { state; n_predictions = 0; n_miss = 0 }
+
+(* Branch PCs are multi-byte aligned-ish; drop the low bits that never vary
+   to spread table indices. *)
+let pc_index pc = pc lsr 1
+
+let predict t ~pc ~target =
+  match t.state with
+  | S_static `Taken -> true
+  | S_static `Btfn -> target <= pc
+  | S_bimodal { mask; counters } -> counters.(pc_index pc land mask) >= 2
+  | S_gshare { mask; counters; history } ->
+      counters.((pc_index pc lxor history) land mask) >= 2
+
+let train_counter counters i taken =
+  let c = counters.(i) in
+  counters.(i) <- (if taken then min 3 (c + 1) else max 0 (c - 1))
+
+let update t ~pc ~target:_ ~taken =
+  match t.state with
+  | S_static _ -> ()
+  | S_bimodal { mask; counters } -> train_counter counters (pc_index pc land mask) taken
+  | S_gshare g ->
+      train_counter g.counters ((pc_index pc lxor g.history) land g.mask) taken;
+      g.history <- ((g.history lsl 1) lor Bool.to_int taken) land g.mask
+
+let record t ~pc ~target ~taken =
+  let predicted = predict t ~pc ~target in
+  t.n_predictions <- t.n_predictions + 1;
+  if predicted <> taken then t.n_miss <- t.n_miss + 1;
+  update t ~pc ~target ~taken;
+  predicted = taken
+
+let predictions t = t.n_predictions
+
+let mispredictions t = t.n_miss
+
+let miss_rate t =
+  if t.n_predictions = 0 then 0.0
+  else float_of_int t.n_miss /. float_of_int t.n_predictions
+
+let reset_stats t =
+  t.n_predictions <- 0;
+  t.n_miss <- 0

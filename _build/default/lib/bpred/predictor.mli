@@ -1,0 +1,41 @@
+(** Conditional-branch direction predictors.
+
+    The second "cycle-accurate simulator" statistic the TEA replay can
+    attribute to traces: branch predictability. Four standard models, from
+    the static baselines to gshare. All state is per-instance; predictors
+    are deterministic. *)
+
+type kind =
+  | Always_taken
+  | Btfn          (** static: backward taken, forward not-taken *)
+  | Bimodal of int
+      (** 2-bit saturating counters; the int is log2(table entries) *)
+  | Gshare of int
+      (** global history XOR PC indexing a 2-bit counter table;
+          the int is log2(table entries) = history bits *)
+
+val kind_name : kind -> string
+
+type t
+
+val create : kind -> t
+
+val predict : t -> pc:int -> target:int -> bool
+(** Predicted direction for a conditional branch at [pc] whose taken
+    target is [target] (used by the static BTFN rule). Does not update
+    any state. *)
+
+val update : t -> pc:int -> target:int -> taken:bool -> unit
+(** Train with the actual outcome (updates counters and history). *)
+
+val record : t -> pc:int -> target:int -> taken:bool -> bool
+(** [predict] + accounting + [update] in one step; returns whether the
+    prediction was correct. *)
+
+val predictions : t -> int
+
+val mispredictions : t -> int
+
+val miss_rate : t -> float
+
+val reset_stats : t -> unit

@@ -1,0 +1,246 @@
+(* A straightforward array-based B+ tree. Nodes hold sorted key arrays that
+   are copied on insertion; trace containers are small (at most a few
+   thousand traces), so simplicity wins over amortized array slack. *)
+
+type 'a node =
+  | Leaf of 'a leaf
+  | Internal of 'a internal
+
+and 'a leaf = {
+  mutable lkeys : int array;
+  mutable lvals : 'a array;
+}
+
+and 'a internal = {
+  mutable ikeys : int array;       (* separators: child i holds keys < ikeys.(i) *)
+  mutable children : 'a node array;
+}
+
+type 'a t = {
+  order : int;
+  mutable root : 'a node option;
+  mutable size : int;
+}
+
+let create ?(order = 8) () =
+  if order < 2 then invalid_arg "Btree.create: order must be >= 2";
+  { order; root = None; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let max_leaf t = 2 * t.order
+
+let max_children t = (2 * t.order) + 1
+
+(* Binary search for the first index whose key is >= [key]; also counts the
+   comparisons performed. Returns (index, found, comparisons). *)
+let search keys key =
+  let comparisons = ref 0 in
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  let found = ref false in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    incr comparisons;
+    let k = keys.(mid) in
+    if k = key then begin
+      found := true;
+      lo := mid;
+      hi := mid
+    end
+    else if k < key then lo := mid + 1
+    else hi := mid
+  done;
+  (!lo, !found, !comparisons)
+
+let array_insert a i x =
+  let n = Array.length a in
+  let b = Array.make (n + 1) x in
+  Array.blit a 0 b 0 i;
+  Array.blit a i b (i + 1) (n - i);
+  b
+
+(* Child index to descend into for [key]: first separator greater than key
+   goes left of it; equal keys go right (separators duplicate the smallest
+   key of the right subtree). *)
+let child_index ikeys key =
+  let n = Array.length ikeys in
+  let comparisons = ref 0 in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    incr comparisons;
+    if key >= ikeys.(mid) then lo := mid + 1 else hi := mid
+  done;
+  (!lo, !comparisons)
+
+type 'a split = { sep : int; right : 'a node }
+
+let rec insert_node t node key value : 'a split option * bool =
+  match node with
+  | Leaf l ->
+      let i, found, _ = search l.lkeys key in
+      if found then begin
+        l.lvals.(i) <- value;
+        (None, false)
+      end
+      else begin
+        l.lkeys <- array_insert l.lkeys i key;
+        l.lvals <- array_insert l.lvals i value;
+        if Array.length l.lkeys > max_leaf t then begin
+          let n = Array.length l.lkeys in
+          let mid = n / 2 in
+          let rkeys = Array.sub l.lkeys mid (n - mid) in
+          let rvals = Array.sub l.lvals mid (n - mid) in
+          l.lkeys <- Array.sub l.lkeys 0 mid;
+          l.lvals <- Array.sub l.lvals 0 mid;
+          (Some { sep = rkeys.(0); right = Leaf { lkeys = rkeys; lvals = rvals } }, true)
+        end
+        else (None, true)
+      end
+  | Internal nd ->
+      let ci, _ = child_index nd.ikeys key in
+      let split, added = insert_node t nd.children.(ci) key value in
+      (match split with
+      | None -> (None, added)
+      | Some { sep; right } ->
+          nd.ikeys <- array_insert nd.ikeys ci sep;
+          nd.children <- array_insert nd.children (ci + 1) right;
+          if Array.length nd.children > max_children t then begin
+            let nk = Array.length nd.ikeys in
+            let mid = nk / 2 in
+            let sep_up = nd.ikeys.(mid) in
+            let rkeys = Array.sub nd.ikeys (mid + 1) (nk - mid - 1) in
+            let rchildren =
+              Array.sub nd.children (mid + 1) (Array.length nd.children - mid - 1)
+            in
+            nd.ikeys <- Array.sub nd.ikeys 0 mid;
+            nd.children <- Array.sub nd.children 0 (mid + 1);
+            ( Some { sep = sep_up; right = Internal { ikeys = rkeys; children = rchildren } },
+              added )
+          end
+          else (None, added))
+
+let insert t key value =
+  match t.root with
+  | None ->
+      t.root <- Some (Leaf { lkeys = [| key |]; lvals = [| value |] });
+      t.size <- 1
+  | Some root -> (
+      let split, added = insert_node t root key value in
+      if added then t.size <- t.size + 1;
+      match split with
+      | None -> ()
+      | Some { sep; right } ->
+          t.root <- Some (Internal { ikeys = [| sep |]; children = [| root; right |] }))
+
+let find_count t key =
+  let rec go node acc =
+    match node with
+    | Leaf l ->
+        let i, found, c = search l.lkeys key in
+        if found then (Some l.lvals.(i), acc + c) else (None, acc + c)
+    | Internal nd ->
+        let ci, c = child_index nd.ikeys key in
+        go nd.children.(ci) (acc + c)
+  in
+  match t.root with None -> (None, 0) | Some root -> go root 0
+
+let find t key = fst (find_count t key)
+
+let mem t key = Option.is_some (find t key)
+
+let height t =
+  let rec go = function
+    | Leaf _ -> 1
+    | Internal nd -> 1 + go nd.children.(0)
+  in
+  match t.root with None -> 0 | Some r -> go r
+
+let rec leftmost = function
+  | Leaf l -> if Array.length l.lkeys = 0 then None else Some (l.lkeys.(0), l.lvals.(0))
+  | Internal nd -> leftmost nd.children.(0)
+
+let rec rightmost = function
+  | Leaf l ->
+      let n = Array.length l.lkeys in
+      if n = 0 then None else Some (l.lkeys.(n - 1), l.lvals.(n - 1))
+  | Internal nd -> rightmost nd.children.(Array.length nd.children - 1)
+
+let min_binding t = Option.bind t.root leftmost
+
+let max_binding t = Option.bind t.root rightmost
+
+let iter f t =
+  let rec go = function
+    | Leaf l -> Array.iteri (fun i k -> f k l.lvals.(i)) l.lkeys
+    | Internal nd -> Array.iter go nd.children
+  in
+  match t.root with None -> () | Some r -> go r
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun k v -> acc := (k, v) :: !acc) t;
+  List.rev !acc
+
+let of_list ?order l =
+  let t = create ?order () in
+  List.iter (fun (k, v) -> insert t k v) l;
+  t
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let ok = Ok () in
+  let rec sorted a i =
+    i + 1 >= Array.length a || (a.(i) < a.(i + 1) && sorted a (i + 1))
+  in
+  let rec depth = function
+    | Leaf _ -> 1
+    | Internal nd -> 1 + depth nd.children.(0)
+  in
+  match t.root with
+  | None -> if t.size = 0 then ok else fail "empty root but size=%d" t.size
+  | Some root ->
+      let expected_depth = depth root in
+      let count = ref 0 in
+      let rec go node ~is_root ~lo ~hi ~d =
+        match node with
+        | Leaf l ->
+            let n = Array.length l.lkeys in
+            count := !count + n;
+            if Array.length l.lvals <> n then fail "leaf keys/vals mismatch"
+            else if not (sorted l.lkeys 0) then fail "leaf keys unsorted"
+            else if d <> expected_depth then fail "leaf depth %d <> %d" d expected_depth
+            else if (not is_root) && n = 0 then fail "empty non-root leaf"
+            else if n > max_leaf t then fail "overfull leaf (%d)" n
+            else if
+              Array.exists (fun k -> (match lo with Some l' -> k < l' | None -> false)
+                                     || (match hi with Some h -> k >= h | None -> false))
+                l.lkeys
+            then fail "leaf key out of separator range"
+            else ok
+        | Internal nd ->
+            let nk = Array.length nd.ikeys in
+            let nc = Array.length nd.children in
+            if nc <> nk + 1 then fail "internal children/keys mismatch"
+            else if not (sorted nd.ikeys 0) then fail "internal keys unsorted"
+            else if nc > max_children t then fail "overfull internal (%d)" nc
+            else begin
+              let result = ref ok in
+              for i = 0 to nc - 1 do
+                match !result with
+                | Error _ -> ()
+                | Ok () ->
+                    let lo' = if i = 0 then lo else Some nd.ikeys.(i - 1) in
+                    let hi' = if i = nk then hi else Some nd.ikeys.(i) in
+                    result := go nd.children.(i) ~is_root:false ~lo:lo' ~hi:hi' ~d:(d + 1)
+              done;
+              !result
+            end
+      in
+      let r = go root ~is_root:true ~lo:None ~hi:None ~d:1 in
+      (match r with
+      | Error _ -> r
+      | Ok () ->
+          if !count <> t.size then fail "size %d but %d entries" t.size !count else ok)

@@ -1,0 +1,49 @@
+(** B+ tree keyed by [int].
+
+    This is the paper's "global B+ tree" used by the TEA transition function
+    to find the trace starting at a given program counter when control moves
+    from cold code into a trace, or from one trace to another (§4.2). The
+    implementation counts key comparisons so the cost model can charge
+    lookups honestly.
+
+    Keys are unique; inserting an existing key replaces its value. *)
+
+type 'a t
+
+val create : ?order:int -> unit -> 'a t
+(** [order] is the fan-out parameter: leaves hold at most [2*order]
+    entries, internal nodes at most [2*order+1] children. Default 8.
+    @raise Invalid_argument if [order < 2]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val insert : 'a t -> int -> 'a -> unit
+
+val find : 'a t -> int -> 'a option
+
+val find_count : 'a t -> int -> 'a option * int
+(** Like {!find}, also returning the number of key comparisons performed —
+    the honest unit of lookup cost for the Table 4 model. *)
+
+val mem : 'a t -> int -> bool
+
+val height : 'a t -> int
+(** 0 for an empty tree, 1 for a single leaf. *)
+
+val min_binding : 'a t -> (int * 'a) option
+
+val max_binding : 'a t -> (int * 'a) option
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** In ascending key order. *)
+
+val to_list : 'a t -> (int * 'a) list
+(** Ascending key order. *)
+
+val of_list : ?order:int -> (int * 'a) list -> 'a t
+
+val check_invariants : 'a t -> (unit, string) result
+(** Structural validation (sortedness, uniform leaf depth, occupancy,
+    separator consistency); used by the property tests. *)

@@ -1,0 +1,1 @@
+lib/cachesim/collector.ml: Buffer Format Hashtbl Hierarchy Int List Option Printf Tea_cfg Tea_core Tea_machine Tea_pinsim Tea_traces Tea_util

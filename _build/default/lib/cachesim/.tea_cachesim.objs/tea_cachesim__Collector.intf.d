@@ -1,0 +1,1 @@
+lib/cachesim/collector.mli: Hierarchy Tea_isa Tea_traces

@@ -1,0 +1,1 @@
+lib/cachesim/layout.ml: Cache Hashtbl List Printf Tea_cfg Tea_core Tea_pinsim Tea_traces

@@ -1,0 +1,1 @@
+lib/cachesim/layout.mli: Cache Tea_isa Tea_traces

@@ -1,0 +1,1 @@
+lib/cachesim/reuse.ml: Array Buffer Float Hashtbl Printf Tea_machine Tea_util

@@ -1,0 +1,108 @@
+type config = {
+  size_bytes : int;
+  line_bytes : int;
+  ways : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let n_sets cfg = cfg.size_bytes / cfg.line_bytes / cfg.ways
+
+let config ~size_bytes ~line_bytes ~ways =
+  if not (is_pow2 size_bytes) then invalid_arg "Cache.config: size not a power of two";
+  if not (is_pow2 line_bytes) || line_bytes < 4 then
+    invalid_arg "Cache.config: bad line size";
+  if ways < 1 then invalid_arg "Cache.config: ways must be >= 1";
+  let cfg = { size_bytes; line_bytes; ways } in
+  let sets = n_sets cfg in
+  if sets < 1 || not (is_pow2 sets) then
+    invalid_arg "Cache.config: size/line/ways must give a power-of-two set count";
+  cfg
+
+type t = {
+  cfg : config;
+  sets : int;
+  line_shift : int;
+  tags : int array;       (* sets * ways; -1 = invalid *)
+  stamps : int array;     (* LRU timestamps, parallel to tags *)
+  mutable clock : int;
+  mutable n_accesses : int;
+  mutable n_misses : int;
+  mutable n_evictions : int;
+}
+
+let create cfg =
+  let sets = n_sets cfg in
+  {
+    cfg;
+    sets;
+    line_shift = int_of_float (Float.round (Float.log2 (float_of_int cfg.line_bytes)));
+    tags = Array.make (sets * cfg.ways) (-1);
+    stamps = Array.make (sets * cfg.ways) 0;
+    clock = 0;
+    n_accesses = 0;
+    n_misses = 0;
+    n_evictions = 0;
+  }
+
+(* The full line number serves as the tag (set bits included — harmless
+   for correctness and simpler than masking them off). *)
+let locate t addr =
+  let line = addr lsr t.line_shift in
+  let set = line land (t.sets - 1) in
+  (set * t.cfg.ways, line)
+
+type result = Hit | Miss
+
+let find_way t base tag =
+  let rec go w =
+    if w = t.cfg.ways then None
+    else if t.tags.(base + w) = tag then Some (base + w)
+    else go (w + 1)
+  in
+  go 0
+
+let probe t addr =
+  let base, tag = locate t addr in
+  find_way t base tag <> None
+
+let access t addr =
+  let base, tag = locate t addr in
+  t.n_accesses <- t.n_accesses + 1;
+  t.clock <- t.clock + 1;
+  match find_way t base tag with
+  | Some i ->
+      t.stamps.(i) <- t.clock;
+      Hit
+  | None ->
+      t.n_misses <- t.n_misses + 1;
+      (* victim: an invalid way, else the least recently used *)
+      let victim = ref base in
+      for w = 1 to t.cfg.ways - 1 do
+        let i = base + w in
+        if t.tags.(!victim) <> -1
+           && (t.tags.(i) = -1 || t.stamps.(i) < t.stamps.(!victim))
+        then victim := i
+      done;
+      if t.tags.(!victim) <> -1 then t.n_evictions <- t.n_evictions + 1;
+      t.tags.(!victim) <- tag;
+      t.stamps.(!victim) <- t.clock;
+      Miss
+
+let accesses t = t.n_accesses
+
+let misses t = t.n_misses
+
+let evictions t = t.n_evictions
+
+let miss_rate t =
+  if t.n_accesses = 0 then 0.0 else float_of_int t.n_misses /. float_of_int t.n_accesses
+
+let reset_stats t =
+  t.n_accesses <- 0;
+  t.n_misses <- 0;
+  t.n_evictions <- 0
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0

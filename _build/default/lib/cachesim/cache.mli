@@ -1,0 +1,44 @@
+(** A set-associative cache model with LRU replacement.
+
+    Part of the "second system" of the paper's first motivating use case:
+    build traces under a DBT, then replay them elsewhere — e.g. on a cache
+    simulator — to collect statistics about the traces without ever
+    generating trace code. This is a functional-warming model (hit/miss
+    and eviction behaviour, no timing ports or MSHRs). *)
+
+type config = {
+  size_bytes : int;  (** total capacity; power of two *)
+  line_bytes : int;  (** power of two, at least 4 *)
+  ways : int;        (** associativity; must divide the line count *)
+}
+
+val config : size_bytes:int -> line_bytes:int -> ways:int -> config
+(** Validates the constraints. @raise Invalid_argument otherwise. *)
+
+type t
+
+type result = Hit | Miss
+
+val create : config -> t
+
+val access : t -> int -> result
+(** Touch the line containing the address, updating LRU state and filling
+    on miss. *)
+
+val probe : t -> int -> bool
+(** Non-destructive lookup: would this address hit? *)
+
+val accesses : t -> int
+
+val misses : t -> int
+
+val evictions : t -> int
+
+val miss_rate : t -> float
+
+val reset_stats : t -> unit
+
+val flush : t -> unit
+(** Invalidate all lines (statistics kept). *)
+
+val n_sets : config -> int

@@ -1,0 +1,136 @@
+module Interp = Tea_machine.Interp
+module Memory = Tea_machine.Memory
+module Block = Tea_cfg.Block
+module Trace = Tea_traces.Trace
+
+type row = {
+  trace_id : int;
+  insns : int;
+  i_accesses : int;
+  i_misses : int;
+  d_accesses : int;
+  d_misses : int;
+  access_cycles : int;
+}
+
+type report = {
+  rows : row list;
+  cold : row;
+  hierarchy : Hierarchy.t;
+  replay_coverage : float;
+}
+
+type acc = {
+  mutable a_insns : int;
+  mutable a_if : int;
+  mutable a_im : int;
+  mutable a_da : int;
+  mutable a_dm : int;
+  mutable a_cycles : int;
+}
+
+let fresh_acc () =
+  { a_insns = 0; a_if = 0; a_im = 0; a_da = 0; a_dm = 0; a_cycles = 0 }
+
+let row_of trace_id (a : acc) =
+  {
+    trace_id;
+    insns = a.a_insns;
+    i_accesses = a.a_if;
+    i_misses = a.a_im;
+    d_accesses = a.a_da;
+    d_misses = a.a_dm;
+    access_cycles = a.a_cycles;
+  }
+
+type pending = Ifetch of int | Data of Memory.access_kind * int
+
+let profile ?(config = Hierarchy.default_config) ?fuel ~traces image =
+  let hierarchy = Hierarchy.create config in
+  let auto = Tea_core.Builder.build traces in
+  let trans = Tea_core.Transition.create Tea_core.Transition.config_global_local auto in
+  let replayer = Tea_core.Replayer.create trans in
+  let per_trace : (int, acc) Hashtbl.t = Hashtbl.create 64 in
+  let acc_for id =
+    match Hashtbl.find_opt per_trace id with
+    | Some a -> a
+    | None ->
+        let a = fresh_acc () in
+        Hashtbl.replace per_trace id a;
+        a
+  in
+  (* Accesses buffered while the current logical block executes; charged to
+     the trace the TEA resolves that block to. *)
+  let buffer : pending Tea_util.Vec.t = Tea_util.Vec.create () in
+  let charge block ~expanded =
+    Tea_core.Replayer.feed_addr replayer ~insns:expanded block.Block.start;
+    let state = Tea_core.Replayer.state replayer in
+    let trace_id =
+      if state = Tea_core.Automaton.nte then -1
+      else
+        match Tea_core.Automaton.state_info auto state with
+        | Some info -> info.Tea_core.Automaton.trace_id
+        | None -> -1
+    in
+    let a = acc_for trace_id in
+    a.a_insns <- a.a_insns + expanded;
+    let l1_hit = config.Hierarchy.l1_hit_cycles in
+    Tea_util.Vec.iter
+      (fun p ->
+        match p with
+        | Ifetch addr ->
+            let latency = Hierarchy.fetch hierarchy addr in
+            a.a_if <- a.a_if + 1;
+            if latency > l1_hit then a.a_im <- a.a_im + 1;
+            a.a_cycles <- a.a_cycles + latency
+        | Data (kind, addr) ->
+            let latency = Hierarchy.data hierarchy kind addr in
+            a.a_da <- a.a_da + 1;
+            if latency > l1_hit then a.a_dm <- a.a_dm + 1;
+            a.a_cycles <- a.a_cycles + latency)
+      buffer;
+    Tea_util.Vec.clear buffer
+  in
+  let filter = Tea_pinsim.Edge_filter.create ~emit:charge in
+  let discovery =
+    Tea_cfg.Discovery.create ~policy:Tea_cfg.Discovery.Pin image
+      (Tea_pinsim.Edge_filter.callbacks filter)
+  in
+  let machine = Interp.create image in
+  Memory.set_tracer (Interp.memory machine)
+    (Some (fun kind addr -> Tea_util.Vec.push buffer (Data (kind, addr))));
+  let on_event (ev : Interp.event) =
+    Tea_util.Vec.push buffer (Ifetch ev.Interp.pc);
+    Tea_cfg.Discovery.feed discovery ev
+  in
+  let _stop = Interp.resume ?fuel ~on_event machine in
+  Tea_cfg.Discovery.flush discovery;
+  Tea_pinsim.Edge_filter.flush filter;
+  Memory.set_tracer (Interp.memory machine) None;
+  let cold =
+    row_of (-1) (Option.value (Hashtbl.find_opt per_trace (-1)) ~default:(fresh_acc ()))
+  in
+  let rows =
+    Hashtbl.fold
+      (fun id a l -> if id = -1 then l else row_of id a :: l)
+      per_trace []
+    |> List.sort (fun a b -> Int.compare b.access_cycles a.access_cycles)
+  in
+  { rows; cold; hierarchy; replay_coverage = Tea_core.Replayer.coverage replayer }
+
+let render report =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "per-trace cache behaviour (replayed, no trace code):\n";
+  pr "%8s %10s %9s %8s %9s %8s %10s\n" "trace" "insns" "I-acc" "I-miss" "D-acc"
+    "D-miss" "cycles";
+  let line r =
+    pr "%8s %10d %9d %8d %9d %8d %10d\n"
+      (if r.trace_id = -1 then "cold" else string_of_int r.trace_id)
+      r.insns r.i_accesses r.i_misses r.d_accesses r.d_misses r.access_cycles
+  in
+  List.iter line report.rows;
+  line report.cold;
+  pr "replay coverage: %.1f%%\n" (100.0 *. report.replay_coverage);
+  Buffer.add_string buf (Format.asprintf "%a" Hierarchy.pp report.hierarchy);
+  Buffer.contents buf

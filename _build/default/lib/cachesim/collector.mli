@@ -1,0 +1,41 @@
+(** Per-trace cache statistics via TEA replay — the paper's first
+    motivating use case end to end: traces recorded in one environment
+    (the DBT) are replayed on a *different* system (this cache simulator),
+    and the TEA state attributes every instruction fetch and data access
+    to the TBB/trace executing at that moment, without any trace code
+    existing.
+
+    One execution pass drives three consumers off the same event stream:
+    the interpreter's memory tracer (data accesses), the Pin-policy block
+    discovery + §4.1 edge filter + TEA replayer (the current trace), and
+    the cache hierarchy. Accesses are buffered per logical block and
+    charged to the trace the TEA lands in for that block; blocks in NTE
+    are charged to the cold bucket. *)
+
+type row = {
+  trace_id : int;        (** -1 for the cold (NTE) bucket *)
+  insns : int;           (** instructions attributed *)
+  i_accesses : int;
+  i_misses : int;        (** L1I misses *)
+  d_accesses : int;
+  d_misses : int;        (** L1D misses *)
+  access_cycles : int;   (** summed hierarchy latency *)
+}
+
+type report = {
+  rows : row list;       (** traces sorted by access cycles, descending *)
+  cold : row;
+  hierarchy : Hierarchy.t;
+  replay_coverage : float;
+}
+
+val profile :
+  ?config:Hierarchy.config ->
+  ?fuel:int ->
+  traces:Tea_traces.Trace.t list ->
+  Tea_isa.Image.t ->
+  report
+
+val render : report -> string
+(** Aligned table of the per-trace rows plus the cold bucket and the
+    hierarchy totals. *)

@@ -1,0 +1,79 @@
+type config = {
+  l1i : Cache.config;
+  l1d : Cache.config;
+  l2 : Cache.config option;
+  l1_hit_cycles : int;
+  l2_hit_cycles : int;
+  memory_cycles : int;
+}
+
+let default_config =
+  {
+    l1i = Cache.config ~size_bytes:(16 * 1024) ~line_bytes:64 ~ways:2;
+    l1d = Cache.config ~size_bytes:(32 * 1024) ~line_bytes:64 ~ways:4;
+    l2 = Some (Cache.config ~size_bytes:(256 * 1024) ~line_bytes:64 ~ways:8);
+    l1_hit_cycles = 2;
+    l2_hit_cycles = 12;
+    memory_cycles = 120;
+  }
+
+type t = {
+  cfg : config;
+  l1i : Cache.t;
+  l1d : Cache.t;
+  l2 : Cache.t option;
+  mutable cycles : int;
+}
+
+let create cfg =
+  {
+    cfg;
+    l1i = Cache.create cfg.l1i;
+    l1d = Cache.create cfg.l1d;
+    l2 = Option.map Cache.create cfg.l2;
+    cycles = 0;
+  }
+
+let through_l2 t addr =
+  match t.l2 with
+  | None -> t.cfg.memory_cycles
+  | Some l2 -> (
+      match Cache.access l2 addr with
+      | Cache.Hit -> t.cfg.l2_hit_cycles
+      | Cache.Miss -> t.cfg.l2_hit_cycles + t.cfg.memory_cycles)
+
+let access_level t l1 addr =
+  let latency =
+    match Cache.access l1 addr with
+    | Cache.Hit -> t.cfg.l1_hit_cycles
+    | Cache.Miss -> t.cfg.l1_hit_cycles + through_l2 t addr
+  in
+  t.cycles <- t.cycles + latency;
+  latency
+
+let fetch t addr = access_level t t.l1i addr
+
+let data t (_kind : Tea_machine.Memory.access_kind) addr = access_level t t.l1d addr
+
+type level_stats = { accesses : int; misses : int; miss_rate : float }
+
+let stats_of c =
+  { accesses = Cache.accesses c; misses = Cache.misses c; miss_rate = Cache.miss_rate c }
+
+let l1i_stats t = stats_of t.l1i
+
+let l1d_stats t = stats_of t.l1d
+
+let l2_stats t = Option.map stats_of t.l2
+
+let total_cycles t = t.cycles
+
+let pp fmt t =
+  let p name s =
+    Format.fprintf fmt "  %s: %d accesses, %d misses (%.2f%%)@." name s.accesses
+      s.misses (100.0 *. s.miss_rate)
+  in
+  Format.fprintf fmt "cache hierarchy (%d cycles):@." t.cycles;
+  p "L1I" (l1i_stats t);
+  p "L1D" (l1d_stats t);
+  match l2_stats t with Some s -> p "L2 " s | None -> ()

@@ -1,0 +1,38 @@
+(** A small two-level cache hierarchy: split L1 (instruction + data) over
+    an optional unified L2, with fixed per-level latencies. *)
+
+type config = {
+  l1i : Cache.config;
+  l1d : Cache.config;
+  l2 : Cache.config option;
+  l1_hit_cycles : int;
+  l2_hit_cycles : int;
+  memory_cycles : int;
+}
+
+val default_config : config
+(** 16 KB 2-way L1I and 32 KB 4-way L1D (64 B lines), 256 KB 8-way unified
+    L2; 2 / 12 / 120 cycles — small-core figures of the paper's era. *)
+
+type t
+
+val create : config -> t
+
+val fetch : t -> int -> int
+(** Instruction fetch at an address; returns the access latency. *)
+
+val data : t -> Tea_machine.Memory.access_kind -> int -> int
+(** Data access; returns the access latency. *)
+
+type level_stats = { accesses : int; misses : int; miss_rate : float }
+
+val l1i_stats : t -> level_stats
+
+val l1d_stats : t -> level_stats
+
+val l2_stats : t -> level_stats option
+
+val total_cycles : t -> int
+(** Accumulated access latency over all fetches and data accesses. *)
+
+val pp : Format.formatter -> t -> unit

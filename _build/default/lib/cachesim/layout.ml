@@ -1,0 +1,95 @@
+module Block = Tea_cfg.Block
+module Trace = Tea_traces.Trace
+module Tbb = Tea_traces.Tbb
+
+type result = {
+  accesses : int;
+  original_misses : int;
+  packed_misses : int;
+  original_rate : float;
+  packed_rate : float;
+  improvement : float;
+  trace_cache_bytes : int;
+}
+
+let default_cache = Cache.config ~size_bytes:4096 ~line_bytes:64 ~ways:2
+
+(* Pack every trace back to back in a dedicated region; returns the packed
+   base address of each TBB, keyed by automaton state id. *)
+let packed_layout auto traces =
+  let region_base = 0x60000000 in
+  let by_state = Hashtbl.create 256 in
+  let cursor = ref region_base in
+  List.iter
+    (fun (tr : Trace.t) ->
+      let states = Tea_core.Automaton.states_of_trace auto tr.Trace.id in
+      List.iteri
+        (fun i state ->
+          let tb = Trace.tbb tr i in
+          Hashtbl.replace by_state state !cursor;
+          cursor := !cursor + Tbb.byte_len tb)
+        states)
+    traces;
+  (by_state, !cursor - region_base)
+
+let study ?(cache = default_cache) ?fuel ~traces image =
+  let auto = Tea_core.Builder.build traces in
+  let trans =
+    Tea_core.Transition.create Tea_core.Transition.config_global_local auto
+  in
+  let replayer = Tea_core.Replayer.create trans in
+  let by_state, trace_cache_bytes = packed_layout auto traces in
+  let original = Cache.create cache in
+  let packed = Cache.create cache in
+  let line = cache.Cache.line_bytes in
+  let accesses = ref 0 in
+  (* touch every line a block's body spans, in both layouts *)
+  let touch block ~packed_base =
+    let len = max 1 block.Block.byte_len in
+    let rec lines off =
+      if off < len then begin
+        incr accesses;
+        ignore (Cache.access original (block.Block.start + off));
+        ignore (Cache.access packed (packed_base + off));
+        lines (off + line)
+      end
+    in
+    lines 0
+  in
+  let emit block ~expanded =
+    Tea_core.Replayer.feed_addr replayer ~insns:expanded block.Block.start;
+    let state = Tea_core.Replayer.state replayer in
+    let packed_base =
+      match Hashtbl.find_opt by_state state with
+      | Some base -> base
+      | None -> block.Block.start (* cold code keeps its layout *)
+    in
+    touch block ~packed_base
+  in
+  let filter = Tea_pinsim.Edge_filter.create ~emit in
+  let _ = Tea_pinsim.Pin.run ?fuel ~tool:(Tea_pinsim.Edge_filter.callbacks filter) image in
+  Tea_pinsim.Edge_filter.flush filter;
+  let om = Cache.misses original and pm = Cache.misses packed in
+  {
+    accesses = !accesses;
+    original_misses = om;
+    packed_misses = pm;
+    original_rate = Cache.miss_rate original;
+    packed_rate = Cache.miss_rate packed;
+    improvement =
+      (if om = 0 then 0.0 else 1.0 -. (float_of_int pm /. float_of_int om));
+    trace_cache_bytes;
+  }
+
+let render r =
+  Printf.sprintf
+    "code-layout study (%d line fetches):\n\
+    \  original layout: %d misses (%.3f%%)\n\
+    \  packed traces:   %d misses (%.3f%%) in a %d-byte trace cache\n\
+    \  I-cache miss reduction: %.1f%%\n"
+    r.accesses r.original_misses
+    (100.0 *. r.original_rate)
+    r.packed_misses
+    (100.0 *. r.packed_rate)
+    r.trace_cache_bytes
+    (100.0 *. r.improvement)

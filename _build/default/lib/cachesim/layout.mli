@@ -1,0 +1,33 @@
+(** Code-layout study: the I-cache benefit of a packed trace cache.
+
+    The paper's related work (§5) recalls why optimization systems use
+    traces at all: they "capture program's code locality" — Dynamo, FX!32
+    and hardware trace caches all pack logically-consecutive hot code
+    physically together. This study quantifies that benefit for a recorded
+    trace set without generating any code: the same execution's fetch
+    stream is pushed through two instruction caches, one fetching from the
+    original layout and one fetching hot blocks from their would-be
+    trace-cache addresses (traces packed back to back), with the TEA
+    replay deciding, block by block, whether execution is inside a trace
+    and in which TBB. *)
+
+type result = {
+  accesses : int;            (** line fetches simulated (per cache) *)
+  original_misses : int;
+  packed_misses : int;
+  original_rate : float;
+  packed_rate : float;
+  improvement : float;       (** 1 - packed/original (0 when original = 0) *)
+  trace_cache_bytes : int;   (** size of the packed region *)
+}
+
+val study :
+  ?cache:Cache.config ->
+  ?fuel:int ->
+  traces:Tea_traces.Trace.t list ->
+  Tea_isa.Image.t ->
+  result
+(** Default cache: 4 KB, 2-way, 64 B lines — small enough that layout
+    matters for synthetic workloads. *)
+
+val render : result -> string

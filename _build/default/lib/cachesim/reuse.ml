@@ -1,0 +1,99 @@
+module Fenwick = Tea_util.Fenwick
+
+type histogram = {
+  buckets : (int * int) array;
+  cold : int;
+  total : int;
+  distinct_lines : int;
+}
+
+type t = {
+  line_shift : int;
+  last : (int, int) Hashtbl.t;   (* line -> last access time *)
+  fen : Fenwick.t;               (* 1 at each line's last access time *)
+  counts : int array;            (* per power-of-two bucket *)
+  mutable cold : int;
+  mutable total : int;
+  mutable now : int;
+}
+
+let max_buckets = 40
+
+let create ?(line_bytes = 64) () =
+  if line_bytes < 4 || line_bytes land (line_bytes - 1) <> 0 then
+    invalid_arg "Reuse.create: bad line size";
+  {
+    line_shift =
+      int_of_float (Float.round (Float.log2 (float_of_int line_bytes)));
+    last = Hashtbl.create 4096;
+    fen = Fenwick.create ();
+    counts = Array.make max_buckets 0;
+    cold = 0;
+    total = 0;
+    now = 0;
+  }
+
+let bucket_of distance =
+  let rec go b n = if n = 0 then b else go (b + 1) (n lsr 1) in
+  min (max_buckets - 1) (go 0 distance)
+
+let touch t addr =
+  let line = addr lsr t.line_shift in
+  t.total <- t.total + 1;
+  (match Hashtbl.find_opt t.last line with
+  | Some t0 ->
+      let distance = Fenwick.range_sum t.fen (t0 + 1) (t.now - 1) in
+      t.counts.(bucket_of distance) <- t.counts.(bucket_of distance) + 1;
+      Fenwick.add t.fen t0 (-1)
+  | None -> t.cold <- t.cold + 1);
+  Fenwick.add t.fen t.now 1;
+  Hashtbl.replace t.last line t.now;
+  t.now <- t.now + 1
+
+let histogram t =
+  let top =
+    let rec go i = if i < 0 then 0 else if t.counts.(i) > 0 then i + 1 else go (i - 1) in
+    go (max_buckets - 1)
+  in
+  {
+    buckets = Array.init top (fun b -> (1 lsl b, t.counts.(b)));
+    cold = t.cold;
+    total = t.total;
+    distinct_lines = Hashtbl.length t.last;
+  }
+
+let hit_rate_for (h : histogram) k =
+  if h.total = 0 then 0.0
+  else begin
+    (* distances < k hit; bucket b holds distances in [2^(b-1), 2^b) except
+       bucket 0 which is exactly distance 0; count whole buckets whose upper
+       bound is <= k (a conservative floor for partial buckets) *)
+    let hits = ref 0 in
+    Array.iter (fun (ub, n) -> if ub <= k then hits := !hits + n) h.buckets;
+    float_of_int !hits /. float_of_int h.total
+  end
+
+let profile_data_stream ?line_bytes ?fuel image =
+  let t = create ?line_bytes () in
+  let machine = Tea_machine.Interp.create image in
+  Tea_machine.Memory.set_tracer
+    (Tea_machine.Interp.memory machine)
+    (Some (fun _kind addr -> touch t addr));
+  let _stop = Tea_machine.Interp.resume ?fuel machine in
+  Tea_machine.Memory.set_tracer (Tea_machine.Interp.memory machine) None;
+  histogram t
+
+let render (h : histogram) =
+  let buf = Buffer.create 256 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "reuse-distance histogram (%d accesses, %d distinct lines):\n" h.total
+    h.distinct_lines;
+  Array.iter
+    (fun (ub, n) ->
+      if n > 0 then
+        pr "  < %6d lines: %9d (%.1f%%)\n" ub n
+          (100.0 *. float_of_int n /. float_of_int (max 1 h.total)))
+    h.buckets;
+  pr "  cold:          %9d (%.1f%%)\n" h.cold
+    (100.0 *. float_of_int h.cold /. float_of_int (max 1 h.total));
+  Buffer.contents buf

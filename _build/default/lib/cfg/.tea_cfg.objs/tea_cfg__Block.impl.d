@@ -1,0 +1,1 @@
+lib/cfg/block.ml: Array Format Insn List Tea_isa

@@ -1,0 +1,1 @@
+lib/cfg/dcfg.ml: Block Buffer Discovery Hashtbl Int List Printf

@@ -1,0 +1,1 @@
+lib/cfg/dcfg.mli: Block Discovery

@@ -1,0 +1,1 @@
+lib/cfg/discovery.ml: Array Block Hashtbl Image Insn Int List Tea_isa Tea_machine

@@ -1,0 +1,1 @@
+lib/cfg/discovery.mli: Block Tea_isa Tea_machine

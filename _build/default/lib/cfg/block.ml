@@ -1,0 +1,56 @@
+open Tea_isa
+
+type end_kind =
+  | Branch
+  | Policy_split
+
+type t = {
+  start : int;
+  insns : (int * Insn.t) array;
+  byte_len : int;
+  end_kind : end_kind;
+}
+
+let make end_kind = function
+  | [] -> invalid_arg "Block.make: empty instruction list"
+  | insns ->
+      let arr = Array.of_list insns in
+      let start = fst arr.(0) in
+      let byte_len =
+        Array.fold_left (fun acc (_, i) -> acc + Insn.length i) 0 arr
+      in
+      { start; insns = arr; byte_len; end_kind }
+
+let n_insns b = Array.length b.insns
+
+let last_insn b = b.insns.(Array.length b.insns - 1)
+
+let terminator b = snd (last_insn b)
+
+let end_addr b =
+  let addr, i = last_insn b in
+  addr + Insn.length i
+
+let static_successors b _image =
+  let _, term = last_insn b in
+  let fall = if Insn.fallthrough_continues term then [ end_addr b ] else [] in
+  match Insn.direct_target term with
+  | Some tgt -> tgt :: fall
+  | None -> fall
+
+let has_indirect_exit b = Insn.is_indirect (terminator b)
+
+let exit_count b image =
+  List.length (static_successors b image) + (if has_indirect_exit b then 1 else 0)
+
+let equal a b = a.start = b.start && Array.length a.insns = Array.length b.insns
+
+let pp fmt b =
+  Format.fprintf fmt "[0x%x..0x%x) %d insns" b.start (end_addr b) (n_insns b)
+
+let pp_full fmt b =
+  Format.fprintf fmt "block 0x%x (%d insns, %d bytes):@." b.start (n_insns b)
+    b.byte_len;
+  Array.iter
+    (fun (a, i) -> Format.fprintf fmt "  0x%08x  %a@." a Insn.pp i)
+    b.insns

@@ -1,0 +1,50 @@
+(** Dynamic basic blocks (Definition 1 of the paper): a single-entry,
+    single-exit sequence of instructions, discovered at run time.
+
+    A block is identified by its start address *within one discovery
+    policy*; StarDBT and Pin disagree about boundaries (REP-prefixed and
+    [cpuid]-style instructions), which is exactly the implementation
+    challenge §4.1 of the paper describes. *)
+
+type end_kind =
+  | Branch        (** ends in a control-transfer instruction *)
+  | Policy_split  (** ended by the discovery policy (REP / cpuid under Pin) *)
+
+type t = {
+  start : int;
+  insns : (int * Tea_isa.Insn.t) array;  (** (address, instruction), in order *)
+  byte_len : int;                        (** encoded size of all instructions *)
+  end_kind : end_kind;
+}
+
+val make : end_kind -> (int * Tea_isa.Insn.t) list -> t
+(** Build a block from a non-empty instruction list.
+    @raise Invalid_argument on an empty list. *)
+
+val n_insns : t -> int
+
+val last_insn : t -> int * Tea_isa.Insn.t
+
+val terminator : t -> Tea_isa.Insn.t
+(** The final instruction (a branch for [Branch] blocks). *)
+
+val end_addr : t -> int
+(** Address just past the last instruction (the fall-through target). *)
+
+val static_successors : t -> Tea_isa.Image.t -> int list
+(** Statically-known successor addresses: direct branch target and/or
+    fall-through. Indirect targets are not included. *)
+
+val has_indirect_exit : t -> bool
+
+val exit_count : t -> Tea_isa.Image.t -> int
+(** Number of distinct static exit points (used by the code-cache stub
+    accounting): direct targets + fall-through + one for an indirect exit. *)
+
+val equal : t -> t -> bool
+(** Structural equality on (start, length). *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_full : Format.formatter -> t -> unit
+(** Multi-line listing of the block body. *)

@@ -1,0 +1,84 @@
+type t = {
+  blocks : (int, Block.t * int ref) Hashtbl.t;
+  edges : (int * int, int ref) Hashtbl.t;
+  mutable total_execs : int;
+  mutable total_insns : int;
+  mutable last : Block.t option;
+}
+
+let create () =
+  {
+    blocks = Hashtbl.create 256;
+    edges = Hashtbl.create 512;
+    total_execs = 0;
+    total_insns = 0;
+    last = None;
+  }
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> incr r
+  | None -> Hashtbl.replace tbl key (ref 1)
+
+let on_block t (b : Block.t) =
+  (match Hashtbl.find_opt t.blocks b.start with
+  | Some (_, r) -> incr r
+  | None -> Hashtbl.replace t.blocks b.start (b, ref 1));
+  t.total_execs <- t.total_execs + 1;
+  t.total_insns <- t.total_insns + Block.n_insns b;
+  t.last <- Some b
+
+let on_edge t (src : Block.t) dst = bump t.edges (src.start, dst)
+
+let callbacks t =
+  {
+    Discovery.on_block = on_block t;
+    Discovery.on_edge = (fun src dst -> on_edge t src dst);
+  }
+
+let tee a b =
+  {
+    Discovery.on_block =
+      (fun blk ->
+        a.Discovery.on_block blk;
+        b.Discovery.on_block blk);
+    Discovery.on_edge =
+      (fun src dst ->
+        a.Discovery.on_edge src dst;
+        b.Discovery.on_edge src dst);
+  }
+
+let block_count t addr =
+  match Hashtbl.find_opt t.blocks addr with Some (_, r) -> !r | None -> 0
+
+let edge_count t ~src ~dst =
+  match Hashtbl.find_opt t.edges (src, dst) with Some r -> !r | None -> 0
+
+let blocks t =
+  Hashtbl.fold (fun _ (b, r) acc -> (b, !r) :: acc) t.blocks []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a.Block.start b.Block.start)
+
+let edges t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.edges []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let total_block_execs t = t.total_execs
+
+let total_insns t = t.total_insns
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph dcfg {\n  node [shape=box fontname=monospace];\n";
+  List.iter
+    (fun (b, n) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"0x%x\" [label=\"0x%x\\n%d insns x%d\"];\n"
+           b.Block.start b.Block.start (Block.n_insns b) n))
+    (blocks t);
+  List.iter
+    (fun ((src, dst), n) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"0x%x\" -> \"0x%x\" [label=\"%d\"];\n" src dst n))
+    (edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

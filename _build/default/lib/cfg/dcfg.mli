@@ -1,0 +1,36 @@
+(** Dynamic control-flow graph accumulation.
+
+    Collects execution counts for blocks and edges from a
+    {!Discovery.callbacks} stream. The paper notes that TEA is "logically
+    similar to the dynamic control flow graph for the traces" but stores
+    only state information; this module provides the DCFG side of that
+    comparison, and feeds hotness information to the trace recorders. *)
+
+type t
+
+val create : unit -> t
+
+val callbacks : t -> Discovery.callbacks
+(** Callbacks that record into [t]; compose with others via {!tee}. *)
+
+val tee : Discovery.callbacks -> Discovery.callbacks -> Discovery.callbacks
+(** Fan one discovery stream out to two consumers (in order). *)
+
+val block_count : t -> int -> int
+(** Executions of the block starting at an address. *)
+
+val edge_count : t -> src:int -> dst:int -> int
+
+val blocks : t -> (Block.t * int) list
+(** Every recorded block with its execution count, sorted by start. *)
+
+val edges : t -> ((int * int) * int) list
+(** Every recorded edge ((src start, dst start), count). *)
+
+val total_block_execs : t -> int
+
+val total_insns : t -> int
+(** Dynamic instructions = sum over block executions of block size. *)
+
+val to_dot : t -> string
+(** Graphviz rendering with counts. *)

@@ -1,0 +1,107 @@
+open Tea_isa
+module Interp = Tea_machine.Interp
+
+type policy = Stardbt | Pin
+
+let policy_name = function Stardbt -> "stardbt" | Pin -> "pin"
+
+type callbacks = {
+  on_block : Block.t -> unit;
+  on_edge : Block.t -> int -> unit;
+}
+
+type t = {
+  image : Image.t;
+  pol : policy;
+  cb : callbacks;
+  cache : (int, Block.t) Hashtbl.t;
+  mutable current_rev : (int * Insn.t) list;
+}
+
+let create ?(policy = Stardbt) image cb =
+  { image; pol = policy; cb; cache = Hashtbl.create 256; current_rev = [] }
+
+let policy t = t.pol
+
+(* Complete the accumulated instructions into a block, reusing the cached
+   instance for its start address so downstream identity checks are cheap. *)
+let seal t end_kind =
+  match t.current_rev with
+  | [] -> None
+  | rev ->
+      let insns = List.rev rev in
+      let start = fst (List.hd insns) in
+      let block =
+        match Hashtbl.find_opt t.cache start with
+        | Some b when Array.length b.Block.insns = List.length insns -> b
+        | Some _ | None ->
+            let b = Block.make end_kind insns in
+            Hashtbl.replace t.cache start b;
+            b
+      in
+      t.current_rev <- [];
+      Some block
+
+let emit t block next =
+  t.cb.on_block block;
+  t.cb.on_edge block next
+
+(* A REP-prefixed instruction under the Pin policy: its own block, executed
+   once per iteration, with self-edges between iterations. *)
+let emit_rep_block t (ev : Interp.event) =
+  let block =
+    match Hashtbl.find_opt t.cache ev.pc with
+    | Some b -> b
+    | None ->
+        let b = Block.make Block.Policy_split [ (ev.pc, ev.insn) ] in
+        Hashtbl.replace t.cache ev.pc b;
+        b
+  in
+  for i = 1 to ev.reps do
+    let dst = if i < ev.reps then ev.pc else ev.next_pc in
+    emit t block dst
+  done
+
+let is_rep = function
+  | Insn.Rep_movs | Insn.Rep_stos -> true
+  | Insn.Nop | Insn.Cpuid | Insn.Halt | Insn.Mov _ | Insn.Lea _ | Insn.Alu _
+  | Insn.Inc _ | Insn.Dec _ | Insn.Neg _ | Insn.Imul _ | Insn.Shift _
+  | Insn.Cmp _ | Insn.Test _ | Insn.Jmp _ | Insn.Jmp_ind _ | Insn.Jcc _
+  | Insn.Call _ | Insn.Call_ind _ | Insn.Ret | Insn.Push _ | Insn.Pop _
+  | Insn.Sys _ -> false
+
+let feed t (ev : Interp.event) =
+  match t.pol with
+  | Pin when is_rep ev.insn ->
+      (match seal t Block.Policy_split with
+      | Some b -> emit t b ev.pc
+      | None -> ());
+      emit_rep_block t ev
+  | Pin when Insn.equal ev.insn Insn.Cpuid ->
+      t.current_rev <- (ev.pc, ev.insn) :: t.current_rev;
+      (match seal t Block.Policy_split with
+      | Some b -> emit t b ev.next_pc
+      | None -> assert false)
+  | Stardbt | Pin ->
+      t.current_rev <- (ev.pc, ev.insn) :: t.current_rev;
+      if Insn.is_branch ev.insn then
+        match seal t Block.Branch with
+        | Some b -> emit t b ev.next_pc
+        | None -> assert false
+
+let flush t =
+  match seal t Block.Policy_split with
+  | Some b -> t.cb.on_block b
+  | None -> ()
+
+let blocks t =
+  Hashtbl.fold (fun _ b acc -> b :: acc) t.cache []
+  |> List.sort (fun a b -> Int.compare a.Block.start b.Block.start)
+
+let block_at t addr = Hashtbl.find_opt t.cache addr
+
+let run ?policy ?fuel image cb =
+  let t = create ?policy image cb in
+  let machine, stop = Interp.run ?fuel ~on_event:(feed t) image in
+  flush t;
+  (machine, stop, t)

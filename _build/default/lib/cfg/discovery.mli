@@ -1,0 +1,56 @@
+(** Dynamic basic-block discovery.
+
+    Consumes the interpreter's per-instruction event stream and produces a
+    stream of executed blocks and the control-flow edges between them — the
+    exact observation point the paper instruments ("our pintool inserts the
+    instrumentation code on the taken and fall through edges", §4.1).
+
+    Two policies model the two frameworks:
+    - {!Stardbt}: a block runs from a control-transfer target to the next
+      control-transfer instruction; REP-prefixed instructions are ordinary
+      block members counted once.
+    - {!Pin}: additionally, a REP-prefixed instruction forms its own
+      single-instruction block that executes once per iteration (Pin
+      "creates a loop" for them), and [cpuid] forcibly ends its block.
+
+    The policies therefore disagree on block boundaries and on dynamic
+    instruction counts, reproducing the paper's Tables 2/3 coverage
+    mismatches. *)
+
+type policy = Stardbt | Pin
+
+val policy_name : policy -> string
+
+type callbacks = {
+  on_block : Block.t -> unit;       (** the block just finished executing *)
+  on_edge : Block.t -> int -> unit; (** control left the block for this address *)
+}
+
+type t
+
+val create : ?policy:policy -> Tea_isa.Image.t -> callbacks -> t
+(** Default policy is {!Stardbt}. *)
+
+val policy : t -> policy
+
+val feed : t -> Tea_machine.Interp.event -> unit
+(** Feed one executed instruction. [on_block]/[on_edge] fire as blocks
+    complete. *)
+
+val flush : t -> unit
+(** Emit any trailing partial block (program ended mid-block). No edge is
+    emitted for it. *)
+
+val blocks : t -> Block.t list
+(** Every distinct block discovered so far, sorted by start address. *)
+
+val block_at : t -> int -> Block.t option
+
+val run :
+  ?policy:policy ->
+  ?fuel:int ->
+  Tea_isa.Image.t ->
+  callbacks ->
+  Tea_machine.Interp.t * Tea_machine.Interp.stop * t
+(** Convenience: execute the image from scratch, feeding every event through
+    a fresh discovery instance, flushing at the end. *)

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Automaton Format Int List Printf Replayer Transition

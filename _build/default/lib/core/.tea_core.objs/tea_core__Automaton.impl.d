@@ -1,0 +1,1 @@
+lib/core/automaton.ml: Hashtbl Int List Option Printf Tea_traces Tea_util

@@ -1,0 +1,1 @@
+lib/core/automaton.mli: Tea_traces

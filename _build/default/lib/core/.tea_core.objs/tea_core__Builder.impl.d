@@ -1,0 +1,1 @@
+lib/core/builder.ml: Array Automaton List Printf Tea_cfg Tea_traces

@@ -1,0 +1,1 @@
+lib/core/builder.mli: Automaton Tea_traces

@@ -1,0 +1,1 @@
+lib/core/dot.ml: Automaton Buffer List Printf

@@ -1,0 +1,1 @@
+lib/core/online.mli: Automaton Tea_cfg Tea_traces Transition

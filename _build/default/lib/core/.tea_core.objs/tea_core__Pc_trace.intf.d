@@ -1,0 +1,1 @@
+lib/core/pc_trace.mli: Replayer Transition

@@ -1,0 +1,1 @@
+lib/core/replayer.ml: Automaton Hashtbl Int List Option Tea_cfg Transition

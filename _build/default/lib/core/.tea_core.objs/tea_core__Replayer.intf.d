@@ -1,0 +1,1 @@
+lib/core/replayer.mli: Automaton Tea_cfg Transition

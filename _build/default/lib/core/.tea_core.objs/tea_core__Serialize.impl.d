@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Automaton Buffer Builder Char Fun Hashtbl List Printf String Tea_traces

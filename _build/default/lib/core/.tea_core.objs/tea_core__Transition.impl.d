@@ -1,0 +1,1 @@
+lib/core/transition.ml: Array Automaton Hashtbl List Tea_btree

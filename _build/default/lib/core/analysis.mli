@@ -1,0 +1,43 @@
+(** Trace-quality analytics over a finished replay.
+
+    The paper's motivating use for TEA is collecting accurate profile
+    information about traces before (or without) generating trace code.
+    This module turns a {!Replayer}'s raw per-state counters into the
+    numbers a trace optimizer actually wants: per-trace execution and
+    completion behaviour, side-exit hot spots, and a hottest-traces
+    ranking. *)
+
+type trace_stats = {
+  trace_id : int;
+  entries : int;        (** times the trace was entered from its head *)
+  tbb_executions : int; (** total TBB executions inside the trace *)
+  insns_executed : int; (** instructions attributed to the trace *)
+  completion_ratio : float;
+      (** mean fraction of the trace's TBBs executed per entry: 1.0 means
+          every entry ran the full body, low values mean early exits *)
+}
+
+val per_trace : Replayer.t -> trace_stats list
+(** Stats for every trace with at least one entry, sorted by
+    [insns_executed] descending. *)
+
+val hottest : ?n:int -> Replayer.t -> trace_stats list
+(** Top [n] (default 10) traces by instructions executed. *)
+
+type exit_site = {
+  state : Automaton.state;
+  site_trace : int;
+  site_tbb : int;
+  block_start : int;
+  executions : int;     (** how often this TBB ran *)
+  out_edges : int;      (** stored in-trace out-edges of the state *)
+}
+
+val side_exit_candidates : ?n:int -> Replayer.t -> exit_site list
+(** Hot TBBs with no in-trace successors — the side exits an optimizer
+    would extend or the spots where the automaton falls back to NTE. *)
+
+val coverage_summary : Replayer.t -> string
+(** One-line human summary (coverage, enters, exits, hottest trace). *)
+
+val pp_trace_stats : Format.formatter -> trace_stats -> unit

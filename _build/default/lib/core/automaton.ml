@@ -1,0 +1,175 @@
+module Vec = Tea_util.Vec
+module Trace = Tea_traces.Trace
+module Tbb = Tea_traces.Tbb
+
+type state = int
+
+let nte = 0
+
+type info = {
+  trace_id : int;
+  tbb_index : int;
+  block_start : int;
+  n_insns : int;
+}
+
+type slot = {
+  mutable inf : info option;          (* None = tombstone *)
+  mutable edges : (int * state) list; (* (label, target) *)
+}
+
+type t = {
+  slots : slot Vec.t;                        (* index 0 reserved for NTE *)
+  head_by_addr : (int, state) Hashtbl.t;     (* entry addr -> head state *)
+  by_trace : (int, state list) Hashtbl.t;    (* trace id -> its states *)
+  entry_of_trace : (int, int) Hashtbl.t;     (* trace id -> entry addr *)
+  mutable live : int;
+  mutable n_edges : int;
+}
+
+let create () =
+  let slots = Vec.create () in
+  Vec.push slots { inf = None; edges = [] };
+  {
+    slots;
+    head_by_addr = Hashtbl.create 64;
+    by_trace = Hashtbl.create 64;
+    entry_of_trace = Hashtbl.create 64;
+    live = 0;
+    n_edges = 0;
+  }
+
+let slot t s = Vec.get t.slots s
+
+let remove_trace t id =
+  match Hashtbl.find_opt t.by_trace id with
+  | None -> ()
+  | Some states ->
+      List.iter
+        (fun s ->
+          let sl = slot t s in
+          if sl.inf <> None then begin
+            sl.inf <- None;
+            t.n_edges <- t.n_edges - List.length sl.edges;
+            sl.edges <- [];
+            t.live <- t.live - 1
+          end)
+        states;
+      Hashtbl.remove t.by_trace id;
+      (match Hashtbl.find_opt t.entry_of_trace id with
+      | Some addr ->
+          (* Only drop the head entry if it still points into this trace. *)
+          (match Hashtbl.find_opt t.head_by_addr addr with
+          | Some h when List.mem h states ->
+              Hashtbl.remove t.head_by_addr addr;
+              t.n_edges <- t.n_edges - 1
+          | Some _ | None -> ());
+          Hashtbl.remove t.entry_of_trace id
+      | None -> ())
+
+let add_trace t (trace : Trace.t) =
+  remove_trace t trace.Trace.id;
+  let n = Trace.n_tbbs trace in
+  let base = Vec.length t.slots in
+  (* States first (Algorithm 1 lines 3-5)... *)
+  for i = 0 to n - 1 do
+    let tb = Trace.tbb trace i in
+    Vec.push t.slots
+      {
+        inf =
+          Some
+            {
+              trace_id = trace.Trace.id;
+              tbb_index = i;
+              block_start = Tbb.start tb;
+              n_insns = Tbb.n_insns tb;
+            };
+        edges = [];
+      };
+    t.live <- t.live + 1
+  done;
+  (* ...then transitions (lines 6-17). In-trace successors become labelled
+     edges; everything else is the implicit default to NTE. *)
+  for i = 0 to n - 1 do
+    let sl = slot t (base + i) in
+    sl.edges <-
+      List.map
+        (fun j -> (Tbb.start (Trace.tbb trace j), base + j))
+        (Trace.successors trace i);
+    t.n_edges <- t.n_edges + List.length sl.edges
+  done;
+  (* NTE -> head, labelled with the trace entry (lines 15-17). *)
+  let entry = Trace.entry trace in
+  (match Hashtbl.find_opt t.head_by_addr entry with
+  | Some _ -> ()
+  | None -> t.n_edges <- t.n_edges + 1);
+  Hashtbl.replace t.head_by_addr entry base;
+  Hashtbl.replace t.entry_of_trace trace.Trace.id entry;
+  Hashtbl.replace t.by_trace trace.Trace.id (List.init n (fun i -> base + i))
+
+let n_states t = t.live
+
+let n_transitions t = t.n_edges
+
+let state_info t s = if s = nte then None else (slot t s).inf
+
+let is_live t s = s <> nte && (slot t s).inf <> None
+
+let next_in_trace t s label =
+  if s = nte then None else List.assoc_opt label (slot t s).edges
+
+let edges_of t s = if s = nte then [] else (slot t s).edges
+
+let head_of t addr = Hashtbl.find_opt t.head_by_addr addr
+
+let heads t =
+  Hashtbl.fold (fun a s acc -> (a, s) :: acc) t.head_by_addr []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let states_of_trace t id =
+  Option.value (Hashtbl.find_opt t.by_trace id) ~default:[]
+
+let trace_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.by_trace [] |> List.sort Int.compare
+
+let header_bytes = 16
+
+let state_bytes = 8
+
+let transition_bytes = 5
+
+let byte_size t =
+  header_bytes + (state_bytes * t.live) + (transition_bytes * t.n_edges)
+
+let iter_live f t =
+  Vec.iteri
+    (fun s sl -> match sl.inf with Some inf -> f s inf | None -> ())
+    t.slots
+
+let check_deterministic t =
+  let dup_label edges =
+    let seen = Hashtbl.create 8 in
+    List.exists
+      (fun (label, _) ->
+        if Hashtbl.mem seen label then true
+        else begin
+          Hashtbl.add seen label ();
+          false
+        end)
+      edges
+  in
+  let bad = ref None in
+  Vec.iteri
+    (fun s sl ->
+      if !bad = None && sl.inf <> None && dup_label sl.edges then
+        bad := Some (Printf.sprintf "state %d has duplicate labels" s))
+    t.slots;
+  (match !bad with
+  | None ->
+      Hashtbl.iter
+        (fun addr s ->
+          if !bad = None && not (is_live t s) then
+            bad := Some (Printf.sprintf "head 0x%x points to dead state %d" addr s))
+        t.head_by_addr
+  | Some _ -> ());
+  match !bad with None -> Ok () | Some m -> Error m

@@ -1,0 +1,78 @@
+(** The Trace Execution Automaton — the paper's contribution.
+
+    A DFA whose states are the TBBs of every recorded trace plus the
+    distinguished NTE state ("No Trace being Executed", state 0). A
+    transition is labelled with the program counter that triggers it: the
+    start address of the successor TBB's block. Explicitly stored
+    transitions are the in-trace edges and the NTE → trace-head entries;
+    every unmatched label implicitly leads to NTE (cold code), which is the
+    default sink the paper's Algorithm 1 expresses as TBB → NTE
+    transitions.
+
+    Traces recorded by tree strategies grow over time; {!add_trace} with an
+    already-known trace id *replaces* the old version (its states become
+    tombstones — state ids are never reused, so replay profiles stay
+    unambiguous). *)
+
+type state = int
+(** 0 is always NTE. *)
+
+val nte : state
+
+type info = {
+  trace_id : int;
+  tbb_index : int;
+  block_start : int;  (** transition label that leads into this state *)
+  n_insns : int;      (** size of the underlying block, for coverage *)
+}
+
+type t
+
+val create : unit -> t
+
+val add_trace : t -> Tea_traces.Trace.t -> unit
+(** Add every TBB of the trace as a state, its in-trace edges as labelled
+    transitions, and an NTE → head transition labelled with the trace
+    entry. Replaces any previous trace with the same id. *)
+
+val remove_trace : t -> int -> unit
+(** Tombstone all states of a trace id (no-op if unknown). *)
+
+val n_states : t -> int
+(** Live TBB states (NTE not counted). *)
+
+val n_transitions : t -> int
+(** Stored transitions: in-trace edges + NTE→head entries. *)
+
+val state_info : t -> state -> info option
+(** [None] for NTE and for tombstoned states. *)
+
+val is_live : t -> state -> bool
+
+val next_in_trace : t -> state -> int -> state option
+(** The explicit in-trace transition out of a state on a label, if any.
+    Never matches from NTE. *)
+
+val edges_of : t -> state -> (int * state) list
+(** Explicit out-edges (label, target) of a TBB state. *)
+
+val head_of : t -> int -> state option
+(** The trace-head state entered from NTE on this address. *)
+
+val heads : t -> (int * state) list
+(** All (entry address, head state) pairs, sorted by address. *)
+
+val states_of_trace : t -> int -> state list
+
+val trace_ids : t -> int list
+
+val byte_size : t -> int
+(** Size of the compact serialized representation — Table 1's "TEA"
+    column: 16-byte header + 8 bytes per state + 5 bytes per stored
+    transition (see DESIGN.md, "Memory-accounting model"). *)
+
+val iter_live : (state -> info -> unit) -> t -> unit
+
+val check_deterministic : t -> (unit, string) result
+(** No state has two out-transitions with one label; at most one head per
+    address. Property tests call this after every construction path. *)

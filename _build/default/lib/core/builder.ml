@@ -1,0 +1,80 @@
+module Trace = Tea_traces.Trace
+module Tbb = Tea_traces.Tbb
+
+let add_all auto traces = List.iter (Automaton.add_trace auto) traces
+
+let build traces =
+  let auto = Automaton.create () in
+  add_all auto traces;
+  auto
+
+let of_set set = build (Tea_traces.Trace_set.to_list set)
+
+(* A cyclic superblock is a chain 0 -> 1 -> ... -> n-1 whose last TBB loops
+   back to some interior index k. Both transforms replicate the loop body
+   [k..n-1] [factor] times; the prologue [0..k-1] stays single. They differ
+   in what the copies point at: duplication reuses the original blocks
+   (replayable), unrolling clones them to fresh addresses (Figure 1(c) —
+   not replayable, which is the motivation for duplication). *)
+let cycle_target_of (tr : Trace.t) =
+  let n = Trace.n_tbbs tr in
+  let rec check i =
+    if i = n - 1 then
+      match Trace.successors tr i with [ k ] when k <= i -> Some k | _ -> None
+    else
+      match Trace.successors tr i with
+      | [ j ] when j = i + 1 -> check (i + 1)
+      | _ -> None
+  in
+  if n = 0 then None else check 0
+
+let replicate ~what ~factor ~clone tr =
+  if factor < 2 then
+    invalid_arg (Printf.sprintf "Builder.%s: factor must be >= 2" what);
+  match cycle_target_of tr with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Builder.%s: trace is not a cyclic superblock" what)
+  | Some k ->
+      let n = Trace.n_tbbs tr in
+      let body_len = n - k in
+      let total = k + (body_len * factor) in
+      let block_at i =
+        let src = if i < k then i else k + ((i - k) mod body_len) in
+        let copy = if i < k then 0 else (i - k) / body_len in
+        clone ~copy (Trace.tbb tr src).Tbb.block
+      in
+      let blocks = Array.init total block_at in
+      let succs =
+        Array.init total (fun i -> if i + 1 < total then [ i + 1 ] else [ k ])
+      in
+      (blocks, succs)
+
+let duplicate_trace ~factor (tr : Trace.t) =
+  let blocks, succs =
+    replicate ~what:"duplicate_trace" ~factor ~clone:(fun ~copy:_ b -> b) tr
+  in
+  Trace.make ~id:tr.Trace.id ~kind:(tr.Trace.kind ^ "-dup") blocks succs
+
+let unroll_trace ~factor ~clone_base (tr : Trace.t) =
+  (* Each copy shifts the whole body uniformly into its own region, so
+     clones keep their relative layout, never collide with each other and
+     (the caller picks [clone_base]) not with the program text either. *)
+  let region = 0x100000 in
+  let body_origin =
+    match cycle_target_of tr with
+    | Some k -> Tbb.start (Trace.tbb tr k)
+    | None -> invalid_arg "Builder.unroll_trace: trace is not a cyclic superblock"
+  in
+  (* Every copy is cloned — the optimizer emits the whole unrolled trace,
+     first iteration included, into fresh trace-cache memory. *)
+  let clone ~copy (b : Tea_cfg.Block.t) =
+    let shift = clone_base + (copy * region) - body_origin in
+    let insns =
+      Array.to_list
+        (Array.map (fun (a, i) -> (a + shift, i)) b.Tea_cfg.Block.insns)
+    in
+    Tea_cfg.Block.make b.Tea_cfg.Block.end_kind insns
+  in
+  let blocks, succs = replicate ~what:"unroll_trace" ~factor ~clone tr in
+  Trace.make ~id:tr.Trace.id ~kind:(tr.Trace.kind ^ "-unroll") blocks succs

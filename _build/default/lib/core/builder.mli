@@ -1,0 +1,41 @@
+(** Algorithm 1 of the paper: converting a set of traces into a TEA.
+
+    Properties proved in the paper and enforced here:
+    - Property 1: the TEA has a state for every TBB;
+    - Property 2: the TEA has a transition for every represented TBB
+      successor (in-trace successors explicitly; all others via the NTE
+      default sink).
+
+    Also provides the Figure 1 motivation transform: *duplicating* a cyclic
+    trace so that a replayed DFA can gather per-copy profiles that remain
+    valid for the unrolled trace an optimizer would emit. *)
+
+val build : Tea_traces.Trace.t list -> Automaton.t
+(** Algorithm 1 verbatim: fresh TEA containing exactly the given traces. *)
+
+val add_all : Automaton.t -> Tea_traces.Trace.t list -> unit
+
+val of_set : Tea_traces.Trace_set.t -> Automaton.t
+
+val duplicate_trace :
+  factor:int -> Tea_traces.Trace.t -> Tea_traces.Trace.t
+(** [duplicate_trace ~factor tr] unrolls a *cyclic superblock* trace
+    (a chain whose last TBB loops back to an interior TBB) into [factor]
+    copies of its loop body chained in sequence, with the final copy
+    looping back — Figure 1(d). Every copy still refers to the *original*
+    block addresses, so the resulting TEA can replay against the unmodified
+    program. The duplicated trace keeps [tr]'s id.
+    @raise Invalid_argument if [factor < 2] or the trace is not a cyclic
+    superblock. *)
+
+val unroll_trace :
+  factor:int -> clone_base:int -> Tea_traces.Trace.t -> Tea_traces.Trace.t
+(** [unroll_trace ~factor ~clone_base tr] is Figure 1(c): what an optimizer
+    actually emits — the loop body copied [factor] times into *new code*
+    at synthetic trace-cache addresses starting at [clone_base]. The
+    paper's point is that this trace is useless for replay: its block
+    addresses never appear in the original program's execution, so a TEA
+    built from it finds "no corresponding executable code" and never
+    leaves NTE (tested in the suite; demonstrated in
+    examples/unroll_profiling.ml). Same preconditions as
+    {!duplicate_trace}. *)

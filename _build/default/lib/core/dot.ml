@@ -1,0 +1,35 @@
+let of_automaton ?(title = "tea") auto =
+  let buf = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph %S {\n" title;
+  pr "  rankdir=TB;\n  node [shape=ellipse fontname=monospace];\n";
+  pr "  NTE [shape=doublecircle];\n";
+  let name s =
+    match Automaton.state_info auto s with
+    | Some info -> Printf.sprintf "\"$$T%d.%d@0x%x\"" info.Automaton.trace_id
+                     info.Automaton.tbb_index info.Automaton.block_start
+    | None -> "NTE"
+  in
+  List.iter
+    (fun id ->
+      pr "  subgraph cluster_t%d {\n    label=\"trace %d\";\n" id id;
+      List.iter
+        (fun s -> if Automaton.is_live auto s then pr "    %s;\n" (name s))
+        (Automaton.states_of_trace auto id);
+      pr "  }\n")
+    (Automaton.trace_ids auto);
+  (* In-trace transitions, plus a dashed default edge to NTE for states with
+     side exits. *)
+  Automaton.iter_live
+    (fun s _ ->
+      let edges = Automaton.edges_of auto s in
+      List.iter
+        (fun (label, dst) -> pr "  %s -> %s [label=\"0x%x\"];\n" (name s) (name dst) label)
+        edges;
+      pr "  %s -> NTE [style=dashed color=gray];\n" (name s))
+    auto;
+  List.iter
+    (fun (addr, head) -> pr "  NTE -> %s [label=\"0x%x\"];\n" (name head) addr)
+    (Automaton.heads auto);
+  pr "}\n";
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** Graphviz rendering of a TEA — the Figure 3 pictures. *)
+
+val of_automaton : ?title:string -> Automaton.t -> string
+(** DOT source: the NTE state, one cluster per trace with its TBB states
+    named [$$Ti.0x<addr>], in-trace transitions labelled with their PC, and
+    the NTE → head entry transitions. Implicit default-to-NTE edges are
+    drawn dashed from states that have a side exit. *)

@@ -1,0 +1,100 @@
+module Block = Tea_cfg.Block
+module Recorder = Tea_traces.Recorder
+module Trace_set = Tea_traces.Trace_set
+
+type phase = Executing | Creating
+
+type packed =
+  | Packed : (module Recorder.STRATEGY with type t = 'a) * 'a -> packed
+
+type t = {
+  packed : packed;
+  auto : Automaton.t;
+  trans : Transition.t;
+  set : Trace_set.t;
+  mutable ph : phase;
+  mutable state : Automaton.state;
+  mutable prev : Block.t option;
+  mutable covered : int;
+  mutable total : int;
+}
+
+let create ?(config = Recorder.default_config)
+    ?(transition = Transition.config_global_local)
+    (strategy : Recorder.strategy) =
+  let (module S : Recorder.STRATEGY) = strategy in
+  let auto = Automaton.create () in
+  {
+    packed = Packed ((module S), S.create config);
+    auto;
+    trans = Transition.create transition auto;
+    set = Trace_set.create ();
+    ph = Executing;
+    state = Automaton.nte;
+    prev = None;
+    covered = 0;
+    total = 0;
+  }
+
+let account t next =
+  t.total <- t.total + Block.n_insns next;
+  if t.state <> Automaton.nte then t.covered <- t.covered + Block.n_insns next
+
+let install t trace =
+  Trace_set.add t.set trace;
+  Automaton.add_trace t.auto trace;
+  Transition.refresh t.trans
+
+let feed t next =
+  let (Packed ((module S), s)) = t.packed in
+  let current = t.prev in
+  (match t.ph with
+  | Executing ->
+      (* ChangeState, then TriggerTraceRecording. *)
+      t.state <- Transition.step t.trans t.state next.Block.start;
+      account t next;
+      if S.trigger s ~current ~next then begin
+        S.start s ~current ~next;
+        t.ph <- Creating
+      end
+  | Creating -> (
+      match current with
+      | None -> assert false (* Creating implies at least one prior block *)
+      | Some cur -> (
+          match S.add s ~current:cur ~next with
+          | `Continue ->
+              (* Blocks being recorded execute cold; the TEA stays at NTE. *)
+              account t next
+          | `Done completed ->
+              (match completed with Some tr -> install t tr | None -> ());
+              t.ph <- Executing;
+              t.state <- Transition.step t.trans t.state next.Block.start;
+              account t next)));
+  t.prev <- Some next
+
+let finish t =
+  let (Packed ((module S), s)) = t.packed in
+  match S.abort s with
+  | Some tr ->
+      install t tr;
+      t.ph <- Executing
+  | None -> t.ph <- Executing
+
+let phase t = t.ph
+
+let tea_state t = t.state
+
+let automaton t = t.auto
+
+let transition t = t.trans
+
+let traces t = Trace_set.to_list t.set
+
+let trace_set t = t.set
+
+let covered_insns t = t.covered
+
+let total_insns t = t.total
+
+let coverage t =
+  if t.total = 0 then 0.0 else float_of_int t.covered /. float_of_int t.total

@@ -1,0 +1,53 @@
+(** Algorithm 2 of the paper: using TEA to record traces online.
+
+    Trace recording is a three-state machine — Initial, Executing,
+    Creating — invoked on every TBB-to-TBB transition. In Executing it
+    advances the TEA ({!Transition.step}, the paper's [ChangeState]) and
+    asks the selection strategy whether to start recording
+    ([TriggerTraceRecording]); in Creating it feeds blocks to the strategy
+    ([AddTBBToTrace]) until the strategy finishes the trace
+    ([DoneTraceRecording] / [FinishTrace]), at which point the trace is
+    added to the automaton and the machine returns to Executing.
+
+    The Initial state's work ([InitializeTEA]) happens in {!create}, before
+    the program runs. *)
+
+type phase = Executing | Creating
+
+type t
+
+val create :
+  ?config:Tea_traces.Recorder.config ->
+  ?transition:Transition.config ->
+  Tea_traces.Recorder.strategy ->
+  t
+(** Fresh recorder around a selection strategy. Defaults:
+    {!Tea_traces.Recorder.default_config} and
+    {!Transition.config_global_local}. *)
+
+val feed : t -> Tea_cfg.Block.t -> unit
+(** The block that is about to execute; the previously-fed block is the
+    algorithm's [Current]. Wire this to {!Tea_cfg.Discovery} [on_block]. *)
+
+val finish : t -> unit
+(** Program ended: lets the strategy salvage or drop a partial recording. *)
+
+val phase : t -> phase
+
+val tea_state : t -> Automaton.state
+
+val automaton : t -> Automaton.t
+
+val transition : t -> Transition.t
+
+val traces : t -> Tea_traces.Trace.t list
+
+val trace_set : t -> Tea_traces.Trace_set.t
+
+val covered_insns : t -> int
+(** Instructions executed while the TEA was in a non-NTE state. *)
+
+val total_insns : t -> int
+
+val coverage : t -> float
+(** [covered / total]; 0 when nothing ran. *)

@@ -1,0 +1,81 @@
+type writer = {
+  oc : out_channel;
+  mutable prev : int;
+  mutable closed : bool;
+}
+
+let magic = "TEAPC1\n"
+
+exception Corrupt of string
+
+let open_writer path =
+  let oc = open_out_bin path in
+  output_string oc magic;
+  { oc; prev = 0; closed = false }
+
+let zigzag v = if v >= 0 then v lsl 1 else ((-v) lsl 1) - 1
+
+let unzigzag v = if v land 1 = 0 then v lsr 1 else -((v + 1) lsr 1)
+
+let rec write_varint oc v =
+  if v < 0x80 then output_byte oc v
+  else begin
+    output_byte oc (0x80 lor (v land 0x7F));
+    write_varint oc (v lsr 7)
+  end
+
+let write w ~start ~insns =
+  if w.closed then invalid_arg "Pc_trace.write: writer closed";
+  if insns < 0 then invalid_arg "Pc_trace.write: negative instruction count";
+  write_varint w.oc (zigzag (start - w.prev));
+  write_varint w.oc insns;
+  w.prev <- start
+
+let close_writer w =
+  if not w.closed then begin
+    w.closed <- true;
+    close_out w.oc
+  end
+
+let read_varint ic =
+  let rec go shift acc =
+    match input_byte ic with
+    | exception End_of_file -> raise (Corrupt "truncated varint")
+    | b ->
+        let acc = acc lor ((b land 0x7F) lsl shift) in
+        if b land 0x80 = 0 then acc
+        else if shift > 56 then raise (Corrupt "varint too long")
+        else go (shift + 7) acc
+  in
+  go 0 0
+
+let fold path init f =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = really_input_string ic (String.length magic) in
+      if header <> magic then raise (Corrupt "bad magic");
+      let rec loop acc prev =
+        (* detect EOF cleanly at a record boundary *)
+        match input_byte ic with
+        | exception End_of_file -> acc
+        | first ->
+            let delta =
+              if first land 0x80 = 0 then unzigzag first
+              else
+                let rest = read_varint ic in
+                unzigzag ((first land 0x7F) lor (rest lsl 7))
+            in
+            let insns = read_varint ic in
+            let start = prev + delta in
+            loop (f acc ~start ~insns) start
+      in
+      loop init 0)
+
+let length path = fold path 0 (fun n ~start:_ ~insns:_ -> n + 1)
+
+let replay trans path =
+  let rep = Replayer.create trans in
+  fold path () (fun () ~start ~insns -> Replayer.feed_addr rep ~insns start);
+  rep

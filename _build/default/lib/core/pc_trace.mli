@@ -1,0 +1,34 @@
+(** Compact program-counter trace files.
+
+    The fully decoupled replay story: an execution's logical-block stream
+    (block start address + dynamic instruction count) is written to a
+    compact binary file — zig-zag delta encoding plus LEB128 varints, a few
+    bits per block in loops — and the TEA can later be replayed against
+    that file with no program, no interpreter and no frontend present.
+    This is what shipping a trace from a production system to an analysis
+    box looks like.
+
+    Format: magic ["TEAPC1\n"], then per block a varint-encoded zig-zag
+    delta from the previous start address followed by a varint instruction
+    count. *)
+
+type writer
+
+val open_writer : string -> writer
+
+val write : writer -> start:int -> insns:int -> unit
+
+val close_writer : writer -> unit
+(** @raise Sys_error on I/O failure. Idempotent. *)
+
+exception Corrupt of string
+
+val fold : string -> 'a -> ('a -> start:int -> insns:int -> 'a) -> 'a
+(** Stream the file through a folder. @raise Corrupt on bad framing. *)
+
+val length : string -> int
+(** Number of block records. *)
+
+val replay : Transition.t -> string -> Replayer.t
+(** Replay a TEA against a trace file: the offline half of the
+    cross-system workflow. *)

@@ -1,0 +1,107 @@
+type config = {
+  window : int;
+  max_stable_exit_ratio : float;
+  min_stable_coverage : float;
+}
+
+let default_config =
+  { window = 2048; max_stable_exit_ratio = 0.02; min_stable_coverage = 0.8 }
+
+type segment = {
+  first_step : int;
+  last_step : int;
+  stable : bool;
+  exit_ratio : float;
+  in_trace_ratio : float;
+}
+
+type t = {
+  cfg : config;
+  mutable prev : Automaton.state;
+  mutable steps : int;
+  mutable window_steps : int;
+  mutable window_exits : int;
+  mutable window_in_trace : int;
+  mutable segments_rev : segment list;
+  mutable stable_total : int;
+}
+
+let create ?(config = default_config) () =
+  if config.window < 1 then invalid_arg "Phases.create: window must be positive";
+  {
+    cfg = config;
+    prev = Automaton.nte;
+    steps = 0;
+    window_steps = 0;
+    window_exits = 0;
+    window_in_trace = 0;
+    segments_rev = [];
+    stable_total = 0;
+  }
+
+(* Merge a classified window into the segment list: extend the last segment
+   when stability matches, else open a new one. *)
+let close_window t =
+  if t.window_steps > 0 then begin
+    let steps = float_of_int t.window_steps in
+    let ratio = float_of_int t.window_exits /. steps in
+    let coverage = float_of_int t.window_in_trace /. steps in
+    let stable =
+      ratio <= t.cfg.max_stable_exit_ratio
+      && coverage >= t.cfg.min_stable_coverage
+    in
+    let first = t.steps - t.window_steps in
+    let last = t.steps - 1 in
+    if stable then t.stable_total <- t.stable_total + t.window_steps;
+    (match t.segments_rev with
+    | seg :: rest when seg.stable = stable ->
+        let merged_steps = float_of_int (last - seg.first_step + 1) in
+        let prev_steps = float_of_int (seg.last_step - seg.first_step + 1) in
+        let exit_ratio =
+          ((seg.exit_ratio *. prev_steps) +. float_of_int t.window_exits)
+          /. merged_steps
+        in
+        let in_trace_ratio =
+          ((seg.in_trace_ratio *. prev_steps) +. float_of_int t.window_in_trace)
+          /. merged_steps
+        in
+        t.segments_rev <- { seg with last_step = last; exit_ratio; in_trace_ratio } :: rest
+    | segs ->
+        t.segments_rev <-
+          { first_step = first; last_step = last; stable; exit_ratio = ratio;
+            in_trace_ratio = coverage }
+          :: segs);
+    t.window_steps <- 0;
+    t.window_exits <- 0;
+    t.window_in_trace <- 0
+  end
+
+let feed t state =
+  let exited = t.prev <> Automaton.nte && state = Automaton.nte in
+  t.prev <- state;
+  t.steps <- t.steps + 1;
+  t.window_steps <- t.window_steps + 1;
+  if exited then t.window_exits <- t.window_exits + 1;
+  if state <> Automaton.nte then t.window_in_trace <- t.window_in_trace + 1;
+  if t.window_steps >= t.cfg.window then close_window t
+
+let finish t = close_window t
+
+let segments t = List.rev t.segments_rev
+
+let stable_steps t = t.stable_total
+
+let total_steps t = t.steps
+
+let n_phases t =
+  List.length (List.filter (fun s -> s.stable) (segments t))
+
+let pp fmt t =
+  Format.fprintf fmt "%d steps, %d phases:@." (total_steps t) (n_phases t);
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  [%d..%d] %s (exit ratio %.4f, in-trace %.2f)@."
+        s.first_step s.last_step
+        (if s.stable then "stable" else "transition")
+        s.exit_ratio s.in_trace_ratio)
+    (segments t)

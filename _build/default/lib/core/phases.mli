@@ -1,0 +1,58 @@
+(** Phase detection from trace stability.
+
+    The paper's related work (§5, Wimmer et al. [22]) describes using
+    traces for program phase detection: while execution stays inside the
+    recorded traces (few side exits), the program is in a stable phase;
+    when the trace exit ratio rises, it is moving between phases. This
+    module implements that detector over the TEA replay state stream — one
+    more consumer of the "map the PC to a TBB" capability.
+
+    Feed it the automaton state after every replay step; it classifies
+    fixed-size windows by their trace-exit ratio and coalesces consecutive
+    windows into stable / unstable segments. *)
+
+type config = {
+  window : int;             (** steps per classification window *)
+  max_stable_exit_ratio : float;
+      (** a stable window's exits/steps is at most this *)
+  min_stable_coverage : float;
+      (** ...and at least this fraction of its steps is inside traces
+          (cold stretches are "between phases" too, even without exit
+          thrashing) *)
+}
+
+val default_config : config
+(** [{window = 2048; max_stable_exit_ratio = 0.02;
+     min_stable_coverage = 0.8}] *)
+
+type segment = {
+  first_step : int;   (** inclusive, 0-based step index *)
+  last_step : int;    (** inclusive *)
+  stable : bool;
+  exit_ratio : float; (** over the whole segment *)
+  in_trace_ratio : float;
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val feed : t -> Automaton.state -> unit
+(** The automaton state after a replay step (track NTE crossings
+    internally). *)
+
+val finish : t -> unit
+(** Close the trailing (possibly partial) window. *)
+
+val segments : t -> segment list
+(** Chronological segments; adjacent segments always differ in
+    stability. *)
+
+val stable_steps : t -> int
+
+val total_steps : t -> int
+
+val n_phases : t -> int
+(** Number of stable segments — the detected phases. *)
+
+val pp : Format.formatter -> t -> unit

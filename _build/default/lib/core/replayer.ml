@@ -1,0 +1,68 @@
+module Block = Tea_cfg.Block
+
+type t = {
+  trans : Transition.t;
+  counts : (Automaton.state, int) Hashtbl.t;
+  mutable state : Automaton.state;
+  mutable covered : int;
+  mutable total : int;
+  mutable enters : int;
+  mutable exits : int;
+}
+
+let create trans =
+  {
+    trans;
+    counts = Hashtbl.create 256;
+    state = Automaton.nte;
+    covered = 0;
+    total = 0;
+    enters = 0;
+    exits = 0;
+  }
+
+let feed_addr t ?(insns = 0) addr =
+  let prev = t.state in
+  let next = Transition.step t.trans prev addr in
+  t.state <- next;
+  t.total <- t.total + insns;
+  if next <> Automaton.nte then begin
+    t.covered <- t.covered + insns;
+    Hashtbl.replace t.counts next
+      (1 + Option.value (Hashtbl.find_opt t.counts next) ~default:0)
+  end;
+  if prev = Automaton.nte && next <> Automaton.nte then t.enters <- t.enters + 1;
+  if prev <> Automaton.nte && next = Automaton.nte then t.exits <- t.exits + 1
+
+let feed t (b : Block.t) = feed_addr t ~insns:(Block.n_insns b) b.Block.start
+
+let state t = t.state
+
+let covered_insns t = t.covered
+
+let total_insns t = t.total
+
+let coverage t =
+  if t.total = 0 then 0.0 else float_of_int t.covered /. float_of_int t.total
+
+let trace_enters t = t.enters
+
+let trace_exits t = t.exits
+
+let tbb_counts t =
+  Hashtbl.fold (fun s n acc -> (s, n) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let count_of_state t s = Option.value (Hashtbl.find_opt t.counts s) ~default:0
+
+let trace_profile t id =
+  let auto = Transition.automaton t.trans in
+  List.filter_map
+    (fun s ->
+      match Automaton.state_info auto s with
+      | Some info -> Some (info.Automaton.tbb_index, count_of_state t s)
+      | None -> None)
+    (Automaton.states_of_trace auto id)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let transition t = t.trans

@@ -1,0 +1,45 @@
+(** Replaying recorded traces against an unmodified program execution.
+
+    The replayer feeds every executed block's start address into the TEA.
+    The automaton state then *is* the precise answer to "which TBB of which
+    trace is executing right now" — including distinguishing the different
+    instances of a duplicated block (the paper's \$\$T1.next vs \$\$T2.next
+    example) — without any trace code existing. Per-state execution
+    counters are the profile the paper collects this way. *)
+
+type t
+
+val create : Transition.t -> t
+
+val feed : t -> Tea_cfg.Block.t -> unit
+(** The block about to execute. Wire to {!Tea_cfg.Discovery} [on_block]. *)
+
+val feed_addr : t -> ?insns:int -> int -> unit
+(** Lower-level variant: a block start address and its instruction count
+    (default 0 — no coverage accounting), for replaying from an externally
+    recorded address stream. *)
+
+val state : t -> Automaton.state
+
+val covered_insns : t -> int
+
+val total_insns : t -> int
+
+val coverage : t -> float
+
+val trace_enters : t -> int
+(** NTE → trace transitions taken. *)
+
+val trace_exits : t -> int
+(** Trace → NTE transitions taken. *)
+
+val tbb_counts : t -> (Automaton.state * int) list
+(** Execution count per TEA state, sorted by state id. *)
+
+val count_of_state : t -> Automaton.state -> int
+
+val trace_profile : t -> int -> (int * int) list
+(** [trace_profile t id]: (tbb_index, executions) for one trace, sorted by
+    index — the per-copy profile of the motivation example. *)
+
+val transition : t -> Transition.t

@@ -1,0 +1,139 @@
+module Trace = Tea_traces.Trace
+
+exception Parse_error of string
+
+exception Too_large of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let magic = "TEA-AUTOMATON 1"
+
+(* The text format mirrors the trace-set format: each trace's states in TBB
+   order with their in-trace successor indices. Loading rebuilds the traces
+   and re-runs Algorithm 1. *)
+let to_string auto =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun id ->
+      let states = Automaton.states_of_trace auto id in
+      let live = List.filter (Automaton.is_live auto) states in
+      if live <> [] then begin
+        let index_of =
+          let h = Hashtbl.create 16 in
+          List.iteri (fun i s -> Hashtbl.replace h s i) live;
+          h
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "trace %d tea %d\n" id (List.length live));
+        List.iter
+          (fun s ->
+            match Automaton.state_info auto s with
+            | Some info ->
+                Buffer.add_string buf
+                  (Printf.sprintf "tbb 0x%x %d\n" info.Automaton.block_start
+                     info.Automaton.n_insns)
+            | None -> assert false)
+          live;
+        List.iteri
+          (fun i s ->
+            let succs =
+              List.filter_map
+                (fun (_, dst) -> Hashtbl.find_opt index_of dst)
+                (Automaton.edges_of auto s)
+            in
+            if succs <> [] then
+              Buffer.add_string buf
+                (Printf.sprintf "succ %d %s\n" i
+                   (String.concat " " (List.map string_of_int succs))))
+          live;
+        Buffer.add_string buf "end\n"
+      end)
+    (Automaton.trace_ids auto);
+  Buffer.contents buf
+
+let of_string image s =
+  (* Reuse the trace-set parser by swapping the magic line. *)
+  match String.index_opt s '\n' with
+  | None -> parse_error "missing %S header" magic
+  | Some i ->
+      if String.trim (String.sub s 0 i) <> magic then
+        parse_error "missing %S header" magic;
+      let body = String.sub s i (String.length s - i) in
+      let traces =
+        try
+          Tea_traces.Serialize.of_string image ("TEA-TRACES 1\n" ^ body)
+        with Tea_traces.Serialize.Parse_error m -> parse_error "%s" m
+      in
+      Builder.build traces
+
+let save path auto =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string auto))
+
+let load image path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string image (really_input_string ic len))
+
+(* Binary format: see the interface. All integers little-endian. *)
+
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_u16 buf v =
+  add_u8 buf v;
+  add_u8 buf (v lsr 8)
+
+let add_u32 buf v =
+  add_u16 buf (v land 0xFFFF);
+  add_u16 buf ((v lsr 16) land 0xFFFF)
+
+let to_binary auto =
+  let n_states = Automaton.n_states auto in
+  if n_states > 0xFFFE then
+    raise (Too_large (Printf.sprintf "%d states exceed the u16 cap" n_states));
+  let buf = Buffer.create (16 + (8 * n_states)) in
+  Buffer.add_string buf "TEA1";
+  add_u32 buf n_states;
+  add_u32 buf (Automaton.n_transitions auto);
+  add_u32 buf 0;
+  (* Dense renumbering: NTE = 0, live states 1.. in id order. *)
+  let index = Hashtbl.create (2 * n_states) in
+  let next = ref 1 in
+  Automaton.iter_live
+    (fun s info ->
+      Hashtbl.replace index s !next;
+      incr next;
+      if info.Automaton.trace_id > 0xFFFF then
+        raise (Too_large "trace id exceeds the u16 cap");
+      if info.Automaton.tbb_index > 0xFFFF then
+        raise (Too_large "tbb index exceeds the u16 cap");
+      add_u32 buf info.Automaton.block_start;
+      add_u16 buf info.Automaton.trace_id;
+      add_u16 buf info.Automaton.tbb_index)
+    auto;
+  (* Transitions: label is recoverable as the target's block start. *)
+  Automaton.iter_live
+    (fun s _ ->
+      List.iter
+        (fun (_, dst) ->
+          add_u16 buf (Hashtbl.find index s);
+          add_u16 buf (Hashtbl.find index dst);
+          add_u8 buf 0)
+        (Automaton.edges_of auto s))
+    auto;
+  List.iter
+    (fun (_, head) ->
+      add_u16 buf 0;
+      add_u16 buf (Hashtbl.find index head);
+      add_u8 buf 1)
+    (Automaton.heads auto);
+  Buffer.contents buf
+
+let binary_size auto = String.length (to_binary auto)

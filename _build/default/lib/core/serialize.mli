@@ -1,0 +1,36 @@
+(** TEA persistence.
+
+    Two encodings:
+
+    - {b Text}: human-readable, loadable on another system against the same
+      program image (blocks are re-decoded from the image, as the pintool
+      does with the unmodified executable). Loading reconstructs the traces
+      from the state table and rebuilds the automaton with Algorithm 1, so
+      the result is structurally identical (state ids may be renumbered).
+
+    - {b Binary}: the compact format whose length *is* the Table 1 "TEA"
+      memory figure: a 16-byte header, 8 bytes per state (block start,
+      trace id, TBB index) and 5 bytes per stored transition (source state,
+      target state, flags — the transition label is recoverable as the
+      target's block start). {!Automaton.byte_size} equals
+      [String.length (to_binary a)] whenever the automaton fits the format
+      caps (≤ 65535 states and traces). *)
+
+exception Parse_error of string
+
+exception Too_large of string
+(** Raised by {!to_binary} when a dimension exceeds the 16-bit caps. *)
+
+val to_string : Automaton.t -> string
+
+val of_string : Tea_isa.Image.t -> string -> Automaton.t
+(** @raise Parse_error on malformed input. *)
+
+val save : string -> Automaton.t -> unit
+
+val load : Tea_isa.Image.t -> string -> Automaton.t
+
+val to_binary : Automaton.t -> string
+
+val binary_size : Automaton.t -> int
+(** [String.length (to_binary a)]. *)

@@ -1,0 +1,88 @@
+(** The TEA transition function — where the paper's §4.2 performance story
+    lives.
+
+    On every block-to-block transfer the replayer asks: given the current
+    automaton state and the next program counter, what is the next state?
+    In-trace successors are resolved on the state's own (short) edge list;
+    leaving a trace — or running in cold code — requires searching the
+    global trace container for a trace starting at the new PC. The paper
+    evaluates three configurations of that search (Table 4):
+
+    - "No Global / Local": the container is a linked list, but each state
+      carries a small local cache of recent cross-trace resolutions;
+    - "Global / No Local": a global B+ tree, no caches;
+    - "Global / Local": both (the configuration used for Tables 2 and 3).
+
+    Costs are charged in simulated cycles; the constants are documented at
+    their definitions and exposed for the benchmarks. *)
+
+type global_kind =
+  | Linear  (** traces kept in a linked list *)
+  | Btree   (** the global B+ tree *)
+
+type config = {
+  global : global_kind;
+  local_cache : bool;
+  cache_slots : int;  (** direct-mapped entries per state (default 8) *)
+}
+
+val config_no_global_local : config
+val config_global_no_local : config
+val config_global_local : config
+(** The three Table 4 configurations. *)
+
+type stats = {
+  mutable steps : int;
+  mutable in_trace_hits : int;   (** resolved on the state's own edges *)
+  mutable cache_hits : int;
+  mutable global_hits : int;     (** found a trace head in the container *)
+  mutable global_misses : int;   (** landed in NTE *)
+}
+
+type t
+
+val create : config -> Automaton.t -> t
+
+val automaton : t -> Automaton.t
+
+val config : t -> config
+
+val refresh : t -> unit
+(** Rebuild the lookup containers from the automaton and drop every local
+    cache. Must be called after traces are added to or removed from the
+    automaton (the online recorder does). *)
+
+val step : t -> Automaton.state -> int -> Automaton.state
+(** [step t state pc] — the transition on label [pc]. Accumulates cost into
+    {!cycles} and counters into {!stats}. *)
+
+val cycles : t -> int
+(** Total simulated cycles spent inside the transition function. *)
+
+val stats : t -> stats
+
+val reset_counters : t -> unit
+
+(** {2 Cost constants} (simulated cycles; see DESIGN.md) *)
+
+val cost_edge_cmp : int
+(** Per in-trace edge-list entry examined (compare + pointer load). *)
+
+val cost_cache_probe : int
+(** Local-cache probe (index + tag compare). *)
+
+val cost_cache_fill : int
+
+val cost_linear_node : int
+(** Per linked-list node visited (pointer chase + compare). *)
+
+val cost_btree_base : int
+(** Fixed descent setup for a B+ tree lookup. *)
+
+val cost_btree_cmp : int
+(** Per key comparison inside B+ tree nodes. *)
+
+val cost_nte_miss : int
+(** Extra bookkeeping when the search fails and the automaton falls back
+    to NTE — the reason the "Empty" configuration is *slower* than
+    replaying real traces (paper §4.2). *)

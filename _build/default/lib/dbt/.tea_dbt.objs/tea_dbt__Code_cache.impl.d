@@ -1,0 +1,1 @@
+lib/dbt/code_cache.ml: Hashtbl Int List Tea_isa Tea_traces

@@ -1,0 +1,1 @@
+lib/dbt/code_cache.mli: Tea_isa Tea_traces

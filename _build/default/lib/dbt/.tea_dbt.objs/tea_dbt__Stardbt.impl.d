@@ -1,0 +1,1 @@
+lib/dbt/stardbt.ml: Code_cache Hashtbl Tea_cfg Tea_machine Tea_traces

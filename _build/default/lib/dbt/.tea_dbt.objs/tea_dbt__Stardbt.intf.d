@@ -1,0 +1,1 @@
+lib/dbt/stardbt.mli: Code_cache Tea_isa Tea_machine Tea_traces

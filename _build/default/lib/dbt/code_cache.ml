@@ -1,0 +1,60 @@
+module Trace = Tea_traces.Trace
+module Trace_set = Tea_traces.Trace_set
+
+type layout = {
+  trace_id : int;
+  code_offset : int;
+  code_bytes : int;
+  stub_offset : int;
+  stub_bytes : int;
+  entry_patch_bytes : int;
+  metadata_bytes : int;
+}
+
+type t = {
+  image : Tea_isa.Image.t;
+  model : Trace_set.dbt_cost_model;
+  layouts : (int, layout) Hashtbl.t;
+  mutable next_offset : int;
+}
+
+let create ?(model = Trace_set.default_dbt_cost) image =
+  { image; model; layouts = Hashtbl.create 64; next_offset = 0 }
+
+let layout_bytes l =
+  l.code_bytes + l.stub_bytes + l.entry_patch_bytes + l.metadata_bytes
+
+let install t trace =
+  let code_bytes = Trace.code_bytes trace in
+  let stub_bytes =
+    t.model.Trace_set.stub_bytes * Trace.side_exit_count trace t.image
+  in
+  let code_offset = t.next_offset in
+  let layout =
+    {
+      trace_id = trace.Trace.id;
+      code_offset;
+      code_bytes;
+      stub_offset = code_offset + code_bytes;
+      stub_bytes;
+      entry_patch_bytes = t.model.Trace_set.entry_patch_bytes;
+      metadata_bytes = t.model.Trace_set.metadata_bytes;
+    }
+  in
+  (* Re-installation of a grown trace abandons the old region; a real cache
+     would garbage-collect, but live-byte accounting only counts the latest
+     version. *)
+  t.next_offset <- code_offset + code_bytes + stub_bytes;
+  Hashtbl.replace t.layouts trace.Trace.id layout;
+  layout
+
+let layout_of t id = Hashtbl.find_opt t.layouts id
+
+let total_bytes t =
+  Hashtbl.fold (fun _ l acc -> acc + layout_bytes l) t.layouts 0
+
+let n_installed t = Hashtbl.length t.layouts
+
+let layouts t =
+  Hashtbl.fold (fun _ l acc -> l :: acc) t.layouts []
+  |> List.sort (fun a b -> Int.compare a.trace_id b.trace_id)

@@ -1,0 +1,38 @@
+(** The replicating trace representation — StarDBT's code cache.
+
+    This is Table 1's baseline: every trace is materialized by copying its
+    TBB instructions into a cache region, emitting an exit stub for every
+    static exit that leaves the trace (context spill + jump to the
+    dispatcher + link record) and patching the original entry with a near
+    jump. The module lays traces out at concrete cache offsets so the
+    accounting in {!Tea_traces.Trace_set.dbt_bytes} is grounded in an
+    actual allocation, not just arithmetic. *)
+
+type layout = {
+  trace_id : int;
+  code_offset : int;   (** offset of the replicated body in the cache *)
+  code_bytes : int;
+  stub_offset : int;
+  stub_bytes : int;
+  entry_patch_bytes : int;
+  metadata_bytes : int;
+}
+
+type t
+
+val create :
+  ?model:Tea_traces.Trace_set.dbt_cost_model -> Tea_isa.Image.t -> t
+
+val install : t -> Tea_traces.Trace.t -> layout
+(** Allocate (or re-allocate, for a grown trace id) the trace. *)
+
+val layout_of : t -> int -> layout option
+
+val total_bytes : t -> int
+(** Live bytes; equals {!Tea_traces.Trace_set.dbt_bytes} over the installed
+    set (asserted by the tests). *)
+
+val n_installed : t -> int
+
+val layouts : t -> layout list
+(** In trace-id order. *)

@@ -1,0 +1,150 @@
+module Block = Tea_cfg.Block
+module Discovery = Tea_cfg.Discovery
+module Interp = Tea_machine.Interp
+module Recorder = Tea_traces.Recorder
+module Trace = Tea_traces.Trace
+module Trace_set = Tea_traces.Trace_set
+
+type cost_model = {
+  translate_per_insn : int;
+  trace_build_per_insn : int;
+  dispatch : int;
+  chained : int;
+}
+
+let default_cost =
+  { translate_per_insn = 90; trace_build_per_insn = 220; dispatch = 6; chained = 1 }
+
+type result = {
+  set : Trace_set.t;
+  cache : Code_cache.t;
+  covered_insns : int;
+  total_insns : int;
+  coverage : float;
+  native_cycles : int;
+  dbt_cycles : int;
+  blocks_translated : int;
+  stop : Interp.stop;
+  output : int list;
+}
+
+type phase = Executing | Creating
+
+type 'a driver = {
+  strategy : (module Recorder.STRATEGY with type t = 'a);
+  sstate : 'a;
+  cost : cost_model;
+  set : Trace_set.t;
+  cache : Code_cache.t;
+  translated : (int, unit) Hashtbl.t;
+  mutable phase : phase;
+  mutable prev : Block.t option;
+  mutable follower : (Trace.t * int) option;
+  mutable covered : int;
+  mutable total : int;
+  mutable overhead : int;
+  mutable n_translated : int;
+}
+
+let try_enter d addr =
+  match Trace_set.find_by_entry d.set addr with
+  | Some tr -> d.follower <- Some (tr, 0)
+  | None -> d.follower <- None
+
+(* Advance the code-cache execution model one block: either chained inside a
+   trace, or dispatched (trace entry or cold block). *)
+let follow d (next : Block.t) =
+  let addr = next.Block.start in
+  (match d.follower with
+  | Some (tr, i) -> (
+      match Trace.successor_on tr i addr with
+      | Some j ->
+          d.follower <- Some (tr, j);
+          d.overhead <- d.overhead + d.cost.chained
+      | None ->
+          try_enter d addr;
+          d.overhead <- d.overhead + d.cost.dispatch)
+  | None ->
+      try_enter d addr;
+      d.overhead <- d.overhead + d.cost.dispatch);
+  let n = Block.n_insns next in
+  d.total <- d.total + n;
+  if d.follower <> None then d.covered <- d.covered + n
+
+let install d trace =
+  Trace_set.add d.set trace;
+  ignore (Code_cache.install d.cache trace);
+  d.overhead <- d.overhead + (d.cost.trace_build_per_insn * Trace.n_insns trace)
+
+let on_block : type a. a driver -> Block.t -> unit =
+ fun d next ->
+  let (module S) = d.strategy in
+  (* Translation cost for first-seen blocks. *)
+  if not (Hashtbl.mem d.translated next.Block.start) then begin
+    Hashtbl.replace d.translated next.Block.start ();
+    d.n_translated <- d.n_translated + 1;
+    d.overhead <- d.overhead + (d.cost.translate_per_insn * Block.n_insns next)
+  end;
+  (match d.phase with
+  | Executing ->
+      follow d next;
+      if S.trigger d.sstate ~current:d.prev ~next then begin
+        S.start d.sstate ~current:d.prev ~next;
+        d.phase <- Creating;
+        d.follower <- None
+      end
+  | Creating -> (
+      d.total <- d.total + Block.n_insns next;
+      d.overhead <- d.overhead + d.cost.dispatch;
+      match d.prev with
+      | None -> assert false
+      | Some current -> (
+          match S.add d.sstate ~current ~next with
+          | `Continue -> ()
+          | `Done completed ->
+              (match completed with Some tr -> install d tr | None -> ());
+              d.phase <- Executing;
+              try_enter d next.Block.start)));
+  d.prev <- Some next
+
+let record ?(config = Recorder.default_config) ?(cost = default_cost) ?fuel
+    ~strategy image =
+  let (module S : Recorder.STRATEGY) = strategy in
+  let d =
+    {
+      strategy = (module S);
+      sstate = S.create config;
+      cost;
+      set = Trace_set.create ();
+      cache = Code_cache.create image;
+      translated = Hashtbl.create 512;
+      phase = Executing;
+      prev = None;
+      follower = None;
+      covered = 0;
+      total = 0;
+      overhead = 0;
+      n_translated = 0;
+    }
+  in
+  let callbacks =
+    { Discovery.on_block = on_block d; Discovery.on_edge = (fun _ _ -> ()) }
+  in
+  let machine, stop, _disc =
+    Discovery.run ~policy:Discovery.Stardbt ?fuel image callbacks
+  in
+  (match S.abort d.sstate with Some tr -> install d tr | None -> ());
+  let native = Interp.cycles machine in
+  {
+    set = d.set;
+    cache = d.cache;
+    covered_insns = d.covered;
+    total_insns = d.total;
+    coverage =
+      (if d.total = 0 then 0.0 else float_of_int d.covered /. float_of_int d.total);
+    native_cycles = native;
+    dbt_cycles = native + d.overhead;
+    blocks_translated = d.n_translated;
+    stop;
+    output = Interp.output machine;
+  }

@@ -1,0 +1,48 @@
+(** The StarDBT-like runtime: translate-and-run with trace recording.
+
+    Runs a program under the StarDBT block-discovery policy, drives a trace
+    selection strategy through the standard three-phase recording machine,
+    installs completed traces in the {!Code_cache}, and tracks coverage
+    (instructions executed *inside* installed traces, which for a recording
+    run only starts counting once each trace exists — the paper's Table 2/3
+    "DBT" columns) and a simulated execution time.
+
+    Cost model (simulated cycles, on top of native execution):
+    - translating a newly seen block costs [translate_per_insn] per
+      instruction (lightweight IA-32 → IA-32 translation);
+    - building a trace costs [trace_build_per_insn] per instruction
+      (re-optimization and stub emission);
+    - each block executed from the code cache pays [dispatch] unless it
+      continues inside a trace ([chained], cheaper — blocks are linked). *)
+
+type cost_model = {
+  translate_per_insn : int;
+  trace_build_per_insn : int;
+  dispatch : int;
+  chained : int;
+}
+
+val default_cost : cost_model
+(** [{translate_per_insn = 90; trace_build_per_insn = 220; dispatch = 6;
+     chained = 1}] *)
+
+type result = {
+  set : Tea_traces.Trace_set.t;
+  cache : Code_cache.t;
+  covered_insns : int;
+  total_insns : int;
+  coverage : float;
+  native_cycles : int;     (** the program's own cycles *)
+  dbt_cycles : int;        (** native + DBT overheads: the "DBT Time" *)
+  blocks_translated : int;
+  stop : Tea_machine.Interp.stop;
+  output : int list;       (** program output, for checking fidelity *)
+}
+
+val record :
+  ?config:Tea_traces.Recorder.config ->
+  ?cost:cost_model ->
+  ?fuel:int ->
+  strategy:Tea_traces.Recorder.strategy ->
+  Tea_isa.Image.t ->
+  result

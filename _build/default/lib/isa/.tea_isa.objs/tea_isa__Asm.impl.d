@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Hashtbl Insn List Printf

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Array Buffer Char Cond Image Insn List Operand Reg

@@ -1,0 +1,1 @@
+lib/isa/image.ml: Array Asm Format Hashtbl Insn Int List Option Printf Tea_util

@@ -1,0 +1,39 @@
+type item =
+  | Label of string
+  | Ins of Insn.t
+
+type data_item =
+  | Dlabel of string
+  | Word of int
+  | Word_ref of string
+  | Space of int
+
+type program = {
+  text : item list;
+  data : data_item list;
+}
+
+let default_text_base = 0x08048000
+
+let default_data_base = 0x08100000
+
+let program ?(data = []) text = { text; data }
+
+let layout_data ?(base = default_data_base) items =
+  let seen = Hashtbl.create 16 in
+  let rec loop addr symbols = function
+    | [] -> (List.rev symbols, addr - base)
+    | Dlabel s :: rest ->
+        if Hashtbl.mem seen s then
+          invalid_arg (Printf.sprintf "Asm.layout_data: duplicate label %s" s);
+        Hashtbl.add seen s ();
+        loop addr ((s, addr) :: symbols) rest
+    | Word _ :: rest | Word_ref _ :: rest -> loop (addr + 4) symbols rest
+    | Space n :: rest ->
+        if n < 0 then invalid_arg "Asm.layout_data: negative Space";
+        loop (addr + (4 * n)) symbols rest
+  in
+  loop base [] items
+
+let text_labels items =
+  List.filter_map (function Label s -> Some s | Ins _ -> None) items

@@ -1,0 +1,38 @@
+(** Assembler input: a program is a text section (labels and instructions)
+    plus a data section (labelled words).
+
+    Data lives at a fixed base address ({!default_data_base}) independent of
+    the text size, so workload generators can lay out their tables first
+    (with {!layout_data}), learn the symbol addresses, and then emit code
+    whose memory operands carry already-absolute displacements. Code labels,
+    by contrast, stay symbolic until {!Image.assemble} resolves them. *)
+
+type item =
+  | Label of string
+  | Ins of Insn.t
+
+type data_item =
+  | Dlabel of string   (** names the next word's address *)
+  | Word of int        (** one initialized 32-bit word *)
+  | Word_ref of string (** a word holding the address of a (text or data) label *)
+  | Space of int       (** [n] zero words *)
+
+type program = {
+  text : item list;
+  data : data_item list;
+}
+
+val default_text_base : int
+val default_data_base : int
+
+val program : ?data:data_item list -> item list -> program
+
+val layout_data :
+  ?base:int -> data_item list -> (string * int) list * int
+(** [layout_data items] assigns addresses to the data section starting at
+    [base] (default {!default_data_base}): returns the data symbol table and
+    the total size in bytes. Pure address arithmetic — usable before any
+    code exists. @raise Invalid_argument on duplicate labels. *)
+
+val text_labels : item list -> string list
+(** All labels defined in a text section, in order. *)

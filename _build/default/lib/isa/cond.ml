@@ -1,0 +1,35 @@
+type t = E | NE | L | LE | G | GE | B | BE | A | AE | S | NS
+
+let all = [ E; NE; L; LE; G; GE; B; BE; A; AE; S; NS ]
+
+let negate = function
+  | E -> NE
+  | NE -> E
+  | L -> GE
+  | LE -> G
+  | G -> LE
+  | GE -> L
+  | B -> AE
+  | BE -> A
+  | A -> BE
+  | AE -> B
+  | S -> NS
+  | NS -> S
+
+let to_string = function
+  | E -> "e"
+  | NE -> "ne"
+  | L -> "l"
+  | LE -> "le"
+  | G -> "g"
+  | GE -> "ge"
+  | B -> "b"
+  | BE -> "be"
+  | A -> "a"
+  | AE -> "ae"
+  | S -> "s"
+  | NS -> "ns"
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+
+let equal (a : t) (b : t) = a = b

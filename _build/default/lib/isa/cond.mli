@@ -1,0 +1,26 @@
+(** Condition codes for conditional branches, mirroring IA-32 [jcc]. *)
+
+type t =
+  | E   (** equal (ZF) *)
+  | NE  (** not equal (!ZF) *)
+  | L   (** signed less (SF <> OF) *)
+  | LE  (** signed less-or-equal *)
+  | G   (** signed greater *)
+  | GE  (** signed greater-or-equal *)
+  | B   (** unsigned below (CF) *)
+  | BE  (** unsigned below-or-equal *)
+  | A   (** unsigned above *)
+  | AE  (** unsigned above-or-equal *)
+  | S   (** sign set *)
+  | NS  (** sign clear *)
+
+val all : t list
+
+val negate : t -> t
+(** The condition that holds exactly when the argument does not. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

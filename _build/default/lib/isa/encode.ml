@@ -1,0 +1,173 @@
+(* Pseudo-x86 encoding. Each constructor maps to a fixed opcode; operand
+   bytes follow the exact rules priced by Operand.encoding_bytes, so
+   |insn i| = Insn.length i by construction (and by property test). *)
+
+let u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let u32 buf v =
+  u8 buf v;
+  u8 buf (v lsr 8);
+  u8 buf (v lsr 16);
+  u8 buf (v lsr 24)
+
+(* Displacement size must mirror Operand.encoding_bytes: none when 0 with a
+   base register, 1 byte when it fits i8, else 4; absolute (no base) is
+   always 4. *)
+let mem_bytes buf (m : Operand.mem) =
+  (match m.index with
+  | Some (r, s) ->
+      let scale_bits = match s with 1 -> 0 | 2 -> 1 | 4 -> 2 | _ -> 3 in
+      let base_bits = match m.base with Some b -> Reg.index b | None -> 5 in
+      u8 buf ((scale_bits lsl 6) lor (Reg.index r lsl 3) lor base_bits)
+  | None -> ());
+  match m.base with
+  | None -> u32 buf m.disp
+  | Some _ ->
+      if m.disp = 0 then ()
+      else if m.disp >= -128 && m.disp <= 127 then u8 buf m.disp
+      else u32 buf m.disp
+
+let operand_bytes buf = function
+  | Operand.Reg _ -> ()
+  | Operand.Imm v -> u32 buf v
+  | Operand.Mem m -> mem_bytes buf m
+
+(* The ModRM byte packs whatever register fields exist; memory/immediate
+   payloads follow. *)
+let modrm buf a b =
+  let field = function
+    | Operand.Reg r -> Reg.index r
+    | Operand.Imm _ -> 0
+    | Operand.Mem _ -> 4
+  in
+  u8 buf ((field a lsl 3) lor field b)
+
+let target = function
+  | Insn.Abs a -> a
+  | Insn.Lbl s -> invalid_arg ("Encode.insn: unresolved label " ^ s)
+
+let alu_opcode = function
+  | Insn.Add -> 0x01
+  | Insn.Sub -> 0x29
+  | Insn.And -> 0x21
+  | Insn.Or -> 0x09
+  | Insn.Xor -> 0x31
+
+let shift_sub = function Insn.Shl -> 4 | Insn.Shr -> 5 | Insn.Sar -> 7
+
+let insn i =
+  let buf = Buffer.create 8 in
+  (match i with
+  | Insn.Nop -> u8 buf 0x90
+  | Insn.Cpuid ->
+      u8 buf 0x0F;
+      u8 buf 0xA2
+  | Insn.Halt -> u8 buf 0xF4
+  | Insn.Mov (d, s) ->
+      u8 buf 0x89;
+      modrm buf d s;
+      operand_bytes buf d;
+      operand_bytes buf s
+  | Insn.Lea (r, m) ->
+      u8 buf 0x8D;
+      modrm buf (Operand.Reg r) (Operand.Mem m);
+      mem_bytes buf m
+  | Insn.Alu (op, d, s) ->
+      u8 buf (alu_opcode op);
+      modrm buf d s;
+      operand_bytes buf d;
+      operand_bytes buf s
+  | Insn.Inc (Operand.Reg r) -> u8 buf (0x40 + Reg.index r)
+  | Insn.Dec (Operand.Reg r) -> u8 buf (0x48 + Reg.index r)
+  | Insn.Inc d ->
+      u8 buf 0xFF;
+      modrm buf d d;
+      operand_bytes buf d
+  | Insn.Dec d ->
+      u8 buf 0xFF;
+      modrm buf d (Operand.Imm 1);
+      operand_bytes buf d
+  | Insn.Neg d ->
+      u8 buf 0xF7;
+      modrm buf d (Operand.Imm 3);
+      operand_bytes buf d
+  | Insn.Imul (r, s) ->
+      u8 buf 0x0F;
+      u8 buf 0xAF;
+      modrm buf (Operand.Reg r) s;
+      operand_bytes buf s
+  | Insn.Shift (op, d, n) ->
+      u8 buf 0xC1;
+      modrm buf d (Operand.Imm (shift_sub op));
+      u8 buf n;
+      operand_bytes buf d
+  | Insn.Cmp (a, b) ->
+      u8 buf 0x39;
+      modrm buf a b;
+      operand_bytes buf a;
+      operand_bytes buf b
+  | Insn.Test (a, b) ->
+      u8 buf 0x85;
+      modrm buf a b;
+      operand_bytes buf a;
+      operand_bytes buf b
+  | Insn.Jmp t ->
+      u8 buf 0xE9;
+      u32 buf (target t)
+  | Insn.Jmp_ind op ->
+      u8 buf 0xFF;
+      modrm buf op (Operand.Imm 4);
+      operand_bytes buf op
+  | Insn.Jcc (c, t) ->
+      u8 buf 0x0F;
+      u8 buf (0x80 + (match c with
+                      | Cond.E -> 4 | Cond.NE -> 5 | Cond.L -> 12 | Cond.LE -> 14
+                      | Cond.G -> 15 | Cond.GE -> 13 | Cond.B -> 2 | Cond.BE -> 6
+                      | Cond.A -> 7 | Cond.AE -> 3 | Cond.S -> 8 | Cond.NS -> 9));
+      u32 buf (target t)
+  | Insn.Call t ->
+      u8 buf 0xE8;
+      u32 buf (target t)
+  | Insn.Call_ind op ->
+      u8 buf 0xFF;
+      modrm buf op (Operand.Imm 2);
+      operand_bytes buf op
+  | Insn.Ret -> u8 buf 0xC3
+  | Insn.Push (Operand.Reg r) -> u8 buf (0x50 + Reg.index r)
+  | Insn.Push (Operand.Imm v) ->
+      u8 buf 0x68;
+      u32 buf v
+  | Insn.Push op ->
+      u8 buf 0xFF;
+      modrm buf op (Operand.Imm 6);
+      operand_bytes buf op
+  | Insn.Pop (Operand.Reg r) -> u8 buf (0x58 + Reg.index r)
+  | Insn.Pop op ->
+      u8 buf 0x8F;
+      modrm buf op (Operand.Imm 0);
+      operand_bytes buf op
+  | Insn.Rep_movs ->
+      u8 buf 0xF3;
+      u8 buf 0xA5
+  | Insn.Rep_stos ->
+      u8 buf 0xF3;
+      u8 buf 0xAB
+  | Insn.Sys n ->
+      u8 buf 0xCD;
+      u8 buf n);
+  Buffer.contents buf
+
+let block insns =
+  let buf = Buffer.create 64 in
+  List.iter (fun (_, i) -> Buffer.add_string buf (insn i)) insns;
+  Buffer.contents buf
+
+let image_text image =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun addr ->
+      match Image.fetch image addr with
+      | Some i -> Buffer.add_string buf (insn i)
+      | None -> ())
+    (Image.code_addresses image);
+  Buffer.contents buf

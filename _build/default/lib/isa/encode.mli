@@ -1,0 +1,24 @@
+(** Binary encoding of instructions.
+
+    The memory accounting behind Table 1 charges the replicating DBT for
+    every instruction byte it copies into the code cache, using
+    {!Insn.length}. This module grounds those lengths: it emits an actual
+    byte encoding (x86-shaped: opcode, ModRM, optional SIB, displacement,
+    immediate) whose size equals {!Insn.length} for every instruction —
+    asserted by a property test over the whole instruction space.
+
+    The encoding is self-consistent rather than bit-compatible with real
+    IA-32 (this ISA is synthetic), but the *structure* — and therefore the
+    byte counts — follow the real encoding rules documented in
+    {!Operand.encoding_bytes}. *)
+
+val insn : Insn.t -> string
+(** Encoded bytes. Branch targets must be resolved ([Abs]).
+    @raise Invalid_argument on an unresolved [Lbl] target. *)
+
+val block : (int * Insn.t) list -> string
+(** Concatenated encoding of an (address, instruction) sequence, e.g. a
+    basic block body. *)
+
+val image_text : Image.t -> string
+(** The whole text section; its length equals {!Image.code_bytes}. *)

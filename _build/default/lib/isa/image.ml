@@ -1,0 +1,162 @@
+type t = {
+  entry : int;
+  code : (int, Insn.t) Hashtbl.t;
+  sizes : (int, int) Hashtbl.t;
+  addrs : int array;
+  syms : (string, int) Hashtbl.t;
+  data_init : (int * int) list;
+  code_bytes : int;
+  text_lo : int;
+  text_hi : int;
+}
+
+exception Unknown_label of string
+
+let resolve_target syms = function
+  | Insn.Abs a -> Insn.Abs a
+  | Insn.Lbl s -> (
+      match Hashtbl.find_opt syms s with
+      | Some a -> Insn.Abs a
+      | None -> raise (Unknown_label s))
+
+let resolve_insn syms insn =
+  match insn with
+  | Insn.Jmp t -> Insn.Jmp (resolve_target syms t)
+  | Insn.Jcc (c, t) -> Insn.Jcc (c, resolve_target syms t)
+  | Insn.Call t -> Insn.Call (resolve_target syms t)
+  | Insn.Nop | Insn.Cpuid | Insn.Halt | Insn.Mov _ | Insn.Lea _ | Insn.Alu _
+  | Insn.Inc _ | Insn.Dec _ | Insn.Neg _ | Insn.Imul _ | Insn.Shift _
+  | Insn.Cmp _ | Insn.Test _ | Insn.Jmp_ind _ | Insn.Call_ind _ | Insn.Ret
+  | Insn.Push _ | Insn.Pop _ | Insn.Rep_movs | Insn.Rep_stos | Insn.Sys _ ->
+      insn
+
+let assemble ?(text_base = Asm.default_text_base)
+    ?(data_base = Asm.default_data_base) ?entry (p : Asm.program) =
+  let syms = Hashtbl.create 64 in
+  let add_sym s addr =
+    if Hashtbl.mem syms s then
+      invalid_arg (Printf.sprintf "Image.assemble: duplicate label %s" s);
+    Hashtbl.add syms s addr
+  in
+  (* Pass 1: lay out text, collecting label addresses and raw instructions. *)
+  let placed = Tea_util.Vec.create () in
+  let addr = ref text_base in
+  List.iter
+    (fun item ->
+      match item with
+      | Asm.Label s -> add_sym s !addr
+      | Asm.Ins i ->
+          Tea_util.Vec.push placed (!addr, i);
+          addr := !addr + Insn.length i)
+    p.text;
+  let text_hi = !addr in
+  if text_hi > data_base && p.data <> [] then
+    invalid_arg "Image.assemble: text overlaps data base";
+  (* Data layout. *)
+  let data_syms, _data_len = Asm.layout_data ~base:data_base p.data in
+  List.iter (fun (s, a) -> add_sym s a) data_syms;
+  (* Pass 2: resolve instruction targets and data references. *)
+  let code = Hashtbl.create (Tea_util.Vec.length placed * 2) in
+  let sizes = Hashtbl.create (Tea_util.Vec.length placed * 2) in
+  Tea_util.Vec.iter
+    (fun (a, i) ->
+      let i = resolve_insn syms i in
+      Hashtbl.replace code a i;
+      Hashtbl.replace sizes a (Insn.length i))
+    placed;
+  let data_init =
+    let daddr = ref data_base in
+    let out = ref [] in
+    List.iter
+      (fun (d : Asm.data_item) ->
+        match d with
+        | Asm.Dlabel _ -> ()
+        | Asm.Word w ->
+            out := (!daddr, w) :: !out;
+            daddr := !daddr + 4
+        | Asm.Word_ref s -> (
+            match Hashtbl.find_opt syms s with
+            | Some a ->
+                out := (!daddr, a) :: !out;
+                daddr := !daddr + 4
+            | None -> raise (Unknown_label s))
+        | Asm.Space n -> daddr := !daddr + (4 * n))
+      p.data;
+    List.rev !out
+  in
+  let entry_addr =
+    match entry with
+    | Some s -> (
+        match Hashtbl.find_opt syms s with
+        | Some a -> a
+        | None -> raise (Unknown_label s))
+    | None -> (
+        match Hashtbl.find_opt syms "main" with
+        | Some a -> a
+        | None -> text_base)
+  in
+  let addrs =
+    Tea_util.Vec.to_array (Tea_util.Vec.map (fun (a, _) -> a) placed)
+  in
+  Array.sort Int.compare addrs;
+  {
+    entry = entry_addr;
+    code;
+    sizes;
+    addrs;
+    syms;
+    data_init;
+    code_bytes = text_hi - text_base;
+    text_lo = text_base;
+    text_hi;
+  }
+
+let entry t = t.entry
+
+let fetch t a = Hashtbl.find_opt t.code a
+
+let size_at t a =
+  match Hashtbl.find_opt t.sizes a with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Image.size_at: 0x%x" a)
+
+let next_addr t a = a + size_at t a
+
+let symbol_opt t s = Hashtbl.find_opt t.syms s
+
+let symbol t s =
+  match symbol_opt t s with Some a -> a | None -> raise (Unknown_label s)
+
+let symbols t =
+  Hashtbl.fold (fun s a acc -> (s, a) :: acc) t.syms []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare a b)
+
+let initial_data t = t.data_init
+
+let code_addresses t = t.addrs
+
+let code_bytes t = t.code_bytes
+
+let instruction_count t = Array.length t.addrs
+
+let text_bounds t = (t.text_lo, t.text_hi)
+
+let in_text t a = a >= t.text_lo && a < t.text_hi
+
+let pp_listing fmt t =
+  let by_addr = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun s a ->
+      let existing = Option.value (Hashtbl.find_opt by_addr a) ~default:[] in
+      Hashtbl.replace by_addr a (s :: existing))
+    t.syms;
+  Array.iter
+    (fun a ->
+      (match Hashtbl.find_opt by_addr a with
+      | Some labels ->
+          List.iter (fun s -> Format.fprintf fmt "%s:@." s) (List.sort compare labels)
+      | None -> ());
+      match fetch t a with
+      | Some i -> Format.fprintf fmt "  0x%08x  %a@." a Insn.pp i
+      | None -> ())
+    t.addrs

@@ -1,0 +1,61 @@
+(** A laid-out, resolved program image.
+
+    The assembler performs a single layout pass (every relative branch uses
+    its near form, so instruction lengths do not depend on displacement
+    values), resolves label targets to absolute addresses, and materializes
+    the initial data words. The interpreter and the DBT frontends only ever
+    see resolved images. *)
+
+type t
+
+exception Unknown_label of string
+
+val assemble :
+  ?text_base:int -> ?data_base:int -> ?entry:string -> Asm.program -> t
+(** [assemble p] lays out [p.text] at [text_base] (default
+    {!Asm.default_text_base}) and [p.data] at [data_base] (default
+    {!Asm.default_data_base}). [entry] names the entry label (default:
+    ["main"] if defined, else the first instruction).
+    @raise Unknown_label on an unresolved branch target or [Word_ref]
+    @raise Invalid_argument on duplicate labels or overlapping sections. *)
+
+val entry : t -> int
+
+val fetch : t -> int -> Insn.t option
+(** Instruction at an exact address, or [None] (unmapped / misaligned into
+    the middle of an instruction). *)
+
+val size_at : t -> int -> int
+(** Encoded size of the instruction at an address.
+    @raise Invalid_argument if no instruction starts there. *)
+
+val next_addr : t -> int -> int
+(** Address of the sequentially following instruction. *)
+
+val symbol : t -> string -> int
+(** Address of a label (text or data). @raise Unknown_label. *)
+
+val symbol_opt : t -> string -> int option
+
+val symbols : t -> (string * int) list
+(** All symbols, sorted by address. *)
+
+val initial_data : t -> (int * int) list
+(** Initialized data words as (address, value) pairs. *)
+
+val code_addresses : t -> int array
+(** Every instruction start address, sorted ascending. *)
+
+val code_bytes : t -> int
+(** Total text-section size in bytes. *)
+
+val instruction_count : t -> int
+(** Number of static instructions. *)
+
+val text_bounds : t -> int * int
+(** [lo, hi) address range of the text section. *)
+
+val in_text : t -> int -> bool
+
+val pp_listing : Format.formatter -> t -> unit
+(** Disassembly listing with addresses and symbols. *)

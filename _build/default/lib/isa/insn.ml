@@ -1,0 +1,140 @@
+type target =
+  | Abs of int
+  | Lbl of string
+
+type alu_op = Add | Sub | And | Or | Xor
+
+type shift_op = Shl | Shr | Sar
+
+type t =
+  | Nop
+  | Cpuid
+  | Halt
+  | Mov of Operand.t * Operand.t
+  | Lea of Reg.t * Operand.mem
+  | Alu of alu_op * Operand.t * Operand.t
+  | Inc of Operand.t
+  | Dec of Operand.t
+  | Neg of Operand.t
+  | Imul of Reg.t * Operand.t
+  | Shift of shift_op * Operand.t * int
+  | Cmp of Operand.t * Operand.t
+  | Test of Operand.t * Operand.t
+  | Jmp of target
+  | Jmp_ind of Operand.t
+  | Jcc of Cond.t * target
+  | Call of target
+  | Call_ind of Operand.t
+  | Ret
+  | Push of Operand.t
+  | Pop of Operand.t
+  | Rep_movs
+  | Rep_stos
+  | Sys of int
+
+(* Encoded lengths follow common IA-32 shapes: opcode (1) + modrm (1) +
+   operand extras; relative branches always use the near (rel32) form so a
+   single layout pass suffices. *)
+let length = function
+  | Nop -> 1
+  | Cpuid -> 2
+  | Halt -> 1
+  | Mov (dst, src) -> 2 + Operand.encoding_bytes dst + Operand.encoding_bytes src
+  | Lea (_, m) -> 2 + Operand.mem_encoding_bytes m
+  | Alu (_, dst, src) -> 2 + Operand.encoding_bytes dst + Operand.encoding_bytes src
+  | Inc (Operand.Reg _) | Dec (Operand.Reg _) -> 1
+  | Inc op | Dec op | Neg op -> 2 + Operand.encoding_bytes op
+  | Imul (_, src) -> 3 + Operand.encoding_bytes src
+  | Shift (_, dst, _) -> 3 + Operand.encoding_bytes dst
+  | Cmp (a, b) | Test (a, b) -> 2 + Operand.encoding_bytes a + Operand.encoding_bytes b
+  | Jmp _ -> 5
+  | Jmp_ind op -> 2 + Operand.encoding_bytes op
+  | Jcc (_, _) -> 6
+  | Call _ -> 5
+  | Call_ind op -> 2 + Operand.encoding_bytes op
+  | Ret -> 1
+  | Push (Operand.Reg _) | Pop (Operand.Reg _) -> 1
+  | Push (Operand.Imm _) -> 5
+  | Push op | Pop op -> 2 + Operand.encoding_bytes op
+  | Rep_movs | Rep_stos -> 2
+  | Sys _ -> 2
+
+let is_branch = function
+  | Jmp _ | Jmp_ind _ | Jcc _ | Call _ | Call_ind _ | Ret | Halt | Sys _ -> true
+  | Nop | Cpuid | Mov _ | Lea _ | Alu _ | Inc _ | Dec _ | Neg _ | Imul _
+  | Shift _ | Cmp _ | Test _ | Push _ | Pop _ | Rep_movs | Rep_stos -> false
+
+let is_conditional = function
+  | Jcc _ -> true
+  | Nop | Cpuid | Halt | Mov _ | Lea _ | Alu _ | Inc _ | Dec _ | Neg _
+  | Imul _ | Shift _ | Cmp _ | Test _ | Jmp _ | Jmp_ind _ | Call _
+  | Call_ind _ | Ret | Push _ | Pop _ | Rep_movs | Rep_stos | Sys _ -> false
+
+let is_indirect = function
+  | Jmp_ind _ | Call_ind _ | Ret -> true
+  | Nop | Cpuid | Halt | Mov _ | Lea _ | Alu _ | Inc _ | Dec _ | Neg _
+  | Imul _ | Shift _ | Cmp _ | Test _ | Jmp _ | Jcc _ | Call _ | Push _
+  | Pop _ | Rep_movs | Rep_stos | Sys _ -> false
+
+let writes_control = is_branch
+
+let direct_target = function
+  | Jmp (Abs a) | Jcc (_, Abs a) | Call (Abs a) -> Some a
+  | Jmp (Lbl _) | Jcc (_, Lbl _) | Call (Lbl _) -> None
+  | Nop | Cpuid | Halt | Mov _ | Lea _ | Alu _ | Inc _ | Dec _ | Neg _
+  | Imul _ | Shift _ | Cmp _ | Test _ | Jmp_ind _ | Call_ind _ | Ret
+  | Push _ | Pop _ | Rep_movs | Rep_stos | Sys _ -> None
+
+let fallthrough_continues = function
+  | Jmp _ | Jmp_ind _ | Ret | Halt -> false
+  | Sys 0 -> false
+  | Sys _ -> true
+  | Jcc _ | Call _ | Call_ind _ -> true
+  | Nop | Cpuid | Mov _ | Lea _ | Alu _ | Inc _ | Dec _ | Neg _ | Imul _
+  | Shift _ | Cmp _ | Test _ | Push _ | Pop _ | Rep_movs | Rep_stos -> true
+
+let alu_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+
+let shift_name = function Shl -> "shl" | Shr -> "shr" | Sar -> "sar"
+
+let pp_target fmt = function
+  | Abs a -> Format.fprintf fmt "0x%x" a
+  | Lbl s -> Format.fprintf fmt "%s" s
+
+let pp fmt = function
+  | Nop -> Format.fprintf fmt "nop"
+  | Cpuid -> Format.fprintf fmt "cpuid"
+  | Halt -> Format.fprintf fmt "hlt"
+  | Mov (d, s) -> Format.fprintf fmt "mov %a, %a" Operand.pp d Operand.pp s
+  | Lea (r, m) ->
+      Format.fprintf fmt "lea %a, %a" Reg.pp r Operand.pp (Operand.Mem m)
+  | Alu (op, d, s) ->
+      Format.fprintf fmt "%s %a, %a" (alu_name op) Operand.pp d Operand.pp s
+  | Inc op -> Format.fprintf fmt "inc %a" Operand.pp op
+  | Dec op -> Format.fprintf fmt "dec %a" Operand.pp op
+  | Neg op -> Format.fprintf fmt "neg %a" Operand.pp op
+  | Imul (r, s) -> Format.fprintf fmt "imul %a, %a" Reg.pp r Operand.pp s
+  | Shift (op, d, n) ->
+      Format.fprintf fmt "%s %a, %d" (shift_name op) Operand.pp d n
+  | Cmp (a, b) -> Format.fprintf fmt "cmp %a, %a" Operand.pp a Operand.pp b
+  | Test (a, b) -> Format.fprintf fmt "test %a, %a" Operand.pp a Operand.pp b
+  | Jmp t -> Format.fprintf fmt "jmp %a" pp_target t
+  | Jmp_ind op -> Format.fprintf fmt "jmp *%a" Operand.pp op
+  | Jcc (c, t) -> Format.fprintf fmt "j%s %a" (Cond.to_string c) pp_target t
+  | Call t -> Format.fprintf fmt "call %a" pp_target t
+  | Call_ind op -> Format.fprintf fmt "call *%a" Operand.pp op
+  | Ret -> Format.fprintf fmt "ret"
+  | Push op -> Format.fprintf fmt "push %a" Operand.pp op
+  | Pop op -> Format.fprintf fmt "pop %a" Operand.pp op
+  | Rep_movs -> Format.fprintf fmt "rep movsd"
+  | Rep_stos -> Format.fprintf fmt "rep stosd"
+  | Sys n -> Format.fprintf fmt "int 0x%x" n
+
+let to_string i = Format.asprintf "%a" pp i
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,75 @@
+(** Instructions of the synthetic IA-32-like ISA.
+
+    The set is small but covers everything the paper's machinery cares
+    about: ALU and memory traffic, direct and indirect control flow, calls
+    and returns, REP-prefixed string operations (whose dynamic expansion is
+    where StarDBT and Pin disagree, §4.1 of the paper) and [cpuid]-style
+    instructions on which Pin forcibly ends a dynamic basic block.
+
+    Branch targets are symbolic ([Lbl]) in assembler input and absolute
+    ([Abs]) once the image is laid out; the interpreter only accepts
+    resolved instructions. *)
+
+type target =
+  | Abs of int      (** resolved absolute address *)
+  | Lbl of string   (** unresolved assembler label *)
+
+type alu_op = Add | Sub | And | Or | Xor
+
+type shift_op = Shl | Shr | Sar
+
+type t =
+  | Nop
+  | Cpuid              (** serializing instruction; Pin splits blocks here *)
+  | Halt               (** stops the machine (test harness convenience) *)
+  | Mov of Operand.t * Operand.t          (** [Mov (dst, src)] *)
+  | Lea of Reg.t * Operand.mem
+  | Alu of alu_op * Operand.t * Operand.t (** [Alu (op, dst, src)] *)
+  | Inc of Operand.t
+  | Dec of Operand.t
+  | Neg of Operand.t
+  | Imul of Reg.t * Operand.t
+  | Shift of shift_op * Operand.t * int
+  | Cmp of Operand.t * Operand.t
+  | Test of Operand.t * Operand.t
+  | Jmp of target
+  | Jmp_ind of Operand.t                  (** indirect jump (switch tables) *)
+  | Jcc of Cond.t * target
+  | Call of target
+  | Call_ind of Operand.t
+  | Ret
+  | Push of Operand.t
+  | Pop of Operand.t
+  | Rep_movs   (** copy ECX words from [ESI] to [EDI]; one x86 instruction *)
+  | Rep_stos   (** store EAX into ECX words at [EDI] *)
+  | Sys of int (** software interrupt: 0 = exit(EAX), 1 = emit EAX *)
+
+val length : t -> int
+(** Encoded length in bytes, following typical IA-32 encodings (near form
+    for all relative branches so layout is single-pass). Lengths feed both
+    image layout and Table 1's code-replication accounting. *)
+
+val is_branch : t -> bool
+(** True for every control-transfer instruction (jumps, calls, returns,
+    [Sys], [Halt]). These end a StarDBT dynamic basic block. *)
+
+val is_conditional : t -> bool
+
+val is_indirect : t -> bool
+(** True when the dynamic target cannot be read off the encoding. *)
+
+val writes_control : t -> bool
+(** Alias of {!is_branch}; kept for call sites reading better with it. *)
+
+val direct_target : t -> int option
+(** Resolved target of a direct jump/call/conditional, if any. *)
+
+val fallthrough_continues : t -> bool
+(** Whether execution can continue at the next sequential address
+    (conditional branches and calls do; [Jmp], [Ret], [Halt] do not). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val equal : t -> t -> bool

@@ -1,0 +1,72 @@
+type mem = {
+  base : Reg.t option;
+  index : (Reg.t * int) option;
+  disp : int;
+}
+
+type t =
+  | Reg of Reg.t
+  | Imm of int
+  | Mem of mem
+
+let valid_scale = function 1 | 2 | 4 | 8 -> true | _ -> false
+
+let mem ?base ?index disp =
+  (match index with
+  | Some (_, s) when not (valid_scale s) ->
+      invalid_arg (Printf.sprintf "Operand.mem: invalid scale %d" s)
+  | Some _ | None -> ());
+  Mem { base; index; disp }
+
+let reg r = Reg r
+let imm n = Imm n
+
+let is_mem = function Mem _ -> true | Reg _ | Imm _ -> false
+
+let disp_bytes d = if d = 0 then 0 else if d >= -128 && d <= 127 then 1 else 4
+
+let mem_encoding_bytes m =
+  let sib = match m.index with Some _ -> 1 | None -> 0 in
+  let disp =
+    match m.base with
+    | None -> 4 (* absolute address needs a full displacement *)
+    | Some _ -> disp_bytes m.disp
+  in
+  sib + disp
+
+let encoding_bytes = function
+  | Reg _ -> 0
+  | Imm _ -> 4
+  | Mem m -> mem_encoding_bytes m
+
+let pp_mem fmt m =
+  let open Format in
+  fprintf fmt "[";
+  let printed = ref false in
+  (match m.base with
+  | Some b ->
+      Reg.pp fmt b;
+      printed := true
+  | None -> ());
+  (match m.index with
+  | Some (r, s) ->
+      if !printed then fprintf fmt "+";
+      fprintf fmt "%a*%d" Reg.pp r s;
+      printed := true
+  | None -> ());
+  if m.disp <> 0 || not !printed then begin
+    if !printed && m.disp >= 0 then fprintf fmt "+";
+    fprintf fmt "%s"
+      (if m.disp >= 0 && not !printed then Printf.sprintf "0x%x" m.disp
+       else string_of_int m.disp)
+  end;
+  fprintf fmt "]"
+
+let pp fmt = function
+  | Reg r -> Reg.pp fmt r
+  | Imm n -> Format.fprintf fmt "%d" n
+  | Mem m -> pp_mem fmt m
+
+let to_string op = Format.asprintf "%a" pp op
+
+let equal (a : t) (b : t) = a = b

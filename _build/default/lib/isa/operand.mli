@@ -1,0 +1,41 @@
+(** Instruction operands: register, immediate, or memory reference.
+
+    Memory references follow the IA-32 base + index*scale + displacement
+    addressing form. Displacements may be symbolic until the image is laid
+    out, so they are expressed as {!Asm_expr.t}-free plain ints here; symbol
+    resolution happens in the assembler before operands reach the
+    interpreter. *)
+
+type mem = {
+  base : Reg.t option;
+  index : (Reg.t * int) option;  (** register and scale in {1,2,4,8} *)
+  disp : int;
+}
+
+type t =
+  | Reg of Reg.t
+  | Imm of int
+  | Mem of mem
+
+val mem : ?base:Reg.t -> ?index:Reg.t * int -> int -> t
+(** [mem ?base ?index disp] builds a memory operand.
+    @raise Invalid_argument if the scale is not 1, 2, 4 or 8. *)
+
+val reg : Reg.t -> t
+val imm : int -> t
+
+val is_mem : t -> bool
+
+val mem_encoding_bytes : mem -> int
+(** Extra encoding bytes an x86-style memory operand contributes:
+    SIB byte when an index is present, plus 0/1/4 displacement bytes. *)
+
+val encoding_bytes : t -> int
+(** Extra bytes this operand contributes beyond the opcode+modrm baseline:
+    0 for registers, 4 for immediates, {!mem_encoding_bytes} for memory. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val equal : t -> t -> bool

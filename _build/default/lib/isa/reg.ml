@@ -1,0 +1,42 @@
+type t = EAX | EBX | ECX | EDX | ESI | EDI | EBP | ESP
+
+let all = [ EAX; EBX; ECX; EDX; ESI; EDI; EBP; ESP ]
+
+let count = List.length all
+
+let index = function
+  | EAX -> 0
+  | EBX -> 1
+  | ECX -> 2
+  | EDX -> 3
+  | ESI -> 4
+  | EDI -> 5
+  | EBP -> 6
+  | ESP -> 7
+
+let of_index = function
+  | 0 -> EAX
+  | 1 -> EBX
+  | 2 -> ECX
+  | 3 -> EDX
+  | 4 -> ESI
+  | 5 -> EDI
+  | 6 -> EBP
+  | 7 -> ESP
+  | n -> invalid_arg (Printf.sprintf "Reg.of_index: %d" n)
+
+let to_string = function
+  | EAX -> "eax"
+  | EBX -> "ebx"
+  | ECX -> "ecx"
+  | EDX -> "edx"
+  | ESI -> "esi"
+  | EDI -> "edi"
+  | EBP -> "ebp"
+  | ESP -> "esp"
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)
+
+let equal (a : t) (b : t) = a = b
+
+let compare a b = Int.compare (index a) (index b)

@@ -1,0 +1,23 @@
+(** General-purpose registers of the synthetic IA-32-like ISA. *)
+
+type t = EAX | EBX | ECX | EDX | ESI | EDI | EBP | ESP
+
+val all : t list
+(** Every register, in encoding order. *)
+
+val count : int
+(** Number of registers. *)
+
+val index : t -> int
+(** Encoding index in [0, count). *)
+
+val of_index : int -> t
+(** Inverse of {!index}. @raise Invalid_argument when out of range. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int

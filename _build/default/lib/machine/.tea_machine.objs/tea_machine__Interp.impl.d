@@ -1,0 +1,1 @@
+lib/machine/interp.ml: Array Cond Cost Image Insn List Memory Operand Printf Reg Tea_isa Tea_util

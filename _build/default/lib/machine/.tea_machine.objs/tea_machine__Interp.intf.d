@@ -1,0 +1,1 @@
+lib/machine/interp.mli: Memory Tea_isa

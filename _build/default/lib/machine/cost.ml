@@ -1,0 +1,28 @@
+open Tea_isa
+
+let operand_extra = function
+  | Operand.Mem _ -> 2 (* load/store latency *)
+  | Operand.Reg _ | Operand.Imm _ -> 0
+
+let insn i ~reps =
+  match i with
+  | Insn.Nop -> 1
+  | Insn.Cpuid -> 60 (* serializing *)
+  | Insn.Halt -> 1
+  | Insn.Mov (d, s) -> 1 + operand_extra d + operand_extra s
+  | Insn.Lea _ -> 1
+  | Insn.Alu (_, d, s) -> 1 + operand_extra d + operand_extra s
+  | Insn.Inc op | Insn.Dec op | Insn.Neg op -> 1 + (2 * operand_extra op)
+  | Insn.Imul (_, s) -> 3 + operand_extra s
+  | Insn.Shift (_, d, _) -> 1 + operand_extra d
+  | Insn.Cmp (a, b) | Insn.Test (a, b) -> 1 + operand_extra a + operand_extra b
+  | Insn.Jmp _ -> 1
+  | Insn.Jmp_ind op -> 3 + operand_extra op
+  | Insn.Jcc _ -> 2
+  | Insn.Call _ -> 3
+  | Insn.Call_ind op -> 4 + operand_extra op
+  | Insn.Ret -> 3
+  | Insn.Push _ | Insn.Pop _ -> 2
+  | Insn.Rep_movs -> 3 + (2 * reps)
+  | Insn.Rep_stos -> 3 + reps
+  | Insn.Sys _ -> 50

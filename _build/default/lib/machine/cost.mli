@@ -1,0 +1,12 @@
+(** Cycle cost model for native execution.
+
+    The paper reports wall-clock times on a Core i7; we have no hardware, so
+    every "time" in the reproduction is simulated cycles from this model
+    (see DESIGN.md, "Timing model"). Costs are coarse single-issue
+    approximations — what matters downstream is that they are *consistent*
+    across native runs, DBT runs and instrumented runs, so slowdown ratios
+    are meaningful. *)
+
+val insn : Tea_isa.Insn.t -> reps:int -> int
+(** Cycles to execute one instruction; [reps] is the dynamic iteration count
+    of a REP-prefixed instruction (1 otherwise). *)

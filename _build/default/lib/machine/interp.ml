@@ -1,0 +1,291 @@
+open Tea_isa
+module W = Tea_util.Word32
+
+type t = {
+  image : Image.t;
+  regs : int array;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cf : bool;
+  mutable ovf : bool;
+  mem : Memory.t;
+  mutable pc : int;
+  mutable out_rev : int list;
+  mutable n_instrs : int;
+  mutable n_expanded : int;
+  mutable n_cycles : int;
+}
+
+type event = {
+  pc : int;
+  insn : Insn.t;
+  reps : int;
+  next_pc : int;
+}
+
+type outcome =
+  | Exited of int
+  | Halted
+  | Fuel_exhausted
+  | Fault of string
+
+type stop = { outcome : outcome; at_pc : int }
+
+exception Stop_exec of outcome
+
+let create ?(stack_base = 0x0BFFFFF0) image =
+  let mem = Memory.create () in
+  Memory.load_words mem (Image.initial_data image);
+  let regs = Array.make Reg.count 0 in
+  regs.(Reg.index Reg.ESP) <- stack_base;
+  {
+    image;
+    regs;
+    zf = false;
+    sf = false;
+    cf = false;
+    ovf = false;
+    mem;
+    pc = Image.entry image;
+    out_rev = [];
+    n_instrs = 0;
+    n_expanded = 0;
+    n_cycles = 0;
+  }
+
+let reg t r = t.regs.(Reg.index r)
+
+let set_reg t r v = t.regs.(Reg.index r) <- W.norm v
+
+let memory t = t.mem
+
+let pc (t : t) = t.pc
+
+let output t = List.rev t.out_rev
+
+let dyn_instrs t = t.n_instrs
+
+let dyn_instrs_expanded t = t.n_expanded
+
+let cycles t = t.n_cycles
+
+let effective_addr t (m : Operand.mem) =
+  let base = match m.base with Some r -> reg t r | None -> 0 in
+  let idx = match m.index with Some (r, s) -> reg t r * s | None -> 0 in
+  (base + idx + m.disp) land 0xFFFFFFFF
+
+let read_operand t = function
+  | Operand.Reg r -> reg t r
+  | Operand.Imm n -> W.norm n
+  | Operand.Mem m -> Memory.read t.mem (effective_addr t m)
+
+let write_operand t op v =
+  match op with
+  | Operand.Reg r -> set_reg t r v
+  | Operand.Mem m -> Memory.write t.mem (effective_addr t m) v
+  | Operand.Imm _ -> raise (Stop_exec (Fault "write to immediate operand"))
+
+let set_flags_result t r =
+  t.zf <- r = 0;
+  t.sf <- W.norm r < 0
+
+let set_flags_logic t r =
+  set_flags_result t r;
+  t.cf <- false;
+  t.ovf <- false
+
+let set_flags_add t a b =
+  set_flags_result t (W.add a b);
+  t.cf <- W.carry_add a b;
+  t.ovf <- W.overflow_add a b
+
+let set_flags_sub t a b =
+  set_flags_result t (W.sub a b);
+  t.cf <- W.borrow_sub a b;
+  t.ovf <- W.overflow_sub a b
+
+let cond_holds t = function
+  | Cond.E -> t.zf
+  | Cond.NE -> not t.zf
+  | Cond.L -> t.sf <> t.ovf
+  | Cond.LE -> t.zf || t.sf <> t.ovf
+  | Cond.G -> (not t.zf) && t.sf = t.ovf
+  | Cond.GE -> t.sf = t.ovf
+  | Cond.B -> t.cf
+  | Cond.BE -> t.cf || t.zf
+  | Cond.A -> (not t.cf) && not t.zf
+  | Cond.AE -> not t.cf
+  | Cond.S -> t.sf
+  | Cond.NS -> not t.sf
+
+let target_addr = function
+  | Insn.Abs a -> a
+  | Insn.Lbl s -> raise (Stop_exec (Fault ("unresolved label " ^ s)))
+
+let push t v =
+  let sp = reg t Reg.ESP - 4 in
+  set_reg t Reg.ESP sp;
+  Memory.write t.mem sp v
+
+let pop t =
+  let sp = reg t Reg.ESP in
+  let v = Memory.read t.mem sp in
+  set_reg t Reg.ESP (sp + 4);
+  v
+
+let alu_apply op a b =
+  match op with
+  | Insn.Add -> W.add a b
+  | Insn.Sub -> W.sub a b
+  | Insn.And -> W.logand a b
+  | Insn.Or -> W.logor a b
+  | Insn.Xor -> W.logxor a b
+
+(* Executes [insn] at [addr]; returns (next_pc, reps). *)
+let exec (t : t) addr insn =
+  let fall = Image.next_addr t.image addr in
+  match insn with
+  | Insn.Nop | Insn.Cpuid -> (fall, 1)
+  | Insn.Halt -> raise (Stop_exec Halted)
+  | Insn.Mov (d, s) ->
+      write_operand t d (read_operand t s);
+      (fall, 1)
+  | Insn.Lea (r, m) ->
+      set_reg t r (effective_addr t m);
+      (fall, 1)
+  | Insn.Alu (op, d, s) ->
+      let a = read_operand t d and b = read_operand t s in
+      let r = alu_apply op a b in
+      (match op with
+      | Insn.Add -> set_flags_add t a b
+      | Insn.Sub -> set_flags_sub t a b
+      | Insn.And | Insn.Or | Insn.Xor -> set_flags_logic t r);
+      write_operand t d r;
+      (fall, 1)
+  | Insn.Inc d ->
+      let keep_cf = t.cf in
+      let a = read_operand t d in
+      set_flags_add t a 1;
+      t.cf <- keep_cf;
+      write_operand t d (W.add a 1);
+      (fall, 1)
+  | Insn.Dec d ->
+      let keep_cf = t.cf in
+      let a = read_operand t d in
+      set_flags_sub t a 1;
+      t.cf <- keep_cf;
+      write_operand t d (W.sub a 1);
+      (fall, 1)
+  | Insn.Neg d ->
+      let a = read_operand t d in
+      set_flags_sub t 0 a;
+      write_operand t d (W.neg a);
+      (fall, 1)
+  | Insn.Imul (r, s) ->
+      let a = reg t r and b = read_operand t s in
+      let v = W.mul a b in
+      set_flags_result t v;
+      t.cf <- a * b <> v;
+      t.ovf <- t.cf;
+      set_reg t r v;
+      (fall, 1)
+  | Insn.Shift (op, d, n) ->
+      let a = read_operand t d in
+      let r =
+        match op with
+        | Insn.Shl -> W.shl a n
+        | Insn.Shr -> W.shr a n
+        | Insn.Sar -> W.sar a n
+      in
+      set_flags_logic t r;
+      write_operand t d r;
+      (fall, 1)
+  | Insn.Cmp (a, b) ->
+      set_flags_sub t (read_operand t a) (read_operand t b);
+      (fall, 1)
+  | Insn.Test (a, b) ->
+      set_flags_logic t (W.logand (read_operand t a) (read_operand t b));
+      (fall, 1)
+  | Insn.Jmp tg -> (target_addr tg, 1)
+  | Insn.Jmp_ind op -> (W.unsigned (read_operand t op), 1)
+  | Insn.Jcc (c, tg) ->
+      if cond_holds t c then (target_addr tg, 1) else (fall, 1)
+  | Insn.Call tg ->
+      push t fall;
+      (target_addr tg, 1)
+  | Insn.Call_ind op ->
+      let dst = W.unsigned (read_operand t op) in
+      push t fall;
+      (dst, 1)
+  | Insn.Ret -> (W.unsigned (pop t), 1)
+  | Insn.Push op ->
+      push t (read_operand t op);
+      (fall, 1)
+  | Insn.Pop op ->
+      write_operand t op (pop t);
+      (fall, 1)
+  | Insn.Rep_movs ->
+      let count = max 0 (reg t Reg.ECX) in
+      let src = ref (W.unsigned (reg t Reg.ESI)) in
+      let dst = ref (W.unsigned (reg t Reg.EDI)) in
+      for _ = 1 to count do
+        Memory.write t.mem !dst (Memory.read t.mem !src);
+        src := !src + 4;
+        dst := !dst + 4
+      done;
+      set_reg t Reg.ESI !src;
+      set_reg t Reg.EDI !dst;
+      set_reg t Reg.ECX 0;
+      (fall, max 1 count)
+  | Insn.Rep_stos ->
+      let count = max 0 (reg t Reg.ECX) in
+      let v = reg t Reg.EAX in
+      let dst = ref (W.unsigned (reg t Reg.EDI)) in
+      for _ = 1 to count do
+        Memory.write t.mem !dst v;
+        dst := !dst + 4
+      done;
+      set_reg t Reg.EDI !dst;
+      set_reg t Reg.ECX 0;
+      (fall, max 1 count)
+  | Insn.Sys 0 -> raise (Stop_exec (Exited (reg t Reg.EAX)))
+  | Insn.Sys 1 ->
+      t.out_rev <- reg t Reg.EAX :: t.out_rev;
+      (fall, 1)
+  | Insn.Sys _ -> (fall, 1)
+
+let step (t : t) =
+  let addr = t.pc in
+  match Image.fetch t.image addr with
+  | None ->
+      Error { outcome = Fault (Printf.sprintf "bad fetch at 0x%x" addr); at_pc = addr }
+  | Some insn -> (
+      match exec t addr insn with
+      | next_pc, reps ->
+          t.pc <- next_pc;
+          t.n_instrs <- t.n_instrs + 1;
+          t.n_expanded <- t.n_expanded + reps;
+          t.n_cycles <- t.n_cycles + Cost.insn insn ~reps;
+          Ok { pc = addr; insn; reps; next_pc }
+      | exception Stop_exec outcome ->
+          t.n_instrs <- t.n_instrs + 1;
+          t.n_expanded <- t.n_expanded + 1;
+          t.n_cycles <- t.n_cycles + Cost.insn insn ~reps:1;
+          Error { outcome; at_pc = addr })
+
+let resume ?(fuel = 50_000_000) ?(on_event = fun _ -> ()) (t : t) =
+  let rec loop remaining =
+    if remaining <= 0 then { outcome = Fuel_exhausted; at_pc = t.pc }
+    else
+      match step t with
+      | Ok ev ->
+          on_event ev;
+          loop (remaining - 1)
+      | Error stop -> stop
+  in
+  loop fuel
+
+let run ?fuel ?on_event image =
+  let t = create image in
+  let stop = resume ?fuel ?on_event t in
+  (t, stop)

@@ -1,0 +1,64 @@
+(** Single-step interpreter for the synthetic ISA.
+
+    This is the "native machine" of the reproduction: every frontend
+    (StarDBT-like, Pin-like) observes the same architectural execution
+    through the per-instruction event returned by {!step}, and differs only
+    in how it groups instructions into dynamic basic blocks and what
+    overhead it charges. *)
+
+type t
+
+type event = {
+  pc : int;
+  insn : Tea_isa.Insn.t;
+  reps : int;
+      (** Dynamic iteration count of a REP-prefixed instruction, 1 for all
+          others. StarDBT counts such an instruction once; Pin expands it
+          into [reps] dynamic instructions (paper §4.1). *)
+  next_pc : int;  (** where control went after this instruction *)
+}
+
+type outcome =
+  | Exited of int           (** [Sys 0] with the code in EAX *)
+  | Halted                  (** [Halt] *)
+  | Fuel_exhausted
+  | Fault of string         (** bad fetch, bad target, stack underflow... *)
+
+type stop = { outcome : outcome; at_pc : int }
+
+val create : ?stack_base:int -> Tea_isa.Image.t -> t
+(** Fresh machine: registers zeroed, ESP at [stack_base] (default
+    0x0BFF_FFF0), data section loaded. *)
+
+val step : t -> (event, stop) result
+(** Execute one instruction. *)
+
+val run :
+  ?fuel:int ->
+  ?on_event:(event -> unit) ->
+  Tea_isa.Image.t ->
+  t * stop
+(** Run a fresh machine to completion (or [fuel] instructions, default 50
+    million), feeding every event to [on_event]; returns the final machine
+    (for counters and output) and the stop reason. *)
+
+val resume : ?fuel:int -> ?on_event:(event -> unit) -> t -> stop
+(** Continue stepping an existing machine. *)
+
+val pc : t -> int
+val reg : t -> Tea_isa.Reg.t -> int
+val set_reg : t -> Tea_isa.Reg.t -> int -> unit
+val memory : t -> Memory.t
+
+val output : t -> int list
+(** Values emitted via [Sys 1], in emission order. Deterministic workload
+    checksums for the tests. *)
+
+val dyn_instrs : t -> int
+(** Executed instructions, counting a REP instruction once (StarDBT rule). *)
+
+val dyn_instrs_expanded : t -> int
+(** Executed instructions counting each REP iteration (Pin rule). *)
+
+val cycles : t -> int
+(** Accumulated native cycles per {!Cost}. *)

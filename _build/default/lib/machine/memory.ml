@@ -1,0 +1,30 @@
+type access_kind = Load | Store
+
+type t = {
+  cells : (int, int) Hashtbl.t;
+  mutable tracer : (access_kind -> int -> unit) option;
+}
+
+let create () = { cells = Hashtbl.create 1024; tracer = None }
+
+let set_tracer t tracer = t.tracer <- tracer
+
+let write t addr v =
+  let addr = addr land 0xFFFFFFFF in
+  (match t.tracer with Some f -> f Store addr | None -> ());
+  Hashtbl.replace t.cells addr (Tea_util.Word32.norm v)
+
+let load_words t pairs =
+  let saved = t.tracer in
+  t.tracer <- None;
+  List.iter (fun (a, v) -> write t a v) pairs;
+  t.tracer <- saved
+
+let read t addr =
+  let addr = addr land 0xFFFFFFFF in
+  (match t.tracer with Some f -> f Load addr | None -> ());
+  match Hashtbl.find_opt t.cells addr with Some v -> v | None -> 0
+
+let footprint t = Hashtbl.length t.cells
+
+let copy t = { cells = Hashtbl.copy t.cells; tracer = None }

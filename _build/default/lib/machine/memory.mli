@@ -1,0 +1,31 @@
+(** Sparse word-addressed data memory.
+
+    The synthetic machine is word-oriented: every access reads or writes an
+    aligned 32-bit word. Unwritten locations read as zero, which keeps
+    workload images small. *)
+
+type t
+
+val create : unit -> t
+
+val load_words : t -> (int * int) list -> unit
+(** Install initial data (address, value) pairs, e.g. {!Tea_isa.Image.initial_data}. *)
+
+val read : t -> int -> int
+(** [read m addr] is the word at [addr] (zero if never written). *)
+
+val write : t -> int -> int -> unit
+
+val footprint : t -> int
+(** Number of distinct words ever written. *)
+
+val copy : t -> t
+(** The copy carries no tracer. *)
+
+type access_kind = Load | Store
+
+val set_tracer : t -> (access_kind -> int -> unit) option -> unit
+(** Observe every subsequent {!read}/{!write} with its address — the hook
+    the cache-simulator substrate uses to collect a data-access trace.
+    [None] removes the tracer. Initial-data loading ({!load_words}) is not
+    traced even if a tracer is installed first. *)

@@ -1,0 +1,1 @@
+lib/opt/opt.ml: Array Buffer Fun Hashtbl Insn List Operand Option Printf Reg Tea_cfg Tea_core Tea_isa Tea_machine Tea_traces

@@ -1,0 +1,267 @@
+open Tea_isa
+module Trace = Tea_traces.Trace
+module Tbb = Tea_traces.Tbb
+module Cost = Tea_machine.Cost
+
+type kind =
+  | Strength_reduction
+  | Combine_immediates
+  | Redundant_load
+  | Dead_store
+
+let kind_name = function
+  | Strength_reduction -> "strength-reduction"
+  | Combine_immediates -> "combine-immediates"
+  | Redundant_load -> "redundant-load"
+  | Dead_store -> "dead-store"
+
+type finding = {
+  kind : kind;
+  tbb_index : int;
+  insn_index : int;
+  saved_cycles : int;
+  note : string;
+}
+
+(* ---------- instruction classification helpers ---------- *)
+
+
+let regs_of_mem (m : Operand.mem) =
+  (match m.base with Some r -> [ r ] | None -> [])
+  @ match m.index with Some (r, _) -> [ r ] | None -> []
+
+(* Registers written by an instruction (partial: enough for the kills we
+   need; anything surprising should be treated as writing everything). *)
+let written_regs = function
+  | Insn.Mov (Operand.Reg r, _) | Insn.Lea (r, _) | Insn.Imul (r, _) -> [ r ]
+  | Insn.Alu (_, Operand.Reg r, _)
+  | Insn.Inc (Operand.Reg r)
+  | Insn.Dec (Operand.Reg r)
+  | Insn.Neg (Operand.Reg r)
+  | Insn.Shift (_, Operand.Reg r, _)
+  | Insn.Pop (Operand.Reg r) -> [ r ]
+  | Insn.Push _ | Insn.Pop _ -> [ Reg.ESP ]
+  | Insn.Rep_movs -> [ Reg.ESI; Reg.EDI; Reg.ECX ]
+  | Insn.Rep_stos -> [ Reg.EDI; Reg.ECX ]
+  | _ -> []
+
+let writes_flags = function
+  | Insn.Alu _ | Insn.Inc _ | Insn.Dec _ | Insn.Neg _ | Insn.Imul _
+  | Insn.Shift _ | Insn.Cmp _ | Insn.Test _ -> true
+  | _ -> false
+
+let reads_flags = function Insn.Jcc _ -> true | _ -> false
+
+(* Does the instruction read memory anywhere? (conservative) *)
+let reads_memory i =
+  let op_reads = function Operand.Mem _ -> true | _ -> false in
+  match i with
+  | Insn.Mov (_, s) -> op_reads s
+  | Insn.Alu (_, d, s) -> op_reads d || op_reads s
+  | Insn.Cmp (a, b) | Insn.Test (a, b) -> op_reads a || op_reads b
+  | Insn.Inc d | Insn.Dec d | Insn.Neg d | Insn.Shift (_, d, _) -> op_reads d
+  | Insn.Imul (_, s) | Insn.Push s | Insn.Jmp_ind s | Insn.Call_ind s -> op_reads s
+  | Insn.Pop _ | Insn.Ret | Insn.Rep_movs -> true
+  | _ -> false
+
+(* Instructions after which nothing we remembered can be trusted. *)
+let barrier = function
+  | Insn.Call _ | Insn.Call_ind _ | Insn.Ret | Insn.Sys _ | Insn.Rep_movs
+  | Insn.Rep_stos | Insn.Cpuid | Insn.Halt | Insn.Jmp_ind _ -> true
+  | _ -> false
+
+let power_of_two v = v > 1 && v land (v - 1) = 0
+
+let log2i v =
+  let rec go k n = if n <= 1 then k else go (k + 1) (n lsr 1) in
+  go 0 v
+
+(* ---------- path extraction ---------- *)
+
+(* The linear chain prefix 0 -> 1 -> ... of a superblock trace; every TBB
+   off the chain is analyzed in isolation. *)
+let segments (trace : Trace.t) =
+  let n = Trace.n_tbbs trace in
+  let rec chain i acc =
+    if i >= n then List.rev acc
+    else
+      match Trace.successors trace i with
+      | [ j ] when j = i + 1 -> chain (i + 1) (i :: acc)
+      | _ -> List.rev (i :: acc)
+  in
+  let main = if n = 0 then [] else chain 0 [] in
+  let on_chain = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace on_chain i ()) main;
+  let rest =
+    List.init n Fun.id |> List.filter (fun i -> not (Hashtbl.mem on_chain i))
+  in
+  main :: List.map (fun i -> [ i ]) rest
+
+(* ---------- the analysis ---------- *)
+
+type astate = {
+  mutable loads : (Operand.mem * Reg.t * (int * int)) list;
+      (* memory word known to be in a register since (tbb, idx) *)
+  mutable store : (Operand.mem * (int * int)) option;
+      (* latest store not yet observed by any read *)
+  mutable imm_alu : (Reg.t * (int * int)) option;
+      (* an add/sub-immediate that the very next insn may absorb *)
+}
+
+let fresh () = { loads = []; store = None; imm_alu = None }
+
+let kill_all st =
+  st.loads <- [];
+  st.store <- None;
+  st.imm_alu <- None
+
+let kill_reg st r =
+  st.loads <-
+    List.filter
+      (fun (m, v, _) -> not (Reg.equal v r || List.exists (Reg.equal r) (regs_of_mem m)))
+      st.loads;
+  match st.imm_alu with
+  | Some (r', _) when Reg.equal r r' -> st.imm_alu <- None
+  | _ -> ()
+
+let mem_equal (a : Operand.mem) (b : Operand.mem) = a = b
+
+(* Is it safe to alter this instruction's flag results? Scan forward in the
+   TBB: a flags writer before any reader means the flags are dead. The
+   terminator counts as a reader unless it is an unconditional jmp/call. *)
+let flags_dead_after insns idx =
+  let n = Array.length insns in
+  let rec scan k =
+    if k >= n then true
+    else
+      let _, i = insns.(k) in
+      if writes_flags i then true
+      else if reads_flags i then false
+      else if Insn.is_branch i then
+        (match i with Insn.Jmp _ | Insn.Call _ -> true | _ -> false)
+      else scan (k + 1)
+  in
+  scan (idx + 1)
+
+let analyze trace =
+  let findings = ref [] in
+  let emit kind tbb_index insn_index saved_cycles note =
+    findings := { kind; tbb_index; insn_index; saved_cycles; note } :: !findings
+  in
+  let cost i = Cost.insn i ~reps:1 in
+  let run_segment seg =
+    let st = fresh () in
+    List.iter
+      (fun tbb_index ->
+        let insns = (Trace.tbb trace tbb_index).Tbb.block.Tea_cfg.Block.insns in
+        Array.iteri
+          (fun insn_index (_, i) ->
+            let pos = (tbb_index, insn_index) in
+            (* dead store: the previous store is overwritten before a read *)
+            (match (i, st.store) with
+            | Insn.Mov (Operand.Mem m, _), Some (m', (t', k')) when mem_equal m m' ->
+                let _, dead = (Trace.tbb trace t').Tbb.block.Tea_cfg.Block.insns.(k') in
+                emit Dead_store t' k' (cost dead) "store overwritten before any read"
+            | _ -> ());
+            if reads_memory i then st.store <- None;
+            (* redundant load *)
+            (match i with
+            | Insn.Mov (Operand.Reg r, Operand.Mem m) -> (
+                match List.find_opt (fun (m', _, _) -> mem_equal m m') st.loads with
+                | Some (_, r0, _) ->
+                    let replacement =
+                      if Reg.equal r r0 then 0
+                      else cost (Insn.Mov (Operand.Reg r, Operand.Reg r0))
+                    in
+                    emit Redundant_load tbb_index insn_index
+                      (max 0 (cost i - replacement))
+                      (Printf.sprintf "value already in %s" (Reg.to_string r0))
+                | None -> ())
+            | _ -> ());
+            (* strength reduction *)
+            (match i with
+            | Insn.Imul (r, Operand.Imm v)
+              when power_of_two v && flags_dead_after insns insn_index ->
+                let shl = Insn.Shift (Insn.Shl, Operand.Reg r, log2i v) in
+                emit Strength_reduction tbb_index insn_index
+                  (max 0 (cost i - cost shl))
+                  (Printf.sprintf "imul by %d -> shl %d" v (log2i v))
+            | _ -> ());
+            (* combine adjacent immediates *)
+            (match (i, st.imm_alu) with
+            | Insn.Alu ((Insn.Add | Insn.Sub), Operand.Reg r, Operand.Imm _), Some (r', _)
+              when Reg.equal r r' ->
+                emit Combine_immediates tbb_index insn_index (cost i)
+                  "folds into the previous immediate"
+            | _ -> ());
+            (* ---- state update ---- *)
+            if barrier i then kill_all st
+            else begin
+              (* stores invalidate remembered loads; a store from a register
+                 re-establishes that mapping *)
+              (match i with
+              | Insn.Mov (Operand.Mem m, src) ->
+                  st.loads <- [];
+                  st.store <- Some (m, pos);
+                  (match src with
+                  | Operand.Reg r -> st.loads <- [ (m, r, pos) ]
+                  | _ -> ())
+              | Insn.Alu (_, Operand.Mem _, _)
+              | Insn.Inc (Operand.Mem _)
+              | Insn.Dec (Operand.Mem _)
+              | Insn.Neg (Operand.Mem _)
+              | Insn.Shift (_, Operand.Mem _, _)
+              | Insn.Pop (Operand.Mem _) ->
+                  st.loads <- [];
+                  st.store <- None
+              | _ -> ());
+              List.iter (kill_reg st) (written_regs i);
+              (* remember this load (after killing the overwritten reg) *)
+              (match i with
+              | Insn.Mov (Operand.Reg r, Operand.Mem m)
+                when not (List.exists (Reg.equal r) (regs_of_mem m)) ->
+                  st.loads <- (m, r, pos) :: st.loads
+              | _ -> ());
+              st.imm_alu <-
+                (match i with
+                | Insn.Alu ((Insn.Add | Insn.Sub), Operand.Reg r, Operand.Imm _)
+                  when flags_dead_after insns insn_index -> Some (r, pos)
+                | _ -> None)
+            end)
+          insns)
+      seg
+  in
+  List.iter run_segment (segments trace);
+  List.rev !findings
+
+type savings = {
+  findings : (finding * int) list;
+  static_cycles : int;
+  expected_cycles : int;
+}
+
+let weighted replayer trace =
+  let profile = Tea_core.Replayer.trace_profile replayer trace.Trace.id in
+  let count i = Option.value (List.assoc_opt i profile) ~default:0 in
+  let fs = analyze trace in
+  let findings = List.map (fun f -> (f, count f.tbb_index)) fs in
+  {
+    findings;
+    static_cycles = List.fold_left (fun a f -> a + f.saved_cycles) 0 fs;
+    expected_cycles =
+      List.fold_left (fun a (f, n) -> a + (f.saved_cycles * n)) 0 findings;
+  }
+
+let render trace savings =
+  let buf = Buffer.create 512 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "optimization opportunities in trace %d (%s):\n" trace.Trace.id
+    trace.Trace.kind;
+  List.iter
+    (fun (f, n) ->
+      pr "  tbb %d insn %d: %-20s saves %d cyc x %d execs  (%s)\n" f.tbb_index
+        f.insn_index (kind_name f.kind) f.saved_cycles n f.note)
+    savings.findings;
+  pr "static: %d cycles per full pass; profile-weighted: %d cycles\n"
+    savings.static_cycles savings.expected_cycles;
+  Buffer.contents buf

@@ -1,0 +1,47 @@
+(** Profile-guided trace-optimization analysis.
+
+    The paper's whole motivation is that a runtime "aggressively optimizes
+    traces" using profile information that TEA can collect before any trace
+    code exists. This module closes that loop: it finds classic superblock
+    optimization opportunities in a recorded trace — strength reduction,
+    immediate combining, redundant-load elimination, dead stores — and
+    weights each by the TEA replay profile, yielding the expected cycle
+    savings an optimizer would bank by compiling this trace.
+
+    Everything is a conservative *analysis* (no code is rewritten): kills
+    follow the coarsest alias model (any store or call invalidates all
+    remembered loads) and flag liveness is respected when replacing
+    flag-writing instructions. Opportunities spanning TBB boundaries are
+    only reported along unconditional chain edges of superblock traces —
+    the cross-block scope that makes traces worth optimizing at all. *)
+
+type kind =
+  | Strength_reduction  (** [imul r, 2^k] -> [shl r, k] *)
+  | Combine_immediates  (** adjacent add/sub immediates on one register *)
+  | Redundant_load      (** reload of a provably-unchanged memory word *)
+  | Dead_store          (** store overwritten before any possible read *)
+
+val kind_name : kind -> string
+
+type finding = {
+  kind : kind;
+  tbb_index : int;
+  insn_index : int;     (** within the TBB *)
+  saved_cycles : int;   (** per execution of that TBB *)
+  note : string;
+}
+
+val analyze : Tea_traces.Trace.t -> finding list
+(** All opportunities, in path order. *)
+
+type savings = {
+  findings : (finding * int) list;  (** finding, executions of its TBB *)
+  static_cycles : int;      (** per one full trace pass, unweighted *)
+  expected_cycles : int;    (** profile-weighted: sum over findings of
+                                saved_cycles * executions *)
+}
+
+val weighted : Tea_core.Replayer.t -> Tea_traces.Trace.t -> savings
+(** Weight {!analyze} by the replayed per-TBB execution counts. *)
+
+val render : Tea_traces.Trace.t -> savings -> string

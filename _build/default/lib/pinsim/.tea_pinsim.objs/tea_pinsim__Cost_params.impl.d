@@ -1,0 +1,1 @@
+lib/pinsim/cost_params.ml:

@@ -1,0 +1,1 @@
+lib/pinsim/edge_filter.ml: Array Hashtbl List Tea_cfg

@@ -1,0 +1,1 @@
+lib/pinsim/edge_filter.mli: Tea_cfg

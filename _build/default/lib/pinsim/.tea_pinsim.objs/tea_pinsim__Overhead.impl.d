@@ -1,0 +1,1 @@
+lib/pinsim/overhead.ml: Cost_params Pin Pintool_replay Tea_core

@@ -1,0 +1,1 @@
+lib/pinsim/overhead.mli: Cost_params Tea_isa Tea_traces

@@ -1,0 +1,1 @@
+lib/pinsim/pin.ml: Cost_params Hashtbl Tea_cfg Tea_machine

@@ -1,0 +1,1 @@
+lib/pinsim/pin.mli: Cost_params Tea_cfg Tea_isa Tea_machine

@@ -1,0 +1,1 @@
+lib/pinsim/pintool_record.ml: Cost_params Edge_filter Pin Tea_core Tea_traces

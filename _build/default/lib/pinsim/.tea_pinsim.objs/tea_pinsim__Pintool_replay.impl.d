@@ -1,0 +1,1 @@
+lib/pinsim/pintool_replay.ml: Cost_params Edge_filter Pin Tea_cfg Tea_core

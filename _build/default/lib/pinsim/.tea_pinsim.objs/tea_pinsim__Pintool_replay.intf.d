@@ -1,0 +1,1 @@
+lib/pinsim/pintool_replay.mli: Cost_params Tea_core Tea_isa Tea_traces

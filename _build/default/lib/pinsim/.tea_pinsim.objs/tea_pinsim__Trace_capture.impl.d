@@ -1,0 +1,1 @@
+lib/pinsim/trace_capture.ml: Edge_filter Fun Pin Tea_cfg Tea_core

@@ -1,0 +1,1 @@
+lib/pinsim/trace_capture.mli: Tea_isa

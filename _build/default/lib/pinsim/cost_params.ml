@@ -1,0 +1,9 @@
+type t = {
+  jit_per_insn : int;
+  dispatch_per_block : int;
+  analysis_call : int;
+  nte_side_work : int;
+}
+
+let default =
+  { jit_per_insn = 350; dispatch_per_block = 2; analysis_call = 150; nte_side_work = 85 }

@@ -1,0 +1,32 @@
+(** Cost parameters of the Pin-like frontend (simulated cycles).
+
+    The paper attributes TEA's replay overhead to two sources (§4): the way
+    Pin inserts *function calls* to the pintool's analysis routines on every
+    instrumented edge, and the transition function's lookups. The
+    transition-function side lives in {!Tea_core.Transition}; this module
+    prices the framework itself. Values are order-of-magnitude figures for
+    Pin circa 2009 on a Core i7, chosen so the reproduced Table 4 lands in
+    the paper's regime (geomean "Without Pintool" ≈ 1.5×, "Empty" ≈ 25×):
+
+    - JIT: Pin recompiles every executed block once, with heavyweight
+      instrumentation-capable codegen — hundreds of cycles per instruction.
+      Benchmarks with a large executed footprint (gcc, crafty, eon,
+      perlbmk) pay it visibly; tight FP loops amortize it to ≈ 1.0×.
+    - Dispatch: executing an already-jitted block costs a small constant
+      (Pin chains blocks).
+    - Analysis call: register spill + call + argument setup + return around
+      the pintool routine, on *every* block-to-block edge.
+    - NTE-side work: the pintool's cold-code bookkeeping (per edge whose
+      transition lands in NTE) — on top of the container miss cost already
+      charged by the transition function. *)
+
+type t = {
+  jit_per_insn : int;
+  dispatch_per_block : int;
+  analysis_call : int;
+  nte_side_work : int;
+}
+
+val default : t
+(** [{jit_per_insn = 350; dispatch_per_block = 2; analysis_call = 150;
+     nte_side_work = 85}] *)

@@ -1,0 +1,64 @@
+module Block = Tea_cfg.Block
+
+type t = {
+  emit : Block.t -> expanded:int -> unit;
+  merged : (int, Block.t) Hashtbl.t;  (* logical block cache by start *)
+  mutable frags_rev : Block.t list;   (* fragments of the pending block *)
+  mutable expanded : int;
+}
+
+let create ~emit = { emit; merged = Hashtbl.create 256; frags_rev = []; expanded = 0 }
+
+(* Concatenate the pending fragments into one logical block. Repeated
+   fragments (REP iterations re-executing the same start) contribute their
+   instructions once to the static body. *)
+let seal t =
+  match List.rev t.frags_rev with
+  | [] -> None
+  | first :: _ as frags ->
+      let start = first.Block.start in
+      let block =
+        match Hashtbl.find_opt t.merged start with
+        | Some b -> b
+        | None ->
+            let insns =
+              let seen = Hashtbl.create 8 in
+              List.concat_map
+                (fun (f : Block.t) ->
+                  if Hashtbl.mem seen f.Block.start then []
+                  else begin
+                    Hashtbl.replace seen f.Block.start ();
+                    Array.to_list f.Block.insns
+                  end)
+                frags
+            in
+            let last = List.nth frags (List.length frags - 1) in
+            let b = Block.make last.Block.end_kind insns in
+            Hashtbl.replace t.merged start b;
+            b
+      in
+      let expanded = t.expanded in
+      t.frags_rev <- [];
+      t.expanded <- 0;
+      Some (block, expanded)
+
+let on_block t (b : Block.t) =
+  t.frags_rev <- b :: t.frags_rev;
+  t.expanded <- t.expanded + Block.n_insns b;
+  match b.Block.end_kind with
+  | Block.Branch -> (
+      match seal t with
+      | Some (block, expanded) -> t.emit block ~expanded
+      | None -> assert false)
+  | Block.Policy_split -> ()
+
+let callbacks t =
+  {
+    Tea_cfg.Discovery.on_block = on_block t;
+    Tea_cfg.Discovery.on_edge = (fun _ _ -> ());
+  }
+
+let flush t =
+  match seal t with
+  | Some (block, expanded) -> t.emit block ~expanded
+  | None -> ()

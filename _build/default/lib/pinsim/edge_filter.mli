@@ -1,0 +1,27 @@
+(** The §4.1 fix: instrument edges, not Pin block starts.
+
+    Pin's discovery policy splits dynamic blocks at REP-prefixed
+    instructions (one fragment per iteration) and after [cpuid]; StarDBT
+    does not. A pintool that stepped the TEA at every *Pin* block boundary
+    would therefore see transitions StarDBT never recorded and fall out of
+    every trace that contains such an instruction. The paper's solution is
+    to insert instrumentation on the taken and fall-through edges instead,
+    guaranteeing the pintool sees the same transitions StarDBT saw.
+
+    This adapter consumes the Pin-policy fragment stream and re-emits
+    logical blocks delimited by real control transfers: consecutive
+    [Policy_split] fragments (including repeated REP iterations) merge into
+    the enclosing block. Emitted blocks carry both the merged static
+    instruction list (REP counted once — StarDBT's counting) and the
+    expanded dynamic count (each REP iteration counted — Pin's counting),
+    which is precisely why Tables 2/3 report coverage rather than
+    instruction counts. *)
+
+type t
+
+val create : emit:(Tea_cfg.Block.t -> expanded:int -> unit) -> t
+
+val callbacks : t -> Tea_cfg.Discovery.callbacks
+
+val flush : t -> unit
+(** Emit a trailing partial logical block, if any. *)

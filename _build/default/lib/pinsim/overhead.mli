@@ -1,0 +1,26 @@
+(** The Table 4 measurement harness: one program, six configurations.
+
+    - Native: plain execution (always 1.00);
+    - Without Pintool: Pin alone (JIT + dispatch);
+    - Empty: the replay pintool loaded with an empty trace set — global B+
+      tree, no local caches, exactly the configuration footnoted in §4.2;
+    - No Global / Local: linked-list container + per-state local caches;
+    - Global / No Local: B+ tree, no caches;
+    - Global / Local: both (the configuration behind Tables 2 and 3). *)
+
+type row = {
+  native : float;            (** 1.00 by construction *)
+  without_pintool : float;
+  empty : float;
+  no_global_local : float;
+  global_no_local : float;
+  global_local : float;
+}
+
+val measure :
+  ?params:Cost_params.t ->
+  ?fuel:int ->
+  traces:Tea_traces.Trace.t list ->
+  Tea_isa.Image.t ->
+  row
+(** Slowdowns normalized to the native run of the same image. *)

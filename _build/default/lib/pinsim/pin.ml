@@ -1,0 +1,61 @@
+module Block = Tea_cfg.Block
+module Discovery = Tea_cfg.Discovery
+module Interp = Tea_machine.Interp
+
+type stats = {
+  native_cycles : int;
+  jit_cycles : int;
+  dispatch_cycles : int;
+  framework_cycles : int;
+  blocks_jitted : int;
+  block_execs : int;
+  edge_execs : int;
+  total_insns : int;
+  stop : Interp.stop;
+  output : int list;
+}
+
+let run ?(params = Cost_params.default) ?fuel ?tool image =
+  let jitted = Hashtbl.create 512 in
+  let jit = ref 0 in
+  let dispatch = ref 0 in
+  let execs = ref 0 in
+  let edges = ref 0 in
+  let insns = ref 0 in
+  let framework =
+    {
+      Discovery.on_block =
+        (fun b ->
+          if not (Hashtbl.mem jitted b.Block.start) then begin
+            Hashtbl.replace jitted b.Block.start ();
+            jit := !jit + (params.Cost_params.jit_per_insn * Block.n_insns b)
+          end;
+          dispatch := !dispatch + params.Cost_params.dispatch_per_block;
+          incr execs;
+          insns := !insns + Block.n_insns b);
+      Discovery.on_edge = (fun _ _ -> incr edges);
+    }
+  in
+  let callbacks =
+    match tool with
+    | None -> framework
+    | Some t -> Tea_cfg.Dcfg.tee framework t
+  in
+  let machine, stop, _disc = Discovery.run ~policy:Discovery.Pin ?fuel image callbacks in
+  let native = Interp.cycles machine in
+  {
+    native_cycles = native;
+    jit_cycles = !jit;
+    dispatch_cycles = !dispatch;
+    framework_cycles = native + !jit + !dispatch;
+    blocks_jitted = Hashtbl.length jitted;
+    block_execs = !execs;
+    edge_execs = !edges;
+    total_insns = !insns;
+    stop;
+    output = Interp.output machine;
+  }
+
+let native_cycles ?fuel image =
+  let machine, _stop = Interp.run ?fuel image in
+  Interp.cycles machine

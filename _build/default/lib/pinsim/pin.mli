@@ -1,0 +1,26 @@
+(** The Pin-like runner: executes a program under the Pin block-discovery
+    policy, charges framework costs (JIT + dispatch), and hands the
+    block/edge stream to an optional tool. *)
+
+type stats = {
+  native_cycles : int;
+  jit_cycles : int;
+  dispatch_cycles : int;
+  framework_cycles : int;  (** native + jit + dispatch *)
+  blocks_jitted : int;
+  block_execs : int;
+  edge_execs : int;
+  total_insns : int;       (** Pin-expanded dynamic instruction count *)
+  stop : Tea_machine.Interp.stop;
+  output : int list;
+}
+
+val run :
+  ?params:Cost_params.t ->
+  ?fuel:int ->
+  ?tool:Tea_cfg.Discovery.callbacks ->
+  Tea_isa.Image.t ->
+  stats
+
+val native_cycles : ?fuel:int -> Tea_isa.Image.t -> int
+(** Cycles of a plain native run (Table 4's normalization baseline). *)

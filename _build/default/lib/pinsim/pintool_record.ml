@@ -1,0 +1,56 @@
+module Transition = Tea_core.Transition
+module Online = Tea_core.Online
+
+type result = {
+  coverage : float;
+  covered_insns : int;
+  total_insns : int;
+  native_cycles : int;
+  framework_cycles : int;
+  tool_cycles : int;
+  total_cycles : int;
+  slowdown : float;
+  traces : Tea_traces.Trace.t list;
+  automaton_bytes : int;
+  transition_stats : Transition.stats;
+}
+
+let record ?(params = Cost_params.default) ?config
+    ?(transition = Transition.config_global_local) ?fuel ~strategy image =
+  let online = Online.create ?config ~transition strategy in
+  (* §4.1: record over taken/fall-through edges so the traces use the same
+     block boundaries StarDBT would. *)
+  let analysis_calls = ref 0 in
+  let filter =
+    Edge_filter.create ~emit:(fun block ~expanded:_ ->
+        incr analysis_calls;
+        Online.feed online block)
+  in
+  let stats = Pin.run ~params ?fuel ~tool:(Edge_filter.callbacks filter) image in
+  Edge_filter.flush filter;
+  Online.finish online;
+  let trans = Online.transition online in
+  let st = Transition.stats trans in
+  let tool_cycles =
+    (params.Cost_params.analysis_call * !analysis_calls)
+    + Transition.cycles trans
+    + (params.Cost_params.nte_side_work * st.Transition.global_misses)
+  in
+  let total_cycles = stats.Pin.framework_cycles + tool_cycles in
+  let native = stats.Pin.native_cycles in
+  ( {
+      coverage = Online.coverage online;
+      covered_insns = Online.covered_insns online;
+      total_insns = Online.total_insns online;
+      native_cycles = native;
+      framework_cycles = stats.Pin.framework_cycles;
+      tool_cycles;
+      total_cycles;
+      slowdown =
+        (if native = 0 then 0.0
+         else float_of_int total_cycles /. float_of_int native);
+      traces = Online.traces online;
+      automaton_bytes = Tea_core.Automaton.byte_size (Online.automaton online);
+      transition_stats = st;
+    },
+    online )

@@ -1,0 +1,26 @@
+(** The trace-recording pintool (paper §4, Table 3): TEA used as the trace
+    recording mechanism itself, via Algorithm 2, inside the instrumentation
+    frontend. The paper records MRET traces this way. *)
+
+type result = {
+  coverage : float;
+  covered_insns : int;
+  total_insns : int;
+  native_cycles : int;
+  framework_cycles : int;
+  tool_cycles : int;
+  total_cycles : int;
+  slowdown : float;
+  traces : Tea_traces.Trace.t list;
+  automaton_bytes : int;
+  transition_stats : Tea_core.Transition.stats;
+}
+
+val record :
+  ?params:Cost_params.t ->
+  ?config:Tea_traces.Recorder.config ->
+  ?transition:Tea_core.Transition.config ->
+  ?fuel:int ->
+  strategy:Tea_traces.Recorder.strategy ->
+  Tea_isa.Image.t ->
+  result * Tea_core.Online.t

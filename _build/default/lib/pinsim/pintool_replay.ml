@@ -1,0 +1,57 @@
+module Transition = Tea_core.Transition
+module Replayer = Tea_core.Replayer
+module Builder = Tea_core.Builder
+
+type result = {
+  coverage : float;
+  covered_insns : int;
+  total_insns : int;
+  native_cycles : int;
+  framework_cycles : int;
+  tool_cycles : int;
+  total_cycles : int;
+  slowdown : float;
+  trace_enters : int;
+  trace_exits : int;
+  transition_stats : Transition.stats;
+}
+
+let replay ?(params = Cost_params.default)
+    ?(transition = Transition.config_global_local) ?fuel ~traces image =
+  let auto = Builder.build traces in
+  let trans = Transition.create transition auto in
+  let rep = Replayer.create trans in
+  (* §4.1: step the TEA on taken/fall-through edges (merged logical blocks),
+     not on Pin's fragment boundaries. *)
+  let analysis_calls = ref 0 in
+  let filter =
+    Edge_filter.create ~emit:(fun block ~expanded ->
+        incr analysis_calls;
+        Replayer.feed_addr rep ~insns:expanded block.Tea_cfg.Block.start)
+  in
+  let stats = Pin.run ~params ?fuel ~tool:(Edge_filter.callbacks filter) image in
+  Edge_filter.flush filter;
+  let st = Transition.stats trans in
+  let tool_cycles =
+    (params.Cost_params.analysis_call * !analysis_calls)
+    + Transition.cycles trans
+    + (params.Cost_params.nte_side_work * st.Transition.global_misses)
+  in
+  let total_cycles = stats.Pin.framework_cycles + tool_cycles in
+  let native = stats.Pin.native_cycles in
+  ( {
+      coverage = Replayer.coverage rep;
+      covered_insns = Replayer.covered_insns rep;
+      total_insns = Replayer.total_insns rep;
+      native_cycles = native;
+      framework_cycles = stats.Pin.framework_cycles;
+      tool_cycles;
+      total_cycles;
+      slowdown =
+        (if native = 0 then 0.0
+         else float_of_int total_cycles /. float_of_int native);
+      trace_enters = Replayer.trace_enters rep;
+      trace_exits = Replayer.trace_exits rep;
+      transition_stats = st;
+    },
+    rep )

@@ -1,0 +1,29 @@
+(** The trace-replaying pintool (paper §4, Table 2).
+
+    Loads traces recorded elsewhere (typically by {!Tea_dbt.Stardbt}),
+    builds the TEA with Algorithm 1, and replays the running program's edge
+    stream through it, collecting coverage and per-TBB profiles on the
+    *unmodified* executable. *)
+
+type result = {
+  coverage : float;
+  covered_insns : int;
+  total_insns : int;
+  native_cycles : int;
+  framework_cycles : int;   (** Pin base: native + JIT + dispatch *)
+  tool_cycles : int;        (** analysis calls + transition fn + NTE work *)
+  total_cycles : int;       (** the pintool run's simulated "Time" *)
+  slowdown : float;         (** total / native *)
+  trace_enters : int;
+  trace_exits : int;
+  transition_stats : Tea_core.Transition.stats;
+}
+
+val replay :
+  ?params:Cost_params.t ->
+  ?transition:Tea_core.Transition.config ->
+  ?fuel:int ->
+  traces:Tea_traces.Trace.t list ->
+  Tea_isa.Image.t ->
+  result * Tea_core.Replayer.t
+(** The returned replayer retains per-state profiles for inspection. *)

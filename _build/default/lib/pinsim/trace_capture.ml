@@ -1,0 +1,15 @@
+let record ?fuel image path =
+  let writer = Tea_core.Pc_trace.open_writer path in
+  let count = ref 0 in
+  let filter =
+    Edge_filter.create ~emit:(fun block ~expanded ->
+        incr count;
+        Tea_core.Pc_trace.write writer ~start:block.Tea_cfg.Block.start
+          ~insns:expanded)
+  in
+  Fun.protect
+    ~finally:(fun () -> Tea_core.Pc_trace.close_writer writer)
+    (fun () ->
+      let _stats = Pin.run ?fuel ~tool:(Edge_filter.callbacks filter) image in
+      Edge_filter.flush filter);
+  !count

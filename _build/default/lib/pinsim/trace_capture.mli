@@ -1,0 +1,9 @@
+(** Capture an execution's logical-block stream to a {!Tea_core.Pc_trace}
+    file — the producing half of the fully-decoupled replay workflow: run
+    the program once under the instrumentation frontend, ship the (small)
+    trace file anywhere, replay TEAs against it offline at will. *)
+
+val record : ?fuel:int -> Tea_isa.Image.t -> string -> int
+(** [record image path] runs [image] under the Pin-policy frontend with
+    §4.1 edge filtering and writes every logical block to [path]. Returns
+    the number of block records written. *)

@@ -1,0 +1,1 @@
+lib/report/ablations.ml: List Option Printf Stats Table Tea_core Tea_dbt Tea_pinsim Tea_traces Tea_workloads

@@ -1,0 +1,1 @@
+lib/report/experiments.ml: List Printf Stats String Table Tea_core Tea_dbt Tea_isa Tea_pinsim Tea_traces Tea_workloads

@@ -1,0 +1,1 @@
+lib/report/experiments.mli: Tea_dbt Tea_isa Tea_pinsim Tea_traces Tea_workloads

@@ -1,0 +1,152 @@
+module Spec = Tea_workloads.Spec2000
+module Stardbt = Tea_dbt.Stardbt
+module Trace_set = Tea_traces.Trace_set
+module Registry = Tea_traces.Registry
+module Automaton = Tea_core.Automaton
+module Builder = Tea_core.Builder
+module Transition = Tea_core.Transition
+
+let image_of name =
+  match Spec.by_name name with
+  | Some p -> Spec.image p
+  | None -> invalid_arg (Printf.sprintf "Ablations: unknown benchmark %s" name)
+
+(* ---------------- strategies ---------------- *)
+
+type strategy_row = {
+  s_benchmark : string;
+  s_strategy : string;
+  n_traces : int;
+  n_tbbs : int;
+  dbt_bytes : int;
+  tea_bytes : int;
+  saving : float;
+  coverage : float;
+}
+
+let default_benchmarks = [ "171.swim"; "164.gzip"; "176.gcc"; "181.mcf" ]
+
+let strategies ?(benchmarks = default_benchmarks) () =
+  List.concat_map
+    (fun bench ->
+      let image = image_of bench in
+      List.map
+        (fun (s_strategy, strategy) ->
+          let r = Stardbt.record ~strategy image in
+          let set = r.Stardbt.set in
+          let dbt_bytes = Trace_set.dbt_bytes set image in
+          let tea_bytes = Automaton.byte_size (Builder.of_set set) in
+          {
+            s_benchmark = bench;
+            s_strategy;
+            n_traces = Trace_set.n_traces set;
+            n_tbbs = Trace_set.n_tbbs set;
+            dbt_bytes;
+            tea_bytes;
+            saving = Stats.savings ~dbt:dbt_bytes ~tea:tea_bytes;
+            coverage = r.Stardbt.coverage;
+          })
+        Registry.extended)
+    benchmarks
+
+let render_strategies rows =
+  let header =
+    [ "benchmark"; "strategy"; "traces"; "TBBs"; "DBT B"; "TEA B"; "savings"; "coverage" ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        [
+          r.s_benchmark; r.s_strategy; string_of_int r.n_traces;
+          string_of_int r.n_tbbs; string_of_int r.dbt_bytes;
+          string_of_int r.tea_bytes; Stats.percent r.saving;
+          Stats.percent1 r.coverage;
+        ])
+      rows
+  in
+  "Ablation: selection strategies (including MFET)\n" ^ Table.render ~header body
+
+(* ---------------- cache slots ---------------- *)
+
+type cache_row = { slots : int; slowdown : float; hit_rate : float }
+
+let cache_slots ?(benchmark = "176.gcc") ?(slots = [ 1; 2; 4; 8; 16; 32 ]) () =
+  let image = image_of benchmark in
+  let strategy = Option.get (Registry.by_name "mret") in
+  let r = Stardbt.record ~strategy image in
+  let traces = Trace_set.to_list r.Stardbt.set in
+  let native = Tea_pinsim.Pin.native_cycles image in
+  List.map
+    (fun n ->
+      let transition =
+        { Transition.config_global_local with Transition.cache_slots = n }
+      in
+      let result, _ = Tea_pinsim.Pintool_replay.replay ~transition ~traces image in
+      let st = result.Tea_pinsim.Pintool_replay.transition_stats in
+      let lookups =
+        st.Transition.cache_hits + st.Transition.global_hits
+        + st.Transition.global_misses
+      in
+      {
+        slots = n;
+        slowdown =
+          float_of_int result.Tea_pinsim.Pintool_replay.total_cycles
+          /. float_of_int native;
+        hit_rate =
+          (if lookups = 0 then 0.0
+           else float_of_int st.Transition.cache_hits /. float_of_int lookups);
+      })
+    slots
+
+let render_cache_slots rows =
+  let header = [ "cache slots"; "slowdown"; "cache hit rate" ] in
+  let body =
+    List.map
+      (fun r ->
+        [ string_of_int r.slots; Stats.ratio r.slowdown; Stats.percent1 r.hit_rate ])
+      rows
+  in
+  "Ablation: per-state local-cache size (Global/Local replay)\n"
+  ^ Table.render ~header body
+
+(* ---------------- hot threshold ---------------- *)
+
+type threshold_row = {
+  threshold : int;
+  t_traces : int;
+  t_coverage : float;
+  t_tea_bytes : int;
+}
+
+let hot_threshold ?(benchmark = "181.mcf") ?(thresholds = [ 10; 25; 50; 100; 250; 1000 ])
+    () =
+  let image = image_of benchmark in
+  let strategy = Option.get (Registry.by_name "mret") in
+  List.map
+    (fun threshold ->
+      let config =
+        { Tea_traces.Recorder.default_config with
+          Tea_traces.Recorder.hot_threshold = threshold }
+      in
+      let r = Stardbt.record ~config ~strategy image in
+      {
+        threshold;
+        t_traces = Trace_set.n_traces r.Stardbt.set;
+        t_coverage = r.Stardbt.coverage;
+        t_tea_bytes = Automaton.byte_size (Builder.of_set r.Stardbt.set);
+      })
+    thresholds
+
+let render_hot_threshold rows =
+  let header = [ "hot threshold"; "traces"; "coverage"; "TEA bytes" ] in
+  let body =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.threshold; string_of_int r.t_traces;
+          Stats.percent1 r.t_coverage; string_of_int r.t_tea_bytes;
+        ])
+      rows
+  in
+  "Ablation: MRET hot threshold (trace count vs coverage)\n"
+  ^ Table.render ~header body

@@ -1,0 +1,47 @@
+(** Ablation studies for the reproduction's design choices.
+
+    Not tables from the paper — these sweep the knobs the paper's §4.2
+    discussion identifies as mattering (the lookup structures) plus the
+    recording parameters our DESIGN.md calls out, so their effect is
+    measured rather than asserted. *)
+
+(** Strategy ablation: Table-1-style sizes for every registered strategy,
+    including the extended set (MFET). *)
+type strategy_row = {
+  s_benchmark : string;
+  s_strategy : string;
+  n_traces : int;
+  n_tbbs : int;
+  dbt_bytes : int;
+  tea_bytes : int;
+  saving : float;
+  coverage : float;
+}
+
+val strategies :
+  ?benchmarks:string list -> unit -> strategy_row list
+
+val render_strategies : strategy_row list -> string
+
+(** Local-cache size sweep: Global/Local slowdown as the per-state cache
+    shrinks or grows. *)
+type cache_row = { slots : int; slowdown : float; hit_rate : float }
+
+val cache_slots :
+  ?benchmark:string -> ?slots:int list -> unit -> cache_row list
+
+val render_cache_slots : cache_row list -> string
+
+(** Hot-threshold sweep: how the recording threshold trades trace-set size
+    against coverage. *)
+type threshold_row = {
+  threshold : int;
+  t_traces : int;
+  t_coverage : float;
+  t_tea_bytes : int;
+}
+
+val hot_threshold :
+  ?benchmark:string -> ?thresholds:int list -> unit -> threshold_row list
+
+val render_hot_threshold : threshold_row list -> string

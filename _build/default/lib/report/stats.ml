@@ -1,0 +1,22 @@
+let geomean xs =
+  let xs = List.filter (fun x -> x > 0.0) xs in
+  match xs with
+  | [] -> 0.0
+  | _ ->
+      let n = float_of_int (List.length xs) in
+      exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percent f = Printf.sprintf "%.0f%%" (100.0 *. f)
+
+let percent1 f = Printf.sprintf "%.1f%%" (100.0 *. f)
+
+let ratio f = Printf.sprintf "%.2f" f
+
+let kb bytes = max 1 ((bytes + 1023) / 1024)
+
+let savings ~dbt ~tea =
+  if dbt <= 0 then 0.0 else 1.0 -. (float_of_int tea /. float_of_int dbt)

@@ -1,0 +1,22 @@
+(** Small statistics helpers used by the experiment tables. *)
+
+val geomean : float list -> float
+(** Geometric mean; zero/negative entries are skipped (the paper's tables
+    never contain them). Returns 0 on an empty list. *)
+
+val mean : float list -> float
+
+val percent : float -> string
+(** ["77%"] style, rounded to the nearest integer. *)
+
+val percent1 : float -> string
+(** ["99.8%"] style, one decimal. *)
+
+val ratio : float -> string
+(** ["13.53"] style, two decimals. *)
+
+val kb : int -> int
+(** Bytes to whole KB, rounding up (sizes under 1 KB still show as 1). *)
+
+val savings : dbt:int -> tea:int -> float
+(** [1 - tea/dbt], the Table 1 "Savings" fraction. *)

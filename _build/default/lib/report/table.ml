@@ -1,0 +1,35 @@
+type align = Left | Right
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some a ->
+        if List.length a <> ncols then invalid_arg "Table.render: align arity";
+        Array.of_list a
+    | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths = Array.make ncols 0 in
+  let note row =
+    List.iteri
+      (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  note header;
+  List.iter
+    (fun row ->
+      if List.length row <> ncols then invalid_arg "Table.render: row arity";
+      note row)
+    rows;
+  let pad i cell =
+    let w = widths.(i) in
+    match aligns.(i) with
+    | Left -> Printf.sprintf "%-*s" w cell
+    | Right -> Printf.sprintf "%*s" w cell
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" ((line header :: rule :: List.map line rows) @ [ "" ])

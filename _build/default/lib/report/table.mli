@@ -1,0 +1,11 @@
+(** Minimal aligned ASCII-table rendering for the experiment reports. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** Column-aligned table with a header rule. [align] defaults to [Left] for
+    the first column and [Right] for the rest. *)

@@ -1,0 +1,1 @@
+lib/traces/hotness.ml: Hashtbl Option Tea_cfg

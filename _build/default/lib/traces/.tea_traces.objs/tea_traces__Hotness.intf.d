@@ -1,0 +1,1 @@
+lib/traces/hotness.mli: Tea_cfg

@@ -1,0 +1,1 @@
+lib/traces/mfet.ml: Array Hashtbl Hotness List Option Recorder Tea_cfg Trace

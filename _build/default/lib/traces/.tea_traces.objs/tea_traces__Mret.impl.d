@@ -1,0 +1,1 @@
+lib/traces/mret.ml: Array Hashtbl Hotness List Recorder Tea_cfg Trace

@@ -1,0 +1,1 @@
+lib/traces/mret.mli: Recorder

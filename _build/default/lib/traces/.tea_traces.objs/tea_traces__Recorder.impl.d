@@ -1,0 +1,1 @@
+lib/traces/recorder.ml: Tea_cfg Trace

@@ -1,0 +1,1 @@
+lib/traces/recorder.mli: Tea_cfg Trace

@@ -1,0 +1,1 @@
+lib/traces/registry.ml: List Mfet Mret Recorder Tree_strategy

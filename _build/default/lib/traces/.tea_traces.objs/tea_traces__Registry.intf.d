@@ -1,0 +1,1 @@
+lib/traces/registry.mli: Recorder

@@ -1,0 +1,1 @@
+lib/traces/serialize.ml: Array Buffer Fun Image Insn List Printf String Tbb Tea_cfg Tea_isa Trace

@@ -1,0 +1,1 @@
+lib/traces/serialize.mli: Tea_cfg Tea_isa Trace

@@ -1,0 +1,1 @@
+lib/traces/tbb.ml: Format Tea_cfg

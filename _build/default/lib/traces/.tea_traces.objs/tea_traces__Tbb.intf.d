@@ -1,0 +1,1 @@
+lib/traces/tbb.mli: Format Tea_cfg

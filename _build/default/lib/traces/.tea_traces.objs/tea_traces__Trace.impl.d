@@ -1,0 +1,1 @@
+lib/traces/trace.ml: Array Format Hashtbl List Printf String Tbb Tea_cfg

@@ -1,0 +1,1 @@
+lib/traces/trace.mli: Format Tbb Tea_cfg Tea_isa

@@ -1,0 +1,1 @@
+lib/traces/trace_set.ml: Hashtbl List Option Trace

@@ -1,0 +1,1 @@
+lib/traces/trace_set.mli: Tea_isa Trace

@@ -1,0 +1,1 @@
+lib/traces/tree_strategy.ml: Array Hashtbl Hotness List Option Recorder Tea_cfg Tea_util Trace

@@ -1,0 +1,1 @@
+lib/traces/tree_strategy.mli: Recorder

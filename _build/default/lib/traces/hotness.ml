@@ -1,0 +1,27 @@
+type 'k t = {
+  threshold : int;
+  counts : ('k, int) Hashtbl.t;
+}
+
+let create ~threshold =
+  if threshold < 1 then invalid_arg "Hotness.create: threshold must be >= 1";
+  { threshold; counts = Hashtbl.create 256 }
+
+let threshold t = t.threshold
+
+let bump t key =
+  let c = 1 + Option.value (Hashtbl.find_opt t.counts key) ~default:0 in
+  if c >= t.threshold then begin
+    Hashtbl.replace t.counts key 0;
+    true
+  end
+  else begin
+    Hashtbl.replace t.counts key c;
+    false
+  end
+
+let count t key = Option.value (Hashtbl.find_opt t.counts key) ~default:0
+
+let reset t key = Hashtbl.remove t.counts key
+
+let is_backward ~src ~dst = dst <= src.Tea_cfg.Block.start

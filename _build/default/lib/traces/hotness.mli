@@ -1,0 +1,28 @@
+(** Execution counters with a hotness threshold.
+
+    All three recording strategies detect hot code the same way the
+    MRET/NET family does: count executions of candidate trace heads
+    (targets of backward control transfers) and fire once a counter crosses
+    the threshold. Counters reset on firing so a strategy can re-arm a
+    candidate (e.g. side-exit counters in trace trees, keyed by
+    (trace, node, target) tuples — hence the polymorphic key). *)
+
+type 'k t
+
+val create : threshold:int -> 'k t
+
+val threshold : 'k t -> int
+
+val bump : 'k t -> 'k -> bool
+(** [bump t key] increments [key]'s counter and returns [true] exactly when
+    the counter *reaches* the threshold (once per crossing; the counter is
+    reset so it can fire again later). *)
+
+val count : 'k t -> 'k -> int
+
+val reset : 'k t -> 'k -> unit
+
+val is_backward : src:Tea_cfg.Block.t -> dst:int -> bool
+(** The backward-transfer heuristic: the destination starts at or before
+    the source block. Targets of such transfers are loop-header
+    candidates. *)

@@ -1,0 +1,122 @@
+module Block = Tea_cfg.Block
+
+type t = {
+  cfg : Recorder.config;
+  heads : int Hotness.t;
+  entries : (int, unit) Hashtbl.t;
+  edges : (int * int, int) Hashtbl.t;      (* (src, dst) -> frequency *)
+  blocks : (int, Block.t) Hashtbl.t;       (* every block ever observed *)
+  mutable next_id : int;
+  mutable completed_rev : Trace.t list;
+  mutable pending : Trace.t option;        (* trace built at trigger time *)
+}
+
+let name = "mfet"
+
+let create cfg =
+  {
+    cfg;
+    heads = Hotness.create ~threshold:cfg.Recorder.hot_threshold;
+    entries = Hashtbl.create 64;
+    edges = Hashtbl.create 1024;
+    blocks = Hashtbl.create 512;
+    next_id = 0;
+    completed_rev = [];
+    pending = None;
+  }
+
+let edge_count t ~src ~dst =
+  Option.value (Hashtbl.find_opt t.edges (src, dst)) ~default:0
+
+let profile_edge t ~src ~dst =
+  Hashtbl.replace t.edges (src, dst) (1 + edge_count t ~src ~dst)
+
+(* The most frequent successor of a block, with its count. *)
+let best_successor t src =
+  Hashtbl.fold
+    (fun (s, d) c acc ->
+      if s <> src then acc
+      else match acc with Some (_, c') when c' >= c -> acc | _ -> Some (d, c))
+    t.edges None
+
+(* Follow the profile's hottest edges from [entry] into a superblock. The
+   walk stops at a revisited block, another trace's entry, a cold edge
+   (below half the head's heat), or the length cap. *)
+let build_trace t entry =
+  let min_heat = max 1 (t.cfg.Recorder.hot_threshold / 2) in
+  let index_of = Hashtbl.create 16 in
+  let rec walk addr acc n =
+    match Hashtbl.find_opt t.blocks addr with
+    | None -> (List.rev acc, None)
+    | Some block -> (
+        Hashtbl.replace index_of addr n;
+        let acc = block :: acc in
+        if n + 1 >= t.cfg.Recorder.max_blocks then (List.rev acc, None)
+        else
+          match best_successor t addr with
+          | Some (next, c) when c >= min_heat -> (
+              match Hashtbl.find_opt index_of next with
+              | Some k -> (List.rev acc, Some k)  (* cycle found *)
+              | None ->
+                  if Hashtbl.mem t.entries next then (List.rev acc, None)
+                  else walk next acc (n + 1))
+          | Some _ | None -> (List.rev acc, None))
+  in
+  let blocks, cycle_to = walk entry [] 0 in
+  match blocks with
+  | [] -> None
+  | _ ->
+      let arr = Array.of_list blocks in
+      let n = Array.length arr in
+      let succs =
+        Array.init n (fun i ->
+            if i + 1 < n then [ i + 1 ]
+            else match cycle_to with Some k -> [ k ] | None -> [])
+      in
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      Some (Trace.make ~id ~kind:name arr succs)
+
+let trigger t ~current ~next =
+  Hashtbl.replace t.blocks next.Block.start next;
+  match current with
+  | None -> false
+  | Some src ->
+      let dst = next.Block.start in
+      profile_edge t ~src:src.Block.start ~dst;
+      if Hashtbl.mem t.entries dst then false
+      else if Hotness.is_backward ~src ~dst && Hotness.bump t.heads dst then begin
+        match build_trace t dst with
+        | Some trace ->
+            t.pending <- Some trace;
+            true
+        | None -> false
+      end
+      else false
+
+let start t ~current:_ ~next:_ =
+  match t.pending with
+  | Some _ -> ()
+  | None -> invalid_arg "Mfet.start: no pending trace"
+
+(* The trace was fully constructed from the edge profile at trigger time;
+   the first [add] call publishes it. *)
+let add t ~current:_ ~next:_ =
+  match t.pending with
+  | None -> invalid_arg "Mfet.add: not recording"
+  | Some trace ->
+      t.pending <- None;
+      Hashtbl.replace t.entries (Trace.entry trace) ();
+      t.completed_rev <- trace :: t.completed_rev;
+      `Done (Some trace)
+
+let abort t =
+  match t.pending with
+  | None -> None
+  | Some trace ->
+      t.pending <- None;
+      Hashtbl.replace t.entries (Trace.entry trace) ();
+      t.completed_rev <- trace :: t.completed_rev;
+      Some trace
+
+let traces t = List.rev t.completed_rev

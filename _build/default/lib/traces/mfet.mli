@@ -1,0 +1,19 @@
+(** MFET — Most Frequently Executed Tail (ref [5] of the paper; the
+    edge-profiling counterpart of MRET discussed in Duesterwald & Bala's
+    "less is more").
+
+    Where MRET speculates that the *next* executed tail is the hot one,
+    MFET continuously profiles every block-to-block edge and, when a trace
+    head becomes hot, *constructs* the trace by following the most
+    frequent successor edge from each block — paying permanent edge
+    instrumentation overhead for better path selection.
+
+    Not part of the paper's Table 1 strategy set (see
+    {!Registry.all}), but registered in {!Registry.extended} and exercised
+    by the ablation benchmarks: TEA's memory savings are insensitive to the
+    selection strategy, and a fourth strategy makes that point stronger. *)
+
+include Recorder.STRATEGY
+
+val edge_count : t -> src:int -> dst:int -> int
+(** Profiled frequency of an edge (exposed for tests). *)

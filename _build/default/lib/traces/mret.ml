@@ -1,0 +1,110 @@
+module Block = Tea_cfg.Block
+
+type recording = {
+  entry : int;
+  mutable blocks_rev : Block.t list;
+  mutable len : int;
+  index_of : (int, int) Hashtbl.t;  (* block start -> position in recording *)
+}
+
+type t = {
+  cfg : Recorder.config;
+  heads : int Hotness.t;
+  entries : (int, unit) Hashtbl.t;
+  members : (int, unit) Hashtbl.t;  (* start addrs of blocks inside traces *)
+  mutable next_id : int;
+  mutable completed_rev : Trace.t list;
+  mutable recording : recording option;
+}
+
+let name = "mret"
+
+let create cfg =
+  {
+    cfg;
+    heads = Hotness.create ~threshold:cfg.Recorder.hot_threshold;
+    entries = Hashtbl.create 64;
+    members = Hashtbl.create 256;
+    next_id = 0;
+    completed_rev = [];
+    recording = None;
+  }
+
+let is_trace_entry t addr = Hashtbl.mem t.entries addr
+
+(* NET/Dynamo counts two kinds of trace-head candidates: targets of backward
+   transfers (loop headers) and targets of exits from existing traces. *)
+let trigger t ~current ~next =
+  match current with
+  | None -> false
+  | Some src ->
+      let dst = next.Block.start in
+      if is_trace_entry t dst then false
+      else
+        let candidate =
+          Hotness.is_backward ~src ~dst
+          || (Hashtbl.mem t.members src.Block.start
+              && not (Hashtbl.mem t.members dst))
+        in
+        candidate && Hotness.bump t.heads dst
+
+let start t ~current:_ ~next =
+  assert (t.recording = None);
+  let index_of = Hashtbl.create 16 in
+  Hashtbl.replace index_of next.Block.start 0;
+  t.recording <-
+    Some { entry = next.Block.start; blocks_rev = [ next ]; len = 1; index_of }
+
+(* Close the current recording with an optional back edge to position
+   [cycle_to]. *)
+let finish t r ~cycle_to =
+  let blocks = Array.of_list (List.rev r.blocks_rev) in
+  let n = Array.length blocks in
+  let succs =
+    Array.init n (fun i ->
+        if i + 1 < n then [ i + 1 ]
+        else match cycle_to with Some k -> [ k ] | None -> [])
+  in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let trace = Trace.make ~id ~kind:name blocks succs in
+  Hashtbl.replace t.entries r.entry ();
+  Array.iter (fun b -> Hashtbl.replace t.members b.Block.start ()) blocks;
+  t.completed_rev <- trace :: t.completed_rev;
+  t.recording <- None;
+  trace
+
+let add t ~current ~next =
+  match t.recording with
+  | None -> invalid_arg "Mret.add: not recording"
+  | Some r ->
+      let dst = next.Block.start in
+      if dst = r.entry then `Done (Some (finish t r ~cycle_to:(Some 0)))
+      else if is_trace_entry t dst then `Done (Some (finish t r ~cycle_to:None))
+      else begin
+        match Hashtbl.find_opt r.index_of dst with
+        | Some k -> `Done (Some (finish t r ~cycle_to:(Some k)))
+        | None ->
+            if Hotness.is_backward ~src:current ~dst then
+              `Done (Some (finish t r ~cycle_to:None))
+            else if r.len >= t.cfg.Recorder.max_blocks then
+              `Done (Some (finish t r ~cycle_to:None))
+            else begin
+              Hashtbl.replace r.index_of dst r.len;
+              r.blocks_rev <- next :: r.blocks_rev;
+              r.len <- r.len + 1;
+              `Continue
+            end
+      end
+
+let abort t =
+  match t.recording with
+  | None -> None
+  | Some r ->
+      if r.len >= 2 then Some (finish t r ~cycle_to:None)
+      else begin
+        t.recording <- None;
+        None
+      end
+
+let traces t = List.rev t.completed_rev

@@ -1,0 +1,14 @@
+(** MRET (Most Recently Executed Tail, a.k.a. NET — Dynamo's strategy,
+    refs [1, 7] of the paper).
+
+    Execution counters sit on targets of backward control transfers (loop
+    headers). When a counter crosses the threshold, the blocks executed
+    next are recorded verbatim into a superblock until the recording takes
+    a backward transfer, reaches the head again (producing a cyclic trace),
+    runs into another trace's entry, revisits a block already in the
+    recording, or hits the length cap. *)
+
+include Recorder.STRATEGY
+
+val is_trace_entry : t -> int -> bool
+(** Whether a completed trace starts at this address (exposed for tests). *)

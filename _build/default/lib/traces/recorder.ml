@@ -1,0 +1,42 @@
+type config = {
+  hot_threshold : int;
+  exit_threshold : int;
+  max_blocks : int;
+  max_path_blocks : int;
+  max_inner_unroll : int;
+  max_tree_nodes : int;
+}
+
+let default_config =
+  {
+    hot_threshold = 50;
+    exit_threshold = 4;
+    max_blocks = 64;
+    max_path_blocks = 768;
+    max_inner_unroll = 10;
+    max_tree_nodes = 4096;
+  }
+
+module type STRATEGY = sig
+  type t
+
+  val name : string
+
+  val create : config -> t
+
+  val trigger : t -> current:Tea_cfg.Block.t option -> next:Tea_cfg.Block.t -> bool
+
+  val start : t -> current:Tea_cfg.Block.t option -> next:Tea_cfg.Block.t -> unit
+
+  val add :
+    t ->
+    current:Tea_cfg.Block.t ->
+    next:Tea_cfg.Block.t ->
+    [ `Continue | `Done of Trace.t option ]
+
+  val abort : t -> Trace.t option
+
+  val traces : t -> Trace.t list
+end
+
+type strategy = (module STRATEGY)

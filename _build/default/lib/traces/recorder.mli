@@ -1,0 +1,78 @@
+(** The trace-selection strategy interface.
+
+    Algorithm 2 of the paper factors online trace recording into a
+    three-state machine (Initial / Executing / Creating) that delegates the
+    strategy-specific decisions to four hooks: [TriggerTraceRecording],
+    [StartCreatingTrace], [AddTBBToTrace] and [DoneTraceRecording]. This
+    signature is those hooks. Both drivers — the StarDBT-like runtime
+    ({!Tea_dbt}) and TEA's own online recorder — run any strategy
+    implementing it, which is how the paper records MRET traces both under
+    StarDBT and under the pintool.
+
+    A strategy is fed the executed-block stream as (current, next) pairs:
+    [trigger] on every transition while no trace is being recorded (and must
+    use those calls to shadow execution through its own traces, e.g. to spot
+    hot side exits of a trace tree), and [add] on every transition while
+    recording. [add] returns a finished trace when the strategy decides
+    recording is done; tree strategies may return an *updated* trace
+    carrying a previously-returned id, which replaces the old version. *)
+
+type config = {
+  hot_threshold : int;   (** head counter threshold (the paper uses ~50) *)
+  exit_threshold : int;  (** side-exit counter threshold for tree growth *)
+  max_blocks : int;      (** superblock length cap (MRET) *)
+  max_path_blocks : int; (** tree-path length cap — much larger than
+                             [max_blocks]: a tree path anchored at an inner
+                             loop must be able to go all the way around the
+                             enclosing loop *)
+  max_inner_unroll : int;
+      (** trace trees unroll inner loops into the recorded path; abort the
+          path once it crosses the same non-anchor backward target more
+          than this many times (the unroll bound every tracing JIT
+          applies). Short data-dependent inner loops stay under it —
+          that is exactly the gzip/bzip2 tree explosion of Table 1 —
+          while long counted FP inner loops exceed it, keeping TT lean
+          where the paper's Table 1 shows TT smaller than CTT *)
+  max_tree_nodes : int;  (** total TBB cap per trace tree *)
+}
+
+val default_config : config
+(** [{hot_threshold = 50; exit_threshold = 4; max_blocks = 64;
+     max_path_blocks = 768; max_inner_unroll = 10; max_tree_nodes = 4096}] *)
+
+module type STRATEGY = sig
+  type t
+
+  val name : string
+
+  val create : config -> t
+
+  val trigger : t -> current:Tea_cfg.Block.t option -> next:Tea_cfg.Block.t -> bool
+  (** Executing state: should recording start, with [next] as the first
+      TBB? [current] is [None] only for the program's first block. *)
+
+  val start : t -> current:Tea_cfg.Block.t option -> next:Tea_cfg.Block.t -> unit
+  (** Recording begins; [next] is the trace head. Only called immediately
+      after [trigger] returned [true] for the same pair. *)
+
+  val add :
+    t ->
+    current:Tea_cfg.Block.t ->
+    next:Tea_cfg.Block.t ->
+    [ `Continue | `Done of Trace.t option ]
+  (** Creating state: [next] is about to execute. [`Done (Some trace)] when
+      the trace finished (possibly *without* having added [next] — e.g. the
+      trace ended because [next] is another trace's head); [`Done None] when
+      the recording was abandoned (e.g. a tree path overran its cap). A
+      returned trace whose id matches an earlier one *replaces* it. *)
+
+  val abort : t -> Trace.t option
+  (** The program ended while recording; salvage a trace if the partial
+      recording is viable, else drop it. *)
+
+  val traces : t -> Trace.t list
+  (** Latest version of every trace completed so far, in creation order. *)
+end
+
+type strategy = (module STRATEGY)
+(** First-class strategy; see {!Registry} for the name-indexed list. *)

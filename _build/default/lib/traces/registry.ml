@@ -1,0 +1,14 @@
+let all : (string * Recorder.strategy) list =
+  [
+    ("mret", (module Mret : Recorder.STRATEGY));
+    ("ctt", (module Tree_strategy.Ctt));
+    ("tt", (module Tree_strategy.Tt));
+  ]
+
+let extended = all @ [ ("mfet", (module Mfet : Recorder.STRATEGY)) ]
+
+let by_name name = List.assoc_opt name extended
+
+let names = List.map fst all
+
+let extended_names = List.map fst extended

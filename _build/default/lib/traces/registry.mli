@@ -1,0 +1,16 @@
+(** Name-indexed registry of the recording strategies the paper evaluates
+    (Table 1: MRET, CTT, TT). *)
+
+val by_name : string -> Recorder.strategy option
+(** Resolves over {!extended}. *)
+
+val all : (string * Recorder.strategy) list
+(** The paper's Table 1 strategies, in column order: mret, ctt, tt. *)
+
+val extended : (string * Recorder.strategy) list
+(** [all] plus strategies beyond the paper's evaluation (mfet). *)
+
+val names : string list
+(** Names of {!all}. *)
+
+val extended_names : string list

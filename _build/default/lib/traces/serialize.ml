@@ -1,0 +1,133 @@
+open Tea_isa
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let magic = "TEA-TRACES 1"
+
+let decode_block image ~start ~n =
+  if n <= 0 then parse_error "block at 0x%x: non-positive size %d" start n;
+  let rec walk addr k acc =
+    if k = 0 then List.rev acc
+    else
+      match Image.fetch image addr with
+      | None -> parse_error "block at 0x%x: no instruction at 0x%x" start addr
+      | Some insn -> walk (addr + Insn.length insn) (k - 1) ((addr, insn) :: acc)
+  in
+  let insns = walk start n [] in
+  let _, last = List.nth insns (n - 1) in
+  let end_kind =
+    if Insn.is_branch last then Tea_cfg.Block.Branch else Tea_cfg.Block.Policy_split
+  in
+  Tea_cfg.Block.make end_kind insns
+
+let to_string traces =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (tr : Trace.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "trace %d %s %d\n" tr.Trace.id tr.Trace.kind
+           (Trace.n_tbbs tr));
+      Array.iter
+        (fun tb ->
+          Buffer.add_string buf
+            (Printf.sprintf "tbb 0x%x %d\n" (Tbb.start tb) (Tbb.n_insns tb)))
+        tr.Trace.tbbs;
+      Array.iteri
+        (fun i succs ->
+          if succs <> [] then
+            Buffer.add_string buf
+              (Printf.sprintf "succ %d %s\n" i
+                 (String.concat " " (List.map string_of_int succs))))
+        tr.Trace.succs;
+      Buffer.add_string buf "end\n")
+    traces;
+  Buffer.contents buf
+
+type parse_state = {
+  mutable id : int;
+  mutable kind : string;
+  mutable expect_tbbs : int;
+  mutable blocks_rev : Tea_cfg.Block.t list;
+  mutable succs : (int * int list) list;
+}
+
+let of_string image s =
+  let lines = String.split_on_char '\n' s in
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  (match lines with
+  | first :: _ when String.trim first = magic -> ()
+  | _ -> parse_error "missing %S header" magic);
+  let traces = ref [] in
+  let cur = ref None in
+  let finish () =
+    match !cur with
+    | None -> parse_error "'end' without 'trace'"
+    | Some st ->
+        let blocks = Array.of_list (List.rev st.blocks_rev) in
+        if Array.length blocks <> st.expect_tbbs then
+          parse_error "trace %d: expected %d tbbs, found %d" st.id st.expect_tbbs
+            (Array.length blocks);
+        let succs = Array.make (Array.length blocks) [] in
+        List.iter
+          (fun (i, ss) ->
+            if i < 0 || i >= Array.length succs then
+              parse_error "trace %d: succ index %d out of range" st.id i;
+            succs.(i) <- ss)
+          st.succs;
+        (try traces := Trace.make ~id:st.id ~kind:st.kind blocks succs :: !traces
+         with Trace.Ill_formed m -> parse_error "%s" m);
+        cur := None
+  in
+  let ints_of words = List.map int_of_string words in
+  List.iteri
+    (fun lineno line ->
+      if lineno = 0 then ()
+      else
+        let words =
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun w -> w <> "")
+        in
+        try
+          match (words, !cur) with
+          | "trace" :: id :: kind :: ntbbs :: [], None ->
+              cur :=
+                Some
+                  {
+                    id = int_of_string id;
+                    kind;
+                    expect_tbbs = int_of_string ntbbs;
+                    blocks_rev = [];
+                    succs = [];
+                  }
+          | "trace" :: _, Some _ -> parse_error "nested 'trace'"
+          | "tbb" :: start :: n :: [], Some st ->
+              let start = int_of_string start and n = int_of_string n in
+              st.blocks_rev <- decode_block image ~start ~n :: st.blocks_rev
+          | "succ" :: i :: rest, Some st ->
+              st.succs <- (int_of_string i, ints_of rest) :: st.succs
+          | [ "end" ], Some _ -> finish ()
+          | _, _ -> parse_error "line %d: cannot parse %S" (lineno + 1) line
+        with Failure _ ->
+          parse_error "line %d: bad integer in %S" (lineno + 1) line)
+    lines;
+  if !cur <> None then parse_error "unterminated trace";
+  List.rev !traces
+
+let save path traces =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string traces))
+
+let load image path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      of_string image s)

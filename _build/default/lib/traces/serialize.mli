@@ -1,0 +1,25 @@
+(** Trace-set serialization — the cross-system use case.
+
+    The paper's headline workflow records traces under StarDBT, writes them
+    to a file, and loads them into a pintool on a different system for
+    replay. Blocks are stored as (start address, instruction count) and
+    re-decoded against the program image at load time, exactly as a real
+    tool would re-decode the unmodified executable. *)
+
+exception Parse_error of string
+
+val decode_block :
+  Tea_isa.Image.t -> start:int -> n:int -> Tea_cfg.Block.t
+(** Re-decode a block by walking [n] instructions from [start].
+    @raise Parse_error if an address does not hold an instruction. *)
+
+val to_string : Trace.t list -> string
+
+val of_string : Tea_isa.Image.t -> string -> Trace.t list
+(** @raise Parse_error on malformed input. *)
+
+val save : string -> Trace.t list -> unit
+(** Write to a file path. *)
+
+val load : Tea_isa.Image.t -> string -> Trace.t list
+(** Read from a file path. *)

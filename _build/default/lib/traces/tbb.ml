@@ -1,0 +1,16 @@
+type t = {
+  index : int;
+  block : Tea_cfg.Block.t;
+}
+
+let make ~index block =
+  if index < 0 then invalid_arg "Tbb.make: negative index";
+  { index; block }
+
+let start t = t.block.Tea_cfg.Block.start
+
+let n_insns t = Tea_cfg.Block.n_insns t.block
+
+let byte_len t = t.block.Tea_cfg.Block.byte_len
+
+let pp fmt t = Format.fprintf fmt "tbb#%d@@0x%x" t.index (start t)

@@ -1,0 +1,22 @@
+(** Trace Basic Blocks (Definition 2 of the paper): an *instance* of a basic
+    block inside a trace. The same block may occur in many traces — and,
+    for trace trees, several times within one trace — and every occurrence
+    is a distinct TBB. A TBB is identified by its position (index) inside
+    its owning trace. *)
+
+type t = {
+  index : int;              (** position within the owning trace; 0 = head *)
+  block : Tea_cfg.Block.t;  (** the underlying basic block *)
+}
+
+val make : index:int -> Tea_cfg.Block.t -> t
+
+val start : t -> int
+(** Start address of the underlying block — the DFA transition label that
+    leads *into* this TBB. *)
+
+val n_insns : t -> int
+
+val byte_len : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+type t = {
+  id : int;
+  kind : string;
+  tbbs : Tbb.t array;
+  succs : int list array;
+}
+
+exception Ill_formed of string
+
+let ill fmt = Printf.ksprintf (fun s -> raise (Ill_formed s)) fmt
+
+let make ~id ~kind blocks succs =
+  let n = Array.length blocks in
+  if n = 0 then ill "trace %d: no blocks" id;
+  if Array.length succs <> n then
+    ill "trace %d: %d blocks but %d successor lists" id n (Array.length succs);
+  let tbbs = Array.mapi (fun index b -> Tbb.make ~index b) blocks in
+  Array.iteri
+    (fun i ss ->
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun s ->
+          if s < 0 || s >= n then ill "trace %d: successor %d out of range" id s;
+          let label = Tbb.start tbbs.(s) in
+          if Hashtbl.mem seen label then
+            ill "trace %d: TBB %d has two successors labelled 0x%x" id i label;
+          Hashtbl.add seen label ())
+        ss)
+    succs;
+  { id; kind; tbbs; succs }
+
+let linear ~id ~kind ?(cycle = false) blocks =
+  let arr = Array.of_list blocks in
+  let n = Array.length arr in
+  let succs =
+    Array.init n (fun i ->
+        if i + 1 < n then [ i + 1 ] else if cycle && n > 0 then [ 0 ] else [])
+  in
+  make ~id ~kind arr succs
+
+let entry t = Tbb.start t.tbbs.(0)
+
+let n_tbbs t = Array.length t.tbbs
+
+let n_insns t = Array.fold_left (fun acc tb -> acc + Tbb.n_insns tb) 0 t.tbbs
+
+let code_bytes t = Array.fold_left (fun acc tb -> acc + Tbb.byte_len tb) 0 t.tbbs
+
+let tbb t i = t.tbbs.(i)
+
+let successors t i = t.succs.(i)
+
+let successor_on t i addr =
+  List.find_opt (fun s -> Tbb.start t.tbbs.(s) = addr) t.succs.(i)
+
+let distinct_blocks t =
+  let seen = Hashtbl.create 16 in
+  Array.iter (fun tb -> Hashtbl.replace seen (Tbb.start tb) ()) t.tbbs;
+  Hashtbl.length seen
+
+let side_exit_count t image =
+  let total = ref 0 in
+  Array.iteri
+    (fun i tb ->
+      let static = Tea_cfg.Block.exit_count tb.Tbb.block image in
+      let internal = List.length t.succs.(i) in
+      total := !total + max 0 (static - internal))
+    t.tbbs;
+  !total
+
+let with_id t id = { t with id }
+
+let pp fmt t =
+  Format.fprintf fmt "trace %d (%s) entry=0x%x tbbs=%d" t.id t.kind (entry t)
+    (n_tbbs t)
+
+let pp_full fmt t =
+  pp fmt t;
+  Format.fprintf fmt "@.";
+  Array.iteri
+    (fun i tb ->
+      Format.fprintf fmt "  %a -> [%s]@." Tbb.pp tb
+        (String.concat "; "
+           (List.map
+              (fun s -> Printf.sprintf "#%d@0x%x" s (Tbb.start t.tbbs.(s)))
+              t.succs.(i))))
+    t.tbbs

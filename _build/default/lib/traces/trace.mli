@@ -1,0 +1,59 @@
+(** Traces (Definition 3 of the paper): a collection of TBBs plus the
+    control-flow edges between them. The definition deliberately spans
+    shapes — MRET superblocks are chains (possibly with a back edge to the
+    head), trace trees are trees whose leaves branch back to the anchor,
+    compact trace trees additionally carry back edges to inner loop
+    headers. *)
+
+type t = private {
+  id : int;
+  kind : string;                 (** recording strategy: "mret"/"tt"/"ctt" *)
+  tbbs : Tbb.t array;            (** index 0 is the trace head *)
+  succs : int list array;        (** in-trace successor TBB indices, per TBB *)
+}
+
+exception Ill_formed of string
+
+val make : id:int -> kind:string -> Tea_cfg.Block.t array -> int list array -> t
+(** [make ~id ~kind blocks succs] builds a trace whose [i]-th TBB wraps
+    [blocks.(i)] and has in-trace successors [succs.(i)].
+    @raise Ill_formed when empty, when arrays disagree in length, when a
+    successor index is out of range, or when determinism is violated (two
+    successors of one TBB starting at the same address — the DFA transition
+    label could not distinguish them). *)
+
+val linear : id:int -> kind:string -> ?cycle:bool -> Tea_cfg.Block.t list -> t
+(** A superblock: TBB [i] flows to TBB [i+1]; with [cycle] the last TBB
+    loops back to the head. *)
+
+val entry : t -> int
+(** Start address of the head TBB — the label of the NTE → head transition. *)
+
+val n_tbbs : t -> int
+
+val n_insns : t -> int
+(** Static instructions summed over TBBs (with multiplicity). *)
+
+val code_bytes : t -> int
+(** Bytes of code that a replicating DBT would emit for this trace's body. *)
+
+val tbb : t -> int -> Tbb.t
+
+val successors : t -> int -> int list
+
+val successor_on : t -> int -> int -> int option
+(** [successor_on t i addr] is the in-trace successor of TBB [i] whose block
+    starts at [addr], if any — the trace-level transition function. *)
+
+val distinct_blocks : t -> int
+(** Number of distinct underlying block start addresses (duplication
+    diagnostics: [n_tbbs t - distinct_blocks t] instances are copies). *)
+
+val side_exit_count : t -> Tea_isa.Image.t -> int
+(** Static exit points that leave the trace (drive exit-stub accounting). *)
+
+val with_id : t -> int -> t
+
+val pp : Format.formatter -> t -> unit
+
+val pp_full : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+type t = {
+  traces : (int, Trace.t) Hashtbl.t;
+  by_entry : (int, int) Hashtbl.t;
+  mutable order_rev : int list;
+}
+
+let create () =
+  { traces = Hashtbl.create 64; by_entry = Hashtbl.create 64; order_rev = [] }
+
+let add t (trace : Trace.t) =
+  let id = trace.Trace.id in
+  if not (Hashtbl.mem t.traces id) then t.order_rev <- id :: t.order_rev;
+  Hashtbl.replace t.traces id trace;
+  Hashtbl.replace t.by_entry (Trace.entry trace) id
+
+let of_list l =
+  let t = create () in
+  List.iter (add t) l;
+  t
+
+let to_list t =
+  List.rev_map (fun id -> Hashtbl.find t.traces id) t.order_rev
+
+let find_by_id t id = Hashtbl.find_opt t.traces id
+
+let find_by_entry t addr =
+  Option.bind (Hashtbl.find_opt t.by_entry addr) (find_by_id t)
+
+let entries t = List.rev_map (fun id -> Trace.entry (Hashtbl.find t.traces id)) t.order_rev
+
+let n_traces t = Hashtbl.length t.traces
+
+let n_tbbs t = List.fold_left (fun acc tr -> acc + Trace.n_tbbs tr) 0 (to_list t)
+
+let total_insns t = List.fold_left (fun acc tr -> acc + Trace.n_insns tr) 0 (to_list t)
+
+type dbt_cost_model = {
+  stub_bytes : int;
+  entry_patch_bytes : int;
+  metadata_bytes : int;
+}
+
+(* A StarDBT exit stub spills the register context to the spill area
+   (8 × 4-byte stores ≈ 24 B encoded), jumps to the dispatcher (5 B) and
+   carries a 4-byte link record — ~32 B per static side exit. *)
+let default_dbt_cost = { stub_bytes = 32; entry_patch_bytes = 5; metadata_bytes = 16 }
+
+let dbt_bytes_of_trace ?(model = default_dbt_cost) trace image =
+  Trace.code_bytes trace
+  + (model.stub_bytes * Trace.side_exit_count trace image)
+  + model.entry_patch_bytes + model.metadata_bytes
+
+let dbt_bytes ?model t image =
+  List.fold_left (fun acc tr -> acc + dbt_bytes_of_trace ?model tr image) 0 (to_list t)

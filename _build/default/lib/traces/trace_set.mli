@@ -1,0 +1,53 @@
+(** A program's set of recorded traces, plus the baseline memory accounting
+    for Table 1's "DBT" columns.
+
+    The baseline cost is what a code-replicating DBT (StarDBT) pays to
+    *represent* the traces: every TBB's instructions are copied into the
+    code cache, every exit that leaves the trace needs an exit stub
+    (context spill + jump to dispatcher), plus an entry patch in the
+    original code and per-trace metadata. TEA's competing cost is
+    {!Tea_core.Automaton.byte_size}. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Trace.t -> unit
+(** Insert, or replace the previous version carrying the same id (tree
+    strategies re-emit grown trees). *)
+
+val of_list : Trace.t list -> t
+
+val to_list : t -> Trace.t list
+(** Latest versions, in first-creation order. *)
+
+val find_by_entry : t -> int -> Trace.t option
+
+val find_by_id : t -> int -> Trace.t option
+
+val entries : t -> int list
+(** Trace entry addresses, in creation order. *)
+
+val n_traces : t -> int
+
+val n_tbbs : t -> int
+
+val total_insns : t -> int
+
+(** Cost model for the replicating representation. Defaults are realistic
+    IA-32/StarDBT figures: a 32-byte exit stub (context spill, dispatcher jump and
+    link record), a 5-byte entry patch (near jmp), 16 bytes of per-trace
+    metadata. *)
+type dbt_cost_model = {
+  stub_bytes : int;
+  entry_patch_bytes : int;
+  metadata_bytes : int;
+}
+
+val default_dbt_cost : dbt_cost_model
+
+val dbt_bytes : ?model:dbt_cost_model -> t -> Tea_isa.Image.t -> int
+(** Total bytes the replicating representation needs for the whole set. *)
+
+val dbt_bytes_of_trace :
+  ?model:dbt_cost_model -> Trace.t -> Tea_isa.Image.t -> int

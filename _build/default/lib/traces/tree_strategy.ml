@@ -1,0 +1,388 @@
+module Block = Tea_cfg.Block
+module Vec = Tea_util.Vec
+
+module Diag = struct
+  let trunks_started = ref 0
+  let extends_started = ref 0
+  let paths_completed = ref 0
+  let paths_aborted = ref 0
+  let exits_seen = ref 0
+  let abort_lens : int list ref = ref []
+  let abort_info : (int * int * bool) list ref = ref []  (* anchor, first-block, trunk *)
+  let abort_why : (string * int * int) list ref = ref []  (* reason, dst/plen, anchor *)
+  let trig_in = ref 0
+  let trig_out = ref 0
+
+  let reset () =
+    trunks_started := 0;
+    extends_started := 0;
+    paths_completed := 0;
+    paths_aborted := 0;
+    exits_seen := 0;
+    abort_lens := [];
+    abort_info := [];
+    abort_why := [];
+    trig_in := 0;
+    trig_out := 0
+end
+
+module Make (P : sig
+  val name : string
+  val compact : bool
+end) =
+struct
+  type node = {
+    nid : int;
+    block : Block.t;
+    parent : int;  (* -1 for the root *)
+    mutable children : (int * int) list;  (* (label address, node id) *)
+  }
+
+  type tree = {
+    trace_id : int;
+    anchor : int;
+    nodes : node Vec.t;  (* node 0 is the root (the anchor block) *)
+  }
+
+  type pending =
+    | Trunk
+    | Extend of tree * int
+
+  type rec_state = {
+    rtree : tree;
+    graft : int;
+    mutable path_rev : Block.t list;
+    mutable plen : int;
+    is_trunk : bool;
+    visits : (int, int) Hashtbl.t;
+        (* backward-target crossings along this path: the unroll bound *)
+  }
+
+  type t = {
+    cfg : Recorder.config;
+    heads : int Hotness.t;
+    exits : (int * int * int) Hotness.t;
+    trees : (int, tree) Hashtbl.t;  (* anchor address -> tree *)
+    loop_headers : (int, unit) Hashtbl.t;
+    blacklist : (int * int * int, unit) Hashtbl.t;
+        (* (trace, node, target) extensions considered hopeless *)
+    failures : (int * int * int, int) Hashtbl.t;
+    proven : (int * int * int, unit) Hashtbl.t;
+        (* a recording from this exit completed at least once: a later
+           unlucky abort (e.g. the enclosing loop happened to finish
+           mid-recording) must not poison the direction *)
+    dead_anchors : (int, unit) Hashtbl.t;  (* trunk anchors that aborted *)
+    mutable next_id : int;
+    mutable anchors_rev : int list;  (* registration order *)
+    mutable cur : (tree * int) option;  (* shadow position while Executing *)
+    mutable pending : pending option;
+    mutable recording : rec_state option;
+  }
+
+  let name = P.name
+
+  let create cfg =
+    {
+      cfg;
+      heads = Hotness.create ~threshold:cfg.Recorder.hot_threshold;
+      exits = Hotness.create ~threshold:cfg.Recorder.exit_threshold;
+      trees = Hashtbl.create 32;
+      loop_headers = Hashtbl.create 64;
+      blacklist = Hashtbl.create 64;
+      failures = Hashtbl.create 64;
+      proven = Hashtbl.create 64;
+      dead_anchors = Hashtbl.create 16;
+      next_id = 0;
+      anchors_rev = [];
+      cur = None;
+      pending = None;
+      recording = None;
+    }
+
+  let mark_loop_header t ~current ~dst =
+    match current with
+    | Some src when Hotness.is_backward ~src ~dst ->
+        Hashtbl.replace t.loop_headers dst ()
+    | Some _ | None -> ()
+
+  let node tree nid = Vec.get tree.nodes nid
+
+  let tree_size tree = Vec.length tree.nodes
+
+  let follow tree nid dst = List.assoc_opt dst (node tree nid).children
+
+  let room_for t tree extra =
+    tree_size tree + extra <= t.cfg.Recorder.max_tree_nodes
+
+  (* Should a new trunk start at [next]? (No tree is anchored there.) *)
+  let maybe_trunk t ~current ~next =
+    let dst = next.Block.start in
+    match current with
+    | None -> false
+    | Some src ->
+        (not (Hashtbl.mem t.dead_anchors dst))
+        && Hotness.is_backward ~src ~dst
+        && Hotness.bump t.heads dst
+        &&
+        begin
+          t.pending <- Some Trunk;
+          true
+        end
+
+  let trigger t ~current ~next =
+    let dst = next.Block.start in
+    mark_loop_header t ~current ~dst;
+    (match t.cur with Some _ -> incr Diag.trig_in | None -> incr Diag.trig_out);
+    match t.cur with
+    | Some (tree, n) -> (
+        match follow tree n dst with
+        | Some c ->
+            t.cur <- Some (tree, c);
+            false
+        | None ->
+            if dst = tree.anchor then begin
+              t.cur <- Some (tree, 0);
+              false
+            end
+            else begin
+              (* Baseline trace trees (TT) have no nested-tree calls:
+                 structure anchored elsewhere gets *duplicated* into the
+                 current tree, so extension is tried before transferring to
+                 another tree (the Table 1 explosion). Compact trace trees
+                 exist to avoid exactly that duplication, so they transfer
+                 first. *)
+              t.cur <- None;
+              incr Diag.exits_seen;
+              let transfer () =
+                match Hashtbl.find_opt t.trees dst with
+                | Some other ->
+                    t.cur <- Some (other, 0);
+                    Some false
+                | None -> None
+              in
+              let extend () =
+                if
+                  room_for t tree 1
+                  && (not (Hashtbl.mem t.blacklist (tree.trace_id, n, dst)))
+                  && Hotness.bump t.exits (tree.trace_id, n, dst)
+                then begin
+                  incr Diag.extends_started;
+                  t.pending <- Some (Extend (tree, n));
+                  Some true
+                end
+                else None
+              in
+              let first, second = if P.compact then (transfer, extend) else (extend, transfer) in
+              match first () with
+              | Some r -> r
+              | None -> (
+                  match second () with
+                  | Some r -> r
+                  | None -> maybe_trunk t ~current ~next)
+            end)
+    | None -> (
+        match Hashtbl.find_opt t.trees dst with
+        | Some tree ->
+            t.cur <- Some (tree, 0);
+            false
+        | None -> maybe_trunk t ~current ~next)
+
+  let start t ~current:_ ~next =
+    match t.pending with
+    | None -> invalid_arg (P.name ^ ".start: no pending recording")
+    | Some Trunk ->
+        incr Diag.trunks_started;
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let nodes = Vec.create () in
+        Vec.push nodes { nid = 0; block = next; parent = -1; children = [] };
+        let tree = { trace_id = id; anchor = next.Block.start; nodes } in
+        t.pending <- None;
+        t.recording <-
+          Some
+            {
+              rtree = tree;
+              graft = 0;
+              path_rev = [];
+              plen = 0;
+              is_trunk = true;
+              visits = Hashtbl.create 8;
+            }
+    | Some (Extend (tree, n)) ->
+        t.pending <- None;
+        t.recording <-
+          Some
+            {
+              rtree = tree;
+              graft = n;
+              path_rev = [ next ];
+              plen = 1;
+              is_trunk = false;
+              visits = Hashtbl.create 8;
+            }
+
+  let to_trace tree =
+    let n = tree_size tree in
+    let blocks = Array.init n (fun i -> (Vec.get tree.nodes i).block) in
+    let succs = Array.init n (fun i -> List.map snd (Vec.get tree.nodes i).children) in
+    Trace.make ~id:tree.trace_id ~kind:P.name blocks succs
+
+  type close_target =
+    | To_root
+    | To_path_index of int   (* index into the recorded path *)
+    | To_graft_chain of int  (* an existing node id *)
+
+  let exit_key r =
+    match List.rev r.path_rev with
+    | b :: _ -> Some (r.rtree.trace_id, r.graft, b.Block.start)
+    | [] -> None
+
+  (* Graft the recorded path onto the tree and close it with a back edge. *)
+  let complete t r close =
+    (match exit_key r with
+    | Some key when not r.is_trunk -> Hashtbl.replace t.proven key ()
+    | Some _ | None -> ());
+    let tree = r.rtree in
+    let path = Array.of_list (List.rev r.path_rev) in
+    let ids = Array.make (Array.length path) (-1) in
+    let p = ref r.graft in
+    Array.iteri
+      (fun i b ->
+        let nid = tree_size tree in
+        Vec.push tree.nodes { nid; block = b; parent = !p; children = [] };
+        let parent = node tree !p in
+        assert (not (List.mem_assoc b.Block.start parent.children));
+        parent.children <- parent.children @ [ (b.Block.start, nid) ];
+        ids.(i) <- nid;
+        p := nid)
+      path;
+    let last = node tree !p in
+    let target_nid =
+      match close with
+      | To_root -> 0
+      | To_path_index i -> ids.(i)
+      | To_graft_chain nid -> nid
+    in
+    let label = (node tree target_nid).block.Block.start in
+    if not (List.mem_assoc label last.children) then
+      last.children <- last.children @ [ (label, target_nid) ];
+    if not (Hashtbl.mem t.trees tree.anchor) then begin
+      Hashtbl.replace t.trees tree.anchor tree;
+      t.anchors_rev <- tree.anchor :: t.anchors_rev
+    end;
+    incr Diag.paths_completed;
+    t.recording <- None;
+    t.cur <- Some (tree, target_nid);
+    to_trace tree
+
+  (* CTT: find a loop-header occurrence of [dst] on the current root path —
+     first in the freshly recorded path (innermost = latest), then walking
+     the graft chain toward the root. *)
+  let find_on_root_path t r dst =
+    if not (Hashtbl.mem t.loop_headers dst) then None
+    else
+      let path = Array.of_list (List.rev r.path_rev) in
+      let rec scan_path i =
+        if i < 0 then None
+        else if path.(i).Block.start = dst then Some (To_path_index i)
+        else scan_path (i - 1)
+      in
+      match scan_path (Array.length path - 1) with
+      | Some c -> Some c
+      | None ->
+          let tree = r.rtree in
+          let rec up nid =
+            if nid < 0 then None
+            else
+              let nd = node tree nid in
+              if nd.block.Block.start = dst then Some (To_graft_chain nid)
+              else up nd.parent
+          in
+          up r.graft
+
+  let add t ~current ~next =
+    match t.recording with
+    | None -> invalid_arg (P.name ^ ".add: not recording")
+    | Some r ->
+        let dst = next.Block.start in
+        mark_loop_header t ~current:(Some current) ~dst;
+        if dst = r.rtree.anchor then `Done (Some (complete t r To_root))
+        else begin
+          let compact_close =
+            if P.compact then find_on_root_path t r dst else None
+          in
+          let over_unroll =
+            if Hotness.is_backward ~src:current ~dst then begin
+              let c = 1 + Option.value (Hashtbl.find_opt r.visits dst) ~default:0 in
+              Hashtbl.replace r.visits dst c;
+              if c > t.cfg.Recorder.max_inner_unroll then begin
+                Diag.abort_why := ("unroll", dst, r.rtree.anchor) :: !Diag.abort_why;
+                true
+              end
+              else false
+            end
+            else false
+          in
+          match compact_close with
+          | Some close -> `Done (Some (complete t r close))
+          | None ->
+              if
+                (if (not over_unroll) && r.plen >= t.cfg.Recorder.max_path_blocks then begin
+                   Diag.abort_why := ("cap", r.plen, r.rtree.anchor) :: !Diag.abort_why;
+                   true
+                 end
+                 else over_unroll)
+                || r.plen >= t.cfg.Recorder.max_path_blocks
+                || not (room_for t r.rtree (r.plen + 1))
+              then begin
+                (* Abandon the path; an unregistered trunk dies with it.
+                   Blacklist the exit (or the anchor) so the recorder does
+                   not retry a hopeless recording forever — real trace-tree
+                   systems do the same for aborted recordings. *)
+                incr Diag.paths_aborted;
+                Diag.abort_lens := r.plen :: !Diag.abort_lens;
+                let first =
+                  match List.rev r.path_rev with
+                  | b :: _ -> b.Block.start
+                  | [] -> -1
+                in
+                Diag.abort_info :=
+                  (r.rtree.anchor, first, r.is_trunk) :: !Diag.abort_info;
+                (if r.is_trunk then Hashtbl.replace t.dead_anchors r.rtree.anchor ()
+                 else
+                   let key = (r.rtree.trace_id, r.graft, first) in
+                   let n = 1 + Option.value (Hashtbl.find_opt t.failures key) ~default:0 in
+                   Hashtbl.replace t.failures key n;
+                   if n >= 3 && not (Hashtbl.mem t.proven key) then
+                     Hashtbl.replace t.blacklist key ());
+                t.recording <- None;
+                t.cur <- None;
+                `Done None
+              end
+              else begin
+                r.path_rev <- next :: r.path_rev;
+                r.plen <- r.plen + 1;
+                `Continue
+              end
+        end
+
+  let abort t =
+    t.recording <- None;
+    t.pending <- None;
+    None
+
+  let traces t =
+    List.rev_map
+      (fun anchor -> to_trace (Hashtbl.find t.trees anchor))
+      t.anchors_rev
+end
+
+module Tt = Make (struct
+  let name = "tt"
+  let compact = false
+end)
+
+module Ctt = Make (struct
+  let name = "ctt"
+  let compact = true
+end)

@@ -1,0 +1,41 @@
+(** Trace Trees (TT, Gal & Franz — ref [13]) and Compact Trace Trees
+    (CTT, Porto et al. — ref [17]).
+
+    A tree is anchored at a hot loop header. The first recorded path (the
+    trunk) runs from the anchor back to itself. Afterwards the strategy
+    shadows execution through the tree; when a side exit becomes hot, it
+    records a new path from the exit point back to the anchor and grafts it
+    onto the tree — duplicating every block along the way (tail
+    duplication). That duplication is what makes TT trace sets blow up on
+    programs with branchy inner loops (paper Table 1: gzip, bzip2).
+
+    CTT differs in one rule: a recorded path may also end at any *loop
+    header* already on the current root path, closing an inner loop with a
+    back edge instead of unrolling it into duplicated paths. *)
+
+(** Process-wide growth diagnostics (shared by all instances; reset before
+    a run when measuring). *)
+module Diag : sig
+  val trunks_started : int ref
+  val extends_started : int ref
+  val paths_completed : int ref
+  val paths_aborted : int ref
+  val exits_seen : int ref
+  val abort_lens : int list ref
+  val abort_info : (int * int * bool) list ref
+  val abort_why : (string * int * int) list ref
+  val trig_in : int ref
+  val trig_out : int ref
+  val reset : unit -> unit
+end
+
+module Make (_ : sig
+  val name : string
+  val compact : bool
+end) : Recorder.STRATEGY
+
+module Tt : Recorder.STRATEGY
+(** Trace Trees ([compact = false]). *)
+
+module Ctt : Recorder.STRATEGY
+(** Compact Trace Trees ([compact = true]). *)

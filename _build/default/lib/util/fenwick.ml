@@ -1,0 +1,60 @@
+type t = {
+  mutable tree : int array;  (* 1-based internally *)
+  mutable n : int;           (* capacity (positions 0..n-1) *)
+  mutable sum : int;
+}
+
+let create () = { tree = Array.make 16 0; n = 15; sum = 0 }
+
+let grow t needed =
+  let n' =
+    let rec go n = if n > needed then n else go (n * 2) in
+    go (t.n + 1)
+  in
+  (* rebuild by re-adding raw values: recover them via prefix differences *)
+  let raw = Array.make (t.n + 1) 0 in
+  let prefix i =
+    let rec go i acc = if i <= 0 then acc else go (i - (i land -i)) (acc + t.tree.(i)) in
+    go i 0
+  in
+  for i = 1 to t.n do
+    raw.(i) <- prefix i - prefix (i - 1)
+  done;
+  let tree' = Array.make (n' + 1) 0 in
+  let old_n = t.n in
+  t.tree <- tree';
+  t.n <- n';
+  for i = 1 to old_n do
+    if raw.(i) <> 0 then begin
+      let delta = raw.(i) in
+      let rec bump j =
+        if j <= t.n then begin
+          t.tree.(j) <- t.tree.(j) + delta;
+          bump (j + (j land -j))
+        end
+      in
+      bump i
+    end
+  done
+
+let add t i delta =
+  if i < 0 then invalid_arg "Fenwick.add: negative position";
+  let i = i + 1 in
+  if i > t.n then grow t i;
+  t.sum <- t.sum + delta;
+  let rec bump j =
+    if j <= t.n then begin
+      t.tree.(j) <- t.tree.(j) + delta;
+      bump (j + (j land -j))
+    end
+  in
+  bump i
+
+let prefix_sum t i =
+  let i = min (i + 1) t.n in
+  let rec go j acc = if j <= 0 then acc else go (j - (j land -j)) (acc + t.tree.(j)) in
+  if i <= 0 then 0 else go i 0
+
+let range_sum t lo hi = if hi < lo then 0 else prefix_sum t hi - prefix_sum t (lo - 1)
+
+let total t = t.sum

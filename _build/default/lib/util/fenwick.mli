@@ -1,0 +1,21 @@
+(** Fenwick (binary-indexed) tree over 0-based positions.
+
+    Supports point updates and prefix sums in O(log n), growing on demand.
+    Used by the reuse-distance profiler to count distinct cache lines
+    between two accesses in O(log n) instead of walking an LRU stack. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> int -> unit
+(** [add t i delta] adds [delta] at position [i] (non-negative). *)
+
+val prefix_sum : t -> int -> int
+(** [prefix_sum t i] is the sum over positions [0..i] (inclusive); 0 when
+    [i < 0]. Positions never written count as 0. *)
+
+val range_sum : t -> int -> int -> int
+(** [range_sum t lo hi] sums positions [lo..hi] inclusive (0 when empty). *)
+
+val total : t -> int

@@ -1,0 +1,49 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* SplitMix64 finalizer (Steele, Lea & Flood, OOPSLA'14). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  (* Keep 62 bits so the value stays non-negative in OCaml's 63-bit int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next g) 2) in
+  r mod bound
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Splitmix.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let bool g = Int64.logand (next g) 1L = 1L
+
+let float g =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (next g) 11) in
+  float_of_int bits53 *. (1.0 /. 9007199254740992.0)
+
+let chance g p = float g < p
+
+let choose g = function
+  | [] -> invalid_arg "Splitmix.choose: empty list"
+  | l -> List.nth l (int g (List.length l))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let split g = { state = next g }

@@ -1,0 +1,54 @@
+(** Growable arrays.
+
+    OCaml 5.1 has no [Dynarray] (it arrived in 5.2), and several parts of the
+    system — automaton state tables, trace sets, block streams — need an
+    append-only random-access container. This is a minimal, safe subset of
+    the 5.2 API. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is an empty vector. *)
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of length [n] filled with [x]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]-th element. @raise Invalid_argument when out of
+    bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+(** [push v x] appends [x] at the end of [v]. *)
+
+val pop : 'a t -> 'a option
+(** [pop v] removes and returns the last element, or [None] if empty. *)
+
+val last : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val find_opt : ('a -> bool) -> 'a t -> 'a option
+
+val find_index : ('a -> bool) -> 'a t -> int option
+
+val to_list : 'a t -> 'a list
+
+val to_array : 'a t -> 'a array
+
+val of_list : 'a list -> 'a t
+
+val map : ('a -> 'b) -> 'a t -> 'b t

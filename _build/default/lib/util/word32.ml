@@ -1,0 +1,33 @@
+let mask = 0xFFFFFFFF
+
+let norm x =
+  let low = x land mask in
+  if low land 0x80000000 <> 0 then low - 0x100000000 else low
+
+let unsigned x = x land mask
+
+let add a b = norm (a + b)
+let sub a b = norm (a - b)
+let mul a b = norm (a * b)
+let logand a b = norm (a land b)
+let logor a b = norm (a lor b)
+let logxor a b = norm (a lxor b)
+let lognot a = norm (lnot a)
+let neg a = norm (-a)
+
+let shl a n = norm (a lsl (n land 31))
+let shr a n = norm ((a land mask) lsr (n land 31))
+let sar a n = norm (norm a asr (n land 31))
+
+let carry_add a b = unsigned a + unsigned b > mask
+let borrow_sub a b = unsigned a < unsigned b
+
+let overflow_add a b =
+  let r = add a b in
+  let a = norm a and b = norm b in
+  (a >= 0 && b >= 0 && r < 0) || (a < 0 && b < 0 && r >= 0)
+
+let overflow_sub a b =
+  let r = sub a b in
+  let a = norm a and b = norm b in
+  (a >= 0 && b < 0 && r < 0) || (a < 0 && b >= 0 && r >= 0)

@@ -1,0 +1,41 @@
+(** 32-bit machine-word arithmetic on native [int].
+
+    The interpreter models an IA-32-like machine, so all register and memory
+    values are kept normalized to signed 32-bit range. OCaml's 63-bit [int]
+    hosts them; every arithmetic result goes through {!norm}. *)
+
+val norm : int -> int
+(** Truncate to 32 bits and sign-extend. *)
+
+val unsigned : int -> int
+(** The value reinterpreted as an unsigned 32-bit quantity (in [0, 2^32)). *)
+
+val add : int -> int -> int
+val sub : int -> int -> int
+val mul : int -> int -> int
+val logand : int -> int -> int
+val logor : int -> int -> int
+val logxor : int -> int -> int
+val lognot : int -> int
+val neg : int -> int
+
+val shl : int -> int -> int
+(** Shift count is masked to 5 bits, as on IA-32. *)
+
+val shr : int -> int -> int
+(** Logical right shift. *)
+
+val sar : int -> int -> int
+(** Arithmetic right shift. *)
+
+val carry_add : int -> int -> bool
+(** Unsigned carry out of a 32-bit addition. *)
+
+val borrow_sub : int -> int -> bool
+(** Unsigned borrow of a 32-bit subtraction. *)
+
+val overflow_add : int -> int -> bool
+(** Signed overflow of a 32-bit addition. *)
+
+val overflow_sub : int -> int -> bool
+(** Signed overflow of a 32-bit subtraction. *)

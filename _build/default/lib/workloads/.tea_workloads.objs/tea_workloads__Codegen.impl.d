@@ -1,0 +1,1 @@
+lib/workloads/codegen.ml: Asm Image Insn List Printf Tea_isa

@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Array Asm Codegen Cond Fun Insn List Operand Printf Reg Tea_isa Tea_util

@@ -1,0 +1,1 @@
+lib/workloads/proggen.ml: Array Asm Codegen Cond Hashtbl Insn List Operand Printf Reg Tea_isa Tea_util

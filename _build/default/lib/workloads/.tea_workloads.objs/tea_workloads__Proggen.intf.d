@@ -1,0 +1,1 @@
+lib/workloads/proggen.mli: Tea_isa

@@ -1,0 +1,1 @@
+lib/workloads/spec2000.ml: Hashtbl List Proggen Tea_isa

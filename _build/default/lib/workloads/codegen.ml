@@ -1,0 +1,85 @@
+open Tea_isa
+
+type t = {
+  mutable text_rev : Asm.item list;
+  mutable data_rev : Asm.data_item list;
+  mutable next_data : int;
+  mutable counter : int;
+  mutable text_bytes : int;
+  mutable finalized : bool;
+}
+
+let create () =
+  {
+    text_rev = [];
+    data_rev = [];
+    next_data = Asm.default_data_base;
+    counter = 0;
+    text_bytes = 0;
+    finalized = false;
+  }
+
+let check t = if t.finalized then invalid_arg "Codegen: context already finalized"
+
+let fresh_label t stem =
+  check t;
+  let n = t.counter in
+  t.counter <- n + 1;
+  Printf.sprintf "%s_%d" stem n
+
+let place t lbl =
+  check t;
+  t.text_rev <- Asm.Label lbl :: t.text_rev
+
+let emit t insn =
+  check t;
+  t.text_bytes <- t.text_bytes + Insn.length insn;
+  t.text_rev <- Asm.Ins insn :: t.text_rev
+
+let emit_all t insns = List.iter (emit t) insns
+
+let alloc_word t ?label v =
+  check t;
+  (match label with
+  | Some l -> t.data_rev <- Asm.Dlabel l :: t.data_rev
+  | None -> ());
+  let addr = t.next_data in
+  t.data_rev <- Asm.Word v :: t.data_rev;
+  t.next_data <- addr + 4;
+  addr
+
+let alloc_words t vs =
+  check t;
+  let addr = t.next_data in
+  List.iter (fun v -> ignore (alloc_word t v)) vs;
+  addr
+
+let alloc_space t n =
+  check t;
+  let addr = t.next_data in
+  t.data_rev <- Asm.Space n :: t.data_rev;
+  t.next_data <- addr + (4 * n);
+  addr
+
+let alloc_ref_table t labels =
+  check t;
+  let addr = t.next_data in
+  List.iter (fun l -> t.data_rev <- Asm.Word_ref l :: t.data_rev) labels;
+  t.next_data <- addr + (4 * List.length labels);
+  addr
+
+let text_offset t = t.text_bytes
+
+let align_text t alignment =
+  check t;
+  if alignment < 1 then invalid_arg "Codegen.align_text: bad alignment";
+  while (Asm.default_text_base + t.text_bytes) mod alignment <> 0 do
+    emit t Insn.Nop
+  done
+
+let program t =
+  check t;
+  t.finalized <- true;
+  { Asm.text = List.rev t.text_rev; Asm.data = List.rev t.data_rev }
+
+let assemble t = Image.assemble (program t)

@@ -1,0 +1,48 @@
+(** Imperative code-generation context for synthetic workloads.
+
+    Wraps an {!Tea_isa.Asm} program under construction: emits instructions
+    and labels into the text section and allocates words in the data
+    section. Because the data section lives at a fixed base and is laid out
+    sequentially, every allocation's absolute address is known immediately —
+    so generated code can carry resolved memory operands while branch
+    targets stay symbolic. *)
+
+type t
+
+val create : unit -> t
+
+val fresh_label : t -> string -> string
+(** [fresh_label t stem] is a unique label ["<stem>_<n>"] (not yet placed). *)
+
+val place : t -> string -> unit
+(** Place a label at the current text position. *)
+
+val emit : t -> Tea_isa.Insn.t -> unit
+
+val emit_all : t -> Tea_isa.Insn.t list -> unit
+
+val alloc_word : t -> ?label:string -> int -> int
+(** Allocate one initialized word; returns its absolute address. *)
+
+val alloc_words : t -> int list -> int
+(** Allocate consecutive initialized words; returns the first address. *)
+
+val alloc_space : t -> int -> int
+(** Allocate [n] zeroed words; returns the first address. *)
+
+val alloc_ref_table : t -> string list -> int
+(** Allocate a table of label addresses (jump/call tables); returns the
+    table's base address. Labels are resolved at assembly. *)
+
+val text_offset : t -> int
+(** Bytes of text emitted so far. *)
+
+val align_text : t -> int -> unit
+(** Pad with [nop]s until the next instruction's address (at the default
+    text base) is a multiple of the alignment. *)
+
+val program : t -> Tea_isa.Asm.program
+(** Finalize. The context must not be reused afterwards. *)
+
+val assemble : t -> Tea_isa.Image.t
+(** [Image.assemble (program t)] with defaults. *)

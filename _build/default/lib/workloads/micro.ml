@@ -1,0 +1,269 @@
+open Tea_isa
+module I = Insn
+module O = Operand
+
+let reg r = O.Reg r
+let imm n = O.Imm n
+let mem_abs a = O.mem a
+let mem_base r off = O.mem ~base:r off
+
+(* A counted loop over a data-slot counter: init, body, dec-jnz. *)
+let counted_loop cg ~iters ~stem body =
+  let slot = Codegen.alloc_word cg 0 in
+  let top = Codegen.fresh_label cg stem in
+  Codegen.emit cg (I.Mov (mem_abs slot, imm iters));
+  Codegen.place cg top;
+  body ();
+  Codegen.emit cg (I.Dec (mem_abs slot));
+  Codegen.emit cg (I.Jcc (Cond.NE, I.Lbl top))
+
+let epilogue cg =
+  Codegen.emit cg (I.Sys 1);
+  Codegen.emit cg (I.Mov (reg Reg.EAX, imm 0));
+  Codegen.emit cg (I.Sys 0)
+
+let copy_loop ?(words = 100) ?(passes = 20) () =
+  let cg = Codegen.create () in
+  let src = Codegen.alloc_words cg (List.init words (fun i -> i * 3)) in
+  let dst = Codegen.alloc_space cg words in
+  Codegen.place cg "main";
+  let pass () =
+    (* Figure 1(a): the optimized copy loop. *)
+    Codegen.emit_all cg
+      [
+        I.Mov (reg Reg.ESI, imm src);
+        I.Mov (reg Reg.EDI, imm dst);
+        I.Mov (reg Reg.ECX, imm words);
+      ];
+    let top = Codegen.fresh_label cg "copy" in
+    Codegen.place cg top;
+    Codegen.emit_all cg
+      [
+        I.Mov (reg Reg.EAX, mem_base Reg.ESI 0);
+        I.Mov (mem_base Reg.EDI 0, reg Reg.EAX);
+        I.Alu (I.Add, reg Reg.ESI, imm 4);
+        I.Alu (I.Add, reg Reg.EDI, imm 4);
+        I.Dec (reg Reg.ECX);
+        I.Jcc (Cond.NE, I.Lbl top);
+      ]
+  in
+  counted_loop cg ~iters:passes ~stem:"pass" pass;
+  Codegen.emit cg (I.Mov (reg Reg.EAX, mem_abs (dst + (4 * (words - 1)))));
+  epilogue cg;
+  Codegen.assemble cg
+
+let list_scan ?(nodes = 2000) ?(match_every = 2) ?(passes = 5) () =
+  if nodes < 1 then invalid_arg "Micro.list_scan: need at least one node";
+  let cg = Codegen.create () in
+  let target = 7777 in
+  (* Node layout: [next; value]. Chained in address order, last next = 0;
+     the region's base address is the data cursor before allocation. *)
+  let head = Asm.default_data_base in
+  let node i = head + (8 * i) in
+  let init_words =
+    List.concat
+      (List.init nodes (fun i ->
+           let next = if i + 1 < nodes then node (i + 1) else 0 in
+           let value = if (i + 1) mod match_every = 0 then target else i in
+           [ next; value ]))
+  in
+  let head' = Codegen.alloc_words cg init_words in
+  assert (head' = head);
+  Codegen.place cg "main";
+  let pass () =
+    Codegen.emit_all cg
+      [
+        I.Mov (reg Reg.EDX, imm (node 0));
+        I.Mov (reg Reg.ECX, imm target);
+      ];
+    (* Figure 2(a): $$begin / $$header / $$inc / $$next / $$end. *)
+    let begin_l = Codegen.fresh_label cg "begin" in
+    let next_l = Codegen.fresh_label cg "next" in
+    let end_l = Codegen.fresh_label cg "end" in
+    Codegen.place cg begin_l;
+    Codegen.emit_all cg
+      [ I.Test (reg Reg.EDX, reg Reg.EDX); I.Jcc (Cond.E, I.Lbl end_l) ];
+    Codegen.emit_all cg
+      [ I.Cmp (reg Reg.ECX, mem_base Reg.EDX 4); I.Jcc (Cond.NE, I.Lbl next_l) ];
+    Codegen.emit cg (I.Inc (reg Reg.EAX));
+    Codegen.place cg next_l;
+    Codegen.emit_all cg
+      [ I.Mov (reg Reg.EDX, mem_base Reg.EDX 0); I.Jmp (I.Lbl begin_l) ];
+    Codegen.place cg end_l
+  in
+  Codegen.emit cg (I.Mov (reg Reg.EAX, imm 0));
+  counted_loop cg ~iters:passes ~stem:"pass" pass;
+  epilogue cg;
+  Codegen.assemble cg
+
+let nested_loop ?(outer = 100) ?(inner = 100) () =
+  let cg = Codegen.create () in
+  Codegen.place cg "main";
+  Codegen.emit cg (I.Mov (reg Reg.EAX, imm 0));
+  counted_loop cg ~iters:outer ~stem:"outer" (fun () ->
+      counted_loop cg ~iters:inner ~stem:"inner" (fun () ->
+          Codegen.emit_all cg
+            [
+              I.Alu (I.Add, reg Reg.EAX, imm 3);
+              I.Alu (I.Xor, reg Reg.EAX, imm 0x55);
+            ]));
+  epilogue cg;
+  Codegen.assemble cg
+
+let branchy_loop ?(iters = 2000) ?(mask = 7) () =
+  let cg = Codegen.create () in
+  Codegen.place cg "main";
+  Codegen.emit_all cg
+    [ I.Mov (reg Reg.EAX, imm 0); I.Mov (reg Reg.EBX, imm 12345) ];
+  counted_loop cg ~iters ~stem:"loop" (fun () ->
+      (* LCG step, then a biased diamond. *)
+      Codegen.emit_all cg
+        [
+          I.Imul (Reg.EBX, imm 1103515245);
+          I.Alu (I.Add, reg Reg.EBX, imm 12345);
+          I.Test (reg Reg.EBX, imm mask);
+        ];
+      let rare = Codegen.fresh_label cg "rare" in
+      let join = Codegen.fresh_label cg "join" in
+      Codegen.emit cg (I.Jcc (Cond.E, I.Lbl rare));
+      Codegen.emit cg (I.Alu (I.Add, reg Reg.EAX, imm 1));
+      Codegen.emit cg (I.Jmp (I.Lbl join));
+      Codegen.place cg rare;
+      Codegen.emit_all cg
+        [ I.Alu (I.Add, reg Reg.EAX, imm 100); I.Alu (I.Xor, reg Reg.EAX, imm 0xFF) ];
+      Codegen.place cg join);
+  epilogue cg;
+  Codegen.assemble cg
+
+let rep_copy ?(words = 64) ?(passes = 200) () =
+  let cg = Codegen.create () in
+  let src = Codegen.alloc_words cg (List.init words (fun i -> i + 1)) in
+  let dst = Codegen.alloc_space cg words in
+  Codegen.place cg "main";
+  counted_loop cg ~iters:passes ~stem:"pass" (fun () ->
+      Codegen.emit_all cg
+        [
+          I.Mov (reg Reg.ESI, imm src);
+          I.Mov (reg Reg.EDI, imm dst);
+          I.Mov (reg Reg.ECX, imm words);
+          I.Rep_movs;
+        ]);
+  Codegen.emit cg (I.Mov (reg Reg.EAX, mem_abs (dst + (4 * (words - 1)))));
+  epilogue cg;
+  Codegen.assemble cg
+
+let two_phase ?(phase_iters = 3000) ?(gap_blocks = 400) () =
+  let cg = Codegen.create () in
+  Codegen.place cg "main";
+  Codegen.emit_all cg
+    [ I.Mov (reg Reg.EAX, imm 0); I.Mov (reg Reg.EBX, imm 31) ];
+  (* Phase A: a tight hot loop. *)
+  counted_loop cg ~iters:phase_iters ~stem:"phase_a" (fun () ->
+      Codegen.emit_all cg
+        [
+          I.Alu (I.Add, reg Reg.EAX, imm 1);
+          I.Alu (I.Xor, reg Reg.EAX, imm 0x21);
+        ]);
+  (* The gap: a long stretch of one-shot blocks (each ends in a jump to the
+     next so they stay distinct basic blocks, and none ever gets hot). *)
+  for i = 0 to gap_blocks - 1 do
+    let next = Printf.sprintf "gap_%d" i in
+    Codegen.emit_all cg
+      [
+        I.Alu (I.Add, reg Reg.EAX, imm i);
+        I.Shift (I.Shl, reg Reg.EAX, 1);
+        I.Alu (I.Xor, reg Reg.EAX, imm 5);
+        I.Jmp (I.Lbl next);
+      ];
+    Codegen.place cg next
+  done;
+  (* Phase B: a different hot loop. *)
+  counted_loop cg ~iters:phase_iters ~stem:"phase_b" (fun () ->
+      Codegen.emit_all cg
+        [
+          I.Alu (I.Sub, reg Reg.EAX, imm 2);
+          I.Alu (I.Or, reg Reg.EAX, reg Reg.EBX);
+          I.Imul (Reg.EBX, imm 17);
+        ]);
+  epilogue cg;
+  Codegen.assemble cg
+
+let stream ?(words = 32768) ?(passes = 4) () =
+  let cg = Codegen.create () in
+  let base = Codegen.alloc_space cg words in
+  Codegen.place cg "main";
+  Codegen.emit cg (I.Mov (reg Reg.EAX, imm 0));
+  counted_loop cg ~iters:passes ~stem:"pass" (fun () ->
+      Codegen.emit_all cg
+        [ I.Mov (reg Reg.ESI, imm base); I.Mov (reg Reg.ECX, imm words) ];
+      let top = Codegen.fresh_label cg "stream" in
+      Codegen.place cg top;
+      Codegen.emit_all cg
+        [
+          I.Alu (I.Add, reg Reg.EAX, mem_base Reg.ESI 0);
+          I.Alu (I.Add, reg Reg.ESI, imm 4);
+          I.Dec (reg Reg.ECX);
+          I.Jcc (Cond.NE, I.Lbl top);
+        ]);
+  epilogue cg;
+  Codegen.assemble cg
+
+let big_chase ?(nodes = 16384) ?(steps = 100000) () =
+  (* A pseudo-random permutation ring over a footprint far beyond L1:
+     every hop is a fresh cache line. *)
+  let cg = Codegen.create () in
+  let rng = Tea_util.Splitmix.create 0xC0FFEE in
+  let order = Array.init nodes Fun.id in
+  Tea_util.Splitmix.shuffle rng order;
+  let base = Asm.default_data_base in
+  (* node i occupies a 16-byte slot; word 0 holds the address of the next
+     node in the shuffled ring *)
+  let addr i = base + (16 * i) in
+  let next = Array.make nodes 0 in
+  Array.iteri (fun k i -> next.(i) <- order.((k + 1) mod nodes)) order;
+  let words =
+    List.concat (List.init nodes (fun i -> [ addr next.(i); i land 0xFF; 0; 0 ]))
+  in
+  let base' = Codegen.alloc_words cg words in
+  assert (base' = base);
+  Codegen.place cg "main";
+  Codegen.emit_all cg
+    [ I.Mov (reg Reg.EAX, imm 0); I.Mov (reg Reg.EDX, imm (addr order.(0))) ];
+  counted_loop cg ~iters:steps ~stem:"chase" (fun () ->
+      Codegen.emit_all cg
+        [
+          I.Alu (I.Add, reg Reg.EAX, mem_base Reg.EDX 4);
+          I.Mov (reg Reg.EDX, mem_base Reg.EDX 0);
+        ]);
+  epilogue cg;
+  Codegen.assemble cg
+
+let scattered ?(fragments = 6) ?(frag_insns = 18) ?(alignment = 4096)
+    ?(iters = 3000) () =
+  (* One hot loop whose body hops across [fragments] code fragments, each
+     aligned to a multiple of [alignment]: with the alignment equal to a
+     small I-cache's size, every fragment aliases the same sets and
+     thrashes it, while a packed trace cache holds the whole loop. The nop
+     filler between fragments is never executed. *)
+  let cg = Codegen.create () in
+  Codegen.place cg "main";
+  Codegen.emit cg (I.Mov (reg Reg.EAX, imm 0));
+  let slot = Codegen.alloc_word cg 0 in
+  Codegen.emit cg (I.Mov (mem_abs slot, imm iters));
+  Codegen.place cg "loop";
+  Codegen.emit cg (I.Jmp (I.Lbl "frag_0"));
+  for f = 0 to fragments - 1 do
+    Codegen.align_text cg alignment;
+    Codegen.place cg (Printf.sprintf "frag_%d" f);
+    for k = 1 to frag_insns do
+      Codegen.emit cg (I.Alu (I.Add, reg Reg.EAX, imm (f + k)))
+    done;
+    if f + 1 < fragments then
+      Codegen.emit cg (I.Jmp (I.Lbl (Printf.sprintf "frag_%d" (f + 1))))
+    else begin
+      Codegen.emit cg (I.Dec (mem_abs slot));
+      Codegen.emit cg (I.Jcc (Cond.NE, I.Lbl "loop"))
+    end
+  done;
+  epilogue cg;
+  Codegen.assemble cg

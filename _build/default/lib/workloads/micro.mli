@@ -1,0 +1,57 @@
+(** The paper's worked examples and a few small calibration workloads.
+
+    {!copy_loop} is Figure 1(a): an optimized word-copy loop whose trace an
+    optimizer might unroll — the motivation for trace *duplication* and
+    per-copy profile replay. {!list_scan} is Figure 2(a): the linked-list
+    scan whose MRET traces T1/T2 and their TEA (Figure 3) the paper walks
+    through. *)
+
+val copy_loop : ?words:int -> ?passes:int -> unit -> Tea_isa.Image.t
+(** Copies [words] (default 100) words from one array to another, [passes]
+    (default 20) times. The copy loop is the only hot code. *)
+
+val list_scan :
+  ?nodes:int -> ?match_every:int -> ?passes:int -> unit -> Tea_isa.Image.t
+(** Scans a [nodes]-long (default 2000) linked list counting occurrences of
+    a target value that appears in every [match_every]-th node (default 2 —
+    both loop paths hot, so MRET records both T1 and T2); [passes] scans
+    (default 5). The program emits the match count via [Sys 1]. *)
+
+val nested_loop : ?outer:int -> ?inner:int -> unit -> Tea_isa.Image.t
+(** Two-level counted loop nest with small ALU bodies. *)
+
+val branchy_loop : ?iters:int -> ?mask:int -> unit -> Tea_isa.Image.t
+(** A hot loop containing a data-dependent diamond (taken with probability
+    [1/(mask+1)], default mask 7) — the minimal trace-tree duplication
+    trigger. *)
+
+val rep_copy : ?words:int -> ?passes:int -> unit -> Tea_isa.Image.t
+(** A loop around a REP-prefixed block copy — exercises the StarDBT/Pin
+    block-boundary disagreement of §4.1. *)
+
+val stream : ?words:int -> ?passes:int -> unit -> Tea_isa.Image.t
+(** Sequentially sums a [words]-long array [passes] times — a streaming
+    data footprint well beyond L1, for the cache-simulator use case. *)
+
+val big_chase : ?nodes:int -> ?steps:int -> unit -> Tea_isa.Image.t
+(** Chases a pseudo-randomly permuted ring of [nodes] 16-byte slots for
+    [steps] hops: every hop lands on a fresh line — worst-case data
+    locality in one hot trace. *)
+
+val scattered :
+  ?fragments:int ->
+  ?frag_insns:int ->
+  ?alignment:int ->
+  ?iters:int ->
+  unit ->
+  Tea_isa.Image.t
+(** A hot loop hopping across distant code fragments that alias the same
+    sets of a small instruction cache — the workload where packing traces
+    contiguously (a trace cache) wins; see {!Tea_cachesim.Layout}. *)
+
+val two_phase :
+  ?phase_iters:int -> ?gap_blocks:int -> unit -> Tea_isa.Image.t
+(** Two distinct hot loops separated by a long once-executed straight-line
+    stretch ([gap_blocks] one-shot basic blocks). The TEA replay stays
+    inside traces during each loop and falls to NTE across the gap — the
+    canonical input for {!Tea_core.Phases}-style phase detection. *)

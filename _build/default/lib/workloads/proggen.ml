@@ -1,0 +1,374 @@
+open Tea_isa
+module I = Insn
+module O = Operand
+module Rng = Tea_util.Splitmix
+
+type profile = {
+  name : string;
+  seed : int;
+  hot_funcs : int;
+  cold_funcs : int;
+  func_budget : int;
+  body_len : int * int;
+  nest_depth : int;
+  outer_iters : int * int;
+  inner_iters : int * int;
+  cold_elements : int * int;
+  cold_iters : int * int;
+  p_loop : float;
+  p_diamond : float;
+  p_switch : float;
+  p_call : float;
+  p_list : float;
+  p_rep : float;
+  mask_bits : int * int;
+  switch_ways : int;
+  phases : int;
+  phase_iters : int;
+  calls_per_iter : int;
+  p_var_trip : float;
+      (* probability a nested loop has a data-dependent trip count *)
+}
+
+let default =
+  {
+    name = "default";
+    seed = 1;
+    hot_funcs = 8;
+    cold_funcs = 10;
+    func_budget = 600;
+    body_len = (3, 8);
+    nest_depth = 2;
+    outer_iters = (60, 120);
+    inner_iters = (4, 10);
+    cold_elements = (4, 10);
+    cold_iters = (12, 35);
+    p_loop = 0.35;
+    p_diamond = 0.25;
+    p_switch = 0.05;
+    p_call = 0.1;
+    p_list = 0.05;
+    p_rep = 0.03;
+    mask_bits = (2, 4);
+    switch_ways = 4;
+    phases = 3;
+    phase_iters = 120;
+    calls_per_iter = 2;
+    p_var_trip = 0.0;
+  }
+
+let reg r = O.Reg r
+let imm n = O.Imm n
+let mem_abs a = O.mem a
+let mem_base r off = O.mem ~base:r off
+
+type ctx = {
+  p : profile;
+  rng : Rng.t;
+  cg : Codegen.t;
+  list_head : int;   (* ring linked list base *)
+  buf_src : int;
+  buf_dst : int;
+  buf_words : int;
+}
+
+let avg (lo, hi) = (lo + hi) / 2
+
+let range ctx (lo, hi) = Rng.int_in ctx.rng lo hi
+
+(* x86-flavoured LCG step on EBX: branch entropy source. *)
+let lcg_step ctx =
+  Codegen.emit_all ctx.cg
+    [
+      I.Imul (Reg.EBX, imm 1103515245);
+      I.Alu (I.Add, reg Reg.EBX, imm 12345);
+    ]
+
+let scratch ctx = Codegen.alloc_word ctx.cg 0
+
+(* A few straight-line instructions mixing ALU and memory traffic. *)
+let straight_line ctx n =
+  let slot = scratch ctx in
+  for _ = 1 to n do
+    let insn =
+      match Rng.int ctx.rng 8 with
+      | 0 -> I.Alu (I.Add, reg Reg.EAX, imm (Rng.int ctx.rng 1000))
+      | 1 -> I.Alu (I.Xor, reg Reg.EAX, imm (Rng.int ctx.rng 255))
+      | 2 -> I.Alu (I.Sub, reg Reg.EAX, imm (Rng.int ctx.rng 100))
+      | 3 -> I.Shift (I.Shl, reg Reg.EAX, 1 + Rng.int ctx.rng 3)
+      | 4 -> I.Mov (mem_abs slot, reg Reg.EAX)
+      | 5 -> I.Alu (I.Add, reg Reg.EAX, mem_abs slot)
+      | 6 -> I.Lea (Reg.EBP, { O.base = Some Reg.EAX; index = None; disp = 12 })
+      | _ -> I.Alu (I.Or, reg Reg.EAX, reg Reg.EBP)
+    in
+    Codegen.emit ctx.cg insn
+  done;
+  n
+
+(* A loop whose trip count is 1 + (lcg & mask) + base: data-dependent, so
+   trace trees record a distinct unrolled path per trip count while compact
+   trace trees close all of them with one back edge. *)
+let variable_loop ctx ~base ~mask body =
+  let slot = scratch ctx in
+  let top = Codegen.fresh_label ctx.cg "V" in
+  lcg_step ctx;
+  Codegen.emit_all ctx.cg
+    [
+      I.Mov (reg Reg.EBP, reg Reg.EBX);
+      I.Alu (I.And, reg Reg.EBP, imm mask);
+      I.Alu (I.Add, reg Reg.EBP, imm (max 1 base));
+      I.Mov (mem_abs slot, reg Reg.EBP);
+    ];
+  Codegen.place ctx.cg top;
+  let body_cost = body () in
+  Codegen.emit ctx.cg (I.Dec (mem_abs slot));
+  Codegen.emit ctx.cg (I.Jcc (Cond.NE, I.Lbl top));
+  let avg_iters = max 1 base + (mask / 2) in
+  6 + (avg_iters * (body_cost + 2))
+
+let counted_loop ctx ~iters body =
+  let slot = scratch ctx in
+  let top = Codegen.fresh_label ctx.cg "L" in
+  Codegen.emit ctx.cg (I.Mov (mem_abs slot, imm iters));
+  Codegen.place ctx.cg top;
+  let body_cost = body () in
+  Codegen.emit ctx.cg (I.Dec (mem_abs slot));
+  Codegen.emit ctx.cg (I.Jcc (Cond.NE, I.Lbl top));
+  1 + (iters * (body_cost + 2))
+
+let diamond ctx ~inner =
+  let bits = range ctx ctx.p.mask_bits in
+  let mask = (1 lsl bits) - 1 in
+  lcg_step ctx;
+  Codegen.emit ctx.cg (I.Test (reg Reg.EBX, imm mask));
+  let rare = Codegen.fresh_label ctx.cg "rare" in
+  let join = Codegen.fresh_label ctx.cg "join" in
+  Codegen.emit ctx.cg (I.Jcc (Cond.E, I.Lbl rare));
+  let c1 = inner () in
+  Codegen.emit ctx.cg (I.Jmp (I.Lbl join));
+  Codegen.place ctx.cg rare;
+  let c2 = inner () in
+  Codegen.place ctx.cg join;
+  3 + ((c1 + c2) / 2) + 1
+
+let switch ctx ~inner =
+  let ways = ctx.p.switch_ways in
+  assert (ways land (ways - 1) = 0);
+  lcg_step ctx;
+  let join = Codegen.fresh_label ctx.cg "sjoin" in
+  let cases = List.init ways (fun _ -> Codegen.fresh_label ctx.cg "case") in
+  let table = Codegen.alloc_ref_table ctx.cg cases in
+  Codegen.emit_all ctx.cg
+    [
+      I.Mov (reg Reg.EBP, reg Reg.EBX);
+      I.Alu (I.And, reg Reg.EBP, imm (ways - 1));
+      I.Mov (reg Reg.EBP, O.mem ~index:(Reg.EBP, 4) table);
+      I.Jmp_ind (reg Reg.EBP);
+    ];
+  let cost = ref 0 in
+  List.iter
+    (fun c ->
+      Codegen.place ctx.cg c;
+      cost := !cost + inner ();
+      Codegen.emit ctx.cg (I.Jmp (I.Lbl join)))
+    cases;
+  Codegen.place ctx.cg join;
+  6 + (!cost / ways) + 1
+
+let list_chase ctx =
+  let iters = 8 + Rng.int ctx.rng 24 in
+  Codegen.emit ctx.cg (I.Mov (reg Reg.EDX, imm ctx.list_head));
+  let cost =
+    counted_loop ctx ~iters (fun () ->
+        Codegen.emit_all ctx.cg
+          [
+            I.Alu (I.Add, reg Reg.EAX, mem_base Reg.EDX 4);
+            I.Mov (reg Reg.EDX, mem_base Reg.EDX 0);
+          ];
+        2)
+  in
+  cost + 1
+
+let rep_copy ctx =
+  let words = 8 + Rng.int ctx.rng (ctx.buf_words - 8) in
+  Codegen.emit_all ctx.cg
+    [
+      I.Mov (reg Reg.ESI, imm ctx.buf_src);
+      I.Mov (reg Reg.EDI, imm ctx.buf_dst);
+      I.Mov (reg Reg.ECX, imm words);
+      I.Rep_movs;
+    ];
+  4
+
+let straight_capped ctx ~budget =
+  straight_line ctx (max 1 (min (range ctx ctx.p.body_len) budget))
+
+(* One element of a hot function body at loop depth [d], spending at most
+   roughly [budget] dynamic instructions per execution; returns the actual
+   estimated cost. [callees] pair labels with their known per-call cost. *)
+let rec element ctx ~d ~budget ~callees =
+  let p = ctx.p in
+  let pick = Rng.float ctx.rng in
+  let thresholds =
+    [
+      (p.p_loop, `Loop); (p.p_diamond, `Diamond); (p.p_switch, `Switch);
+      (p.p_call, `Call); (p.p_list, `List); (p.p_rep, `Rep);
+    ]
+  in
+  let rec choose acc = function
+    | [] -> `Straight
+    | (pr, kind) :: rest -> if pick < acc +. pr then kind else choose (acc +. pr) rest
+  in
+  match choose 0.0 thresholds with
+  | `Loop when d < p.nest_depth && budget >= 16 ->
+      let iters = if d = 0 then range ctx p.outer_iters else range ctx p.inner_iters in
+      (* Split the budget across iterations so nesting stays bounded. *)
+      let body_budget = max 3 (budget / iters) in
+      (* Fill the body with elements until its budget is spent (bounded
+         element count) — several diamonds/switches per iteration is what
+         gives trace trees a real path space to unroll. *)
+      let body () =
+        let total = ref 0 in
+        let n = ref 0 in
+        while !total < body_budget && !n < 12 do
+          incr n;
+          total := !total + element ctx ~d:(d + 1) ~budget:(body_budget - !total) ~callees
+        done;
+        !total
+      in
+      if d > 0 && Rng.chance ctx.rng p.p_var_trip then
+        let lo, hi = p.inner_iters in
+        let mask = if hi - lo >= 4 then 7 else 3 in
+        variable_loop ctx ~base:lo ~mask body
+      else counted_loop ctx ~iters body
+  | `Loop | `Straight -> straight_capped ctx ~budget
+  | `Diamond ->
+      diamond ctx ~inner:(fun () ->
+          if d < p.nest_depth && budget >= 16 && Rng.chance ctx.rng 0.3 then
+            element ctx ~d:(d + 1) ~budget:(budget - 4) ~callees
+          else straight_capped ctx ~budget)
+  | `Switch when budget >= 8 ->
+      switch ctx ~inner:(fun () -> straight_capped ctx ~budget:(budget - 6))
+  | `Switch -> straight_capped ctx ~budget
+  | `Call -> (
+      (* Callees are generated before callers, so their cost is known and
+         counts against this budget — whole-program cost stays linear. *)
+      match List.filter (fun (_, c) -> c <= budget) callees with
+      | [] -> straight_capped ctx ~budget
+      | affordable ->
+          let lbl, callee_cost = Rng.choose ctx.rng affordable in
+          Codegen.emit ctx.cg (I.Call (I.Lbl lbl));
+          1 + callee_cost)
+  | `List when budget >= 24 -> list_chase ctx
+  | `List -> straight_capped ctx ~budget
+  | `Rep -> rep_copy ctx
+
+(* A hot function: elements until the dynamic budget is spent; returns the
+   estimated per-call cost. *)
+let hot_function ctx ~lbl ~callees =
+  Codegen.place ctx.cg lbl;
+  let budget = ctx.p.func_budget in
+  let spent = ref 0 in
+  while !spent < budget do
+    spent := !spent + element ctx ~d:0 ~budget:(budget - !spent) ~callees
+  done;
+  Codegen.emit ctx.cg I.Ret;
+  !spent + 2
+
+let cold_function ctx ~lbl =
+  Codegen.place ctx.cg lbl;
+  let n = range ctx ctx.p.cold_elements in
+  for _ = 1 to n do
+    if Rng.chance ctx.rng 0.4 then
+      ignore
+        (counted_loop ctx ~iters:(range ctx ctx.p.cold_iters) (fun () ->
+             straight_line ctx (range ctx ctx.p.body_len)))
+    else ignore (straight_line ctx (range ctx ctx.p.body_len))
+  done;
+  Codegen.emit ctx.cg I.Ret
+
+let generate p =
+  let rng = Rng.create p.seed in
+  let cg = Codegen.create () in
+  (* Shared data: a 64-node ring list ([next; value] pairs) and copy
+     buffers. *)
+  let nodes = 64 in
+  let list_head = Asm.default_data_base in
+  let ring =
+    List.concat
+      (List.init nodes (fun i ->
+           let next = if i + 1 < nodes then list_head + (8 * (i + 1)) else list_head in
+           [ next; (i * 17) land 0xFF ]))
+  in
+  let list_head' = Codegen.alloc_words cg ring in
+  assert (list_head' = list_head);
+  let buf_words = 64 in
+  let buf_src = Codegen.alloc_words cg (List.init buf_words (fun i -> i)) in
+  let buf_dst = Codegen.alloc_space cg buf_words in
+  let ctx = { p; rng; cg; list_head; buf_src; buf_dst; buf_words } in
+  let hot_labels = List.init p.hot_funcs (fun i -> Printf.sprintf "hot_%d" i) in
+  let cold_labels = List.init p.cold_funcs (fun i -> Printf.sprintf "cold_%d" i) in
+  (* main first so entry sits at the text base. *)
+  Codegen.place cg "main";
+  Codegen.emit_all cg
+    [
+      I.Mov (reg Reg.EAX, imm 0);
+      I.Mov (reg Reg.EBX, imm (p.seed lor 1));
+      I.Cpuid;
+    ];
+  let cold_queue = ref cold_labels in
+  let take_cold n =
+    let rec go n acc =
+      if n = 0 then List.rev acc
+      else
+        match !cold_queue with
+        | [] -> List.rev acc
+        | c :: rest ->
+            cold_queue := rest;
+            go (n - 1) (c :: acc)
+    in
+    go n []
+  in
+  let per_phase = max 1 ((p.cold_funcs + p.phases - 1) / max 1 p.phases) in
+  for _phase = 1 to p.phases do
+    (* Sprawl: once-called cold functions. *)
+    List.iter
+      (fun c -> Codegen.emit cg (I.Call (I.Lbl c)))
+      (take_cold per_phase);
+    (* The phase's hot loop. *)
+    let targets =
+      List.init p.calls_per_iter (fun _ -> Rng.choose rng hot_labels)
+    in
+    ignore
+      (counted_loop ctx ~iters:p.phase_iters (fun () ->
+           List.iter (fun t -> Codegen.emit cg (I.Call (I.Lbl t))) targets;
+           p.calls_per_iter * (1 + p.func_budget)))
+  done;
+  (* Drain any cold functions left over by rounding. *)
+  List.iter (fun c -> Codegen.emit cg (I.Call (I.Lbl c))) !cold_queue;
+  Codegen.emit cg (I.Sys 1);
+  Codegen.emit_all cg [ I.Mov (reg Reg.EAX, imm 0); I.Sys 0 ];
+  (* Function bodies, highest index first so callee costs are known. *)
+  let hot_arr = Array.of_list hot_labels in
+  let costs = Hashtbl.create 16 in
+  for index = Array.length hot_arr - 1 downto 0 do
+    let callees =
+      List.init
+        (min 2 (Array.length hot_arr - 1 - index))
+        (fun k ->
+          let l = hot_arr.(index + 1 + k) in
+          (l, Hashtbl.find costs l))
+    in
+    Hashtbl.replace costs hot_arr.(index)
+      (hot_function ctx ~lbl:hot_arr.(index) ~callees)
+  done;
+  List.iter (fun lbl -> cold_function ctx ~lbl) cold_labels;
+  Codegen.assemble cg
+
+let estimated_dynamic_insns p =
+  let hot = p.phases * p.phase_iters * p.calls_per_iter * p.func_budget in
+  let cold =
+    p.cold_funcs * avg p.cold_elements
+    * ((avg p.cold_iters * avg p.body_len / 2) + avg p.body_len)
+  in
+  hot + cold

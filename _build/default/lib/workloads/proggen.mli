@@ -1,0 +1,52 @@
+(** Parameterized synthetic-program generator.
+
+    Generates deterministic, terminating programs whose dynamic control-flow
+    character is dialed by a {!profile}: hot functions full of loops,
+    diamonds, switches, list chases and REP copies, called from per-phase
+    main loops; plus once-called "sprawl" functions that execute real work
+    but never cross the hotness threshold (they set a benchmark's trace
+    coverage ceiling). Branch outcomes come from an in-program LCG, so runs
+    are bit-for-bit reproducible.
+
+    The knobs map to the paper's benchmark behaviours (see {!Spec2000}):
+    deep counted loop nests → high coverage and small trace sets (SPEC FP);
+    even-odds diamonds and small inner loops inside hot loops → trace-tree
+    path explosion (gzip, bzip2); many functions and phases → large trace
+    sets and heavy JIT footprint (gcc, perlbmk). *)
+
+type profile = {
+  name : string;
+  seed : int;
+  hot_funcs : int;
+  cold_funcs : int;        (** once-called sprawl functions *)
+  func_budget : int;       (** target dynamic instructions per hot call *)
+  body_len : int * int;    (** straight-line element length range *)
+  nest_depth : int;        (** max loop nesting inside a function *)
+  outer_iters : int * int; (** iterations of depth-0 loops *)
+  inner_iters : int * int; (** iterations of nested loops *)
+  cold_elements : int * int;
+  cold_iters : int * int;  (** sprawl loops; keep below the hot threshold *)
+  p_loop : float;
+  p_diamond : float;
+  p_switch : float;
+  p_call : float;
+  p_list : float;
+  p_rep : float;
+  mask_bits : int * int;   (** diamond bias: taken with prob 2^-bits *)
+  switch_ways : int;       (** must be a power of two *)
+  phases : int;
+  phase_iters : int;
+  calls_per_iter : int;
+  p_var_trip : float;
+      (** probability a nested loop's trip count is data-dependent — the
+          trace-tree unrolling trigger (gzip/bzip2 in Table 1) *)
+}
+
+val default : profile
+(** A mid-sized template to derive profiles from. *)
+
+val generate : profile -> Tea_isa.Image.t
+(** Deterministic in [profile] (including [seed]). *)
+
+val estimated_dynamic_insns : profile -> int
+(** Coarse a-priori estimate used to sanity-check profile scaling. *)

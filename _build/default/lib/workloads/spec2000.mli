@@ -1,0 +1,32 @@
+(** The 26 synthetic SPEC CPU2000 stand-ins.
+
+    We cannot run the real SPEC suite (no x86 frontend, no SPEC sources),
+    so each benchmark is a {!Proggen.profile} whose control-flow character
+    is chosen to reproduce the *relative* behaviour the paper's tables show
+    for that program:
+
+    - CFP2000 (wupwise..apsi): loop-nest dominated, high trace coverage,
+      small trace sets;
+    - gzip/bzip2: even-odds diamonds inside hot loops — the trace-tree
+      path-explosion cases of Table 1;
+    - gcc: many functions, many phases — the largest MRET/CTT sets and the
+      heaviest JIT footprint (Table 4's 3.9× "Without Pintool");
+    - mcf: pointer chasing, small code;
+    - crafty/perlbmk/eon/gap: large once-executed code sprawl — the
+      sub-95% coverage rows of Tables 2/3;
+    - vortex: call-heavy with big code but high coverage.
+
+    All profiles are deterministic; [image] memoizes generated programs. *)
+
+val all : Proggen.profile list
+(** In the paper's Table 1 row order (14 CFP2000, then 12 CINT2000). *)
+
+val names : string list
+
+val by_name : string -> Proggen.profile option
+
+val image : Proggen.profile -> Tea_isa.Image.t
+(** Generate (memoized by profile name). *)
+
+val is_fp : string -> bool
+(** Whether the benchmark belongs to the CFP2000 half of the table. *)

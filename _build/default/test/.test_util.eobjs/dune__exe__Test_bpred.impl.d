@@ -1,0 +1,1 @@
+test/test_bpred.ml: Alcotest List Option QCheck QCheck_alcotest String Tea_bpred Tea_dbt Tea_traces Tea_workloads

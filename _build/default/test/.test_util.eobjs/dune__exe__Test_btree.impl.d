@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Int List Map QCheck QCheck_alcotest Tea_btree

@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Array Hashtbl List Option QCheck QCheck_alcotest String Tea_cachesim Tea_dbt Tea_machine Tea_traces Tea_workloads

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Asm Cond Image Insn List Operand Reg String Tea_cfg Tea_isa Tea_machine Tea_workloads

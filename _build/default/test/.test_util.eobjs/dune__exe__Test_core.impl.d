@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Filename Insn List Option QCheck QCheck_alcotest String Sys Tea_cfg Tea_core Tea_dbt Tea_isa Tea_pinsim Tea_traces Tea_workloads Unix

@@ -1,0 +1,1 @@
+test/test_dbt.ml: Alcotest List Option Tea_cfg Tea_dbt Tea_isa Tea_machine Tea_traces Tea_workloads

@@ -1,0 +1,1 @@
+test/test_goldens.ml: Alcotest List Option Tea_core Tea_dbt Tea_machine Tea_pinsim Tea_traces Tea_workloads

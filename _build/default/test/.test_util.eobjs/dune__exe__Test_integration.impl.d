@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Filename List Option Sys Tea_cfg Tea_core Tea_dbt Tea_machine Tea_pinsim Tea_traces Tea_workloads

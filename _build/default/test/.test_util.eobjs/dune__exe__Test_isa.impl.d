@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Cond Encode Format Image Insn List Operand Option QCheck QCheck_alcotest Reg String Tea_isa

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Asm Cond Image Insn List Operand QCheck QCheck_alcotest Reg Tea_isa Tea_machine Tea_util Tea_workloads

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Cond Insn List Operand Reg String Tea_cfg Tea_core Tea_isa Tea_opt Tea_traces

@@ -1,0 +1,1 @@
+test/test_pinsim.ml: Alcotest List Option Tea_cfg Tea_dbt Tea_isa Tea_machine Tea_pinsim Tea_traces Tea_workloads

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Lazy List String Tea_pinsim Tea_report

@@ -1,0 +1,1 @@
+test/test_strategy_protocol.ml: Alcotest Cond Insn List Option Tea_cfg Tea_core Tea_isa Tea_traces

@@ -1,0 +1,1 @@
+test/test_traces.ml: Alcotest Array Asm Cond Filename Image Insn List Operand Option QCheck QCheck_alcotest String Sys Tea_cfg Tea_dbt Tea_isa Tea_traces Tea_workloads

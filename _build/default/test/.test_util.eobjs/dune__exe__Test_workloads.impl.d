@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Format List Option Printf Tea_dbt Tea_isa Tea_machine Tea_traces Tea_workloads

@@ -1,0 +1,195 @@
+module Predictor = Tea_bpred.Predictor
+module Collector = Tea_bpred.Collector
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------------- Predictors ---------------- *)
+
+let test_always_taken () =
+  let p = Predictor.create Predictor.Always_taken in
+  check Alcotest.bool "predicts taken" true (Predictor.predict p ~pc:0x100 ~target:0x50);
+  ignore (Predictor.record p ~pc:0x100 ~target:0x50 ~taken:false);
+  ignore (Predictor.record p ~pc:0x100 ~target:0x50 ~taken:true);
+  check Alcotest.int "one miss" 1 (Predictor.mispredictions p);
+  check Alcotest.int "two predictions" 2 (Predictor.predictions p)
+
+let test_btfn () =
+  let p = Predictor.create Predictor.Btfn in
+  check Alcotest.bool "backward taken" true (Predictor.predict p ~pc:0x100 ~target:0x50);
+  check Alcotest.bool "forward not" false (Predictor.predict p ~pc:0x100 ~target:0x200)
+
+let test_bimodal_learns () =
+  let p = Predictor.create (Predictor.Bimodal 10) in
+  (* initial state is weakly taken; train not-taken *)
+  for _ = 1 to 4 do
+    ignore (Predictor.record p ~pc:0x40 ~target:0x10 ~taken:false)
+  done;
+  check Alcotest.bool "learned not-taken" false (Predictor.predict p ~pc:0x40 ~target:0x10);
+  (* hysteresis: one taken outcome does not flip a saturated counter *)
+  ignore (Predictor.record p ~pc:0x40 ~target:0x10 ~taken:true);
+  check Alcotest.bool "still not-taken" false (Predictor.predict p ~pc:0x40 ~target:0x10)
+
+let test_bimodal_per_pc () =
+  let p = Predictor.create (Predictor.Bimodal 10) in
+  for _ = 1 to 4 do
+    ignore (Predictor.record p ~pc:0x40 ~target:0x10 ~taken:false)
+  done;
+  (* a different branch keeps the default prediction *)
+  check Alcotest.bool "independent entry" true (Predictor.predict p ~pc:0x48 ~target:0x10)
+
+let test_gshare_learns_pattern () =
+  (* an alternating branch is hopeless for bimodal but trivial for gshare *)
+  let run kind =
+    let p = Predictor.create kind in
+    let taken = ref false in
+    for _ = 1 to 2000 do
+      taken := not !taken;
+      ignore (Predictor.record p ~pc:0x80 ~target:0x10 ~taken:!taken)
+    done;
+    Predictor.miss_rate p
+  in
+  let bimodal = run (Predictor.Bimodal 12) in
+  let gshare = run (Predictor.Gshare 12) in
+  check Alcotest.bool "gshare learns alternation" true (gshare < 0.05);
+  check Alcotest.bool "bimodal cannot" true (bimodal > 0.3)
+
+let test_biased_branch_predictable () =
+  (* a 100%-taken loop branch converges to ~0 misses for every dynamic
+     predictor *)
+  List.iter
+    (fun kind ->
+      let p = Predictor.create kind in
+      for _ = 1 to 500 do
+        ignore (Predictor.record p ~pc:0x90 ~target:0x10 ~taken:true)
+      done;
+      check Alcotest.bool (Predictor.kind_name kind) true (Predictor.miss_rate p < 0.02))
+    [ Predictor.Always_taken; Predictor.Bimodal 10; Predictor.Gshare 10 ]
+
+let test_bad_bits () =
+  Alcotest.check_raises "bimodal" (Invalid_argument "Predictor.create: bimodal bits")
+    (fun () -> ignore (Predictor.create (Predictor.Bimodal 0)));
+  Alcotest.check_raises "gshare" (Invalid_argument "Predictor.create: gshare bits")
+    (fun () -> ignore (Predictor.create (Predictor.Gshare 30)))
+
+let test_reset_stats () =
+  let p = Predictor.create (Predictor.Bimodal 8) in
+  ignore (Predictor.record p ~pc:0 ~target:0 ~taken:false);
+  Predictor.reset_stats p;
+  check Alcotest.int "reset" 0 (Predictor.predictions p)
+
+let prop_stats_bounds =
+  QCheck.Test.make ~name:"prediction stats stay consistent" ~count:200
+    QCheck.(list (pair (int_range 0 1024) bool))
+    (fun branches ->
+      let p = Predictor.create (Predictor.Gshare 8) in
+      List.iter
+        (fun (pc, taken) -> ignore (Predictor.record p ~pc ~target:0 ~taken))
+        branches;
+      Predictor.predictions p = List.length branches
+      && Predictor.mispredictions p <= Predictor.predictions p
+      && Predictor.miss_rate p >= 0.0
+      && Predictor.miss_rate p <= 1.0)
+
+(* record's return value agrees with predict-before-update *)
+let prop_record_consistent =
+  QCheck.Test.make ~name:"record = predict; update" ~count:100
+    QCheck.(list (pair (int_range 0 255) bool))
+    (fun branches ->
+      let a = Predictor.create (Predictor.Bimodal 6) in
+      let b = Predictor.create (Predictor.Bimodal 6) in
+      List.for_all
+        (fun (pc, taken) ->
+          let predicted = Predictor.predict b ~pc ~target:0 in
+          Predictor.update b ~pc ~target:0 ~taken;
+          Predictor.record a ~pc ~target:0 ~taken = (predicted = taken))
+        branches)
+
+(* ---------------- Collector ---------------- *)
+
+let mret = Option.get (Tea_traces.Registry.by_name "mret")
+
+let collect ?kind image =
+  let dbt = Tea_dbt.Stardbt.record ~strategy:mret image in
+  let traces = Tea_traces.Trace_set.to_list dbt.Tea_dbt.Stardbt.set in
+  Collector.profile ?kind ~traces image
+
+let test_collector_counts_branches () =
+  (* branchy_loop: one conditional per iteration plus the loop branch *)
+  let image = Tea_workloads.Micro.branchy_loop ~iters:2000 ~mask:7 () in
+  let report = collect image in
+  let total_branches =
+    List.fold_left
+      (fun acc r -> acc + r.Collector.branches)
+      report.Collector.cold.Collector.branches report.Collector.rows
+  in
+  check Alcotest.int "all branches attributed"
+    (Predictor.predictions report.Collector.total)
+    total_branches;
+  (* 2000 iterations, two conditional branches each (diamond + loop) *)
+  check Alcotest.bool "plausible volume" true
+    (total_branches >= 3800 && total_branches <= 4200)
+
+let test_collector_hot_trace_owns_branches () =
+  (* use the static predictor: the diamond's LCG bit alternates, so half
+     its resolutions defeat always-taken — a dynamic predictor would learn
+     the period-2 pattern *)
+  let image = Tea_workloads.Micro.branchy_loop ~iters:3000 ~mask:1 () in
+  let report = collect ~kind:Predictor.Always_taken image in
+  match report.Collector.rows with
+  | hot :: _ ->
+      check Alcotest.bool "hot trace has most branches" true
+        (hot.Collector.branches * 2 > Predictor.predictions report.Collector.total);
+      check Alcotest.bool "mispredictions surface" true (hot.Collector.miss_rate > 0.05)
+  | [] -> Alcotest.fail "no rows"
+
+let test_collector_biased_loop_is_easy () =
+  let image = Tea_workloads.Micro.nested_loop ~outer:50 ~inner:80 () in
+  let report = collect image in
+  check Alcotest.bool "loop branches predictable" true
+    (Predictor.miss_rate report.Collector.total < 0.1)
+
+let test_collector_predictor_choice_matters () =
+  let image = Tea_workloads.Micro.branchy_loop ~iters:3000 ~mask:1 () in
+  let gshare = collect ~kind:(Predictor.Gshare 12) image in
+  let static = collect ~kind:Predictor.Always_taken image in
+  check Alcotest.bool "gshare beats always-taken" true
+    (Predictor.miss_rate gshare.Collector.total
+    < Predictor.miss_rate static.Collector.total)
+
+let test_collector_render () =
+  let image = Tea_workloads.Micro.branchy_loop () in
+  let report = collect image in
+  let s = Collector.render report in
+  check Alcotest.bool "has overall line" true
+    (let rec go i =
+       i + 7 <= String.length s && (String.sub s i 7 = "overall" || go (i + 1))
+     in
+     go 0)
+
+let () =
+  Alcotest.run "tea_bpred"
+    [
+      ( "predictors",
+        [
+          Alcotest.test_case "always taken" `Quick test_always_taken;
+          Alcotest.test_case "btfn" `Quick test_btfn;
+          Alcotest.test_case "bimodal learns" `Quick test_bimodal_learns;
+          Alcotest.test_case "bimodal per pc" `Quick test_bimodal_per_pc;
+          Alcotest.test_case "gshare pattern" `Quick test_gshare_learns_pattern;
+          Alcotest.test_case "biased branch" `Quick test_biased_branch_predictable;
+          Alcotest.test_case "bad bits" `Quick test_bad_bits;
+          Alcotest.test_case "reset" `Quick test_reset_stats;
+          qtest prop_stats_bounds;
+          qtest prop_record_consistent;
+        ] );
+      ( "collector",
+        [
+          Alcotest.test_case "counts branches" `Quick test_collector_counts_branches;
+          Alcotest.test_case "hot trace owns branches" `Quick
+            test_collector_hot_trace_owns_branches;
+          Alcotest.test_case "biased loop easy" `Quick test_collector_biased_loop_is_easy;
+          Alcotest.test_case "predictor choice" `Quick test_collector_predictor_choice_matters;
+          Alcotest.test_case "render" `Quick test_collector_render;
+        ] );
+    ]

@@ -1,0 +1,158 @@
+module Btree = Tea_btree.Btree
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let assert_ok t =
+  match Btree.check_invariants t with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("invariants: " ^ m)
+
+let test_empty () =
+  let t : int Btree.t = Btree.create () in
+  check Alcotest.int "length" 0 (Btree.length t);
+  check Alcotest.bool "is_empty" true (Btree.is_empty t);
+  check Alcotest.(option int) "find" None (Btree.find t 5);
+  check Alcotest.int "height" 0 (Btree.height t);
+  check Alcotest.(option (pair int int)) "min" None (Btree.min_binding t);
+  assert_ok t
+
+let test_insert_find () =
+  let t = Btree.create () in
+  Btree.insert t 5 "five";
+  Btree.insert t 3 "three";
+  Btree.insert t 9 "nine";
+  check Alcotest.(option string) "find 3" (Some "three") (Btree.find t 3);
+  check Alcotest.(option string) "find 9" (Some "nine") (Btree.find t 9);
+  check Alcotest.(option string) "miss" None (Btree.find t 4);
+  check Alcotest.int "length" 3 (Btree.length t);
+  assert_ok t
+
+let test_replace () =
+  let t = Btree.create () in
+  Btree.insert t 1 "a";
+  Btree.insert t 1 "b";
+  check Alcotest.int "length stays 1" 1 (Btree.length t);
+  check Alcotest.(option string) "replaced" (Some "b") (Btree.find t 1);
+  assert_ok t
+
+let test_bad_order () =
+  Alcotest.check_raises "order 1" (Invalid_argument "Btree.create: order must be >= 2")
+    (fun () -> ignore (Btree.create ~order:1 ()))
+
+let test_split_growth () =
+  let t = Btree.create ~order:2 () in
+  for i = 1 to 100 do
+    Btree.insert t i i;
+    assert_ok t
+  done;
+  check Alcotest.int "length" 100 (Btree.length t);
+  check Alcotest.bool "height grew" true (Btree.height t >= 3);
+  for i = 1 to 100 do
+    check Alcotest.(option int) "find all" (Some i) (Btree.find t i)
+  done
+
+let test_reverse_insertion () =
+  let t = Btree.create ~order:2 () in
+  for i = 100 downto 1 do
+    Btree.insert t i (i * 2)
+  done;
+  assert_ok t;
+  check Alcotest.(option int) "find 37" (Some 74) (Btree.find t 37)
+
+let test_sorted_iteration () =
+  let t = Btree.create ~order:3 () in
+  List.iter (fun k -> Btree.insert t k ()) [ 42; 7; 99; 1; 55; 23; 8 ];
+  let keys = List.map fst (Btree.to_list t) in
+  check Alcotest.(list int) "sorted" [ 1; 7; 8; 23; 42; 55; 99 ] keys
+
+let test_min_max () =
+  let t = Btree.of_list [ (5, "e"); (1, "a"); (9, "i") ] in
+  check Alcotest.(option (pair int string)) "min" (Some (1, "a")) (Btree.min_binding t);
+  check Alcotest.(option (pair int string)) "max" (Some (9, "i")) (Btree.max_binding t)
+
+let test_negative_keys () =
+  let t = Btree.of_list [ (-5, "a"); (0, "b"); (5, "c") ] in
+  check Alcotest.(option string) "negative" (Some "a") (Btree.find t (-5));
+  check Alcotest.(list int) "sorted with negatives" [ -5; 0; 5 ]
+    (List.map fst (Btree.to_list t));
+  assert_ok t
+
+let test_find_count_cost () =
+  let t = Btree.create ~order:4 () in
+  for i = 1 to 1000 do
+    Btree.insert t (i * 3) i
+  done;
+  let _, comparisons = Btree.find_count t 1500 in
+  (* log2(1000) * a few comparisons per node: must be far below linear *)
+  check Alcotest.bool "logarithmic probes" true (comparisons > 0 && comparisons < 60);
+  let v, _ = Btree.find_count t 999 in
+  check Alcotest.(option int) "found via find_count" (Some 333) v
+
+let test_mem () =
+  let t = Btree.of_list [ (1, ()); (2, ()) ] in
+  check Alcotest.bool "mem" true (Btree.mem t 1);
+  check Alcotest.bool "not mem" false (Btree.mem t 3)
+
+(* Reference-model property test: a B+ tree behaves exactly like Map over
+   any insertion sequence. *)
+let prop_vs_map =
+  let gen = QCheck.(list (pair (int_range (-200) 200) small_int)) in
+  QCheck.Test.make ~name:"btree agrees with Map reference" ~count:300 gen
+    (fun pairs ->
+      let module IM = Map.Make (Int) in
+      let t = Btree.create ~order:2 () in
+      let reference =
+        List.fold_left
+          (fun m (k, v) ->
+            Btree.insert t k v;
+            IM.add k v m)
+          IM.empty pairs
+      in
+      Btree.check_invariants t = Ok ()
+      && Btree.length t = IM.cardinal reference
+      && Btree.to_list t = IM.bindings reference
+      && List.for_all
+           (fun (k, _) -> Btree.find t k = IM.find_opt k reference)
+           pairs
+      && Btree.find t 999 = None)
+
+let prop_invariants_random_order =
+  QCheck.Test.make ~name:"invariants hold for random orders" ~count:100
+    QCheck.(pair (int_range 2 6) (list (int_range 0 10000)))
+    (fun (order, keys) ->
+      let t = Btree.create ~order () in
+      List.iter (fun k -> Btree.insert t k k) keys;
+      Btree.check_invariants t = Ok ())
+
+let prop_iter_matches_to_list =
+  QCheck.Test.make ~name:"iter visits to_list order" ~count:100
+    QCheck.(list (int_range 0 1000))
+    (fun keys ->
+      let t = Btree.create ~order:3 () in
+      List.iter (fun k -> Btree.insert t k (k * 7)) keys;
+      let via_iter = ref [] in
+      Btree.iter (fun k v -> via_iter := (k, v) :: !via_iter) t;
+      List.rev !via_iter = Btree.to_list t)
+
+let () =
+  Alcotest.run "tea_btree"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert/find" `Quick test_insert_find;
+          Alcotest.test_case "replace" `Quick test_replace;
+          Alcotest.test_case "bad order" `Quick test_bad_order;
+          Alcotest.test_case "split growth" `Quick test_split_growth;
+          Alcotest.test_case "reverse insertion" `Quick test_reverse_insertion;
+          Alcotest.test_case "sorted iteration" `Quick test_sorted_iteration;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "negative keys" `Quick test_negative_keys;
+          Alcotest.test_case "find_count cost" `Quick test_find_count_cost;
+          Alcotest.test_case "mem" `Quick test_mem;
+        ] );
+      ( "property",
+        [ qtest prop_vs_map; qtest prop_invariants_random_order; qtest prop_iter_matches_to_list ]
+      );
+    ]

@@ -1,0 +1,441 @@
+module Cache = Tea_cachesim.Cache
+module Hierarchy = Tea_cachesim.Hierarchy
+module Collector = Tea_cachesim.Collector
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* a tiny direct-mapped cache: 4 sets x 16B lines *)
+let tiny_dm = Cache.config ~size_bytes:64 ~line_bytes:16 ~ways:1
+
+(* 2-way with 2 sets *)
+let tiny_2w = Cache.config ~size_bytes:64 ~line_bytes:16 ~ways:2
+
+(* ---------------- Cache ---------------- *)
+
+let test_config_validation () =
+  Alcotest.check_raises "size" (Invalid_argument "Cache.config: size not a power of two")
+    (fun () -> ignore (Cache.config ~size_bytes:100 ~line_bytes:16 ~ways:1));
+  Alcotest.check_raises "line" (Invalid_argument "Cache.config: bad line size")
+    (fun () -> ignore (Cache.config ~size_bytes:64 ~line_bytes:3 ~ways:1));
+  Alcotest.check_raises "ways" (Invalid_argument "Cache.config: ways must be >= 1")
+    (fun () -> ignore (Cache.config ~size_bytes:64 ~line_bytes:16 ~ways:0));
+  check Alcotest.int "sets" 4 (Cache.n_sets tiny_dm);
+  check Alcotest.int "2w sets" 2 (Cache.n_sets tiny_2w)
+
+let test_cold_miss_then_hit () =
+  let c = Cache.create tiny_dm in
+  check Alcotest.bool "cold miss" true (Cache.access c 0x100 = Cache.Miss);
+  check Alcotest.bool "then hit" true (Cache.access c 0x100 = Cache.Hit);
+  (* same line, different word *)
+  check Alcotest.bool "same line" true (Cache.access c 0x10C = Cache.Hit);
+  (* next line *)
+  check Alcotest.bool "next line misses" true (Cache.access c 0x110 = Cache.Miss);
+  check Alcotest.int "accesses" 4 (Cache.accesses c);
+  check Alcotest.int "misses" 2 (Cache.misses c)
+
+let test_direct_mapped_conflict () =
+  let c = Cache.create tiny_dm in
+  (* 0x000 and 0x040 map to set 0 in a 4-set/16B cache *)
+  ignore (Cache.access c 0x000);
+  ignore (Cache.access c 0x040);  (* evicts 0x000 *)
+  check Alcotest.bool "conflict evicted" true (Cache.access c 0x000 = Cache.Miss);
+  (* ...and bringing 0x000 back evicted 0x040 in turn *)
+  check Alcotest.int "evictions" 2 (Cache.evictions c)
+
+let test_two_way_no_conflict () =
+  let c = Cache.create tiny_2w in
+  (* 2 sets x 16B: 0x000 and 0x040 share a set but fit in two ways *)
+  ignore (Cache.access c 0x000);
+  ignore (Cache.access c 0x040);
+  check Alcotest.bool "both resident" true (Cache.access c 0x000 = Cache.Hit);
+  check Alcotest.bool "both resident 2" true (Cache.access c 0x040 = Cache.Hit);
+  check Alcotest.int "no evictions" 0 (Cache.evictions c)
+
+let test_lru_replacement () =
+  let c = Cache.create tiny_2w in
+  (* set 0 lines: 0x000, 0x040, 0x080 -- third must evict the LRU (0x000) *)
+  ignore (Cache.access c 0x000);
+  ignore (Cache.access c 0x040);
+  ignore (Cache.access c 0x000);  (* 0x040 becomes LRU *)
+  ignore (Cache.access c 0x080);  (* evicts 0x040 *)
+  check Alcotest.bool "mru survives" true (Cache.probe c 0x000);
+  check Alcotest.bool "lru evicted" false (Cache.probe c 0x040);
+  check Alcotest.bool "newcomer resident" true (Cache.probe c 0x080)
+
+let test_probe_nondestructive () =
+  let c = Cache.create tiny_dm in
+  check Alcotest.bool "probe miss" false (Cache.probe c 0x123);
+  check Alcotest.int "no access counted" 0 (Cache.accesses c);
+  ignore (Cache.access c 0x123);
+  check Alcotest.bool "probe hit" true (Cache.probe c 0x123)
+
+let test_flush_and_reset () =
+  let c = Cache.create tiny_dm in
+  ignore (Cache.access c 0x0);
+  Cache.flush c;
+  check Alcotest.bool "flushed" false (Cache.probe c 0x0);
+  check Alcotest.int "stats kept" 1 (Cache.misses c);
+  Cache.reset_stats c;
+  check Alcotest.int "stats reset" 0 (Cache.misses c)
+
+let test_capacity_behaviour () =
+  (* streaming a footprint 2x the cache size misses every line, every pass *)
+  let c = Cache.create (Cache.config ~size_bytes:1024 ~line_bytes:64 ~ways:2) in
+  for _pass = 1 to 3 do
+    let a = ref 0 in
+    while !a < 2048 do
+      ignore (Cache.access c !a);
+      a := !a + 64
+    done
+  done;
+  check Alcotest.int "every access misses" (Cache.accesses c) (Cache.misses c)
+
+let test_working_set_fits () =
+  (* a footprint half the cache size misses once per line, then always hits *)
+  let c = Cache.create (Cache.config ~size_bytes:1024 ~line_bytes:64 ~ways:2) in
+  for _pass = 1 to 4 do
+    let a = ref 0 in
+    while !a < 512 do
+      ignore (Cache.access c !a);
+      a := !a + 64
+    done
+  done;
+  check Alcotest.int "compulsory misses only" 8 (Cache.misses c);
+  check Alcotest.int "accesses" 32 (Cache.accesses c)
+
+let prop_fully_associative_lru =
+  (* a fully-associative LRU cache of capacity k hits iff the address's line
+     was touched within the last k distinct lines — checked against a naive
+     reference implementation *)
+  QCheck.Test.make ~name:"fully-assoc LRU matches reference" ~count:200
+    QCheck.(list (int_range 0 15))
+    (fun lines ->
+      let k = 4 in
+      let c =
+        Cache.create (Cache.config ~size_bytes:(k * 16) ~line_bytes:16 ~ways:k)
+      in
+      let reference = ref [] in
+      List.for_all
+        (fun line ->
+          let addr = line * 16 in
+          let expect_hit = List.mem line !reference in
+          (* update reference LRU list *)
+          reference := line :: List.filter (fun l -> l <> line) !reference;
+          if List.length !reference > k then
+            reference := List.filteri (fun i _ -> i < k) !reference;
+          Cache.access c addr = if expect_hit then Cache.Hit else Cache.Miss)
+        lines)
+
+let prop_stats_consistent =
+  QCheck.Test.make ~name:"cache stats are consistent" ~count:200
+    QCheck.(list (int_range 0 4096))
+    (fun addrs ->
+      let c = Cache.create tiny_2w in
+      List.iter (fun a -> ignore (Cache.access c a)) addrs;
+      Cache.accesses c = List.length addrs
+      && Cache.misses c <= Cache.accesses c
+      && Cache.evictions c <= Cache.misses c
+      && Cache.miss_rate c >= 0.0
+      && Cache.miss_rate c <= 1.0)
+
+(* ---------------- Hierarchy ---------------- *)
+
+let test_hierarchy_latencies () =
+  let h = Hierarchy.create Hierarchy.default_config in
+  let cfg = Hierarchy.default_config in
+  let cold = Hierarchy.fetch h 0x1000 in
+  check Alcotest.int "cold fetch misses both levels"
+    (cfg.Hierarchy.l1_hit_cycles + cfg.Hierarchy.l2_hit_cycles + cfg.Hierarchy.memory_cycles)
+    cold;
+  let warm = Hierarchy.fetch h 0x1000 in
+  check Alcotest.int "warm fetch hits L1" cfg.Hierarchy.l1_hit_cycles warm;
+  check Alcotest.int "cycles accumulate" (cold + warm) (Hierarchy.total_cycles h)
+
+let test_hierarchy_l2_catches_l1_evictions () =
+  (* thrash L1I with a footprint that fits L2: L2 hit latency, not memory *)
+  let cfg = Hierarchy.default_config in
+  let h = Hierarchy.create cfg in
+  let footprint = 64 * 1024 in
+  (* two passes: second pass misses L1 (16K) but hits L2 (256K) *)
+  let a = ref 0 in
+  while !a < footprint do
+    ignore (Hierarchy.fetch h !a);
+    a := !a + 64
+  done;
+  let second_pass = Hierarchy.fetch h 0 in
+  check Alcotest.int "L2 hit"
+    (cfg.Hierarchy.l1_hit_cycles + cfg.Hierarchy.l2_hit_cycles)
+    second_pass
+
+let test_hierarchy_split_l1 () =
+  let h = Hierarchy.create Hierarchy.default_config in
+  ignore (Hierarchy.fetch h 0x4000);
+  (* the same address through the D side still cold-misses: split caches *)
+  let d = Hierarchy.data h Tea_machine.Memory.Load 0x4000 in
+  check Alcotest.bool "split caches" true
+    (d > Hierarchy.default_config.Hierarchy.l1_hit_cycles);
+  check Alcotest.int "stats split" 1 (Hierarchy.l1i_stats h).Hierarchy.accesses
+
+let test_hierarchy_no_l2 () =
+  let cfg = { Hierarchy.default_config with Hierarchy.l2 = None } in
+  let h = Hierarchy.create cfg in
+  let cold = Hierarchy.data h Tea_machine.Memory.Store 0x0 in
+  check Alcotest.int "straight to memory"
+    (cfg.Hierarchy.l1_hit_cycles + cfg.Hierarchy.memory_cycles)
+    cold;
+  check Alcotest.bool "no l2 stats" true (Hierarchy.l2_stats h = None)
+
+(* ---------------- Collector ---------------- *)
+
+let mret = Option.get (Tea_traces.Registry.by_name "mret")
+
+let collect image =
+  let dbt = Tea_dbt.Stardbt.record ~strategy:mret image in
+  let traces = Tea_traces.Trace_set.to_list dbt.Tea_dbt.Stardbt.set in
+  Collector.profile ~traces image
+
+let test_collector_attribution_totals () =
+  let image = Tea_workloads.Micro.stream ~words:8192 ~passes:2 () in
+  let report = collect image in
+  (* all fetches/data accesses land somewhere: rows + cold = hierarchy *)
+  let all = report.Collector.cold :: report.Collector.rows in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 all in
+  check Alcotest.int "ifetch attributed"
+    (Hierarchy.l1i_stats report.Collector.hierarchy).Hierarchy.accesses
+    (sum (fun r -> r.Collector.i_accesses));
+  check Alcotest.int "data attributed"
+    (Hierarchy.l1d_stats report.Collector.hierarchy).Hierarchy.accesses
+    (sum (fun r -> r.Collector.d_accesses));
+  check Alcotest.int "cycles attributed"
+    (Hierarchy.total_cycles report.Collector.hierarchy)
+    (sum (fun r -> r.Collector.access_cycles))
+
+let test_collector_hot_trace_owns_misses () =
+  let image = Tea_workloads.Micro.big_chase ~nodes:8192 ~steps:60000 () in
+  let report = collect image in
+  check Alcotest.bool "replay covered" true (report.Collector.replay_coverage > 0.9);
+  match report.Collector.rows with
+  | hot :: _ ->
+      (* the chase trace owns nearly all D-misses *)
+      let total_d =
+        (Hierarchy.l1d_stats report.Collector.hierarchy).Hierarchy.misses
+      in
+      check Alcotest.bool "hot trace dominates misses" true
+        (hot.Collector.d_misses * 10 >= total_d * 9);
+      check Alcotest.bool "substantial miss rate" true
+        (float_of_int hot.Collector.d_misses
+         /. float_of_int (max 1 hot.Collector.d_accesses)
+        > 0.1)
+  | [] -> Alcotest.fail "no traces attributed"
+
+let test_collector_stream_vs_resident () =
+  (* a streaming footprint (beyond L1) has a much higher D-miss rate than a
+     cache-resident one *)
+  let rate image =
+    let report = collect image in
+    let s = Hierarchy.l1d_stats report.Collector.hierarchy in
+    s.Hierarchy.miss_rate
+  in
+  let streaming = rate (Tea_workloads.Micro.stream ~words:32768 ~passes:2 ()) in
+  let resident = rate (Tea_workloads.Micro.stream ~words:512 ~passes:64 ()) in
+  check Alcotest.bool "locality visible" true (streaming > 4.0 *. resident)
+
+let test_collector_render () =
+  let image = Tea_workloads.Micro.stream ~words:2048 ~passes:2 () in
+  let report = collect image in
+  let s = Collector.render report in
+  check Alcotest.bool "has header" true (String.length s > 50);
+  check Alcotest.bool "mentions cold" true
+    (let rec go i =
+       i + 4 <= String.length s && (String.sub s i 4 = "cold" || go (i + 1))
+     in
+     go 0)
+
+(* ---------------- Layout study ---------------- *)
+
+module Layout = Tea_cachesim.Layout
+
+let layout_of image =
+  let dbt = Tea_dbt.Stardbt.record ~strategy:mret image in
+  let traces = Tea_traces.Trace_set.to_list dbt.Tea_dbt.Stardbt.set in
+  Layout.study ~traces image
+
+let test_layout_scattered_wins () =
+  (* fragments aligned to the cache size thrash the original layout; the
+     packed trace cache holds the whole loop *)
+  let r = layout_of (Tea_workloads.Micro.scattered ()) in
+  check Alcotest.bool "original thrashes" true (r.Layout.original_rate > 0.5);
+  check Alcotest.bool "packed fits" true (r.Layout.packed_rate < 0.01);
+  check Alcotest.bool "big improvement" true (r.Layout.improvement > 0.9)
+
+let test_layout_compact_code_no_benefit () =
+  (* when the hot code already fits the cache, packing cannot help (and the
+     duplication can hurt slightly) — the crossover the study exposes *)
+  let r = layout_of (Tea_workloads.Micro.nested_loop ~outer:100 ~inner:100 ()) in
+  check Alcotest.bool "already cached" true (r.Layout.original_rate < 0.01);
+  check Alcotest.bool "no big win available" true (r.Layout.improvement < 0.5)
+
+let test_layout_accounting () =
+  let r = layout_of (Tea_workloads.Micro.branchy_loop ()) in
+  check Alcotest.bool "accesses counted" true (r.Layout.accesses > 0);
+  check Alcotest.bool "misses bounded" true
+    (r.Layout.original_misses <= r.Layout.accesses
+    && r.Layout.packed_misses <= r.Layout.accesses);
+  check Alcotest.bool "trace cache sized" true (r.Layout.trace_cache_bytes > 0)
+
+let test_layout_render () =
+  let r = layout_of (Tea_workloads.Micro.branchy_loop ()) in
+  let s = Layout.render r in
+  check Alcotest.bool "mentions reduction" true
+    (let needle = "reduction" in
+     let nh = String.length s and nn = String.length needle in
+     let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1)) in
+     go 0)
+
+(* ---------------- Reuse distance ---------------- *)
+
+module Reuse = Tea_cachesim.Reuse
+
+let test_reuse_simple_pattern () =
+  let r = Reuse.create ~line_bytes:64 () in
+  (* A B A: A's second access has distance 1 (only B in between) *)
+  Reuse.touch r 0x000;
+  Reuse.touch r 0x040;
+  Reuse.touch r 0x000;
+  let h = Reuse.histogram r in
+  check Alcotest.int "two cold" 2 h.Reuse.cold;
+  check Alcotest.int "total" 3 h.Reuse.total;
+  check Alcotest.int "distinct" 2 h.Reuse.distinct_lines;
+  (* distance 1 lands in the "< 2" bucket *)
+  let count_lt2 =
+    Array.fold_left (fun acc (ub, n) -> if ub = 2 then acc + n else acc) 0 h.Reuse.buckets
+  in
+  check Alcotest.int "distance 1" 1 count_lt2
+
+let test_reuse_zero_distance () =
+  let r = Reuse.create () in
+  Reuse.touch r 0x100;
+  Reuse.touch r 0x104;  (* same line: distance 0 *)
+  let h = Reuse.histogram r in
+  let count_lt1 =
+    Array.fold_left (fun acc (ub, n) -> if ub = 1 then acc + n else acc) 0 h.Reuse.buckets
+  in
+  check Alcotest.int "distance 0" 1 count_lt1
+
+(* brute-force LRU-stack reference on random small streams *)
+let prop_reuse_matches_reference =
+  QCheck.Test.make ~name:"reuse distance matches stack reference" ~count:200
+    QCheck.(list (int_range 0 20))
+    (fun lines ->
+      (* bucket index of a distance: 0 for d=0, else 1 + floor(log2 d) *)
+      let bucket_of d =
+        let rec go b x = if x = 0 then b else go (b + 1) (x lsr 1) in
+        go 0 d
+      in
+      let expected = Hashtbl.create 8 in
+      let expected_cold = ref 0 in
+      let stack = ref [] in
+      List.iter
+        (fun line ->
+          (match
+             let rec find i = function
+               | [] -> None
+               | l :: _ when l = line -> Some i
+               | _ :: rest -> find (i + 1) rest
+             in
+             find 0 !stack
+           with
+          | Some d ->
+              let b = bucket_of d in
+              Hashtbl.replace expected b
+                (1 + Option.value (Hashtbl.find_opt expected b) ~default:0)
+          | None -> incr expected_cold);
+          stack := line :: List.filter (fun l -> l <> line) !stack)
+        lines;
+      let r = Reuse.create ~line_bytes:64 () in
+      List.iter (fun line -> Reuse.touch r (line * 64)) lines;
+      let h = Reuse.histogram r in
+      let measured = Hashtbl.create 8 in
+      Array.iteri
+        (fun b (_ub, n) -> if n > 0 then Hashtbl.replace measured b n)
+        h.Reuse.buckets;
+      h.Reuse.cold = !expected_cold
+      && Hashtbl.length measured = Hashtbl.length expected
+      && Hashtbl.fold
+           (fun b n ok -> ok && Hashtbl.find_opt measured b = Some n)
+           expected true)
+
+let test_reuse_streaming_vs_resident () =
+  let streaming =
+    Reuse.profile_data_stream (Tea_workloads.Micro.stream ~words:16384 ~passes:2 ())
+  in
+  let resident =
+    Reuse.profile_data_stream (Tea_workloads.Micro.stream ~words:64 ~passes:64 ())
+  in
+  (* word-granularity accesses enjoy intra-line locality everywhere; the
+     *cross-pass* reuse of the big stream only becomes hits once the cache
+     holds its whole footprint *)
+  check Alcotest.bool "resident loop fits a tiny cache" true
+    (Reuse.hit_rate_for resident 64 > 0.95);
+  let small = Reuse.hit_rate_for streaming 64 in
+  let big = Reuse.hit_rate_for streaming 2048 in
+  check Alcotest.bool "capacity knee visible" true (big > small +. 0.02);
+  check Alcotest.bool "small-cache rate is intra-line only" true (small < 0.96)
+
+let test_reuse_render () =
+  let h = Reuse.profile_data_stream (Tea_workloads.Micro.branchy_loop ()) in
+  let s = Reuse.render h in
+  check Alcotest.bool "has cold line" true
+    (let needle = "cold" in
+     let nh = String.length s and nn = String.length needle in
+     let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1)) in
+     go 0)
+
+let () =
+  Alcotest.run "tea_cachesim"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "cold miss then hit" `Quick test_cold_miss_then_hit;
+          Alcotest.test_case "direct-mapped conflict" `Quick test_direct_mapped_conflict;
+          Alcotest.test_case "two-way no conflict" `Quick test_two_way_no_conflict;
+          Alcotest.test_case "LRU replacement" `Quick test_lru_replacement;
+          Alcotest.test_case "probe" `Quick test_probe_nondestructive;
+          Alcotest.test_case "flush/reset" `Quick test_flush_and_reset;
+          Alcotest.test_case "capacity behaviour" `Quick test_capacity_behaviour;
+          Alcotest.test_case "working set fits" `Quick test_working_set_fits;
+          qtest prop_fully_associative_lru;
+          qtest prop_stats_consistent;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "latencies" `Quick test_hierarchy_latencies;
+          Alcotest.test_case "L2 catches evictions" `Quick test_hierarchy_l2_catches_l1_evictions;
+          Alcotest.test_case "split L1" `Quick test_hierarchy_split_l1;
+          Alcotest.test_case "no L2" `Quick test_hierarchy_no_l2;
+        ] );
+      ( "collector",
+        [
+          Alcotest.test_case "attribution totals" `Quick test_collector_attribution_totals;
+          Alcotest.test_case "hot trace owns misses" `Quick test_collector_hot_trace_owns_misses;
+          Alcotest.test_case "stream vs resident" `Quick test_collector_stream_vs_resident;
+          Alcotest.test_case "render" `Quick test_collector_render;
+        ] );
+      ( "reuse",
+        [
+          Alcotest.test_case "simple pattern" `Quick test_reuse_simple_pattern;
+          Alcotest.test_case "zero distance" `Quick test_reuse_zero_distance;
+          QCheck_alcotest.to_alcotest prop_reuse_matches_reference;
+          Alcotest.test_case "streaming vs resident" `Quick test_reuse_streaming_vs_resident;
+          Alcotest.test_case "render" `Quick test_reuse_render;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "scattered wins" `Quick test_layout_scattered_wins;
+          Alcotest.test_case "compact code crossover" `Quick test_layout_compact_code_no_benefit;
+          Alcotest.test_case "accounting" `Quick test_layout_accounting;
+          Alcotest.test_case "render" `Quick test_layout_render;
+        ] );
+    ]

@@ -1,0 +1,266 @@
+open Tea_isa
+module I = Insn
+module O = Operand
+module Block = Tea_cfg.Block
+module Discovery = Tea_cfg.Discovery
+module Dcfg = Tea_cfg.Dcfg
+module Interp = Tea_machine.Interp
+
+let check = Alcotest.check
+
+let reg r = O.Reg r
+let imm n = O.Imm n
+
+(* ---------------- Block ---------------- *)
+
+let block_of insns = Block.make Block.Branch (List.mapi (fun i x -> (0x100 + i, x)) insns)
+
+let test_block_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Block.make: empty instruction list")
+    (fun () -> ignore (Block.make Block.Branch []))
+
+let test_block_basics () =
+  let b =
+    Block.make Block.Branch
+      [ (0x100, I.Mov (reg Reg.EAX, imm 1)); (0x106, I.Jmp (I.Abs 0x200)) ]
+  in
+  check Alcotest.int "start" 0x100 b.Block.start;
+  check Alcotest.int "n_insns" 2 (Block.n_insns b);
+  check Alcotest.int "byte_len" 11 b.Block.byte_len;
+  check Alcotest.int "end_addr" 0x10B (Block.end_addr b);
+  check Alcotest.bool "terminator" true (I.is_branch (Block.terminator b))
+
+let dummy_image = Image.assemble (Asm.program [ Asm.Label "main"; Asm.Ins (I.Sys 0) ])
+
+let test_block_successors () =
+  let jcc = block_of [ I.Cmp (reg Reg.EAX, imm 0); I.Jcc (Cond.E, I.Abs 0x500) ] in
+  let succs = Block.static_successors jcc dummy_image in
+  check Alcotest.bool "taken" true (List.mem 0x500 succs);
+  check Alcotest.int "two successors" 2 (List.length succs);
+  let jmp = block_of [ I.Jmp (I.Abs 0x500) ] in
+  check Alcotest.(list int) "jmp one" [ 0x500 ] (Block.static_successors jmp dummy_image);
+  let ret = block_of [ I.Ret ] in
+  check Alcotest.(list int) "ret none" [] (Block.static_successors ret dummy_image);
+  check Alcotest.bool "ret indirect" true (Block.has_indirect_exit ret);
+  check Alcotest.int "ret exit count" 1 (Block.exit_count ret dummy_image);
+  check Alcotest.int "jcc exit count" 2 (Block.exit_count jcc dummy_image)
+
+(* ---------------- Discovery ---------------- *)
+
+type recorded = { blocks : Block.t list; edges : (int * int) list }
+
+let discover ?policy image =
+  let blocks = ref [] and edges = ref [] in
+  let cb =
+    {
+      Discovery.on_block = (fun b -> blocks := b :: !blocks);
+      Discovery.on_edge = (fun src dst -> edges := (src.Block.start, dst) :: !edges);
+    }
+  in
+  let _m, stop, disc = Discovery.run ?policy image cb in
+  (match stop.Interp.outcome with
+  | Interp.Exited _ | Interp.Halted -> ()
+  | _ -> Alcotest.fail "workload did not finish");
+  ({ blocks = List.rev !blocks; edges = List.rev !edges }, disc)
+
+let loop_image =
+  (* main: eax=3; loop: dec eax; jnz loop; sys1; eax=0; sys0 *)
+  Image.assemble
+    (Asm.program
+       [
+         Asm.Label "main";
+         Asm.Ins (I.Mov (reg Reg.EAX, imm 3));
+         Asm.Label "loop";
+         Asm.Ins (I.Dec (reg Reg.EAX));
+         Asm.Ins (I.Jcc (Cond.NE, I.Lbl "loop"));
+         Asm.Ins (I.Sys 1);
+         Asm.Ins (I.Mov (reg Reg.EAX, imm 0));
+         Asm.Ins (I.Sys 0);
+       ])
+
+let test_discovery_blocks_end_at_branches () =
+  let r, _ = discover loop_image in
+  List.iter
+    (fun b ->
+      match b.Block.end_kind with
+      | Block.Branch -> check Alcotest.bool "ends in branch" true (I.is_branch (Block.terminator b))
+      | Block.Policy_split -> ())
+    r.blocks
+
+let test_discovery_loop_structure () =
+  let r, disc = discover loop_image in
+  (* first block: [mov; dec; jne], then loop iterations [dec; jne] x2, then tail *)
+  let main = Image.entry loop_image in
+  let loop_addr = Image.symbol loop_image "loop" in
+  (match r.blocks with
+  | b0 :: b1 :: b2 :: _ ->
+      check Alcotest.int "first at main" main b0.Block.start;
+      check Alcotest.int "first spans into loop" 3 (Block.n_insns b0);
+      check Alcotest.int "second at loop" loop_addr b1.Block.start;
+      check Alcotest.int "loop body size" 2 (Block.n_insns b1);
+      check Alcotest.bool "same cached block" true (b1 == b2)
+  | _ -> Alcotest.fail "expected at least 3 blocks");
+  check Alcotest.bool "block_at" true (Discovery.block_at disc loop_addr <> None)
+
+let test_discovery_edges_chain () =
+  let r, _ = discover loop_image in
+  (* every edge's destination is the start of the following block *)
+  let starts = List.map (fun b -> b.Block.start) r.blocks in
+  let rec verify edges starts =
+    match (edges, starts) with
+    | (_, dst) :: es, _ :: (next :: _ as rest) ->
+        check Alcotest.int "edge matches next block" next dst;
+        verify es rest
+    | _ -> ()
+  in
+  verify r.edges starts
+
+let test_discovery_insn_totals () =
+  let img = Tea_workloads.Micro.nested_loop ~outer:4 ~inner:6 () in
+  let total = ref 0 in
+  let cb =
+    {
+      Discovery.on_block = (fun b -> total := !total + Block.n_insns b);
+      Discovery.on_edge = (fun _ _ -> ());
+    }
+  in
+  let m, _, _ = Discovery.run ~policy:Discovery.Stardbt img cb in
+  (* The exiting instruction stops the machine before its event is emitted,
+     so blocks account for every dynamic instruction except that one. *)
+  check Alcotest.int "sum of blocks = dynamic instructions - exit"
+    (Interp.dyn_instrs m - 1) !total
+
+let rep_image = Tea_workloads.Micro.rep_copy ~words:8 ~passes:3 ()
+
+let test_policy_rep_handling () =
+  let stardbt, _ = discover ~policy:Discovery.Stardbt rep_image in
+  let pin, _ = discover ~policy:Discovery.Pin rep_image in
+  (* Pin splits REP into its own block executed once per iteration, so it
+     must see strictly more block executions. *)
+  check Alcotest.bool "pin sees more blocks" true
+    (List.length pin.blocks > List.length stardbt.blocks);
+  (* the rep block exists under Pin and is a policy split *)
+  let has_rep_split =
+    List.exists
+      (fun b ->
+        b.Block.end_kind = Block.Policy_split
+        && Block.n_insns b = 1
+        && match Block.terminator b with I.Rep_movs -> true | _ -> false)
+      pin.blocks
+  in
+  check Alcotest.bool "rep split block" true has_rep_split;
+  (* under StarDBT the rep stays inside a larger block *)
+  let rep_inside =
+    List.exists
+      (fun b ->
+        Block.n_insns b > 1
+        && Array.exists (fun (_, i) -> i = I.Rep_movs) b.Block.insns)
+      stardbt.blocks
+  in
+  check Alcotest.bool "rep inside stardbt block" true rep_inside
+
+let test_policy_rep_self_edges () =
+  let pin, _ = discover ~policy:Discovery.Pin rep_image in
+  let self_edges = List.filter (fun (s, d) -> s = d) pin.edges in
+  (* 8-word copy: 7 self edges per pass, 3 passes *)
+  check Alcotest.int "self edges" 21 (List.length self_edges)
+
+let cpuid_image =
+  Image.assemble
+    (Asm.program
+       [
+         Asm.Label "main";
+         Asm.Ins (I.Mov (reg Reg.EAX, imm 1));
+         Asm.Ins I.Cpuid;
+         Asm.Ins (I.Alu (I.Add, reg Reg.EAX, imm 2));
+         Asm.Ins (I.Sys 1);
+         Asm.Ins (I.Mov (reg Reg.EAX, imm 0));
+         Asm.Ins (I.Sys 0);
+       ])
+
+let test_policy_cpuid_split () =
+  let stardbt, _ = discover ~policy:Discovery.Stardbt cpuid_image in
+  let pin, _ = discover ~policy:Discovery.Pin cpuid_image in
+  check Alcotest.int "stardbt: one block to sys1" 1
+    (List.length (List.filter (fun b -> Block.n_insns b >= 4) stardbt.blocks));
+  (* pin ends the block right after cpuid *)
+  let split =
+    List.exists
+      (fun b ->
+        b.Block.end_kind = Block.Policy_split
+        && match Block.terminator b with I.Cpuid -> true | _ -> false)
+      pin.blocks
+  in
+  check Alcotest.bool "cpuid split under pin" true split
+
+let test_flush_partial_block () =
+  (* a program ending via fuel leaves a partial block that flush emits *)
+  let img =
+    Image.assemble
+      (Asm.program
+         [ Asm.Label "main"; Asm.Ins (I.Mov (reg Reg.EAX, imm 1)); Asm.Ins I.Halt ])
+  in
+  let got = ref [] in
+  let cb =
+    {
+      Discovery.on_block = (fun b -> got := b :: !got);
+      Discovery.on_edge = (fun _ _ -> ());
+    }
+  in
+  let disc = Discovery.create img cb in
+  let m = Interp.create img in
+  (match Interp.step m with Ok ev -> Discovery.feed disc ev | Error _ -> ());
+  check Alcotest.int "nothing before flush" 0 (List.length !got);
+  Discovery.flush disc;
+  check Alcotest.int "flushed partial" 1 (List.length !got)
+
+(* ---------------- Dcfg ---------------- *)
+
+let test_dcfg_counts () =
+  let d = Dcfg.create () in
+  let _, _, _ = Discovery.run loop_image (Dcfg.callbacks d) in
+  let loop_addr = Image.symbol loop_image "loop" in
+  check Alcotest.int "loop body x2" 2 (Dcfg.block_count d loop_addr);
+  check Alcotest.int "self edge x1" 1 (Dcfg.edge_count d ~src:loop_addr ~dst:loop_addr);
+  check Alcotest.bool "totals" true (Dcfg.total_insns d >= 7);
+  check Alcotest.bool "execs" true (Dcfg.total_block_execs d >= 3)
+
+let test_dcfg_tee () =
+  let d1 = Dcfg.create () and d2 = Dcfg.create () in
+  let _ = Discovery.run loop_image (Dcfg.tee (Dcfg.callbacks d1) (Dcfg.callbacks d2)) in
+  check Alcotest.int "both sides saw everything" (Dcfg.total_block_execs d1)
+    (Dcfg.total_block_execs d2)
+
+let test_dcfg_dot () =
+  let d = Dcfg.create () in
+  let _ = Discovery.run loop_image (Dcfg.callbacks d) in
+  let dot = Dcfg.to_dot d in
+  check Alcotest.bool "digraph" true (String.length dot > 20 && String.sub dot 0 7 = "digraph")
+
+let () =
+  Alcotest.run "tea_cfg"
+    [
+      ( "block",
+        [
+          Alcotest.test_case "empty" `Quick test_block_empty;
+          Alcotest.test_case "basics" `Quick test_block_basics;
+          Alcotest.test_case "successors" `Quick test_block_successors;
+        ] );
+      ( "discovery",
+        [
+          Alcotest.test_case "branch-terminated" `Quick test_discovery_blocks_end_at_branches;
+          Alcotest.test_case "loop structure" `Quick test_discovery_loop_structure;
+          Alcotest.test_case "edge chain" `Quick test_discovery_edges_chain;
+          Alcotest.test_case "insn totals" `Quick test_discovery_insn_totals;
+          Alcotest.test_case "rep policies" `Quick test_policy_rep_handling;
+          Alcotest.test_case "rep self edges" `Quick test_policy_rep_self_edges;
+          Alcotest.test_case "cpuid split" `Quick test_policy_cpuid_split;
+          Alcotest.test_case "flush partial" `Quick test_flush_partial_block;
+        ] );
+      ( "dcfg",
+        [
+          Alcotest.test_case "counts" `Quick test_dcfg_counts;
+          Alcotest.test_case "tee" `Quick test_dcfg_tee;
+          Alcotest.test_case "dot" `Quick test_dcfg_dot;
+        ] );
+    ]

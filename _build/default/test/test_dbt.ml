@@ -1,0 +1,153 @@
+module Stardbt = Tea_dbt.Stardbt
+module Code_cache = Tea_dbt.Code_cache
+module Trace_set = Tea_traces.Trace_set
+module Trace = Tea_traces.Trace
+module Interp = Tea_machine.Interp
+
+let check = Alcotest.check
+
+let mret = Option.get (Tea_traces.Registry.by_name "mret")
+
+let record ?config image = Stardbt.record ?config ~strategy:mret image
+
+(* ---------------- Code cache ---------------- *)
+
+let block_at addr =
+  Tea_cfg.Block.make Tea_cfg.Block.Branch [ (addr, Tea_isa.Insn.Jmp (Tea_isa.Insn.Abs 0)) ]
+
+let dummy_image =
+  Tea_isa.Image.assemble
+    (Tea_isa.Asm.program [ Tea_isa.Asm.Label "main"; Tea_isa.Asm.Ins (Tea_isa.Insn.Sys 0) ])
+
+let test_cache_install () =
+  let cache = Code_cache.create dummy_image in
+  let t = Trace.linear ~id:0 ~kind:"t" [ block_at 0x100; block_at 0x200 ] in
+  let layout = Code_cache.install cache t in
+  check Alcotest.int "trace id" 0 layout.Code_cache.trace_id;
+  check Alcotest.int "code bytes" (Trace.code_bytes t) layout.Code_cache.code_bytes;
+  check Alcotest.int "installed" 1 (Code_cache.n_installed cache);
+  check Alcotest.bool "layout_of" true (Code_cache.layout_of cache 0 <> None)
+
+let test_cache_total_matches_model () =
+  let cache = Code_cache.create dummy_image in
+  let set = Trace_set.create () in
+  List.iter
+    (fun t ->
+      Trace_set.add set t;
+      ignore (Code_cache.install cache t))
+    [
+      Trace.linear ~id:0 ~kind:"t" [ block_at 0x100 ];
+      Trace.linear ~id:1 ~kind:"t" ~cycle:true [ block_at 0x200; block_at 0x300 ];
+    ];
+  check Alcotest.int "cache = accounting model"
+    (Trace_set.dbt_bytes set dummy_image)
+    (Code_cache.total_bytes cache)
+
+let test_cache_reinstall_replaces () =
+  let cache = Code_cache.create dummy_image in
+  let t = Trace.linear ~id:0 ~kind:"t" [ block_at 0x100 ] in
+  let t' = Trace.linear ~id:0 ~kind:"t" [ block_at 0x100; block_at 0x200 ] in
+  ignore (Code_cache.install cache t);
+  let before = Code_cache.total_bytes cache in
+  ignore (Code_cache.install cache t');
+  check Alcotest.int "still one" 1 (Code_cache.n_installed cache);
+  check Alcotest.bool "live bytes grew" true (Code_cache.total_bytes cache > before)
+
+let test_cache_layouts_disjoint () =
+  let cache = Code_cache.create dummy_image in
+  ignore (Code_cache.install cache (Trace.linear ~id:0 ~kind:"t" [ block_at 0x1 ]));
+  ignore (Code_cache.install cache (Trace.linear ~id:1 ~kind:"t" [ block_at 0x2 ]));
+  match Code_cache.layouts cache with
+  | [ a; b ] ->
+      check Alcotest.bool "non-overlapping regions" true
+        (a.Code_cache.stub_offset + a.Code_cache.stub_bytes <= b.Code_cache.code_offset)
+  | _ -> Alcotest.fail "expected two layouts"
+
+(* ---------------- StarDBT runtime ---------------- *)
+
+let test_record_produces_traces () =
+  let img = Tea_workloads.Micro.nested_loop ~outer:40 ~inner:50 () in
+  let r = record img in
+  check Alcotest.bool "traces" true (Trace_set.n_traces r.Stardbt.set > 0);
+  check Alcotest.bool "coverage sane" true
+    (r.Stardbt.coverage > 0.0 && r.Stardbt.coverage <= 1.0);
+  check Alcotest.bool "translated" true (r.Stardbt.blocks_translated > 0)
+
+let test_record_preserves_program_behaviour () =
+  (* Running under the DBT must not change the program's output. *)
+  let img = Tea_workloads.Micro.branchy_loop () in
+  let native, _ = Interp.run img in
+  let r = record img in
+  check Alcotest.(list int) "same output" (Interp.output native) r.Stardbt.output
+
+let test_record_cycles_ordering () =
+  let img = Tea_workloads.Micro.branchy_loop () in
+  let r = record img in
+  check Alcotest.bool "dbt >= native" true (r.Stardbt.dbt_cycles >= r.Stardbt.native_cycles);
+  check Alcotest.bool "native positive" true (r.Stardbt.native_cycles > 0)
+
+let test_record_cache_consistency () =
+  let img = Tea_workloads.Micro.list_scan () in
+  let r = record img in
+  check Alcotest.int "cache bytes = model bytes"
+    (Trace_set.dbt_bytes r.Stardbt.set
+       ~model:Trace_set.default_dbt_cost img)
+    (Code_cache.total_bytes r.Stardbt.cache)
+
+let test_no_hot_code_no_traces () =
+  let img = Tea_workloads.Micro.nested_loop ~outer:2 ~inner:2 () in
+  let r = record img in
+  check Alcotest.int "no traces" 0 (Trace_set.n_traces r.Stardbt.set);
+  check Alcotest.int "no coverage" 0 r.Stardbt.covered_insns
+
+let test_coverage_counts_only_after_creation () =
+  (* one long loop: the first ~threshold iterations are cold, so coverage
+     is strictly below 100% but above, say, 80% for 1000 iterations *)
+  let img = Tea_workloads.Micro.nested_loop ~outer:1 ~inner:1000 () in
+  let r = record img in
+  check Alcotest.bool "partial coverage" true
+    (r.Stardbt.coverage > 0.5 && r.Stardbt.coverage < 1.0)
+
+let test_higher_threshold_lowers_coverage () =
+  let img = Tea_workloads.Micro.nested_loop ~outer:1 ~inner:1000 () in
+  let low = record ~config:{ Tea_traces.Recorder.default_config with hot_threshold = 20 } img in
+  let high =
+    record ~config:{ Tea_traces.Recorder.default_config with hot_threshold = 500 } img
+  in
+  check Alcotest.bool "later traces, less coverage" true
+    (high.Stardbt.coverage < low.Stardbt.coverage)
+
+let test_all_strategies_run () =
+  let img = Tea_workloads.Micro.branchy_loop () in
+  List.iter
+    (fun (name, strategy) ->
+      let r = Stardbt.record ~strategy img in
+      check Alcotest.bool (name ^ " coverage") true (r.Stardbt.coverage >= 0.0);
+      check Alcotest.bool (name ^ " stops") true
+        (match r.Stardbt.stop.Interp.outcome with
+        | Interp.Exited 0 -> true
+        | _ -> false))
+    Tea_traces.Registry.all
+
+let () =
+  Alcotest.run "tea_dbt"
+    [
+      ( "code-cache",
+        [
+          Alcotest.test_case "install" `Quick test_cache_install;
+          Alcotest.test_case "total = model" `Quick test_cache_total_matches_model;
+          Alcotest.test_case "reinstall" `Quick test_cache_reinstall_replaces;
+          Alcotest.test_case "disjoint layouts" `Quick test_cache_layouts_disjoint;
+        ] );
+      ( "stardbt",
+        [
+          Alcotest.test_case "produces traces" `Quick test_record_produces_traces;
+          Alcotest.test_case "behaviour preserved" `Quick test_record_preserves_program_behaviour;
+          Alcotest.test_case "cycle ordering" `Quick test_record_cycles_ordering;
+          Alcotest.test_case "cache consistency" `Quick test_record_cache_consistency;
+          Alcotest.test_case "cold program" `Quick test_no_hot_code_no_traces;
+          Alcotest.test_case "warmup not covered" `Quick test_coverage_counts_only_after_creation;
+          Alcotest.test_case "threshold vs coverage" `Quick test_higher_threshold_lowers_coverage;
+          Alcotest.test_case "all strategies" `Quick test_all_strategies_run;
+        ] );
+    ]

@@ -1,0 +1,56 @@
+(* Golden regression values: the whole pipeline is deterministic (seeded
+   workload synthesis, no wall clock anywhere in the measurement path), so
+   these exact numbers must reproduce on every run and every machine. Any
+   change here means an intentional behaviour change in the workload
+   generator, a recorder, the cost models or the accounting — update the
+   goldens together with EXPERIMENTS.md when that happens. *)
+
+let check = Alcotest.check
+
+(* (dyn instrs, native cycles, mret traces, DBT bytes, TEA bytes,
+   replay total cycles) *)
+let goldens =
+  [
+    ("168.wupwise", (1809950, 3801009, 21, 3851, 525, 40977808));
+    ("164.gzip", (3304839, 5473176, 38, 12746, 2249, 66840346));
+    ("181.mcf", (4066096, 11987674, 30, 4200, 766, 158753249));
+    ("253.perlbmk", (1357845, 3309323, 41, 8820, 1766, 44174136));
+  ]
+
+let mret = Option.get (Tea_traces.Registry.by_name "mret")
+
+let measure name =
+  let p = Option.get (Tea_workloads.Spec2000.by_name name) in
+  let img = Tea_workloads.Spec2000.image p in
+  let m, _ = Tea_machine.Interp.run img in
+  let r = Tea_dbt.Stardbt.record ~strategy:mret img in
+  let set = r.Tea_dbt.Stardbt.set in
+  let auto = Tea_core.Builder.of_set set in
+  let rep, _ =
+    Tea_pinsim.Pintool_replay.replay ~traces:(Tea_traces.Trace_set.to_list set) img
+  in
+  ( Tea_machine.Interp.dyn_instrs m,
+    Tea_machine.Interp.cycles m,
+    Tea_traces.Trace_set.n_traces set,
+    Tea_traces.Trace_set.dbt_bytes set img,
+    Tea_core.Automaton.byte_size auto,
+    rep.Tea_pinsim.Pintool_replay.total_cycles )
+
+let test_golden (name, expected) () =
+  let dyn, cyc, traces, dbt, tea, replay = measure name in
+  let edyn, ecyc, etraces, edbt, etea, ereplay = expected in
+  check Alcotest.int (name ^ " dynamic instructions") edyn dyn;
+  check Alcotest.int (name ^ " native cycles") ecyc cyc;
+  check Alcotest.int (name ^ " mret traces") etraces traces;
+  check Alcotest.int (name ^ " DBT bytes") edbt dbt;
+  check Alcotest.int (name ^ " TEA bytes") etea tea;
+  check Alcotest.int (name ^ " replay cycles") ereplay replay
+
+let () =
+  Alcotest.run "tea_goldens"
+    [
+      ( "pipeline",
+        List.map
+          (fun ((name, _) as g) -> Alcotest.test_case name `Slow (test_golden g))
+          goldens );
+    ]

@@ -1,0 +1,186 @@
+(* Cross-library integration: the full paper workflows end to end. *)
+
+module Interp = Tea_machine.Interp
+module Trace = Tea_traces.Trace
+module Trace_set = Tea_traces.Trace_set
+module Stardbt = Tea_dbt.Stardbt
+module Builder = Tea_core.Builder
+module Automaton = Tea_core.Automaton
+module Transition = Tea_core.Transition
+module Replayer = Tea_core.Replayer
+module Pintool_replay = Tea_pinsim.Pintool_replay
+module Pintool_record = Tea_pinsim.Pintool_record
+
+let check = Alcotest.check
+
+let mret = Option.get (Tea_traces.Registry.by_name "mret")
+
+(* 1. Record under DBT -> serialize -> load -> replay under Pin: the
+   headline cross-system workflow. *)
+let test_cross_system_workflow () =
+  let img = Tea_workloads.Spec2000.(image (Option.get (by_name "177.mesa"))) in
+  let dbt = Stardbt.record ~strategy:mret img in
+  let traces = Trace_set.to_list dbt.Stardbt.set in
+  let path = Filename.temp_file "tea_integration" ".traces" in
+  Tea_traces.Serialize.save path traces;
+  let loaded = Tea_traces.Serialize.load img path in
+  Sys.remove path;
+  let direct, _ = Pintool_replay.replay ~traces img in
+  let via_file, _ = Pintool_replay.replay ~traces:loaded img in
+  check (Alcotest.float 0.0001) "identical coverage through the file"
+    direct.Pintool_replay.coverage via_file.Pintool_replay.coverage;
+  check Alcotest.bool "replay >= record" true
+    (via_file.Pintool_replay.coverage >= dbt.Stardbt.coverage -. 0.02)
+
+(* 2. The TEA serialized as an automaton also replays identically. *)
+let test_automaton_file_replay () =
+  let img = Tea_workloads.Micro.list_scan () in
+  let dbt = Stardbt.record ~strategy:mret img in
+  let auto = Builder.of_set dbt.Stardbt.set in
+  let path = Filename.temp_file "tea_auto" ".tea" in
+  Tea_core.Serialize.save path auto;
+  let loaded = Tea_core.Serialize.load img path in
+  Sys.remove path;
+  let replay a =
+    let trans = Transition.create Transition.config_global_local a in
+    let rep = Replayer.create trans in
+    let filter =
+      Tea_pinsim.Edge_filter.create ~emit:(fun b ~expanded ->
+          Replayer.feed_addr rep ~insns:expanded b.Tea_cfg.Block.start)
+    in
+    let _ = Tea_pinsim.Pin.run ~tool:(Tea_pinsim.Edge_filter.callbacks filter) img in
+    Tea_pinsim.Edge_filter.flush filter;
+    (Replayer.coverage rep, Replayer.trace_enters rep)
+  in
+  let c1, e1 = replay auto in
+  let c2, e2 = replay loaded in
+  check (Alcotest.float 0.0001) "same coverage" c1 c2;
+  check Alcotest.int "same entries" e1 e2
+
+(* 3. Replay profiles are consistent: per-state counts sum to the number
+   of non-NTE steps. *)
+let test_profile_accounting () =
+  let img = Tea_workloads.Micro.branchy_loop () in
+  let dbt = Stardbt.record ~strategy:mret img in
+  let auto = Builder.of_set dbt.Stardbt.set in
+  let trans = Transition.create Transition.config_global_local auto in
+  let rep = Replayer.create trans in
+  let filter =
+    Tea_pinsim.Edge_filter.create ~emit:(fun b ~expanded ->
+        Replayer.feed_addr rep ~insns:expanded b.Tea_cfg.Block.start)
+  in
+  let _ = Tea_pinsim.Pin.run ~tool:(Tea_pinsim.Edge_filter.callbacks filter) img in
+  Tea_pinsim.Edge_filter.flush filter;
+  let stats = Transition.stats trans in
+  let profile_total =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (Replayer.tbb_counts rep)
+  in
+  let non_nte_steps =
+    stats.Transition.in_trace_hits + stats.Transition.cache_hits
+    + stats.Transition.global_hits
+  in
+  check Alcotest.int "profile sums to non-NTE steps" non_nte_steps profile_total
+
+(* 4. Online (Algorithm 2) and the DBT recorder agree on MRET traces, and
+   the online automaton replays with comparable coverage. *)
+let test_online_then_replay () =
+  let img = Tea_workloads.Micro.list_scan () in
+  let result, online = Pintool_record.record ~strategy:mret img in
+  let traces = Tea_core.Online.traces online in
+  let replayed, _ = Pintool_replay.replay ~traces img in
+  check Alcotest.bool "replay >= online record coverage" true
+    (replayed.Pintool_replay.coverage >= result.Pintool_record.coverage -. 0.02)
+
+(* 5. Duplicated-trace replay (Figure 1) preserves total counts: the sum of
+   per-copy counts equals the original trace's count. *)
+let test_duplication_preserves_totals () =
+  let img = Tea_workloads.Micro.copy_loop ~words:100 ~passes:10 () in
+  let dbt = Stardbt.record ~strategy:mret img in
+  let cyclic =
+    List.find
+      (fun t -> Trace.successors t (Trace.n_tbbs t - 1) <> [])
+      (Trace_set.to_list dbt.Stardbt.set)
+  in
+  let replay_counts traces id =
+    let auto = Builder.build traces in
+    let trans = Transition.create Transition.config_global_local auto in
+    let rep = Replayer.create trans in
+    let filter =
+      Tea_pinsim.Edge_filter.create ~emit:(fun b ~expanded ->
+          Replayer.feed_addr rep ~insns:expanded b.Tea_cfg.Block.start)
+    in
+    let _ = Tea_pinsim.Pin.run ~tool:(Tea_pinsim.Edge_filter.callbacks filter) img in
+    Tea_pinsim.Edge_filter.flush filter;
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (Replayer.trace_profile rep id)
+  in
+  let original = replay_counts [ cyclic ] cyclic.Trace.id in
+  let dup = Builder.duplicate_trace ~factor:2 cyclic in
+  let duplicated = replay_counts [ dup ] dup.Trace.id in
+  check Alcotest.int "totals preserved" original duplicated
+
+(* 6. All three strategies drive the full pipeline on a real benchmark. *)
+let test_all_strategies_full_pipeline () =
+  let img = Tea_workloads.Spec2000.(image (Option.get (by_name "181.mcf"))) in
+  List.iter
+    (fun (name, strategy) ->
+      let dbt = Stardbt.record ~strategy img in
+      let traces = Trace_set.to_list dbt.Stardbt.set in
+      let auto = Builder.build traces in
+      (match Automaton.check_deterministic auto with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail (name ^ ": " ^ m));
+      let replayed, _ = Pintool_replay.replay ~traces img in
+      check Alcotest.bool (name ^ " coverage sane") true
+        (replayed.Pintool_replay.coverage > 0.3);
+      check Alcotest.bool (name ^ " memory saved") true
+        (Automaton.byte_size auto < Trace_set.dbt_bytes dbt.Stardbt.set img))
+    Tea_traces.Registry.all
+
+(* 7. Determinism across the whole pipeline: identical runs, identical
+   numbers. *)
+let test_pipeline_determinism () =
+  let run () =
+    let img = Tea_workloads.Spec2000.(image (Option.get (by_name "183.equake"))) in
+    let dbt = Stardbt.record ~strategy:mret img in
+    let traces = Trace_set.to_list dbt.Stardbt.set in
+    let r, _ = Pintool_replay.replay ~traces img in
+    (dbt.Stardbt.coverage, r.Pintool_replay.coverage, r.Pintool_replay.total_cycles)
+  in
+  let a = run () and b = run () in
+  check Alcotest.bool "bit-identical" true (a = b)
+
+(* 8. The NTE invariant: replaying a program against an empty TEA never
+   leaves NTE and covers nothing. *)
+let test_empty_tea_stays_nte () =
+  let img = Tea_workloads.Micro.branchy_loop () in
+  let auto = Automaton.create () in
+  let trans = Transition.create Transition.config_global_no_local auto in
+  let rep = Replayer.create trans in
+  let cb =
+    {
+      Tea_cfg.Discovery.on_block = (fun b -> Replayer.feed rep b);
+      Tea_cfg.Discovery.on_edge = (fun _ _ -> ());
+    }
+  in
+  let _ = Tea_cfg.Discovery.run img cb in
+  check Alcotest.int "always NTE" Automaton.nte (Replayer.state rep);
+  check Alcotest.int "nothing covered" 0 (Replayer.covered_insns rep);
+  let stats = Transition.stats trans in
+  check Alcotest.int "every step missed" stats.Transition.steps
+    stats.Transition.global_misses
+
+let () =
+  Alcotest.run "tea_integration"
+    [
+      ( "workflows",
+        [
+          Alcotest.test_case "cross-system" `Slow test_cross_system_workflow;
+          Alcotest.test_case "automaton file replay" `Quick test_automaton_file_replay;
+          Alcotest.test_case "profile accounting" `Quick test_profile_accounting;
+          Alcotest.test_case "online then replay" `Quick test_online_then_replay;
+          Alcotest.test_case "duplication totals" `Quick test_duplication_preserves_totals;
+          Alcotest.test_case "all strategies" `Slow test_all_strategies_full_pipeline;
+          Alcotest.test_case "determinism" `Slow test_pipeline_determinism;
+          Alcotest.test_case "empty TEA" `Quick test_empty_tea_stays_nte;
+        ] );
+    ]

@@ -1,0 +1,389 @@
+open Tea_isa
+module I = Insn
+module O = Operand
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ---------------- Reg / Cond ---------------- *)
+
+let test_reg_roundtrip () =
+  List.iter
+    (fun r -> check Alcotest.bool "roundtrip" true (Reg.equal r (Reg.of_index (Reg.index r))))
+    Reg.all;
+  check Alcotest.int "count" 8 Reg.count
+
+let test_reg_bad_index () =
+  Alcotest.check_raises "of_index 8" (Invalid_argument "Reg.of_index: 8") (fun () ->
+      ignore (Reg.of_index 8))
+
+let test_cond_negate_involutive () =
+  List.iter
+    (fun c ->
+      check Alcotest.bool "involutive" true (Cond.equal c (Cond.negate (Cond.negate c)));
+      check Alcotest.bool "differs" false (Cond.equal c (Cond.negate c)))
+    Cond.all
+
+let test_cond_names_unique () =
+  let names = List.map Cond.to_string Cond.all in
+  check Alcotest.int "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+(* ---------------- Operand ---------------- *)
+
+let test_operand_scale_validation () =
+  Alcotest.check_raises "scale 3" (Invalid_argument "Operand.mem: invalid scale 3")
+    (fun () -> ignore (O.mem ~index:(Reg.EAX, 3) 0));
+  List.iter
+    (fun s -> ignore (O.mem ~index:(Reg.EAX, s) 0))
+    [ 1; 2; 4; 8 ]
+
+let test_operand_encoding_bytes () =
+  check Alcotest.int "reg" 0 (O.encoding_bytes (O.Reg Reg.EAX));
+  check Alcotest.int "imm" 4 (O.encoding_bytes (O.Imm 5));
+  (* absolute address always needs 4 displacement bytes *)
+  check Alcotest.int "abs mem" 4 (O.encoding_bytes (O.mem 0x1000));
+  (* base + zero disp: no displacement byte *)
+  check Alcotest.int "base only" 0 (O.encoding_bytes (O.mem ~base:Reg.EAX 0));
+  (* base + short disp: one byte *)
+  check Alcotest.int "short disp" 1 (O.encoding_bytes (O.mem ~base:Reg.EAX 8));
+  (* base + long disp: four bytes *)
+  check Alcotest.int "long disp" 4 (O.encoding_bytes (O.mem ~base:Reg.EAX 1000));
+  (* index adds a SIB byte *)
+  check Alcotest.int "sib" 1 (O.encoding_bytes (O.mem ~base:Reg.EAX ~index:(Reg.EBX, 4) 0))
+
+let test_operand_pp () =
+  check Alcotest.string "reg" "eax" (O.to_string (O.Reg Reg.EAX));
+  check Alcotest.string "imm" "42" (O.to_string (O.Imm 42));
+  check Alcotest.string "mem" "[eax+ebx*4+8]"
+    (O.to_string (O.mem ~base:Reg.EAX ~index:(Reg.EBX, 4) 8))
+
+(* ---------------- Insn ---------------- *)
+
+let sample_insns =
+  [
+    I.Nop; I.Cpuid; I.Halt;
+    I.Mov (O.Reg Reg.EAX, O.Imm 5);
+    I.Lea (Reg.EBX, { O.base = Some Reg.EAX; index = None; disp = 4 });
+    I.Alu (I.Add, O.Reg Reg.EAX, O.Reg Reg.EBX);
+    I.Inc (O.Reg Reg.ECX); I.Dec (O.mem 0x1000); I.Neg (O.Reg Reg.EDX);
+    I.Imul (Reg.EAX, O.Imm 3);
+    I.Shift (I.Shl, O.Reg Reg.EAX, 2);
+    I.Cmp (O.Reg Reg.EAX, O.Imm 0); I.Test (O.Reg Reg.EAX, O.Reg Reg.EAX);
+    I.Jmp (I.Abs 0x100); I.Jmp_ind (O.Reg Reg.EAX);
+    I.Jcc (Cond.E, I.Abs 0x100);
+    I.Call (I.Abs 0x100); I.Call_ind (O.Reg Reg.EBX); I.Ret;
+    I.Push (O.Reg Reg.EAX); I.Pop (O.Reg Reg.EAX);
+    I.Rep_movs; I.Rep_stos; I.Sys 0;
+  ]
+
+let test_insn_lengths_positive () =
+  List.iter
+    (fun i ->
+      check Alcotest.bool (I.to_string i) true (I.length i > 0 && I.length i <= 16))
+    sample_insns
+
+let test_insn_x86_lengths () =
+  check Alcotest.int "nop" 1 (I.length I.Nop);
+  check Alcotest.int "inc reg" 1 (I.length (I.Inc (O.Reg Reg.EAX)));
+  check Alcotest.int "mov reg,imm" 6 (I.length (I.Mov (O.Reg Reg.EAX, O.Imm 5)));
+  check Alcotest.int "jmp" 5 (I.length (I.Jmp (I.Abs 0)));
+  check Alcotest.int "jcc" 6 (I.length (I.Jcc (Cond.E, I.Abs 0)));
+  check Alcotest.int "ret" 1 (I.length I.Ret);
+  check Alcotest.int "push reg" 1 (I.length (I.Push (O.Reg Reg.EAX)))
+
+let test_insn_branch_classification () =
+  let branches = [ I.Jmp (I.Abs 0); I.Jmp_ind (O.Reg Reg.EAX); I.Jcc (Cond.E, I.Abs 0);
+                   I.Call (I.Abs 0); I.Call_ind (O.Reg Reg.EAX); I.Ret; I.Halt; I.Sys 0 ] in
+  List.iter (fun i -> check Alcotest.bool (I.to_string i) true (I.is_branch i)) branches;
+  let non = [ I.Nop; I.Cpuid; I.Rep_movs; I.Mov (O.Reg Reg.EAX, O.Imm 1) ] in
+  List.iter (fun i -> check Alcotest.bool (I.to_string i) false (I.is_branch i)) non
+
+let test_insn_direct_target () =
+  check Alcotest.(option int) "jmp" (Some 0x42) (I.direct_target (I.Jmp (I.Abs 0x42)));
+  check Alcotest.(option int) "jcc" (Some 0x42)
+    (I.direct_target (I.Jcc (Cond.NE, I.Abs 0x42)));
+  check Alcotest.(option int) "ret" None (I.direct_target I.Ret);
+  check Alcotest.(option int) "ind" None (I.direct_target (I.Jmp_ind (O.Reg Reg.EAX)))
+
+let test_insn_fallthrough () =
+  check Alcotest.bool "jmp" false (I.fallthrough_continues (I.Jmp (I.Abs 0)));
+  check Alcotest.bool "ret" false (I.fallthrough_continues I.Ret);
+  check Alcotest.bool "halt" false (I.fallthrough_continues I.Halt);
+  check Alcotest.bool "exit" false (I.fallthrough_continues (I.Sys 0));
+  check Alcotest.bool "sys1" true (I.fallthrough_continues (I.Sys 1));
+  check Alcotest.bool "jcc" true (I.fallthrough_continues (I.Jcc (Cond.E, I.Abs 0)));
+  check Alcotest.bool "call" true (I.fallthrough_continues (I.Call (I.Abs 0)))
+
+let test_insn_indirect () =
+  check Alcotest.bool "jmp_ind" true (I.is_indirect (I.Jmp_ind (O.Reg Reg.EAX)));
+  check Alcotest.bool "ret" true (I.is_indirect I.Ret);
+  check Alcotest.bool "jmp" false (I.is_indirect (I.Jmp (I.Abs 0)))
+
+let test_insn_pp_distinct () =
+  let strings = List.map I.to_string sample_insns in
+  check Alcotest.int "distinct" (List.length strings)
+    (List.length (List.sort_uniq compare strings))
+
+(* ---------------- Asm ---------------- *)
+
+let test_layout_data () =
+  let syms, size =
+    Asm.layout_data ~base:0x1000
+      [ Asm.Dlabel "a"; Asm.Word 1; Asm.Word 2; Asm.Dlabel "b"; Asm.Space 3; Asm.Word_ref "a" ]
+  in
+  check Alcotest.(list (pair string int)) "symbols" [ ("a", 0x1000); ("b", 0x1008) ] syms;
+  check Alcotest.int "size" 24 size
+
+let test_layout_data_duplicate () =
+  Alcotest.check_raises "dup" (Invalid_argument "Asm.layout_data: duplicate label x")
+    (fun () -> ignore (Asm.layout_data [ Asm.Dlabel "x"; Asm.Dlabel "x" ]))
+
+let test_text_labels () =
+  check Alcotest.(list string) "labels" [ "a"; "b" ]
+    (Asm.text_labels [ Asm.Label "a"; Asm.Ins I.Nop; Asm.Label "b" ])
+
+(* ---------------- Image ---------------- *)
+
+let tiny_program =
+  Asm.program
+    ~data:[ Asm.Dlabel "table"; Asm.Word 7; Asm.Word_ref "main" ]
+    [
+      Asm.Label "main";
+      Asm.Ins (I.Mov (O.Reg Reg.EAX, O.Imm 1));
+      Asm.Label "loop";
+      Asm.Ins (I.Dec (O.Reg Reg.EAX));
+      Asm.Ins (I.Jcc (Cond.NE, I.Lbl "loop"));
+      Asm.Ins (I.Sys 0);
+    ]
+
+let test_image_entry_and_symbols () =
+  let img = Image.assemble tiny_program in
+  check Alcotest.int "entry is main" (Image.symbol img "main") (Image.entry img);
+  check Alcotest.bool "loop after main" true
+    (Image.symbol img "loop" > Image.symbol img "main");
+  check Alcotest.int "table at data base" Asm.default_data_base
+    (Image.symbol img "table")
+
+let test_image_fetch_chain () =
+  let img = Image.assemble tiny_program in
+  let a0 = Image.entry img in
+  (match Image.fetch img a0 with
+  | Some (I.Mov _) -> ()
+  | _ -> Alcotest.fail "expected mov at entry");
+  let a1 = Image.next_addr img a0 in
+  (match Image.fetch img a1 with
+  | Some (I.Dec _) -> ()
+  | _ -> Alcotest.fail "expected dec next");
+  check Alcotest.bool "mid-instruction fetch is None" true
+    (Image.fetch img (a0 + 1) = None)
+
+let test_image_target_resolution () =
+  let img = Image.assemble tiny_program in
+  let loop_addr = Image.symbol img "loop" in
+  let jcc_addr = Image.next_addr img loop_addr in
+  match Image.fetch img jcc_addr with
+  | Some (I.Jcc (Cond.NE, I.Abs t)) -> check Alcotest.int "resolved" loop_addr t
+  | _ -> Alcotest.fail "expected resolved jcc"
+
+let test_image_data_ref () =
+  let img = Image.assemble tiny_program in
+  let table = Image.symbol img "table" in
+  match Image.initial_data img with
+  | [ (a1, 7); (a2, m) ] ->
+      check Alcotest.int "first word" table a1;
+      check Alcotest.int "second addr" (table + 4) a2;
+      check Alcotest.int "ref resolved" (Image.symbol img "main") m
+  | _ -> Alcotest.fail "unexpected data layout"
+
+let test_image_unknown_label () =
+  let p = Asm.program [ Asm.Ins (I.Jmp (I.Lbl "nowhere")) ] in
+  Alcotest.check_raises "unknown" (Image.Unknown_label "nowhere") (fun () ->
+      ignore (Image.assemble p))
+
+let test_image_duplicate_label () =
+  let p = Asm.program [ Asm.Label "a"; Asm.Ins I.Nop; Asm.Label "a" ] in
+  Alcotest.check_raises "dup" (Invalid_argument "Image.assemble: duplicate label a")
+    (fun () -> ignore (Image.assemble p))
+
+let test_image_bounds_and_bytes () =
+  let img = Image.assemble tiny_program in
+  let lo, hi = Image.text_bounds img in
+  check Alcotest.int "code bytes" (hi - lo) (Image.code_bytes img);
+  check Alcotest.bool "entry in text" true (Image.in_text img (Image.entry img));
+  check Alcotest.bool "data not in text" false
+    (Image.in_text img Asm.default_data_base);
+  check Alcotest.int "instruction count" 4 (Image.instruction_count img)
+
+let test_image_listing () =
+  let img = Image.assemble tiny_program in
+  let listing = Format.asprintf "%a" Image.pp_listing img in
+  check Alcotest.bool "has main" true (contains listing "main:");
+  check Alcotest.bool "has dec" true (contains listing "dec eax")
+
+(* Addresses are consecutive: each instruction starts where the previous
+   one ends. *)
+let prop_image_layout =
+  let insn_gen =
+    QCheck.Gen.oneofl
+      [ I.Nop; I.Mov (O.Reg Reg.EAX, O.Imm 1); I.Inc (O.Reg Reg.EBX);
+        I.Cmp (O.Reg Reg.EAX, O.Imm 0); I.Push (O.Reg Reg.ECX); I.Ret ]
+  in
+  QCheck.Test.make ~name:"image layout is gap-free" ~count:100
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 40) insn_gen))
+    (fun insns ->
+      let p = Asm.program (List.map (fun i -> Asm.Ins i) insns) in
+      let img = Image.assemble p in
+      let addrs = Image.code_addresses img in
+      let ok = ref (Array.length addrs = List.length insns) in
+      for i = 0 to Array.length addrs - 2 do
+        if Image.next_addr img addrs.(i) <> addrs.(i + 1) then ok := false
+      done;
+      !ok)
+
+(* ---------------- Encode ---------------- *)
+
+let test_encode_samples () =
+  List.iter
+    (fun i ->
+      check Alcotest.int (I.to_string i) (I.length i)
+        (String.length (Encode.insn (match i with
+           | I.Jmp (I.Lbl _) -> I.Jmp (I.Abs 0)
+           | other -> other))))
+    sample_insns
+
+let test_encode_unresolved () =
+  Alcotest.check_raises "label" (Invalid_argument "Encode.insn: unresolved label x")
+    (fun () -> ignore (Encode.insn (I.Jmp (I.Lbl "x"))))
+
+let test_encode_image_text () =
+  let img = Image.assemble tiny_program in
+  check Alcotest.int "text bytes ground truth" (Image.code_bytes img)
+    (String.length (Encode.image_text img))
+
+let test_encode_distinct () =
+  (* encodings of distinct sample instructions differ *)
+  let encs =
+    List.map
+      (fun i ->
+        Encode.insn (match i with I.Jmp (I.Lbl _) -> I.Jmp (I.Abs 0) | o -> o))
+      sample_insns
+  in
+  check Alcotest.int "unique encodings" (List.length encs)
+    (List.length (List.sort_uniq compare encs))
+
+(* exhaustive-ish generator over the operand space *)
+let prop_encode_length_agrees =
+  let open QCheck.Gen in
+  let reg_gen = oneofl Reg.all in
+  let operand_gen =
+    oneof
+      [
+        map (fun r -> O.Reg r) reg_gen;
+        map (fun v -> O.Imm v) (int_range (-100000) 100000);
+        (* memory operands across all displacement/index shapes *)
+        map3
+          (fun base index disp ->
+            let index = Option.map (fun r -> (r, 4)) index in
+            match base with
+            | Some _ -> O.mem ?base ?index disp
+            | None -> O.mem ?index (abs disp))
+          (opt reg_gen) (opt reg_gen)
+          (oneof [ return 0; int_range (-120) 120; int_range 1000 100000 ]);
+      ]
+  in
+  let insn_gen =
+    oneof
+      [
+        return I.Nop; return I.Cpuid; return I.Halt; return I.Ret;
+        return I.Rep_movs; return I.Rep_stos;
+        map (fun n -> I.Sys n) (int_range 0 3);
+        map2 (fun d s -> I.Mov (d, s)) operand_gen operand_gen;
+        map2 (fun a b -> I.Cmp (a, b)) operand_gen operand_gen;
+        map2 (fun a b -> I.Test (a, b)) operand_gen operand_gen;
+        map3 (fun op d s -> I.Alu (op, d, s))
+          (oneofl [ I.Add; I.Sub; I.And; I.Or; I.Xor ])
+          operand_gen operand_gen;
+        map (fun d -> I.Inc d) operand_gen;
+        map (fun d -> I.Dec d) operand_gen;
+        map (fun d -> I.Neg d) operand_gen;
+        map2 (fun r s -> I.Imul (r, s)) reg_gen operand_gen;
+        map3 (fun op d n -> I.Shift (op, d, n))
+          (oneofl [ I.Shl; I.Shr; I.Sar ]) operand_gen (int_range 0 31);
+        map (fun a -> I.Jmp (I.Abs a)) (int_range 0 0xFFFFFF);
+        map (fun op -> I.Jmp_ind op) operand_gen;
+        map2 (fun c a -> I.Jcc (c, I.Abs a)) (oneofl Cond.all) (int_range 0 0xFFFFFF);
+        map (fun a -> I.Call (I.Abs a)) (int_range 0 0xFFFFFF);
+        map (fun op -> I.Call_ind op) operand_gen;
+        map (fun op -> I.Push op) operand_gen;
+        map (fun op -> I.Pop op) operand_gen;
+      ]
+  in
+  QCheck.Test.make ~name:"encoded size equals Insn.length" ~count:2000
+    (QCheck.make insn_gen)
+    (fun i ->
+      match i with
+      | I.Mov (O.Imm _, _) | I.Pop (O.Imm _) ->
+          (* writes to immediates are rejected by the interpreter, but the
+             encoder still sizes them consistently *)
+          String.length (Encode.insn i) = I.length i
+      | _ -> String.length (Encode.insn i) = I.length i)
+
+let () =
+  Alcotest.run "tea_isa"
+    [
+      ( "reg-cond",
+        [
+          Alcotest.test_case "reg roundtrip" `Quick test_reg_roundtrip;
+          Alcotest.test_case "reg bad index" `Quick test_reg_bad_index;
+          Alcotest.test_case "cond negate" `Quick test_cond_negate_involutive;
+          Alcotest.test_case "cond names" `Quick test_cond_names_unique;
+        ] );
+      ( "operand",
+        [
+          Alcotest.test_case "scale validation" `Quick test_operand_scale_validation;
+          Alcotest.test_case "encoding bytes" `Quick test_operand_encoding_bytes;
+          Alcotest.test_case "pp" `Quick test_operand_pp;
+        ] );
+      ( "insn",
+        [
+          Alcotest.test_case "lengths positive" `Quick test_insn_lengths_positive;
+          Alcotest.test_case "x86 lengths" `Quick test_insn_x86_lengths;
+          Alcotest.test_case "branch classification" `Quick test_insn_branch_classification;
+          Alcotest.test_case "direct target" `Quick test_insn_direct_target;
+          Alcotest.test_case "fallthrough" `Quick test_insn_fallthrough;
+          Alcotest.test_case "indirect" `Quick test_insn_indirect;
+          Alcotest.test_case "pp distinct" `Quick test_insn_pp_distinct;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "layout data" `Quick test_layout_data;
+          Alcotest.test_case "duplicate data label" `Quick test_layout_data_duplicate;
+          Alcotest.test_case "text labels" `Quick test_text_labels;
+        ] );
+      ( "image",
+        [
+          Alcotest.test_case "entry/symbols" `Quick test_image_entry_and_symbols;
+          Alcotest.test_case "fetch chain" `Quick test_image_fetch_chain;
+          Alcotest.test_case "target resolution" `Quick test_image_target_resolution;
+          Alcotest.test_case "data refs" `Quick test_image_data_ref;
+          Alcotest.test_case "unknown label" `Quick test_image_unknown_label;
+          Alcotest.test_case "duplicate label" `Quick test_image_duplicate_label;
+          Alcotest.test_case "bounds/bytes" `Quick test_image_bounds_and_bytes;
+          Alcotest.test_case "listing" `Quick test_image_listing;
+          qtest prop_image_layout;
+        ] );
+      ( "encode",
+        [
+          Alcotest.test_case "samples" `Quick test_encode_samples;
+          Alcotest.test_case "unresolved" `Quick test_encode_unresolved;
+          Alcotest.test_case "image text" `Quick test_encode_image_text;
+          Alcotest.test_case "distinct" `Quick test_encode_distinct;
+          qtest prop_encode_length_agrees;
+        ] );
+    ]

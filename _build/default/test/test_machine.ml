@@ -1,0 +1,438 @@
+open Tea_isa
+module I = Insn
+module O = Operand
+module Memory = Tea_machine.Memory
+module Cost = Tea_machine.Cost
+module Interp = Tea_machine.Interp
+
+let check = Alcotest.check
+
+let reg r = O.Reg r
+let imm n = O.Imm n
+
+(* Assemble a raw instruction list ending in exit and run it. *)
+let run_insns ?fuel insns =
+  let text = List.map (fun i -> Asm.Ins i) insns in
+  let img = Image.assemble (Asm.program (Asm.Label "main" :: text)) in
+  Interp.run ?fuel img
+
+let exit_insns = [ I.Sys 1; I.Mov (reg Reg.EAX, imm 0); I.Sys 0 ]
+
+(* Run a computation that leaves its result in EAX; return the emitted value. *)
+let compute insns =
+  let machine, stop = run_insns (insns @ exit_insns) in
+  (match stop.Interp.outcome with
+  | Interp.Exited 0 -> ()
+  | _ -> Alcotest.fail "program did not exit cleanly");
+  match Interp.output machine with
+  | [ v ] -> v
+  | _ -> Alcotest.fail "expected exactly one output"
+
+(* ---------------- Memory ---------------- *)
+
+let test_memory_default_zero () =
+  let m = Memory.create () in
+  check Alcotest.int "unwritten" 0 (Memory.read m 0x1234);
+  check Alcotest.int "footprint" 0 (Memory.footprint m)
+
+let test_memory_write_read () =
+  let m = Memory.create () in
+  Memory.write m 0x1000 42;
+  Memory.write m 0x1004 (-7);
+  check Alcotest.int "read" 42 (Memory.read m 0x1000);
+  check Alcotest.int "negative" (-7) (Memory.read m 0x1004);
+  check Alcotest.int "footprint" 2 (Memory.footprint m)
+
+let test_memory_copy_independent () =
+  let m = Memory.create () in
+  Memory.write m 0 1;
+  let c = Memory.copy m in
+  Memory.write c 0 2;
+  check Alcotest.int "original unchanged" 1 (Memory.read m 0)
+
+let test_memory_word_normalized () =
+  let m = Memory.create () in
+  Memory.write m 0 0xFFFFFFFF;
+  check Alcotest.int "sign extended" (-1) (Memory.read m 0)
+
+(* ---------------- Cost ---------------- *)
+
+let test_cost_positive () =
+  List.iter
+    (fun i -> check Alcotest.bool (I.to_string i) true (Cost.insn i ~reps:1 > 0))
+    [ I.Nop; I.Ret; I.Rep_movs; I.Cpuid; I.Sys 0; I.Mov (reg Reg.EAX, imm 1) ]
+
+let test_cost_rep_scales () =
+  let c1 = Cost.insn I.Rep_movs ~reps:1 in
+  let c100 = Cost.insn I.Rep_movs ~reps:100 in
+  check Alcotest.bool "rep scales" true (c100 > c1 + 150)
+
+let test_cost_mem_traffic () =
+  let reg_cost = Cost.insn (I.Mov (reg Reg.EAX, reg Reg.EBX)) ~reps:1 in
+  let mem_cost = Cost.insn (I.Mov (reg Reg.EAX, O.mem 0x1000)) ~reps:1 in
+  check Alcotest.bool "mem costs more" true (mem_cost > reg_cost)
+
+(* ---------------- Interp: data movement and ALU ---------------- *)
+
+let test_mov_imm () =
+  check Alcotest.int "mov" 7 (compute [ I.Mov (reg Reg.EAX, imm 7) ])
+
+let test_alu_ops () =
+  check Alcotest.int "add" 12
+    (compute [ I.Mov (reg Reg.EAX, imm 5); I.Alu (I.Add, reg Reg.EAX, imm 7) ]);
+  check Alcotest.int "sub" (-2)
+    (compute [ I.Mov (reg Reg.EAX, imm 5); I.Alu (I.Sub, reg Reg.EAX, imm 7) ]);
+  check Alcotest.int "and" 4
+    (compute [ I.Mov (reg Reg.EAX, imm 6); I.Alu (I.And, reg Reg.EAX, imm 12) ]);
+  check Alcotest.int "or" 14
+    (compute [ I.Mov (reg Reg.EAX, imm 6); I.Alu (I.Or, reg Reg.EAX, imm 12) ]);
+  check Alcotest.int "xor" 10
+    (compute [ I.Mov (reg Reg.EAX, imm 6); I.Alu (I.Xor, reg Reg.EAX, imm 12) ])
+
+let test_inc_dec_neg () =
+  check Alcotest.int "inc" 6 (compute [ I.Mov (reg Reg.EAX, imm 5); I.Inc (reg Reg.EAX) ]);
+  check Alcotest.int "dec" 4 (compute [ I.Mov (reg Reg.EAX, imm 5); I.Dec (reg Reg.EAX) ]);
+  check Alcotest.int "neg" (-5) (compute [ I.Mov (reg Reg.EAX, imm 5); I.Neg (reg Reg.EAX) ])
+
+let test_imul_shifts () =
+  check Alcotest.int "imul" 35
+    (compute [ I.Mov (reg Reg.EAX, imm 5); I.Imul (Reg.EAX, imm 7) ]);
+  check Alcotest.int "shl" 40
+    (compute [ I.Mov (reg Reg.EAX, imm 5); I.Shift (I.Shl, reg Reg.EAX, 3) ]);
+  check Alcotest.int "sar" (-3)
+    (compute [ I.Mov (reg Reg.EAX, imm (-5)); I.Shift (I.Sar, reg Reg.EAX, 1) ]);
+  check Alcotest.int "shr"
+    0x7FFFFFFD
+    (compute [ I.Mov (reg Reg.EAX, imm (-5)); I.Shift (I.Shr, reg Reg.EAX, 1) ])
+
+let test_lea () =
+  check Alcotest.int "lea" 0x10C
+    (compute
+       [
+         I.Mov (reg Reg.EBX, imm 0x100);
+         I.Mov (reg Reg.ECX, imm 3);
+         I.Lea (Reg.EAX, { O.base = Some Reg.EBX; index = Some (Reg.ECX, 4); disp = 0 });
+       ])
+
+let test_wraparound () =
+  check Alcotest.int "32-bit wrap" (-2147483648)
+    (compute [ I.Mov (reg Reg.EAX, imm 0x7FFFFFFF); I.Inc (reg Reg.EAX) ])
+
+(* ---------------- Interp: memory operands, stack ---------------- *)
+
+let test_memory_operands () =
+  let img =
+    Image.assemble
+      (Asm.program
+         ~data:[ Asm.Dlabel "cell"; Asm.Word 31 ]
+         ([ Asm.Label "main";
+            Asm.Ins (I.Mov (reg Reg.EAX, O.mem Asm.default_data_base));
+            Asm.Ins (I.Alu (I.Add, O.mem Asm.default_data_base, imm 11));
+            Asm.Ins (I.Alu (I.Add, reg Reg.EAX, O.mem Asm.default_data_base)) ]
+         @ List.map (fun i -> Asm.Ins i) exit_insns))
+  in
+  let machine, _ = Interp.run img in
+  check Alcotest.(list int) "31 + 42" [ 73 ] (Interp.output machine)
+
+let test_push_pop () =
+  check Alcotest.int "push/pop" 9
+    (compute
+       [
+         I.Mov (reg Reg.EBX, imm 9); I.Push (reg Reg.EBX);
+         I.Mov (reg Reg.EBX, imm 1); I.Pop (reg Reg.EAX);
+       ])
+
+(* ---------------- Interp: control flow ---------------- *)
+
+let branch_program cond_setup cond =
+  (* EAX = 1 if branch taken else 2 *)
+  let text =
+    [ Asm.Label "main" ]
+    @ List.map (fun i -> Asm.Ins i) cond_setup
+    @ [
+        Asm.Ins (I.Jcc (cond, I.Lbl "taken"));
+        Asm.Ins (I.Mov (reg Reg.EAX, imm 2));
+        Asm.Ins (I.Jmp (I.Lbl "done"));
+        Asm.Label "taken";
+        Asm.Ins (I.Mov (reg Reg.EAX, imm 1));
+        Asm.Label "done";
+      ]
+    @ List.map (fun i -> Asm.Ins i) exit_insns
+  in
+  let machine, _ = Interp.run (Image.assemble (Asm.program text)) in
+  match Interp.output machine with [ v ] -> v | _ -> Alcotest.fail "no output"
+
+let test_conditions_signed () =
+  let cmp a b = [ I.Mov (reg Reg.EBX, imm a); I.Cmp (reg Reg.EBX, imm b) ] in
+  check Alcotest.int "e taken" 1 (branch_program (cmp 5 5) Cond.E);
+  check Alcotest.int "e not" 2 (branch_program (cmp 5 6) Cond.E);
+  check Alcotest.int "ne" 1 (branch_program (cmp 5 6) Cond.NE);
+  check Alcotest.int "l" 1 (branch_program (cmp (-1) 0) Cond.L);
+  check Alcotest.int "l not" 2 (branch_program (cmp 0 (-1)) Cond.L);
+  check Alcotest.int "le eq" 1 (branch_program (cmp 3 3) Cond.LE);
+  check Alcotest.int "g" 1 (branch_program (cmp 4 3) Cond.G);
+  check Alcotest.int "ge" 1 (branch_program (cmp 3 3) Cond.GE)
+
+let test_conditions_unsigned () =
+  let cmp a b = [ I.Mov (reg Reg.EBX, imm a); I.Cmp (reg Reg.EBX, imm b) ] in
+  (* -1 is 0xFFFFFFFF unsigned: above everything *)
+  check Alcotest.int "b" 1 (branch_program (cmp 0 (-1)) Cond.B);
+  check Alcotest.int "a" 1 (branch_program (cmp (-1) 0) Cond.A);
+  check Alcotest.int "ae eq" 1 (branch_program (cmp 7 7) Cond.AE);
+  check Alcotest.int "be" 1 (branch_program (cmp 6 7) Cond.BE)
+
+let test_conditions_sign_flag () =
+  let setup = [ I.Mov (reg Reg.EBX, imm (-5)); I.Test (reg Reg.EBX, reg Reg.EBX) ] in
+  check Alcotest.int "s" 1 (branch_program setup Cond.S);
+  let setup' = [ I.Mov (reg Reg.EBX, imm 5); I.Test (reg Reg.EBX, reg Reg.EBX) ] in
+  check Alcotest.int "ns" 1 (branch_program setup' Cond.NS)
+
+let test_inc_preserves_carry () =
+  (* cmp 0,1 sets CF; inc must not clear it; jb then takes. *)
+  let setup =
+    [
+      I.Mov (reg Reg.EBX, imm 0); I.Cmp (reg Reg.EBX, imm 1);
+      I.Inc (reg Reg.EBX);
+    ]
+  in
+  check Alcotest.int "carry preserved" 1 (branch_program setup Cond.B)
+
+let test_call_ret () =
+  let text =
+    [
+      Asm.Label "main";
+      Asm.Ins (I.Mov (reg Reg.EAX, imm 10));
+      Asm.Ins (I.Call (I.Lbl "f"));
+      Asm.Ins (I.Alu (I.Add, reg Reg.EAX, imm 1));
+    ]
+    @ List.map (fun i -> Asm.Ins i) exit_insns
+    @ [ Asm.Label "f"; Asm.Ins (I.Imul (Reg.EAX, imm 3)); Asm.Ins I.Ret ]
+  in
+  let machine, _ = Interp.run (Image.assemble (Asm.program text)) in
+  check Alcotest.(list int) "call/ret" [ 31 ] (Interp.output machine)
+
+let test_indirect_jump_table () =
+  let text =
+    [
+      Asm.Label "main";
+      Asm.Ins (I.Mov (reg Reg.EBX, O.mem (Asm.default_data_base + 4)));
+      Asm.Ins (I.Jmp_ind (reg Reg.EBX));
+      Asm.Ins I.Halt;
+      Asm.Label "target";
+      Asm.Ins (I.Mov (reg Reg.EAX, imm 77));
+    ]
+    @ List.map (fun i -> Asm.Ins i) exit_insns
+  in
+  let data = [ Asm.Dlabel "table"; Asm.Word 0; Asm.Word_ref "target" ] in
+  let machine, _ = Interp.run (Image.assemble (Asm.program ~data text)) in
+  check Alcotest.(list int) "indirect" [ 77 ] (Interp.output machine)
+
+(* ---------------- Interp: REP, syscalls, stops ---------------- *)
+
+let test_rep_movs () =
+  let src = Asm.default_data_base in
+  let n = 5 in
+  let data = List.init n (fun i -> Asm.Word (i + 1)) in
+  let dst = src + (4 * n) in
+  let text =
+    [
+      Asm.Label "main";
+      Asm.Ins (I.Mov (reg Reg.ESI, imm src));
+      Asm.Ins (I.Mov (reg Reg.EDI, imm dst));
+      Asm.Ins (I.Mov (reg Reg.ECX, imm n));
+      Asm.Ins I.Rep_movs;
+      Asm.Ins (I.Mov (reg Reg.EAX, O.mem (dst + 8)));
+    ]
+    @ List.map (fun i -> Asm.Ins i) exit_insns
+  in
+  let machine, _ = Interp.run (Image.assemble (Asm.program ~data text)) in
+  check Alcotest.(list int) "copied third word" [ 3 ] (Interp.output machine);
+  (* StarDBT counts the REP once; Pin counts each iteration. *)
+  check Alcotest.int "dbt count" 8 (Interp.dyn_instrs machine);
+  check Alcotest.int "pin count counts iterations" (8 + n - 1)
+    (Interp.dyn_instrs_expanded machine)
+
+let test_rep_stos () =
+  let dst = Asm.default_data_base in
+  let text =
+    [
+      Asm.Label "main";
+      Asm.Ins (I.Mov (reg Reg.EAX, imm 9));
+      Asm.Ins (I.Mov (reg Reg.EDI, imm dst));
+      Asm.Ins (I.Mov (reg Reg.ECX, imm 3));
+      Asm.Ins I.Rep_stos;
+      Asm.Ins (I.Mov (reg Reg.EAX, O.mem (dst + 8)));
+    ]
+    @ List.map (fun i -> Asm.Ins i) exit_insns
+  in
+  let machine, _ = Interp.run (Image.assemble (Asm.program text)) in
+  check Alcotest.(list int) "stored" [ 9 ] (Interp.output machine)
+
+let test_exit_code () =
+  let _, stop = run_insns [ I.Mov (reg Reg.EAX, imm 3); I.Sys 0 ] in
+  match stop.Interp.outcome with
+  | Interp.Exited 3 -> ()
+  | _ -> Alcotest.fail "expected exit 3"
+
+let test_halt () =
+  let _, stop = run_insns [ I.Halt ] in
+  match stop.Interp.outcome with
+  | Interp.Halted -> ()
+  | _ -> Alcotest.fail "expected halt"
+
+let test_fuel () =
+  let _, stop =
+    run_insns ~fuel:10 [ I.Mov (reg Reg.EAX, imm 1); I.Jmp (I.Abs Asm.default_text_base) ]
+  in
+  match stop.Interp.outcome with
+  | Interp.Fuel_exhausted -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_fault_bad_fetch () =
+  let _, stop = run_insns [ I.Jmp (I.Abs 0x42) ] in
+  match stop.Interp.outcome with
+  | Interp.Fault _ -> ()
+  | _ -> Alcotest.fail "expected fault"
+
+let test_determinism () =
+  let img = Tea_workloads.Micro.branchy_loop () in
+  let m1, _ = Interp.run img in
+  let m2, _ = Interp.run img in
+  check Alcotest.(list int) "same output" (Interp.output m1) (Interp.output m2);
+  check Alcotest.int "same cycles" (Interp.cycles m1) (Interp.cycles m2);
+  check Alcotest.int "same counts" (Interp.dyn_instrs m1) (Interp.dyn_instrs m2)
+
+let test_step_matches_run () =
+  let img = Tea_workloads.Micro.nested_loop ~outer:5 ~inner:5 () in
+  let m = Interp.create img in
+  let rec loop () = match Interp.step m with Ok _ -> loop () | Error s -> s in
+  let stop = loop () in
+  let m', stop' = Interp.run img in
+  check Alcotest.int "same instrs" (Interp.dyn_instrs m') (Interp.dyn_instrs m);
+  check Alcotest.bool "same outcome" true (stop.Interp.outcome = stop'.Interp.outcome)
+
+let test_event_stream_consistent () =
+  let img = Tea_workloads.Micro.nested_loop ~outer:3 ~inner:4 () in
+  let prev_next = ref None in
+  let violations = ref 0 in
+  let _ =
+    Interp.run
+      ~on_event:(fun ev ->
+        (match !prev_next with
+        | Some expected when expected <> ev.Interp.pc -> incr violations
+        | _ -> ());
+        prev_next := Some ev.Interp.next_pc)
+      img
+  in
+  check Alcotest.int "event chain has no gaps" 0 !violations
+
+(* Reference-model property: random straight-line ALU programs on EAX
+   compute the same result as a direct OCaml evaluation. *)
+let prop_alu_reference =
+  let module W = Tea_util.Word32 in
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun n -> `Add n) (int_range 0 10000);
+          map (fun n -> `Sub n) (int_range 0 10000);
+          map (fun n -> `Xor n) (int_range 0 0xFFFF);
+          map (fun n -> `And n) (int_range 0 0xFFFF);
+          map (fun n -> `Or n) (int_range 0 0xFFFF);
+          map (fun n -> `Shl n) (int_range 0 4);
+          map (fun n -> `Mul n) (int_range 0 50);
+          return `Inc;
+          return `Dec;
+          return `Neg;
+        ])
+  in
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        pair (int_range (-1000) 1000) (list_size (int_range 1 30) op_gen))
+  in
+  QCheck.Test.make ~name:"ALU agrees with reference evaluation" ~count:200 gen
+    (fun (init, ops) ->
+      let insn_of = function
+        | `Add n -> I.Alu (I.Add, reg Reg.EAX, imm n)
+        | `Sub n -> I.Alu (I.Sub, reg Reg.EAX, imm n)
+        | `Xor n -> I.Alu (I.Xor, reg Reg.EAX, imm n)
+        | `And n -> I.Alu (I.And, reg Reg.EAX, imm n)
+        | `Or n -> I.Alu (I.Or, reg Reg.EAX, imm n)
+        | `Shl n -> I.Shift (I.Shl, reg Reg.EAX, n)
+        | `Mul n -> I.Imul (Reg.EAX, imm n)
+        | `Inc -> I.Inc (reg Reg.EAX)
+        | `Dec -> I.Dec (reg Reg.EAX)
+        | `Neg -> I.Neg (reg Reg.EAX)
+      in
+      let model acc = function
+        | `Add n -> W.add acc n
+        | `Sub n -> W.sub acc n
+        | `Xor n -> W.logxor acc n
+        | `And n -> W.logand acc n
+        | `Or n -> W.logor acc n
+        | `Shl n -> W.shl acc n
+        | `Mul n -> W.mul acc n
+        | `Inc -> W.add acc 1
+        | `Dec -> W.sub acc 1
+        | `Neg -> W.neg acc
+      in
+      let expected = List.fold_left model (W.norm init) ops in
+      let actual =
+        compute ((I.Mov (reg Reg.EAX, imm init) :: List.map insn_of ops))
+      in
+      actual = expected)
+
+let () =
+  Alcotest.run "tea_machine"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "default zero" `Quick test_memory_default_zero;
+          Alcotest.test_case "write/read" `Quick test_memory_write_read;
+          Alcotest.test_case "copy" `Quick test_memory_copy_independent;
+          Alcotest.test_case "normalization" `Quick test_memory_word_normalized;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "positive" `Quick test_cost_positive;
+          Alcotest.test_case "rep scales" `Quick test_cost_rep_scales;
+          Alcotest.test_case "memory traffic" `Quick test_cost_mem_traffic;
+        ] );
+      ( "alu",
+        [
+          Alcotest.test_case "mov" `Quick test_mov_imm;
+          Alcotest.test_case "alu ops" `Quick test_alu_ops;
+          Alcotest.test_case "inc/dec/neg" `Quick test_inc_dec_neg;
+          Alcotest.test_case "imul/shifts" `Quick test_imul_shifts;
+          Alcotest.test_case "lea" `Quick test_lea;
+          Alcotest.test_case "wraparound" `Quick test_wraparound;
+        ] );
+      ( "memory-ops",
+        [
+          Alcotest.test_case "memory operands" `Quick test_memory_operands;
+          Alcotest.test_case "push/pop" `Quick test_push_pop;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "signed conditions" `Quick test_conditions_signed;
+          Alcotest.test_case "unsigned conditions" `Quick test_conditions_unsigned;
+          Alcotest.test_case "sign flag" `Quick test_conditions_sign_flag;
+          Alcotest.test_case "inc preserves carry" `Quick test_inc_preserves_carry;
+          Alcotest.test_case "call/ret" `Quick test_call_ret;
+          Alcotest.test_case "indirect jump" `Quick test_indirect_jump_table;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "rep movs" `Quick test_rep_movs;
+          Alcotest.test_case "rep stos" `Quick test_rep_stos;
+          Alcotest.test_case "exit code" `Quick test_exit_code;
+          Alcotest.test_case "halt" `Quick test_halt;
+          Alcotest.test_case "fuel" `Quick test_fuel;
+          Alcotest.test_case "fault" `Quick test_fault_bad_fetch;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "step = run" `Quick test_step_matches_run;
+          Alcotest.test_case "event stream" `Quick test_event_stream_consistent;
+          QCheck_alcotest.to_alcotest prop_alu_reference;
+        ] );
+    ]

@@ -1,0 +1,273 @@
+open Tea_isa
+module I = Insn
+module O = Operand
+module Block = Tea_cfg.Block
+module Trace = Tea_traces.Trace
+module Opt = Tea_opt.Opt
+
+let check = Alcotest.check
+
+let reg r = O.Reg r
+let imm n = O.Imm n
+let mem a = O.mem a
+
+(* Build a single-TBB trace from an instruction list (terminated by jmp). *)
+let trace_of insns =
+  let all = insns @ [ I.Jmp (I.Abs 0x100) ] in
+  let block = Block.make Block.Branch (List.mapi (fun i x -> (0x100 + i, x)) all) in
+  Trace.make ~id:0 ~kind:"test" [| block |] [| [] |]
+
+(* A two-TBB chain. *)
+let chain_of insns1 insns2 =
+  let b1 =
+    Block.make Block.Branch
+      (List.mapi (fun i x -> (0x100 + i, x)) (insns1 @ [ I.Jcc (Cond.E, I.Abs 0x300) ]))
+  in
+  let b2 =
+    Block.make Block.Branch
+      (List.mapi (fun i x -> (0x200 + i, x)) (insns2 @ [ I.Jmp (I.Abs 0x100) ]))
+  in
+  Trace.make ~id:0 ~kind:"test" [| b1; b2 |] [| [ 1 ]; [] |]
+
+let kinds trace = List.map (fun f -> f.Opt.kind) (Opt.analyze trace)
+
+(* ---------------- strength reduction ---------------- *)
+
+let test_strength_reduction () =
+  let t = trace_of [ I.Imul (Reg.EAX, imm 8); I.Alu (I.Add, reg Reg.EAX, imm 1) ] in
+  check Alcotest.bool "found" true (List.mem Opt.Strength_reduction (kinds t))
+
+let test_strength_reduction_non_power () =
+  let t = trace_of [ I.Imul (Reg.EAX, imm 6); I.Alu (I.Add, reg Reg.EAX, imm 1) ] in
+  check Alcotest.bool "not found" false (List.mem Opt.Strength_reduction (kinds t))
+
+let test_strength_reduction_blocked_by_live_flags () =
+  (* the jcc right after the imul reads its flags: no rewrite *)
+  let t = trace_of [ I.Imul (Reg.EAX, imm 8) ] in
+  check Alcotest.bool "flags live" false
+    (List.mem Opt.Strength_reduction
+       (List.map (fun f -> f.Opt.kind)
+          (Opt.analyze
+             (let b =
+                Block.make Block.Branch
+                  [ (0x100, I.Imul (Reg.EAX, imm 8)); (0x104, I.Jcc (Cond.E, I.Abs 0x100)) ]
+              in
+              Trace.make ~id:0 ~kind:"t" [| b |] [| [] |]))));
+  (* ...but with a flag-writer in between it is fine *)
+  check Alcotest.bool "flags dead" true (List.mem Opt.Strength_reduction (kinds t))
+
+(* ---------------- combine immediates ---------------- *)
+
+let test_combine_adjacent () =
+  let t =
+    trace_of [ I.Alu (I.Add, reg Reg.EAX, imm 3); I.Alu (I.Add, reg Reg.EAX, imm 4) ]
+  in
+  check Alcotest.bool "found" true (List.mem Opt.Combine_immediates (kinds t))
+
+let test_combine_different_regs () =
+  let t =
+    trace_of [ I.Alu (I.Add, reg Reg.EAX, imm 3); I.Alu (I.Add, reg Reg.EBX, imm 4) ]
+  in
+  check Alcotest.bool "different registers" false
+    (List.mem Opt.Combine_immediates (kinds t))
+
+let test_combine_interrupted () =
+  let t =
+    trace_of
+      [
+        I.Alu (I.Add, reg Reg.EAX, imm 3);
+        I.Mov (reg Reg.EAX, imm 9);
+        I.Alu (I.Add, reg Reg.EAX, imm 4);
+      ]
+  in
+  check Alcotest.bool "clobbered between" false
+    (List.mem Opt.Combine_immediates (kinds t))
+
+(* ---------------- redundant load ---------------- *)
+
+let test_redundant_load () =
+  let t =
+    trace_of
+      [
+        I.Mov (reg Reg.EBX, mem 0x9000);
+        I.Alu (I.Add, reg Reg.EAX, reg Reg.EBX);
+        I.Mov (reg Reg.ECX, mem 0x9000);
+      ]
+  in
+  let fs = Opt.analyze t in
+  (match List.find_opt (fun f -> f.Opt.kind = Opt.Redundant_load) fs with
+  | Some f ->
+      check Alcotest.int "at the reload" 2 f.Opt.insn_index;
+      check Alcotest.bool "positive savings" true (f.Opt.saved_cycles > 0)
+  | None -> Alcotest.fail "expected redundant load")
+
+let test_redundant_load_killed_by_store () =
+  let t =
+    trace_of
+      [
+        I.Mov (reg Reg.EBX, mem 0x9000);
+        I.Mov (mem 0x9100, reg Reg.EAX);   (* may alias: kills *)
+        I.Mov (reg Reg.ECX, mem 0x9000);
+      ]
+  in
+  check Alcotest.bool "store kills" false (List.mem Opt.Redundant_load (kinds t))
+
+let test_redundant_load_killed_by_reg_write () =
+  let t =
+    trace_of
+      [
+        I.Mov (reg Reg.EBX, mem 0x9000);
+        I.Mov (reg Reg.EBX, imm 1);         (* value register clobbered *)
+        I.Mov (reg Reg.ECX, mem 0x9000);
+      ]
+  in
+  check Alcotest.bool "reg write kills" false (List.mem Opt.Redundant_load (kinds t))
+
+let test_redundant_load_killed_by_addr_reg_write () =
+  let m = O.mem ~base:Reg.ESI 0 in
+  let t =
+    trace_of
+      [
+        I.Mov (reg Reg.EBX, m);
+        I.Alu (I.Add, reg Reg.ESI, imm 4);  (* address register changed *)
+        I.Mov (reg Reg.ECX, m);
+      ]
+  in
+  check Alcotest.bool "address change kills" false
+    (List.mem Opt.Redundant_load (kinds t))
+
+let test_redundant_load_killed_by_call () =
+  let t =
+    trace_of
+      [
+        I.Mov (reg Reg.EBX, mem 0x9000);
+        I.Call (I.Abs 0x5000);
+        I.Mov (reg Reg.ECX, mem 0x9000);
+      ]
+  in
+  check Alcotest.bool "call is a barrier" false (List.mem Opt.Redundant_load (kinds t))
+
+let test_redundant_load_across_chain () =
+  (* superblock scope: the reload sits in the next TBB of the chain *)
+  let t =
+    chain_of
+      [ I.Mov (reg Reg.EBX, mem 0x9000); I.Test (reg Reg.EBX, reg Reg.EBX) ]
+      [ I.Mov (reg Reg.ECX, mem 0x9000) ]
+  in
+  let fs = Opt.analyze t in
+  match List.find_opt (fun f -> f.Opt.kind = Opt.Redundant_load) fs with
+  | Some f -> check Alcotest.int "in second TBB" 1 f.Opt.tbb_index
+  | None -> Alcotest.fail "expected cross-TBB redundant load"
+
+let test_store_establishes_mapping () =
+  (* mov [m], ebx then mov ecx, [m] is redundant (value still in ebx) *)
+  let t =
+    trace_of [ I.Mov (mem 0x9000, reg Reg.EBX); I.Mov (reg Reg.ECX, mem 0x9000) ]
+  in
+  check Alcotest.bool "store-to-load forwarding" true
+    (List.mem Opt.Redundant_load (kinds t))
+
+(* ---------------- dead store ---------------- *)
+
+let test_dead_store () =
+  let t =
+    trace_of [ I.Mov (mem 0x9000, reg Reg.EAX); I.Mov (mem 0x9000, reg Reg.EBX) ]
+  in
+  let fs = Opt.analyze t in
+  (match List.find_opt (fun f -> f.Opt.kind = Opt.Dead_store) fs with
+  | Some f -> check Alcotest.int "first store flagged" 0 f.Opt.insn_index
+  | None -> Alcotest.fail "expected dead store")
+
+let test_store_not_dead_if_read () =
+  let t =
+    trace_of
+      [
+        I.Mov (mem 0x9000, reg Reg.EAX);
+        I.Alu (I.Add, reg Reg.ECX, mem 0x9100);  (* some read in between *)
+        I.Mov (mem 0x9000, reg Reg.EBX);
+      ]
+  in
+  check Alcotest.bool "read intervenes" false (List.mem Opt.Dead_store (kinds t))
+
+let test_store_not_dead_other_address () =
+  let t =
+    trace_of [ I.Mov (mem 0x9000, reg Reg.EAX); I.Mov (mem 0x9004, reg Reg.EBX) ]
+  in
+  check Alcotest.bool "different word" false (List.mem Opt.Dead_store (kinds t))
+
+(* ---------------- weighting ---------------- *)
+
+let test_weighted_savings () =
+  (* a loop trace with one opportunity, replayed a known number of times *)
+  let t =
+    let insns =
+      [
+        (0x100, I.Imul (Reg.EAX, imm 4));
+        (0x104, I.Alu (I.Add, reg Reg.EAX, imm 1));
+        (0x108, I.Jcc (Cond.NE, I.Abs 0x100));
+      ]
+    in
+    let b = Block.make Block.Branch insns in
+    Trace.make ~id:0 ~kind:"t" [| b |] [| [ 0 ] |]
+  in
+  let auto = Tea_core.Builder.build [ t ] in
+  let trans = Tea_core.Transition.create Tea_core.Transition.config_global_local auto in
+  let rep = Tea_core.Replayer.create trans in
+  for _ = 1 to 10 do
+    Tea_core.Replayer.feed_addr rep ~insns:3 0x100
+  done;
+  let savings = Opt.weighted rep t in
+  check Alcotest.bool "found something" true (savings.Opt.findings <> []);
+  check Alcotest.int "weighted = static x execs"
+    (savings.Opt.static_cycles * 10)
+    savings.Opt.expected_cycles
+
+let test_render () =
+  let t = trace_of [ I.Imul (Reg.EAX, imm 8); I.Alu (I.Add, reg Reg.EAX, imm 1) ] in
+  let auto = Tea_core.Builder.build [ t ] in
+  let trans = Tea_core.Transition.create Tea_core.Transition.config_global_local auto in
+  let rep = Tea_core.Replayer.create trans in
+  let s = Opt.render t (Opt.weighted rep t) in
+  check Alcotest.bool "mentions the pass" true
+    (let needle = "strength-reduction" in
+     let nh = String.length s and nn = String.length needle in
+     let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1)) in
+     go 0)
+
+let () =
+  Alcotest.run "tea_opt"
+    [
+      ( "strength",
+        [
+          Alcotest.test_case "power of two" `Quick test_strength_reduction;
+          Alcotest.test_case "non power" `Quick test_strength_reduction_non_power;
+          Alcotest.test_case "flag liveness" `Quick test_strength_reduction_blocked_by_live_flags;
+        ] );
+      ( "combine",
+        [
+          Alcotest.test_case "adjacent" `Quick test_combine_adjacent;
+          Alcotest.test_case "different regs" `Quick test_combine_different_regs;
+          Alcotest.test_case "interrupted" `Quick test_combine_interrupted;
+        ] );
+      ( "redundant-load",
+        [
+          Alcotest.test_case "basic" `Quick test_redundant_load;
+          Alcotest.test_case "store kills" `Quick test_redundant_load_killed_by_store;
+          Alcotest.test_case "reg write kills" `Quick test_redundant_load_killed_by_reg_write;
+          Alcotest.test_case "addr reg kills" `Quick test_redundant_load_killed_by_addr_reg_write;
+          Alcotest.test_case "call barrier" `Quick test_redundant_load_killed_by_call;
+          Alcotest.test_case "across chain" `Quick test_redundant_load_across_chain;
+          Alcotest.test_case "store forwarding" `Quick test_store_establishes_mapping;
+        ] );
+      ( "dead-store",
+        [
+          Alcotest.test_case "basic" `Quick test_dead_store;
+          Alcotest.test_case "read intervenes" `Quick test_store_not_dead_if_read;
+          Alcotest.test_case "other address" `Quick test_store_not_dead_other_address;
+        ] );
+      ( "weighting",
+        [
+          Alcotest.test_case "weighted savings" `Quick test_weighted_savings;
+          Alcotest.test_case "render" `Quick test_render;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+module Pin = Tea_pinsim.Pin
+module Edge_filter = Tea_pinsim.Edge_filter
+module Pintool_replay = Tea_pinsim.Pintool_replay
+module Pintool_record = Tea_pinsim.Pintool_record
+module Overhead = Tea_pinsim.Overhead
+module Cost_params = Tea_pinsim.Cost_params
+module Block = Tea_cfg.Block
+module Interp = Tea_machine.Interp
+module Trace_set = Tea_traces.Trace_set
+
+let check = Alcotest.check
+
+let mret = Option.get (Tea_traces.Registry.by_name "mret")
+
+let mret_traces image =
+  let r = Tea_dbt.Stardbt.record ~strategy:mret image in
+  (Trace_set.to_list r.Tea_dbt.Stardbt.set, r)
+
+(* ---------------- Pin runner ---------------- *)
+
+let test_pin_framework_costs () =
+  let img = Tea_workloads.Micro.branchy_loop () in
+  let stats = Pin.run img in
+  check Alcotest.bool "jit > 0" true (stats.Pin.jit_cycles > 0);
+  check Alcotest.bool "framework >= native" true
+    (stats.Pin.framework_cycles >= stats.Pin.native_cycles);
+  check Alcotest.bool "jitted blocks" true (stats.Pin.blocks_jitted > 0);
+  check Alcotest.bool "edges ~ blocks" true
+    (abs (stats.Pin.edge_execs - stats.Pin.block_execs) <= 1)
+
+let test_pin_native_matches_interp () =
+  let img = Tea_workloads.Micro.nested_loop () in
+  let stats = Pin.run img in
+  let m, _ = Interp.run img in
+  check Alcotest.int "same native cycles" (Interp.cycles m) stats.Pin.native_cycles;
+  check Alcotest.int "native_cycles helper" (Interp.cycles m) (Pin.native_cycles img)
+
+let test_pin_jit_once_per_block () =
+  let img = Tea_workloads.Micro.nested_loop () in
+  let s1 = Pin.run img in
+  let s2 = Pin.run img in
+  check Alcotest.int "deterministic jit" s1.Pin.jit_cycles s2.Pin.jit_cycles;
+  (* jit cost bounded by static footprint *)
+  let static = Tea_isa.Image.instruction_count img in
+  check Alcotest.bool "jit bounded" true
+    (s1.Pin.jit_cycles <= Cost_params.default.Cost_params.jit_per_insn * static * 2)
+
+let test_pin_expanded_counting () =
+  let img = Tea_workloads.Micro.rep_copy ~words:16 ~passes:5 () in
+  let stats = Pin.run img in
+  let m, _ = Interp.run img in
+  (* Pin counts each REP iteration *)
+  check Alcotest.bool "pin >= dbt count" true
+    (stats.Pin.total_insns > Interp.dyn_instrs m)
+
+(* ---------------- Edge filter (§4.1) ---------------- *)
+
+let logical_stream image =
+  let out = ref [] in
+  let filter =
+    Edge_filter.create ~emit:(fun b ~expanded -> out := (b.Block.start, expanded) :: !out)
+  in
+  let _ = Pin.run ~tool:(Edge_filter.callbacks filter) image in
+  Edge_filter.flush filter;
+  List.rev !out
+
+let stardbt_stream image =
+  let out = ref [] in
+  let cb =
+    {
+      Tea_cfg.Discovery.on_block =
+        (fun b -> out := (b.Block.start, Block.n_insns b) :: !out);
+      Tea_cfg.Discovery.on_edge = (fun _ _ -> ());
+    }
+  in
+  let _ = Tea_cfg.Discovery.run ~policy:Tea_cfg.Discovery.Stardbt image cb in
+  List.rev !out
+
+let test_edge_filter_matches_stardbt_boundaries () =
+  (* THE §4.1 guarantee: on a REP-heavy program, the merged Pin stream sees
+     exactly the block starts StarDBT saw. *)
+  let img = Tea_workloads.Micro.rep_copy ~words:16 ~passes:5 () in
+  let pin_starts = List.map fst (logical_stream img) in
+  let dbt_starts = List.map fst (stardbt_stream img) in
+  check Alcotest.(list int) "same transition sequence" dbt_starts pin_starts
+
+let test_edge_filter_expanded_counts () =
+  let img = Tea_workloads.Micro.rep_copy ~words:16 ~passes:2 () in
+  let pin = logical_stream img in
+  let dbt = stardbt_stream img in
+  let sum l = List.fold_left (fun a (_, n) -> a + n) 0 l in
+  (* Pin's expanded counts exceed StarDBT's (REP iterations), with equal
+     block sequences — why the paper reports coverage, not counts *)
+  check Alcotest.bool "expanded bigger" true (sum pin > sum dbt)
+
+let test_edge_filter_plain_program_identity () =
+  (* without REP/cpuid the two streams are identical in counts too *)
+  let img = Tea_workloads.Micro.branchy_loop () in
+  check Alcotest.bool "identical" true (logical_stream img = stardbt_stream img)
+
+(* ---------------- Replay pintool ---------------- *)
+
+let test_replay_coverage_exceeds_dbt () =
+  let img = Tea_workloads.Micro.list_scan () in
+  let traces, dbt = mret_traces img in
+  let result, _ = Pintool_replay.replay ~traces img in
+  check Alcotest.bool "replay >= record coverage" true
+    (result.Pintool_replay.coverage >= dbt.Tea_dbt.Stardbt.coverage);
+  check Alcotest.bool "slowdown > 1" true (result.Pintool_replay.slowdown > 1.0)
+
+let test_replay_empty_traces () =
+  let img = Tea_workloads.Micro.branchy_loop () in
+  let result, _ = Pintool_replay.replay ~traces:[] img in
+  check Alcotest.(float 0.0001) "zero coverage" 0.0 result.Pintool_replay.coverage;
+  check Alcotest.int "no enters" 0 result.Pintool_replay.trace_enters;
+  check Alcotest.bool "still slow (the Empty anomaly)" true
+    (result.Pintool_replay.slowdown > 2.0)
+
+let test_replay_cost_decomposition () =
+  let img = Tea_workloads.Micro.branchy_loop () in
+  let traces, _ = mret_traces img in
+  let r, _ = Pintool_replay.replay ~traces img in
+  check Alcotest.int "total = framework + tool"
+    r.Pintool_replay.total_cycles
+    (r.Pintool_replay.framework_cycles + r.Pintool_replay.tool_cycles)
+
+(* ---------------- Record pintool ---------------- *)
+
+let test_record_under_pin () =
+  let img = Tea_workloads.Micro.nested_loop ~outer:40 ~inner:50 () in
+  let r, _ = Pintool_record.record ~strategy:mret img in
+  check Alcotest.bool "traces" true (List.length r.Pintool_record.traces > 0);
+  check Alcotest.bool "coverage" true (r.Pintool_record.coverage > 0.5);
+  check Alcotest.bool "automaton bytes" true (r.Pintool_record.automaton_bytes > 16)
+
+let test_record_vs_replay_coverage_close () =
+  (* recording discovers traces as it goes; replaying them afterwards can
+     only do better *)
+  let img = Tea_workloads.Micro.list_scan () in
+  let rec_result, _ = Pintool_record.record ~strategy:mret img in
+  let rep_result, _ =
+    Pintool_replay.replay ~traces:rec_result.Pintool_record.traces img
+  in
+  check Alcotest.bool "replay >= record" true
+    (rep_result.Pintool_replay.coverage >= rec_result.Pintool_record.coverage -. 0.001)
+
+(* ---------------- Overhead (Table 4 shapes) ---------------- *)
+
+let test_overhead_row_shape () =
+  let img = Tea_workloads.Spec2000.(image (Option.get (by_name "181.mcf"))) in
+  let traces, _ = mret_traces img in
+  let row = Overhead.measure ~traces img in
+  check Alcotest.(float 0.001) "native = 1" 1.0 row.Overhead.native;
+  check Alcotest.bool "without pintool smallest" true
+    (row.Overhead.without_pintool < row.Overhead.global_local);
+  check Alcotest.bool "without pintool > 1" true (row.Overhead.without_pintool > 1.0);
+  (* the §4.2 counter-intuitive result: Empty is slower than replaying *)
+  check Alcotest.bool "Empty anomaly" true
+    (row.Overhead.empty > row.Overhead.global_local);
+  check Alcotest.bool "all configs slower than bare pin" true
+    (row.Overhead.no_global_local > row.Overhead.without_pintool
+    && row.Overhead.global_no_local > row.Overhead.without_pintool
+    && row.Overhead.global_local > row.Overhead.without_pintool)
+
+let test_overhead_local_cache_helps () =
+  (* with the B+ tree fixed, adding the local cache must not hurt *)
+  let img = Tea_workloads.Spec2000.(image (Option.get (by_name "181.mcf"))) in
+  let traces, _ = mret_traces img in
+  let row = Overhead.measure ~traces img in
+  check Alcotest.bool "cache <= no cache" true
+    (row.Overhead.global_local <= row.Overhead.global_no_local +. 0.01)
+
+let () =
+  Alcotest.run "tea_pinsim"
+    [
+      ( "pin",
+        [
+          Alcotest.test_case "framework costs" `Quick test_pin_framework_costs;
+          Alcotest.test_case "native cycles" `Quick test_pin_native_matches_interp;
+          Alcotest.test_case "jit once" `Quick test_pin_jit_once_per_block;
+          Alcotest.test_case "expanded counting" `Quick test_pin_expanded_counting;
+        ] );
+      ( "edge-filter",
+        [
+          Alcotest.test_case "matches stardbt" `Quick test_edge_filter_matches_stardbt_boundaries;
+          Alcotest.test_case "expanded counts" `Quick test_edge_filter_expanded_counts;
+          Alcotest.test_case "identity without splits" `Quick
+            test_edge_filter_plain_program_identity;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "coverage >= dbt" `Quick test_replay_coverage_exceeds_dbt;
+          Alcotest.test_case "empty traces" `Quick test_replay_empty_traces;
+          Alcotest.test_case "cost decomposition" `Quick test_replay_cost_decomposition;
+        ] );
+      ( "record",
+        [
+          Alcotest.test_case "records" `Quick test_record_under_pin;
+          Alcotest.test_case "record vs replay" `Quick test_record_vs_replay_coverage_close;
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "row shape" `Quick test_overhead_row_shape;
+          Alcotest.test_case "cache helps" `Quick test_overhead_local_cache_helps;
+        ] );
+    ]

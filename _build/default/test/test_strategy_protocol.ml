@@ -1,0 +1,261 @@
+(* Protocol-level tests: drive the Recorder.STRATEGY hooks directly with a
+   synthetic block universe, independent of any interpreter run. This pins
+   down the Algorithm 2 contract each strategy implements. *)
+
+open Tea_isa
+module I = Insn
+module Block = Tea_cfg.Block
+module Recorder = Tea_traces.Recorder
+module Trace = Tea_traces.Trace
+
+let check = Alcotest.check
+
+(* A loop universe: A(0x100) -> B(0x200) -> A, with side exit B -> C(0x300)
+   and C -> A. Blocks end in branches whose exact targets don't matter for
+   the strategy protocol. *)
+let blk addr =
+  Block.make Block.Branch [ (addr, I.Jcc (Cond.E, I.Abs 0x100)) ]
+
+let a = blk 0x100
+let b = blk 0x200
+let c = blk 0x300
+
+let config threshold =
+  { Recorder.default_config with Recorder.hot_threshold = threshold }
+
+(* ---------------- MRET protocol ---------------- *)
+
+module Mret = Tea_traces.Mret
+
+let test_mret_trigger_threshold () =
+  let m = Mret.create (config 3) in
+  (* backward edge B -> A bumps A's counter; fires on the 3rd *)
+  check Alcotest.bool "1" false (Mret.trigger m ~current:(Some b) ~next:a);
+  check Alcotest.bool "2" false (Mret.trigger m ~current:(Some b) ~next:a);
+  check Alcotest.bool "3 fires" true (Mret.trigger m ~current:(Some b) ~next:a)
+
+let test_mret_forward_edge_never_triggers () =
+  let m = Mret.create (config 1) in
+  (* A -> B is a forward edge: no candidate, no matter how often *)
+  for _ = 1 to 10 do
+    check Alcotest.bool "forward" false (Mret.trigger m ~current:(Some a) ~next:b)
+  done
+
+let test_mret_first_block_never_triggers () =
+  let m = Mret.create (config 1) in
+  check Alcotest.bool "no current" false (Mret.trigger m ~current:None ~next:a)
+
+let test_mret_records_cycle () =
+  let m = Mret.create (config 1) in
+  check Alcotest.bool "fires" true (Mret.trigger m ~current:(Some b) ~next:a);
+  Mret.start m ~current:(Some b) ~next:a;
+  (* executes A, then B, then back to A: cycle completes the trace *)
+  (match Mret.add m ~current:a ~next:b with
+  | `Continue -> ()
+  | `Done _ -> Alcotest.fail "should continue");
+  match Mret.add m ~current:b ~next:a with
+  | `Done (Some trace) ->
+      check Alcotest.int "two TBBs" 2 (Trace.n_tbbs trace);
+      check Alcotest.int "entry A" 0x100 (Trace.entry trace);
+      check Alcotest.(list int) "cycle back edge" [ 0 ]
+        (Trace.successors trace (Trace.n_tbbs trace - 1));
+      check Alcotest.bool "entry registered" true (Mret.is_trace_entry m 0x100)
+  | _ -> Alcotest.fail "expected completed trace"
+
+let test_mret_stops_at_existing_entry () =
+  let m = Mret.create (config 1) in
+  (* record a trace at A first *)
+  ignore (Mret.trigger m ~current:(Some b) ~next:a);
+  Mret.start m ~current:(Some b) ~next:a;
+  ignore (Mret.add m ~current:a ~next:b);
+  ignore (Mret.add m ~current:b ~next:a);
+  (* a second trace from C must end when it reaches A (an entry) *)
+  ignore (Mret.trigger m ~current:(Some b) ~next:c);
+  ignore (Mret.trigger m ~current:(Some b) ~next:c);
+  (* C is a forward target of B? 0x300 > 0x200, so use a backward source *)
+  let d = blk 0x400 in
+  check Alcotest.bool "c hot" true (Mret.trigger m ~current:(Some d) ~next:c);
+  Mret.start m ~current:(Some d) ~next:c;
+  match Mret.add m ~current:c ~next:a with
+  | `Done (Some trace) ->
+      check Alcotest.int "stopped before A" 1 (Trace.n_tbbs trace);
+      check Alcotest.(list int) "no dangling edge" []
+        (Trace.successors trace 0)
+  | _ -> Alcotest.fail "expected completion at existing entry"
+
+let test_mret_never_retriggers_entry () =
+  let m = Mret.create (config 1) in
+  ignore (Mret.trigger m ~current:(Some b) ~next:a);
+  Mret.start m ~current:(Some b) ~next:a;
+  ignore (Mret.add m ~current:a ~next:b);
+  ignore (Mret.add m ~current:b ~next:a);
+  (* A is now a trace entry: backward edges to it no longer trigger *)
+  for _ = 1 to 5 do
+    check Alcotest.bool "entry suppressed" false
+      (Mret.trigger m ~current:(Some b) ~next:a)
+  done
+
+let test_mret_abort_salvages_two_blocks () =
+  let m = Mret.create (config 1) in
+  ignore (Mret.trigger m ~current:(Some b) ~next:a);
+  Mret.start m ~current:(Some b) ~next:a;
+  ignore (Mret.add m ~current:a ~next:b);
+  (match Mret.abort m with
+  | Some trace -> check Alcotest.int "salvaged" 2 (Trace.n_tbbs trace)
+  | None -> Alcotest.fail "expected salvage");
+  (* a single-block recording is dropped *)
+  let m2 = Mret.create (config 1) in
+  ignore (Mret.trigger m2 ~current:(Some b) ~next:a);
+  Mret.start m2 ~current:(Some b) ~next:a;
+  check Alcotest.bool "dropped" true (Mret.abort m2 = None)
+
+(* ---------------- Tree strategy protocol ---------------- *)
+
+module Tt = Tea_traces.Tree_strategy.Tt
+
+let test_tt_trunk_protocol () =
+  let t = Tt.create (config 1) in
+  check Alcotest.bool "trunk fires" true (Tt.trigger t ~current:(Some b) ~next:a);
+  Tt.start t ~current:(Some b) ~next:a;
+  (match Tt.add t ~current:a ~next:b with
+  | `Continue -> ()
+  | `Done _ -> Alcotest.fail "trunk should continue");
+  match Tt.add t ~current:b ~next:a with
+  | `Done (Some trace) ->
+      check Alcotest.int "root + path" 2 (Trace.n_tbbs trace);
+      (* leaf loops back to the root *)
+      check Alcotest.(list int) "back to anchor" [ 0 ] (Trace.successors trace 1)
+  | _ -> Alcotest.fail "expected trunk completion"
+
+let test_tt_extension_grows_same_id () =
+  let t = Tt.create { (config 1) with Recorder.exit_threshold = 1 } in
+  (* trunk A -> B -> A *)
+  ignore (Tt.trigger t ~current:(Some b) ~next:a);
+  Tt.start t ~current:(Some b) ~next:a;
+  ignore (Tt.add t ~current:a ~next:b);
+  let first =
+    match Tt.add t ~current:b ~next:a with
+    | `Done (Some tr) -> tr
+    | _ -> Alcotest.fail "trunk"
+  in
+  (* shadow-follow: A (enter at root), then side exit A -> C *)
+  check Alcotest.bool "follow trunk" false (Tt.trigger t ~current:(Some a) ~next:b);
+  check Alcotest.bool "side exit fires" true (Tt.trigger t ~current:(Some b) ~next:c);
+  Tt.start t ~current:(Some b) ~next:c;
+  (match Tt.add t ~current:c ~next:a with
+  | `Done (Some grown) ->
+      check Alcotest.int "same trace id" first.Trace.id grown.Trace.id;
+      check Alcotest.int "grew" 3 (Trace.n_tbbs grown)
+  | _ -> Alcotest.fail "extension should complete at anchor");
+  check Alcotest.int "one tree" 1 (List.length (Tt.traces t))
+
+let test_tt_path_abort_on_unroll_bound () =
+  let t =
+    Tt.create { (config 1) with Recorder.exit_threshold = 1; max_inner_unroll = 2 }
+  in
+  ignore (Tt.trigger t ~current:(Some b) ~next:a);
+  Tt.start t ~current:(Some b) ~next:a;
+  ignore (Tt.add t ~current:a ~next:b);
+  (* B -> D backward edges repeated: D is an inner loop crossed > 2 times *)
+  let d = blk 0x180 in
+  ignore (Tt.add t ~current:b ~next:d);
+  ignore (Tt.add t ~current:d ~next:d);
+  (match Tt.add t ~current:d ~next:d with
+  | `Done None -> ()
+  | `Done (Some _) -> Alcotest.fail "should not complete"
+  | `Continue -> Alcotest.fail "unroll bound should abort");
+  check Alcotest.int "trunk died with the path" 0 (List.length (Tt.traces t))
+
+module Ctt = Tea_traces.Tree_strategy.Ctt
+
+let test_ctt_closes_at_inner_header () =
+  let t = Ctt.create (config 1) in
+  (* make D a known loop header: D -> D backward edge observed while idle *)
+  let d = blk 0x180 in
+  ignore (Ctt.trigger t ~current:(Some d) ~next:d);
+  (* now trunk at A; path walks D once, then sees D again: close at D *)
+  ignore (Ctt.trigger t ~current:(Some b) ~next:a);
+  Ctt.start t ~current:(Some b) ~next:a;
+  ignore (Ctt.add t ~current:a ~next:d);
+  match Ctt.add t ~current:d ~next:d with
+  | `Done (Some trace) ->
+      check Alcotest.int "A + D" 2 (Trace.n_tbbs trace);
+      (* D's TBB (index 1) carries the back edge to itself *)
+      check Alcotest.(list int) "inner back edge" [ 1 ] (Trace.successors trace 1)
+  | _ -> Alcotest.fail "CTT should close at the inner header"
+
+(* ---------------- MFET protocol ---------------- *)
+
+module Mfet = Tea_traces.Mfet
+
+let test_mfet_builds_from_profile () =
+  let m = Mfet.create (config 2) in
+  (* warm the edge profile: A -> B (x3), B -> A (x3); A -> C once *)
+  for _ = 1 to 3 do
+    ignore (Mfet.trigger m ~current:(Some a) ~next:b);
+    ignore (Mfet.trigger m ~current:(Some b) ~next:a)
+  done;
+  ignore (Mfet.trigger m ~current:(Some a) ~next:c);
+  check Alcotest.int "edge profile" 3 (Mfet.edge_count m ~src:0x100 ~dst:0x200);
+  (* next backward B -> A crosses the threshold: trace built from profile *)
+  let fired = Mfet.trigger m ~current:(Some b) ~next:a in
+  check Alcotest.bool "fires" true fired;
+  Mfet.start m ~current:(Some b) ~next:a;
+  match Mfet.add m ~current:a ~next:b with
+  | `Done (Some trace) ->
+      check Alcotest.int "hot path A->B" 2 (Trace.n_tbbs trace);
+      check Alcotest.(list int) "cyclic" [ 0 ] (Trace.successors trace 1)
+  | _ -> Alcotest.fail "mfet publishes on first add"
+
+(* ---------------- Online (Algorithm 2) protocol ---------------- *)
+
+module Online = Tea_core.Online
+
+let test_online_phase_machine () =
+  let strategy = Option.get (Tea_traces.Registry.by_name "mret") in
+  let online =
+    Online.create ~config:(config 2) strategy
+  in
+  check Alcotest.bool "starts executing" true (Online.phase online = Online.Executing);
+  (* two B -> A backward transitions heat A; recording then starts *)
+  Online.feed online b;
+  Online.feed online a;
+  Online.feed online b;
+  Online.feed online a;   (* trigger fires here: phase -> Creating *)
+  check Alcotest.bool "creating" true (Online.phase online = Online.Creating);
+  Online.feed online b;   (* A..B recorded *)
+  Online.feed online a;   (* cycle: trace done -> Executing *)
+  check Alcotest.bool "back to executing" true (Online.phase online = Online.Executing);
+  check Alcotest.int "one trace" 1 (List.length (Online.traces online));
+  (* the automaton is live: the next A lands in the trace *)
+  Online.feed online b;
+  Online.feed online a;
+  check Alcotest.bool "tea state in trace" true
+    (Online.tea_state online <> Tea_core.Automaton.nte)
+
+let () =
+  Alcotest.run "tea_strategy_protocol"
+    [
+      ( "mret",
+        [
+          Alcotest.test_case "trigger threshold" `Quick test_mret_trigger_threshold;
+          Alcotest.test_case "forward never triggers" `Quick
+            test_mret_forward_edge_never_triggers;
+          Alcotest.test_case "first block" `Quick test_mret_first_block_never_triggers;
+          Alcotest.test_case "records cycle" `Quick test_mret_records_cycle;
+          Alcotest.test_case "stops at entry" `Quick test_mret_stops_at_existing_entry;
+          Alcotest.test_case "entry suppressed" `Quick test_mret_never_retriggers_entry;
+          Alcotest.test_case "abort salvage" `Quick test_mret_abort_salvages_two_blocks;
+        ] );
+      ( "trees",
+        [
+          Alcotest.test_case "tt trunk" `Quick test_tt_trunk_protocol;
+          Alcotest.test_case "tt extension" `Quick test_tt_extension_grows_same_id;
+          Alcotest.test_case "tt unroll abort" `Quick test_tt_path_abort_on_unroll_bound;
+          Alcotest.test_case "ctt inner close" `Quick test_ctt_closes_at_inner_header;
+        ] );
+      ( "mfet",
+        [ Alcotest.test_case "profile build" `Quick test_mfet_builds_from_profile ] );
+      ( "online",
+        [ Alcotest.test_case "phase machine" `Quick test_online_phase_machine ] );
+    ]

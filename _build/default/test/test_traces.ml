@@ -1,0 +1,451 @@
+open Tea_isa
+module I = Insn
+module O = Operand
+module Block = Tea_cfg.Block
+module Tbb = Tea_traces.Tbb
+module Trace = Tea_traces.Trace
+module Hotness = Tea_traces.Hotness
+module Trace_set = Tea_traces.Trace_set
+module Recorder = Tea_traces.Recorder
+module Registry = Tea_traces.Registry
+module Serialize = Tea_traces.Serialize
+module Stardbt = Tea_dbt.Stardbt
+
+let check = Alcotest.check
+
+let block_at addr insns = Block.make Block.Branch (List.mapi (fun i x -> (addr + i, x)) insns)
+
+let simple_block addr = block_at addr [ I.Jmp (I.Abs 0) ]
+
+(* ---------------- Tbb ---------------- *)
+
+let test_tbb () =
+  let b = simple_block 0x100 in
+  let tb = Tbb.make ~index:3 b in
+  check Alcotest.int "start" 0x100 (Tbb.start tb);
+  check Alcotest.int "n_insns" 1 (Tbb.n_insns tb);
+  check Alcotest.int "bytes" 5 (Tbb.byte_len tb);
+  Alcotest.check_raises "negative" (Invalid_argument "Tbb.make: negative index")
+    (fun () -> ignore (Tbb.make ~index:(-1) b))
+
+(* ---------------- Trace ---------------- *)
+
+let test_trace_linear () =
+  let blocks = [ simple_block 0x100; simple_block 0x200; simple_block 0x300 ] in
+  let t = Trace.linear ~id:1 ~kind:"test" blocks in
+  check Alcotest.int "entry" 0x100 (Trace.entry t);
+  check Alcotest.int "n_tbbs" 3 (Trace.n_tbbs t);
+  check Alcotest.(list int) "chain" [ 1 ] (Trace.successors t 0);
+  check Alcotest.(list int) "last open" [] (Trace.successors t 2)
+
+let test_trace_cycle () =
+  let t = Trace.linear ~id:1 ~kind:"t" ~cycle:true [ simple_block 0x1; simple_block 0x10 ] in
+  check Alcotest.(list int) "back edge" [ 0 ] (Trace.successors t 1);
+  check Alcotest.(option int) "successor_on entry" (Some 0) (Trace.successor_on t 1 0x1);
+  check Alcotest.(option int) "successor_on miss" None (Trace.successor_on t 1 0x99)
+
+let test_trace_validation () =
+  let b = simple_block 0x100 in
+  (try
+     ignore (Trace.make ~id:1 ~kind:"t" [||] [||]);
+     Alcotest.fail "empty should raise"
+   with Trace.Ill_formed _ -> ());
+  (try
+     ignore (Trace.make ~id:1 ~kind:"t" [| b |] [| [ 5 ] |]);
+     Alcotest.fail "bad index should raise"
+   with Trace.Ill_formed _ -> ());
+  (* two successors with the same start address: nondeterministic DFA *)
+  try
+    ignore
+      (Trace.make ~id:1 ~kind:"t"
+         [| b; simple_block 0x200; simple_block 0x200 |]
+         [| [ 1; 2 ]; []; [] |]);
+    Alcotest.fail "ambiguous labels should raise"
+  with Trace.Ill_formed _ -> ()
+
+let test_trace_duplication_stats () =
+  let b1 = simple_block 0x100 and b2 = simple_block 0x200 in
+  let t = Trace.make ~id:0 ~kind:"t" [| b1; b2; b1 |] [| [ 1 ]; [ 2 ]; [] |] in
+  check Alcotest.int "3 tbbs" 3 (Trace.n_tbbs t);
+  check Alcotest.int "2 distinct" 2 (Trace.distinct_blocks t)
+
+let test_trace_side_exits () =
+  (* a conditional block inside a chain has one in-trace successor and one
+     side exit *)
+  let cond = block_at 0x100 [ I.Jcc (Cond.E, I.Abs 0x200) ] in
+  let t = Trace.make ~id:0 ~kind:"t" [| cond; simple_block 0x200 |] [| [ 1 ]; [] |] in
+  let img = Image.assemble (Asm.program [ Asm.Label "main"; Asm.Ins (I.Sys 0) ]) in
+  (* cond has 2 static exits, 1 internal; jmp block has 1 exit, 0 internal *)
+  check Alcotest.int "side exits" 2 (Trace.side_exit_count t img)
+
+let test_trace_code_bytes () =
+  let t = Trace.linear ~id:0 ~kind:"t" [ simple_block 0x1; simple_block 0x10 ] in
+  check Alcotest.int "bytes" 10 (Trace.code_bytes t);
+  check Alcotest.int "insns" 2 (Trace.n_insns t)
+
+(* ---------------- Hotness ---------------- *)
+
+let test_hotness_fires_at_threshold () =
+  let h = Hotness.create ~threshold:3 in
+  check Alcotest.bool "1" false (Hotness.bump h 7);
+  check Alcotest.bool "2" false (Hotness.bump h 7);
+  check Alcotest.bool "3 fires" true (Hotness.bump h 7);
+  (* counter reset: fires again after another three *)
+  check Alcotest.bool "4" false (Hotness.bump h 7);
+  check Alcotest.int "count" 1 (Hotness.count h 7)
+
+let test_hotness_independent_keys () =
+  let h = Hotness.create ~threshold:2 in
+  ignore (Hotness.bump h 1);
+  check Alcotest.bool "other key unaffected" false (Hotness.bump h 2);
+  check Alcotest.bool "first fires" true (Hotness.bump h 1)
+
+let test_hotness_polymorphic_keys () =
+  let h = Hotness.create ~threshold:2 in
+  ignore (Hotness.bump h (1, 2, 3));
+  check Alcotest.bool "tuple key" true (Hotness.bump h (1, 2, 3))
+
+let test_hotness_backward () =
+  let src = block_at 0x200 [ I.Jmp (I.Abs 0x100) ] in
+  check Alcotest.bool "backward" true (Hotness.is_backward ~src ~dst:0x100);
+  check Alcotest.bool "forward" false (Hotness.is_backward ~src ~dst:0x300)
+
+(* ---------------- Trace_set ---------------- *)
+
+let test_trace_set_add_replace () =
+  let s = Trace_set.create () in
+  let t1 = Trace.linear ~id:5 ~kind:"a" [ simple_block 0x100 ] in
+  let t2 = Trace.linear ~id:5 ~kind:"a" [ simple_block 0x100; simple_block 0x200 ] in
+  Trace_set.add s t1;
+  Trace_set.add s t2;
+  check Alcotest.int "one trace" 1 (Trace_set.n_traces s);
+  check Alcotest.int "latest version" 2 (Trace_set.n_tbbs s);
+  check Alcotest.bool "find_by_entry" true (Trace_set.find_by_entry s 0x100 <> None);
+  check Alcotest.bool "find_by_id" true (Trace_set.find_by_id s 5 <> None)
+
+let test_trace_set_order () =
+  let s = Trace_set.create () in
+  Trace_set.add s (Trace.linear ~id:2 ~kind:"a" [ simple_block 0x200 ]);
+  Trace_set.add s (Trace.linear ~id:1 ~kind:"a" [ simple_block 0x100 ]);
+  check Alcotest.(list int) "creation order" [ 0x200; 0x100 ] (Trace_set.entries s)
+
+let test_dbt_bytes_model () =
+  let img = Image.assemble (Asm.program [ Asm.Label "main"; Asm.Ins (I.Sys 0) ]) in
+  let t = Trace.linear ~id:0 ~kind:"t" [ simple_block 0x100 ] in
+  let s = Trace_set.of_list [ t ] in
+  let model = Trace_set.default_dbt_cost in
+  let expected =
+    Trace.code_bytes t
+    + (model.Trace_set.stub_bytes * Trace.side_exit_count t img)
+    + model.Trace_set.entry_patch_bytes + model.Trace_set.metadata_bytes
+  in
+  check Alcotest.int "model" expected (Trace_set.dbt_bytes s img)
+
+(* ---------------- MRET recording ---------------- *)
+
+let record_with name image =
+  let strategy = Option.get (Registry.by_name name) in
+  Stardbt.record ~strategy image
+
+let test_mret_on_simple_loop () =
+  let img = Tea_workloads.Micro.nested_loop ~outer:30 ~inner:60 () in
+  let r = record_with "mret" img in
+  let traces = Trace_set.to_list r.Stardbt.set in
+  check Alcotest.bool "recorded" true (List.length traces >= 1);
+  (* the inner loop trace is cyclic: its last TBB flows back in-trace *)
+  let cyclic =
+    List.exists (fun t -> Trace.successors t (Trace.n_tbbs t - 1) <> []) traces
+  in
+  check Alcotest.bool "cyclic trace" true cyclic;
+  check Alcotest.bool "high coverage" true (r.Stardbt.coverage > 0.8)
+
+let test_mret_trace_entries_unique () =
+  let img = Tea_workloads.Micro.branchy_loop () in
+  let r = record_with "mret" img in
+  let entries = List.map Trace.entry (Trace_set.to_list r.Stardbt.set) in
+  check Alcotest.int "unique entries" (List.length entries)
+    (List.length (List.sort_uniq compare entries))
+
+let test_mret_respects_max_blocks () =
+  let img = Tea_workloads.Spec2000.(image (Option.get (by_name "181.mcf"))) in
+  let config = { Recorder.default_config with Recorder.max_blocks = 4 } in
+  let strategy = Option.get (Registry.by_name "mret") in
+  let r = Stardbt.record ~config ~strategy img in
+  List.iter
+    (fun t -> check Alcotest.bool "bounded" true (Trace.n_tbbs t <= 4))
+    (Trace_set.to_list r.Stardbt.set)
+
+let test_mret_exit_trace_formation () =
+  (* list_scan with every other node matching: both loop paths hot; the
+     second trace forms at the exit of the first (the paper's T2). *)
+  let img = Tea_workloads.Micro.list_scan ~nodes:2000 ~match_every:2 () in
+  let r = record_with "mret" img in
+  check Alcotest.bool "at least two traces" true (Trace_set.n_traces r.Stardbt.set >= 2)
+
+let test_mret_threshold_gates_recording () =
+  (* loops that never reach the threshold produce no traces *)
+  let img = Tea_workloads.Micro.nested_loop ~outer:2 ~inner:3 () in
+  let config = { Recorder.default_config with Recorder.hot_threshold = 1000 } in
+  let strategy = Option.get (Registry.by_name "mret") in
+  let r = Stardbt.record ~config ~strategy img in
+  check Alcotest.int "no traces" 0 (Trace_set.n_traces r.Stardbt.set)
+
+(* ---------------- Tree strategies ---------------- *)
+
+let test_tt_records_both_arms () =
+  let img = Tea_workloads.Micro.branchy_loop ~iters:4000 ~mask:3 () in
+  let r = record_with "tt" img in
+  let traces = Trace_set.to_list r.Stardbt.set in
+  check Alcotest.bool "tree exists" true (List.length traces >= 1);
+  let tree = List.hd traces in
+  (* both diamond arms present: some TBB has two in-trace successors *)
+  let branching =
+    Array.exists (fun succs -> List.length succs >= 2) tree.Trace.succs
+  in
+  check Alcotest.bool "branching tree" true branching;
+  (* leaves flow back to the root *)
+  let back_to_root = Array.exists (fun succs -> List.mem 0 succs) tree.Trace.succs in
+  check Alcotest.bool "back edges to anchor" true back_to_root
+
+let test_tree_growth_replaces_id () =
+  let img = Tea_workloads.Micro.branchy_loop ~iters:4000 ~mask:3 () in
+  let r = record_with "tt" img in
+  (* the trace set holds one latest version per id, and its id maps back *)
+  let traces = Trace_set.to_list r.Stardbt.set in
+  List.iter
+    (fun t ->
+      match Trace_set.find_by_id r.Stardbt.set t.Trace.id with
+      | Some t' -> check Alcotest.int "same tbbs" (Trace.n_tbbs t) (Trace.n_tbbs t')
+      | None -> Alcotest.fail "id lost")
+    traces
+
+let test_ctt_compact_on_nested () =
+  (* nested loops: CTT closes the inner loop with a back edge; TT unrolls
+     or aborts. CTT must not be bigger than TT on this shape and must
+     contain a back edge to a non-root TBB. *)
+  let img = Tea_workloads.Micro.nested_loop ~outer:200 ~inner:9 () in
+  let ctt = record_with "ctt" img in
+  let traces = Trace_set.to_list ctt.Stardbt.set in
+  check Alcotest.bool "ctt recorded" true (List.length traces >= 1);
+  let has_inner_back_edge =
+    List.exists
+      (fun t ->
+        Array.exists
+          (fun succs -> List.exists (fun s -> s <> 0) succs)
+          t.Trace.succs
+        && Trace.n_tbbs t > 1)
+      traces
+  in
+  check Alcotest.bool "inner back edge" true has_inner_back_edge
+
+let test_tree_traces_well_formed () =
+  (* Trace.make validates determinism; just building the set across all
+     strategies on a gnarly workload must not raise. *)
+  let img = Tea_workloads.Spec2000.(image (Option.get (by_name "164.gzip"))) in
+  List.iter
+    (fun (name, _) ->
+      let r = record_with name img in
+      check Alcotest.bool (name ^ " nonempty") true (Trace_set.n_traces r.Stardbt.set > 0))
+    Registry.all
+
+let test_registry () =
+  check Alcotest.(list string) "names" [ "mret"; "ctt"; "tt" ] Registry.names;
+  check Alcotest.(list string) "extended" [ "mret"; "ctt"; "tt"; "mfet" ]
+    Registry.extended_names;
+  check Alcotest.bool "mfet resolvable" true (Registry.by_name "mfet" <> None);
+  check Alcotest.bool "unknown" true (Registry.by_name "nope" = None)
+
+(* ---------------- MFET ---------------- *)
+
+let test_mfet_records_hot_path () =
+  let img = Tea_workloads.Micro.branchy_loop ~iters:4000 ~mask:7 () in
+  let r = record_with "mfet" img in
+  let traces = Trace_set.to_list r.Stardbt.set in
+  check Alcotest.bool "recorded" true (List.length traces >= 1);
+  (* the constructed superblock follows the frequent (not-taken) arm and is
+     cyclic *)
+  let cyclic =
+    List.exists (fun t -> Trace.successors t (Trace.n_tbbs t - 1) <> []) traces
+  in
+  check Alcotest.bool "cyclic hot path" true cyclic;
+  check Alcotest.bool "coverage" true (r.Stardbt.coverage > 0.5)
+
+let test_mfet_picks_frequent_arm () =
+  (* with a 1/8 rare arm, the profile-built trace must include the common
+     arm's block and not the rare one. MRET could capture either (it takes
+     whatever ran next); MFET must take the frequent one. *)
+  let img = Tea_workloads.Micro.branchy_loop ~iters:4000 ~mask:7 () in
+  let r = record_with "mfet" img in
+  let traces = Trace_set.to_list r.Stardbt.set in
+  (* find the trace containing the diamond head (it has the test+jcc) *)
+  let has_branchy_trace =
+    List.exists
+      (fun t ->
+        Trace.n_tbbs t >= 2
+        && Array.exists
+             (fun tb ->
+               Tea_isa.Insn.is_conditional (Tea_cfg.Block.terminator tb.Tbb.block))
+             t.Trace.tbbs)
+      traces
+  in
+  check Alcotest.bool "trace spans the diamond" true has_branchy_trace
+
+let test_mfet_edge_profile () =
+  let img = Tea_workloads.Micro.nested_loop ~outer:10 ~inner:20 () in
+  let strategy = Option.get (Registry.by_name "mfet") in
+  let r = Stardbt.record ~strategy img in
+  ignore r;
+  (* drive the strategy directly to check its edge counters *)
+  let module M = Tea_traces.Mfet in
+  let cfg = Recorder.default_config in
+  let m = M.create cfg in
+  let b1 = block_at 0x100 [ Tea_isa.Insn.Jmp (Tea_isa.Insn.Abs 0x200) ] in
+  let b2 = block_at 0x200 [ Tea_isa.Insn.Jmp (Tea_isa.Insn.Abs 0x100) ] in
+  ignore (M.trigger m ~current:(Some b1) ~next:b2);
+  ignore (M.trigger m ~current:(Some b1) ~next:b2);
+  check Alcotest.int "edge counted" 2 (M.edge_count m ~src:0x100 ~dst:0x200);
+  check Alcotest.int "other edge zero" 0 (M.edge_count m ~src:0x200 ~dst:0x100)
+
+(* ---------------- Serialization ---------------- *)
+
+let roundtrip_image = Tea_workloads.Micro.list_scan ()
+
+let test_serialize_roundtrip () =
+  let r = record_with "mret" roundtrip_image in
+  let traces = Trace_set.to_list r.Stardbt.set in
+  let loaded = Serialize.of_string roundtrip_image (Serialize.to_string traces) in
+  check Alcotest.int "same count" (List.length traces) (List.length loaded);
+  List.iter2
+    (fun a b ->
+      check Alcotest.int "id" a.Trace.id b.Trace.id;
+      check Alcotest.string "kind" a.Trace.kind b.Trace.kind;
+      check Alcotest.int "entry" (Trace.entry a) (Trace.entry b);
+      check Alcotest.int "tbbs" (Trace.n_tbbs a) (Trace.n_tbbs b);
+      Array.iteri
+        (fun i succs -> check Alcotest.(list int) "succs" succs b.Trace.succs.(i))
+        a.Trace.succs)
+    traces loaded
+
+let test_serialize_file_roundtrip () =
+  let r = record_with "tt" roundtrip_image in
+  let traces = Trace_set.to_list r.Stardbt.set in
+  let path = Filename.temp_file "tea_test" ".traces" in
+  Serialize.save path traces;
+  let loaded = Serialize.load roundtrip_image path in
+  Sys.remove path;
+  check Alcotest.int "same count" (List.length traces) (List.length loaded)
+
+let test_serialize_bad_magic () =
+  try
+    ignore (Serialize.of_string roundtrip_image "BOGUS\n");
+    Alcotest.fail "should raise"
+  with Serialize.Parse_error _ -> ()
+
+let test_serialize_bad_block () =
+  let s = "TEA-TRACES 1\ntrace 0 mret 1\ntbb 0x42 3\nend\n" in
+  try
+    ignore (Serialize.of_string roundtrip_image s);
+    Alcotest.fail "should raise"
+  with Serialize.Parse_error _ -> ()
+
+let test_serialize_truncated () =
+  let s = "TEA-TRACES 1\ntrace 0 mret 1\n" in
+  try
+    ignore (Serialize.of_string roundtrip_image s);
+    Alcotest.fail "should raise"
+  with Serialize.Parse_error _ -> ()
+
+(* Fuzz: random line-level mutations of a valid trace file must either
+   parse to *some* well-formed trace set or raise Parse_error / Ill_formed —
+   never crash with an unexpected exception. *)
+let prop_serialize_fuzz =
+  let base =
+    let r = record_with "mret" roundtrip_image in
+    Serialize.to_string (Trace_set.to_list r.Stardbt.set)
+  in
+  let lines = String.split_on_char '\n' base in
+  let n_lines = List.length lines in
+  let gen = QCheck.(pair (int_range 0 (n_lines - 1)) (int_range 0 3)) in
+  QCheck.Test.make ~name:"serializer survives line mutations" ~count:200 gen
+    (fun (victim, kind) ->
+      let mutated =
+        List.concat
+          (List.mapi
+             (fun i line ->
+               if i <> victim then [ line ]
+               else
+                 match kind with
+                 | 0 -> []                                  (* drop the line *)
+                 | 1 -> [ line; line ]                      (* duplicate it *)
+                 | 2 -> [ "garbage tokens here" ]           (* corrupt it *)
+                 | _ -> [ String.uppercase_ascii line ])    (* case-mangle *)
+             lines)
+        |> String.concat "\n"
+      in
+      match Serialize.of_string roundtrip_image mutated with
+      | _traces -> true
+      | exception Serialize.Parse_error _ -> true
+      | exception Trace.Ill_formed _ -> true)
+
+let test_decode_block () =
+  let entry = Image.entry roundtrip_image in
+  let b = Serialize.decode_block roundtrip_image ~start:entry ~n:2 in
+  check Alcotest.int "start" entry b.Block.start;
+  check Alcotest.int "n" 2 (Block.n_insns b)
+
+let () =
+  Alcotest.run "tea_traces"
+    [
+      ( "tbb-trace",
+        [
+          Alcotest.test_case "tbb" `Quick test_tbb;
+          Alcotest.test_case "linear" `Quick test_trace_linear;
+          Alcotest.test_case "cycle" `Quick test_trace_cycle;
+          Alcotest.test_case "validation" `Quick test_trace_validation;
+          Alcotest.test_case "duplication stats" `Quick test_trace_duplication_stats;
+          Alcotest.test_case "side exits" `Quick test_trace_side_exits;
+          Alcotest.test_case "code bytes" `Quick test_trace_code_bytes;
+        ] );
+      ( "hotness",
+        [
+          Alcotest.test_case "threshold" `Quick test_hotness_fires_at_threshold;
+          Alcotest.test_case "independent keys" `Quick test_hotness_independent_keys;
+          Alcotest.test_case "polymorphic keys" `Quick test_hotness_polymorphic_keys;
+          Alcotest.test_case "backward" `Quick test_hotness_backward;
+        ] );
+      ( "trace-set",
+        [
+          Alcotest.test_case "add/replace" `Quick test_trace_set_add_replace;
+          Alcotest.test_case "order" `Quick test_trace_set_order;
+          Alcotest.test_case "dbt bytes" `Quick test_dbt_bytes_model;
+        ] );
+      ( "mret",
+        [
+          Alcotest.test_case "simple loop" `Quick test_mret_on_simple_loop;
+          Alcotest.test_case "unique entries" `Quick test_mret_trace_entries_unique;
+          Alcotest.test_case "max blocks" `Quick test_mret_respects_max_blocks;
+          Alcotest.test_case "exit trace (T2)" `Quick test_mret_exit_trace_formation;
+          Alcotest.test_case "threshold gates" `Quick test_mret_threshold_gates_recording;
+        ] );
+      ( "trees",
+        [
+          Alcotest.test_case "tt both arms" `Quick test_tt_records_both_arms;
+          Alcotest.test_case "growth replaces id" `Quick test_tree_growth_replaces_id;
+          Alcotest.test_case "ctt compact" `Quick test_ctt_compact_on_nested;
+          Alcotest.test_case "well-formed" `Quick test_tree_traces_well_formed;
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "mfet hot path" `Quick test_mfet_records_hot_path;
+          Alcotest.test_case "mfet frequent arm" `Quick test_mfet_picks_frequent_arm;
+          Alcotest.test_case "mfet edge profile" `Quick test_mfet_edge_profile;
+        ] );
+      ( "serialize",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_serialize_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_serialize_file_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_serialize_bad_magic;
+          Alcotest.test_case "bad block" `Quick test_serialize_bad_block;
+          Alcotest.test_case "truncated" `Quick test_serialize_truncated;
+          Alcotest.test_case "decode block" `Quick test_decode_block;
+          QCheck_alcotest.to_alcotest prop_serialize_fuzz;
+        ] );
+    ]

@@ -1,0 +1,290 @@
+module Vec = Tea_util.Vec
+module Rng = Tea_util.Splitmix
+module W = Tea_util.Word32
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------------- Vec ---------------- *)
+
+let test_vec_empty () =
+  let v = Vec.create () in
+  check Alcotest.int "length" 0 (Vec.length v);
+  check Alcotest.bool "is_empty" true (Vec.is_empty v);
+  check Alcotest.(option int) "pop" None (Vec.pop v);
+  check Alcotest.(option int) "last" None (Vec.last v)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  check Alcotest.int "length" 100 (Vec.length v);
+  check Alcotest.int "get 7" 49 (Vec.get v 7);
+  check Alcotest.(option int) "last" (Some (99 * 99)) (Vec.last v)
+
+let test_vec_set () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Vec.set v 1 42;
+  check Alcotest.(list int) "after set" [ 1; 42; 3 ] (Vec.to_list v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec: index 1 out of bounds [0,1)")
+    (fun () -> ignore (Vec.get v 1));
+  Alcotest.check_raises "negative" (Invalid_argument "Vec: index -1 out of bounds [0,1)")
+    (fun () -> ignore (Vec.get v (-1)))
+
+let test_vec_pop_lifo () =
+  let v = Vec.create () in
+  Vec.push v 1;
+  Vec.push v 2;
+  check Alcotest.(option int) "pop 2" (Some 2) (Vec.pop v);
+  check Alcotest.(option int) "pop 1" (Some 1) (Vec.pop v);
+  check Alcotest.(option int) "pop empty" None (Vec.pop v)
+
+let test_vec_clear () =
+  let v = Vec.of_list [ 1; 2 ] in
+  Vec.clear v;
+  check Alcotest.int "cleared" 0 (Vec.length v);
+  Vec.push v 9;
+  check Alcotest.(list int) "reusable" [ 9 ] (Vec.to_list v)
+
+let test_vec_iterators () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  let sum = Vec.fold_left ( + ) 0 v in
+  check Alcotest.int "fold" 10 sum;
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  check Alcotest.int "iteri count" 4 (List.length !acc);
+  check Alcotest.bool "exists" true (Vec.exists (fun x -> x = 3) v);
+  check Alcotest.bool "not exists" false (Vec.exists (fun x -> x = 9) v);
+  check Alcotest.(option int) "find" (Some 2) (Vec.find_opt (fun x -> x mod 2 = 0) v);
+  check Alcotest.(option int) "find_index" (Some 1) (Vec.find_index (fun x -> x = 2) v)
+
+let test_vec_make_map () =
+  let v = Vec.make 3 7 in
+  check Alcotest.(list int) "make" [ 7; 7; 7 ] (Vec.to_list v);
+  let doubled = Vec.map (fun x -> x * 2) v in
+  check Alcotest.(list int) "map" [ 14; 14; 14 ] (Vec.to_list doubled)
+
+let prop_vec_roundtrip =
+  QCheck.Test.make ~name:"vec of_list/to_list roundtrip" ~count:200
+    QCheck.(list int)
+    (fun l -> Vec.to_list (Vec.of_list l) = l)
+
+let prop_vec_array =
+  QCheck.Test.make ~name:"vec to_array agrees with to_list" ~count:200
+    QCheck.(list int)
+    (fun l ->
+      let v = Vec.of_list l in
+      Array.to_list (Vec.to_array v) = Vec.to_list v)
+
+(* ---------------- Splitmix ---------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 20 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  check Alcotest.bool "streams differ" true (!same < 3)
+
+let test_rng_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.next a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy continues identically" (Rng.next a) (Rng.next b)
+
+let test_rng_int_in () =
+  let g = Rng.create 3 in
+  for _ = 1 to 200 do
+    let v = Rng.int_in g 5 9 in
+    check Alcotest.bool "in range" true (v >= 5 && v <= 9)
+  done
+
+let test_rng_bad_bounds () =
+  let g = Rng.create 1 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Splitmix.int: bound must be positive")
+    (fun () -> ignore (Rng.int g 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Splitmix.int_in: empty range")
+    (fun () -> ignore (Rng.int_in g 5 4));
+  Alcotest.check_raises "choose []" (Invalid_argument "Splitmix.choose: empty list")
+    (fun () -> ignore (Rng.choose g []))
+
+let test_rng_chance_extremes () =
+  let g = Rng.create 11 in
+  for _ = 1 to 50 do
+    check Alcotest.bool "p=1 fires" true (Rng.chance g 1.0)
+  done;
+  for _ = 1 to 50 do
+    check Alcotest.bool "p=0 never" false (Rng.chance g 0.0)
+  done
+
+let test_rng_shuffle_permutation () =
+  let g = Rng.create 5 in
+  let a = Array.init 30 Fun.id in
+  let orig = Array.copy a in
+  Rng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "multiset preserved" orig sorted
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"splitmix int in [0,bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Rng.create seed in
+      let v = Rng.int g bound in
+      v >= 0 && v < bound)
+
+let prop_rng_float_unit =
+  QCheck.Test.make ~name:"splitmix float in [0,1)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let g = Rng.create seed in
+      let f = Rng.float g in
+      f >= 0.0 && f < 1.0)
+
+(* ---------------- Fenwick ---------------- *)
+
+module Fenwick = Tea_util.Fenwick
+
+let test_fenwick_basics () =
+  let t = Fenwick.create () in
+  Fenwick.add t 0 5;
+  Fenwick.add t 3 2;
+  Fenwick.add t 10 1;
+  check Alcotest.int "prefix 0" 5 (Fenwick.prefix_sum t 0);
+  check Alcotest.int "prefix 3" 7 (Fenwick.prefix_sum t 3);
+  check Alcotest.int "prefix big" 8 (Fenwick.prefix_sum t 100);
+  check Alcotest.int "range" 3 (Fenwick.range_sum t 1 10);
+  check Alcotest.int "empty range" 0 (Fenwick.range_sum t 5 4);
+  check Alcotest.int "negative prefix" 0 (Fenwick.prefix_sum t (-1));
+  check Alcotest.int "total" 8 (Fenwick.total t)
+
+let test_fenwick_growth () =
+  let t = Fenwick.create () in
+  Fenwick.add t 2 1;
+  Fenwick.add t 5000 3;   (* forces growth, must preserve earlier values *)
+  check Alcotest.int "old value kept" 1 (Fenwick.prefix_sum t 2);
+  check Alcotest.int "new value" 4 (Fenwick.prefix_sum t 5000)
+
+let prop_fenwick_vs_array =
+  QCheck.Test.make ~name:"fenwick matches array reference" ~count:200
+    QCheck.(list (pair (int_range 0 300) (int_range (-5) 5)))
+    (fun updates ->
+      let t = Fenwick.create () in
+      let reference = Array.make 301 0 in
+      List.iter
+        (fun (i, d) ->
+          Fenwick.add t i d;
+          reference.(i) <- reference.(i) + d)
+        updates;
+      let ok = ref true in
+      for i = 0 to 300 do
+        let expect = ref 0 in
+        for j = 0 to i do
+          expect := !expect + reference.(j)
+        done;
+        if Fenwick.prefix_sum t i <> !expect then ok := false
+      done;
+      !ok)
+
+(* ---------------- Word32 ---------------- *)
+
+let test_word_norm () =
+  check Alcotest.int "positive" 5 (W.norm 5);
+  check Alcotest.int "wrap" (-2147483648) (W.norm 0x80000000);
+  check Alcotest.int "truncate" 0 (W.norm 0x100000000);
+  check Alcotest.int "negative" (-1) (W.norm 0xFFFFFFFF)
+
+let test_word_arith () =
+  check Alcotest.int "add wrap" (-2147483648) (W.add 0x7FFFFFFF 1);
+  check Alcotest.int "sub" (-1) (W.sub 0 1);
+  check Alcotest.int "mul wrap" 0 (W.mul 0x10000 0x10000);
+  check Alcotest.int "neg" (-5) (W.neg 5)
+
+let test_word_flags () =
+  check Alcotest.bool "carry" true (W.carry_add 0xFFFFFFFF 1);
+  check Alcotest.bool "no carry" false (W.carry_add 1 1);
+  check Alcotest.bool "borrow" true (W.borrow_sub 0 1);
+  check Alcotest.bool "overflow add" true (W.overflow_add 0x7FFFFFFF 1);
+  check Alcotest.bool "no overflow" false (W.overflow_add 1 1);
+  check Alcotest.bool "overflow sub" true (W.overflow_sub (-2147483648) 1)
+
+let test_word_shifts () =
+  check Alcotest.int "shl" 8 (W.shl 1 3);
+  check Alcotest.int "shl mask" 2 (W.shl 1 33);
+  check Alcotest.int "shr" 0x7FFFFFFF (W.shr (-1) 1);
+  check Alcotest.int "sar" (-1) (W.sar (-1) 1);
+  check Alcotest.int "sar positive" 2 (W.sar 8 2)
+
+let prop_word_norm_idempotent =
+  QCheck.Test.make ~name:"norm idempotent" ~count:500 QCheck.int (fun x ->
+      W.norm (W.norm x) = W.norm x)
+
+let prop_word_add_commutes =
+  QCheck.Test.make ~name:"add commutes" ~count:500 QCheck.(pair int int)
+    (fun (a, b) -> W.add a b = W.add b a)
+
+let prop_word_unsigned_range =
+  QCheck.Test.make ~name:"unsigned in [0, 2^32)" ~count:500 QCheck.int (fun x ->
+      let u = W.unsigned x in
+      u >= 0 && u < 0x100000000)
+
+let prop_word_sub_add =
+  QCheck.Test.make ~name:"a - b + b = norm a" ~count:500 QCheck.(pair int int)
+    (fun (a, b) -> W.add (W.sub a b) b = W.norm a)
+
+let () =
+  Alcotest.run "tea_util"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "empty" `Quick test_vec_empty;
+          Alcotest.test_case "push/get" `Quick test_vec_push_get;
+          Alcotest.test_case "set" `Quick test_vec_set;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "pop lifo" `Quick test_vec_pop_lifo;
+          Alcotest.test_case "clear" `Quick test_vec_clear;
+          Alcotest.test_case "iterators" `Quick test_vec_iterators;
+          Alcotest.test_case "make/map" `Quick test_vec_make_map;
+          qtest prop_vec_roundtrip;
+          qtest prop_vec_array;
+        ] );
+      ( "splitmix",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "int_in range" `Quick test_rng_int_in;
+          Alcotest.test_case "bad bounds" `Quick test_rng_bad_bounds;
+          Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          qtest prop_rng_int_bounds;
+          qtest prop_rng_float_unit;
+        ] );
+      ( "fenwick",
+        [
+          Alcotest.test_case "basics" `Quick test_fenwick_basics;
+          Alcotest.test_case "growth" `Quick test_fenwick_growth;
+          qtest prop_fenwick_vs_array;
+        ] );
+      ( "word32",
+        [
+          Alcotest.test_case "norm" `Quick test_word_norm;
+          Alcotest.test_case "arith" `Quick test_word_arith;
+          Alcotest.test_case "flags" `Quick test_word_flags;
+          Alcotest.test_case "shifts" `Quick test_word_shifts;
+          qtest prop_word_norm_idempotent;
+          qtest prop_word_add_commutes;
+          qtest prop_word_unsigned_range;
+          qtest prop_word_sub_add;
+        ] );
+    ]

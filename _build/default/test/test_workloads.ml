@@ -1,0 +1,247 @@
+module Codegen = Tea_workloads.Codegen
+module Micro = Tea_workloads.Micro
+module Proggen = Tea_workloads.Proggen
+module Spec = Tea_workloads.Spec2000
+module Interp = Tea_machine.Interp
+module Image = Tea_isa.Image
+module I = Tea_isa.Insn
+module O = Tea_isa.Operand
+
+let check = Alcotest.check
+
+let run image = Interp.run image
+
+let assert_exits_zero name (machine, stop) =
+  (match stop.Interp.outcome with
+  | Interp.Exited 0 -> ()
+  | Interp.Exited n -> Alcotest.fail (Printf.sprintf "%s exited %d" name n)
+  | Interp.Halted -> Alcotest.fail (name ^ " halted")
+  | Interp.Fuel_exhausted -> Alcotest.fail (name ^ " ran out of fuel")
+  | Interp.Fault m -> Alcotest.fail (name ^ " faulted: " ^ m));
+  machine
+
+(* ---------------- Codegen ---------------- *)
+
+let test_codegen_labels_unique () =
+  let cg = Codegen.create () in
+  let a = Codegen.fresh_label cg "x" in
+  let b = Codegen.fresh_label cg "x" in
+  check Alcotest.bool "distinct" true (a <> b)
+
+let test_codegen_data_addresses () =
+  let cg = Codegen.create () in
+  let a = Codegen.alloc_word cg 1 in
+  let b = Codegen.alloc_words cg [ 2; 3 ] in
+  let c = Codegen.alloc_space cg 4 in
+  let d = Codegen.alloc_word cg 9 in
+  check Alcotest.int "first at base" Tea_isa.Asm.default_data_base a;
+  check Alcotest.int "second" (a + 4) b;
+  check Alcotest.int "after words" (b + 8) c;
+  check Alcotest.int "after space" (c + 16) d
+
+let test_codegen_addresses_match_layout () =
+  (* the addresses the generator hands out must equal what the assembler
+     actually places *)
+  let cg = Codegen.create () in
+  let a = Codegen.alloc_word cg ~label:"cell" 123 in
+  Codegen.place cg "main";
+  Codegen.emit cg (I.Mov (O.Reg Tea_isa.Reg.EAX, O.mem a));
+  Codegen.emit cg (I.Sys 1);
+  Codegen.emit cg (I.Mov (O.Reg Tea_isa.Reg.EAX, O.Imm 0));
+  Codegen.emit cg (I.Sys 0);
+  let img = Codegen.assemble cg in
+  check Alcotest.int "symbol matches handed-out address" a (Image.symbol img "cell");
+  let m = assert_exits_zero "codegen" (run img) in
+  check Alcotest.(list int) "reads initialized data" [ 123 ] (Interp.output m)
+
+let test_codegen_ref_table () =
+  let cg = Codegen.create () in
+  let table = Codegen.alloc_ref_table cg [ "main" ] in
+  Codegen.place cg "main";
+  Codegen.emit cg (I.Mov (O.Reg Tea_isa.Reg.EAX, O.Imm 0));
+  Codegen.emit cg (I.Sys 0);
+  let img = Codegen.assemble cg in
+  match Image.initial_data img with
+  | [ (addr, v) ] ->
+      check Alcotest.int "table addr" table addr;
+      check Alcotest.int "resolved ref" (Image.entry img) v
+  | _ -> Alcotest.fail "expected one data word"
+
+let test_codegen_finalized () =
+  let cg = Codegen.create () in
+  Codegen.place cg "main";
+  Codegen.emit cg (I.Sys 0);
+  ignore (Codegen.program cg);
+  Alcotest.check_raises "reuse" (Invalid_argument "Codegen: context already finalized")
+    (fun () -> Codegen.emit cg I.Nop)
+
+let test_codegen_align () =
+  let cg = Codegen.create () in
+  Codegen.place cg "main";
+  Codegen.emit cg I.Nop;
+  Codegen.align_text cg 64;
+  check Alcotest.int "aligned offset" 0
+    ((Tea_isa.Asm.default_text_base + Codegen.text_offset cg) mod 64);
+  Codegen.place cg "aligned";
+  Codegen.emit cg (I.Mov (O.Reg Tea_isa.Reg.EAX, O.Imm 0));
+  Codegen.emit cg (I.Sys 0);
+  let img = Codegen.assemble cg in
+  check Alcotest.int "label lands aligned" 0 (Image.symbol img "aligned" mod 64)
+
+(* ---------------- Micro workloads ---------------- *)
+
+let test_copy_loop_checksum () =
+  let m = assert_exits_zero "copy" (run (Micro.copy_loop ~words:10 ~passes:2 ())) in
+  (* last word of src is 9*3 = 27, copied to dst *)
+  check Alcotest.(list int) "checksum" [ 27 ] (Interp.output m)
+
+let test_list_scan_count () =
+  let m = assert_exits_zero "list" (run (Micro.list_scan ~nodes:100 ~match_every:4 ~passes:3 ())) in
+  (* 25 matches per pass, 3 passes *)
+  check Alcotest.(list int) "match count" [ 75 ] (Interp.output m)
+
+let test_list_scan_every_node () =
+  let m = assert_exits_zero "list" (run (Micro.list_scan ~nodes:50 ~match_every:1 ~passes:1 ())) in
+  check Alcotest.(list int) "all match" [ 50 ] (Interp.output m)
+
+let test_nested_loop_work () =
+  let m = assert_exits_zero "nest" (run (Micro.nested_loop ~outer:7 ~inner:11 ())) in
+  check Alcotest.bool "iterations happened" true (Interp.dyn_instrs m > 7 * 11 * 2)
+
+let test_branchy_deterministic () =
+  let m1 = assert_exits_zero "b1" (run (Micro.branchy_loop ())) in
+  let m2 = assert_exits_zero "b2" (run (Micro.branchy_loop ())) in
+  check Alcotest.(list int) "same output" (Interp.output m1) (Interp.output m2)
+
+let test_scattered_and_two_phase_run () =
+  ignore (assert_exits_zero "scattered" (run (Tea_workloads.Micro.scattered ())));
+  ignore (assert_exits_zero "two_phase" (run (Tea_workloads.Micro.two_phase ())));
+  ignore (assert_exits_zero "stream" (run (Tea_workloads.Micro.stream ~words:1024 ~passes:2 ())));
+  ignore (assert_exits_zero "chase" (run (Tea_workloads.Micro.big_chase ~nodes:1024 ~steps:5000 ())))
+
+let test_rep_copy_result () =
+  let m = assert_exits_zero "rep" (run (Micro.rep_copy ~words:32 ~passes:2 ())) in
+  check Alcotest.(list int) "last word" [ 32 ] (Interp.output m)
+
+(* ---------------- Proggen ---------------- *)
+
+let test_proggen_deterministic () =
+  let p = { Proggen.default with Proggen.seed = 123 } in
+  let l1 = Format.asprintf "%a" Image.pp_listing (Proggen.generate p) in
+  let l2 = Format.asprintf "%a" Image.pp_listing (Proggen.generate p) in
+  check Alcotest.bool "identical images" true (l1 = l2)
+
+let test_proggen_seed_changes_program () =
+  let base = Proggen.default in
+  let a = Proggen.generate { base with Proggen.seed = 1 } in
+  let b = Proggen.generate { base with Proggen.seed = 2 } in
+  check Alcotest.bool "different programs" true
+    (Format.asprintf "%a" Image.pp_listing a <> Format.asprintf "%a" Image.pp_listing b)
+
+let test_proggen_terminates () =
+  let m = assert_exits_zero "default" (run (Proggen.generate Proggen.default)) in
+  check Alcotest.bool "ran real work" true (Interp.dyn_instrs m > 100_000);
+  check Alcotest.bool "bounded" true (Interp.dyn_instrs m < 20_000_000)
+
+let test_proggen_estimate_order_of_magnitude () =
+  let p = Proggen.default in
+  let m = assert_exits_zero "est" (run (Proggen.generate p)) in
+  let est = Proggen.estimated_dynamic_insns p in
+  let actual = Interp.dyn_instrs m in
+  check Alcotest.bool "estimate within 10x" true
+    (actual / 10 <= est && est <= actual * 10)
+
+let test_proggen_var_trip () =
+  let p =
+    { Proggen.default with Proggen.p_var_trip = 1.0; seed = 9; nest_depth = 2 }
+  in
+  let img = Proggen.generate p in
+  ignore (assert_exits_zero "var-trip" (run img))
+
+(* ---------------- Spec2000 suite ---------------- *)
+
+let test_spec_names () =
+  check Alcotest.int "26 benchmarks" 26 (List.length Spec.all);
+  check Alcotest.bool "gcc present" true (Spec.by_name "176.gcc" <> None);
+  check Alcotest.bool "unknown absent" true (Spec.by_name "999.nope" = None);
+  check Alcotest.int "14 fp" 14
+    (List.length (List.filter (fun n -> Spec.is_fp n) Spec.names))
+
+let test_spec_all_assemble () =
+  List.iter
+    (fun p ->
+      let img = Spec.image p in
+      check Alcotest.bool (p.Proggen.name ^ " nonempty") true
+        (Image.instruction_count img > 50))
+    Spec.all
+
+let test_spec_image_memoized () =
+  let p = List.hd Spec.all in
+  check Alcotest.bool "same physical image" true (Spec.image p == Spec.image p)
+
+let test_spec_sample_runs () =
+  List.iter
+    (fun name ->
+      let p = Option.get (Spec.by_name name) in
+      let m = assert_exits_zero name (run (Spec.image p)) in
+      check Alcotest.bool (name ^ " sized sanely") true
+        (Interp.dyn_instrs m > 200_000 && Interp.dyn_instrs m < 30_000_000))
+    [ "168.wupwise"; "176.gcc"; "181.mcf" ]
+
+let test_spec_footprints_differ () =
+  (* gcc's static footprint dwarfs mcf's — the Table 4 JIT story *)
+  let gcc = Spec.image (Option.get (Spec.by_name "176.gcc")) in
+  let mcf = Spec.image (Option.get (Spec.by_name "181.mcf")) in
+  check Alcotest.bool "gcc much bigger" true
+    (Image.instruction_count gcc > 5 * Image.instruction_count mcf)
+
+let test_spec_sprawl_lowers_coverage () =
+  (* perlbmk's once-run sprawl must show up as lower trace coverage than
+     swim's loop nest *)
+  let record name =
+    let p = Option.get (Spec.by_name name) in
+    let strategy = Option.get (Tea_traces.Registry.by_name "mret") in
+    (Tea_dbt.Stardbt.record ~strategy (Spec.image p)).Tea_dbt.Stardbt.coverage
+  in
+  check Alcotest.bool "perlbmk < swim" true (record "253.perlbmk" < record "171.swim")
+
+let () =
+  Alcotest.run "tea_workloads"
+    [
+      ( "codegen",
+        [
+          Alcotest.test_case "labels unique" `Quick test_codegen_labels_unique;
+          Alcotest.test_case "data addresses" `Quick test_codegen_data_addresses;
+          Alcotest.test_case "addresses match layout" `Quick test_codegen_addresses_match_layout;
+          Alcotest.test_case "ref table" `Quick test_codegen_ref_table;
+          Alcotest.test_case "finalized" `Quick test_codegen_finalized;
+          Alcotest.test_case "align" `Quick test_codegen_align;
+        ] );
+      ( "micro",
+        [
+          Alcotest.test_case "copy checksum" `Quick test_copy_loop_checksum;
+          Alcotest.test_case "list count" `Quick test_list_scan_count;
+          Alcotest.test_case "list all match" `Quick test_list_scan_every_node;
+          Alcotest.test_case "nested work" `Quick test_nested_loop_work;
+          Alcotest.test_case "branchy deterministic" `Quick test_branchy_deterministic;
+          Alcotest.test_case "rep copy" `Quick test_rep_copy_result;
+          Alcotest.test_case "new micros run" `Quick test_scattered_and_two_phase_run;
+        ] );
+      ( "proggen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_proggen_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_proggen_seed_changes_program;
+          Alcotest.test_case "terminates" `Quick test_proggen_terminates;
+          Alcotest.test_case "estimate" `Quick test_proggen_estimate_order_of_magnitude;
+          Alcotest.test_case "var trip" `Quick test_proggen_var_trip;
+        ] );
+      ( "spec2000",
+        [
+          Alcotest.test_case "names" `Quick test_spec_names;
+          Alcotest.test_case "all assemble" `Quick test_spec_all_assemble;
+          Alcotest.test_case "memoized" `Quick test_spec_image_memoized;
+          Alcotest.test_case "samples run" `Slow test_spec_sample_runs;
+          Alcotest.test_case "footprints differ" `Quick test_spec_footprints_differ;
+          Alcotest.test_case "sprawl lowers coverage" `Slow test_spec_sprawl_lowers_coverage;
+        ] );
+    ]
