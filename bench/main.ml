@@ -105,6 +105,16 @@ let benchmarks () =
            incr i;
            Tea_core.Online.feed !online blocks.(!i mod Array.length blocks)))
   in
+  (* The packed engine's version of the same cross-trace step. *)
+  let step_packed =
+    let packed = Tea_core.Packed.freeze auto in
+    let i = ref 0 in
+    Test.make ~name:"table4/step-packed"
+      (Staged.stage (fun () ->
+           incr i;
+           let pc = addrs.(!i mod n) in
+           Sys.opaque_identity (Tea_core.Packed.step packed Tea_core.Automaton.nte pc)))
+  in
   [
     table1;
     step_test "table2/replay-step-global-local" Tea_core.Transition.config_global_local;
@@ -112,6 +122,7 @@ let benchmarks () =
     step_test "table4/step-no-global-local" Tea_core.Transition.config_no_global_local;
     step_test "table4/step-global-no-local" Tea_core.Transition.config_global_no_local;
     step_test "table4/step-global-local" Tea_core.Transition.config_global_local;
+    step_packed;
   ]
 
 let run_micro () =
@@ -133,6 +144,86 @@ let run_micro () =
           | Some _ | None -> Printf.printf "%-40s (no estimate)\n%!" name)
         ols)
     (benchmarks ())
+
+(* Head-to-head replay throughput: the packed engine vs the three Table 4
+   reference configurations on the list-scan micro's full PC stream. The
+   ISSUE target is packed >= 5x the Global/Local reference engine. *)
+let run_packed_compare () =
+  let image = Tea_workloads.Micro.list_scan () in
+  let strategy = Option.get (Tea_traces.Registry.by_name "mret") in
+  let dbt = Tea_dbt.Stardbt.record ~strategy image in
+  let traces = Tea_traces.Trace_set.to_list dbt.Tea_dbt.Stardbt.set in
+  let auto = Tea_core.Builder.build traces in
+  (* Capture the block stream once and decode it once: both engines replay
+     the identical pre-decoded (starts, insns) arrays. *)
+  let path = Filename.temp_file "tea_bench" ".trc" in
+  let n_blocks = Tea_pinsim.Trace_capture.record image path in
+  let starts = Array.make n_blocks 0 and insns = Array.make n_blocks 0 in
+  let i = ref 0 in
+  Tea_core.Pc_trace.fold path () (fun () ~start ~insns:n ->
+      starts.(!i) <- start;
+      insns.(!i) <- n;
+      incr i);
+  Sys.remove path;
+  progress "[bench] packed head-to-head: %d blocks from micro:listscan" n_blocks;
+  let time_replay mk_rep =
+    (* best of 5, one warmup *)
+    let best = ref infinity in
+    let last = ref None in
+    for round = 0 to 5 do
+      let rep = mk_rep () in
+      let t0 = Unix.gettimeofday () in
+      Tea_core.Replayer.feed_run rep ~insns starts ~len:n_blocks;
+      let dt = Unix.gettimeofday () -. t0 in
+      if round > 0 && dt < !best then best := dt;
+      last := Some rep
+    done;
+    (!best, Option.get !last)
+  in
+  let reference name config =
+    let dt, rep =
+      time_replay (fun () ->
+          Tea_core.Replayer.create (Tea_core.Transition.create config auto))
+    in
+    (name, dt, rep)
+  in
+  let packed_dt, packed_rep =
+    time_replay (fun () ->
+        Tea_core.Replayer.create_packed (Tea_core.Packed.freeze auto))
+  in
+  let rows =
+    [
+      reference "no-global/local" Tea_core.Transition.config_no_global_local;
+      reference "global/no-local" Tea_core.Transition.config_global_no_local;
+      reference "global/local" Tea_core.Transition.config_global_local;
+      ("packed", packed_dt, packed_rep);
+    ]
+  in
+  List.iter
+    (fun (name, dt, rep) ->
+      Printf.printf "%-16s %8.1f ns/block  (coverage %.1f%%, %d enters)\n" name
+        (1e9 *. dt /. float_of_int n_blocks)
+        (100.0 *. Tea_core.Replayer.coverage rep)
+        (Tea_core.Replayer.trace_enters rep))
+    rows;
+  let gl_dt =
+    let _, dt, _ = List.nth rows 2 in
+    dt
+  in
+  Printf.printf "packed speedup vs global/local: %.1fx (target >= 5x)\n"
+    (gl_dt /. packed_dt);
+  (* the engines must agree bit-for-bit on what they replayed *)
+  let gl_rep = match List.nth rows 2 with _, _, r -> r in
+  if
+    Tea_core.Replayer.coverage gl_rep <> Tea_core.Replayer.coverage packed_rep
+    || Tea_core.Replayer.trace_enters gl_rep
+       <> Tea_core.Replayer.trace_enters packed_rep
+    || Tea_core.Replayer.tbb_counts gl_rep
+       <> Tea_core.Replayer.tbb_counts packed_rep
+  then begin
+    prerr_endline "[bench] ERROR: packed and reference engines disagree";
+    exit 1
+  end
 
 let run_ablations () =
   progress "[bench] ablation: selection strategies (incl. MFET)...";
@@ -198,23 +289,34 @@ let run_extensions () =
         "expected cycles recovered by optimizing swim's traces: %d (of %d native)\n"
         total (Tea_pinsim.Pin.native_cycles image))
 
+(* `--smoke' shrinks any table run to a small benchmark subset — the CI
+   smoke target is `main.exe -- table4 --smoke'. *)
+let smoke_set = [ "168.wupwise"; "181.mcf"; "253.perlbmk" ]
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let smoke = List.mem "--smoke" args in
+  let args = List.filter (fun a -> a <> "--smoke") args in
+  let table_benchmarks =
+    if smoke then smoke_set else Tea_workloads.Spec2000.names
+  in
   match args with
   | [ "micro" ] -> run_micro ()
+  | [ "packed" ] -> run_packed_compare ()
   | [ "quick" ] -> run_tables ~benchmarks:quick_set ~which:[]
   | [ "ablation" ] -> run_ablations ()
   | [ "extensions" ] -> run_extensions ()
   | [] ->
-      run_tables ~benchmarks:Tea_workloads.Spec2000.names ~which:[];
+      run_tables ~benchmarks:table_benchmarks ~which:[];
       print_newline ();
       run_ablations ();
       print_newline ();
       run_extensions ()
   | which when List.for_all (fun a -> String.length a > 5 && String.sub a 0 5 = "table") which
     ->
-      run_tables ~benchmarks:Tea_workloads.Spec2000.names ~which
+      run_tables ~benchmarks:table_benchmarks ~which
   | _ ->
       prerr_endline
-        "usage: main.exe [quick | micro | ablation | extensions | table1 table2 table3 table4]";
+        "usage: main.exe [quick | micro | packed | ablation | extensions | \
+         table1 table2 table3 table4] [--smoke]";
       exit 2

@@ -140,8 +140,18 @@ let resolve_config = function
   | "no-global-local" -> Ok Tea_core.Transition.config_no_global_local
   | c -> Error (Printf.sprintf "unknown config %S" c)
 
+let engine_arg =
+  let doc =
+    "Transition engine: reference (paper-faithful edge lists + B+ tree, \
+     honours --config) or packed (flat-array fast path)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("reference", `Reference); ("packed", `Packed) ]) `Reference
+    & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
 let replay_cmd =
-  let run name strategy_name traces_file config_name pc_trace =
+  let run name strategy_name traces_file config_name pc_trace engine =
     let image = or_die (resolve_workload name) in
     let config = or_die (resolve_config config_name) in
     let traces =
@@ -152,29 +162,37 @@ let replay_cmd =
           let r = Tea_dbt.Stardbt.record ~strategy image in
           Tea_traces.Trace_set.to_list r.Tea_dbt.Stardbt.set
     in
+    let engine_name =
+      match engine with `Reference -> "reference" | `Packed -> "packed"
+    in
     match pc_trace with
     | Some path ->
         (* fully offline: no program execution, just the trace file *)
-        let trans =
-          Tea_core.Transition.create config (Tea_core.Builder.build traces)
+        let auto = Tea_core.Builder.build traces in
+        let rep =
+          match engine with
+          | `Reference ->
+              Tea_core.Pc_trace.replay (Tea_core.Transition.create config auto) path
+          | `Packed ->
+              Tea_core.Pc_trace.replay_packed (Tea_core.Packed.freeze auto) path
         in
-        let rep = Tea_core.Pc_trace.replay trans path in
         Printf.printf
-          "offline replay of %s: %d blocks, coverage %.1f%%, %d trace entries\n"
-          path
+          "offline replay of %s (%s engine): %d blocks, coverage %.1f%%, %d \
+           trace entries\n"
+          path engine_name
           (Tea_core.Pc_trace.length path)
           (100.0 *. Tea_core.Replayer.coverage rep)
           (Tea_core.Replayer.trace_enters rep)
     | None ->
         let result, _ =
-          Tea_pinsim.Pintool_replay.replay ~transition:config ~traces image
+          Tea_pinsim.Pintool_replay.replay ~transition:config ~engine ~traces image
         in
         let st = result.Tea_pinsim.Pintool_replay.transition_stats in
         Printf.printf
-          "replayed %d traces\ncoverage: %.1f%%\nslowdown vs native: %.2fx\n\
+          "replayed %d traces (%s engine)\ncoverage: %.1f%%\nslowdown vs native: %.2fx\n\
            transition stats: %d steps, %d in-trace, %d cache hits, %d container \
            hits, %d NTE\n"
-          (List.length traces)
+          (List.length traces) engine_name
           (100.0 *. result.Tea_pinsim.Pintool_replay.coverage)
           result.Tea_pinsim.Pintool_replay.slowdown
           st.Tea_core.Transition.steps st.Tea_core.Transition.in_trace_hits
@@ -183,7 +201,9 @@ let replay_cmd =
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay traces through the TEA under the Pin-like frontend")
-    Term.(const run $ workload_arg $ strategy_arg $ traces_arg $ config_arg $ pc_trace_arg)
+    Term.(
+      const run $ workload_arg $ strategy_arg $ traces_arg $ config_arg
+      $ pc_trace_arg $ engine_arg)
 
 let capture_cmd =
   let out_required =

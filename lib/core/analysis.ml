@@ -6,8 +6,14 @@ type trace_stats = {
   completion_ratio : float;
 }
 
+(* Per-trace analytics need the automaton's state metadata; a packed image
+   reconstituted from bytes has none, so analyses degrade to empty. *)
+let automaton_of rep = Replayer.automaton rep
+
 let per_trace rep =
-  let auto = Transition.automaton (Replayer.transition rep) in
+  match automaton_of rep with
+  | None -> []
+  | Some auto ->
   List.filter_map
     (fun id ->
       let states = Automaton.states_of_trace auto id in
@@ -59,7 +65,9 @@ type exit_site = {
 }
 
 let side_exit_candidates ?(n = 10) rep =
-  let auto = Transition.automaton (Replayer.transition rep) in
+  match automaton_of rep with
+  | None -> []
+  | Some auto ->
   let sites = ref [] in
   Automaton.iter_live
     (fun s info ->

@@ -1,0 +1,309 @@
+type raw = {
+  offsets : int array;
+  labels : int array;
+  targets : int array;
+  state_trace : int array;
+  state_tbb : int array;
+  state_start : int array;
+  state_insns : int array;
+  hash_keys : int array;
+  hash_vals : int array;
+}
+
+(* The arrays live directly in [t] (rather than behind a nested [raw]
+   record) so the step path loads each one with a single indirection. *)
+type t = {
+  offsets : int array;
+  labels : int array;
+  targets : int array;
+  state_trace : int array;
+  state_tbb : int array;
+  state_start : int array;
+  state_insns : int array;
+  hash_keys : int array;
+  hash_vals : int array;
+  mask : int; (* Array.length hash_keys - 1 *)
+  auto : Automaton.t option;
+  st : Transition.stats;
+  mutable total_cycles : int;
+}
+
+(* Cost constants. A binary-search halving is a compare plus a conditional
+   move on cache-resident arrays (~1); the hash path pays the multiply +
+   mask (~2) plus one probe compare per slot examined; an NTE miss does the
+   same cold-code bookkeeping as the reference engine. *)
+let cost_search_step = 1
+
+let cost_hash_base = 2
+
+let cost_hash_probe = 1
+
+(* Fibonacci multiplicative hashing; the constant is SplitMix64's golden
+   gamma truncated to OCaml's int range. *)
+let hash_pc mask pc = ((pc * 0x2545F4914F6CDD1D) lsr 24) land mask
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+
+let insert_head keys vals mask addr state =
+  let rec go i =
+    if keys.(i) < 0 || keys.(i) = addr then begin
+      keys.(i) <- addr;
+      vals.(i) <- state
+    end
+    else go ((i + 1) land mask)
+  in
+  go (hash_pc mask addr)
+
+let build_hash heads n_slots =
+  let n_heads = List.length heads in
+  let size = pow2_at_least (max 8 (2 * n_heads)) 8 in
+  let keys = Array.make size (-1) and vals = Array.make size 0 in
+  List.iter
+    (fun (addr, s) ->
+      if addr < 0 then invalid_arg "Packed: negative head address";
+      if s < 0 || s >= n_slots then invalid_arg "Packed: head out of range";
+      insert_head keys vals (size - 1) addr s)
+    heads;
+  (keys, vals)
+
+let freeze auto =
+  let max_id = ref 0 in
+  Automaton.iter_live (fun s _ -> if s > !max_id then max_id := s) auto;
+  let n_slots = !max_id + 1 in
+  let state_trace = Array.make n_slots (-1) in
+  let state_tbb = Array.make n_slots 0 in
+  let state_start = Array.make n_slots 0 in
+  let state_insns = Array.make n_slots 0 in
+  let offsets = Array.make (n_slots + 1) 0 in
+  Automaton.iter_live
+    (fun s info ->
+      state_trace.(s) <- info.Automaton.trace_id;
+      state_tbb.(s) <- info.Automaton.tbb_index;
+      state_start.(s) <- info.Automaton.block_start;
+      state_insns.(s) <- info.Automaton.n_insns;
+      offsets.(s + 1) <- List.length (Automaton.edges_of auto s))
+    auto;
+  for i = 1 to n_slots do
+    offsets.(i) <- offsets.(i) + offsets.(i - 1)
+  done;
+  let n_edges = offsets.(n_slots) in
+  let labels = Array.make n_edges 0 and targets = Array.make n_edges 0 in
+  Automaton.iter_live
+    (fun s _ ->
+      let edges =
+        List.sort
+          (fun (a, _) (b, _) -> Int.compare a b)
+          (Automaton.edges_of auto s)
+      in
+      List.iteri
+        (fun i (label, dst) ->
+          labels.(offsets.(s) + i) <- label;
+          targets.(offsets.(s) + i) <- dst)
+        edges)
+    auto;
+  let hash_keys, hash_vals = build_hash (Automaton.heads auto) n_slots in
+  {
+    offsets;
+    labels;
+    targets;
+    state_trace;
+    state_tbb;
+    state_start;
+    state_insns;
+    hash_keys;
+    hash_vals;
+    mask = Array.length hash_keys - 1;
+    auto = Some auto;
+    st = Transition.fresh_stats ();
+    total_cycles = 0;
+  }
+
+let n_slots t = Array.length t.offsets - 1
+
+let n_states t =
+  Array.fold_left (fun acc tr -> if tr >= 0 then acc + 1 else acc) 0 t.state_trace
+
+let n_edges t = Array.length t.labels
+
+let n_heads t =
+  Array.fold_left (fun acc k -> if k >= 0 then acc + 1 else acc) 0 t.hash_keys
+
+let automaton t = t.auto
+
+let stats t = t.st
+
+let cycles t = t.total_cycles
+
+let add_cycles t n = t.total_cycles <- t.total_cycles + n
+
+let reset_counters t =
+  t.total_cycles <- 0;
+  let st = t.st in
+  st.Transition.steps <- 0;
+  st.Transition.in_trace_hits <- 0;
+  st.Transition.cache_hits <- 0;
+  st.Transition.global_hits <- 0;
+  st.Transition.global_misses <- 0
+
+let state_insns t s =
+  if s >= 0 && s < n_slots t then t.state_insns.(s) else 0
+
+(* Pure lookup used by tests/tools; [step] inlines its own probe loop so
+   the hot path charges costs without an option allocation. *)
+let head_of t pc =
+  let keys = t.hash_keys and mask = t.mask in
+  let rec go i =
+    let k = Array.unsafe_get keys i in
+    if k = pc then Some (Array.unsafe_get t.hash_vals i)
+    else if k < 0 then None
+    else go ((i + 1) land mask)
+  in
+  if pc < 0 then None else go (hash_pc mask pc)
+
+(* The hot path is written with tail-recursive helpers carrying their
+   accumulators in arguments: without flambda a [ref] is a minor-heap
+   allocation, and five of those per step cost more than the search itself.
+   Each helper charges its simulated cycles into [total_cycles] at its
+   terminal case, so the accounting is identical to the obvious loop. *)
+
+(* Branchless lower-bound over a sorted span; charges one
+   [cost_search_step] per halving plus one for the final compare. *)
+let rec lower_bound t labels pc base len cost =
+  if len <= 1 then begin
+    t.total_cycles <- t.total_cycles + cost + cost_search_step;
+    base
+  end
+  else
+    let half = len lsr 1 in
+    let base =
+      if Array.unsafe_get labels (base + half) <= pc then base + half else base
+    in
+    lower_bound t labels pc base (len - half) (cost + cost_search_step)
+
+(* Open-addressing probe; returns the head state or -1, charging one
+   [cost_hash_probe] per slot examined (terminal slot included). *)
+let rec probe t keys vals mask pc i cost =
+  let k = Array.unsafe_get keys i in
+  if k = pc then begin
+    t.total_cycles <- t.total_cycles + cost;
+    Array.unsafe_get vals i
+  end
+  else if k < 0 then begin
+    t.total_cycles <- t.total_cycles + cost;
+    -1
+  end
+  else probe t keys vals mask pc ((i + 1) land mask) (cost + cost_hash_probe)
+
+let step t state pc =
+  if state < 0 || state + 1 >= Array.length t.offsets then
+    invalid_arg "Packed.step: state id outside the frozen image";
+  let st = t.st in
+  st.Transition.steps <- st.Transition.steps + 1;
+  let lo = Array.unsafe_get t.offsets state in
+  let hi = Array.unsafe_get t.offsets (state + 1) in
+  (* In-trace transition: lower-bound over the state's sorted span, then
+     one equality check. *)
+  let hit =
+    if hi > lo then begin
+      let b = lower_bound t t.labels pc lo (hi - lo) 0 in
+      if Array.unsafe_get t.labels b = pc then Array.unsafe_get t.targets b
+      else -1
+    end
+    else -1
+  in
+  if hit >= 0 then begin
+    st.Transition.in_trace_hits <- st.Transition.in_trace_hits + 1;
+    hit
+  end
+  else begin
+    (* Cross-trace / cold path: hash the PC and probe for a trace head. *)
+    t.total_cycles <- t.total_cycles + cost_hash_base;
+    let found =
+      probe t t.hash_keys t.hash_vals t.mask pc (hash_pc t.mask pc)
+        cost_hash_probe
+    in
+    if found >= 0 then begin
+      st.Transition.global_hits <- st.Transition.global_hits + 1;
+      found
+    end
+    else begin
+      st.Transition.global_misses <- st.Transition.global_misses + 1;
+      t.total_cycles <- t.total_cycles + Transition.cost_nte_miss;
+      Automaton.nte
+    end
+  end
+
+let to_raw t : raw =
+  {
+    offsets = t.offsets;
+    labels = t.labels;
+    targets = t.targets;
+    state_trace = t.state_trace;
+    state_tbb = t.state_tbb;
+    state_start = t.state_start;
+    state_insns = t.state_insns;
+    hash_keys = t.hash_keys;
+    hash_vals = t.hash_vals;
+  }
+
+let of_raw (r : raw) =
+  let fail fmt = Printf.ksprintf invalid_arg ("Packed.of_raw: " ^^ fmt) in
+  let n_slots = Array.length r.offsets - 1 in
+  if n_slots < 0 then fail "empty offsets array";
+  if r.offsets.(0) <> 0 then fail "offsets must start at 0";
+  for i = 0 to n_slots - 1 do
+    if r.offsets.(i + 1) < r.offsets.(i) then fail "offsets must be monotone"
+  done;
+  let n_edges = Array.length r.labels in
+  if Array.length r.targets <> n_edges then fail "labels/targets length mismatch";
+  if r.offsets.(n_slots) <> n_edges then fail "offsets do not cover the edge array";
+  Array.iter
+    (fun d -> if d < 0 || d >= n_slots then fail "edge target out of range")
+    r.targets;
+  for s = 0 to n_slots - 1 do
+    for i = r.offsets.(s) + 1 to r.offsets.(s + 1) - 1 do
+      if r.labels.(i) <= r.labels.(i - 1) then
+        fail "span labels must be strictly increasing"
+    done
+  done;
+  List.iter
+    (fun a ->
+      if Array.length a <> n_slots then fail "state array length mismatch")
+    [ r.state_trace; r.state_tbb; r.state_start; r.state_insns ];
+  let hsize = Array.length r.hash_keys in
+  if hsize < 1 || hsize land (hsize - 1) <> 0 then
+    fail "hash size must be a power of two";
+  if Array.length r.hash_vals <> hsize then fail "hash array length mismatch";
+  Array.iteri
+    (fun i k ->
+      if k >= 0 && (r.hash_vals.(i) < 0 || r.hash_vals.(i) >= n_slots) then
+        fail "hash value out of range")
+    r.hash_keys;
+  {
+    offsets = r.offsets;
+    labels = r.labels;
+    targets = r.targets;
+    state_trace = r.state_trace;
+    state_tbb = r.state_tbb;
+    state_start = r.state_start;
+    state_insns = r.state_insns;
+    hash_keys = r.hash_keys;
+    hash_vals = r.hash_vals;
+    mask = hsize - 1;
+    auto = None;
+    st = Transition.fresh_stats ();
+    total_cycles = 0;
+  }
+
+let check t auto =
+  let fresh = freeze auto in
+  let a = to_raw t and b = to_raw fresh in
+  if
+    a.offsets = b.offsets && a.labels = b.labels && a.targets = b.targets
+    && a.state_trace = b.state_trace
+    && a.state_tbb = b.state_tbb
+    && a.state_start = b.state_start
+    && a.state_insns = b.state_insns
+    && a.hash_keys = b.hash_keys && a.hash_vals = b.hash_vals
+  then Ok ()
+  else Error "packed image is stale: the automaton changed since freeze"

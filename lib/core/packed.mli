@@ -1,0 +1,114 @@
+(** The packed TEA replay engine: a freeze-time compilation of a built
+    automaton into immutable flat int arrays.
+
+    The reference {!Transition} engine walks per-state edge *lists* and a
+    B+ tree (or linked list) on every block-to-block transfer — faithful to
+    the paper's §4.2 cost discussion, but far from "as fast as the hardware
+    allows". [Packed] compiles the same DFA once:
+
+    - states stay the automaton's own dense ids (NTE = 0, tombstones keep
+      empty spans), so replayed state sequences are bit-identical to the
+      reference engine's;
+    - every state's in-trace transitions become a sorted (label, target)
+      span inside one shared pair of arrays, resolved by a branchless
+      binary search;
+    - the NTE / cross-trace path replaces the B+ tree walk with a global
+      open-addressing hash from trace-head PC to entry state.
+
+    Freezing is legal whenever the automaton is quiescent: a frozen image
+    does NOT observe later {!Automaton.add_trace} / [remove_trace] calls
+    (use {!check} to detect staleness, or re-{!freeze}). This mirrors the
+    reference engine's own [Transition.refresh] contract.
+
+    Counters use the same {!Transition.stats} record so the Table 2–4
+    drivers run unchanged on either engine. The packed engine has no local
+    caches: resolutions the reference engine splits between [cache_hits]
+    and [global_hits] all land in [global_hits] here ([cache_hits] stays
+    0); [steps], [in_trace_hits] and [global_misses] match the reference
+    engine exactly. *)
+
+type t
+
+val freeze : Automaton.t -> t
+(** Compile the automaton's current contents. O(states + transitions). *)
+
+val step : t -> Automaton.state -> int -> Automaton.state
+(** [step t state pc] — the DFA transition on label [pc]. Same semantics
+    as {!Transition.step}: in-trace edge first, then trace-head lookup,
+    else NTE. Accumulates {!cycles} and {!stats}.
+    @raise Invalid_argument on a state id the frozen image never
+    contained. *)
+
+val stats : t -> Transition.stats
+
+val cycles : t -> int
+(** Simulated cycles spent in the transition function (packed cost model:
+    one cycle per binary-search halving, {!cost_hash_base} plus one cycle
+    per probe on the hash path, and the engine-independent
+    {!Transition.cost_nte_miss} on misses). *)
+
+val reset_counters : t -> unit
+
+val add_cycles : t -> int -> unit
+(** Charge simulated cycles computed outside {!step}. Used by
+    {!Replayer.feed_run}, whose fused batch loop replicates the step logic
+    and flushes the accumulated cost once per batch. *)
+
+val automaton : t -> Automaton.t option
+(** The automaton this image was frozen from; [None] when the image was
+    reconstituted from bytes ({!Serialize.packed_of_binary}) — stepping
+    and coverage work, per-trace profiles don't. *)
+
+val n_states : t -> int
+(** Live states compiled in (tombstones excluded, NTE not counted). *)
+
+val n_edges : t -> int
+(** In-trace transitions in the shared span array. *)
+
+val n_heads : t -> int
+(** Entries in the trace-head hash. *)
+
+val head_of : t -> int -> Automaton.state option
+(** Pure hash lookup (no stats side effects), for tests and tools. *)
+
+val state_insns : t -> Automaton.state -> int
+(** Block size recorded for a state (0 for NTE / unknown ids). *)
+
+val check : t -> Automaton.t -> (unit, string) result
+(** [check t auto] — is this image still an exact compilation of [auto]?
+    [Error] when the automaton changed since {!freeze}. *)
+
+(** {2 Raw array image}
+
+    The exact flat arrays, for serialization ({!Serialize}) and
+    white-box tests. [of_raw] validates shape invariants (offset
+    monotonicity, sorted unique labels per span, targets and hash values
+    in range) and raises [Invalid_argument] on violation. *)
+
+type raw = {
+  offsets : int array;      (** length slots+1; state s's span is
+                                [offsets.(s) .. offsets.(s+1))] *)
+  labels : int array;       (** strictly increasing within each span *)
+  targets : int array;      (** automaton state ids *)
+  state_trace : int array;  (** -1 for NTE / tombstones *)
+  state_tbb : int array;
+  state_start : int array;
+  state_insns : int array;
+  hash_keys : int array;    (** power-of-two length; -1 = empty slot *)
+  hash_vals : int array;
+}
+
+val to_raw : t -> raw
+
+val of_raw : raw -> t
+
+(** {2 Cost constants} (simulated cycles) *)
+
+val cost_search_step : int
+(** Per binary-search halving (branchless compare + select). *)
+
+val cost_hash_base : int
+(** Fixed cost of entering the hash path (hash computation + index). *)
+
+val cost_hash_probe : int
+(** Per open-addressing slot examined. *)

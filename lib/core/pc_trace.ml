@@ -54,7 +54,10 @@ let fold path init f =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let header = really_input_string ic (String.length magic) in
+      let header =
+        try really_input_string ic (String.length magic)
+        with End_of_file -> raise (Corrupt "truncated header")
+      in
       if header <> magic then raise (Corrupt "bad magic");
       let rec loop acc prev =
         (* detect EOF cleanly at a record boundary *)
@@ -75,7 +78,32 @@ let fold path init f =
 
 let length path = fold path 0 (fun n ~start:_ ~insns:_ -> n + 1)
 
+let default_chunk = 4096
+
+let iter_chunks ?(chunk = default_chunk) path f =
+  if chunk <= 0 then invalid_arg "Pc_trace.iter_chunks: chunk must be positive";
+  let starts = Array.make chunk 0 and insns_buf = Array.make chunk 0 in
+  let fill = ref 0 in
+  let flush () =
+    if !fill > 0 then begin
+      f ~starts ~insns:insns_buf ~len:!fill;
+      fill := 0
+    end
+  in
+  fold path () (fun () ~start ~insns ->
+      starts.(!fill) <- start;
+      insns_buf.(!fill) <- insns;
+      incr fill;
+      if !fill = chunk then flush ());
+  flush ()
+
 let replay trans path =
   let rep = Replayer.create trans in
   fold path () (fun () ~start ~insns -> Replayer.feed_addr rep ~insns start);
+  rep
+
+let replay_packed packed path =
+  let rep = Replayer.create_packed packed in
+  iter_chunks path (fun ~starts ~insns ~len ->
+      Replayer.feed_run rep ~insns starts ~len);
   rep

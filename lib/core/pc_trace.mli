@@ -24,11 +24,27 @@ val close_writer : writer -> unit
 exception Corrupt of string
 
 val fold : string -> 'a -> ('a -> start:int -> insns:int -> 'a) -> 'a
-(** Stream the file through a folder. @raise Corrupt on bad framing. *)
+(** Stream the file through a folder. @raise Corrupt on bad framing
+    (including a file too short to hold the magic header). *)
 
 val length : string -> int
 (** Number of block records. *)
 
+val iter_chunks :
+  ?chunk:int ->
+  string ->
+  (starts:int array -> insns:int array -> len:int -> unit) ->
+  unit
+(** Decode the file in blocks of up to [chunk] (default 4096) records into
+    reused parallel arrays; only [starts.(0..len-1)] / [insns.(0..len-1)]
+    are valid per call. This is the batched front half of
+    {!Replayer.feed_run}. @raise Corrupt on bad framing. *)
+
 val replay : Transition.t -> string -> Replayer.t
 (** Replay a TEA against a trace file: the offline half of the
-    cross-system workflow. *)
+    cross-system workflow (reference engine, record-at-a-time). *)
+
+val replay_packed : Packed.t -> string -> Replayer.t
+(** Same replay through the packed fast path: chunked decode feeding
+    {!Replayer.feed_run}. Identical coverage, profiles and state sequence
+    to {!replay} over the same automaton. *)

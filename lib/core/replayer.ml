@@ -1,8 +1,11 @@
 module Block = Tea_cfg.Block
 
+type engine = Reference of Transition.t | Packed of Packed.t
+
 type t = {
-  trans : Transition.t;
-  counts : (Automaton.state, int) Hashtbl.t;
+  engine : engine;
+  auto : Automaton.t option;
+  mutable counts : int array; (* execution count per state id, grown on demand *)
   mutable state : Automaton.state;
   mutable covered : int;
   mutable total : int;
@@ -10,10 +13,11 @@ type t = {
   mutable exits : int;
 }
 
-let create trans =
+let make engine auto =
   {
-    trans;
-    counts = Hashtbl.create 256;
+    engine;
+    auto;
+    counts = Array.make 256 0;
     state = Automaton.nte;
     covered = 0;
     total = 0;
@@ -21,20 +25,179 @@ let create trans =
     exits = 0;
   }
 
-let feed_addr t ?(insns = 0) addr =
-  let prev = t.state in
-  let next = Transition.step t.trans prev addr in
+let create trans = make (Reference trans) (Some (Transition.automaton trans))
+
+let create_packed packed = make (Packed packed) (Packed.automaton packed)
+
+let engine t = t.engine
+
+let grow_counts t need =
+  let n = ref (Array.length t.counts) in
+  while !n <= need do
+    n := !n * 2
+  done;
+  let fresh = Array.make !n 0 in
+  Array.blit t.counts 0 fresh 0 (Array.length t.counts);
+  t.counts <- fresh
+
+(* Shared per-step accounting; inlined into both the single-address and the
+   batched entry points. *)
+let[@inline] account t prev next insns =
   t.state <- next;
   t.total <- t.total + insns;
   if next <> Automaton.nte then begin
     t.covered <- t.covered + insns;
-    Hashtbl.replace t.counts next
-      (1 + Option.value (Hashtbl.find_opt t.counts next) ~default:0)
+    if next >= Array.length t.counts then grow_counts t next;
+    Array.unsafe_set t.counts next (1 + Array.unsafe_get t.counts next)
   end;
   if prev = Automaton.nte && next <> Automaton.nte then t.enters <- t.enters + 1;
   if prev <> Automaton.nte && next = Automaton.nte then t.exits <- t.exits + 1
 
+let feed_addr t ?(insns = 0) addr =
+  let prev = t.state in
+  let next =
+    match t.engine with
+    | Reference trans -> Transition.step trans prev addr
+    | Packed packed -> Packed.step packed prev addr
+  in
+  account t prev next insns
+
 let feed t (b : Block.t) = feed_addr t ~insns:(Block.n_insns b) b.Block.start
+
+(* Fused batch loop for the packed engine: {!Packed.step} plus the
+   per-step accounting, replicated inline so the hot loop makes no calls
+   and touches no heap records — everything accumulates in local cells
+   allocated once per batch and is flushed at the end. The replication is
+   pinned to the step-at-a-time path by the feed_run/feed_addr qcheck
+   equivalence property (state sequence, coverage, stats and cycles). *)
+let run_packed t packed addrs ins len =
+  let raw = Packed.to_raw packed in
+  let offsets = raw.Packed.offsets in
+  let labels = raw.Packed.labels in
+  let targets = raw.Packed.targets in
+  let keys = raw.Packed.hash_keys in
+  let vals = raw.Packed.hash_vals in
+  let mask = Array.length keys - 1 in
+  let n_slots = Array.length offsets - 1 in
+  if t.state < 0 || t.state >= n_slots then
+    invalid_arg "Packed.step: state id outside the frozen image";
+  (* every possible next state (targets, hash values, NTE) is < n_slots,
+     so growing the count array once up front removes the per-step check *)
+  if Array.length t.counts < n_slots then grow_counts t (n_slots - 1);
+  let counts = t.counts in
+  let nte = Automaton.nte in
+  let state = ref t.state in
+  let covered = ref t.covered and total = ref t.total in
+  let enters = ref t.enters and exits = ref t.exits in
+  let in_hits = ref 0 and g_hits = ref 0 and g_miss = ref 0 in
+  let cycles = ref 0 in
+  for i = 0 to len - 1 do
+    let pc = Array.unsafe_get addrs i in
+    let prev = !state in
+    let lo = Array.unsafe_get offsets prev in
+    let hi = Array.unsafe_get offsets (prev + 1) in
+    (* in-trace: branchless lower bound over the state's sorted span *)
+    let hit =
+      if hi > lo then begin
+        let base = ref lo and l = ref (hi - lo) in
+        while !l > 1 do
+          let half = !l lsr 1 in
+          if Array.unsafe_get labels (!base + half) <= pc then
+            base := !base + half;
+          l := !l - half;
+          cycles := !cycles + Packed.cost_search_step
+        done;
+        cycles := !cycles + Packed.cost_search_step;
+        if Array.unsafe_get labels !base = pc then
+          Array.unsafe_get targets !base
+        else -1
+      end
+      else -1
+    in
+    let next =
+      if hit >= 0 then begin
+        incr in_hits;
+        hit
+      end
+      else begin
+        (* cross-trace / cold: probe the trace-head hash *)
+        cycles := !cycles + Packed.cost_hash_base;
+        (* multiplier and shift must match Packed.hash_pc *)
+        let idx = ref (((pc * 0x2545F4914F6CDD1D) lsr 24) land mask) in
+        let found = ref (-2) in
+        while !found = -2 do
+          cycles := !cycles + Packed.cost_hash_probe;
+          let k = Array.unsafe_get keys !idx in
+          if k = pc then found := Array.unsafe_get vals !idx
+          else if k < 0 then found := -1
+          else idx := (!idx + 1) land mask
+        done;
+        if !found >= 0 then begin
+          incr g_hits;
+          !found
+        end
+        else begin
+          incr g_miss;
+          cycles := !cycles + Transition.cost_nte_miss;
+          nte
+        end
+      end
+    in
+    let insns = Array.unsafe_get ins i in
+    state := next;
+    total := !total + insns;
+    if next <> nte then begin
+      covered := !covered + insns;
+      Array.unsafe_set counts next (1 + Array.unsafe_get counts next)
+    end;
+    if prev = nte && next <> nte then incr enters;
+    if prev <> nte && next = nte then incr exits
+  done;
+  t.state <- !state;
+  t.covered <- !covered;
+  t.total <- !total;
+  t.enters <- !enters;
+  t.exits <- !exits;
+  let st = Packed.stats packed in
+  st.Transition.steps <- st.Transition.steps + len;
+  st.Transition.in_trace_hits <- st.Transition.in_trace_hits + !in_hits;
+  st.Transition.global_hits <- st.Transition.global_hits + !g_hits;
+  st.Transition.global_misses <- st.Transition.global_misses + !g_miss;
+  Packed.add_cycles packed !cycles
+
+let no_insns = [||]
+
+let feed_run t ?insns addrs ~len =
+  if len < 0 || len > Array.length addrs then
+    invalid_arg "Replayer.feed_run: len out of range";
+  (match insns with
+  | Some a when Array.length a < len ->
+      invalid_arg "Replayer.feed_run: insns array shorter than len"
+  | _ -> ());
+  (* The engine match is hoisted out of the loop: one branchy dispatch per
+     batch, not one per block. *)
+  match t.engine with
+  | Packed packed ->
+      let ins =
+        match insns with
+        | Some a -> a
+        | None -> if len = 0 then no_insns else Array.make len 0
+      in
+      run_packed t packed addrs ins len
+  | Reference trans -> (
+      match insns with
+      | Some ins ->
+          for i = 0 to len - 1 do
+            let prev = t.state in
+            let next = Transition.step trans prev (Array.unsafe_get addrs i) in
+            account t prev next (Array.unsafe_get ins i)
+          done
+      | None ->
+          for i = 0 to len - 1 do
+            let prev = t.state in
+            let next = Transition.step trans prev (Array.unsafe_get addrs i) in
+            account t prev next 0
+          done)
 
 let state t = t.state
 
@@ -50,19 +213,40 @@ let trace_enters t = t.enters
 let trace_exits t = t.exits
 
 let tbb_counts t =
-  Hashtbl.fold (fun s n acc -> (s, n) :: acc) t.counts []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  let acc = ref [] in
+  for s = Array.length t.counts - 1 downto 0 do
+    if t.counts.(s) > 0 then acc := (s, t.counts.(s)) :: !acc
+  done;
+  !acc
 
-let count_of_state t s = Option.value (Hashtbl.find_opt t.counts s) ~default:0
+let count_of_state t s =
+  if s >= 0 && s < Array.length t.counts then t.counts.(s) else 0
+
+let automaton t = t.auto
+
+let stats t =
+  match t.engine with
+  | Reference trans -> Transition.stats trans
+  | Packed packed -> Packed.stats packed
+
+let cycles t =
+  match t.engine with
+  | Reference trans -> Transition.cycles trans
+  | Packed packed -> Packed.cycles packed
 
 let trace_profile t id =
-  let auto = Transition.automaton t.trans in
-  List.filter_map
-    (fun s ->
-      match Automaton.state_info auto s with
-      | Some info -> Some (info.Automaton.tbb_index, count_of_state t s)
-      | None -> None)
-    (Automaton.states_of_trace auto id)
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  match t.auto with
+  | None -> []
+  | Some auto ->
+      List.filter_map
+        (fun s ->
+          match Automaton.state_info auto s with
+          | Some info -> Some (info.Automaton.tbb_index, count_of_state t s)
+          | None -> None)
+        (Automaton.states_of_trace auto id)
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
-let transition t = t.trans
+let transition t =
+  match t.engine with
+  | Reference trans -> trans
+  | Packed _ -> invalid_arg "Replayer.transition: packed engine"

@@ -5,11 +5,31 @@
     trace is executing right now" — including distinguishing the different
     instances of a duplicated block (the paper's \$\$T1.next vs \$\$T2.next
     example) — without any trace code existing. Per-state execution
-    counters are the profile the paper collects this way. *)
+    counters are the profile the paper collects this way.
+
+    Two interchangeable transition engines drive a replayer:
+
+    - the {b reference} engine ({!Transition}), faithful to the paper's
+      per-state edge lists plus B+ tree / linked-list containers with
+      their simulated-cycle cost model;
+    - the {b packed} engine ({!Packed}), flat-array compiled for replay
+      throughput.
+
+    Both produce bit-identical state sequences, coverage and profiles
+    (property-tested in [test_packed.ml]); they differ only in speed and
+    in how cross-trace resolutions split across the stats counters. *)
+
+type engine = Reference of Transition.t | Packed of Packed.t
 
 type t
 
 val create : Transition.t -> t
+(** A replayer on the reference engine. *)
+
+val create_packed : Packed.t -> t
+(** A replayer on the packed fast path. *)
+
+val engine : t -> engine
 
 val feed : t -> Tea_cfg.Block.t -> unit
 (** The block about to execute. Wire to {!Tea_cfg.Discovery} [on_block]. *)
@@ -18,6 +38,14 @@ val feed_addr : t -> ?insns:int -> int -> unit
 (** Lower-level variant: a block start address and its instruction count
     (default 0 — no coverage accounting), for replaying from an externally
     recorded address stream. *)
+
+val feed_run : t -> ?insns:int array -> int array -> len:int -> unit
+(** [feed_run t ~insns addrs ~len] replays [addrs.(0..len-1)] in one
+    batch: the engine dispatch is hoisted out of the loop, so PC-trace
+    files decode and replay in blocks instead of one call per address.
+    [insns] is a parallel per-block instruction-count array (all 0 when
+    absent). Equivalent to [len] calls to {!feed_addr}.
+    @raise Invalid_argument when [len] exceeds either array. *)
 
 val state : t -> Automaton.state
 
@@ -40,6 +68,19 @@ val count_of_state : t -> Automaton.state -> int
 
 val trace_profile : t -> int -> (int * int) list
 (** [trace_profile t id]: (tbb_index, executions) for one trace, sorted by
-    index — the per-copy profile of the motivation example. *)
+    index — the per-copy profile of the motivation example. [[]] when the
+    replayer has no automaton (packed image loaded from bytes). *)
+
+val automaton : t -> Automaton.t option
+(** The automaton behind the engine; [None] only for a packed image
+    reconstituted from bytes. *)
+
+val stats : t -> Transition.stats
+(** The engine's transition counters, whichever engine runs. *)
+
+val cycles : t -> int
+(** Simulated cycles spent in the engine's transition function. *)
 
 val transition : t -> Transition.t
+(** The reference engine.
+    @raise Invalid_argument on a packed-engine replayer. *)

@@ -137,3 +137,100 @@ let to_binary auto =
   Buffer.contents buf
 
 let binary_size auto = String.length (to_binary auto)
+
+(* ---- Packed images ----
+
+   The flat arrays serialize verbatim (all u32 little-endian, -1 encoded as
+   0xFFFFFFFF), so a load is a handful of array reads and the reconstituted
+   engine replays bit-identically — including the hash probe layout. *)
+
+let packed_magic = "TEAPK1"
+
+let add_i32 buf v =
+  if v < -1 || v > 0xFFFFFFFE then
+    raise (Too_large (Printf.sprintf "%d exceeds the u32 packed cap" v));
+  add_u32 buf (v land 0xFFFFFFFF)
+
+let packed_to_binary packed =
+  let r = Packed.to_raw packed in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf packed_magic;
+  let dump a =
+    add_i32 buf (Array.length a);
+    Array.iter (add_i32 buf) a
+  in
+  dump r.Packed.offsets;
+  dump r.Packed.labels;
+  dump r.Packed.targets;
+  dump r.Packed.state_trace;
+  dump r.Packed.state_tbb;
+  dump r.Packed.state_start;
+  dump r.Packed.state_insns;
+  dump r.Packed.hash_keys;
+  dump r.Packed.hash_vals;
+  Buffer.contents buf
+
+let packed_of_binary s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let u8 () =
+    if !pos >= len then parse_error "truncated packed image";
+    let b = Char.code s.[!pos] in
+    incr pos;
+    b
+  in
+  let i32 () =
+    let a = u8 () in
+    let b = u8 () in
+    let c = u8 () in
+    let d = u8 () in
+    let v = a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24) in
+    if v = 0xFFFFFFFF then -1 else v
+  in
+  let magic_len = String.length packed_magic in
+  if len < magic_len || String.sub s 0 magic_len <> packed_magic then
+    parse_error "missing %S header" packed_magic;
+  pos := magic_len;
+  let slurp () =
+    let n = i32 () in
+    if n < 0 || n > (len - !pos) / 4 then parse_error "bad packed array length";
+    Array.init n (fun _ -> i32 ())
+  in
+  let offsets = slurp () in
+  let labels = slurp () in
+  let targets = slurp () in
+  let state_trace = slurp () in
+  let state_tbb = slurp () in
+  let state_start = slurp () in
+  let state_insns = slurp () in
+  let hash_keys = slurp () in
+  let hash_vals = slurp () in
+  if !pos <> len then parse_error "trailing bytes after packed image";
+  try
+    Packed.of_raw
+      {
+        Packed.offsets;
+        labels;
+        targets;
+        state_trace;
+        state_tbb;
+        state_start;
+        state_insns;
+        hash_keys;
+        hash_vals;
+      }
+  with Invalid_argument m -> parse_error "%s" m
+
+let save_packed path packed =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (packed_to_binary packed))
+
+let load_packed path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      packed_of_binary (really_input_string ic len))

@@ -34,3 +34,23 @@ val to_binary : Automaton.t -> string
 
 val binary_size : Automaton.t -> int
 (** [String.length (to_binary a)]. *)
+
+(** {2 Packed engine images}
+
+    A third encoding: the {!Packed} flat arrays verbatim (magic
+    ["TEAPK1"], then each array as a u32 length + u32 little-endian
+    elements, -1 as 0xFFFFFFFF). Unlike the text format this needs no
+    program image to load — the reconstituted engine replays
+    bit-identically, including hash probe order — but it carries no
+    {!Automaton.t}, so per-trace profile queries are unavailable on it. *)
+
+val packed_to_binary : Packed.t -> string
+(** @raise Too_large when a value exceeds the u32 cap. *)
+
+val packed_of_binary : string -> Packed.t
+(** @raise Parse_error on malformed input (bad framing or shape
+    invariants). *)
+
+val save_packed : string -> Packed.t -> unit
+
+val load_packed : string -> Packed.t

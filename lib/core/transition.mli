@@ -39,6 +39,10 @@ type stats = {
   mutable global_misses : int;   (** landed in NTE *)
 }
 
+val fresh_stats : unit -> stats
+(** A zeroed counter record — shared with the {!Packed} engine so both
+    report through the same stats type. *)
+
 type t
 
 val create : config -> Automaton.t -> t

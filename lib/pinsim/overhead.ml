@@ -7,6 +7,7 @@ type row = {
   no_global_local : float;
   global_no_local : float;
   global_local : float;
+  packed : float;
 }
 
 let measure ?(params = Cost_params.default) ?fuel ~traces image =
@@ -18,8 +19,10 @@ let measure ?(params = Cost_params.default) ?fuel ~traces image =
     let stats = Pin.run ~params ?fuel image in
     ratio stats.Pin.framework_cycles
   in
-  let replay_with transition traces =
-    let result, _rep = Pintool_replay.replay ~params ~transition ?fuel ~traces image in
+  let replay_with ?engine transition traces =
+    let result, _rep =
+      Pintool_replay.replay ~params ~transition ?engine ?fuel ~traces image
+    in
     ratio result.Pintool_replay.total_cycles
   in
   {
@@ -29,4 +32,5 @@ let measure ?(params = Cost_params.default) ?fuel ~traces image =
     no_global_local = replay_with Transition.config_no_global_local traces;
     global_no_local = replay_with Transition.config_global_no_local traces;
     global_local = replay_with Transition.config_global_local traces;
+    packed = replay_with ~engine:`Packed Transition.config_global_local traces;
   }

@@ -6,7 +6,9 @@
       tree, no local caches, exactly the configuration footnoted in §4.2;
     - No Global / Local: linked-list container + per-state local caches;
     - Global / No Local: B+ tree, no caches;
-    - Global / Local: both (the configuration behind Tables 2 and 3). *)
+    - Global / Local: both (the configuration behind Tables 2 and 3);
+    - Packed: the flat-array {!Tea_core.Packed} engine — our beyond-paper
+      column showing what the transition function costs once compiled. *)
 
 type row = {
   native : float;            (** 1.00 by construction *)
@@ -15,6 +17,7 @@ type row = {
   no_global_local : float;
   global_no_local : float;
   global_local : float;
+  packed : float;
 }
 
 val measure :

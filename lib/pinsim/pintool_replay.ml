@@ -1,6 +1,9 @@
 module Transition = Tea_core.Transition
+module Packed = Tea_core.Packed
 module Replayer = Tea_core.Replayer
 module Builder = Tea_core.Builder
+
+type engine = [ `Reference | `Packed ]
 
 type result = {
   coverage : float;
@@ -17,10 +20,14 @@ type result = {
 }
 
 let replay ?(params = Cost_params.default)
-    ?(transition = Transition.config_global_local) ?fuel ~traces image =
+    ?(transition = Transition.config_global_local) ?(engine = `Reference)
+    ?fuel ~traces image =
   let auto = Builder.build traces in
-  let trans = Transition.create transition auto in
-  let rep = Replayer.create trans in
+  let rep =
+    match engine with
+    | `Reference -> Replayer.create (Transition.create transition auto)
+    | `Packed -> Replayer.create_packed (Packed.freeze auto)
+  in
   (* §4.1: step the TEA on taken/fall-through edges (merged logical blocks),
      not on Pin's fragment boundaries. *)
   let analysis_calls = ref 0 in
@@ -31,10 +38,10 @@ let replay ?(params = Cost_params.default)
   in
   let stats = Pin.run ~params ?fuel ~tool:(Edge_filter.callbacks filter) image in
   Edge_filter.flush filter;
-  let st = Transition.stats trans in
+  let st = Replayer.stats rep in
   let tool_cycles =
     (params.Cost_params.analysis_call * !analysis_calls)
-    + Transition.cycles trans
+    + Replayer.cycles rep
     + (params.Cost_params.nte_side_work * st.Transition.global_misses)
   in
   let total_cycles = stats.Pin.framework_cycles + tool_cycles in

@@ -5,6 +5,12 @@
     stream through it, collecting coverage and per-TBB profiles on the
     *unmodified* executable. *)
 
+type engine = [ `Reference | `Packed ]
+(** Which transition engine drives the replayer: the paper-faithful
+    {!Tea_core.Transition} (configured by [?transition]) or the flat-array
+    {!Tea_core.Packed} fast path (which ignores [?transition] — it has no
+    container/cache knobs). *)
+
 type result = {
   coverage : float;
   covered_insns : int;
@@ -22,8 +28,10 @@ type result = {
 val replay :
   ?params:Cost_params.t ->
   ?transition:Tea_core.Transition.config ->
+  ?engine:engine ->
   ?fuel:int ->
   traces:Tea_traces.Trace.t list ->
   Tea_isa.Image.t ->
   result * Tea_core.Replayer.t
-(** The returned replayer retains per-state profiles for inspection. *)
+(** The returned replayer retains per-state profiles for inspection.
+    [engine] defaults to [`Reference]. *)

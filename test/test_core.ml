@@ -594,6 +594,115 @@ let test_pc_trace_corrupt () =
    with Pc_trace.Corrupt _ -> ());
   Sys.remove path
 
+let test_pc_trace_negative_deltas () =
+  (* descending addresses force negative deltas through the zig-zag
+     encoder; interleave big jumps both ways *)
+  let path = Filename.temp_file "tea_pc" ".trc" in
+  let records =
+    [ (0x9000000, 2); (0x8048000, 5); (0x10, 1); (0x8048000, 5); (0x0, 0) ]
+  in
+  let w = Pc_trace.open_writer path in
+  List.iter (fun (start, insns) -> Pc_trace.write w ~start ~insns) records;
+  Pc_trace.close_writer w;
+  let back =
+    List.rev (Pc_trace.fold path [] (fun acc ~start ~insns -> (start, insns) :: acc))
+  in
+  Sys.remove path;
+  check Alcotest.(list (pair int int)) "negative deltas roundtrip" records back
+
+let test_pc_trace_max_address () =
+  (* near the top of the representable range: deltas of ~2^60 stress the
+     varint length limit without tripping the 56-bit-shift guard *)
+  let path = Filename.temp_file "tea_pc" ".trc" in
+  let hi = 1 lsl 60 in
+  let records = [ (hi, 7); (0x100, 3); (hi - 1, 1) ] in
+  let w = Pc_trace.open_writer path in
+  List.iter (fun (start, insns) -> Pc_trace.write w ~start ~insns) records;
+  Pc_trace.close_writer w;
+  let back =
+    List.rev (Pc_trace.fold path [] (fun acc ~start ~insns -> (start, insns) :: acc))
+  in
+  Sys.remove path;
+  check Alcotest.(list (pair int int)) "max-address roundtrip" records back
+
+let test_pc_trace_empty_stream () =
+  (* magic only, zero records: valid, not corrupt *)
+  let path = Filename.temp_file "tea_pc" ".trc" in
+  let w = Pc_trace.open_writer path in
+  Pc_trace.close_writer w;
+  check Alcotest.int "no records" 0 (Pc_trace.length path);
+  let chunks = ref 0 in
+  Pc_trace.iter_chunks path (fun ~starts:_ ~insns:_ ~len:_ -> incr chunks);
+  check Alcotest.int "no chunks flushed" 0 !chunks;
+  Sys.remove path
+
+let test_pc_trace_truncated_file () =
+  let with_bytes bytes k =
+    let path = Filename.temp_file "tea_pc" ".trc" in
+    let oc = open_out_bin path in
+    output_string oc bytes;
+    close_out oc;
+    Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> k path)
+  in
+  (* shorter than the magic itself (the empty file included) *)
+  List.iter
+    (fun prefix ->
+      with_bytes prefix (fun path ->
+          try
+            ignore (Pc_trace.length path);
+            Alcotest.failf "accepted %d-byte header" (String.length prefix)
+          with Pc_trace.Corrupt _ -> ()))
+    [ ""; "TEA"; "TEAPC1" ];
+  (* delta present but insns missing: truncated between the two varints *)
+  with_bytes "TEAPC1\n\x04" (fun path ->
+      try
+        ignore (Pc_trace.length path);
+        Alcotest.fail "accepted record missing insns"
+      with Pc_trace.Corrupt _ -> ());
+  (* varint longer than 64 bits *)
+  with_bytes ("TEAPC1\n" ^ String.make 11 '\x80' ^ "\x01") (fun path ->
+      try
+        ignore (Pc_trace.length path);
+        Alcotest.fail "accepted oversized varint"
+      with Pc_trace.Corrupt _ -> ())
+
+let test_pc_trace_writer_misuse () =
+  let path = Filename.temp_file "tea_pc" ".trc" in
+  let w = Pc_trace.open_writer path in
+  Alcotest.check_raises "negative insns"
+    (Invalid_argument "Pc_trace.write: negative instruction count") (fun () ->
+      Pc_trace.write w ~start:0x100 ~insns:(-1));
+  Pc_trace.close_writer w;
+  Pc_trace.close_writer w; (* double close is fine *)
+  Alcotest.check_raises "write after close"
+    (Invalid_argument "Pc_trace.write: writer closed") (fun () ->
+      Pc_trace.write w ~start:0x100 ~insns:1);
+  Sys.remove path
+
+let test_pc_trace_iter_chunks () =
+  let path = Filename.temp_file "tea_pc" ".trc" in
+  let w = Pc_trace.open_writer path in
+  let n = 10 in
+  for i = 1 to n do
+    Pc_trace.write w ~start:(0x1000 * i) ~insns:i
+  done;
+  Pc_trace.close_writer w;
+  (* a chunk size that does not divide n exercises the final partial flush *)
+  let seen = ref [] and lens = ref [] in
+  Pc_trace.iter_chunks ~chunk:4 path (fun ~starts ~insns ~len ->
+      lens := len :: !lens;
+      for i = 0 to len - 1 do
+        seen := (starts.(i), insns.(i)) :: !seen
+      done);
+  Sys.remove path;
+  check Alcotest.(list int) "chunk lengths" [ 4; 4; 2 ] (List.rev !lens);
+  check Alcotest.(list (pair int int)) "all records in order"
+    (List.init n (fun i -> (0x1000 * (i + 1), i + 1)))
+    (List.rev !seen);
+  Alcotest.check_raises "bad chunk size"
+    (Invalid_argument "Pc_trace.iter_chunks: chunk must be positive") (fun () ->
+      Pc_trace.iter_chunks ~chunk:0 path (fun ~starts:_ ~insns:_ ~len:_ -> ()))
+
 let test_pc_trace_offline_replay_equivalence () =
   (* capture once, replay offline: identical coverage and profile to the
      live replay *)
@@ -717,6 +826,12 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_pc_trace_roundtrip;
           Alcotest.test_case "compactness" `Quick test_pc_trace_compactness;
           Alcotest.test_case "corrupt" `Quick test_pc_trace_corrupt;
+          Alcotest.test_case "negative deltas" `Quick test_pc_trace_negative_deltas;
+          Alcotest.test_case "max address" `Quick test_pc_trace_max_address;
+          Alcotest.test_case "empty stream" `Quick test_pc_trace_empty_stream;
+          Alcotest.test_case "truncated file" `Quick test_pc_trace_truncated_file;
+          Alcotest.test_case "writer misuse" `Quick test_pc_trace_writer_misuse;
+          Alcotest.test_case "iter_chunks" `Quick test_pc_trace_iter_chunks;
           Alcotest.test_case "offline replay" `Quick test_pc_trace_offline_replay_equivalence;
           qtest prop_transition_matches_reference;
         ] );

@@ -46,6 +46,81 @@ let test_golden (name, expected) () =
   check Alcotest.int (name ^ " TEA bytes") etea tea;
   check Alcotest.int (name ^ " replay cycles") ereplay replay
 
+(* ---------------- Golden files ---------------- *)
+
+(* Byte-for-byte frozen artifacts under test/goldens/: DOT renderings of
+   three micro-workload automata and the Table 1 / Table 4 ASCII reports
+   for a three-benchmark subset. Regenerate intentionally with
+
+     TEA_GOLDEN_UPDATE=$PWD/test/goldens dune exec test/test_goldens.exe
+
+   which rewrites the files in the source tree instead of comparing. *)
+
+let update_dir = Sys.getenv_opt "TEA_GOLDEN_UPDATE"
+
+(* `dune runtest` runs from _build/default/test (goldens/ materialized via
+   the deps glob); `dune exec test/test_goldens.exe` runs from the project
+   root, where the source copy lives *)
+let golden_root =
+  if Sys.file_exists "goldens" then "goldens" else Filename.concat "test" "goldens"
+
+let check_golden_file name actual =
+  match update_dir with
+  | Some dir ->
+      let path = Filename.concat dir name in
+      let oc = open_out_bin path in
+      output_string oc actual;
+      close_out oc;
+      Printf.printf "updated %s (%d bytes)\n%!" path (String.length actual)
+  | None ->
+      let path = Filename.concat golden_root name in
+      let expected =
+        try
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with Sys_error _ ->
+          Alcotest.failf
+            "missing golden %s - regenerate with TEA_GOLDEN_UPDATE" path
+      in
+      if expected <> actual then begin
+        (* dump the mismatch next to the golden for easy diffing *)
+        let got = Filename.temp_file "tea_golden" ".got" in
+        let oc = open_out_bin got in
+        output_string oc actual;
+        close_out oc;
+        Alcotest.failf "golden mismatch for %s (actual output in %s)" name got
+      end
+
+let micro_automaton image =
+  let r = Tea_dbt.Stardbt.record ~strategy:mret image in
+  Tea_core.Builder.of_set r.Tea_dbt.Stardbt.set
+
+let test_dot_golden (file, title, image) () =
+  check_golden_file file
+    (Tea_core.Dot.of_automaton ~title (micro_automaton (image ())))
+
+let dot_goldens =
+  [
+    ("listscan.dot", "listscan", fun () -> Tea_workloads.Micro.list_scan ());
+    ("branchy.dot", "branchy", fun () -> Tea_workloads.Micro.branchy_loop ());
+    ("copy.dot", "copy", fun () -> Tea_workloads.Micro.copy_loop ());
+  ]
+
+let table_benchmarks = [ "168.wupwise"; "181.mcf"; "253.perlbmk" ]
+
+let test_table_goldens () =
+  let benches =
+    Tea_report.Experiments.prepare ~benchmarks:table_benchmarks ()
+  in
+  check_golden_file "table1.txt"
+    (Tea_report.Experiments.render_table1
+       (Tea_report.Experiments.table1 benches));
+  check_golden_file "table4.txt"
+    (Tea_report.Experiments.render_table4
+       (Tea_report.Experiments.table4 benches))
+
 let () =
   Alcotest.run "tea_goldens"
     [
@@ -53,4 +128,10 @@ let () =
         List.map
           (fun ((name, _) as g) -> Alcotest.test_case name `Slow (test_golden g))
           goldens );
+      ( "files",
+        List.map
+          (fun ((file, _, _) as g) ->
+            Alcotest.test_case file `Quick (test_dot_golden g))
+          dot_goldens
+        @ [ Alcotest.test_case "tables" `Slow test_table_goldens ] );
     ]
