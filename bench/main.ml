@@ -225,6 +225,103 @@ let run_packed_compare () =
     exit 1
   end
 
+(* The parallel driver, measured: the full table sweep at --jobs 1/2/4
+   (asserting byte-identical tables), then the sharded PC-trace replay on
+   a captured stream (asserting profile equality). Speedup is bounded by
+   the machine's cores; the byte-identity checks hold everywhere. *)
+let run_parallel_compare ~benchmarks =
+  let module Pool = Tea_parallel.Pool in
+  (* warm the generated-image cache so the sequential baseline doesn't
+     pay one-time generation the parallel runs then get for free *)
+  List.iter
+    (fun n ->
+      match Tea_workloads.Spec2000.by_name n with
+      | Some p -> ignore (Tea_workloads.Spec2000.image p)
+      | None -> ())
+    benchmarks;
+  let sweep pool =
+    let benches = Experiments.prepare ?pool ~benchmarks () in
+    String.concat "\n"
+      [
+        Experiments.render_table1 (Experiments.table1 ?pool benches);
+        Experiments.render_table2 (Experiments.table2 ?pool benches);
+        Experiments.render_table3 (Experiments.table3 ?pool benches);
+        Experiments.render_table4 (Experiments.table4 ?pool benches);
+      ]
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  progress "[bench] parallel table sweep: %d benchmarks, jobs 1 vs 2 vs 4..."
+    (List.length benchmarks);
+  let seq_out, seq_dt = time (fun () -> sweep None) in
+  Printf.printf "table sweep, jobs 1: %6.1fs (baseline)\n%!" seq_dt;
+  List.iter
+    (fun jobs ->
+      let out, dt =
+        time (fun () ->
+            Pool.with_pool ~jobs (fun pool ->
+                let out = sweep (Some pool) in
+                prerr_string
+                  (Tea_report.Stats.render_domains
+                     ~residual:(Pool.residual_units pool)
+                     (Pool.domain_stats pool));
+                out))
+      in
+      if out <> seq_out then begin
+        prerr_endline "[bench] ERROR: parallel sweep differs from sequential";
+        exit 1
+      end;
+      Printf.printf "table sweep, jobs %d: %6.1fs  speedup %.2fx  (byte-identical)\n%!"
+        jobs dt (seq_dt /. dt))
+    [ 2; 4 ];
+  (* sharded offline replay on a real captured stream *)
+  let image = Tea_workloads.Micro.list_scan () in
+  let strategy = Option.get (Tea_traces.Registry.by_name "mret") in
+  let dbt = Tea_dbt.Stardbt.record ~strategy image in
+  let traces = Tea_traces.Trace_set.to_list dbt.Tea_dbt.Stardbt.set in
+  let packed = Tea_core.Packed.freeze (Tea_core.Builder.build traces) in
+  let path = Filename.temp_file "tea_bench" ".trc" in
+  let n_blocks = Tea_pinsim.Trace_capture.record image path in
+  let starts, insns, len = Tea_parallel.Shard.load_pc_trace path in
+  Sys.remove path;
+  progress "[bench] sharded pc-trace replay: %d blocks from micro:listscan"
+    n_blocks;
+  let replay_at jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        (* best of 5, one warmup *)
+        let best = ref infinity and last = ref None in
+        for round = 0 to 5 do
+          let p, dt =
+            time (fun () ->
+                Tea_parallel.Shard.replay_arrays pool packed ~insns starts ~len)
+          in
+          if round > 0 && dt < !best then best := dt;
+          last := Some p
+        done;
+        (Option.get !last, !best))
+  in
+  let seq_profile, seq_replay_dt = replay_at 1 in
+  List.iter
+    (fun jobs ->
+      let profile, dt = replay_at jobs in
+      if not (Tea_parallel.Profile.equal profile seq_profile) then begin
+        prerr_endline "[bench] ERROR: sharded replay profile differs";
+        exit 1
+      end;
+      Printf.printf
+        "replay, jobs %d: %8.1f ns/block  speedup %.2fx  (profile identical)\n"
+        jobs
+        (1e9 *. dt /. float_of_int len)
+        (seq_replay_dt /. dt))
+    [ 1; 2; 4 ];
+  Printf.printf
+    "note: wall-clock speedup is bounded by available cores (this machine \
+     recommends %d domains)\n"
+    (Domain.recommended_domain_count ())
+
 let run_ablations () =
   progress "[bench] ablation: selection strategies (incl. MFET)...";
   print_string (Tea_report.Ablations.(render_strategies (strategies ())));
@@ -303,6 +400,7 @@ let () =
   match args with
   | [ "micro" ] -> run_micro ()
   | [ "packed" ] -> run_packed_compare ()
+  | [ "parallel" ] -> run_parallel_compare ~benchmarks:table_benchmarks
   | [ "quick" ] -> run_tables ~benchmarks:quick_set ~which:[]
   | [ "ablation" ] -> run_ablations ()
   | [ "extensions" ] -> run_extensions ()
@@ -317,6 +415,6 @@ let () =
       run_tables ~benchmarks:table_benchmarks ~which
   | _ ->
       prerr_endline
-        "usage: main.exe [quick | micro | packed | ablation | extensions | \
-         table1 table2 table3 table4] [--smoke]";
+        "usage: main.exe [quick | micro | packed | parallel | ablation | \
+         extensions | table1 table2 table3 table4] [--smoke]";
       exit 2

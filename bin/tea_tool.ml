@@ -150,8 +150,30 @@ let engine_arg =
     & opt (enum [ ("reference", `Reference); ("packed", `Packed) ]) `Reference
     & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains to shard the work across (1 = plain sequential path). \
+     Stdout is byte-identical whatever $(docv) is; the per-domain \
+     observability counters go to stderr."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* Run [f] with [Some pool] (dumping the pool's per-domain counters on
+   stderr afterwards) or with [None] for the sequential path. *)
+let with_jobs jobs f =
+  if jobs < 1 then or_die (Error "--jobs must be >= 1")
+  else if jobs = 1 then f None
+  else
+    Tea_parallel.Pool.with_pool ~jobs (fun pool ->
+        let r = f (Some pool) in
+        prerr_string
+          (Tea_report.Stats.render_domains
+             ~residual:(Tea_parallel.Pool.residual_units pool)
+             (Tea_parallel.Pool.domain_stats pool));
+        r)
+
 let replay_cmd =
-  let run name strategy_name traces_file config_name pc_trace engine =
+  let run name strategy_name traces_file config_name pc_trace engine jobs =
     let image = or_die (resolve_workload name) in
     let config = or_die (resolve_config config_name) in
     let traces =
@@ -166,6 +188,29 @@ let replay_cmd =
       match engine with `Reference -> "reference" | `Packed -> "packed"
     in
     match pc_trace with
+    | Some path when jobs > 1 ->
+        (* sharded offline replay: chunk the decoded trace across domains
+           with entry-state stitching; the merged profile (and this line)
+           is bit-identical to the sequential replay *)
+        (match engine with
+        | `Reference ->
+            or_die
+              (Error "--jobs > 1 requires --engine=packed for --pc-trace replay")
+        | `Packed ->
+            let auto = Tea_core.Builder.build traces in
+            let packed = Tea_core.Packed.freeze auto in
+            let profile, blocks =
+              with_jobs jobs (function
+                | None -> assert false (* jobs > 1 *)
+                | Some pool ->
+                    Tea_parallel.Shard.replay_pc_trace pool packed path)
+            in
+            Printf.printf
+              "offline replay of %s (%s engine): %d blocks, coverage %.1f%%, \
+               %d trace entries\n"
+              path engine_name blocks
+              (100.0 *. Tea_parallel.Profile.coverage profile)
+              profile.Tea_parallel.Profile.enters)
     | Some path ->
         (* fully offline: no program execution, just the trace file *)
         let auto = Tea_core.Builder.build traces in
@@ -184,6 +229,8 @@ let replay_cmd =
           (100.0 *. Tea_core.Replayer.coverage rep)
           (Tea_core.Replayer.trace_enters rep)
     | None ->
+        if jobs > 1 then
+          or_die (Error "--jobs > 1 applies only to --pc-trace offline replay");
         let result, _ =
           Tea_pinsim.Pintool_replay.replay ~transition:config ~engine ~traces image
         in
@@ -203,7 +250,7 @@ let replay_cmd =
     (Cmd.info "replay" ~doc:"Replay traces through the TEA under the Pin-like frontend")
     Term.(
       const run $ workload_arg $ strategy_arg $ traces_arg $ config_arg
-      $ pc_trace_arg $ engine_arg)
+      $ pc_trace_arg $ engine_arg $ jobs_arg)
 
 let capture_cmd =
   let out_required =
@@ -498,24 +545,55 @@ let reuse_cmd =
 
 (* ---- tables ---- *)
 
+let benchmarks_arg =
+  let doc = "Benchmarks to include (default: all 26)." in
+  Arg.(value & opt_all string [] & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+
+let all_benchmarks = function
+  | [] -> Tea_workloads.Spec2000.names
+  | benchmarks -> benchmarks
+
 let tables_cmd =
-  let benchmarks_arg =
-    let doc = "Benchmarks to include (default: all 26)." in
-    Arg.(value & opt_all string [] & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
-  in
-  let run benchmarks =
-    let benchmarks = if benchmarks = [] then Tea_workloads.Spec2000.names else benchmarks in
-    let benches = Tea_report.Experiments.prepare ~benchmarks () in
-    print_string (Tea_report.Experiments.render_table1 (Tea_report.Experiments.table1 benches));
-    print_newline ();
-    print_string (Tea_report.Experiments.render_table2 (Tea_report.Experiments.table2 benches));
-    print_newline ();
-    print_string (Tea_report.Experiments.render_table3 (Tea_report.Experiments.table3 benches));
-    print_newline ();
-    print_string (Tea_report.Experiments.render_table4 (Tea_report.Experiments.table4 benches))
+  let run benchmarks jobs =
+    let benchmarks = all_benchmarks benchmarks in
+    with_jobs jobs (fun pool ->
+        let open Tea_report.Experiments in
+        let benches = prepare ?pool ~benchmarks () in
+        print_string (render_table1 (table1 ?pool benches));
+        print_newline ();
+        print_string (render_table2 (table2 ?pool benches));
+        print_newline ();
+        print_string (render_table3 (table3 ?pool benches));
+        print_newline ();
+        print_string (render_table4 (table4 ?pool benches)))
   in
   Cmd.v (Cmd.info "tables" ~doc:"Render the paper's Tables 1-4")
-    Term.(const run $ benchmarks_arg)
+    Term.(const run $ benchmarks_arg $ jobs_arg)
+
+let table1_cmd =
+  let run benchmarks jobs =
+    let benchmarks = all_benchmarks benchmarks in
+    with_jobs jobs (fun pool ->
+        let open Tea_report.Experiments in
+        let benches = prepare ?pool ~benchmarks () in
+        print_string (render_table1 (table1 ?pool benches)))
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Render Table 1 (size savings), sharded with --jobs")
+    Term.(const run $ benchmarks_arg $ jobs_arg)
+
+let table4_cmd =
+  let run benchmarks jobs =
+    let benchmarks = all_benchmarks benchmarks in
+    with_jobs jobs (fun pool ->
+        let open Tea_report.Experiments in
+        let benches = prepare ?pool ~benchmarks () in
+        print_string (render_table4 (table4 ?pool benches)))
+  in
+  Cmd.v
+    (Cmd.info "table4"
+       ~doc:"Render Table 4 (overhead ablation), sharded with --jobs")
+    Term.(const run $ benchmarks_arg $ jobs_arg)
 
 let () =
   let doc = "Trace Execution Automata: record, replay and inspect traces" in
@@ -527,5 +605,6 @@ let () =
             list_cmd; run_cmd; record_cmd; replay_cmd; capture_cmd; dot_cmd;
             analyze_cmd;
             phases_cmd; cachesim_cmd; bpred_cmd; inspect_cmd; characterize_cmd;
-            optimize_cmd; layout_cmd; reuse_cmd; tables_cmd;
+            optimize_cmd; layout_cmd; reuse_cmd; tables_cmd; table1_cmd;
+            table4_cmd;
           ]))

@@ -55,7 +55,14 @@ let feed t next =
       account t next;
       if S.trigger s ~current ~next then begin
         S.start s ~current ~next;
-        t.ph <- Creating
+        t.ph <- Creating;
+        (* Blocks recorded from here on execute cold, so the TEA must
+           actually sit at NTE — otherwise, when recording triggers while
+           the state is inside an installed trace (e.g. right at a trace
+           exit), [account] keeps crediting the recorded blocks to
+           [covered]. The `Done branch re-steps from NTE, which picks up
+           the freshly installed trace's head. *)
+        t.state <- Automaton.nte
       end
   | Creating -> (
       match current with

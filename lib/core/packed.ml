@@ -39,8 +39,10 @@ let cost_hash_base = 2
 let cost_hash_probe = 1
 
 (* Fibonacci multiplicative hashing; the constant is SplitMix64's golden
-   gamma truncated to OCaml's int range. *)
-let hash_pc mask pc = ((pc * 0x2545F4914F6CDD1D) lsr 24) land mask
+   gamma truncated to OCaml's int range. Exported so every probe loop —
+   insertion here, {!step}, {!head_of} and the fused batch loop in
+   {!Replayer.feed_run} — shares the one definition. *)
+let[@inline] hash_pc mask pc = ((pc * 0x2545F4914F6CDD1D) lsr 24) land mask
 
 let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
 
@@ -117,6 +119,12 @@ let freeze auto =
     st = Transition.fresh_stats ();
     total_cycles = 0;
   }
+
+(* The flat arrays are immutable after freeze; only [st] and
+   [total_cycles] mutate during replay. Sharing those across domains would
+   race, so a parallel driver gives each worker its own counter block over
+   the same arrays. *)
+let dup t = { t with st = Transition.fresh_stats (); total_cycles = 0 }
 
 let n_slots t = Array.length t.offsets - 1
 

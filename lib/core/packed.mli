@@ -32,6 +32,12 @@ type t
 val freeze : Automaton.t -> t
 (** Compile the automaton's current contents. O(states + transitions). *)
 
+val dup : t -> t
+(** A sibling image sharing the same (immutable) flat arrays but with
+    fresh, zeroed {!stats} and {!cycles} counters. The arrays are never
+    written after {!freeze}, so siblings are safe to step concurrently
+    from different domains; only the counter block is per-sibling. O(1). *)
+
 val step : t -> Automaton.state -> int -> Automaton.state
 (** [step t state pc] — the DFA transition on label [pc]. Same semantics
     as {!Transition.step}: in-trace edge first, then trace-head lookup,
@@ -70,6 +76,12 @@ val n_heads : t -> int
 
 val head_of : t -> int -> Automaton.state option
 (** Pure hash lookup (no stats side effects), for tests and tools. *)
+
+val hash_pc : int -> int -> int
+(** [hash_pc mask pc] — the Fibonacci-multiplicative home slot of [pc] in
+    a power-of-two hash of size [mask + 1]. The single definition behind
+    head insertion, {!step}, {!head_of} and {!Replayer.feed_run}'s fused
+    probe loop. *)
 
 val state_insns : t -> Automaton.state -> int
 (** Block size recorded for a state (0 for NTE / unknown ids). *)

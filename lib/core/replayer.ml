@@ -11,6 +11,7 @@ type t = {
   mutable total : int;
   mutable enters : int;
   mutable exits : int;
+  mutable zeros : int array; (* cached all-zero insns batch, grown on demand *)
 }
 
 let make engine auto =
@@ -23,6 +24,7 @@ let make engine auto =
     total = 0;
     enters = 0;
     exits = 0;
+    zeros = [||];
   }
 
 let create trans = make (Reference trans) (Some (Transition.automaton trans))
@@ -70,7 +72,7 @@ let feed t (b : Block.t) = feed_addr t ~insns:(Block.n_insns b) b.Block.start
    allocated once per batch and is flushed at the end. The replication is
    pinned to the step-at-a-time path by the feed_run/feed_addr qcheck
    equivalence property (state sequence, coverage, stats and cycles). *)
-let run_packed t packed addrs ins len =
+let run_packed t packed addrs ins ~off ~len =
   let raw = Packed.to_raw packed in
   let offsets = raw.Packed.offsets in
   let labels = raw.Packed.labels in
@@ -80,7 +82,7 @@ let run_packed t packed addrs ins len =
   let mask = Array.length keys - 1 in
   let n_slots = Array.length offsets - 1 in
   if t.state < 0 || t.state >= n_slots then
-    invalid_arg "Packed.step: state id outside the frozen image";
+    invalid_arg "Replayer.feed_run: state id outside the frozen image";
   (* every possible next state (targets, hash values, NTE) is < n_slots,
      so growing the count array once up front removes the per-step check *)
   if Array.length t.counts < n_slots then grow_counts t (n_slots - 1);
@@ -91,7 +93,7 @@ let run_packed t packed addrs ins len =
   let enters = ref t.enters and exits = ref t.exits in
   let in_hits = ref 0 and g_hits = ref 0 and g_miss = ref 0 in
   let cycles = ref 0 in
-  for i = 0 to len - 1 do
+  for i = off to off + len - 1 do
     let pc = Array.unsafe_get addrs i in
     let prev = !state in
     let lo = Array.unsafe_get offsets prev in
@@ -122,8 +124,7 @@ let run_packed t packed addrs ins len =
       else begin
         (* cross-trace / cold: probe the trace-head hash *)
         cycles := !cycles + Packed.cost_hash_base;
-        (* multiplier and shift must match Packed.hash_pc *)
-        let idx = ref (((pc * 0x2545F4914F6CDD1D) lsr 24) land mask) in
+        let idx = ref (Packed.hash_pc mask pc) in
         let found = ref (-2) in
         while !found = -2 do
           cycles := !cycles + Packed.cost_hash_probe;
@@ -167,11 +168,11 @@ let run_packed t packed addrs ins len =
 
 let no_insns = [||]
 
-let feed_run t ?insns addrs ~len =
-  if len < 0 || len > Array.length addrs then
+let feed_run t ?(off = 0) ?insns addrs ~len =
+  if len < 0 || off < 0 || off + len > Array.length addrs then
     invalid_arg "Replayer.feed_run: len out of range";
   (match insns with
-  | Some a when Array.length a < len ->
+  | Some a when Array.length a < off + len ->
       invalid_arg "Replayer.feed_run: insns array shorter than len"
   | _ -> ());
   (* The engine match is hoisted out of the loop: one branchy dispatch per
@@ -181,23 +182,35 @@ let feed_run t ?insns addrs ~len =
       let ins =
         match insns with
         | Some a -> a
-        | None -> if len = 0 then no_insns else Array.make len 0
+        | None ->
+            (* reuse a cached all-zero scratch instead of allocating a
+               fresh array on every no-insns batch *)
+            if len = 0 then no_insns
+            else begin
+              if Array.length t.zeros < off + len then
+                t.zeros <- Array.make (off + len) 0;
+              t.zeros
+            end
       in
-      run_packed t packed addrs ins len
+      run_packed t packed addrs ins ~off ~len
   | Reference trans -> (
       match insns with
       | Some ins ->
-          for i = 0 to len - 1 do
+          for i = off to off + len - 1 do
             let prev = t.state in
             let next = Transition.step trans prev (Array.unsafe_get addrs i) in
             account t prev next (Array.unsafe_get ins i)
           done
       | None ->
-          for i = 0 to len - 1 do
+          for i = off to off + len - 1 do
             let prev = t.state in
             let next = Transition.step trans prev (Array.unsafe_get addrs i) in
             account t prev next 0
           done)
+
+let set_state t s =
+  if s < 0 then invalid_arg "Replayer.set_state: negative state id";
+  t.state <- s
 
 let state t = t.state
 
@@ -250,3 +263,37 @@ let transition t =
   match t.engine with
   | Reference trans -> trans
   | Packed _ -> invalid_arg "Replayer.transition: packed engine"
+
+(* Everything a replayer accumulates, as one immutable value. Every field
+   is an integer total (the counts list is per-state totals), so two
+   snapshots of disjoint step ranges merge by pointwise addition — the
+   algebra Tea_parallel.Profile builds on. *)
+type snapshot = {
+  counts : (Automaton.state * int) list;
+  covered : int;
+  total : int;
+  enters : int;
+  exits : int;
+  steps : int;
+  in_trace_hits : int;
+  cache_hits : int;
+  global_hits : int;
+  global_misses : int;
+  cycles : int;
+}
+
+let snapshot (t : t) =
+  let st = stats t in
+  {
+    counts = tbb_counts t;
+    covered = t.covered;
+    total = t.total;
+    enters = t.enters;
+    exits = t.exits;
+    steps = st.Transition.steps;
+    in_trace_hits = st.Transition.in_trace_hits;
+    cache_hits = st.Transition.cache_hits;
+    global_hits = st.Transition.global_hits;
+    global_misses = st.Transition.global_misses;
+    cycles = cycles t;
+  }

@@ -39,15 +39,27 @@ val feed_addr : t -> ?insns:int -> int -> unit
     (default 0 — no coverage accounting), for replaying from an externally
     recorded address stream. *)
 
-val feed_run : t -> ?insns:int array -> int array -> len:int -> unit
-(** [feed_run t ~insns addrs ~len] replays [addrs.(0..len-1)] in one
-    batch: the engine dispatch is hoisted out of the loop, so PC-trace
-    files decode and replay in blocks instead of one call per address.
-    [insns] is a parallel per-block instruction-count array (all 0 when
-    absent). Equivalent to [len] calls to {!feed_addr}.
-    @raise Invalid_argument when [len] exceeds either array. *)
+val feed_run : t -> ?off:int -> ?insns:int array -> int array -> len:int -> unit
+(** [feed_run t ~off ~insns addrs ~len] replays [addrs.(off..off+len-1)]
+    in one batch: the engine dispatch is hoisted out of the loop, so
+    PC-trace files decode and replay in blocks instead of one call per
+    address. [insns] is a parallel per-block instruction-count array
+    indexed like [addrs] (all 0 when absent — served from a scratch array
+    cached on [t], no per-batch allocation). [off] defaults to 0; a
+    nonzero [off] replays a suffix without an [Array.sub] copy (how the
+    parallel driver hands each shard its chunk). Equivalent to [len]
+    calls to {!feed_addr}.
+    @raise Invalid_argument when [off..off+len) exceeds either array. *)
 
 val state : t -> Automaton.state
+
+val set_state : t -> Automaton.state -> unit
+(** Overwrite the current automaton state without stepping — the parallel
+    driver's entry-state stitching, and cross-execution resumption. No
+    accounting happens; coverage, enter/exit counters and stats are
+    untouched. The id is validated lazily: the packed batch loop rejects
+    ids outside the frozen image on the next feed.
+    @raise Invalid_argument on a negative id. *)
 
 val covered_insns : t -> int
 
@@ -84,3 +96,32 @@ val cycles : t -> int
 val transition : t -> Transition.t
 (** The reference engine.
     @raise Invalid_argument on a packed-engine replayer. *)
+
+(** {2 Snapshots}
+
+    Everything a replayer accumulates — per-state counts, coverage,
+    enter/exit counters, engine stats, simulated cycles — as one
+    immutable value. Every field is an integer total, so snapshots of
+    disjoint step ranges merge by pointwise addition; that additive
+    algebra is what makes sharded parallel replay bit-identical to the
+    sequential run ({!Tea_parallel.Profile}). *)
+
+type snapshot = {
+  counts : (Automaton.state * int) list;
+      (** execution count per state, sorted by id, zero counts omitted *)
+  covered : int;
+  total : int;
+  enters : int;
+  exits : int;
+  steps : int;
+  in_trace_hits : int;
+  cache_hits : int;
+  global_hits : int;
+  global_misses : int;
+  cycles : int;
+}
+
+val snapshot : t -> snapshot
+(** The current totals. For a reference-engine replayer the stats fields
+    read the shared {!Transition.t} counters, so they cover everything
+    that transition function did — not only this replayer's feeds. *)

@@ -1,0 +1,196 @@
+type domain_stat = {
+  d_index : int;
+  d_tasks : int;
+  d_busy : float;
+  d_wait : float;
+  d_units : int;
+}
+
+(* Per-worker counters. [w_tasks]/[w_busy]/[w_wait] are written only by
+   the owning worker and read by the driver after a [map] completed (the
+   queue mutex orders those accesses); [w_units] is an Atomic because
+   [add_units] may be called concurrently with the driver reading stats. *)
+type wstat = {
+  w_index : int;
+  mutable w_tasks : int;
+  mutable w_busy : float;
+  mutable w_wait : float;
+  w_units : int Atomic.t;
+  mutable w_domain : Domain.id option;
+}
+
+type t = {
+  jobs : int;
+  m : Mutex.t;
+  work : Condition.t; (* signalled when tasks are queued or on shutdown *)
+  idle : Condition.t; (* signalled when the last in-flight task finishes *)
+  q : (unit -> unit) Queue.t;
+  mutable pending : int; (* queued + running tasks *)
+  mutable closed : bool;
+  stats : wstat array;
+  mutable doms : unit Domain.t array; (* [||] for an inline pool *)
+  residual : int Atomic.t; (* units credited from outside any worker *)
+}
+
+let now () = Unix.gettimeofday ()
+
+let fresh_wstat i =
+  {
+    w_index = i;
+    w_tasks = 0;
+    w_busy = 0.0;
+    w_wait = 0.0;
+    w_units = Atomic.make 0;
+    w_domain = None;
+  }
+
+(* Worker body: wait for a task (counting the wait), run it (tasks catch
+   their own exceptions — see [map]), account, repeat until shutdown. *)
+let rec worker_loop t ws =
+  Mutex.lock t.m;
+  let t0 = now () in
+  while Queue.is_empty t.q && not t.closed do
+    Condition.wait t.work t.m
+  done;
+  ws.w_wait <- ws.w_wait +. (now () -. t0);
+  if Queue.is_empty t.q then Mutex.unlock t.m (* closed: drain and exit *)
+  else begin
+    let task = Queue.pop t.q in
+    Mutex.unlock t.m;
+    let t1 = now () in
+    task ();
+    ws.w_busy <- ws.w_busy +. (now () -. t1);
+    ws.w_tasks <- ws.w_tasks + 1;
+    Mutex.lock t.m;
+    t.pending <- t.pending - 1;
+    if t.pending = 0 then Condition.broadcast t.idle;
+    Mutex.unlock t.m;
+    worker_loop t ws
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let n_workers = if jobs = 1 then 1 else jobs in
+  let t =
+    {
+      jobs;
+      m = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      q = Queue.create ();
+      pending = 0;
+      closed = false;
+      stats = Array.init n_workers fresh_wstat;
+      doms = [||];
+      residual = Atomic.make 0;
+    }
+  in
+  if jobs = 1 then
+    (* inline pool: the caller is worker 0 *)
+    t.stats.(0).w_domain <- Some (Domain.self ())
+  else
+    t.doms <-
+      Array.init jobs (fun i ->
+          Domain.spawn (fun () ->
+              let ws = t.stats.(i) in
+              ws.w_domain <- Some (Domain.self ());
+              worker_loop t ws));
+  t
+
+let jobs t = t.jobs
+
+let reraise_first results =
+  Array.iter
+    (function
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok _) | None -> ())
+    results;
+  Array.map
+    (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+    results
+
+let map t ~f n =
+  if n < 0 then invalid_arg "Pool.map: negative task count";
+  if t.closed then invalid_arg "Pool.map: pool is shut down";
+  if n = 0 then [||]
+  else if t.doms = [||] then begin
+    (* inline: run on the caller, still feeding the worker-0 counters so
+       [--jobs 1] and [--jobs n] report through the same channel *)
+    let ws = t.stats.(0) in
+    let results = Array.make n None in
+    for i = 0 to n - 1 do
+      let t0 = now () in
+      results.(i) <-
+        Some (try Ok (f i) with e -> Error (e, Printexc.get_raw_backtrace ()));
+      ws.w_busy <- ws.w_busy +. (now () -. t0);
+      ws.w_tasks <- ws.w_tasks + 1
+    done;
+    reraise_first results
+  end
+  else begin
+    let results = Array.make n None in
+    Mutex.lock t.m;
+    t.pending <- t.pending + n;
+    for i = 0 to n - 1 do
+      Queue.add
+        (fun () ->
+          results.(i) <-
+            Some
+              (try Ok (f i) with e -> Error (e, Printexc.get_raw_backtrace ())))
+        t.q
+    done;
+    Condition.broadcast t.work;
+    (* Wait for completion. The workers' writes into [results] happen
+       before their final [pending] decrement under [t.m], so observing
+       [pending = 0] here orders every result before our reads. *)
+    while t.pending > 0 do
+      Condition.wait t.idle t.m
+    done;
+    Mutex.unlock t.m;
+    reraise_first results
+  end
+
+let map_list t f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (map t ~f:(fun i -> f arr.(i)) (Array.length arr))
+
+let add_units t n =
+  let self = Domain.self () in
+  let rec go i =
+    if i >= Array.length t.stats then
+      ignore (Atomic.fetch_and_add t.residual n)
+    else
+      match t.stats.(i).w_domain with
+      | Some id when id = self -> ignore (Atomic.fetch_and_add t.stats.(i).w_units n)
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let shutdown t =
+  if not t.closed then begin
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.doms;
+    t.doms <- [||]
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let domain_stats t =
+  Array.to_list
+    (Array.map
+       (fun ws ->
+         {
+           d_index = ws.w_index;
+           d_tasks = ws.w_tasks;
+           d_busy = ws.w_busy;
+           d_wait = ws.w_wait;
+           d_units = Atomic.get ws.w_units;
+         })
+       t.stats)
+
+let residual_units t = Atomic.get t.residual

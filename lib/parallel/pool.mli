@@ -1,0 +1,69 @@
+(** A persistent Domain-based worker pool (OCaml 5 [Domain]s).
+
+    The table drivers and the sharded PC-trace replayer both reduce to the
+    same shape: [n] independent tasks, results wanted in task order. The
+    pool spawns its domains once and reuses them across every {!map} —
+    domain spawn is milliseconds, a table-sweep task is seconds, but the
+    ablation and bench paths map dozens of times and a respawn per map
+    would dominate the small runs.
+
+    [jobs = 1] is the degenerate pool: no domains are spawned and {!map}
+    runs inline on the caller, so [--jobs 1] is the sequential code path,
+    not a one-worker simulation of it.
+
+    Determinism: {!map} returns results indexed by task, never by
+    completion order. Scheduling affects only the wall clock and the
+    per-domain counters — merge-friendly results (see {!Profile}) make the
+    whole parallel run bit-identical to sequential.
+
+    {!map} is not reentrant: tasks must not call {!map} on their own pool
+    (the nested call would wait on workers that are all busy running its
+    parents). One driver thread maps at a time. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] — a pool of [jobs] worker domains ([jobs >= 1]; 1 means
+    inline execution, no domains).
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val map : t -> f:(int -> 'a) -> int -> 'a array
+(** [map t ~f n] runs [f 0 .. f (n-1)] on the pool and returns the results
+    in index order. Blocks until every task finished. If any task raised,
+    the first such exception (by task index) is re-raised on the caller
+    with its backtrace — after all tasks completed, so the pool stays
+    reusable.
+    @raise Invalid_argument on a pool that was {!shutdown}. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over a list, preserving order. *)
+
+val add_units : t -> int -> unit
+(** Credit [n] units of work (for us: replayed blocks) to the calling
+    domain's throughput counter. Callable from inside tasks; outside any
+    worker the units land on the pool-wide residual counter. *)
+
+val shutdown : t -> unit
+(** Join all workers. Idempotent; {!map} afterwards raises. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, and {!shutdown} even on exception. *)
+
+(** {2 Observability} *)
+
+type domain_stat = {
+  d_index : int;  (** worker index, 0-based *)
+  d_tasks : int;  (** tasks executed *)
+  d_busy : float;  (** seconds spent inside tasks *)
+  d_wait : float;  (** seconds spent waiting on the queue *)
+  d_units : int;  (** work units credited via {!add_units} *)
+}
+
+val domain_stats : t -> domain_stat list
+(** One entry per worker (a single entry for an inline [jobs = 1] pool),
+    in index order. Read when no {!map} is in flight. *)
+
+val residual_units : t -> int
+(** Units credited from outside any pool worker. *)

@@ -1,0 +1,69 @@
+type t = Tea_core.Replayer.snapshot = {
+  counts : (Tea_core.Automaton.state * int) list;
+  covered : int;
+  total : int;
+  enters : int;
+  exits : int;
+  steps : int;
+  in_trace_hits : int;
+  cache_hits : int;
+  global_hits : int;
+  global_misses : int;
+  cycles : int;
+}
+
+let empty =
+  {
+    counts = [];
+    covered = 0;
+    total = 0;
+    enters = 0;
+    exits = 0;
+    steps = 0;
+    in_trace_hits = 0;
+    cache_hits = 0;
+    global_hits = 0;
+    global_misses = 0;
+    cycles = 0;
+  }
+
+let of_replayer = Tea_core.Replayer.snapshot
+
+(* Merge two sorted-by-state count lists, summing collisions. Lists are
+   bounded by the automaton's state count, so plain recursion is fine. *)
+let rec merge_counts a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | (sa, ca) :: ta, (sb, cb) :: tb ->
+      if sa < sb then (sa, ca) :: merge_counts ta b
+      else if sb < sa then (sb, cb) :: merge_counts a tb
+      else (sa, ca + cb) :: merge_counts ta tb
+
+let merge a b =
+  {
+    counts = merge_counts a.counts b.counts;
+    covered = a.covered + b.covered;
+    total = a.total + b.total;
+    enters = a.enters + b.enters;
+    exits = a.exits + b.exits;
+    steps = a.steps + b.steps;
+    in_trace_hits = a.in_trace_hits + b.in_trace_hits;
+    cache_hits = a.cache_hits + b.cache_hits;
+    global_hits = a.global_hits + b.global_hits;
+    global_misses = a.global_misses + b.global_misses;
+    cycles = a.cycles + b.cycles;
+  }
+
+let merge_all = List.fold_left merge empty
+
+let equal (a : t) (b : t) = a = b
+
+let coverage t =
+  if t.total = 0 then 0.0 else float_of_int t.covered /. float_of_int t.total
+
+let pp ppf t =
+  Format.fprintf ppf
+    "{covered=%d/%d enters=%d exits=%d steps=%d in=%d cache=%d glob=%d/%d \
+     cycles=%d states=%d}"
+    t.covered t.total t.enters t.exits t.steps t.in_trace_hits t.cache_hits
+    t.global_hits t.global_misses t.cycles (List.length t.counts)

@@ -1,0 +1,124 @@
+module Automaton = Tea_core.Automaton
+module Packed = Tea_core.Packed
+module Replayer = Tea_core.Replayer
+module Pc_trace = Tea_core.Pc_trace
+
+(* What a worker learned about its chunk [lo, hi). *)
+type chunk =
+  | Whole of Profile.t * Automaton.state
+      (* replayed [lo, hi) entirely (chunk 0: entry state known = NTE) *)
+  | Suffix of { sync : int; profile : Profile.t; exit_state : Automaton.state }
+      (* replayed (sync, hi) from the entry-independent state at [sync];
+         the prefix [lo, sync] is the driver's *)
+  | Unsynced (* no sync point in the chunk; the driver replays all of it *)
+
+(* The union of every state's in-trace labels. A PC outside this set
+   resolves identically from any state (head-or-NTE), which is what makes
+   it a legal chunk seam. Built once per replay, shared read-only across
+   the workers. *)
+let edge_labels packed =
+  let raw = Packed.to_raw packed in
+  let h = Hashtbl.create (2 * Array.length raw.Packed.labels + 1) in
+  Array.iter (fun l -> Hashtbl.replace h l ()) raw.Packed.labels;
+  h
+
+let resolve packed pc =
+  match Packed.head_of packed pc with Some s -> s | None -> Automaton.nte
+
+let replay_arrays pool packed ?insns starts ~len =
+  if len < 0 || len > Array.length starts then
+    invalid_arg "Shard.replay_arrays: len out of range";
+  (match insns with
+  | Some a when Array.length a < len ->
+      invalid_arg "Shard.replay_arrays: insns array shorter than len"
+  | _ -> ());
+  let n_chunks = max 1 (min (Pool.jobs pool) len) in
+  let bounds =
+    Array.init n_chunks (fun i ->
+        (i * len / n_chunks, (i + 1) * len / n_chunks))
+  in
+  let labels = edge_labels packed in
+  let work i =
+    let lo, hi = bounds.(i) in
+    if i = 0 then begin
+      let rep = Replayer.create_packed (Packed.dup packed) in
+      Replayer.feed_run rep ~off:lo ?insns starts ~len:(hi - lo);
+      Pool.add_units pool (hi - lo);
+      Whole (Profile.of_replayer rep, Replayer.state rep)
+    end
+    else begin
+      let sync = ref lo in
+      while !sync < hi && Hashtbl.mem labels starts.(!sync) do
+        incr sync
+      done;
+      if !sync >= hi then Unsynced
+      else begin
+        let k = !sync in
+        let rep = Replayer.create_packed (Packed.dup packed) in
+        Replayer.set_state rep (resolve packed starts.(k));
+        let n = hi - k - 1 in
+        if n > 0 then Replayer.feed_run rep ~off:(k + 1) ?insns starts ~len:n;
+        Pool.add_units pool n;
+        Suffix
+          {
+            sync = k;
+            profile = Profile.of_replayer rep;
+            exit_state = Replayer.state rep;
+          }
+      end
+    end
+  in
+  let chunks = Pool.map pool ~f:work n_chunks in
+  (* Sequential stitch: carry the true state across chunks, replaying
+     only what no worker could — each chunk's uncertain prefix. *)
+  let driver = Replayer.create_packed (Packed.dup packed) in
+  let driver_steps = ref 0 in
+  Array.iteri
+    (fun i chunk ->
+      let lo, hi = bounds.(i) in
+      match chunk with
+      | Whole (_, exit_state) -> Replayer.set_state driver exit_state
+      | Suffix { sync; exit_state; _ } ->
+          Replayer.feed_run driver ~off:lo ?insns starts ~len:(sync - lo + 1);
+          driver_steps := !driver_steps + (sync - lo + 1);
+          (* the step at [sync] is entry-independent: the true walk must
+             land exactly where the worker started *)
+          assert (Replayer.state driver = resolve packed starts.(sync));
+          Replayer.set_state driver exit_state
+      | Unsynced ->
+          if hi > lo then begin
+            Replayer.feed_run driver ~off:lo ?insns starts ~len:(hi - lo);
+            driver_steps := !driver_steps + (hi - lo)
+          end)
+    chunks;
+  Pool.add_units pool !driver_steps;
+  let parts =
+    Array.to_list
+      (Array.map
+         (function
+           | Whole (p, _) -> p | Suffix { profile; _ } -> profile
+           | Unsynced -> Profile.empty)
+         chunks)
+  in
+  Profile.merge_all (Profile.of_replayer driver :: parts)
+
+let load_pc_trace path =
+  let starts = ref (Array.make 4096 0) and insns = ref (Array.make 4096 0) in
+  let n = ref 0 in
+  Pc_trace.fold path () (fun () ~start ~insns:ins ->
+      let cap = Array.length !starts in
+      if !n = cap then begin
+        let s' = Array.make (2 * cap) 0 and i' = Array.make (2 * cap) 0 in
+        Array.blit !starts 0 s' 0 !n;
+        Array.blit !insns 0 i' 0 !n;
+        starts := s';
+        insns := i'
+      end;
+      !starts.(!n) <- start;
+      !insns.(!n) <- ins;
+      incr n);
+  (!starts, !insns, !n)
+
+let replay_pc_trace pool packed path =
+  let starts, insns, len = load_pc_trace path in
+  (replay_arrays pool packed ~insns starts ~len, len)

@@ -1,0 +1,46 @@
+(** Sharded offline replay: one PC trace, [n] domains, the sequential
+    profile — exactly.
+
+    A TEA replay is a DFA walk, so chunking a PC trace naively breaks at
+    the seams: a worker starting mid-trace does not know the automaton
+    state its chunk begins in. The packed image makes the fix cheap. The
+    DFA's step is [in_trace_edge(state, pc)], else [head(pc)], else NTE —
+    so at any index whose PC appears in {b no} state's in-trace label set,
+    the next state is [head(pc)]-or-NTE {e regardless of the current
+    state}. Call such indices {b sync points}. Real traces are full of
+    them (every cold block is one).
+
+    Each worker scans its chunk for the first sync point [k], seeds a
+    private {!Tea_core.Replayer} (over a {!Tea_core.Packed.dup} sibling of
+    the shared image) with that entry-independent state, and replays the
+    exact suffix [k+1 .. hi). The driver then stitches sequentially:
+    chunk 0 is replayed whole from NTE; for every later chunk it replays
+    only the short uncertain prefix [lo .. k] from the true carried-in
+    state (asserting it lands on the state the worker assumed) and adopts
+    the worker's exit state. Every index is thus replayed exactly once,
+    from exactly the state the sequential run would have been in — so the
+    {!Profile.merge} of all the pieces is bit-identical to the sequential
+    profile, including stats and simulated cycles (property-tested for
+    1/2/4 domains). A chunk with no sync point degrades gracefully: the
+    driver replays it entirely. *)
+
+val replay_arrays :
+  Pool.t -> Tea_core.Packed.t -> ?insns:int array -> int array -> len:int -> Profile.t
+(** [replay_arrays pool packed ~insns starts ~len] — shard
+    [starts.(0..len-1)] (entry state NTE) across the pool and merge.
+    [insns] is the parallel per-block instruction-count array (coverage
+    counts 0 per block when absent). Workers credit replayed blocks to
+    {!Pool.add_units}.
+    @raise Invalid_argument when [len] exceeds either array. *)
+
+val load_pc_trace : string -> int array * int array * int
+(** Decode a {!Tea_core.Pc_trace} file into [(starts, insns, len)]
+    (arrays may be over-allocated; only [0..len-1] is valid). Decoding is
+    inherently sequential — the format is delta-coded — so the parallel
+    path decodes once up front instead of streaming.
+    @raise Tea_core.Pc_trace.Corrupt on bad framing. *)
+
+val replay_pc_trace : Pool.t -> Tea_core.Packed.t -> string -> Profile.t * int
+(** [load_pc_trace] then [replay_arrays]; returns the merged profile and
+    the block count. Bit-identical to
+    {!Tea_core.Pc_trace.replay_packed} over the same image. *)

@@ -5,6 +5,7 @@ module Trace_set = Tea_traces.Trace_set
 module Registry = Tea_traces.Registry
 module Automaton = Tea_core.Automaton
 module Builder = Tea_core.Builder
+module Pool = Tea_parallel.Pool
 
 type bench = {
   profile : Proggen.profile;
@@ -12,7 +13,18 @@ type bench = {
   dbt : (string * Stardbt.result) list;
 }
 
-let prepare ?benchmarks ?config ?fuel () =
+(* Every driver below is a per-benchmark [List.map] with independent,
+   deterministic bodies, so the parallel version is just the same map run
+   on a pool: results come back in benchmark order and each body computes
+   exactly what it computes sequentially — which is why every rendered
+   table is byte-identical whatever [--jobs] is. *)
+let pmap ?pool f xs =
+  match pool with None -> List.map f xs | Some p -> Pool.map_list p f xs
+
+let credit ?pool n =
+  match pool with None -> () | Some p -> Pool.add_units p n
+
+let prepare ?pool ?benchmarks ?config ?fuel () =
   let profiles =
     match benchmarks with
     | None -> Spec.all
@@ -24,7 +36,7 @@ let prepare ?benchmarks ?config ?fuel () =
             | None -> invalid_arg (Printf.sprintf "Experiments.prepare: %s" n))
           names
   in
-  List.map
+  pmap ?pool
     (fun profile ->
       let image = Spec.image profile in
       let dbt =
@@ -33,6 +45,8 @@ let prepare ?benchmarks ?config ?fuel () =
             (name, Stardbt.record ?config ?fuel ~strategy image))
           Registry.all
       in
+      credit ?pool
+        (List.fold_left (fun acc (_, r) -> acc + r.Stardbt.total_insns) 0 dbt);
       { profile; image; dbt })
     profiles
 
@@ -46,8 +60,8 @@ type size_cell = { dbt_bytes : int; tea_bytes : int; saving : float }
 
 type table1_row = { t1_name : string; cells : (string * size_cell) list }
 
-let table1 benches =
-  List.map
+let table1 ?pool benches =
+  pmap ?pool
     (fun b ->
       let cells =
         List.map
@@ -111,12 +125,13 @@ type table2_row = {
   dbt_mcycles : float;
 }
 
-let table2 ?fuel benches =
-  List.map
+let table2 ?pool ?fuel benches =
+  pmap ?pool
     (fun b ->
       let traces = mret_traces b in
       let dbt_result = List.assoc "mret" b.dbt in
       let res, _rep = Tea_pinsim.Pintool_replay.replay ?fuel ~traces b.image in
+      credit ?pool res.Tea_pinsim.Pintool_replay.total_insns;
       {
         t2_name = b.profile.Proggen.name;
         tea_coverage = res.Tea_pinsim.Pintool_replay.coverage;
@@ -167,14 +182,15 @@ type table3_row = {
   n_traces : int;
 }
 
-let table3 ?fuel benches =
+let table3 ?pool ?fuel benches =
   let mret = List.assoc "mret" Registry.all in
-  List.map
+  pmap ?pool
     (fun b ->
       let dbt_result = List.assoc "mret" b.dbt in
       let res, _online =
         Tea_pinsim.Pintool_record.record ?fuel ~strategy:mret b.image
       in
+      credit ?pool res.Tea_pinsim.Pintool_record.total_insns;
       {
         t3_name = b.profile.Proggen.name;
         pin_coverage = res.Tea_pinsim.Pintool_record.coverage;
@@ -196,8 +212,8 @@ let render_table3 rows =
 
 type table4_row = { t4_name : string; row : Tea_pinsim.Overhead.row }
 
-let table4 ?fuel benches =
-  List.map
+let table4 ?pool ?fuel benches =
+  pmap ?pool
     (fun b ->
       let traces = mret_traces b in
       {

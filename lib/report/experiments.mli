@@ -15,13 +15,20 @@ type bench = {
 }
 
 val prepare :
+  ?pool:Tea_parallel.Pool.t ->
   ?benchmarks:string list ->
   ?config:Tea_traces.Recorder.config ->
   ?fuel:int ->
   unit ->
   bench list
 (** Generate images and run the StarDBT recorder with every strategy.
-    [benchmarks] defaults to all 26. *)
+    [benchmarks] defaults to all 26.
+
+    Every driver here accepts an optional [pool]: benchmarks are
+    independent, so they shard across the pool's domains, with results
+    (and therefore every rendered table) byte-identical to the sequential
+    run — only wall-clock time and the pool's per-domain counters differ.
+    Omitting [pool] is the plain sequential [List.map]. *)
 
 val mret_traces : bench -> Tea_traces.Trace.t list
 (** The MRET trace set from the prepared DBT run (Tables 2-4 input). *)
@@ -32,7 +39,7 @@ type size_cell = { dbt_bytes : int; tea_bytes : int; saving : float }
 
 type table1_row = { t1_name : string; cells : (string * size_cell) list }
 
-val table1 : bench list -> table1_row list
+val table1 : ?pool:Tea_parallel.Pool.t -> bench list -> table1_row list
 
 val render_table1 : table1_row list -> string
 
@@ -46,7 +53,7 @@ type table2_row = {
   dbt_mcycles : float;
 }
 
-val table2 : ?fuel:int -> bench list -> table2_row list
+val table2 : ?pool:Tea_parallel.Pool.t -> ?fuel:int -> bench list -> table2_row list
 
 val render_table2 : table2_row list -> string
 
@@ -61,7 +68,7 @@ type table3_row = {
   n_traces : int;
 }
 
-val table3 : ?fuel:int -> bench list -> table3_row list
+val table3 : ?pool:Tea_parallel.Pool.t -> ?fuel:int -> bench list -> table3_row list
 
 val render_table3 : table3_row list -> string
 
@@ -69,6 +76,6 @@ val render_table3 : table3_row list -> string
 
 type table4_row = { t4_name : string; row : Tea_pinsim.Overhead.row }
 
-val table4 : ?fuel:int -> bench list -> table4_row list
+val table4 : ?pool:Tea_parallel.Pool.t -> ?fuel:int -> bench list -> table4_row list
 
 val render_table4 : table4_row list -> string

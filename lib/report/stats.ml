@@ -20,3 +20,45 @@ let kb bytes = max 1 ((bytes + 1023) / 1024)
 
 let savings ~dbt ~tea =
   if dbt <= 0 then 0.0 else 1.0 -. (float_of_int tea /. float_of_int dbt)
+
+let rate units secs =
+  if secs <= 0.0 || units = 0 then "-"
+  else
+    let r = float_of_int units /. secs in
+    if r >= 1.0e6 then Printf.sprintf "%.1fM/s" (r /. 1.0e6)
+    else if r >= 1.0e3 then Printf.sprintf "%.1fk/s" (r /. 1.0e3)
+    else Printf.sprintf "%.0f/s" r
+
+let render_domains ?(residual = 0) stats =
+  let header = [ "domain"; "tasks"; "busy"; "wait"; "units"; "throughput" ] in
+  let body =
+    List.map
+      (fun d ->
+        let open Tea_parallel.Pool in
+        [
+          string_of_int d.d_index;
+          string_of_int d.d_tasks;
+          Printf.sprintf "%.2fs" d.d_busy;
+          Printf.sprintf "%.2fs" d.d_wait;
+          string_of_int d.d_units;
+          rate d.d_units d.d_busy;
+        ])
+      stats
+  in
+  let driver_row =
+    if residual = 0 then []
+    else [ [ "driver"; "-"; "-"; "-"; string_of_int residual; "-" ] ]
+  in
+  let totals =
+    let open Tea_parallel.Pool in
+    let tasks = List.fold_left (fun a d -> a + d.d_tasks) 0 stats in
+    let busy = List.fold_left (fun a d -> a +. d.d_busy) 0.0 stats in
+    let wait = List.fold_left (fun a d -> a +. d.d_wait) 0.0 stats in
+    let units = residual + List.fold_left (fun a d -> a + d.d_units) 0 stats in
+    [
+      "total"; string_of_int tasks; Printf.sprintf "%.2fs" busy;
+      Printf.sprintf "%.2fs" wait; string_of_int units; rate units busy;
+    ]
+  in
+  "Per-domain replay counters\n"
+  ^ Table.render ~header (body @ driver_row @ [ totals ])

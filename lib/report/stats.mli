@@ -20,3 +20,16 @@ val kb : int -> int
 
 val savings : dbt:int -> tea:int -> float
 (** [1 - tea/dbt], the Table 1 "Savings" fraction. *)
+
+val rate : int -> float -> string
+(** [rate units secs] — ["3.2M/s"]-style throughput; ["-"] when nothing
+    was measured. *)
+
+val render_domains :
+  ?residual:int -> Tea_parallel.Pool.domain_stat list -> string
+(** ASCII table of the pool's per-domain observability counters (tasks,
+    busy/wait seconds, work units, throughput) plus a totals row.
+    [residual] ({!Tea_parallel.Pool.residual_units}) shows up as a
+    "driver" row — the stitching work done outside any worker. The
+    parallel CLI paths print this to stderr, keeping stdout byte-identical
+    to the sequential run. *)

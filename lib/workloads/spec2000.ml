@@ -210,14 +210,34 @@ let names = List.map (fun p -> p.Proggen.name) all
 
 let by_name n = List.find_opt (fun p -> p.Proggen.name = n) all
 
+(* The generated-image cache is the one piece of global mutable state in
+   the workload layer; the parallel table driver calls [image] from
+   several domains, so it is mutex-guarded. Generation is deterministic
+   per profile, so regenerating outside the lock would still be correct —
+   the lock only prevents Hashtbl structural races and wasted work. *)
 let cache : (string, Tea_isa.Image.t) Hashtbl.t = Hashtbl.create 32
 
+let cache_mutex = Mutex.create ()
+
 let image p =
+  Mutex.lock cache_mutex;
   match Hashtbl.find_opt cache p.Proggen.name with
-  | Some img -> img
+  | Some img ->
+      Mutex.unlock cache_mutex;
+      img
   | None ->
+      Mutex.unlock cache_mutex;
       let img = Proggen.generate p in
-      Hashtbl.replace cache p.Proggen.name img;
+      Mutex.lock cache_mutex;
+      let img =
+        (* another domain may have generated it meanwhile; keep one copy *)
+        match Hashtbl.find_opt cache p.Proggen.name with
+        | Some prior -> prior
+        | None ->
+            Hashtbl.replace cache p.Proggen.name img;
+            img
+      in
+      Mutex.unlock cache_mutex;
       img
 
 let fp_names =

@@ -370,6 +370,73 @@ let test_online_vs_offline_equivalence () =
     (Automaton.n_transitions auto);
   check Alcotest.int "byte size" (Automaton.byte_size offline) (Automaton.byte_size auto)
 
+(* Regression: blocks recorded during Creating must account as cold even
+   when recording triggers while the TEA sits inside an installed trace
+   (the paper's Algorithm 2 keeps the automaton at NTE while recording).
+   A scripted strategy forces exactly that: its second recording starts
+   right after an in-trace step, where the stale non-NTE state used to
+   keep crediting [covered]. *)
+let test_online_creating_counts_cold () =
+  let module Scripted = struct
+    type t = {
+      mutable trig_calls : int;
+      mutable recording : Block.t list; (* in order *)
+      mutable completed : Trace.t list;
+    }
+
+    let name = "scripted"
+
+    let create _ = { trig_calls = 0; recording = []; completed = [] }
+
+    (* fire on the 3rd and 6th Executing feed: once from NTE, once while
+       the TEA is mid-trace *)
+    let trigger t ~current:_ ~next:_ =
+      t.trig_calls <- t.trig_calls + 1;
+      t.trig_calls = 3 || t.trig_calls = 6
+
+    let start t ~current:_ ~next = t.recording <- [ next ]
+
+    let add t ~current:_ ~next =
+      if List.length t.recording >= 2 then begin
+        let id = List.length t.completed in
+        let tr =
+          (* first trace loops A->B->A; second is the linear B->A, so the
+             two heads stay distinct and the automaton deterministic *)
+          if id = 0 then
+            Trace.linear ~id ~kind:"scripted" ~cycle:true t.recording
+          else Trace.linear ~id ~kind:"scripted" t.recording
+        in
+        t.recording <- [];
+        t.completed <- t.completed @ [ tr ];
+        `Done (Some tr)
+      end
+      else begin
+        t.recording <- t.recording @ [ next ];
+        `Continue
+      end
+
+    let abort _ = None
+
+    let traces t = t.completed
+  end in
+  let online = Online.create (module Scripted) in
+  let a = block_at 0x100 and b = block_at 0x200 in
+  (* A B | A B A (records T1=[A;B], replays it) | B A B (coverage while
+     executing T1) then trigger #6 lands at B mid-trace: records T2=[B;A],
+     whose two blocks must execute cold *)
+  List.iter
+    (fun blk -> Online.feed online blk)
+    [ a; b; a; b; a; b; a; b; a; b ];
+  check Alcotest.int "two traces recorded" 2
+    (List.length (Online.traces online));
+  check Alcotest.bool "back to executing" true
+    (Online.phase online = Online.Executing);
+  check Alcotest.int "total insns" 10 (Online.total_insns online);
+  (* steps 5,6,7,8 execute inside T1; steps 9,10 are T2 being recorded
+     (cold); step 10's `Done re-steps from NTE into T2's fresh head *)
+  check Alcotest.int "recorded blocks count as cold" 5
+    (Online.covered_insns online)
+
 (* ---------------- Serialization & DOT ---------------- *)
 
 let test_text_roundtrip () =
@@ -807,6 +874,8 @@ let () =
           Alcotest.test_case "matches DBT strategy" `Quick test_online_matches_dbt_strategy;
           Alcotest.test_case "automaton consistent" `Quick test_online_automaton_consistency;
           Alcotest.test_case "online = offline" `Quick test_online_vs_offline_equivalence;
+          Alcotest.test_case "recording counts cold" `Quick
+            test_online_creating_counts_cold;
         ] );
       ( "phases",
         [

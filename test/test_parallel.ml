@@ -1,0 +1,444 @@
+(* The parallel replay driver: the Domain pool, the mergeable Profile
+   algebra, and the sharded PC-trace replay with entry-state stitching.
+   The headline property is exactness — a sharded parallel replay must
+   merge to the bit-identical profile of the sequential run (per-state
+   counts, coverage, enter/exit counters, stats and simulated cycles) for
+   any workload and any domain count. *)
+
+open Tea_isa
+module I = Insn
+module Block = Tea_cfg.Block
+module Trace = Tea_traces.Trace
+module Automaton = Tea_core.Automaton
+module Builder = Tea_core.Builder
+module Packed = Tea_core.Packed
+module Replayer = Tea_core.Replayer
+module Pc_trace = Tea_core.Pc_trace
+module Pool = Tea_parallel.Pool
+module Profile = Tea_parallel.Profile
+module Shard = Tea_parallel.Shard
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let block_at addr = Block.make Block.Branch [ (addr, I.Jmp (I.Abs 0)) ]
+
+(* Fixtures shared with test_core/test_packed: T1 cycles
+   0x100->0x200->0x300->0x100, T2 chains 0x400->0x300. *)
+let t1 =
+  Trace.linear ~id:0 ~kind:"test" ~cycle:true
+    [ block_at 0x100; block_at 0x200; block_at 0x300 ]
+
+let t2 = Trace.linear ~id:1 ~kind:"test" [ block_at 0x400; block_at 0x300 ]
+
+let fixture_packed () = Packed.freeze (Builder.build [ t1; t2 ])
+
+(* A looping stream over the fixture: in-trace runs, cross-trace hops and
+   cold blocks (0x999 is in no trace — a sync point in every lap). *)
+let fixture_stream n =
+  let lap = [ 0x100; 0x200; 0x300; 0x100; 0x999; 0x400; 0x300; 0x555 ] in
+  Array.init n (fun i -> List.nth lap (i mod List.length lap))
+
+(* ---------------- Pool ---------------- *)
+
+let test_pool_map_order () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let r = Pool.map pool ~f:(fun i -> i * i) 100 in
+      check (Alcotest.array Alcotest.int) "squares in index order"
+        (Array.init 100 (fun i -> i * i))
+        r;
+      let tasks =
+        List.fold_left (fun a d -> a + d.Pool.d_tasks) 0 (Pool.domain_stats pool)
+      in
+      check Alcotest.int "every task ran exactly once" 100 tasks)
+
+let test_pool_inline () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      check Alcotest.int "jobs" 1 (Pool.jobs pool);
+      let r = Pool.map pool ~f:(fun i -> i + 1) 5 in
+      check (Alcotest.array Alcotest.int) "inline results" [| 1; 2; 3; 4; 5 |] r;
+      match Pool.domain_stats pool with
+      | [ d ] -> check Alcotest.int "inline tasks counted" 5 d.Pool.d_tasks
+      | ds -> Alcotest.failf "expected 1 stat entry, got %d" (List.length ds))
+
+let test_pool_map_list () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      check (Alcotest.list Alcotest.string) "order preserved"
+        [ "a!"; "b!"; "c!" ]
+        (Pool.map_list pool (fun s -> s ^ "!") [ "a"; "b"; "c" ]))
+
+let test_pool_exception () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          Alcotest.check_raises "task exception reaches the caller"
+            (Failure "boom")
+            (fun () ->
+              ignore
+                (Pool.map pool
+                   ~f:(fun i -> if i = 5 then failwith "boom" else i)
+                   10));
+          (* the pool survives a failed map *)
+          let r = Pool.map pool ~f:(fun i -> i) 4 in
+          check (Alcotest.array Alcotest.int) "reusable after failure"
+            [| 0; 1; 2; 3 |] r))
+    [ 1; 2 ]
+
+let test_pool_add_units () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      ignore
+        (Pool.map pool
+           ~f:(fun i ->
+             Pool.add_units pool (i + 1);
+             i)
+           10);
+      (* from outside any worker: lands on the residual counter *)
+      Pool.add_units pool 7;
+      let worker_units =
+        List.fold_left (fun a d -> a + d.Pool.d_units) 0 (Pool.domain_stats pool)
+      in
+      check Alcotest.int "task units all credited" 55 worker_units;
+      check Alcotest.int "driver units on the residual" 7
+        (Pool.residual_units pool))
+
+let test_pool_shutdown () =
+  let pool = Pool.create ~jobs:2 in
+  ignore (Pool.map pool ~f:(fun i -> i) 3);
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map pool ~f:(fun i -> i) 1));
+  Alcotest.check_raises "jobs < 1 rejected"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0))
+
+(* ---------------- Profile ---------------- *)
+
+let profile_of_run stream =
+  let rep = Replayer.create_packed (fixture_packed ()) in
+  Array.iter (fun a -> Replayer.feed_addr rep ~insns:1 a) stream;
+  (Profile.of_replayer rep, rep)
+
+let profile = Alcotest.testable Profile.pp Profile.equal
+
+let test_profile_of_replayer () =
+  let p, rep = profile_of_run (fixture_stream 40) in
+  check Alcotest.int "covered" (Replayer.covered_insns rep) p.Profile.covered;
+  check Alcotest.int "total" (Replayer.total_insns rep) p.Profile.total;
+  check Alcotest.int "enters" (Replayer.trace_enters rep) p.Profile.enters;
+  check Alcotest.int "exits" (Replayer.trace_exits rep) p.Profile.exits;
+  check Alcotest.int "cycles" (Replayer.cycles rep) p.Profile.cycles;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "counts" (Replayer.tbb_counts rep) p.Profile.counts;
+  check Alcotest.int "steps" (Replayer.stats rep).Tea_core.Transition.steps
+    p.Profile.steps
+
+let test_profile_merge_identity () =
+  let p, _ = profile_of_run (fixture_stream 33) in
+  check profile "left identity" p (Profile.merge Profile.empty p);
+  check profile "right identity" p (Profile.merge p Profile.empty);
+  check profile "merge_all" p (Profile.merge_all [ Profile.empty; p ])
+
+let test_profile_merge_assoc_comm () =
+  let a, _ = profile_of_run (fixture_stream 17) in
+  let b, _ = profile_of_run (fixture_stream 40) in
+  let c, _ = profile_of_run (Array.map (fun x -> x + 0x10) (fixture_stream 9)) in
+  check profile "commutative" (Profile.merge a b) (Profile.merge b a);
+  check profile "associative"
+    (Profile.merge (Profile.merge a b) c)
+    (Profile.merge a (Profile.merge b c));
+  let m = Profile.merge a b in
+  check (Alcotest.float 1e-9) "coverage"
+    (float_of_int m.Profile.covered /. float_of_int m.Profile.total)
+    (Profile.coverage m)
+
+(* Splitting one replay at an arbitrary point and stitching with
+   [set_state] must merge back to the whole-run profile — the single-seam
+   version of what the sharded driver does at every chunk boundary. *)
+let test_profile_split_merge () =
+  let stream = fixture_stream 50 in
+  let whole, _ = profile_of_run stream in
+  List.iter
+    (fun k ->
+      let rep_a = Replayer.create_packed (fixture_packed ()) in
+      Array.iteri
+        (fun i a -> if i < k then Replayer.feed_addr rep_a ~insns:1 a)
+        stream;
+      let rep_b = Replayer.create_packed (fixture_packed ()) in
+      Replayer.set_state rep_b (Replayer.state rep_a);
+      Array.iteri
+        (fun i a -> if i >= k then Replayer.feed_addr rep_b ~insns:1 a)
+        stream;
+      check profile
+        (Printf.sprintf "split at %d == whole" k)
+        whole
+        (Profile.merge (Profile.of_replayer rep_a) (Profile.of_replayer rep_b)))
+    [ 0; 1; 13; 25; 49; 50 ]
+
+(* ---------------- Random workloads (same shape as test_packed) -------- *)
+
+let pool_size = 16
+
+let pool_addr i = 0x1000 + (0x10 * (i mod (pool_size + 4)))
+
+let gen_trace id rand =
+  let open QCheck.Gen in
+  let n = int_range 1 6 rand in
+  let idxs = Array.init n (fun _ -> int_range 0 (pool_size - 1) rand) in
+  let blocks = Array.map (fun i -> block_at (pool_addr i)) idxs in
+  let succs =
+    Array.init n (fun _ ->
+        let k = int_range 0 3 rand in
+        let chosen = List.init k (fun _ -> int_range 0 (n - 1) rand) in
+        let seen = Hashtbl.create 4 in
+        List.filter
+          (fun j ->
+            let label = pool_addr idxs.(j) in
+            if Hashtbl.mem seen label then false
+            else begin
+              Hashtbl.add seen label ();
+              true
+            end)
+          chosen)
+  in
+  Trace.make ~id ~kind:"gen" blocks succs
+
+type workload = { w_traces : Trace.t list; w_stream : (int * int) list }
+
+let gen_workload =
+  let open QCheck.Gen in
+  let gen rand =
+    let n_traces = int_range 1 5 rand in
+    let w_traces = List.init n_traces (fun id -> gen_trace id rand) in
+    let n_steps = int_range 0 400 rand in
+    let w_stream =
+      List.init n_steps (fun _ ->
+          (pool_addr (int_range 0 (pool_size + 3) rand), int_range 0 4 rand))
+    in
+    { w_traces; w_stream }
+  in
+  QCheck.make
+    ~print:(fun w ->
+      Printf.sprintf "traces=%d stream=%d"
+        (List.length w.w_traces) (List.length w.w_stream))
+    gen
+
+let sequential_profile packed ~starts ~insns ~len =
+  let rep = Replayer.create_packed (Packed.dup packed) in
+  Replayer.feed_run rep ~insns starts ~len;
+  Profile.of_replayer rep
+
+(* The tentpole property: sharded replay == sequential replay, exactly,
+   for 1, 2 and 4 domains — whatever the automaton and stream. *)
+let prop_shard_equals_sequential =
+  QCheck.Test.make ~name:"sharded parallel replay == sequential (jobs 1/2/4)"
+    ~count:60 gen_workload (fun w ->
+      let auto = Builder.build w.w_traces in
+      if Automaton.check_deterministic auto <> Ok () then
+        QCheck.Test.fail_report "generated automaton not deterministic";
+      let packed = Packed.freeze auto in
+      let starts = Array.of_list (List.map fst w.w_stream) in
+      let insns = Array.of_list (List.map snd w.w_stream) in
+      let len = Array.length starts in
+      let seq = sequential_profile packed ~starts ~insns ~len in
+      List.for_all
+        (fun jobs ->
+          let par =
+            Pool.with_pool ~jobs (fun pool ->
+                Shard.replay_arrays pool packed ~insns starts ~len)
+          in
+          if Profile.equal seq par then true
+          else
+            QCheck.Test.fail_reportf "jobs=%d: %a <> %a" jobs Profile.pp par
+              Profile.pp seq)
+        [ 1; 2; 4 ])
+
+let test_shard_fixture () =
+  let packed = fixture_packed () in
+  let starts = fixture_stream 1000 in
+  let insns = Array.make 1000 1 in
+  let seq = sequential_profile packed ~starts ~insns ~len:1000 in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let par = Shard.replay_arrays pool packed ~insns starts ~len:1000 in
+      check profile "4-way shard == sequential" seq par;
+      let units =
+        Pool.residual_units pool
+        + List.fold_left (fun a d -> a + d.Pool.d_units) 0
+            (Pool.domain_stats pool)
+      in
+      check Alcotest.int "every block credited exactly once" 1000 units)
+
+let test_shard_validation () =
+  let packed = fixture_packed () in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.check_raises "len out of range"
+        (Invalid_argument "Shard.replay_arrays: len out of range") (fun () ->
+          ignore (Shard.replay_arrays pool packed [| 0x100 |] ~len:2));
+      Alcotest.check_raises "short insns"
+        (Invalid_argument "Shard.replay_arrays: insns array shorter than len")
+        (fun () ->
+          ignore
+            (Shard.replay_arrays pool packed ~insns:[||] [| 0x100 |] ~len:1));
+      (* empty stream: trivially equal to sequential *)
+      check profile "empty stream" Profile.empty
+        (Shard.replay_arrays pool packed [||] ~len:0))
+
+let test_shard_pc_trace () =
+  let path = Filename.temp_file "tea_test_parallel" ".trc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w = Pc_trace.open_writer path in
+      let starts = fixture_stream 700 in
+      Array.iter (fun a -> Pc_trace.write w ~start:a ~insns:2) starts;
+      Pc_trace.close_writer w;
+      let packed = fixture_packed () in
+      let seq =
+        Profile.of_replayer (Pc_trace.replay_packed (Packed.dup packed) path)
+      in
+      Pool.with_pool ~jobs:3 (fun pool ->
+          let par, blocks = Shard.replay_pc_trace pool packed path in
+          check Alcotest.int "block count" 700 blocks;
+          check profile "pc-trace shard == replay_packed" seq par))
+
+(* ---------------- Replayer satellites ---------------- *)
+
+(* feed_run ~off replays exactly the sub-array, for both engines. *)
+let test_feed_run_off () =
+  let stream = fixture_stream 60 in
+  let insns = Array.map (fun _ -> 1) stream in
+  let with_off =
+    let rep = Replayer.create_packed (fixture_packed ()) in
+    Replayer.feed_run rep ~off:20 ~insns stream ~len:30;
+    Profile.of_replayer rep
+  in
+  let with_sub =
+    let rep = Replayer.create_packed (fixture_packed ()) in
+    Replayer.feed_run rep
+      ~insns:(Array.sub insns 20 30)
+      (Array.sub stream 20 30) ~len:30;
+    Profile.of_replayer rep
+  in
+  check profile "packed: off == sub-array copy" with_sub with_off;
+  let reference off =
+    let auto = Builder.build [ t1; t2 ] in
+    let rep =
+      Replayer.create
+        (Tea_core.Transition.create Tea_core.Transition.config_global_local auto)
+    in
+    if off then Replayer.feed_run rep ~off:20 ~insns stream ~len:30
+    else
+      Replayer.feed_run rep
+        ~insns:(Array.sub insns 20 30)
+        (Array.sub stream 20 30) ~len:30;
+    Profile.of_replayer rep
+  in
+  check profile "reference: off == sub-array copy" (reference false)
+    (reference true);
+  let rep = Replayer.create_packed (fixture_packed ()) in
+  Alcotest.check_raises "off+len out of range"
+    (Invalid_argument "Replayer.feed_run: len out of range") (fun () ->
+      Replayer.feed_run rep ~off:40 stream ~len:30);
+  Alcotest.check_raises "negative off"
+    (Invalid_argument "Replayer.feed_run: len out of range") (fun () ->
+      Replayer.feed_run rep ~off:(-1) stream ~len:1)
+
+(* The cached no-insns scratch must behave like an explicit zero array,
+   across repeated batches of different sizes (regrowth included). *)
+let test_feed_run_no_insns_scratch () =
+  let a =
+    let rep = Replayer.create_packed (fixture_packed ()) in
+    Replayer.feed_run rep (fixture_stream 10) ~len:10;
+    Replayer.feed_run rep (fixture_stream 300) ~len:300;
+    Replayer.feed_run rep ~off:5 (fixture_stream 40) ~len:35;
+    Profile.of_replayer rep
+  in
+  let b =
+    let rep = Replayer.create_packed (fixture_packed ()) in
+    Replayer.feed_run rep ~insns:(Array.make 10 0) (fixture_stream 10) ~len:10;
+    Replayer.feed_run rep ~insns:(Array.make 300 0) (fixture_stream 300)
+      ~len:300;
+    Replayer.feed_run rep ~off:5 ~insns:(Array.make 40 0) (fixture_stream 40)
+      ~len:35;
+    Profile.of_replayer rep
+  in
+  check profile "no-insns batches == explicit zero arrays" b a;
+  check Alcotest.int "no coverage accrued" 0 a.Profile.covered
+
+let test_set_state_validation () =
+  let rep = Replayer.create_packed (fixture_packed ()) in
+  Alcotest.check_raises "negative id"
+    (Invalid_argument "Replayer.set_state: negative state id") (fun () ->
+      Replayer.set_state rep (-1));
+  Replayer.set_state rep 9999;
+  (* the batch loop attributes the range check to itself, not Packed.step *)
+  Alcotest.check_raises "stale state caught at next batch"
+    (Invalid_argument "Replayer.feed_run: state id outside the frozen image")
+    (fun () -> Replayer.feed_run rep [| 0x100 |] ~len:1)
+
+(* Packed.hash_pc is the one hash definition: every occupied slot of a
+   frozen image's head table must be reachable by linear probing from its
+   hash_pc home slot (no hole in between), and head_of must agree. *)
+let test_hash_pc_exported () =
+  let packed = fixture_packed () in
+  let raw = Packed.to_raw packed in
+  let keys = raw.Packed.hash_keys and vals = raw.Packed.hash_vals in
+  let mask = Array.length keys - 1 in
+  Array.iteri
+    (fun _ key ->
+      if key >= 0 then begin
+        let rec find i steps =
+          if steps > mask then Alcotest.failf "0x%x unreachable from home" key
+          else if keys.(i) = key then i
+          else if keys.(i) < 0 then
+            Alcotest.failf "probe chain for 0x%x hits a hole" key
+          else find ((i + 1) land mask) (steps + 1)
+        in
+        let slot = find (Packed.hash_pc mask key) 0 in
+        check (Alcotest.option Alcotest.int)
+          (Printf.sprintf "head_of 0x%x" key)
+          (Some vals.(slot))
+          (Packed.head_of packed key)
+      end)
+    keys
+
+let () =
+  Alcotest.run "tea_parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map order and values" `Quick test_pool_map_order;
+          Alcotest.test_case "inline jobs=1" `Quick test_pool_inline;
+          Alcotest.test_case "map_list" `Quick test_pool_map_list;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "add_units accounting" `Quick test_pool_add_units;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "of_replayer" `Quick test_profile_of_replayer;
+          Alcotest.test_case "merge identity" `Quick test_profile_merge_identity;
+          Alcotest.test_case "merge assoc/comm" `Quick
+            test_profile_merge_assoc_comm;
+          Alcotest.test_case "split+merge == whole" `Quick
+            test_profile_split_merge;
+        ] );
+      ( "shard",
+        [
+          qtest prop_shard_equals_sequential;
+          Alcotest.test_case "fixture 4-way" `Quick test_shard_fixture;
+          Alcotest.test_case "validation" `Quick test_shard_validation;
+          Alcotest.test_case "pc-trace file" `Quick test_shard_pc_trace;
+        ] );
+      ( "replayer",
+        [
+          Alcotest.test_case "feed_run off" `Quick test_feed_run_off;
+          Alcotest.test_case "no-insns scratch" `Quick
+            test_feed_run_no_insns_scratch;
+          Alcotest.test_case "set_state validation" `Quick
+            test_set_state_validation;
+          Alcotest.test_case "hash_pc exported" `Quick test_hash_pc_exported;
+        ] );
+    ]
