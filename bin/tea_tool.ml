@@ -41,6 +41,70 @@ let or_die = function
       prerr_endline ("tea_tool: " ^ msg);
       exit 1
 
+(* ---- observability ----
+
+   Every data-producing subcommand takes the same three flags. With none
+   of them given nothing is installed and stdout is byte-identical to a
+   build without telemetry — the probes are static no-ops. *)
+
+module Probe = Tea_telemetry.Probe
+module Span = Tea_telemetry.Span
+
+type obs = { trace_out : string option; metrics : bool; quiet : bool }
+
+let obs_term =
+  let telemetry =
+    let doc =
+      "Write a span trace of this run to $(docv) — Chrome trace-event \
+       JSON (load it in chrome://tracing or Perfetto), or JSONL when \
+       $(docv) ends in .jsonl. Spans carry wall-clock and, where \
+       available, simulated-cycle stamps. Stdout is unchanged."
+    in
+    Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+  in
+  let metrics =
+    let doc =
+      "After the command output, print the probe counters and histograms \
+       (transition lookups per axis, replayer steps and NTE crossings, \
+       recorder decisions) as a text dump."
+    in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let quiet =
+    let doc = "Suppress the per-domain pool counters printed to stderr." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  Term.(
+    const (fun trace_out metrics quiet -> { trace_out; metrics; quiet })
+    $ telemetry $ metrics $ quiet)
+
+(* Run a subcommand body under the requested observability: install the
+   probe set (with a span sink if --telemetry was given), wrap the body in
+   a root span named after the subcommand, and on the way out write the
+   trace file and/or print the metrics dump. *)
+let with_obs obs name f =
+  if obs.trace_out = None && not obs.metrics then f ()
+  else begin
+    let sink = Option.map (fun _ -> Span.create ()) obs.trace_out in
+    Probe.install ?spans:sink ();
+    Fun.protect
+      ~finally:(fun () ->
+        (match (obs.trace_out, sink) with
+        | Some path, Some sink ->
+            let out =
+              if Filename.check_suffix path ".jsonl" then Span.to_jsonl sink
+              else Span.to_chrome_json sink
+            in
+            let oc = open_out path in
+            output_string oc out;
+            close_out oc
+        | _ -> ());
+        let snap = Probe.uninstall () in
+        if obs.metrics then
+          print_string (Tea_report.Stats.render ~title:"telemetry" snap))
+      (fun () -> Probe.with_span name f)
+  end
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -92,7 +156,8 @@ let out_arg =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
 let record_cmd =
-  let run name strategy_name out =
+  let run name strategy_name out obs =
+    with_obs obs "record" @@ fun () ->
     let image = or_die (resolve_workload name) in
     let strategy = or_die (resolve_strategy strategy_name) in
     let r = Tea_dbt.Stardbt.record ~strategy image in
@@ -118,7 +183,7 @@ let record_cmd =
     | None -> ()
   in
   Cmd.v (Cmd.info "record" ~doc:"Record traces under the StarDBT-like runtime")
-    Term.(const run $ workload_arg $ strategy_arg $ out_arg)
+    Term.(const run $ workload_arg $ strategy_arg $ out_arg $ obs_term)
 
 (* ---- replay ---- *)
 
@@ -159,24 +224,27 @@ let jobs_arg =
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 (* Run [f] with [Some pool] (dumping the pool's per-domain counters on
-   stderr afterwards) or with [None] for the sequential path. *)
-let with_jobs jobs f =
+   stderr afterwards, unless --quiet) or with [None] for the sequential
+   path. *)
+let with_jobs ?(quiet = false) jobs f =
   if jobs < 1 then or_die (Error "--jobs must be >= 1")
   else if jobs = 1 then f None
   else
     Tea_parallel.Pool.with_pool ~jobs (fun pool ->
         let r = f (Some pool) in
-        prerr_string
-          (Tea_report.Stats.render_domains
-             ~residual:(Tea_parallel.Pool.residual_units pool)
-             (Tea_parallel.Pool.domain_stats pool));
+        if not quiet then
+          prerr_string
+            (Tea_report.Stats.render ~title:"pool domains"
+               (Tea_parallel.Pool.metrics_snapshot pool));
         r)
 
 let replay_cmd =
-  let run name strategy_name traces_file config_name pc_trace engine jobs =
+  let run name strategy_name traces_file config_name pc_trace engine jobs obs =
+    with_obs obs "replay" @@ fun () ->
     let image = or_die (resolve_workload name) in
     let config = or_die (resolve_config config_name) in
     let traces =
+      Probe.with_span "acquire_traces" @@ fun () ->
       match traces_file with
       | Some path -> Tea_traces.Serialize.load image path
       | None ->
@@ -197,10 +265,14 @@ let replay_cmd =
             or_die
               (Error "--jobs > 1 requires --engine=packed for --pc-trace replay")
         | `Packed ->
-            let auto = Tea_core.Builder.build traces in
+            let auto =
+              Probe.with_span "build_automaton" (fun () ->
+                  Tea_core.Builder.build traces)
+            in
             let packed = Tea_core.Packed.freeze auto in
             let profile, blocks =
-              with_jobs jobs (function
+              Probe.with_span "replay_pc_trace" @@ fun () ->
+              with_jobs ~quiet:obs.quiet jobs (function
                 | None -> assert false (* jobs > 1 *)
                 | Some pool ->
                     Tea_parallel.Shard.replay_pc_trace pool packed path)
@@ -213,8 +285,15 @@ let replay_cmd =
               profile.Tea_parallel.Profile.enters)
     | Some path ->
         (* fully offline: no program execution, just the trace file *)
-        let auto = Tea_core.Builder.build traces in
+        let auto =
+          Probe.with_span "build_automaton" (fun () ->
+              Tea_core.Builder.build traces)
+        in
         let rep =
+          Probe.with_span "replay_pc_trace"
+            ~post:(fun rep ->
+              [ ("sim_cycles", string_of_int (Tea_core.Replayer.cycles rep)) ])
+          @@ fun () ->
           match engine with
           | `Reference ->
               Tea_core.Pc_trace.replay (Tea_core.Transition.create config auto) path
@@ -232,6 +311,11 @@ let replay_cmd =
         if jobs > 1 then
           or_die (Error "--jobs > 1 applies only to --pc-trace offline replay");
         let result, _ =
+          Probe.with_span "pintool_replay"
+            ~post:(fun (r, _) ->
+              [ ("sim_cycles",
+                 string_of_int r.Tea_pinsim.Pintool_replay.total_cycles) ])
+          @@ fun () ->
           Tea_pinsim.Pintool_replay.replay ~transition:config ~engine ~traces image
         in
         let st = result.Tea_pinsim.Pintool_replay.transition_stats in
@@ -250,22 +334,26 @@ let replay_cmd =
     (Cmd.info "replay" ~doc:"Replay traces through the TEA under the Pin-like frontend")
     Term.(
       const run $ workload_arg $ strategy_arg $ traces_arg $ config_arg
-      $ pc_trace_arg $ engine_arg $ jobs_arg)
+      $ pc_trace_arg $ engine_arg $ jobs_arg $ obs_term)
 
 let capture_cmd =
   let out_required =
     let doc = "Output PC-trace file." in
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run name out =
+  let run name out obs =
+    with_obs obs "capture" @@ fun () ->
     let image = or_die (resolve_workload name) in
-    let n = Tea_pinsim.Trace_capture.record image out in
+    let n =
+      Probe.with_span "trace_capture" (fun () ->
+          Tea_pinsim.Trace_capture.record image out)
+    in
     Printf.printf "captured %d blocks to %s (%d bytes)\n" n out
       (Unix.stat out).Unix.st_size
   in
   Cmd.v
     (Cmd.info "capture" ~doc:"Capture an execution's block stream to a PC-trace file")
-    Term.(const run $ workload_arg $ out_required)
+    Term.(const run $ workload_arg $ out_required $ obs_term)
 
 (* ---- dot ---- *)
 
@@ -313,10 +401,16 @@ let record_traces image strategy_name =
   Tea_traces.Trace_set.to_list r.Tea_dbt.Stardbt.set
 
 let analyze_cmd =
-  let run name strategy_name =
+  let run name strategy_name obs =
+    with_obs obs "analyze" @@ fun () ->
     let image = or_die (resolve_workload name) in
-    let traces = record_traces image strategy_name in
-    let replayer, _ = replay_with_detector image traces in
+    let traces =
+      Probe.with_span "record_traces" (fun () ->
+          record_traces image strategy_name)
+    in
+    let replayer, _ =
+      Probe.with_span "replay" (fun () -> replay_with_detector image traces)
+    in
     print_endline (Tea_core.Analysis.coverage_summary replayer);
     print_endline "hottest traces:";
     List.iter
@@ -334,7 +428,7 @@ let analyze_cmd =
           sites
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Replay and print trace-quality analytics")
-    Term.(const run $ workload_arg $ strategy_arg)
+    Term.(const run $ workload_arg $ strategy_arg $ obs_term)
 
 (* ---- phases ---- *)
 
@@ -554,9 +648,10 @@ let all_benchmarks = function
   | benchmarks -> benchmarks
 
 let tables_cmd =
-  let run benchmarks jobs =
+  let run benchmarks jobs obs =
+    with_obs obs "tables" @@ fun () ->
     let benchmarks = all_benchmarks benchmarks in
-    with_jobs jobs (fun pool ->
+    with_jobs ~quiet:obs.quiet jobs (fun pool ->
         let open Tea_report.Experiments in
         let benches = prepare ?pool ~benchmarks () in
         print_string (render_table1 (table1 ?pool benches));
@@ -568,24 +663,26 @@ let tables_cmd =
         print_string (render_table4 (table4 ?pool benches)))
   in
   Cmd.v (Cmd.info "tables" ~doc:"Render the paper's Tables 1-4")
-    Term.(const run $ benchmarks_arg $ jobs_arg)
+    Term.(const run $ benchmarks_arg $ jobs_arg $ obs_term)
 
 let table1_cmd =
-  let run benchmarks jobs =
+  let run benchmarks jobs obs =
+    with_obs obs "table1" @@ fun () ->
     let benchmarks = all_benchmarks benchmarks in
-    with_jobs jobs (fun pool ->
+    with_jobs ~quiet:obs.quiet jobs (fun pool ->
         let open Tea_report.Experiments in
         let benches = prepare ?pool ~benchmarks () in
         print_string (render_table1 (table1 ?pool benches)))
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Render Table 1 (size savings), sharded with --jobs")
-    Term.(const run $ benchmarks_arg $ jobs_arg)
+    Term.(const run $ benchmarks_arg $ jobs_arg $ obs_term)
 
 let table4_cmd =
-  let run benchmarks jobs =
+  let run benchmarks jobs obs =
+    with_obs obs "table4" @@ fun () ->
     let benchmarks = all_benchmarks benchmarks in
-    with_jobs jobs (fun pool ->
+    with_jobs ~quiet:obs.quiet jobs (fun pool ->
         let open Tea_report.Experiments in
         let benches = prepare ?pool ~benchmarks () in
         print_string (render_table4 (table4 ?pool benches)))
@@ -593,7 +690,7 @@ let table4_cmd =
   Cmd.v
     (Cmd.info "table4"
        ~doc:"Render Table 4 (overhead ablation), sharded with --jobs")
-    Term.(const run $ benchmarks_arg $ jobs_arg)
+    Term.(const run $ benchmarks_arg $ jobs_arg $ obs_term)
 
 let () =
   let doc = "Trace Execution Automata: record, replay and inspect traces" in

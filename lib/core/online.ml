@@ -55,6 +55,8 @@ let feed t next =
       account t next;
       if S.trigger s ~current ~next then begin
         S.start s ~current ~next;
+        (* Executing -> Creating: recording begins at [next]. *)
+        Tea_telemetry.Probe.count "recorder.triggered" 1;
         t.ph <- Creating;
         (* Blocks recorded from here on execute cold, so the TEA must
            actually sit at NTE — otherwise, when recording triggers while
@@ -73,7 +75,13 @@ let feed t next =
               (* Blocks being recorded execute cold; the TEA stays at NTE. *)
               account t next
           | `Done completed ->
-              (match completed with Some tr -> install t tr | None -> ());
+              (* Creating -> Executing: either a trace was produced or the
+                 recording was abandoned by the strategy. *)
+              (match completed with
+              | Some tr ->
+                  Tea_telemetry.Probe.count "recorder.trace_installed" 1;
+                  install t tr
+              | None -> Tea_telemetry.Probe.count "recorder.abandoned" 1);
               t.ph <- Executing;
               t.state <- Transition.step t.trans t.state next.Block.start;
               account t next)));
@@ -81,8 +89,10 @@ let feed t next =
 
 let finish t =
   let (Packed ((module S), s)) = t.packed in
+  if t.ph = Creating then Tea_telemetry.Probe.count "recorder.abort_at_eof" 1;
   match S.abort s with
   | Some tr ->
+      Tea_telemetry.Probe.count "recorder.abort_salvaged" 1;
       install t tr;
       t.ph <- Executing
   | None -> t.ph <- Executing

@@ -219,23 +219,43 @@ let step t state pc =
     end
     else -1
   in
+  (* [m] is [None] whenever telemetry is off, so the disabled per-step
+     cost is one atomic load and the option matches below. *)
+  let m = Tea_telemetry.Probe.metrics () in
   if hit >= 0 then begin
     st.Transition.in_trace_hits <- st.Transition.in_trace_hits + 1;
+    (match m with
+    | None -> ()
+    | Some m -> Tea_telemetry.Metrics.count m "packed.in_trace_hit" 1);
     hit
   end
   else begin
     (* Cross-trace / cold path: hash the PC and probe for a trace head. *)
     t.total_cycles <- t.total_cycles + cost_hash_base;
+    let c0 = t.total_cycles in
     let found =
       probe t t.hash_keys t.hash_vals t.mask pc (hash_pc t.mask pc)
         cost_hash_probe
     in
+    (* [probe] charges [cost_hash_probe] (= 1) per slot examined, so the
+       cycles delta is exactly the probe length. *)
+    (match m with
+    | None -> ()
+    | Some m ->
+        Tea_telemetry.Metrics.observe_value m "packed.hash_probe_len"
+          ((t.total_cycles - c0) / cost_hash_probe));
     if found >= 0 then begin
       st.Transition.global_hits <- st.Transition.global_hits + 1;
+      (match m with
+      | None -> ()
+      | Some m -> Tea_telemetry.Metrics.count m "packed.global_hit" 1);
       found
     end
     else begin
       st.Transition.global_misses <- st.Transition.global_misses + 1;
+      (match m with
+      | None -> ()
+      | Some m -> Tea_telemetry.Metrics.count m "packed.global_miss" 1);
       t.total_cycles <- t.total_cycles + Transition.cost_nte_miss;
       Automaton.nte
     end

@@ -55,6 +55,19 @@ let[@inline] account t prev next insns =
   if prev = Automaton.nte && next <> Automaton.nte then t.enters <- t.enters + 1;
   if prev <> Automaton.nte && next = Automaton.nte then t.exits <- t.exits + 1
 
+(* Telemetry: the replayer-level counters (steps, NTE entries/exits).
+   Per-step paths emit them directly; the batch paths flush one delta per
+   batch so the fused loop stays call-free. *)
+let probe_step prev next =
+  match Tea_telemetry.Probe.metrics () with
+  | None -> ()
+  | Some m ->
+      Tea_telemetry.Metrics.count m "replayer.steps" 1;
+      if prev = Automaton.nte && next <> Automaton.nte then
+        Tea_telemetry.Metrics.count m "replayer.trace_enters" 1;
+      if prev <> Automaton.nte && next = Automaton.nte then
+        Tea_telemetry.Metrics.count m "replayer.trace_exits" 1
+
 let feed_addr t ?(insns = 0) addr =
   let prev = t.state in
   let next =
@@ -62,7 +75,8 @@ let feed_addr t ?(insns = 0) addr =
     | Reference trans -> Transition.step trans prev addr
     | Packed packed -> Packed.step packed prev addr
   in
-  account t prev next insns
+  account t prev next insns;
+  probe_step prev next
 
 let feed t (b : Block.t) = feed_addr t ~insns:(Block.n_insns b) b.Block.start
 
@@ -93,6 +107,15 @@ let run_packed t packed addrs ins ~off ~len =
   let enters = ref t.enters and exits = ref t.exits in
   let in_hits = ref 0 and g_hits = ref 0 and g_miss = ref 0 in
   let cycles = ref 0 in
+  (* Hoisted telemetry handle: [None] (one atomic load per batch) on the
+     disabled path; when enabled, hash-probe lengths are recovered from
+     the cycle deltas the loop already accumulates, so the loop body
+     itself gains no bookkeeping. *)
+  let hprobe =
+    match Tea_telemetry.Probe.metrics () with
+    | None -> None
+    | Some m -> Some (Tea_telemetry.Metrics.histogram m "packed.hash_probe_len")
+  in
   for i = off to off + len - 1 do
     let pc = Array.unsafe_get addrs i in
     let prev = !state in
@@ -124,6 +147,7 @@ let run_packed t packed addrs ins ~off ~len =
       else begin
         (* cross-trace / cold: probe the trace-head hash *)
         cycles := !cycles + Packed.cost_hash_base;
+        let c0 = !cycles in
         let idx = ref (Packed.hash_pc mask pc) in
         let found = ref (-2) in
         while !found = -2 do
@@ -133,6 +157,12 @@ let run_packed t packed addrs ins ~off ~len =
           else if k < 0 then found := -1
           else idx := (!idx + 1) land mask
         done;
+        (match hprobe with
+        | None -> ()
+        | Some h ->
+            (* cost_hash_probe = 1 cycle per slot examined *)
+            Tea_telemetry.Metrics.observe h
+              ((!cycles - c0) / Packed.cost_hash_probe));
         if !found >= 0 then begin
           incr g_hits;
           !found
@@ -154,6 +184,16 @@ let run_packed t packed addrs ins ~off ~len =
     if prev = nte && next <> nte then incr enters;
     if prev <> nte && next = nte then incr exits
   done;
+  (match Tea_telemetry.Probe.metrics () with
+  | None -> ()
+  | Some m ->
+      let open Tea_telemetry.Metrics in
+      count m "replayer.steps" len;
+      count m "replayer.trace_enters" (!enters - t.enters);
+      count m "replayer.trace_exits" (!exits - t.exits);
+      count m "packed.in_trace_hit" !in_hits;
+      count m "packed.global_hit" !g_hits;
+      count m "packed.global_miss" !g_miss);
   t.state <- !state;
   t.covered <- !covered;
   t.total <- !total;
@@ -193,8 +233,9 @@ let feed_run t ?(off = 0) ?insns addrs ~len =
             end
       in
       run_packed t packed addrs ins ~off ~len
-  | Reference trans -> (
-      match insns with
+  | Reference trans ->
+      let enters0 = t.enters and exits0 = t.exits in
+      (match insns with
       | Some ins ->
           for i = off to off + len - 1 do
             let prev = t.state in
@@ -206,7 +247,14 @@ let feed_run t ?(off = 0) ?insns addrs ~len =
             let prev = t.state in
             let next = Transition.step trans prev (Array.unsafe_get addrs i) in
             account t prev next 0
-          done)
+          done);
+      (match Tea_telemetry.Probe.metrics () with
+      | None -> ()
+      | Some m ->
+          let open Tea_telemetry.Metrics in
+          count m "replayer.steps" len;
+          count m "replayer.trace_enters" (t.enters - enters0);
+          count m "replayer.trace_exits" (t.exits - exits0))
 
 let set_state t s =
   if s < 0 then invalid_arg "Replayer.set_state: negative state id";

@@ -133,8 +133,25 @@ let global_lookup t pc =
       let v, cmps = Btree.find_count t.btree pc in
       (v, cost_btree_base + (cost_btree_cmp * cmps))
 
+(* Telemetry: one lookup-axis counter per step classification, plus a
+   histogram of edge-list scan lengths. [m] is [None] on the default
+   (disabled) path, so the only per-step cost is the option match. *)
+let probe_edge_scan m visited =
+  match m with
+  | None -> ()
+  | Some m -> Tea_telemetry.Metrics.observe_value m "transition.edge.scan_len" visited
+
+let global_axis t =
+  match t.cfg.global with
+  | Linear -> "transition.global.linear"
+  | Btree -> "transition.global.btree"
+
 let step t state pc =
   t.st.steps <- t.st.steps + 1;
+  let m = Tea_telemetry.Probe.metrics () in
+  let probe name =
+    match m with None -> () | Some m -> Tea_telemetry.Metrics.count m name 1
+  in
   let cost = ref 0 in
   let result =
     (* 1. In-trace transition on the state's own edge list (the hot path). *)
@@ -142,6 +159,7 @@ let step t state pc =
       if state <> Automaton.nte && Automaton.is_live t.auto state then begin
         let found, visited = scan_edges t state pc in
         cost := !cost + (visited * cost_edge_cmp);
+        probe_edge_scan m visited;
         found
       end
       else None
@@ -149,6 +167,7 @@ let step t state pc =
     match from_edges with
     | Some target ->
         t.st.in_trace_hits <- t.st.in_trace_hits + 1;
+        probe "transition.edge.hit";
         target
     | None -> (
         (* 2. Leaving a trace (or running cold): local cache, if enabled and
@@ -157,6 +176,7 @@ let step t state pc =
         let cached =
           if t.cfg.local_cache && state <> Automaton.nte then begin
             cost := !cost + cost_cache_probe;
+            probe "transition.cache.probes";
             let c = cache_for t state in
             let i = cache_slot t pc in
             if c.labels.(i) = pc then Some c.targets.(i) else None
@@ -166,6 +186,7 @@ let step t state pc =
         match cached with
         | Some target ->
             t.st.cache_hits <- t.st.cache_hits + 1;
+            probe "transition.cache.hit";
             target
         | None -> (
             (* 3. Global container search for a trace head at [pc]. *)
@@ -174,6 +195,10 @@ let step t state pc =
             match found with
             | Some head ->
                 t.st.global_hits <- t.st.global_hits + 1;
+                (match m with
+                | None -> ()
+                | Some m ->
+                    Tea_telemetry.Metrics.count m (global_axis t ^ ".hit") 1);
                 if t.cfg.local_cache && state <> Automaton.nte then begin
                   cost := !cost + cost_cache_fill;
                   let c = cache_for t state in
@@ -184,6 +209,10 @@ let step t state pc =
                 head
             | None ->
                 t.st.global_misses <- t.st.global_misses + 1;
+                (match m with
+                | None -> ()
+                | Some m ->
+                    Tea_telemetry.Metrics.count m (global_axis t ^ ".miss") 1);
                 cost := !cost + cost_nte_miss;
                 Automaton.nte))
   in

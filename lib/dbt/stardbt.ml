@@ -90,6 +90,7 @@ let on_block : type a. a driver -> Block.t -> unit =
       follow d next;
       if S.trigger d.sstate ~current:d.prev ~next then begin
         S.start d.sstate ~current:d.prev ~next;
+        Tea_telemetry.Probe.count "dbt.triggered" 1;
         d.phase <- Creating;
         d.follower <- None
       end
@@ -102,7 +103,11 @@ let on_block : type a. a driver -> Block.t -> unit =
           match S.add d.sstate ~current ~next with
           | `Continue -> ()
           | `Done completed ->
-              (match completed with Some tr -> install d tr | None -> ());
+              (match completed with
+              | Some tr ->
+                  Tea_telemetry.Probe.count "dbt.trace_installed" 1;
+                  install d tr
+              | None -> Tea_telemetry.Probe.count "dbt.abandoned" 1);
               d.phase <- Executing;
               try_enter d next.Block.start)));
   d.prev <- Some next
@@ -133,7 +138,11 @@ let record ?(config = Recorder.default_config) ?(cost = default_cost) ?fuel
   let machine, stop, _disc =
     Discovery.run ~policy:Discovery.Stardbt ?fuel image callbacks
   in
-  (match S.abort d.sstate with Some tr -> install d tr | None -> ());
+  (match S.abort d.sstate with
+  | Some tr ->
+      Tea_telemetry.Probe.count "dbt.abort_salvaged" 1;
+      install d tr
+  | None -> ());
   let native = Interp.cycles machine in
   {
     set = d.set;

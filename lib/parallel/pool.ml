@@ -112,6 +112,9 @@ let reraise_first results =
 let map t ~f n =
   if n < 0 then invalid_arg "Pool.map: negative task count";
   if t.closed then invalid_arg "Pool.map: pool is shut down";
+  Tea_telemetry.Probe.with_span "pool.map"
+    ~args:[ ("tasks", string_of_int n); ("jobs", string_of_int t.jobs) ]
+  @@ fun () ->
   if n = 0 then [||]
   else if t.doms = [||] then begin
     (* inline: run on the caller, still feeding the worker-0 counters so
@@ -194,3 +197,24 @@ let domain_stats t =
        t.stats)
 
 let residual_units t = Atomic.get t.residual
+
+(* The per-domain counters as a telemetry snapshot: worker indices are
+   zero-padded so the rendered rows sort numerically, and the wall-clock
+   seconds become integer microsecond counters (the snapshot algebra is
+   integer sums). These stay out of the {!Tea_telemetry.Probe} registry on
+   purpose — busy/wait are wall-clock and would break the determinism of
+   the probe counters a [--jobs n] run must share with [--jobs 1]. *)
+let metrics_snapshot t =
+  let m = Tea_telemetry.Metrics.create () in
+  let us s = int_of_float (1e6 *. s) in
+  Tea_telemetry.Metrics.count m "pool.jobs" t.jobs;
+  Array.iter
+    (fun ws ->
+      let pre = Printf.sprintf "pool.domain%02d." ws.w_index in
+      Tea_telemetry.Metrics.count m (pre ^ "tasks") ws.w_tasks;
+      Tea_telemetry.Metrics.count m (pre ^ "busy_us") (us ws.w_busy);
+      Tea_telemetry.Metrics.count m (pre ^ "wait_us") (us ws.w_wait);
+      Tea_telemetry.Metrics.count m (pre ^ "units") (Atomic.get ws.w_units))
+    t.stats;
+  Tea_telemetry.Metrics.count m "pool.residual_units" (Atomic.get t.residual);
+  Tea_telemetry.Metrics.snapshot m

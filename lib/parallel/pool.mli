@@ -67,3 +67,11 @@ val domain_stats : t -> domain_stat list
 
 val residual_units : t -> int
 (** Units credited from outside any pool worker. *)
+
+val metrics_snapshot : t -> Tea_telemetry.Metrics.snapshot
+(** The same counters as a telemetry snapshot ([pool.jobs],
+    [pool.domainNN.tasks/busy_us/wait_us/units], [pool.residual_units]),
+    for {!Tea_report.Stats.render}. Deliberately separate from the global
+    {!Tea_telemetry.Probe} registry: busy/wait are wall-clock and must not
+    leak into the deterministic probe counters. Read when no {!map} is in
+    flight. *)

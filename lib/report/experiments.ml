@@ -38,6 +38,9 @@ let prepare ?pool ?benchmarks ?config ?fuel () =
   in
   pmap ?pool
     (fun profile ->
+      Tea_telemetry.Probe.with_span
+        ("prepare/" ^ profile.Proggen.name)
+      @@ fun () ->
       let image = Spec.image profile in
       let dbt =
         List.map
@@ -66,6 +69,11 @@ let table1 ?pool benches =
       let cells =
         List.map
           (fun (strategy, (r : Stardbt.result)) ->
+            Tea_telemetry.Probe.with_span
+              ("table1/" ^ b.profile.Proggen.name ^ "/" ^ strategy)
+              ~post:(fun (_, c) ->
+                [ ("tea_bytes", string_of_int c.tea_bytes) ])
+            @@ fun () ->
             let dbt_bytes = Trace_set.dbt_bytes r.Stardbt.set b.image in
             let tea_bytes =
               Automaton.byte_size (Builder.of_set r.Stardbt.set)
@@ -128,6 +136,10 @@ type table2_row = {
 let table2 ?pool ?fuel benches =
   pmap ?pool
     (fun b ->
+      Tea_telemetry.Probe.with_span ("table2/" ^ b.profile.Proggen.name)
+        ~post:(fun r ->
+          [ ("sim_mcycles", Printf.sprintf "%.2f" r.tea_mcycles) ])
+      @@ fun () ->
       let traces = mret_traces b in
       let dbt_result = List.assoc "mret" b.dbt in
       let res, _rep = Tea_pinsim.Pintool_replay.replay ?fuel ~traces b.image in
@@ -186,6 +198,10 @@ let table3 ?pool ?fuel benches =
   let mret = List.assoc "mret" Registry.all in
   pmap ?pool
     (fun b ->
+      Tea_telemetry.Probe.with_span ("table3/" ^ b.profile.Proggen.name)
+        ~post:(fun r ->
+          [ ("sim_mcycles", Printf.sprintf "%.2f" r.pin_mcycles) ])
+      @@ fun () ->
       let dbt_result = List.assoc "mret" b.dbt in
       let res, _online =
         Tea_pinsim.Pintool_record.record ?fuel ~strategy:mret b.image
@@ -215,6 +231,10 @@ type table4_row = { t4_name : string; row : Tea_pinsim.Overhead.row }
 let table4 ?pool ?fuel benches =
   pmap ?pool
     (fun b ->
+      Tea_telemetry.Probe.with_span ("table4/" ^ b.profile.Proggen.name)
+        ~post:(fun r ->
+          [ ("global_local", Printf.sprintf "%.2f" r.row.Tea_pinsim.Overhead.global_local) ])
+      @@ fun () ->
       let traces = mret_traces b in
       {
         t4_name = b.profile.Proggen.name;

@@ -29,36 +29,49 @@ let rate units secs =
     else if r >= 1.0e3 then Printf.sprintf "%.1fk/s" (r /. 1.0e3)
     else Printf.sprintf "%.0f/s" r
 
-let render_domains ?(residual = 0) stats =
-  let header = [ "domain"; "tasks"; "busy"; "wait"; "units"; "throughput" ] in
-  let body =
-    List.map
-      (fun d ->
-        let open Tea_parallel.Pool in
-        [
-          string_of_int d.d_index;
-          string_of_int d.d_tasks;
-          Printf.sprintf "%.2fs" d.d_busy;
-          Printf.sprintf "%.2fs" d.d_wait;
-          string_of_int d.d_units;
-          rate d.d_units d.d_busy;
-        ])
-      stats
-  in
-  let driver_row =
-    if residual = 0 then []
-    else [ [ "driver"; "-"; "-"; "-"; string_of_int residual; "-" ] ]
-  in
-  let totals =
-    let open Tea_parallel.Pool in
-    let tasks = List.fold_left (fun a d -> a + d.d_tasks) 0 stats in
-    let busy = List.fold_left (fun a d -> a +. d.d_busy) 0.0 stats in
-    let wait = List.fold_left (fun a d -> a +. d.d_wait) 0.0 stats in
-    let units = residual + List.fold_left (fun a d -> a + d.d_units) 0 stats in
-    [
-      "total"; string_of_int tasks; Printf.sprintf "%.2fs" busy;
-      Printf.sprintf "%.2fs" wait; string_of_int units; rate units busy;
-    ]
-  in
-  "Per-domain replay counters\n"
-  ^ Table.render ~header (body @ driver_row @ [ totals ])
+(* The one rendering for every telemetry snapshot: the pool's per-domain
+   counters, the probe registry behind `--metrics`, anything mergeable.
+   Counters are a two-column table; histograms get count/sum plus their
+   non-empty log2 buckets. Output is a pure function of the snapshot, so
+   a deterministic run renders deterministically (the golden test pins
+   this for a listscan replay). *)
+let render ?(title = "telemetry") (s : Tea_telemetry.Metrics.snapshot) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  if s.Tea_telemetry.Metrics.s_counters = []
+     && s.Tea_telemetry.Metrics.s_histograms = []
+  then Buffer.add_string buf "(no samples)\n"
+  else begin
+    if s.Tea_telemetry.Metrics.s_counters <> [] then begin
+      let body =
+        List.map
+          (fun (name, v) -> [ name; string_of_int v ])
+          s.Tea_telemetry.Metrics.s_counters
+      in
+      Buffer.add_string buf (Table.render ~header:[ "counter"; "value" ] body)
+    end;
+    if s.Tea_telemetry.Metrics.s_histograms <> [] then begin
+      if s.Tea_telemetry.Metrics.s_counters <> [] then
+        Buffer.add_char buf '\n';
+      let body =
+        List.map
+          (fun (name, h) ->
+            let open Tea_telemetry.Metrics in
+            let buckets =
+              String.concat " "
+                (List.map
+                   (fun (b, n) ->
+                     Printf.sprintf "%s=%d" (bucket_label b) n)
+                   h.hs_buckets)
+            in
+            [ name; string_of_int h.hs_count; string_of_int h.hs_sum; buckets ])
+          s.Tea_telemetry.Metrics.s_histograms
+      in
+      Buffer.add_string buf
+        (Table.render
+           ~align:[ Table.Left; Table.Right; Table.Right; Table.Left ]
+           ~header:[ "histogram"; "count"; "sum"; "buckets" ]
+           body)
+    end
+  end;
+  Buffer.contents buf

@@ -25,11 +25,11 @@ val rate : int -> float -> string
 (** [rate units secs] — ["3.2M/s"]-style throughput; ["-"] when nothing
     was measured. *)
 
-val render_domains :
-  ?residual:int -> Tea_parallel.Pool.domain_stat list -> string
-(** ASCII table of the pool's per-domain observability counters (tasks,
-    busy/wait seconds, work units, throughput) plus a totals row.
-    [residual] ({!Tea_parallel.Pool.residual_units}) shows up as a
-    "driver" row — the stitching work done outside any worker. The
-    parallel CLI paths print this to stderr, keeping stdout byte-identical
-    to the sequential run. *)
+val render : ?title:string -> Tea_telemetry.Metrics.snapshot -> string
+(** ASCII rendering of a telemetry snapshot: a counter table and, when
+    present, a histogram table (count, sum, non-empty log2 buckets). The
+    one sink for every metrics surface — `tea_tool --metrics`, the pool's
+    per-domain counters ({!Tea_parallel.Pool.metrics_snapshot}, printed to
+    stderr so parallel stdout stays byte-identical to sequential), and the
+    bench harness. Deterministic input renders deterministically (golden
+    tested). *)

@@ -1,0 +1,144 @@
+type counter = { mutable c : int }
+
+(* Power-of-two buckets: bucket 0 holds values <= 0 (and 0 itself), bucket
+   k >= 1 holds [2^(k-1), 2^k). 63 buckets cover the whole int range, so
+   [observe] never range-checks. *)
+let n_buckets = 64
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  h_buckets : int array;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 32; histograms = Hashtbl.create 16 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+      let c = { c = 0 } in
+      Hashtbl.replace t.counters name c;
+      c
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      let h = { h_count = 0; h_sum = 0; h_buckets = Array.make n_buckets 0 } in
+      Hashtbl.replace t.histograms name h;
+      h
+
+let[@inline] add c n = c.c <- c.c + n
+
+let[@inline] incr c = add c 1
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let k = ref 0 and v = ref v in
+    while !v > 0 do
+      Stdlib.incr k;
+      v := !v lsr 1
+    done;
+    !k
+  end
+
+let[@inline] observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  let b = bucket_of v in
+  Array.unsafe_set h.h_buckets b (1 + Array.unsafe_get h.h_buckets b)
+
+let count t name n = add (counter t name) n
+
+let observe_value t name v = observe (histogram t name) v
+
+let bucket_label b =
+  if b = 0 then "0"
+  else Printf.sprintf "[%d,%d)" (1 lsl (b - 1)) (1 lsl b)
+
+(* ---- snapshots: the immutable, mergeable view ---- *)
+
+type hist_snapshot = {
+  hs_count : int;
+  hs_sum : int;
+  hs_buckets : (int * int) list; (* (bucket index, count), sorted, non-zero *)
+}
+
+type snapshot = {
+  s_counters : (string * int) list; (* sorted by name, zero entries omitted *)
+  s_histograms : (string * hist_snapshot) list; (* sorted by name *)
+}
+
+let empty = { s_counters = []; s_histograms = [] }
+
+let snapshot t =
+  let counters =
+    Hashtbl.fold
+      (fun name c acc -> if c.c = 0 then acc else (name, c.c) :: acc)
+      t.counters []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let histograms =
+    Hashtbl.fold
+      (fun name h acc ->
+        if h.h_count = 0 then acc
+        else begin
+          let buckets = ref [] in
+          for b = n_buckets - 1 downto 0 do
+            if h.h_buckets.(b) > 0 then buckets := (b, h.h_buckets.(b)) :: !buckets
+          done;
+          (name, { hs_count = h.h_count; hs_sum = h.h_sum; hs_buckets = !buckets })
+          :: acc
+        end)
+      t.histograms []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { s_counters = counters; s_histograms = histograms }
+
+(* Merge two sorted assoc lists with a value-merge function, dropping
+   entries the merge maps to [None]. *)
+let rec merge_assoc f a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | (ka, va) :: ta, (kb, vb) :: tb ->
+      let c = String.compare ka kb in
+      if c < 0 then (ka, va) :: merge_assoc f ta b
+      else if c > 0 then (kb, vb) :: merge_assoc f a tb
+      else (ka, f va vb) :: merge_assoc f ta tb
+
+let rec merge_buckets a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | (ba, ca) :: ta, (bb, cb) :: tb ->
+      if ba < bb then (ba, ca) :: merge_buckets ta b
+      else if bb < ba then (bb, cb) :: merge_buckets a tb
+      else (ba, ca + cb) :: merge_buckets ta tb
+
+let merge_hist a b =
+  {
+    hs_count = a.hs_count + b.hs_count;
+    hs_sum = a.hs_sum + b.hs_sum;
+    hs_buckets = merge_buckets a.hs_buckets b.hs_buckets;
+  }
+
+let merge a b =
+  {
+    s_counters = merge_assoc ( + ) a.s_counters b.s_counters;
+    s_histograms = merge_assoc merge_hist a.s_histograms b.s_histograms;
+  }
+
+let merge_all = List.fold_left merge empty
+
+let equal (a : snapshot) (b : snapshot) = a = b
+
+let find_counter s name = List.assoc_opt name s.s_counters
+
+let find_histogram s name = List.assoc_opt name s.s_histograms

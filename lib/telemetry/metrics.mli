@@ -1,0 +1,82 @@
+(** Named counters and log-bucketed histograms with O(1) hot-path updates.
+
+    A registry ({!t}) is a mutable, single-domain object: probe sites hold
+    a {!counter} or {!histogram} handle and bump it with one or two plain
+    int stores — no allocation, no locking. Cross-domain aggregation goes
+    through immutable {!snapshot}s instead, which form the same algebra as
+    {!Tea_parallel.Profile}: {!merge} is associative and commutative with
+    {!empty} as identity (property-tested), so per-domain snapshots of a
+    parallel run merge to exactly the sequential run's totals. *)
+
+type t
+(** A metrics registry. Not thread-safe: use one per domain and merge
+    snapshots (see {!Probe}). *)
+
+val create : unit -> t
+
+(** {2 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Find or register the counter [name]. Amortized O(1); call once per
+    site and keep the handle for the hot path. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val count : t -> string -> int -> unit
+(** [count t name n] = [add (counter t name) n] — for cold call sites. *)
+
+(** {2 Histograms} *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+
+val observe : histogram -> int -> unit
+(** Record one sample: bumps count, sum and the sample's log2 bucket.
+    Bucket 0 holds samples [<= 0]; bucket [k >= 1] holds
+    [\[2^(k-1), 2^k)]. *)
+
+val observe_value : t -> string -> int -> unit
+
+val bucket_of : int -> int
+(** The bucket index {!observe} files a sample under. *)
+
+val bucket_label : int -> string
+(** ["0"] or ["\[lo,hi)"] — the bucket's value range, for rendering. *)
+
+(** {2 Snapshots} *)
+
+type hist_snapshot = {
+  hs_count : int;
+  hs_sum : int;
+  hs_buckets : (int * int) list;
+      (** (bucket index, sample count), sorted, zero buckets omitted *)
+}
+
+type snapshot = {
+  s_counters : (string * int) list;
+      (** sorted by name, zero counters omitted *)
+  s_histograms : (string * hist_snapshot) list;  (** sorted by name *)
+}
+
+val empty : snapshot
+(** The {!merge} identity. *)
+
+val snapshot : t -> snapshot
+(** An immutable copy of the registry's current totals. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Pointwise sum: counters add, histograms add count/sum/per-bucket.
+    Associative, commutative, [empty]-neutral. *)
+
+val merge_all : snapshot list -> snapshot
+
+val equal : snapshot -> snapshot -> bool
+
+val find_counter : snapshot -> string -> int option
+
+val find_histogram : snapshot -> string -> hist_snapshot option

@@ -1,0 +1,94 @@
+type installation = {
+  gen : int;
+  spans : Span.sink option;
+  mu : Mutex.t;
+  mutable registries : Metrics.t list; (* one per domain that probed *)
+}
+
+(* The single global installation. Atomic so worker domains spawned after
+   [install] observe it; [None] is the static no-op default. *)
+let state : installation option Atomic.t = Atomic.make None
+
+let generation = ref 0
+
+(* Per-domain registry, tagged with the installation generation so a
+   stale registry from an earlier install is never written into a newer
+   one. *)
+let dls : (int * Metrics.t) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let enabled () = Atomic.get state <> None
+
+let install ?spans () =
+  match Atomic.get state with
+  | Some _ -> invalid_arg "Probe.install: already installed"
+  | None ->
+      incr generation;
+      Atomic.set state
+        (Some
+           {
+             gen = !generation;
+             spans;
+             mu = Mutex.create ();
+             registries = [];
+           })
+
+let snapshot () =
+  match Atomic.get state with
+  | None -> Metrics.empty
+  | Some g ->
+      Mutex.lock g.mu;
+      let regs = g.registries in
+      Mutex.unlock g.mu;
+      Metrics.merge_all (List.map Metrics.snapshot regs)
+
+let uninstall () =
+  let final = snapshot () in
+  Atomic.set state None;
+  final
+
+let metrics () =
+  match Atomic.get state with
+  | None -> None
+  | Some g -> (
+      match Domain.DLS.get dls with
+      | Some (gen, m) when gen = g.gen -> Some m
+      | _ ->
+          let m = Metrics.create () in
+          Mutex.lock g.mu;
+          g.registries <- m :: g.registries;
+          Mutex.unlock g.mu;
+          Domain.DLS.set dls (Some (g.gen, m));
+          Some m)
+
+let count name n =
+  match metrics () with None -> () | Some m -> Metrics.count m name n
+
+let observe name v =
+  match metrics () with None -> () | Some m -> Metrics.observe_value m name v
+
+let sink () =
+  match Atomic.get state with None -> None | Some g -> g.spans
+
+let with_span ?(args = []) ?post ?cycles name f =
+  match Atomic.get state with
+  | None | Some { spans = None; _ } -> f ()
+  | Some { spans = Some sink; _ } ->
+      let c0 = match cycles with None -> 0 | Some c -> c () in
+      let sp = Span.enter sink ~args name in
+      let finish v =
+        let post_args = match post with None -> [] | Some p -> p v in
+        let cycle_args =
+          match cycles with
+          | None -> []
+          | Some c -> [ ("sim_cycles", string_of_int (c () - c0)) ]
+        in
+        Span.exit sink ~args:(post_args @ cycle_args) sp
+      in
+      (match f () with
+      | v ->
+          finish v;
+          v
+      | exception e ->
+          Span.exit sink ~args:[ ("exception", Printexc.to_string e) ] sp;
+          raise e)

@@ -1,0 +1,57 @@
+(** The pipeline's probe points, no-op by default.
+
+    Instrumented code calls {!count}/{!observe}/{!with_span} (or grabs the
+    calling domain's registry via {!metrics} and uses handles directly on
+    hot paths). With nothing installed every entry point is a single
+    atomic load and branch — the disabled pipeline stays byte-identical
+    and its overhead within measurement noise, which the golden tests and
+    the bench harness rely on.
+
+    {!install} switches the whole process on: each domain lazily gets its
+    own {!Metrics.t} registry (no cross-domain contention on increments),
+    and {!snapshot} merges all per-domain registries with the
+    associative/commutative {!Metrics.merge} — so a [--jobs n] run's
+    merged counters equal the sequential run's, counter for counter.
+
+    At most one installation is active at a time (second {!install}
+    raises). Install from the driver before spawning worker domains. *)
+
+val install : ?spans:Span.sink -> unit -> unit
+(** Enable probing process-wide, optionally collecting spans into [spans].
+    @raise Invalid_argument if already installed. *)
+
+val uninstall : unit -> Metrics.snapshot
+(** Disable probing and return the final merged snapshot. *)
+
+val enabled : unit -> bool
+
+val metrics : unit -> Metrics.t option
+(** The calling domain's registry ([None] when disabled). Hot loops call
+    this once per batch, pull counter/histogram handles, and bump those. *)
+
+val snapshot : unit -> Metrics.snapshot
+(** Merge of every domain's registry so far ({!Metrics.empty} when
+    disabled). *)
+
+val count : string -> int -> unit
+(** Bump a named counter on the calling domain ([()] when disabled). For
+    cold call sites — recording decisions, phase changes, CLI wrappers. *)
+
+val observe : string -> int -> unit
+(** Record a histogram sample ([()] when disabled). *)
+
+val sink : unit -> Span.sink option
+(** The installed span sink, if any. *)
+
+val with_span :
+  ?args:(string * string) list ->
+  ?post:('a -> (string * string) list) ->
+  ?cycles:(unit -> int) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** Run a thunk inside a span (plain call when disabled or no sink).
+    [post] derives extra args from the result (e.g. a table cell's
+    simulated Mcycles); [cycles] is sampled at entry and exit and the
+    delta recorded as a ["sim_cycles"] arg — the span is stamped with
+    both wall-clock and simulated time. *)

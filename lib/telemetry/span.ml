@@ -1,0 +1,183 @@
+type event = {
+  e_name : string;
+  e_tid : int;
+  e_ts : float; (* seconds since sink creation *)
+  e_dur : float; (* seconds *)
+  e_depth : int; (* nesting depth at entry, per tid *)
+  e_seq : int; (* global entry order: parents before children, siblings in call order *)
+  e_args : (string * string) list;
+}
+
+type sink = {
+  mu : Mutex.t;
+  t0 : float;
+  seq : int Atomic.t; (* next entry sequence number *)
+  mutable events : event list; (* completion order, newest first *)
+}
+
+type span = {
+  sp_name : string;
+  sp_tid : int;
+  sp_ts : float;
+  sp_depth : int;
+  sp_seq : int;
+  sp_args : (string * string) list;
+}
+
+(* Per-domain nesting depth. The key is global (DLS keys cannot be
+   per-sink) — fine because Probe installs at most one sink at a time. *)
+let depth_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let now () = Unix.gettimeofday ()
+
+let create () =
+  { mu = Mutex.create (); t0 = now (); seq = Atomic.make 0; events = [] }
+
+let enter sink ?(args = []) name =
+  let tid = (Domain.self () :> int) in
+  let depth = Domain.DLS.get depth_key in
+  Domain.DLS.set depth_key (depth + 1);
+  { sp_name = name; sp_tid = tid; sp_ts = now () -. sink.t0; sp_depth = depth;
+    sp_seq = Atomic.fetch_and_add sink.seq 1; sp_args = args }
+
+let exit sink ?(args = []) span =
+  Domain.DLS.set depth_key (Domain.DLS.get depth_key - 1);
+  let e =
+    {
+      e_name = span.sp_name;
+      e_tid = span.sp_tid;
+      e_ts = span.sp_ts;
+      e_dur = now () -. sink.t0 -. span.sp_ts;
+      e_depth = span.sp_depth;
+      e_seq = span.sp_seq;
+      e_args = span.sp_args @ args;
+    }
+  in
+  Mutex.lock sink.mu;
+  sink.events <- e :: sink.events;
+  Mutex.unlock sink.mu
+
+let with_span sink ?args name f =
+  let sp = enter sink ?args name in
+  match f () with
+  | v ->
+      exit sink sp;
+      v
+  | exception e ->
+      exit sink ~args:[ ("exception", Printexc.to_string e) ] sp;
+      raise e
+
+let events sink =
+  Mutex.lock sink.mu;
+  let evs = sink.events in
+  Mutex.unlock sink.mu;
+  (* entry sequence breaks timestamp ties: gettimeofday stamps a whole
+     subtree of sub-microsecond spans identically, but parents always
+     enter before children and siblings enter in call order *)
+  List.stable_sort
+    (fun a b ->
+      match compare a.e_tid b.e_tid with
+      | 0 -> compare (a.e_ts, a.e_seq) (b.e_ts, b.e_seq)
+      | c -> c)
+    evs
+
+(* ---- JSON export (Chrome trace-event format) ---- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let event_json e =
+  let args =
+    match e.e_args with
+    | [] -> ""
+    | args ->
+        let fields =
+          List.map
+            (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v))
+            args
+        in
+        Printf.sprintf ",\"args\":{%s}" (String.concat "," fields)
+  in
+  Printf.sprintf
+    "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.1f,\"dur\":%.1f%s}"
+    (escape e.e_name) e.e_tid (1e6 *. e.e_ts) (1e6 *. e.e_dur) args
+
+let to_chrome_json sink =
+  let evs = List.map event_json (events sink) in
+  Printf.sprintf
+    "{\"traceEvents\":[%s],\"displayTimeUnit\":\"ms\"}\n"
+    (String.concat ",\n" evs)
+
+let to_jsonl sink =
+  String.concat "" (List.map (fun e -> event_json e ^ "\n") (events sink))
+
+(* ---- nesting validation ---- *)
+
+(* Spans are recorded with begin/end stack discipline per domain, so for
+   each tid the events, ordered by (start time, depth), must nest: an
+   event at depth d+1 lies inside the most recent open event at depth d.
+   The stack is unwound by recorded depth, not by timestamp — gettimeofday
+   can stamp a whole subtree of sub-microsecond spans identically, so
+   timestamps only bound containment (with tolerance), never structure. *)
+let validate sink =
+  let eps = 1e-9 in
+  let check_tid evs =
+    (* stack of (depth, end_ts) of currently open enclosing spans *)
+    let rec go stack = function
+      | [] -> Ok ()
+      | e :: rest -> (
+          (* anything at e's depth or deeper is a prior sibling subtree
+             and must have ended by the time e starts *)
+          let rec close = function
+            | (d, end_ts) :: tl when d >= e.e_depth ->
+                if end_ts > e.e_ts +. eps then
+                  Error
+                    (Printf.sprintf
+                       "span %S starts inside a prior span at depth %d"
+                       e.e_name d)
+                else close tl
+            | stack -> Ok stack
+          in
+          match close stack with
+          | Error _ as err -> err
+          | Ok stack ->
+              if List.length stack <> e.e_depth then
+                Error
+                  (Printf.sprintf
+                     "span %S at depth %d but %d enclosing spans open"
+                     e.e_name e.e_depth (List.length stack))
+              else begin
+                match stack with
+                | (_, parent_end) :: _
+                  when e.e_ts +. e.e_dur > parent_end +. eps ->
+                    Error
+                      (Printf.sprintf "span %S overruns its enclosing span"
+                         e.e_name)
+                | _ -> go ((e.e_depth, e.e_ts +. e.e_dur) :: stack) rest
+              end)
+    in
+    go [] evs
+  in
+  let by_tid = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let prev = Option.value (Hashtbl.find_opt by_tid e.e_tid) ~default:[] in
+      Hashtbl.replace by_tid e.e_tid (e :: prev))
+    (events sink);
+  Hashtbl.fold
+    (fun _tid evs acc ->
+      match acc with Error _ -> acc | Ok () -> check_tid (List.rev evs))
+    by_tid (Ok ())

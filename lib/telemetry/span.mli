@@ -1,0 +1,56 @@
+(** Hierarchical span tracing.
+
+    A {!sink} collects completed spans from any number of domains (one
+    mutex-protected list append per span — spans are coarse, phases and
+    table cells, never per-block work). Each span is stamped with the
+    wall-clock interval it covered; callers attach simulated-cycle deltas
+    and other labels via [args] (see {!Probe.with_span}). Export is Chrome
+    trace-event JSON ([chrome://tracing], Perfetto) or JSONL.
+
+    Nesting is per-domain begin/end stack discipline, recorded as an
+    explicit depth so {!validate} can check it structurally after the
+    fact. *)
+
+type sink
+
+type span
+
+type event = {
+  e_name : string;
+  e_tid : int;  (** originating domain id *)
+  e_ts : float;  (** seconds since the sink was created *)
+  e_dur : float;  (** seconds *)
+  e_depth : int;  (** nesting depth at entry, within [e_tid] *)
+  e_seq : int;  (** entry order across the sink: parents before children *)
+  e_args : (string * string) list;
+}
+
+val create : unit -> sink
+
+val enter : sink -> ?args:(string * string) list -> string -> span
+(** Open a span on the calling domain. Must be closed with {!exit} in
+    LIFO order per domain. *)
+
+val exit : sink -> ?args:(string * string) list -> span -> unit
+(** Close the span; [args] are appended to the ones given at {!enter}. *)
+
+val with_span : sink -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [enter]/[exit] around a thunk; an escaping exception still closes the
+    span (tagged with an ["exception"] arg) and is re-raised. *)
+
+val events : sink -> event list
+(** Completed spans, sorted by (tid, start time, entry order) — parents
+    before their children, siblings in call order even when gettimeofday
+    stamps them identically. *)
+
+val to_chrome_json : sink -> string
+(** The Chrome trace-event format: one ["ph":"X"] complete event per span,
+    timestamps in microseconds, wrapped as [{"traceEvents": [...]}]. *)
+
+val to_jsonl : sink -> string
+(** One JSON event object per line. *)
+
+val validate : sink -> (unit, string) result
+(** Check that spans nest properly within every domain: each span lies
+    inside its enclosing span and its recorded depth matches the number
+    of spans open around it. *)

@@ -340,6 +340,8 @@ struct
                    not retry a hopeless recording forever — real trace-tree
                    systems do the same for aborted recordings. *)
                 incr Diag.paths_aborted;
+                Tea_telemetry.Probe.count "recorder.path_aborted" 1;
+                Tea_telemetry.Probe.observe "recorder.aborted_path_len" r.plen;
                 Diag.abort_lens := r.plen :: !Diag.abort_lens;
                 let first =
                   match List.rev r.path_rev with
@@ -353,8 +355,10 @@ struct
                    let key = (r.rtree.trace_id, r.graft, first) in
                    let n = 1 + Option.value (Hashtbl.find_opt t.failures key) ~default:0 in
                    Hashtbl.replace t.failures key n;
-                   if n >= 3 && not (Hashtbl.mem t.proven key) then
-                     Hashtbl.replace t.blacklist key ());
+                   if n >= 3 && not (Hashtbl.mem t.proven key) then begin
+                     Tea_telemetry.Probe.count "recorder.blacklisted" 1;
+                     Hashtbl.replace t.blacklist key ()
+                   end);
                 t.recording <- None;
                 t.cur <- None;
                 `Done None
