@@ -223,6 +223,23 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let pgo_arg =
+  let doc =
+    "Profile-guided repacking: collect a replay profile first, repack the \
+     packed image on it (hot states cache-dense, hot edges linear-scan \
+     first, per-state inline caches), then replay through the repacked \
+     engine. Requires --engine=packed. TBB mappings and coverage are \
+     identical to the unrepacked replay."
+  in
+  Arg.(value & flag & info [ "pgo" ] ~doc)
+
+let hot_prefix_arg =
+  let doc = "Per-state hot-prefix length cap for repacking." in
+  Arg.(
+    value
+    & opt int Tea_opt.Repack.default_hot_prefix
+    & info [ "hot-prefix" ] ~docv:"K" ~doc)
+
 (* Run [f] with [Some pool] (dumping the pool's per-domain counters on
    stderr afterwards, unless --quiet) or with [None] for the sequential
    path. *)
@@ -238,9 +255,23 @@ let with_jobs ?(quiet = false) jobs f =
                (Tea_parallel.Pool.metrics_snapshot pool));
         r)
 
+(* One deterministic summary line for any --pgo replay. Everything on it
+   (layout shape, simulated cycles) is shard-invariant, keeping stdout
+   byte-identical across --jobs values; the IC hit split is chunk-local,
+   so it goes to --metrics instead. *)
+let print_pgo_line packed ~cycles =
+  Printf.printf "pgo: moved %d/%d states, %d hot-prefix edges, %d sim cycles\n"
+    (Tea_opt.Repack.moved_states packed)
+    (Tea_core.Packed.n_slots packed)
+    (Tea_core.Packed.hot_edges packed)
+    cycles
+
 let replay_cmd =
-  let run name strategy_name traces_file config_name pc_trace engine jobs obs =
+  let run name strategy_name traces_file config_name pc_trace engine jobs pgo
+      obs =
     with_obs obs "replay" @@ fun () ->
+    if pgo && engine <> `Packed then
+      or_die (Error "--pgo requires --engine=packed");
     let image = or_die (resolve_workload name) in
     let config = or_die (resolve_config config_name) in
     let traces =
@@ -270,6 +301,14 @@ let replay_cmd =
                   Tea_core.Builder.build traces)
             in
             let packed = Tea_core.Packed.freeze auto in
+            let packed =
+              if not pgo then packed
+              else
+                Probe.with_span "pgo_repack" @@ fun () ->
+                let starts, _, len = Tea_parallel.Shard.load_pc_trace path in
+                Tea_opt.Repack.repack packed
+                  (Tea_opt.Repack.collect packed starts ~len)
+            in
             let profile, blocks =
               Probe.with_span "replay_pc_trace" @@ fun () ->
               with_jobs ~quiet:obs.quiet jobs (function
@@ -282,7 +321,10 @@ let replay_cmd =
                %d trace entries\n"
               path engine_name blocks
               (100.0 *. Tea_parallel.Profile.coverage profile)
-              profile.Tea_parallel.Profile.enters)
+              profile.Tea_parallel.Profile.enters;
+            if pgo then
+              print_pgo_line packed
+                ~cycles:profile.Tea_parallel.Profile.cycles)
     | Some path ->
         (* fully offline: no program execution, just the trace file *)
         let auto =
@@ -298,7 +340,20 @@ let replay_cmd =
           | `Reference ->
               Tea_core.Pc_trace.replay (Tea_core.Transition.create config auto) path
           | `Packed ->
-              Tea_core.Pc_trace.replay_packed (Tea_core.Packed.freeze auto) path
+              let packed = Tea_core.Packed.freeze auto in
+              if not pgo then Tea_core.Pc_trace.replay_packed packed path
+              else begin
+                let starts, insns, len =
+                  Tea_parallel.Shard.load_pc_trace path
+                in
+                let tuned =
+                  Tea_core.Replayer.create_packed
+                    (Tea_opt.Repack.repack packed
+                       (Tea_opt.Repack.collect packed starts ~len))
+                in
+                Tea_core.Replayer.feed_run tuned ~insns starts ~len;
+                tuned
+              end
         in
         Printf.printf
           "offline replay of %s (%s engine): %d blocks, coverage %.1f%%, %d \
@@ -306,17 +361,22 @@ let replay_cmd =
           path engine_name
           (Tea_core.Pc_trace.length path)
           (100.0 *. Tea_core.Replayer.coverage rep)
-          (Tea_core.Replayer.trace_enters rep)
+          (Tea_core.Replayer.trace_enters rep);
+        (match Tea_core.Replayer.engine rep with
+        | Tea_core.Replayer.Packed p when pgo ->
+            print_pgo_line p ~cycles:(Tea_core.Replayer.cycles rep)
+        | _ -> ())
     | None ->
         if jobs > 1 then
           or_die (Error "--jobs > 1 applies only to --pc-trace offline replay");
-        let result, _ =
+        let result, rep =
           Probe.with_span "pintool_replay"
             ~post:(fun (r, _) ->
               [ ("sim_cycles",
                  string_of_int r.Tea_pinsim.Pintool_replay.total_cycles) ])
           @@ fun () ->
-          Tea_pinsim.Pintool_replay.replay ~transition:config ~engine ~traces image
+          Tea_pinsim.Pintool_replay.replay ~transition:config ~engine ~pgo
+            ~traces image
         in
         let st = result.Tea_pinsim.Pintool_replay.transition_stats in
         Printf.printf
@@ -328,13 +388,17 @@ let replay_cmd =
           result.Tea_pinsim.Pintool_replay.slowdown
           st.Tea_core.Transition.steps st.Tea_core.Transition.in_trace_hits
           st.Tea_core.Transition.cache_hits st.Tea_core.Transition.global_hits
-          st.Tea_core.Transition.global_misses
+          st.Tea_core.Transition.global_misses;
+        (match Tea_core.Replayer.engine rep with
+        | Tea_core.Replayer.Packed p when pgo ->
+            print_pgo_line p ~cycles:(Tea_core.Replayer.cycles rep)
+        | _ -> ())
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay traces through the TEA under the Pin-like frontend")
     Term.(
       const run $ workload_arg $ strategy_arg $ traces_arg $ config_arg
-      $ pc_trace_arg $ engine_arg $ jobs_arg $ obs_term)
+      $ pc_trace_arg $ engine_arg $ jobs_arg $ pgo_arg $ obs_term)
 
 let capture_cmd =
   let out_required =
@@ -399,6 +463,72 @@ let record_traces image strategy_name =
   let strategy = or_die (resolve_strategy strategy_name) in
   let r = Tea_dbt.Stardbt.record ~strategy image in
   Tea_traces.Trace_set.to_list r.Tea_dbt.Stardbt.set
+
+(* ---- repack ---- *)
+
+let repack_cmd =
+  let run name strategy_name hot_prefix out obs =
+    with_obs obs "repack" @@ fun () ->
+    let image = or_die (resolve_workload name) in
+    let traces =
+      Probe.with_span "record_traces" (fun () ->
+          record_traces image strategy_name)
+    in
+    let auto =
+      Probe.with_span "build_automaton" (fun () -> Tea_core.Builder.build traces)
+    in
+    let packed = Tea_core.Packed.freeze auto in
+    (* profile stream: the block trace of one native run of the workload *)
+    let tmp = Filename.temp_file "tea_repack" ".trc" in
+    let starts, insns, len =
+      Fun.protect
+        ~finally:(fun () -> Sys.remove tmp)
+        (fun () ->
+          let _ =
+            Probe.with_span "trace_capture" (fun () ->
+                Tea_pinsim.Trace_capture.record image tmp)
+          in
+          Tea_parallel.Shard.load_pc_trace tmp)
+    in
+    let repacked, baseline, tuned =
+      Probe.with_span "pgo_replay" @@ fun () ->
+      Tea_opt.Repack.pgo_replay ~hot_prefix packed ~insns starts ~len
+    in
+    if
+      Tea_core.Replayer.tbb_counts baseline
+      <> Tea_core.Replayer.tbb_counts tuned
+    then or_die (Error "repacked TBB mapping diverged from the baseline");
+    let base_cycles = Tea_core.Replayer.cycles baseline in
+    let tuned_cycles = Tea_core.Replayer.cycles tuned in
+    let steps = (Tea_core.Replayer.stats tuned).Tea_core.Transition.steps in
+    let hits = Tea_core.Packed.ic_hits repacked in
+    Printf.printf "repacked %s: %d blocks replayed, tbb mapping identical\n"
+      name len;
+    Printf.printf "layout: moved %d/%d states, %d hot-prefix edges (cap %d)\n"
+      (Tea_opt.Repack.moved_states repacked)
+      (Tea_core.Packed.n_slots repacked)
+      (Tea_core.Packed.hot_edges repacked)
+      hot_prefix;
+    Printf.printf "sim cycles: %d -> %d (%.3fx)\n" base_cycles tuned_cycles
+      (if tuned_cycles = 0 then 1.0
+       else float_of_int base_cycles /. float_of_int tuned_cycles);
+    Printf.printf "inline cache: %d/%d hits (%.1f%%)\n" hits steps
+      (if steps = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int steps);
+    match out with
+    | Some path ->
+        Tea_core.Serialize.save_packed path repacked;
+        Printf.printf "wrote %s (TEAPK2, %d bytes)\n" path
+          (Unix.stat path).Unix.st_size
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "repack"
+       ~doc:
+         "Profile-guided repacking: record, profile one run, repack the \
+          packed image and compare against the baseline replay")
+    Term.(
+      const run $ workload_arg $ strategy_arg $ hot_prefix_arg $ out_arg
+      $ obs_term)
 
 let analyze_cmd =
   let run name strategy_name obs =
@@ -647,8 +777,15 @@ let all_benchmarks = function
   | [] -> Tea_workloads.Spec2000.names
   | benchmarks -> benchmarks
 
+let table_pgo_arg =
+  let doc =
+    "Profile-repack the packed engine on each benchmark's own stream \
+     before measuring the Table 4 Packed column."
+  in
+  Arg.(value & flag & info [ "pgo" ] ~doc)
+
 let tables_cmd =
-  let run benchmarks jobs obs =
+  let run benchmarks jobs pgo obs =
     with_obs obs "tables" @@ fun () ->
     let benchmarks = all_benchmarks benchmarks in
     with_jobs ~quiet:obs.quiet jobs (fun pool ->
@@ -660,10 +797,10 @@ let tables_cmd =
         print_newline ();
         print_string (render_table3 (table3 ?pool benches));
         print_newline ();
-        print_string (render_table4 (table4 ?pool benches)))
+        print_string (render_table4 (table4 ?pool ~pgo benches)))
   in
   Cmd.v (Cmd.info "tables" ~doc:"Render the paper's Tables 1-4")
-    Term.(const run $ benchmarks_arg $ jobs_arg $ obs_term)
+    Term.(const run $ benchmarks_arg $ jobs_arg $ table_pgo_arg $ obs_term)
 
 let table1_cmd =
   let run benchmarks jobs obs =
@@ -679,18 +816,18 @@ let table1_cmd =
     Term.(const run $ benchmarks_arg $ jobs_arg $ obs_term)
 
 let table4_cmd =
-  let run benchmarks jobs obs =
+  let run benchmarks jobs pgo obs =
     with_obs obs "table4" @@ fun () ->
     let benchmarks = all_benchmarks benchmarks in
     with_jobs ~quiet:obs.quiet jobs (fun pool ->
         let open Tea_report.Experiments in
         let benches = prepare ?pool ~benchmarks () in
-        print_string (render_table4 (table4 ?pool benches)))
+        print_string (render_table4 (table4 ?pool ~pgo benches)))
   in
   Cmd.v
     (Cmd.info "table4"
        ~doc:"Render Table 4 (overhead ablation), sharded with --jobs")
-    Term.(const run $ benchmarks_arg $ jobs_arg $ obs_term)
+    Term.(const run $ benchmarks_arg $ jobs_arg $ table_pgo_arg $ obs_term)
 
 let () =
   let doc = "Trace Execution Automata: record, replay and inspect traces" in
@@ -699,8 +836,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; run_cmd; record_cmd; replay_cmd; capture_cmd; dot_cmd;
-            analyze_cmd;
+            list_cmd; run_cmd; record_cmd; replay_cmd; repack_cmd; capture_cmd;
+            dot_cmd; analyze_cmd;
             phases_cmd; cachesim_cmd; bpred_cmd; inspect_cmd; characterize_cmd;
             optimize_cmd; layout_cmd; reuse_cmd; tables_cmd; table1_cmd;
             table4_cmd;

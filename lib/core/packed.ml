@@ -8,10 +8,25 @@ type raw = {
   state_insns : int array;
   hash_keys : int array;
   hash_vals : int array;
+  hot_len : int array;
+  orig_of : int array;
 }
 
 (* The arrays live directly in [t] (rather than behind a nested [raw]
-   record) so the step path loads each one with a single indirection. *)
+   record) so the step path loads each one with a single indirection.
+
+   A repacked image ([repacked = true]) additionally carries:
+   - [hot_len]: per-slot length of the most-taken-first linear prefix of
+     the span (the remainder stays label-sorted for binary search);
+   - [edge_cost] / [miss_cost]: the simulated cycles the scan path would
+     charge to resolve each edge / to miss the whole span, precomputed
+     from the layout so the inline cache can charge them without scanning;
+   - [orig_of] / [slot_of]: the slot <-> original-state-id permutation
+     (reporting translates at the boundary; replay runs in slot space);
+   - [ic_label]/[ic_target]/[ic_cost]: the per-state monomorphic inline
+     cache, the packed analogue of DBT trace chaining. These three arrays
+     are the only flat arrays mutated during replay, so {!dup} gives each
+     sibling its own copies. *)
 type t = {
   offsets : int array;
   labels : int array;
@@ -22,21 +37,37 @@ type t = {
   state_insns : int array;
   hash_keys : int array;
   hash_vals : int array;
+  hot_len : int array;
+  orig_of : int array;
+  slot_of : int array;
+  edge_cost : int array; (* [||] unless repacked *)
+  miss_cost : int array; (* [||] unless repacked *)
+  ic_label : int array; (* [||] unless repacked; min_int = empty *)
+  ic_target : int array;
+  ic_cost : int array;
+  repacked : bool;
   mask : int; (* Array.length hash_keys - 1 *)
   auto : Automaton.t option;
   st : Transition.stats;
   mutable total_cycles : int;
+  mutable ic_hit_count : int;
+  mutable ic_miss_count : int;
 }
 
 (* Cost constants. A binary-search halving is a compare plus a conditional
    move on cache-resident arrays (~1); the hash path pays the multiply +
    mask (~2) plus one probe compare per slot examined; an NTE miss does the
-   same cold-code bookkeeping as the reference engine. *)
+   same cold-code bookkeeping as the reference engine. A hot-prefix probe
+   is the same compare as a halving, so it also costs [cost_search_step]. *)
 let cost_search_step = 1
 
 let cost_hash_base = 2
 
 let cost_hash_probe = 1
+
+(* The inline cache never fires on this label: real PCs are non-negative
+   and -1 is the hash tombstone, so the empty IC slot sits below both. *)
+let ic_empty = min_int
 
 (* Fibonacci multiplicative hashing; the constant is SplitMix64's golden
    gamma truncated to OCaml's int range. Exported so every probe loop —
@@ -56,54 +87,78 @@ let insert_head keys vals mask addr state =
   in
   go (hash_pc mask addr)
 
+(* Dedupe repeated head addresses before sizing the table: the last value
+   wins (matching [insert_head]'s overwrite semantics) but insertion keeps
+   first-occurrence order, so the probe-chain layout is independent of how
+   many times an address was re-inserted. Sizing from the raw list length
+   would over-size on duplicates — and under-fill relative to the load
+   factor the size was chosen for. *)
 let build_hash heads n_slots =
-  let n_heads = List.length heads in
-  let size = pow2_at_least (max 8 (2 * n_heads)) 8 in
-  let keys = Array.make size (-1) and vals = Array.make size 0 in
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
   List.iter
     (fun (addr, s) ->
       if addr < 0 then invalid_arg "Packed: negative head address";
       if s < 0 || s >= n_slots then invalid_arg "Packed: head out of range";
-      insert_head keys vals (size - 1) addr s)
+      if not (Hashtbl.mem tbl addr) then order := addr :: !order;
+      Hashtbl.replace tbl addr s)
     heads;
+  let distinct = List.rev !order in
+  let size = pow2_at_least (max 8 (2 * List.length distinct)) 8 in
+  let keys = Array.make size (-1) and vals = Array.make size 0 in
+  List.iter
+    (fun addr -> insert_head keys vals (size - 1) addr (Hashtbl.find tbl addr))
+    distinct;
   (keys, vals)
 
-let freeze auto =
-  let max_id = ref 0 in
-  Automaton.iter_live (fun s _ -> if s > !max_id then max_id := s) auto;
-  let n_slots = !max_id + 1 in
-  let state_trace = Array.make n_slots (-1) in
-  let state_tbb = Array.make n_slots 0 in
-  let state_start = Array.make n_slots 0 in
-  let state_insns = Array.make n_slots 0 in
-  let offsets = Array.make (n_slots + 1) 0 in
-  Automaton.iter_live
-    (fun s info ->
-      state_trace.(s) <- info.Automaton.trace_id;
-      state_tbb.(s) <- info.Automaton.tbb_index;
-      state_start.(s) <- info.Automaton.block_start;
-      state_insns.(s) <- info.Automaton.n_insns;
-      offsets.(s + 1) <- List.length (Automaton.edges_of auto s))
-    auto;
-  for i = 1 to n_slots do
-    offsets.(i) <- offsets.(i) + offsets.(i - 1)
+(* Iterations of the branchless lower-bound loop over [m] labels: len
+   shrinks by [len lsr 1] until it reaches 1 (= ceil(log2 m)). *)
+let halvings m =
+  let rec go len acc = if len <= 1 then acc else go (len - (len lsr 1)) (acc + 1) in
+  go m 0
+
+(* Precompute what the scan path charges so the inline cache (and the
+   fused batch loop) can charge a resolution with one table load:
+   - a hot-prefix edge at position j costs its j+1 linear probes;
+   - a tail edge costs the whole prefix (k probes) plus the binary search
+     over the m tail labels (halvings m + 1);
+   - a span miss costs the same full scan (prefix + search), after which
+     the hash path charges its own costs on top. *)
+let derive_costs offsets hot_len =
+  let n_slots = Array.length offsets - 1 in
+  let edge_cost = Array.make offsets.(n_slots) 0 in
+  let miss_cost = Array.make n_slots 0 in
+  for s = 0 to n_slots - 1 do
+    let lo = offsets.(s) and hi = offsets.(s + 1) in
+    let k = hot_len.(s) in
+    let m = hi - lo - k in
+    let tail = if m > 0 then halvings m + 1 else 0 in
+    for j = 0 to k - 1 do
+      edge_cost.(lo + j) <- (j + 1) * cost_search_step
+    done;
+    for e = lo + k to hi - 1 do
+      edge_cost.(e) <- (k + tail) * cost_search_step
+    done;
+    miss_cost.(s) <- (k + tail) * cost_search_step
   done;
-  let n_edges = offsets.(n_slots) in
-  let labels = Array.make n_edges 0 and targets = Array.make n_edges 0 in
-  Automaton.iter_live
-    (fun s _ ->
-      let edges =
-        List.sort
-          (fun (a, _) (b, _) -> Int.compare a b)
-          (Automaton.edges_of auto s)
-      in
-      List.iteri
-        (fun i (label, dst) ->
-          labels.(offsets.(s) + i) <- label;
-          targets.(offsets.(s) + i) <- dst)
-        edges)
-    auto;
-  let hash_keys, hash_vals = build_hash (Automaton.heads auto) n_slots in
+  (edge_cost, miss_cost)
+
+let identity n = Array.init n (fun i -> i)
+
+let make_t ~offsets ~labels ~targets ~state_trace ~state_tbb ~state_start
+    ~state_insns ~hash_keys ~hash_vals ~hot_len ~orig_of ~auto ~repacked =
+  let n_slots = Array.length offsets - 1 in
+  let slot_of =
+    if repacked then begin
+      let a = Array.make n_slots 0 in
+      Array.iteri (fun slot orig -> a.(orig) <- slot) orig_of;
+      a
+    end
+    else orig_of (* identity; never mutated, safe to share *)
+  in
+  let edge_cost, miss_cost =
+    if repacked then derive_costs offsets hot_len else ([||], [||])
+  in
   {
     offsets;
     labels;
@@ -114,17 +169,87 @@ let freeze auto =
     state_insns;
     hash_keys;
     hash_vals;
+    hot_len;
+    orig_of;
+    slot_of;
+    edge_cost;
+    miss_cost;
+    ic_label = (if repacked then Array.make n_slots ic_empty else [||]);
+    ic_target = (if repacked then Array.make n_slots (-1) else [||]);
+    ic_cost = (if repacked then Array.make n_slots 0 else [||]);
+    repacked;
     mask = Array.length hash_keys - 1;
-    auto = Some auto;
+    auto;
     st = Transition.fresh_stats ();
     total_cycles = 0;
+    ic_hit_count = 0;
+    ic_miss_count = 0;
   }
 
-(* The flat arrays are immutable after freeze; only [st] and
-   [total_cycles] mutate during replay. Sharing those across domains would
-   race, so a parallel driver gives each worker its own counter block over
-   the same arrays. *)
-let dup t = { t with st = Transition.fresh_stats (); total_cycles = 0 }
+let freeze auto =
+  let max_id = ref 0 in
+  Automaton.iter_live (fun s _ -> if s > !max_id then max_id := s) auto;
+  let n_slots = !max_id + 1 in
+  let state_trace = Array.make n_slots (-1) in
+  let state_tbb = Array.make n_slots 0 in
+  let state_start = Array.make n_slots 0 in
+  let state_insns = Array.make n_slots 0 in
+  let offsets = Array.make (n_slots + 1) 0 in
+  (* Single traversal: sort each state's edges once, cache the sorted
+     lists, and reuse them for both the offsets count and the fill. *)
+  let sorted_edges = Array.make n_slots [] in
+  Automaton.iter_live
+    (fun s info ->
+      state_trace.(s) <- info.Automaton.trace_id;
+      state_tbb.(s) <- info.Automaton.tbb_index;
+      state_start.(s) <- info.Automaton.block_start;
+      state_insns.(s) <- info.Automaton.n_insns;
+      let edges =
+        List.sort
+          (fun (a, _) (b, _) -> Int.compare a b)
+          (Automaton.edges_of auto s)
+      in
+      sorted_edges.(s) <- edges;
+      offsets.(s + 1) <- List.length edges)
+    auto;
+  for i = 1 to n_slots do
+    offsets.(i) <- offsets.(i) + offsets.(i - 1)
+  done;
+  let n_edges = offsets.(n_slots) in
+  let labels = Array.make n_edges 0 and targets = Array.make n_edges 0 in
+  Array.iteri
+    (fun s edges ->
+      List.iteri
+        (fun i (label, dst) ->
+          labels.(offsets.(s) + i) <- label;
+          targets.(offsets.(s) + i) <- dst)
+        edges)
+    sorted_edges;
+  let hash_keys, hash_vals = build_hash (Automaton.heads auto) n_slots in
+  make_t ~offsets ~labels ~targets ~state_trace ~state_tbb ~state_start
+    ~state_insns ~hash_keys ~hash_vals ~hot_len:(Array.make n_slots 0)
+    ~orig_of:(identity n_slots) ~auto:(Some auto) ~repacked:false
+
+(* The flat arrays are immutable after freeze; only the counter block —
+   and, for repacked images, the inline-cache arrays — mutate during
+   replay. Sharing those across domains would race, so a parallel driver
+   gives each worker its own counters (and IC) over the same layout. *)
+let dup t =
+  {
+    t with
+    st = Transition.fresh_stats ();
+    total_cycles = 0;
+    ic_hit_count = 0;
+    ic_miss_count = 0;
+    ic_label =
+      (if t.repacked then Array.make (Array.length t.ic_label) ic_empty
+       else t.ic_label);
+    ic_target =
+      (if t.repacked then Array.make (Array.length t.ic_target) (-1)
+       else t.ic_target);
+    ic_cost =
+      (if t.repacked then Array.make (Array.length t.ic_cost) 0 else t.ic_cost);
+  }
 
 let n_slots t = Array.length t.offsets - 1
 
@@ -144,8 +269,33 @@ let cycles t = t.total_cycles
 
 let add_cycles t n = t.total_cycles <- t.total_cycles + n
 
+let is_repacked t = t.repacked
+
+let hot_edges t = Array.fold_left ( + ) 0 t.hot_len
+
+let orig_state t s =
+  if s >= 0 && s < Array.length t.orig_of then t.orig_of.(s) else s
+
+let slot_of_state t s =
+  if s >= 0 && s < Array.length t.slot_of then t.slot_of.(s) else s
+
+let ic_hits t = t.ic_hit_count
+
+let ic_misses t = t.ic_miss_count
+
+let add_ic t ~hits ~misses =
+  t.ic_hit_count <- t.ic_hit_count + hits;
+  t.ic_miss_count <- t.ic_miss_count + misses
+
 let reset_counters t =
   t.total_cycles <- 0;
+  t.ic_hit_count <- 0;
+  t.ic_miss_count <- 0;
+  if t.repacked then begin
+    Array.fill t.ic_label 0 (Array.length t.ic_label) ic_empty;
+    Array.fill t.ic_target 0 (Array.length t.ic_target) (-1);
+    Array.fill t.ic_cost 0 (Array.length t.ic_cost) 0
+  end;
   let st = t.st in
   st.Transition.steps <- 0;
   st.Transition.in_trace_hits <- 0;
@@ -188,6 +338,23 @@ let rec lower_bound t labels pc base len cost =
     in
     lower_bound t labels pc base (len - half) (cost + cost_search_step)
 
+(* Cost-free lower bound for repacked spans: the resolution cost comes
+   from the precomputed [edge_cost]/[miss_cost] tables instead of being
+   charged per halving. *)
+let rec lower_bound_pure labels pc base len =
+  if len <= 1 then base
+  else
+    let half = len lsr 1 in
+    let base =
+      if Array.unsafe_get labels (base + half) <= pc then base + half else base
+    in
+    lower_bound_pure labels pc base (len - half)
+
+let rec scan_prefix labels pc i stop =
+  if i >= stop then -1
+  else if Array.unsafe_get labels i = pc then i
+  else scan_prefix labels pc (i + 1) stop
+
 (* Open-addressing probe; returns the head state or -1, charging one
    [cost_hash_probe] per slot examined (terminal slot included). *)
 let rec probe t keys vals mask pc i cost =
@@ -202,9 +369,40 @@ let rec probe t keys vals mask pc i cost =
   end
   else probe t keys vals mask pc ((i + 1) land mask) (cost + cost_hash_probe)
 
-let step t state pc =
-  if state < 0 || state + 1 >= Array.length t.offsets then
-    invalid_arg "Packed.step: state id outside the frozen image";
+(* Shared cold tail: hash the PC and probe for a trace head, charging the
+   hash-path costs and bumping the cross-trace counters. *)
+let step_hash t m pc =
+  let st = t.st in
+  t.total_cycles <- t.total_cycles + cost_hash_base;
+  let c0 = t.total_cycles in
+  let found =
+    probe t t.hash_keys t.hash_vals t.mask pc (hash_pc t.mask pc)
+      cost_hash_probe
+  in
+  (* [probe] charges [cost_hash_probe] (= 1) per slot examined, so the
+     cycles delta is exactly the probe length. *)
+  (match m with
+  | None -> ()
+  | Some m ->
+      Tea_telemetry.Metrics.observe_value m "packed.hash_probe_len"
+        ((t.total_cycles - c0) / cost_hash_probe));
+  if found >= 0 then begin
+    st.Transition.global_hits <- st.Transition.global_hits + 1;
+    (match m with
+    | None -> ()
+    | Some m -> Tea_telemetry.Metrics.count m "packed.global_hit" 1);
+    found
+  end
+  else begin
+    st.Transition.global_misses <- st.Transition.global_misses + 1;
+    (match m with
+    | None -> ()
+    | Some m -> Tea_telemetry.Metrics.count m "packed.global_miss" 1);
+    t.total_cycles <- t.total_cycles + Transition.cost_nte_miss;
+    Automaton.nte
+  end
+
+let step_flat t state pc =
   let st = t.st in
   st.Transition.steps <- st.Transition.steps + 1;
   let lo = Array.unsafe_get t.offsets state in
@@ -229,37 +427,106 @@ let step t state pc =
     | Some m -> Tea_telemetry.Metrics.count m "packed.in_trace_hit" 1);
     hit
   end
-  else begin
-    (* Cross-trace / cold path: hash the PC and probe for a trace head. *)
-    t.total_cycles <- t.total_cycles + cost_hash_base;
-    let c0 = t.total_cycles in
-    let found =
-      probe t t.hash_keys t.hash_vals t.mask pc (hash_pc t.mask pc)
-        cost_hash_probe
-    in
-    (* [probe] charges [cost_hash_probe] (= 1) per slot examined, so the
-       cycles delta is exactly the probe length. *)
+  else step_hash t m pc
+
+(* Repacked dispatch: monomorphic inline cache, then the most-taken-first
+   linear prefix, then binary search over the sorted tail, then the hash
+   path. An IC hit charges exactly the [edge_cost] the scan charged when
+   the entry was filled — for a fixed layout that cost is a function of
+   (state, pc) alone, so simulated cycles are independent of IC history
+   and sharded replay stays bit-identical to sequential. Only the
+   [ic_hit]/[ic_miss] telemetry split observes the cache itself. *)
+let step_hot t state pc =
+  let st = t.st in
+  st.Transition.steps <- st.Transition.steps + 1;
+  let m = Tea_telemetry.Probe.metrics () in
+  if Array.unsafe_get t.ic_label state = pc then begin
+    st.Transition.in_trace_hits <- st.Transition.in_trace_hits + 1;
+    t.ic_hit_count <- t.ic_hit_count + 1;
+    t.total_cycles <- t.total_cycles + Array.unsafe_get t.ic_cost state;
     (match m with
     | None -> ()
     | Some m ->
-        Tea_telemetry.Metrics.observe_value m "packed.hash_probe_len"
-          ((t.total_cycles - c0) / cost_hash_probe));
-    if found >= 0 then begin
-      st.Transition.global_hits <- st.Transition.global_hits + 1;
+        Tea_telemetry.Metrics.count m "packed.ic_hit" 1;
+        Tea_telemetry.Metrics.count m "packed.in_trace_hit" 1);
+    Array.unsafe_get t.ic_target state
+  end
+  else begin
+    t.ic_miss_count <- t.ic_miss_count + 1;
+    (match m with
+    | None -> ()
+    | Some m -> Tea_telemetry.Metrics.count m "packed.ic_miss" 1);
+    let lo = Array.unsafe_get t.offsets state in
+    let hi = Array.unsafe_get t.offsets (state + 1) in
+    let k = Array.unsafe_get t.hot_len state in
+    let e =
+      let e = scan_prefix t.labels pc lo (lo + k) in
+      if e >= 0 then e
+      else begin
+        let tl = lo + k in
+        if hi <= tl then -1
+        else
+          let b = lower_bound_pure t.labels pc tl (hi - tl) in
+          if Array.unsafe_get t.labels b = pc then b else -1
+      end
+    in
+    if e >= 0 then begin
+      st.Transition.in_trace_hits <- st.Transition.in_trace_hits + 1;
+      let c = Array.unsafe_get t.edge_cost e in
+      t.total_cycles <- t.total_cycles + c;
+      let tgt = Array.unsafe_get t.targets e in
+      Array.unsafe_set t.ic_label state pc;
+      Array.unsafe_set t.ic_target state tgt;
+      Array.unsafe_set t.ic_cost state c;
       (match m with
       | None -> ()
-      | Some m -> Tea_telemetry.Metrics.count m "packed.global_hit" 1);
-      found
+      | Some m -> Tea_telemetry.Metrics.count m "packed.in_trace_hit" 1);
+      tgt
     end
     else begin
-      st.Transition.global_misses <- st.Transition.global_misses + 1;
-      (match m with
-      | None -> ()
-      | Some m -> Tea_telemetry.Metrics.count m "packed.global_miss" 1);
-      t.total_cycles <- t.total_cycles + Transition.cost_nte_miss;
-      Automaton.nte
+      t.total_cycles <- t.total_cycles + Array.unsafe_get t.miss_cost state;
+      step_hash t m pc
     end
   end
+
+let step t state pc =
+  if state < 0 || state + 1 >= Array.length t.offsets then
+    invalid_arg "Packed.step: state id outside the frozen image";
+  if t.repacked then step_hot t state pc else step_flat t state pc
+
+(* Read-only view of every array the fused batch loop in
+   {!Replayer.run_packed} needs for the repacked dispatch, bundled so the
+   loop hoists each into a local with one record load. The IC arrays are
+   the live (mutable) ones — the loop fills them in place. *)
+type hot_view = {
+  v_offsets : int array;
+  v_labels : int array;
+  v_targets : int array;
+  v_hot_len : int array;
+  v_edge_cost : int array;
+  v_miss_cost : int array;
+  v_ic_label : int array;
+  v_ic_target : int array;
+  v_ic_cost : int array;
+  v_hash_keys : int array;
+  v_hash_vals : int array;
+}
+
+let hot_view t =
+  if not t.repacked then invalid_arg "Packed.hot_view: image is not repacked";
+  {
+    v_offsets = t.offsets;
+    v_labels = t.labels;
+    v_targets = t.targets;
+    v_hot_len = t.hot_len;
+    v_edge_cost = t.edge_cost;
+    v_miss_cost = t.miss_cost;
+    v_ic_label = t.ic_label;
+    v_ic_target = t.ic_target;
+    v_ic_cost = t.ic_cost;
+    v_hash_keys = t.hash_keys;
+    v_hash_vals = t.hash_vals;
+  }
 
 let to_raw t : raw =
   {
@@ -272,9 +539,11 @@ let to_raw t : raw =
     state_insns = t.state_insns;
     hash_keys = t.hash_keys;
     hash_vals = t.hash_vals;
+    hot_len = t.hot_len;
+    orig_of = t.orig_of;
   }
 
-let of_raw (r : raw) =
+let of_raw ?auto ?(repacked = false) (r : raw) =
   let fail fmt = Printf.ksprintf invalid_arg ("Packed.of_raw: " ^^ fmt) in
   let n_slots = Array.length r.offsets - 1 in
   if n_slots < 0 then fail "empty offsets array";
@@ -288,12 +557,55 @@ let of_raw (r : raw) =
   Array.iter
     (fun d -> if d < 0 || d >= n_slots then fail "edge target out of range")
     r.targets;
-  for s = 0 to n_slots - 1 do
-    for i = r.offsets.(s) + 1 to r.offsets.(s + 1) - 1 do
-      if r.labels.(i) <= r.labels.(i - 1) then
-        fail "span labels must be strictly increasing"
+  if Array.length r.hot_len <> n_slots then fail "hot_len length mismatch";
+  if Array.length r.orig_of <> n_slots then fail "orig_of length mismatch";
+  if repacked then begin
+    (* Each span splits into a hot prefix (pairwise-distinct labels, any
+       order) and a strictly increasing tail, with no label in both. *)
+    for s = 0 to n_slots - 1 do
+      let lo = r.offsets.(s) and hi = r.offsets.(s + 1) in
+      let k = r.hot_len.(s) in
+      if k < 0 || k > hi - lo then fail "hot prefix exceeds its span";
+      for i = lo to lo + k - 1 do
+        for j = i + 1 to lo + k - 1 do
+          if r.labels.(i) = r.labels.(j) then
+            fail "duplicate label in hot prefix"
+        done;
+        for j = lo + k to hi - 1 do
+          if r.labels.(i) = r.labels.(j) then
+            fail "hot prefix label repeated in tail"
+        done
+      done;
+      for i = lo + k + 1 to hi - 1 do
+        if r.labels.(i) <= r.labels.(i - 1) then
+          fail "span tail labels must be strictly increasing"
+      done
+    done;
+    let seen = Array.make (max n_slots 1) false in
+    Array.iter
+      (fun o ->
+        if o < 0 || o >= n_slots then fail "orig_of out of range"
+        else if seen.(o) then fail "orig_of is not a permutation"
+        else seen.(o) <- true)
+      r.orig_of;
+    if n_slots > 0 && r.orig_of.(0) <> 0 then
+      fail "orig_of must pin NTE at slot 0"
+  end
+  else begin
+    Array.iter
+      (fun k -> if k <> 0 then fail "hot_len must be zero in a flat image")
+      r.hot_len;
+    Array.iteri
+      (fun i o ->
+        if o <> i then fail "orig_of must be the identity in a flat image")
+      r.orig_of;
+    for s = 0 to n_slots - 1 do
+      for i = r.offsets.(s) + 1 to r.offsets.(s + 1) - 1 do
+        if r.labels.(i) <= r.labels.(i - 1) then
+          fail "span labels must be strictly increasing"
+      done
     done
-  done;
+  end;
   List.iter
     (fun a ->
       if Array.length a <> n_slots then fail "state array length mismatch")
@@ -307,21 +619,11 @@ let of_raw (r : raw) =
       if k >= 0 && (r.hash_vals.(i) < 0 || r.hash_vals.(i) >= n_slots) then
         fail "hash value out of range")
     r.hash_keys;
-  {
-    offsets = r.offsets;
-    labels = r.labels;
-    targets = r.targets;
-    state_trace = r.state_trace;
-    state_tbb = r.state_tbb;
-    state_start = r.state_start;
-    state_insns = r.state_insns;
-    hash_keys = r.hash_keys;
-    hash_vals = r.hash_vals;
-    mask = hsize - 1;
-    auto = None;
-    st = Transition.fresh_stats ();
-    total_cycles = 0;
-  }
+  make_t ~offsets:r.offsets ~labels:r.labels ~targets:r.targets
+    ~state_trace:r.state_trace ~state_tbb:r.state_tbb
+    ~state_start:r.state_start ~state_insns:r.state_insns
+    ~hash_keys:r.hash_keys ~hash_vals:r.hash_vals ~hot_len:r.hot_len
+    ~orig_of:r.orig_of ~auto ~repacked
 
 let check t auto =
   let fresh = freeze auto in
@@ -333,5 +635,6 @@ let check t auto =
     && a.state_start = b.state_start
     && a.state_insns = b.state_insns
     && a.hash_keys = b.hash_keys && a.hash_vals = b.hash_vals
+    && a.hot_len = b.hot_len && a.orig_of = b.orig_of
   then Ok ()
   else Error "packed image is stale: the automaton changed since freeze"

@@ -25,7 +25,26 @@
     caches: resolutions the reference engine splits between [cache_hits]
     and [global_hits] all land in [global_hits] here ([cache_hits] stays
     0); [steps], [in_trace_hits] and [global_misses] match the reference
-    engine exactly. *)
+    engine exactly.
+
+    {2 Repacked images}
+
+    {!Tea_opt.Repack} produces a second flavor of image
+    ({!is_repacked} = true) from a replay profile: states renumbered
+    hotness-descending (NTE pinned at slot 0), each edge span split into a
+    most-taken-first linear-scan {e hot prefix} plus a label-sorted
+    binary-search tail, and a per-state monomorphic {e inline cache}
+    (last label/target pair — the packed analogue of DBT trace chaining)
+    consulted before any scan. Replay runs in {e slot} space; the
+    {!orig_state} / {!slot_of_state} permutation translates ids at
+    reporting boundaries, so externally visible TBB mappings are identical
+    to the flat image's. An IC hit charges the precomputed cost the scan
+    would have charged ({e edge_cost}), keeping simulated cycles a pure
+    function of the replayed stream — independent of IC history — which is
+    what keeps sharded parallel replay bit-identical to sequential. IC
+    effectiveness is observable via {!ic_hits} / {!ic_misses} and the
+    [packed.ic_hit] / [packed.ic_miss] telemetry probes, and in wall
+    clock. *)
 
 type t
 
@@ -34,14 +53,16 @@ val freeze : Automaton.t -> t
 
 val dup : t -> t
 (** A sibling image sharing the same (immutable) flat arrays but with
-    fresh, zeroed {!stats} and {!cycles} counters. The arrays are never
-    written after {!freeze}, so siblings are safe to step concurrently
-    from different domains; only the counter block is per-sibling. O(1). *)
+    fresh, zeroed {!stats} and {!cycles} counters — and, for repacked
+    images, a fresh (empty) inline cache, the one mutable part of the
+    layout. Siblings are safe to step concurrently from different
+    domains. O(1) flat, O(states) repacked. *)
 
 val step : t -> Automaton.state -> int -> Automaton.state
 (** [step t state pc] — the DFA transition on label [pc]. Same semantics
     as {!Transition.step}: in-trace edge first, then trace-head lookup,
-    else NTE. Accumulates {!cycles} and {!stats}.
+    else NTE. Accumulates {!cycles} and {!stats}. On a repacked image the
+    in-trace resolution order is inline cache, hot prefix, sorted tail.
     @raise Invalid_argument on a state id the frozen image never
     contained. *)
 
@@ -49,11 +70,13 @@ val stats : t -> Transition.stats
 
 val cycles : t -> int
 (** Simulated cycles spent in the transition function (packed cost model:
-    one cycle per binary-search halving, {!cost_hash_base} plus one cycle
-    per probe on the hash path, and the engine-independent
-    {!Transition.cost_nte_miss} on misses). *)
+    one cycle per binary-search halving or linear hot-prefix probe,
+    {!cost_hash_base} plus one cycle per probe on the hash path, and the
+    engine-independent {!Transition.cost_nte_miss} on misses). *)
 
 val reset_counters : t -> unit
+(** Zero {!stats}, {!cycles} and the IC counters; empty the inline cache
+    of a repacked image so a re-run starts cold. *)
 
 val add_cycles : t -> int -> unit
 (** Charge simulated cycles computed outside {!step}. Used by
@@ -64,6 +87,10 @@ val automaton : t -> Automaton.t option
 (** The automaton this image was frozen from; [None] when the image was
     reconstituted from bytes ({!Serialize.packed_of_binary}) — stepping
     and coverage work, per-trace profiles don't. *)
+
+val n_slots : t -> int
+(** Array slots (live states + tombstones + NTE); state ids are
+    [0 .. n_slots - 1]. *)
 
 val n_states : t -> int
 (** Live states compiled in (tombstones excluded, NTE not counted). *)
@@ -83,41 +110,115 @@ val hash_pc : int -> int -> int
     head insertion, {!step}, {!head_of} and {!Replayer.feed_run}'s fused
     probe loop. *)
 
+val build_hash : (int * int) list -> int -> int array * int array
+(** [build_hash heads n_slots] — the open-addressing (keys, vals) pair
+    for a [(addr, state)] association list. Repeated addresses are
+    deduplicated before sizing (last value wins, first-occurrence
+    insertion order), so the layout is independent of re-insertions.
+    Exported for {!Tea_opt.Repack}, which rebuilds the hash over
+    renumbered states, and for white-box tests.
+    @raise Invalid_argument on a negative address or out-of-range state. *)
+
 val state_insns : t -> Automaton.state -> int
 (** Block size recorded for a state (0 for NTE / unknown ids). *)
 
 val check : t -> Automaton.t -> (unit, string) result
 (** [check t auto] — is this image still an exact compilation of [auto]?
-    [Error] when the automaton changed since {!freeze}. *)
+    [Error] when the automaton changed since {!freeze} (and always for a
+    repacked image, whose layout is intentionally permuted). *)
+
+(** {2 Repacked-image accessors} *)
+
+val is_repacked : t -> bool
+
+val hot_edges : t -> int
+(** Total edges across all hot prefixes (0 for a flat image). *)
+
+val orig_state : t -> Automaton.state -> Automaton.state
+(** Slot id → original automaton state id (identity on flat images and
+    out-of-range ids). *)
+
+val slot_of_state : t -> Automaton.state -> Automaton.state
+(** Original automaton state id → slot id (inverse of {!orig_state}). *)
+
+val ic_hits : t -> int
+
+val ic_misses : t -> int
+(** Inline-cache hit/miss split of [steps] on a repacked image (every
+    step is exactly one of the two; both 0 on flat images). Telemetry
+    mirrors: [packed.ic_hit] / [packed.ic_miss]. *)
+
+val add_ic : t -> hits:int -> misses:int -> unit
+(** Flush IC counters accumulated outside {!step} (the fused batch
+    loop). *)
+
+(** Everything the fused batch loop needs for the repacked dispatch, as
+    one record of the live arrays (the IC arrays are mutable and filled
+    in place). *)
+type hot_view = {
+  v_offsets : int array;
+  v_labels : int array;
+  v_targets : int array;
+  v_hot_len : int array;
+  v_edge_cost : int array;
+  v_miss_cost : int array;
+  v_ic_label : int array;
+  v_ic_target : int array;
+  v_ic_cost : int array;
+  v_hash_keys : int array;
+  v_hash_vals : int array;
+}
+
+val hot_view : t -> hot_view
+(** @raise Invalid_argument on a flat image. *)
 
 (** {2 Raw array image}
 
     The exact flat arrays, for serialization ({!Serialize}) and
     white-box tests. [of_raw] validates shape invariants (offset
-    monotonicity, sorted unique labels per span, targets and hash values
-    in range) and raises [Invalid_argument] on violation. *)
+    monotonicity, per-span label discipline, targets and hash values in
+    range, [orig_of] a permutation) and raises [Invalid_argument] on
+    violation. *)
 
 type raw = {
   offsets : int array;      (** length slots+1; state s's span is
                                 [offsets.(s) .. offsets.(s+1))] *)
-  labels : int array;       (** strictly increasing within each span *)
-  targets : int array;      (** automaton state ids *)
+  labels : int array;       (** flat image: strictly increasing within
+                                each span. Repacked: the span's first
+                                [hot_len.(s)] labels are the hot prefix
+                                (distinct, most-taken-first), the rest
+                                strictly increasing. *)
+  targets : int array;      (** state ids (slot ids when repacked) *)
   state_trace : int array;  (** -1 for NTE / tombstones *)
   state_tbb : int array;
   state_start : int array;
   state_insns : int array;
   hash_keys : int array;    (** power-of-two length; -1 = empty slot *)
   hash_vals : int array;
+  hot_len : int array;      (** per-slot hot-prefix length; all 0 flat *)
+  orig_of : int array;      (** slot → original state id; identity flat *)
 }
 
 val to_raw : t -> raw
 
-val of_raw : raw -> t
+val of_raw : ?auto:Automaton.t -> ?repacked:bool -> raw -> t
+(** [repacked] (default false) selects which span discipline is validated
+    and which step dispatch the image uses; [auto] re-attaches the source
+    automaton (repacking preserves it so per-trace profiles keep
+    working). *)
 
 (** {2 Cost constants} (simulated cycles) *)
 
 val cost_search_step : int
-(** Per binary-search halving (branchless compare + select). *)
+(** Per binary-search halving (branchless compare + select) and per
+    hot-prefix linear probe. *)
+
+val halvings : int -> int
+(** [halvings m] — iterations of the branchless lower-bound loop over a
+    span of [m] labels (= ceil(log2 m), 0 for m ≤ 1). A search therefore
+    charges [(halvings m + 1) * cost_search_step]. Exported so
+    {!Tea_opt.Repack}'s layout cost model is the engine's, by
+    construction. *)
 
 val cost_hash_base : int
 (** Fixed cost of entering the hash path (hash computation + index). *)

@@ -86,7 +86,7 @@ let feed t (b : Block.t) = feed_addr t ~insns:(Block.n_insns b) b.Block.start
    allocated once per batch and is flushed at the end. The replication is
    pinned to the step-at-a-time path by the feed_run/feed_addr qcheck
    equivalence property (state sequence, coverage, stats and cycles). *)
-let run_packed t packed addrs ins ~off ~len =
+let run_packed_flat t packed addrs ins ~off ~len =
   let raw = Packed.to_raw packed in
   let offsets = raw.Packed.offsets in
   let labels = raw.Packed.labels in
@@ -206,6 +206,157 @@ let run_packed t packed addrs ins ~off ~len =
   st.Transition.global_misses <- st.Transition.global_misses + !g_miss;
   Packed.add_cycles packed !cycles
 
+(* The same fused loop over a repacked image: inline cache first, then
+   the most-taken-first hot prefix, then binary search over the sorted
+   tail, then the hash path. Resolution costs come from the precomputed
+   edge_cost/miss_cost tables (an IC hit charges exactly what the scan
+   charged when the entry was filled), so simulated cycles stay a pure
+   function of the replayed stream — see the Packed docs for why that
+   keeps sharded replay bit-identical. *)
+let run_packed_hot t packed addrs ins ~off ~len =
+  let v = Packed.hot_view packed in
+  let offsets = v.Packed.v_offsets in
+  let labels = v.Packed.v_labels in
+  let targets = v.Packed.v_targets in
+  let hot_len = v.Packed.v_hot_len in
+  let edge_cost = v.Packed.v_edge_cost in
+  let miss_cost = v.Packed.v_miss_cost in
+  let ic_label = v.Packed.v_ic_label in
+  let ic_target = v.Packed.v_ic_target in
+  let ic_cost = v.Packed.v_ic_cost in
+  let keys = v.Packed.v_hash_keys in
+  let vals = v.Packed.v_hash_vals in
+  let mask = Array.length keys - 1 in
+  let n_slots = Array.length offsets - 1 in
+  if t.state < 0 || t.state >= n_slots then
+    invalid_arg "Replayer.feed_run: state id outside the frozen image";
+  if Array.length t.counts < n_slots then grow_counts t (n_slots - 1);
+  let counts = t.counts in
+  let nte = Automaton.nte in
+  let state = ref t.state in
+  let covered = ref t.covered and total = ref t.total in
+  let enters = ref t.enters and exits = ref t.exits in
+  let in_hits = ref 0 and g_hits = ref 0 and g_miss = ref 0 in
+  let ic_h = ref 0 and ic_m = ref 0 in
+  let cycles = ref 0 in
+  let hprobe =
+    match Tea_telemetry.Probe.metrics () with
+    | None -> None
+    | Some m -> Some (Tea_telemetry.Metrics.histogram m "packed.hash_probe_len")
+  in
+  for i = off to off + len - 1 do
+    let pc = Array.unsafe_get addrs i in
+    let prev = !state in
+    let next =
+      if Array.unsafe_get ic_label prev = pc then begin
+        (* monomorphic inline cache: one compare, one precomputed charge *)
+        incr ic_h;
+        incr in_hits;
+        cycles := !cycles + Array.unsafe_get ic_cost prev;
+        Array.unsafe_get ic_target prev
+      end
+      else begin
+        incr ic_m;
+        let lo = Array.unsafe_get offsets prev in
+        let hi = Array.unsafe_get offsets (prev + 1) in
+        let stop = lo + Array.unsafe_get hot_len prev in
+        (* linear scan of the most-taken-first prefix *)
+        let e = ref (-1) in
+        let j = ref lo in
+        while !e < 0 && !j < stop do
+          if Array.unsafe_get labels !j = pc then e := !j else incr j
+        done;
+        (* binary search over the sorted tail *)
+        if !e < 0 && hi > stop then begin
+          let base = ref stop and l = ref (hi - stop) in
+          while !l > 1 do
+            let half = !l lsr 1 in
+            if Array.unsafe_get labels (!base + half) <= pc then
+              base := !base + half;
+            l := !l - half
+          done;
+          if Array.unsafe_get labels !base = pc then e := !base
+        end;
+        if !e >= 0 then begin
+          incr in_hits;
+          let c = Array.unsafe_get edge_cost !e in
+          cycles := !cycles + c;
+          let tgt = Array.unsafe_get targets !e in
+          Array.unsafe_set ic_label prev pc;
+          Array.unsafe_set ic_target prev tgt;
+          Array.unsafe_set ic_cost prev c;
+          tgt
+        end
+        else begin
+          (* span miss: charge the full scan, then the hash path *)
+          cycles :=
+            !cycles + Array.unsafe_get miss_cost prev + Packed.cost_hash_base;
+          let c0 = !cycles in
+          let idx = ref (Packed.hash_pc mask pc) in
+          let found = ref (-2) in
+          while !found = -2 do
+            cycles := !cycles + Packed.cost_hash_probe;
+            let k = Array.unsafe_get keys !idx in
+            if k = pc then found := Array.unsafe_get vals !idx
+            else if k < 0 then found := -1
+            else idx := (!idx + 1) land mask
+          done;
+          (match hprobe with
+          | None -> ()
+          | Some h ->
+              Tea_telemetry.Metrics.observe h
+                ((!cycles - c0) / Packed.cost_hash_probe));
+          if !found >= 0 then begin
+            incr g_hits;
+            !found
+          end
+          else begin
+            incr g_miss;
+            cycles := !cycles + Transition.cost_nte_miss;
+            nte
+          end
+        end
+      end
+    in
+    let insns = Array.unsafe_get ins i in
+    state := next;
+    total := !total + insns;
+    if next <> nte then begin
+      covered := !covered + insns;
+      Array.unsafe_set counts next (1 + Array.unsafe_get counts next)
+    end;
+    if prev = nte && next <> nte then incr enters;
+    if prev <> nte && next = nte then incr exits
+  done;
+  (match Tea_telemetry.Probe.metrics () with
+  | None -> ()
+  | Some m ->
+      let open Tea_telemetry.Metrics in
+      count m "replayer.steps" len;
+      count m "replayer.trace_enters" (!enters - t.enters);
+      count m "replayer.trace_exits" (!exits - t.exits);
+      count m "packed.in_trace_hit" !in_hits;
+      count m "packed.global_hit" !g_hits;
+      count m "packed.global_miss" !g_miss;
+      count m "packed.ic_hit" !ic_h;
+      count m "packed.ic_miss" !ic_m);
+  t.state <- !state;
+  t.covered <- !covered;
+  t.total <- !total;
+  t.enters <- !enters;
+  t.exits <- !exits;
+  let st = Packed.stats packed in
+  st.Transition.steps <- st.Transition.steps + len;
+  st.Transition.in_trace_hits <- st.Transition.in_trace_hits + !in_hits;
+  st.Transition.global_hits <- st.Transition.global_hits + !g_hits;
+  st.Transition.global_misses <- st.Transition.global_misses + !g_miss;
+  Packed.add_ic packed ~hits:!ic_h ~misses:!ic_m;
+  Packed.add_cycles packed !cycles
+
+let run_packed t packed addrs ins ~off ~len =
+  if Packed.is_repacked packed then run_packed_hot t packed addrs ins ~off ~len
+  else run_packed_flat t packed addrs ins ~off ~len
+
 let no_insns = [||]
 
 let feed_run t ?(off = 0) ?insns addrs ~len =
@@ -273,14 +424,34 @@ let trace_enters t = t.enters
 
 let trace_exits t = t.exits
 
+(* Replay runs in the engine's own id space; on a repacked image that is
+   the permuted slot space, so reporting translates back to original
+   automaton ids here — the one boundary — keeping TBB mappings
+   byte-identical to the flat engine's. *)
+let repacked_of t =
+  match t.engine with
+  | Packed p when Packed.is_repacked p -> Some p
+  | _ -> None
+
 let tbb_counts t =
   let acc = ref [] in
-  for s = Array.length t.counts - 1 downto 0 do
-    if t.counts.(s) > 0 then acc := (s, t.counts.(s)) :: !acc
-  done;
+  (match repacked_of t with
+  | None ->
+      for s = Array.length t.counts - 1 downto 0 do
+        if t.counts.(s) > 0 then acc := (s, t.counts.(s)) :: !acc
+      done
+  | Some p ->
+      for s = Array.length t.counts - 1 downto 0 do
+        if t.counts.(s) > 0 then
+          acc := (Packed.orig_state p s, t.counts.(s)) :: !acc
+      done;
+      acc := List.sort (fun (a, _) (b, _) -> Int.compare a b) !acc);
   !acc
 
 let count_of_state t s =
+  let s =
+    match repacked_of t with None -> s | Some p -> Packed.slot_of_state p s
+  in
   if s >= 0 && s < Array.length t.counts then t.counts.(s) else 0
 
 let automaton t = t.auto

@@ -74,9 +74,16 @@ val trace_exits : t -> int
 (** Trace → NTE transitions taken. *)
 
 val tbb_counts : t -> (Automaton.state * int) list
-(** Execution count per TEA state, sorted by state id. *)
+(** Execution count per TEA state, sorted by state id. On a repacked
+    packed image ({!Tea_opt.Repack}) ids are translated back to the
+    original automaton's, so the mapping is byte-identical to the flat
+    engine's. ({!state}/{!set_state} by contrast stay in the engine's own
+    — possibly permuted — id space; the parallel driver depends on
+    that.) *)
 
 val count_of_state : t -> Automaton.state -> int
+(** Count for an {e original} automaton state id (translated on repacked
+    images, like {!tbb_counts}). *)
 
 val trace_profile : t -> int -> (int * int) list
 (** [trace_profile t id]: (tbb_index, executions) for one trace, sorted by

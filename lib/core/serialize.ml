@@ -146,15 +146,21 @@ let binary_size auto = String.length (to_binary auto)
 
 let packed_magic = "TEAPK1"
 
+let packed_magic_v2 = "TEAPK2"
+
 let add_i32 buf v =
   if v < -1 || v > 0xFFFFFFFE then
     raise (Too_large (Printf.sprintf "%d exceeds the u32 packed cap" v));
   add_u32 buf (v land 0xFFFFFFFF)
 
+(* A flat image serializes exactly as PR 1 wrote it (TEAPK1, nine
+   arrays); a repacked image appends its two extra arrays under the
+   TEAPK2 magic. The reader accepts both. *)
 let packed_to_binary packed =
   let r = Packed.to_raw packed in
+  let repacked = Packed.is_repacked packed in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf packed_magic;
+  Buffer.add_string buf (if repacked then packed_magic_v2 else packed_magic);
   let dump a =
     add_i32 buf (Array.length a);
     Array.iter (add_i32 buf) a
@@ -168,6 +174,10 @@ let packed_to_binary packed =
   dump r.Packed.state_insns;
   dump r.Packed.hash_keys;
   dump r.Packed.hash_vals;
+  if repacked then begin
+    dump r.Packed.hot_len;
+    dump r.Packed.orig_of
+  end;
   Buffer.contents buf
 
 let packed_of_binary s =
@@ -188,8 +198,12 @@ let packed_of_binary s =
     if v = 0xFFFFFFFF then -1 else v
   in
   let magic_len = String.length packed_magic in
-  if len < magic_len || String.sub s 0 magic_len <> packed_magic then
-    parse_error "missing %S header" packed_magic;
+  let repacked =
+    if len >= magic_len && String.sub s 0 magic_len = packed_magic then false
+    else if len >= magic_len && String.sub s 0 magic_len = packed_magic_v2
+    then true
+    else parse_error "missing %S header" packed_magic
+  in
   pos := magic_len;
   let slurp () =
     let n = i32 () in
@@ -205,9 +219,14 @@ let packed_of_binary s =
   let state_insns = slurp () in
   let hash_keys = slurp () in
   let hash_vals = slurp () in
+  let n_slots = max 0 (Array.length offsets - 1) in
+  let hot_len = if repacked then slurp () else Array.make n_slots 0 in
+  let orig_of =
+    if repacked then slurp () else Array.init n_slots (fun i -> i)
+  in
   if !pos <> len then parse_error "trailing bytes after packed image";
   try
-    Packed.of_raw
+    Packed.of_raw ~repacked
       {
         Packed.offsets;
         labels;
@@ -218,6 +237,8 @@ let packed_of_binary s =
         state_insns;
         hash_keys;
         hash_vals;
+        hot_len;
+        orig_of;
       }
   with Invalid_argument m -> parse_error "%s" m
 

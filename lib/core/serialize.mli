@@ -39,10 +39,14 @@ val binary_size : Automaton.t -> int
 
     A third encoding: the {!Packed} flat arrays verbatim (magic
     ["TEAPK1"], then each array as a u32 length + u32 little-endian
-    elements, -1 as 0xFFFFFFFF). Unlike the text format this needs no
-    program image to load — the reconstituted engine replays
-    bit-identically, including hash probe order — but it carries no
-    {!Automaton.t}, so per-trace profile queries are unavailable on it. *)
+    elements, -1 as 0xFFFFFFFF). A profile-repacked image
+    ({!Packed.is_repacked}) writes magic ["TEAPK2"] instead and appends
+    its two extra arrays ([hot_len], [orig_of]) after the nine TEAPK1
+    arrays; the reader accepts both magics, so TEAPK1 files from older
+    builds keep loading. Unlike the text format this needs no program
+    image to load — the reconstituted engine replays bit-identically,
+    including hash probe order — but it carries no {!Automaton.t}, so
+    per-trace profile queries are unavailable on it. *)
 
 val packed_to_binary : Packed.t -> string
 (** @raise Too_large when a value exceeds the u32 cap. *)

@@ -22,8 +22,12 @@ type row = {
 
 val measure :
   ?params:Cost_params.t ->
+  ?pgo:bool ->
   ?fuel:int ->
   traces:Tea_traces.Trace.t list ->
   Tea_isa.Image.t ->
   row
-(** Slowdowns normalized to the native run of the same image. *)
+(** Slowdowns normalized to the native run of the same image. [pgo]
+    (default false) profile-repacks the packed column's image on the
+    measured stream first ({!Pintool_replay.replay}'s [?pgo]); the
+    reference columns are unaffected. *)

@@ -21,7 +21,9 @@ type result = {
 
 let replay ?(params = Cost_params.default)
     ?(transition = Transition.config_global_local) ?(engine = `Reference)
-    ?fuel ~traces image =
+    ?(pgo = false) ?fuel ~traces image =
+  if pgo && engine <> `Packed then
+    invalid_arg "Pintool_replay.replay: pgo requires the packed engine";
   let auto = Builder.build traces in
   let rep =
     match engine with
@@ -31,13 +33,47 @@ let replay ?(params = Cost_params.default)
   (* §4.1: step the TEA on taken/fall-through edges (merged logical blocks),
      not on Pin's fragment boundaries. *)
   let analysis_calls = ref 0 in
+  (* PGO path: buffer the edge stream during the (single) Pin run, then
+     profile-repack the packed image on it and batch-replay the repacked
+     engine — the pintool analogue of `tea_tool repack`. One analysis call
+     per emitted block either way. *)
+  let pgo_addrs = ref [||] and pgo_insns = ref [||] and pgo_len = ref 0 in
+  let push addr insns =
+    let cap = Array.length !pgo_addrs in
+    if !pgo_len = cap then begin
+      let cap' = max 1024 (2 * cap) in
+      let a = Array.make cap' 0 and b = Array.make cap' 0 in
+      Array.blit !pgo_addrs 0 a 0 cap;
+      Array.blit !pgo_insns 0 b 0 cap;
+      pgo_addrs := a;
+      pgo_insns := b
+    end;
+    !pgo_addrs.(!pgo_len) <- addr;
+    !pgo_insns.(!pgo_len) <- insns;
+    incr pgo_len
+  in
   let filter =
     Edge_filter.create ~emit:(fun block ~expanded ->
         incr analysis_calls;
-        Replayer.feed_addr rep ~insns:expanded block.Tea_cfg.Block.start)
+        if pgo then push block.Tea_cfg.Block.start expanded
+        else Replayer.feed_addr rep ~insns:expanded block.Tea_cfg.Block.start)
   in
   let stats = Pin.run ~params ?fuel ~tool:(Edge_filter.callbacks filter) image in
   Edge_filter.flush filter;
+  let rep =
+    if not pgo then rep
+    else begin
+      match Replayer.engine rep with
+      | Replayer.Packed flat ->
+          let prof = Tea_opt.Repack.collect flat !pgo_addrs ~len:!pgo_len in
+          let tuned =
+            Replayer.create_packed (Tea_opt.Repack.repack flat prof)
+          in
+          Replayer.feed_run tuned ~insns:!pgo_insns !pgo_addrs ~len:!pgo_len;
+          tuned
+      | Replayer.Reference _ -> assert false
+    end
+  in
   let st = Replayer.stats rep in
   let tool_cycles =
     (params.Cost_params.analysis_call * !analysis_calls)

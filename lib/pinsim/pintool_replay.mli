@@ -29,9 +29,15 @@ val replay :
   ?params:Cost_params.t ->
   ?transition:Tea_core.Transition.config ->
   ?engine:engine ->
+  ?pgo:bool ->
   ?fuel:int ->
   traces:Tea_traces.Trace.t list ->
   Tea_isa.Image.t ->
   result * Tea_core.Replayer.t
 (** The returned replayer retains per-state profiles for inspection.
-    [engine] defaults to [`Reference]. *)
+    [engine] defaults to [`Reference]. With [~pgo:true] (packed engine
+    only — [Invalid_argument] otherwise) the edge stream of the single
+    simulated run is buffered, used to {!Tea_opt.Repack.repack} the
+    image, and replayed through the repacked engine; coverage, profiles
+    and analysis-call counts are identical to the non-PGO run, simulated
+    transition cycles can only improve. *)

@@ -76,6 +76,13 @@ val render_table3 : table3_row list -> string
 
 type table4_row = { t4_name : string; row : Tea_pinsim.Overhead.row }
 
-val table4 : ?pool:Tea_parallel.Pool.t -> ?fuel:int -> bench list -> table4_row list
+val table4 :
+  ?pool:Tea_parallel.Pool.t ->
+  ?pgo:bool ->
+  ?fuel:int ->
+  bench list ->
+  table4_row list
+(** [pgo] profile-repacks the packed column's engine on each benchmark's
+    own stream before measuring ({!Tea_pinsim.Overhead.measure}). *)
 
 val render_table4 : table4_row list -> string

@@ -398,6 +398,8 @@ let test_of_raw_validation () =
         state_insns = Array.copy r.Packed.state_insns;
         hash_keys = Array.copy r.Packed.hash_keys;
         hash_vals = Array.copy r.Packed.hash_vals;
+        hot_len = Array.copy r.Packed.hot_len;
+        orig_of = Array.copy r.Packed.orig_of;
       }
     in
     mutate copy;
