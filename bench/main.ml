@@ -726,6 +726,204 @@ let run_repack ~smoke =
   close_out oc;
   progress "[bench] wrote BENCH_repack.json (%d workloads)" (List.length rows)
 
+(* ---- superstate fusion: the BENCH_fuse.json trajectory ----
+
+   For every workload: record MRET traces (superblocks give every state at
+   most one in-trace successor — the chain-rich shape fusion targets),
+   freeze, profile-repack on the captured stream (the PR 4 engine is the
+   baseline), fuse the repacked image, then time baseline vs fused replay
+   of the identical stream. One hard gate per workload (exit 1): the full
+   replay snapshot — per-TBB counts, coverage, enters/exits, transition
+   stats and simulated cycles — must be bit-identical between the two
+   engines. Fusion is a pure dispatch-cost optimization; any observable
+   difference is a bug.
+
+   The speedup target is scoped to loop-dominated workloads: the hot-loop
+   micros plus every workload whose replay stream spends >= 50% of its
+   steps inside fused chains (measured with the probe counters on one
+   extra fused run). Straight-line or cold-dominated workloads fall back
+   to the verbatim one-step path and are expected near 1.0x; they are
+   reported and floor-checked, not geomean-gated. *)
+
+type fuse_row = {
+  fu_name : string;
+  fu_loopy : bool;
+  fu_blocks : int;
+  fu_fraction : float;  (** share of replay steps handled inside chains *)
+  fu_chains : int;
+  fu_cyclic : int;
+  fu_states : int;  (** states covered by chains *)
+  fu_base_ns : float;  (** PGO-repacked replay, ns/block *)
+  fu_fused_ns : float;
+  fu_cycles : int;  (** identical for both engines, by gate *)
+}
+
+let run_fuse_one ~strategy name =
+  let image = repack_image name in
+  let dbt = Tea_dbt.Stardbt.record ~strategy image in
+  let traces = Tea_traces.Trace_set.to_list dbt.Tea_dbt.Stardbt.set in
+  let flat = Tea_core.Packed.freeze (Tea_core.Builder.build traces) in
+  let path = Filename.temp_file "tea_bench" ".trc" in
+  let _ = Tea_pinsim.Trace_capture.record image path in
+  let starts, insns, len = Tea_parallel.Shard.load_pc_trace path in
+  Sys.remove path;
+  (* baseline: PR 4's best engine — profile-guided repacked *)
+  let baseline =
+    Tea_opt.Repack.repack flat (Tea_opt.Repack.collect flat starts ~len)
+  in
+  (* profile-aware fusion: re-collect over the repacked layout so chain
+     selection sees this stream's continuation fractions *)
+  let profile = Tea_opt.Repack.collect baseline starts ~len in
+  let fused = Tea_opt.Fuse.fuse ~profile baseline in
+  let run_once img =
+    let rep = Tea_core.Replayer.create_packed img in
+    Tea_core.Replayer.feed_run rep ~insns starts ~len;
+    rep
+  in
+  let base_rep = run_once baseline and fused_rep = run_once fused in
+  if
+    not
+      (Tea_parallel.Profile.equal
+         (Tea_parallel.Profile.of_replayer base_rep)
+         (Tea_parallel.Profile.of_replayer fused_rep))
+  then begin
+    Printf.eprintf
+      "[bench] ERROR: %s: fused replay diverged from the repacked baseline\n"
+      name;
+    exit 1
+  end;
+  (* chain coverage of the stream, from the probe counters (skipped when
+     the harness itself runs under --telemetry/--metrics — the probe set
+     is already installed and owned by the driver) *)
+  let fraction =
+    if Tea_telemetry.Probe.enabled () then 0.0
+    else begin
+      Tea_telemetry.Probe.install ();
+      ignore (run_once fused);
+      let snap = Tea_telemetry.Probe.uninstall () in
+      let c k =
+        Option.value
+          (List.assoc_opt k snap.Tea_telemetry.Metrics.s_counters)
+          ~default:0
+      in
+      let steps = c "replayer.steps" in
+      if steps = 0 then 0.0
+      else float_of_int (c "packed.fused_steps") /. float_of_int steps
+    end
+  in
+  (* interleaved best-of-5 timing after one warmup, as in the repack
+     bench: one replay of a short stream is microseconds, so each sample
+     times [reps] back-to-back replays *)
+  let reps = 1 + (2_000_000 / max 1 len) in
+  let sample img =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      let rep = Tea_core.Replayer.create_packed img in
+      Tea_core.Replayer.feed_run rep ~insns starts ~len
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let best_b = ref infinity and best_f = ref infinity in
+  for round = 0 to 5 do
+    let b = sample baseline in
+    let f = sample fused in
+    if round > 0 then begin
+      if b < !best_b then best_b := b;
+      if f < !best_f then best_f := f
+    end
+  done;
+  let ns dt = 1e9 *. dt /. float_of_int (reps * len) in
+  {
+    fu_name = name;
+    fu_loopy = List.mem_assoc name repack_micro_set || fraction >= 0.5;
+    fu_blocks = len;
+    fu_fraction = fraction;
+    fu_chains = Tea_core.Packed.n_chains fused;
+    fu_cyclic = Tea_core.Packed.n_cyclic_chains fused;
+    fu_states = Tea_core.Packed.fused_edges fused;
+    fu_base_ns = ns !best_b;
+    fu_fused_ns = ns !best_f;
+    fu_cycles = Tea_core.Replayer.cycles fused_rep;
+  }
+
+let fuse_json ~smoke ~strategy rows ~geo_all ~geo_loopy ~floor =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.bprintf buf fmt in
+  add "{\n";
+  add "  \"bench\": \"fuse\",\n";
+  add "  \"smoke\": %b,\n" smoke;
+  add "  \"strategy\": %S,\n" strategy;
+  add "  \"min_chain\": %d,\n" Tea_opt.Fuse.default_min_chain;
+  add "  \"min_expected_run\": %.1f,\n" Tea_opt.Fuse.default_min_expected_run;
+  add "  \"min_coverage\": %.2f,\n" Tea_opt.Fuse.default_min_coverage;
+  add "  \"workloads\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"name\": %S, \"loopy\": %b, \"blocks\": %d, \
+         \"fused_step_fraction\": %.4f,\n"
+        r.fu_name r.fu_loopy r.fu_blocks r.fu_fraction;
+      add
+        "     \"chains\": %d, \"cyclic_chains\": %d, \"fused_states\": %d, \
+         \"sim_cycles\": %d,\n"
+        r.fu_chains r.fu_cyclic r.fu_states r.fu_cycles;
+      add
+        "     \"baseline_replay_ns_per_block\": %.2f, \
+         \"fused_replay_ns_per_block\": %.2f, \"replay_speedup\": %.3f}%s\n"
+        r.fu_base_ns r.fu_fused_ns
+        (r.fu_base_ns /. r.fu_fused_ns)
+        (if i = n - 1 then "" else ","))
+    rows;
+  add "  ],\n";
+  add "  \"geomean_replay_speedup_all\": %.3f,\n" geo_all;
+  add "  \"geomean_replay_speedup_loopy\": %.3f,\n" geo_loopy;
+  add "  \"min_replay_speedup\": %.3f\n" floor;
+  Buffer.contents buf ^ "}\n"
+
+let run_fuse ~smoke =
+  let strategy_name = "mret" in
+  let strategy = Option.get (Tea_traces.Registry.by_name strategy_name) in
+  let names =
+    if smoke then [ "micro:listscan"; "181.mcf" ]
+    else List.map fst repack_micro_set @ Tea_workloads.Spec2000.names
+  in
+  progress "[bench] fuse: %d workloads, %s traces, superstate fusion over the repacked engine..."
+    (List.length names) strategy_name;
+  let rows =
+    List.map
+      (fun name ->
+        let r = run_fuse_one ~strategy name in
+        Printf.printf
+          "%-16s replay %5.1f -> %5.1f ns (%.2fx)  %d chains (%d cyclic, %d \
+           states)  %4.1f%% fused steps%s\n%!"
+          r.fu_name r.fu_base_ns r.fu_fused_ns
+          (r.fu_base_ns /. r.fu_fused_ns)
+          r.fu_chains r.fu_cyclic r.fu_states
+          (100.0 *. r.fu_fraction)
+          (if r.fu_loopy then "  [loopy]" else "");
+        r)
+      names
+  in
+  let speedup r = r.fu_base_ns /. r.fu_fused_ns in
+  let geo_all = Tea_report.Stats.geomean (List.map speedup rows) in
+  let loopy = List.filter (fun r -> r.fu_loopy) rows in
+  let geo_loopy =
+    Tea_report.Stats.geomean (List.map speedup (if loopy = [] then rows else loopy))
+  in
+  let floor = List.fold_left (fun m r -> min m (speedup r)) infinity rows in
+  Printf.printf
+    "geomean replay speedup: %.2fx all, %.2fx loop-dominated (target >= \
+     1.3x); slowest workload %.2fx (floor 0.95x)\n"
+    geo_all geo_loopy floor;
+  if floor < 0.95 then
+    progress "[bench] WARNING: a workload regressed below the 0.95x floor";
+  let json = fuse_json ~smoke ~strategy:strategy_name rows ~geo_all ~geo_loopy ~floor in
+  let oc = open_out "BENCH_fuse.json" in
+  output_string oc json;
+  close_out oc;
+  progress "[bench] wrote BENCH_fuse.json (%d workloads)" (List.length rows)
+
 (* Same observability surface as tea_tool: --telemetry FILE writes a
    Chrome trace (or JSONL for a .jsonl suffix), --metrics dumps the probe
    counters after the run. With neither flag nothing is installed and
@@ -781,6 +979,7 @@ let () =
     | [ "micro" ] -> run_micro ()
     | [ "packed" ] -> run_packed_compare ()
     | [ "repack" ] -> run_repack ~smoke
+    | [ "fuse" ] -> run_fuse ~smoke
     | [ "parallel" ] -> run_parallel_compare ~benchmarks:table_benchmarks
     | [ "quick" ] -> run_tables ~benchmarks:quick_set ~which:[]
     | [ "ablation" ] -> run_ablations ()
@@ -798,9 +997,9 @@ let () =
         run_tables ~benchmarks:table_benchmarks ~which
     | _ ->
         prerr_endline
-          "usage: main.exe [quick | micro | packed | repack | parallel | \
-           telemetry | ablation | extensions | table1 table2 table3 table4] \
-           [--smoke] [--telemetry FILE] [--metrics] [--quiet]";
+          "usage: main.exe [quick | micro | packed | repack | fuse | \
+           parallel | telemetry | ablation | extensions | table1 table2 \
+           table3 table4] [--smoke] [--telemetry FILE] [--metrics] [--quiet]";
         exit 2
   in
   match args with

@@ -215,13 +215,24 @@ let engine_arg =
     & opt (enum [ ("reference", `Reference); ("packed", `Packed) ]) `Reference
     & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
 
+(* --jobs validates through the pool's own parser: 0, negatives and
+   non-integers are usage errors at the command line, never a silent
+   fall-through to the sequential path. *)
+let jobs_conv =
+  let parse s =
+    match Tea_parallel.Pool.parse_jobs s with
+    | Ok n -> Ok n
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 let jobs_arg =
   let doc =
-    "Worker domains to shard the work across (1 = plain sequential path). \
-     Stdout is byte-identical whatever $(docv) is; the per-domain \
-     observability counters go to stderr."
+    "Worker domains to shard the work across (1 = plain sequential path; \
+     must be >= 1). Stdout is byte-identical whatever $(docv) is; the \
+     per-domain observability counters go to stderr."
   in
-  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  Arg.(value & opt jobs_conv 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let pgo_arg =
   let doc =
@@ -239,6 +250,16 @@ let hot_prefix_arg =
     value
     & opt int Tea_opt.Repack.default_hot_prefix
     & info [ "hot-prefix" ] ~docv:"K" ~doc)
+
+let fuse_arg =
+  let doc =
+    "Superstate fusion: collapse single-successor TBB chains into \
+     superstates and fast-forward monomorphic cycles, then replay through \
+     the fused engine. Requires --engine=packed; composes with --pgo \
+     (repack first, fuse the repacked image). TBB mappings, coverage and \
+     simulated cycles are identical to the unfused replay."
+  in
+  Arg.(value & flag & info [ "fuse" ] ~doc)
 
 (* Run [f] with [Some pool] (dumping the pool's per-domain counters on
    stderr afterwards, unless --quiet) or with [None] for the sequential
@@ -266,12 +287,23 @@ let print_pgo_line packed ~cycles =
     (Tea_core.Packed.hot_edges packed)
     cycles
 
+(* The fusion summary is a pure function of the image, so it is
+   shard-invariant like the pgo line. CI strips it (`grep -v '^fuse:'`)
+   when byte-diffing fused stdout against unfused. *)
+let print_fuse_line packed =
+  Printf.printf "fuse: %d chains (%d cyclic) covering %d states\n"
+    (Tea_core.Packed.n_chains packed)
+    (Tea_core.Packed.n_cyclic_chains packed)
+    (Tea_core.Packed.fused_edges packed)
+
 let replay_cmd =
   let run name strategy_name traces_file config_name pc_trace engine jobs pgo
-      obs =
+      fuse obs =
     with_obs obs "replay" @@ fun () ->
     if pgo && engine <> `Packed then
       or_die (Error "--pgo requires --engine=packed");
+    if fuse && engine <> `Packed then
+      or_die (Error "--fuse requires --engine=packed");
     let image = or_die (resolve_workload name) in
     let config = or_die (resolve_config config_name) in
     let traces =
@@ -309,6 +341,20 @@ let replay_cmd =
                 Tea_opt.Repack.repack packed
                   (Tea_opt.Repack.collect packed starts ~len)
             in
+            let packed =
+              if not fuse then packed
+              else
+                Probe.with_span "fuse" @@ fun () ->
+                if not pgo then Tea_opt.Fuse.fuse packed
+                else begin
+                  (* --pgo --fuse composition: chain selection reuses the
+                     profiling stream, re-collected over the repacked
+                     layout, to gate out low-benefit chains *)
+                  let starts, _, len = Tea_parallel.Shard.load_pc_trace path in
+                  let profile = Tea_opt.Repack.collect packed starts ~len in
+                  Tea_opt.Fuse.fuse ~profile packed
+                end
+            in
             let profile, blocks =
               Probe.with_span "replay_pc_trace" @@ fun () ->
               with_jobs ~quiet:obs.quiet jobs (function
@@ -324,7 +370,8 @@ let replay_cmd =
               profile.Tea_parallel.Profile.enters;
             if pgo then
               print_pgo_line packed
-                ~cycles:profile.Tea_parallel.Profile.cycles)
+                ~cycles:profile.Tea_parallel.Profile.cycles;
+            if fuse then print_fuse_line packed)
     | Some path ->
         (* fully offline: no program execution, just the trace file *)
         let auto =
@@ -341,16 +388,26 @@ let replay_cmd =
               Tea_core.Pc_trace.replay (Tea_core.Transition.create config auto) path
           | `Packed ->
               let packed = Tea_core.Packed.freeze auto in
-              if not pgo then Tea_core.Pc_trace.replay_packed packed path
+              if not (pgo || fuse) then
+                Tea_core.Pc_trace.replay_packed packed path
               else begin
                 let starts, insns, len =
                   Tea_parallel.Shard.load_pc_trace path
                 in
-                let tuned =
-                  Tea_core.Replayer.create_packed
-                    (Tea_opt.Repack.repack packed
-                       (Tea_opt.Repack.collect packed starts ~len))
+                let img =
+                  if not pgo then packed
+                  else
+                    Tea_opt.Repack.repack packed
+                      (Tea_opt.Repack.collect packed starts ~len)
                 in
+                let img =
+                  if not fuse then img
+                  else if not pgo then Tea_opt.Fuse.fuse img
+                  else
+                    let profile = Tea_opt.Repack.collect img starts ~len in
+                    Tea_opt.Fuse.fuse ~profile img
+                in
+                let tuned = Tea_core.Replayer.create_packed img in
                 Tea_core.Replayer.feed_run tuned ~insns starts ~len;
                 tuned
               end
@@ -363,8 +420,9 @@ let replay_cmd =
           (100.0 *. Tea_core.Replayer.coverage rep)
           (Tea_core.Replayer.trace_enters rep);
         (match Tea_core.Replayer.engine rep with
-        | Tea_core.Replayer.Packed p when pgo ->
-            print_pgo_line p ~cycles:(Tea_core.Replayer.cycles rep)
+        | Tea_core.Replayer.Packed p ->
+            if pgo then print_pgo_line p ~cycles:(Tea_core.Replayer.cycles rep);
+            if fuse then print_fuse_line p
         | _ -> ())
     | None ->
         if jobs > 1 then
@@ -376,7 +434,7 @@ let replay_cmd =
                  string_of_int r.Tea_pinsim.Pintool_replay.total_cycles) ])
           @@ fun () ->
           Tea_pinsim.Pintool_replay.replay ~transition:config ~engine ~pgo
-            ~traces image
+            ~fuse ~traces image
         in
         let st = result.Tea_pinsim.Pintool_replay.transition_stats in
         Printf.printf
@@ -390,15 +448,16 @@ let replay_cmd =
           st.Tea_core.Transition.cache_hits st.Tea_core.Transition.global_hits
           st.Tea_core.Transition.global_misses;
         (match Tea_core.Replayer.engine rep with
-        | Tea_core.Replayer.Packed p when pgo ->
-            print_pgo_line p ~cycles:(Tea_core.Replayer.cycles rep)
+        | Tea_core.Replayer.Packed p ->
+            if pgo then print_pgo_line p ~cycles:(Tea_core.Replayer.cycles rep);
+            if fuse then print_fuse_line p
         | _ -> ())
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay traces through the TEA under the Pin-like frontend")
     Term.(
       const run $ workload_arg $ strategy_arg $ traces_arg $ config_arg
-      $ pc_trace_arg $ engine_arg $ jobs_arg $ pgo_arg $ obs_term)
+      $ pc_trace_arg $ engine_arg $ jobs_arg $ pgo_arg $ fuse_arg $ obs_term)
 
 let capture_cmd =
   let out_required =
@@ -529,6 +588,98 @@ let repack_cmd =
     Term.(
       const run $ workload_arg $ strategy_arg $ hot_prefix_arg $ out_arg
       $ obs_term)
+
+(* ---- fuse ---- *)
+
+let fuse_cmd =
+  let run name strategy_name pgo hot_prefix out obs =
+    with_obs obs "fuse" @@ fun () ->
+    let image = or_die (resolve_workload name) in
+    let traces =
+      Probe.with_span "record_traces" (fun () ->
+          record_traces image strategy_name)
+    in
+    let auto =
+      Probe.with_span "build_automaton" (fun () -> Tea_core.Builder.build traces)
+    in
+    let packed = Tea_core.Packed.freeze auto in
+    let tmp = Filename.temp_file "tea_fuse" ".trc" in
+    let starts, insns, len =
+      Fun.protect
+        ~finally:(fun () -> Sys.remove tmp)
+        (fun () ->
+          let _ =
+            Probe.with_span "trace_capture" (fun () ->
+                Tea_pinsim.Trace_capture.record image tmp)
+          in
+          Tea_parallel.Shard.load_pc_trace tmp)
+    in
+    let src =
+      if not pgo then packed
+      else
+        Probe.with_span "pgo_repack" @@ fun () ->
+        Tea_opt.Repack.repack ~hot_prefix packed
+          (Tea_opt.Repack.collect packed starts ~len)
+    in
+    let fused, baseline, tuned =
+      Probe.with_span "fused_replay" @@ fun () ->
+      (* with --pgo the profiling stream also gates chain selection,
+         re-collected over the repacked layout *)
+      let profile =
+        if pgo then Some (Tea_opt.Repack.collect src starts ~len) else None
+      in
+      Tea_opt.Fuse.fused_replay ?profile src ~insns starts ~len
+    in
+    (* hard gates: fusion must be observationally invisible *)
+    if
+      Tea_core.Replayer.tbb_counts baseline
+      <> Tea_core.Replayer.tbb_counts tuned
+    then or_die (Error "fused TBB mapping diverged from the baseline");
+    if Tea_core.Replayer.cycles baseline <> Tea_core.Replayer.cycles tuned then
+      or_die (Error "fused simulated cycles diverged from the baseline");
+    Printf.printf "fused %s: %d blocks replayed, tbb mapping identical\n" name
+      len;
+    if pgo then
+      print_pgo_line src ~cycles:(Tea_core.Replayer.cycles tuned);
+    print_fuse_line fused;
+    Printf.printf "sim cycles: %d (identical to unfused)\n"
+      (Tea_core.Replayer.cycles tuned);
+    match out with
+    | Some path ->
+        Tea_core.Serialize.save_packed path fused;
+        Printf.printf "wrote %s (TEAPK%d, %d bytes)\n" path
+          (Tea_core.Serialize.packed_version fused)
+          (Unix.stat path).Unix.st_size
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "fuse"
+       ~doc:
+         "Superstate fusion: record, fuse single-successor chains and \
+          monomorphic cycles in the packed image (optionally after --pgo \
+          repacking), and verify the fused replay is identical")
+    Term.(
+      const run $ workload_arg $ strategy_arg $ pgo_arg $ hot_prefix_arg
+      $ out_arg $ obs_term)
+
+(* ---- info ---- *)
+
+let info_cmd =
+  let image_arg =
+    let doc = "Packed image file (TEAPK1/TEAPK2/TEAPK3, see `repack -o' and `fuse -o')." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE" ~doc)
+  in
+  let run path =
+    let packed =
+      try Tea_core.Serialize.load_packed path
+      with Tea_core.Serialize.Parse_error msg ->
+        or_die (Error (Printf.sprintf "%s: %s" path msg))
+    in
+    print_string (Tea_core.Serialize.describe_packed packed)
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Describe a serialized packed image")
+    Term.(const run $ image_arg)
 
 let analyze_cmd =
   let run name strategy_name obs =
@@ -784,8 +935,15 @@ let table_pgo_arg =
   in
   Arg.(value & flag & info [ "pgo" ] ~doc)
 
+let table_fuse_arg =
+  let doc =
+    "Superstate-fuse the Table 4 Packed column's engine (after --pgo \
+     repacking when both are given) before measuring."
+  in
+  Arg.(value & flag & info [ "fuse" ] ~doc)
+
 let tables_cmd =
-  let run benchmarks jobs pgo obs =
+  let run benchmarks jobs pgo fuse obs =
     with_obs obs "tables" @@ fun () ->
     let benchmarks = all_benchmarks benchmarks in
     with_jobs ~quiet:obs.quiet jobs (fun pool ->
@@ -797,10 +955,12 @@ let tables_cmd =
         print_newline ();
         print_string (render_table3 (table3 ?pool benches));
         print_newline ();
-        print_string (render_table4 (table4 ?pool ~pgo benches)))
+        print_string (render_table4 (table4 ?pool ~pgo ~fuse benches)))
   in
   Cmd.v (Cmd.info "tables" ~doc:"Render the paper's Tables 1-4")
-    Term.(const run $ benchmarks_arg $ jobs_arg $ table_pgo_arg $ obs_term)
+    Term.(
+      const run $ benchmarks_arg $ jobs_arg $ table_pgo_arg $ table_fuse_arg
+      $ obs_term)
 
 let table1_cmd =
   let run benchmarks jobs obs =
@@ -816,18 +976,20 @@ let table1_cmd =
     Term.(const run $ benchmarks_arg $ jobs_arg $ obs_term)
 
 let table4_cmd =
-  let run benchmarks jobs pgo obs =
+  let run benchmarks jobs pgo fuse obs =
     with_obs obs "table4" @@ fun () ->
     let benchmarks = all_benchmarks benchmarks in
     with_jobs ~quiet:obs.quiet jobs (fun pool ->
         let open Tea_report.Experiments in
         let benches = prepare ?pool ~benchmarks () in
-        print_string (render_table4 (table4 ?pool ~pgo benches)))
+        print_string (render_table4 (table4 ?pool ~pgo ~fuse benches)))
   in
   Cmd.v
     (Cmd.info "table4"
        ~doc:"Render Table 4 (overhead ablation), sharded with --jobs")
-    Term.(const run $ benchmarks_arg $ jobs_arg $ table_pgo_arg $ obs_term)
+    Term.(
+      const run $ benchmarks_arg $ jobs_arg $ table_pgo_arg $ table_fuse_arg
+      $ obs_term)
 
 let () =
   let doc = "Trace Execution Automata: record, replay and inspect traces" in
@@ -836,8 +998,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; run_cmd; record_cmd; replay_cmd; repack_cmd; capture_cmd;
-            dot_cmd; analyze_cmd;
+            list_cmd; run_cmd; record_cmd; replay_cmd; repack_cmd; fuse_cmd;
+            info_cmd; capture_cmd; dot_cmd; analyze_cmd;
             phases_cmd; cachesim_cmd; bpred_cmd; inspect_cmd; characterize_cmd;
             optimize_cmd; layout_cmd; reuse_cmd; tables_cmd; table1_cmd;
             table4_cmd;

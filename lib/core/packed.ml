@@ -12,6 +12,28 @@ type raw = {
   orig_of : int array;
 }
 
+(* Chain-fusion overlay ({!Tea_opt.Fuse}): single-successor runs of the
+   DFA collapsed into superstates. A slot [s] with [fchain.(s) = c >= 0]
+   sits at position [fpos.(s)] of chain [c], whose expansion table is the
+   pooled slice [foff.(c) .. foff.(c+1)) of [fsig] (the PC each forced
+   step must see), [ftgt] (the state it lands in) and [fecost] (the
+   simulated cycles the ordinary dispatch would charge for that exact
+   resolution). [fcyc.(c) = 1] marks a chain whose last edge re-enters
+   its first state — a loop the replayer may fast-forward through. The
+   overlay is purely descriptive: {!step} ignores it, and
+   {!with_fusion} validates that every chain edge restates an existing
+   1-edge span verbatim, so a fused image can never replay differently
+   from its unfused source. *)
+type fusion = {
+  fchain : int array;
+  fpos : int array;
+  foff : int array;
+  fcyc : int array;
+  fsig : int array;
+  ftgt : int array;
+  fecost : int array;
+}
+
 (* The arrays live directly in [t] (rather than behind a nested [raw]
    record) so the step path loads each one with a single indirection.
 
@@ -45,6 +67,7 @@ type t = {
   ic_label : int array; (* [||] unless repacked; min_int = empty *)
   ic_target : int array;
   ic_cost : int array;
+  fusion : fusion option; (* immutable overlay; shared by {!dup} *)
   repacked : bool;
   mask : int; (* Array.length hash_keys - 1 *)
   auto : Automaton.t option;
@@ -177,6 +200,7 @@ let make_t ~offsets ~labels ~targets ~state_trace ~state_tbb ~state_start
     ic_label = (if repacked then Array.make n_slots ic_empty else [||]);
     ic_target = (if repacked then Array.make n_slots (-1) else [||]);
     ic_cost = (if repacked then Array.make n_slots 0 else [||]);
+    fusion = None;
     repacked;
     mask = Array.length hash_keys - 1;
     auto;
@@ -624,6 +648,114 @@ let of_raw ?auto ?(repacked = false) (r : raw) =
     ~state_start:r.state_start ~state_insns:r.state_insns
     ~hash_keys:r.hash_keys ~hash_vals:r.hash_vals ~hot_len:r.hot_len
     ~orig_of:r.orig_of ~auto ~repacked
+
+(* Attach a fusion overlay, re-validating it against the image it claims
+   to describe. The checks are deliberately redundant with how
+   {!Tea_opt.Fuse} builds the overlay: a fused image loaded from bytes
+   ({!Serialize}, TEAPK3) goes through the same gate, so a corrupt or
+   hand-forged overlay can never make the fused replay loop follow an
+   edge the plain dispatch would not. *)
+let with_fusion t (f : fusion) =
+  let fail fmt = Printf.ksprintf invalid_arg ("Packed.with_fusion: " ^^ fmt) in
+  let n = n_slots t in
+  if Array.length f.fchain <> n then fail "fchain length mismatch";
+  if Array.length f.fpos <> n then fail "fpos length mismatch";
+  let n_chains = Array.length f.foff - 1 in
+  if n_chains < 0 then fail "empty foff array";
+  if Array.length f.fcyc <> n_chains then fail "fcyc length mismatch";
+  if f.foff.(0) <> 0 then fail "foff must start at 0";
+  for c = 0 to n_chains - 1 do
+    if f.foff.(c + 1) <= f.foff.(c) then
+      fail "foff must be strictly monotone (no empty chains)"
+  done;
+  let n_fedges = f.foff.(n_chains) in
+  if Array.length f.fsig <> n_fedges then fail "fsig length mismatch";
+  if Array.length f.ftgt <> n_fedges then fail "ftgt length mismatch";
+  if Array.length f.fecost <> n_fedges then fail "fecost length mismatch";
+  Array.iter
+    (fun c -> if c <> 0 && c <> 1 then fail "fcyc entries must be 0 or 1")
+    f.fcyc;
+  (* Owner map: position p of chain c is held by exactly one slot. *)
+  let owner = Array.make (max n_fedges 1) (-1) in
+  for s = 0 to n - 1 do
+    let c = f.fchain.(s) in
+    if c < -1 || c >= n_chains then fail "fchain id out of range (slot %d)" s;
+    if c = -1 then begin
+      if f.fpos.(s) <> 0 then fail "unchained slot %d has nonzero fpos" s
+    end
+    else begin
+      if s = 0 then fail "NTE (slot 0) may not join a chain";
+      let lo = f.foff.(c) and hi = f.foff.(c + 1) in
+      let p = f.fpos.(s) in
+      if p < 0 || p >= hi - lo then
+        fail "fpos out of range for slot %d (chain %d)" s c;
+      if owner.(lo + p) >= 0 then
+        fail "chain %d position %d claimed by two slots" c p;
+      owner.(lo + p) <- s
+    end
+  done;
+  for e = 0 to n_fedges - 1 do
+    if owner.(e) < 0 then fail "chain position %d has no owning slot" e
+  done;
+  (* Every chain edge must restate an existing 1-edge span verbatim, with
+     the exact simulated cost the ordinary dispatch charges to resolve it
+     (a 1-edge span costs one search step under binary search, hot-prefix
+     scan and IC hit alike, or its precomputed edge_cost when repacked). *)
+  for e = 0 to n_fedges - 1 do
+    let s = owner.(e) in
+    let lo = t.offsets.(s) and hi = t.offsets.(s + 1) in
+    if hi - lo <> 1 then fail "chained slot %d does not have exactly 1 edge" s;
+    if t.labels.(lo) <> f.fsig.(e) then
+      fail "fsig mismatch at slot %d (chain edge %d)" s e;
+    if t.targets.(lo) <> f.ftgt.(e) then
+      fail "ftgt mismatch at slot %d (chain edge %d)" s e;
+    if f.ftgt.(e) = 0 then fail "chain edge %d targets NTE" e;
+    let expect =
+      if t.repacked then t.edge_cost.(lo) else cost_search_step
+    in
+    if f.fecost.(e) <> expect then
+      fail "fecost mismatch at chain edge %d (%d, dispatch charges %d)" e
+        f.fecost.(e) expect
+  done;
+  (* Linkage: following a chain's edges walks its member slots in
+     position order; a cyclic chain's last edge re-enters position 0. *)
+  for c = 0 to n_chains - 1 do
+    let lo = f.foff.(c) and hi = f.foff.(c + 1) in
+    for e = lo to hi - 2 do
+      if f.ftgt.(e) <> owner.(e + 1) then
+        fail "chain %d edge %d does not link to the next member" c (e - lo)
+    done;
+    if f.fcyc.(c) = 1 && f.ftgt.(hi - 1) <> owner.(lo) then
+      fail "cyclic chain %d does not close on its first member" c
+  done;
+  (* A fresh sibling (as {!dup}: own counters, own IC) carrying the
+     overlay, so attaching fusion never aliases live mutable state. *)
+  { (dup t) with fusion = Some f }
+
+let fusion_of t = t.fusion
+
+let is_fused t = t.fusion <> None
+
+let n_chains t =
+  match t.fusion with None -> 0 | Some f -> Array.length f.foff - 1
+
+let fused_edges t =
+  match t.fusion with
+  | None -> 0
+  | Some f -> f.foff.(Array.length f.foff - 1)
+
+let n_cyclic_chains t =
+  match t.fusion with
+  | None -> 0
+  | Some f -> Array.fold_left ( + ) 0 f.fcyc
+
+let chain_lengths t =
+  match t.fusion with
+  | None -> [||]
+  | Some f ->
+      Array.init
+        (Array.length f.foff - 1)
+        (fun c -> f.foff.(c + 1) - f.foff.(c))
 
 let check t auto =
   let fresh = freeze auto in

@@ -44,7 +44,22 @@
     what keeps sharded parallel replay bit-identical to sequential. IC
     effectiveness is observable via {!ic_hits} / {!ic_misses} and the
     [packed.ic_hit] / [packed.ic_miss] telemetry probes, and in wall
-    clock. *)
+    clock.
+
+    {2 Fused images}
+
+    {!Tea_opt.Fuse} attaches a third, purely descriptive layer: a
+    {!fusion} overlay marking maximal single-successor chains of states
+    (and cycles of such chains) whose next transition is forced whenever
+    the incoming PC matches the chain's signature. {!step} ignores the
+    overlay entirely — only {!Replayer.feed_run}'s batch loop exploits
+    it, matching a run of upcoming PCs against the signature with one
+    comparison loop and charging the precomputed per-edge costs in bulk.
+    {!with_fusion} re-validates the overlay against the base image
+    (every chain edge must restate an existing 1-edge span verbatim,
+    with the exact cost the ordinary dispatch charges), so a fused image
+    — even one reconstituted from TEAPK3 bytes — can never replay
+    differently from its unfused source. *)
 
 type t
 
@@ -171,6 +186,52 @@ type hot_view = {
 
 val hot_view : t -> hot_view
 (** @raise Invalid_argument on a flat image. *)
+
+(** {2 Fusion overlay} *)
+
+(** Chain-fusion expansion tables ({!Tea_opt.Fuse}). A slot [s] with
+    [fchain.(s) = c >= 0] sits at position [fpos.(s)] of chain [c]; the
+    chain's edges are the pooled slice [foff.(c) .. foff.(c+1)) of
+    [fsig] (the PC each forced step must observe), [ftgt] (the state it
+    lands in) and [fecost] (the simulated cycles the ordinary dispatch
+    charges for that resolution). [fcyc.(c) = 1] marks a chain whose
+    last edge re-enters its first member — a loop the batch replay loop
+    fast-forwards through, charging [k x] the per-iteration cost for [k]
+    verified iterations. Unchained slots have [fchain = -1], [fpos = 0]. *)
+type fusion = {
+  fchain : int array;  (** per-slot chain id, -1 = unchained *)
+  fpos : int array;    (** per-slot position within its chain *)
+  foff : int array;    (** length chains+1; chain c's edges are
+                           [foff.(c) .. foff.(c+1)) *)
+  fcyc : int array;    (** per-chain: 1 iff the chain closes on itself *)
+  fsig : int array;    (** pooled: expected PC per chain edge *)
+  ftgt : int array;    (** pooled: successor slot per chain edge *)
+  fecost : int array;  (** pooled: simulated cycles per chain edge *)
+}
+
+val with_fusion : t -> fusion -> t
+(** A fresh sibling of [t] (as {!dup}: own zeroed counters and inline
+    cache) carrying the overlay.
+    Validates the overlay against the base arrays: chain ids/positions
+    in range and bijective onto pooled slots, NTE never chained, every
+    chain edge an exact restatement of a 1-edge span ([fsig]/[ftgt]
+    verbatim, [fecost] equal to what the dispatch charges), chain edges
+    linked member-to-member, cyclic chains closed on their first member.
+    @raise Invalid_argument on any violation. *)
+
+val fusion_of : t -> fusion option
+
+val is_fused : t -> bool
+
+val n_chains : t -> int
+
+val fused_edges : t -> int
+(** Total pooled chain edges (= fused original states). *)
+
+val n_cyclic_chains : t -> int
+
+val chain_lengths : t -> int array
+(** Per-chain edge count, indexed by chain id ([[||]] unfused). *)
 
 (** {2 Raw array image}
 

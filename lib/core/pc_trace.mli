@@ -8,13 +8,29 @@
     This is what shipping a trace from a production system to an analysis
     box looks like.
 
-    Format: magic ["TEAPC1\n"], then per block a varint-encoded zig-zag
-    delta from the previous start address followed by a varint instruction
-    count. *)
+    Two formats, sniffed by magic on read:
+
+    - {b v1} (magic ["TEAPC1\n"]): per block a varint-encoded zig-zag
+      delta from the previous start address followed by a varint
+      instruction count.
+    - {b v2} (magic ["PCTR2\n"], the default written): dictionary
+      pair-coding over the v1 records. Each record is one varint token:
+      [0] escapes to a literal (zig-zag delta + insns varints, which
+      registers that pair under the next free token, capped at 2^20
+      entries), [k >= 1] repeats dictionary pair [k]. Replay streams
+      revisit the same few (delta, insns) pairs in loops, so
+      steady-state records compress to ~1 byte — typically 3–4x smaller
+      files than v1 — and both formats now decode from a whole-file
+      buffer in one tight index loop rather than per-byte channel
+      reads. *)
+
+type format = V1 | V2
 
 type writer
 
-val open_writer : string -> writer
+val open_writer : ?format:format -> string -> writer
+(** Default [V2]. [V1] keeps writing the PR 1 byte format for
+    interchange with older readers. *)
 
 val write : writer -> start:int -> insns:int -> unit
 
@@ -24,8 +40,10 @@ val close_writer : writer -> unit
 exception Corrupt of string
 
 val fold : string -> 'a -> ('a -> start:int -> insns:int -> 'a) -> 'a
-(** Stream the file through a folder. @raise Corrupt on bad framing
-    (including a file too short to hold the magic header). *)
+(** Stream the file through a folder; v1 and v2 files both accepted.
+    @raise Corrupt on bad framing (including a file too short to hold
+    the magic header, and a v2 token referencing a dictionary entry the
+    stream never defined). *)
 
 val length : string -> int
 (** Number of block records. *)

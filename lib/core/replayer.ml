@@ -353,9 +353,343 @@ let run_packed_hot t packed addrs ins ~off ~len =
   Packed.add_ic packed ~hits:!ic_h ~misses:!ic_m;
   Packed.add_cycles packed !cycles
 
+(* The fused loop over an image carrying a {!Packed.fusion} overlay: when
+   the current state sits on a fused chain, a run of upcoming PCs is
+   matched against the chain's signature with one comparison loop — no
+   automaton dispatch — and the per-step accounting is charged in bulk
+   (for a cyclic chain, [full] complete iterations cost O(cycle length)
+   regardless of [full]). Observational equality with the unfused loops
+   is structural: {!Packed.with_fusion} validates that each chain edge
+   restates a 1-edge span with the exact cost the ordinary dispatch
+   charges, every chain target is in-trace, and a mismatching or
+   unchained PC falls through to a verbatim copy of the unfused
+   dispatch. Only the inline-cache hit/miss {e split} can differ (chain
+   steps consult no IC) — the same documented exception as the parallel
+   driver's chunk-local IC; it is excluded from {!snapshot}. *)
+let run_packed_fused t packed (f : Packed.fusion) addrs ins ~off ~len =
+  let raw = Packed.to_raw packed in
+  let offsets = raw.Packed.offsets in
+  let labels = raw.Packed.labels in
+  let targets = raw.Packed.targets in
+  let keys = raw.Packed.hash_keys in
+  let vals = raw.Packed.hash_vals in
+  let hot_len = raw.Packed.hot_len in
+  let repacked = Packed.is_repacked packed in
+  (* Repacked-only live arrays; empty — and never read — on a flat base. *)
+  let edge_cost, miss_cost, ic_label, ic_target, ic_cost =
+    if repacked then
+      let v = Packed.hot_view packed in
+      ( v.Packed.v_edge_cost,
+        v.Packed.v_miss_cost,
+        v.Packed.v_ic_label,
+        v.Packed.v_ic_target,
+        v.Packed.v_ic_cost )
+    else ([||], [||], [||], [||], [||])
+  in
+  let fchain = f.Packed.fchain in
+  let fpos = f.Packed.fpos in
+  let foff = f.Packed.foff in
+  let fcyc = f.Packed.fcyc in
+  let fsig = f.Packed.fsig in
+  let ftgt = f.Packed.ftgt in
+  let fecost = f.Packed.fecost in
+  (* Per-chain cost sums, hoisted once per batch: a full cycle iteration
+     charges a constant, so the fast-forward multiplies instead of
+     re-summing fecost on every chain entry. *)
+  let n_chains = Array.length foff - 1 in
+  let csums = Array.make (max 1 n_chains) 0 in
+  for c = 0 to n_chains - 1 do
+    let s = ref 0 in
+    for e = foff.(c) to foff.(c + 1) - 1 do
+      s := !s + fecost.(e)
+    done;
+    csums.(c) <- !s
+  done;
+  let mask = Array.length keys - 1 in
+  let n_slots = Array.length offsets - 1 in
+  if t.state < 0 || t.state >= n_slots then
+    invalid_arg "Replayer.feed_run: state id outside the frozen image";
+  if Array.length t.counts < n_slots then grow_counts t (n_slots - 1);
+  let counts = t.counts in
+  let nte = Automaton.nte in
+  let state = ref t.state in
+  let covered = ref t.covered and total = ref t.total in
+  let enters = ref t.enters and exits = ref t.exits in
+  let in_hits = ref 0 and g_hits = ref 0 and g_miss = ref 0 in
+  let ic_h = ref 0 and ic_m = ref 0 in
+  let fused_steps = ref 0 in
+  let cycles = ref 0 in
+  let hprobe =
+    match Tea_telemetry.Probe.metrics () with
+    | None -> None
+    | Some m -> Some (Tea_telemetry.Metrics.histogram m "packed.hash_probe_len")
+  in
+  let stop = off + len in
+  let i = ref off in
+  while !i < stop do
+    let prev = !state in
+    let c = Array.unsafe_get fchain prev in
+    let matched =
+      if c < 0 then 0
+      else begin
+        let lo = Array.unsafe_get foff c in
+        let hi = Array.unsafe_get foff (c + 1) in
+        let p = Array.unsafe_get fpos prev in
+        if Array.unsafe_get fcyc c = 1 then begin
+          (* Cyclic chain: match the incoming PC run against the cycle's
+             signature, wrapping — one compare + one insns add per step. *)
+          let j = ref !i and q = ref (lo + p) and isum = ref 0 in
+          while
+            !j < stop && Array.unsafe_get addrs !j = Array.unsafe_get fsig !q
+          do
+            isum := !isum + Array.unsafe_get ins !j;
+            incr j;
+            incr q;
+            if !q = hi then q := lo
+          done;
+          let m = !j - !i in
+          if m > 0 then begin
+            let l = hi - lo in
+            (* Short matches (the common exit-every-lap-or-two case) skip
+               the division entirely; only long fast-forwards pay it, where
+               it is amortized over >= 2l steps. *)
+            let full =
+              if m < l then 0 else if m - l < l then 1 else m / l
+            in
+            let rem = m - (full * l) in
+            (* [full] complete iterations: every edge taken [full] times,
+               the cycle cost charged as one multiply — the fast-forward. *)
+            if full > 0 then begin
+              cycles := !cycles + (full * Array.unsafe_get csums c);
+              for e = lo to hi - 1 do
+                let tgt = Array.unsafe_get ftgt e in
+                Array.unsafe_set counts tgt (full + Array.unsafe_get counts tgt)
+              done
+            end;
+            (* [rem] leftover steps from position [p], wrapping once. *)
+            let e = ref (lo + p) in
+            for _ = 1 to rem do
+              cycles := !cycles + Array.unsafe_get fecost !e;
+              let tgt = Array.unsafe_get ftgt !e in
+              Array.unsafe_set counts tgt (1 + Array.unsafe_get counts tgt);
+              incr e;
+              if !e = hi then e := lo
+            done;
+            covered := !covered + !isum;
+            total := !total + !isum;
+            in_hits := !in_hits + m;
+            (* the edge that produced the final state sits just before the
+               next expected position [!q] — no second division *)
+            let last = if !q = lo then hi - 1 else !q - 1 in
+            state := Array.unsafe_get ftgt last;
+            i := !j
+          end;
+          m
+        end
+        else begin
+          (* Straight chain: match linearly up to the chain's end. *)
+          let j = ref !i and q = ref (lo + p) and isum = ref 0 in
+          while
+            !q < hi && !j < stop
+            && Array.unsafe_get addrs !j = Array.unsafe_get fsig !q
+          do
+            isum := !isum + Array.unsafe_get ins !j;
+            incr j;
+            incr q
+          done;
+          let m = !j - !i in
+          if m > 0 then begin
+            for e = lo + p to lo + p + m - 1 do
+              cycles := !cycles + Array.unsafe_get fecost e;
+              let tgt = Array.unsafe_get ftgt e in
+              Array.unsafe_set counts tgt (1 + Array.unsafe_get counts tgt)
+            done;
+            covered := !covered + !isum;
+            total := !total + !isum;
+            in_hits := !in_hits + m;
+            state := Array.unsafe_get ftgt (lo + p + m - 1);
+            i := !j
+          end;
+          m
+        end
+      end
+    in
+    if matched = 0 then begin
+      (* Unchained state, or the stream diverged from the chain signature:
+         one verbatim unfused dispatch step (IC/prefix/tail/hash when
+         repacked, binary search/hash when flat), so costs and counters
+         stay bit-identical to the unfused loops. *)
+      let pc = Array.unsafe_get addrs !i in
+      let next =
+        if repacked then begin
+          if Array.unsafe_get ic_label prev = pc then begin
+            incr ic_h;
+            incr in_hits;
+            cycles := !cycles + Array.unsafe_get ic_cost prev;
+            Array.unsafe_get ic_target prev
+          end
+          else begin
+            incr ic_m;
+            let lo = Array.unsafe_get offsets prev in
+            let hi = Array.unsafe_get offsets (prev + 1) in
+            let hstop = lo + Array.unsafe_get hot_len prev in
+            let e = ref (-1) in
+            let j = ref lo in
+            while !e < 0 && !j < hstop do
+              if Array.unsafe_get labels !j = pc then e := !j else incr j
+            done;
+            if !e < 0 && hi > hstop then begin
+              let base = ref hstop and l = ref (hi - hstop) in
+              while !l > 1 do
+                let half = !l lsr 1 in
+                if Array.unsafe_get labels (!base + half) <= pc then
+                  base := !base + half;
+                l := !l - half
+              done;
+              if Array.unsafe_get labels !base = pc then e := !base
+            end;
+            if !e >= 0 then begin
+              incr in_hits;
+              let cst = Array.unsafe_get edge_cost !e in
+              cycles := !cycles + cst;
+              let tgt = Array.unsafe_get targets !e in
+              Array.unsafe_set ic_label prev pc;
+              Array.unsafe_set ic_target prev tgt;
+              Array.unsafe_set ic_cost prev cst;
+              tgt
+            end
+            else begin
+              cycles :=
+                !cycles + Array.unsafe_get miss_cost prev
+                + Packed.cost_hash_base;
+              let c0 = !cycles in
+              let idx = ref (Packed.hash_pc mask pc) in
+              let found = ref (-2) in
+              while !found = -2 do
+                cycles := !cycles + Packed.cost_hash_probe;
+                let k = Array.unsafe_get keys !idx in
+                if k = pc then found := Array.unsafe_get vals !idx
+                else if k < 0 then found := -1
+                else idx := (!idx + 1) land mask
+              done;
+              (match hprobe with
+              | None -> ()
+              | Some h ->
+                  Tea_telemetry.Metrics.observe h
+                    ((!cycles - c0) / Packed.cost_hash_probe));
+              if !found >= 0 then begin
+                incr g_hits;
+                !found
+              end
+              else begin
+                incr g_miss;
+                cycles := !cycles + Transition.cost_nte_miss;
+                nte
+              end
+            end
+          end
+        end
+        else begin
+          let lo = Array.unsafe_get offsets prev in
+          let hi = Array.unsafe_get offsets (prev + 1) in
+          let hit =
+            if hi > lo then begin
+              let base = ref lo and l = ref (hi - lo) in
+              while !l > 1 do
+                let half = !l lsr 1 in
+                if Array.unsafe_get labels (!base + half) <= pc then
+                  base := !base + half;
+                l := !l - half;
+                cycles := !cycles + Packed.cost_search_step
+              done;
+              cycles := !cycles + Packed.cost_search_step;
+              if Array.unsafe_get labels !base = pc then
+                Array.unsafe_get targets !base
+              else -1
+            end
+            else -1
+          in
+          if hit >= 0 then begin
+            incr in_hits;
+            hit
+          end
+          else begin
+            cycles := !cycles + Packed.cost_hash_base;
+            let c0 = !cycles in
+            let idx = ref (Packed.hash_pc mask pc) in
+            let found = ref (-2) in
+            while !found = -2 do
+              cycles := !cycles + Packed.cost_hash_probe;
+              let k = Array.unsafe_get keys !idx in
+              if k = pc then found := Array.unsafe_get vals !idx
+              else if k < 0 then found := -1
+              else idx := (!idx + 1) land mask
+            done;
+            (match hprobe with
+            | None -> ()
+            | Some h ->
+                Tea_telemetry.Metrics.observe h
+                  ((!cycles - c0) / Packed.cost_hash_probe));
+            if !found >= 0 then begin
+              incr g_hits;
+              !found
+            end
+            else begin
+              incr g_miss;
+              cycles := !cycles + Transition.cost_nte_miss;
+              nte
+            end
+          end
+        end
+      in
+      let insns = Array.unsafe_get ins !i in
+      state := next;
+      total := !total + insns;
+      if next <> nte then begin
+        covered := !covered + insns;
+        Array.unsafe_set counts next (1 + Array.unsafe_get counts next)
+      end;
+      if prev = nte && next <> nte then incr enters;
+      if prev <> nte && next = nte then incr exits;
+      incr i
+    end
+    else fused_steps := !fused_steps + matched
+  done;
+  (match Tea_telemetry.Probe.metrics () with
+  | None -> ()
+  | Some m ->
+      let open Tea_telemetry.Metrics in
+      count m "replayer.steps" len;
+      count m "replayer.trace_enters" (!enters - t.enters);
+      count m "replayer.trace_exits" (!exits - t.exits);
+      count m "packed.in_trace_hit" !in_hits;
+      count m "packed.global_hit" !g_hits;
+      count m "packed.global_miss" !g_miss;
+      count m "packed.fused_steps" !fused_steps;
+      if repacked then begin
+        count m "packed.ic_hit" !ic_h;
+        count m "packed.ic_miss" !ic_m
+      end);
+  t.state <- !state;
+  t.covered <- !covered;
+  t.total <- !total;
+  t.enters <- !enters;
+  t.exits <- !exits;
+  let st = Packed.stats packed in
+  st.Transition.steps <- st.Transition.steps + len;
+  st.Transition.in_trace_hits <- st.Transition.in_trace_hits + !in_hits;
+  st.Transition.global_hits <- st.Transition.global_hits + !g_hits;
+  st.Transition.global_misses <- st.Transition.global_misses + !g_miss;
+  if repacked then Packed.add_ic packed ~hits:!ic_h ~misses:!ic_m;
+  Packed.add_cycles packed !cycles
+
 let run_packed t packed addrs ins ~off ~len =
-  if Packed.is_repacked packed then run_packed_hot t packed addrs ins ~off ~len
-  else run_packed_flat t packed addrs ins ~off ~len
+  match Packed.fusion_of packed with
+  | Some f -> run_packed_fused t packed f addrs ins ~off ~len
+  | None ->
+      if Packed.is_repacked packed then
+        run_packed_hot t packed addrs ins ~off ~len
+      else run_packed_flat t packed addrs ins ~off ~len
 
 let no_insns = [||]
 

@@ -49,6 +49,16 @@ val feed_run : t -> ?off:int -> ?insns:int array -> int array -> len:int -> unit
     nonzero [off] replays a suffix without an [Array.sub] copy (how the
     parallel driver hands each shard its chunk). Equivalent to [len]
     calls to {!feed_addr}.
+
+    On an image carrying a fusion overlay ({!Packed.is_fused}) the batch
+    loop dispatches through superstate chains: runs of addresses that
+    match a chain's PC signature are absorbed by one comparison loop and
+    charged in bulk, with every observable (mapping, coverage, counts,
+    stats, simulated cycles) still exactly as if each address had been
+    fed singly. Signature matching never looks past [off + len - 1] — a
+    run that would continue into the next batch simply resumes matching
+    on the next call, which is what keeps sharded replay over a fused
+    image bit-identical to the sequential one.
     @raise Invalid_argument when [off..off+len) exceeds either array. *)
 
 val state : t -> Automaton.state

@@ -148,6 +148,8 @@ let packed_magic = "TEAPK1"
 
 let packed_magic_v2 = "TEAPK2"
 
+let packed_magic_v3 = "TEAPK3"
+
 let add_i32 buf v =
   if v < -1 || v > 0xFFFFFFFE then
     raise (Too_large (Printf.sprintf "%d exceeds the u32 packed cap" v));
@@ -155,16 +157,27 @@ let add_i32 buf v =
 
 (* A flat image serializes exactly as PR 1 wrote it (TEAPK1, nine
    arrays); a repacked image appends its two extra arrays under the
-   TEAPK2 magic. The reader accepts both. *)
+   TEAPK2 magic; an image carrying a fusion overlay writes TEAPK3 — a
+   flags word (bit 0 = repacked) followed by the v1/v2 payload and the
+   seven overlay arrays. Unfused images keep their v1/v2 bytes exactly,
+   so fusion changes no existing on-disk artifact. The reader accepts
+   all three. *)
 let packed_to_binary packed =
   let r = Packed.to_raw packed in
   let repacked = Packed.is_repacked packed in
+  let fusion = Packed.fusion_of packed in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf (if repacked then packed_magic_v2 else packed_magic);
+  Buffer.add_string buf
+    (match fusion with
+    | Some _ -> packed_magic_v3
+    | None -> if repacked then packed_magic_v2 else packed_magic);
   let dump a =
     add_i32 buf (Array.length a);
     Array.iter (add_i32 buf) a
   in
+  (match fusion with
+  | Some _ -> add_i32 buf (if repacked then 1 else 0)
+  | None -> ());
   dump r.Packed.offsets;
   dump r.Packed.labels;
   dump r.Packed.targets;
@@ -178,6 +191,16 @@ let packed_to_binary packed =
     dump r.Packed.hot_len;
     dump r.Packed.orig_of
   end;
+  (match fusion with
+  | None -> ()
+  | Some f ->
+      dump f.Packed.fchain;
+      dump f.Packed.fpos;
+      dump f.Packed.foff;
+      dump f.Packed.fcyc;
+      dump f.Packed.fsig;
+      dump f.Packed.ftgt;
+      dump f.Packed.fecost);
   Buffer.contents buf
 
 let packed_of_binary s =
@@ -198,13 +221,23 @@ let packed_of_binary s =
     if v = 0xFFFFFFFF then -1 else v
   in
   let magic_len = String.length packed_magic in
-  let repacked =
-    if len >= magic_len && String.sub s 0 magic_len = packed_magic then false
+  let version =
+    if len >= magic_len && String.sub s 0 magic_len = packed_magic then 1
     else if len >= magic_len && String.sub s 0 magic_len = packed_magic_v2
-    then true
+    then 2
+    else if len >= magic_len && String.sub s 0 magic_len = packed_magic_v3
+    then 3
     else parse_error "missing %S header" packed_magic
   in
   pos := magic_len;
+  let repacked =
+    if version = 3 then begin
+      let flags = i32 () in
+      if flags land lnot 1 <> 0 then parse_error "unknown packed flags";
+      flags land 1 = 1
+    end
+    else version = 2
+  in
   let slurp () =
     let n = i32 () in
     if n < 0 || n > (len - !pos) / 4 then parse_error "bad packed array length";
@@ -224,22 +257,41 @@ let packed_of_binary s =
   let orig_of =
     if repacked then slurp () else Array.init n_slots (fun i -> i)
   in
+  let fusion =
+    if version = 3 then begin
+      let fchain = slurp () in
+      let fpos = slurp () in
+      let foff = slurp () in
+      let fcyc = slurp () in
+      let fsig = slurp () in
+      let ftgt = slurp () in
+      let fecost = slurp () in
+      Some { Packed.fchain; fpos; foff; fcyc; fsig; ftgt; fecost }
+    end
+    else None
+  in
   if !pos <> len then parse_error "trailing bytes after packed image";
   try
-    Packed.of_raw ~repacked
-      {
-        Packed.offsets;
-        labels;
-        targets;
-        state_trace;
-        state_tbb;
-        state_start;
-        state_insns;
-        hash_keys;
-        hash_vals;
-        hot_len;
-        orig_of;
-      }
+    let base =
+      Packed.of_raw ~repacked
+        {
+          Packed.offsets;
+          labels;
+          targets;
+          state_trace;
+          state_tbb;
+          state_start;
+          state_insns;
+          hash_keys;
+          hash_vals;
+          hot_len;
+          orig_of;
+        }
+    in
+    (* [with_fusion] re-validates the overlay against the base arrays,
+       so corrupt TEAPK3 bytes surface here as a Parse_error rather
+       than as a divergent replay. *)
+    match fusion with None -> base | Some f -> Packed.with_fusion base f
   with Invalid_argument m -> parse_error "%s" m
 
 let save_packed path packed =
@@ -255,3 +307,50 @@ let load_packed path =
     (fun () ->
       let len = in_channel_length ic in
       packed_of_binary (really_input_string ic len))
+
+let packed_version packed =
+  if Packed.is_fused packed then 3
+  else if Packed.is_repacked packed then 2
+  else 1
+
+(* Human-readable stats for [tea_tool info]: everything here is a pure
+   function of the image's arrays, so the rendering is byte-stable and
+   golden-testable. *)
+let describe_packed packed =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "format:  TEAPK%d" (packed_version packed);
+  line "slots:   %d" (Packed.n_slots packed);
+  line "states:  %d" (Packed.n_states packed);
+  line "edges:   %d" (Packed.n_edges packed);
+  line "heads:   %d" (Packed.n_heads packed);
+  line "layout:  %s"
+    (if Packed.is_repacked packed then "repacked (hotness-descending)"
+     else "flat (freeze order)");
+  if Packed.is_repacked packed then begin
+    let r = Packed.to_raw packed in
+    let longest = Array.fold_left max 0 r.Packed.hot_len in
+    line "hot-prefix edges: %d (longest prefix %d)"
+      (Packed.hot_edges packed) longest
+  end;
+  if Packed.is_fused packed then begin
+    let lengths = Packed.chain_lengths packed in
+    line "fused chains: %d (%d cyclic), covering %d states"
+      (Packed.n_chains packed)
+      (Packed.n_cyclic_chains packed)
+      (Packed.fused_edges packed);
+    (* length histogram, ascending *)
+    let tbl = Hashtbl.create 16 in
+    Array.iter
+      (fun l ->
+        Hashtbl.replace tbl l (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l)))
+      lengths;
+    let entries =
+      List.sort compare (Hashtbl.fold (fun l n acc -> (l, n) :: acc) tbl [])
+    in
+    List.iter
+      (fun (l, n) -> line "  chains of length %d: %d" l n)
+      entries
+  end
+  else line "fused chains: 0";
+  Buffer.contents buf

@@ -42,8 +42,14 @@ val binary_size : Automaton.t -> int
     elements, -1 as 0xFFFFFFFF). A profile-repacked image
     ({!Packed.is_repacked}) writes magic ["TEAPK2"] instead and appends
     its two extra arrays ([hot_len], [orig_of]) after the nine TEAPK1
-    arrays; the reader accepts both magics, so TEAPK1 files from older
-    builds keep loading. Unlike the text format this needs no program
+    arrays. An image carrying a {!Packed.fusion} overlay
+    ({!Packed.is_fused}) writes magic ["TEAPK3"]: a u32 flags word
+    (bit 0 = repacked) followed by the v1/v2 array payload and the seven
+    overlay arrays. Unfused images keep writing their v1/v2 bytes
+    exactly — fusion changes no existing on-disk artifact — and the
+    reader sniffs all three magics, re-validating a v3 overlay through
+    {!Packed.with_fusion} so corrupt bytes fail the load rather than
+    diverge a replay. Unlike the text format this needs no program
     image to load — the reconstituted engine replays bit-identically,
     including hash probe order — but it carries no {!Automaton.t}, so
     per-trace profile queries are unavailable on it. *)
@@ -53,8 +59,19 @@ val packed_to_binary : Packed.t -> string
 
 val packed_of_binary : string -> Packed.t
 (** @raise Parse_error on malformed input (bad framing or shape
-    invariants). *)
+    invariants, including a fusion overlay that does not validate
+    against the base arrays). *)
 
 val save_packed : string -> Packed.t -> unit
 
 val load_packed : string -> Packed.t
+
+val packed_version : Packed.t -> int
+(** The TEAPK format version {!packed_to_binary} would write for this
+    image: 1 flat, 2 repacked, 3 fused. *)
+
+val describe_packed : Packed.t -> string
+(** Human-readable image stats ([tea_tool info]): format version,
+    slot/state/edge/head counts, layout flavor, hot-prefix totals,
+    fused-chain count and length histogram. Pure function of the arrays,
+    byte-stable. *)

@@ -1,3 +1,9 @@
+(* Peephole opportunity analysis over recorded traces — one of the three
+   Tea_opt passes. [Opt] finds instruction-level savings inside TBBs;
+   [Repack] relays a frozen packed image out of a replay profile; [Fuse]
+   collapses forced transition chains into superstates on top of either
+   layout. The latter two transform the replay engine's image, this one
+   only reports — all three consume the same replay profiles. *)
 open Tea_isa
 module Trace = Tea_traces.Trace
 module Tbb = Tea_traces.Tbb

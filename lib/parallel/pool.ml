@@ -68,6 +68,13 @@ let rec worker_loop t ws =
     worker_loop t ws
   end
 
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | None -> Error (Printf.sprintf "invalid job count %S (expected an integer)" s)
+  | Some n when n < 1 ->
+      Error (Printf.sprintf "invalid job count %d (must be >= 1)" n)
+  | Some n -> Ok n
+
 let create ~jobs =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   let n_workers = if jobs = 1 then 1 else jobs in

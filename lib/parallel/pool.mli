@@ -27,6 +27,12 @@ val create : jobs:int -> t
     inline execution, no domains).
     @raise Invalid_argument when [jobs < 1]. *)
 
+val parse_jobs : string -> (int, string) result
+(** Validate a user-supplied job count (a CLI [--jobs] value): accepts
+    exactly the integers {!create} accepts. [Error msg] carries a
+    human-readable reason ([0], negatives and non-integers are all
+    rejected rather than silently falling back to sequential). *)
+
 val jobs : t -> int
 
 val map : t -> f:(int -> 'a) -> int -> 'a array

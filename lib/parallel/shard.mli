@@ -22,7 +22,19 @@
     {!Profile.merge} of all the pieces is bit-identical to the sequential
     profile, including stats and simulated cycles (property-tested for
     1/2/4 domains). A chunk with no sync point degrades gracefully: the
-    driver replays it entirely. *)
+    driver replays it entirely.
+
+    {b Fused images and chunk boundaries.} The scheme carries over
+    unchanged to an image with a fusion overlay: superstate matching in
+    {!Tea_core.Replayer.feed_run} is bounded by the batch it was handed,
+    so a signature run never reads across a chunk seam — it ends at the
+    boundary and resumes (from the carried state, which bulk accounting
+    maintains exactly) in the next chunk's replay. Because fusion is
+    observationally the identity, sync-point detection, entry-state
+    stitching and the merged profile are all untouched; only the
+    inline-cache hit/miss split can differ, the same exception already
+    documented for chunk-local ICs (property-tested for 1/2/4 domains in
+    [test_fuse.ml]). *)
 
 val replay_arrays :
   Pool.t -> Tea_core.Packed.t -> ?insns:int array -> int array -> len:int -> Profile.t

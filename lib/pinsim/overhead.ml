@@ -10,8 +10,8 @@ type row = {
   packed : float;
 }
 
-let measure ?(params = Cost_params.default) ?(pgo = false) ?fuel ~traces image
-    =
+let measure ?(params = Cost_params.default) ?(pgo = false) ?(fuse = false)
+    ?fuel ~traces image =
   let native = Pin.native_cycles ?fuel image in
   let ratio cycles =
     if native = 0 then 0.0 else float_of_int cycles /. float_of_int native
@@ -20,10 +20,10 @@ let measure ?(params = Cost_params.default) ?(pgo = false) ?fuel ~traces image
     let stats = Pin.run ~params ?fuel image in
     ratio stats.Pin.framework_cycles
   in
-  let replay_with ?engine ?pgo transition traces =
+  let replay_with ?engine ?pgo ?fuse transition traces =
     let result, _rep =
-      Pintool_replay.replay ~params ~transition ?engine ?pgo ?fuel ~traces
-        image
+      Pintool_replay.replay ~params ~transition ?engine ?pgo ?fuse ?fuel
+        ~traces image
     in
     ratio result.Pintool_replay.total_cycles
   in
@@ -35,5 +35,6 @@ let measure ?(params = Cost_params.default) ?(pgo = false) ?fuel ~traces image
     global_no_local = replay_with Transition.config_global_no_local traces;
     global_local = replay_with Transition.config_global_local traces;
     packed =
-      replay_with ~engine:`Packed ~pgo Transition.config_global_local traces;
+      replay_with ~engine:`Packed ~pgo ~fuse Transition.config_global_local
+        traces;
   }

@@ -23,11 +23,13 @@ type row = {
 val measure :
   ?params:Cost_params.t ->
   ?pgo:bool ->
+  ?fuse:bool ->
   ?fuel:int ->
   traces:Tea_traces.Trace.t list ->
   Tea_isa.Image.t ->
   row
 (** Slowdowns normalized to the native run of the same image. [pgo]
     (default false) profile-repacks the packed column's image on the
-    measured stream first ({!Pintool_replay.replay}'s [?pgo]); the
-    reference columns are unaffected. *)
+    measured stream first, and [fuse] (default false) superstate-fuses it
+    ({!Pintool_replay.replay}'s [?pgo] / [?fuse]); the reference columns
+    are unaffected. *)

@@ -21,9 +21,11 @@ type result = {
 
 let replay ?(params = Cost_params.default)
     ?(transition = Transition.config_global_local) ?(engine = `Reference)
-    ?(pgo = false) ?fuel ~traces image =
+    ?(pgo = false) ?(fuse = false) ?fuel ~traces image =
   if pgo && engine <> `Packed then
     invalid_arg "Pintool_replay.replay: pgo requires the packed engine";
+  if fuse && engine <> `Packed then
+    invalid_arg "Pintool_replay.replay: fuse requires the packed engine";
   let auto = Builder.build traces in
   let rep =
     match engine with
@@ -33,10 +35,12 @@ let replay ?(params = Cost_params.default)
   (* §4.1: step the TEA on taken/fall-through edges (merged logical blocks),
      not on Pin's fragment boundaries. *)
   let analysis_calls = ref 0 in
-  (* PGO path: buffer the edge stream during the (single) Pin run, then
-     profile-repack the packed image on it and batch-replay the repacked
-     engine — the pintool analogue of `tea_tool repack`. One analysis call
-     per emitted block either way. *)
+  (* PGO/fusion path: buffer the edge stream during the (single) Pin run,
+     then profile-repack and/or superstate-fuse the packed image and
+     batch-replay the optimized engine — the pintool analogue of
+     `tea_tool repack` / `tea_tool fuse`. One analysis call per emitted
+     block either way. *)
+  let tune = pgo || fuse in
   let pgo_addrs = ref [||] and pgo_insns = ref [||] and pgo_len = ref 0 in
   let push addr insns =
     let cap = Array.length !pgo_addrs in
@@ -55,20 +59,34 @@ let replay ?(params = Cost_params.default)
   let filter =
     Edge_filter.create ~emit:(fun block ~expanded ->
         incr analysis_calls;
-        if pgo then push block.Tea_cfg.Block.start expanded
+        if tune then push block.Tea_cfg.Block.start expanded
         else Replayer.feed_addr rep ~insns:expanded block.Tea_cfg.Block.start)
   in
   let stats = Pin.run ~params ?fuel ~tool:(Edge_filter.callbacks filter) image in
   Edge_filter.flush filter;
   let rep =
-    if not pgo then rep
+    if not tune then rep
     else begin
       match Replayer.engine rep with
       | Replayer.Packed flat ->
-          let prof = Tea_opt.Repack.collect flat !pgo_addrs ~len:!pgo_len in
-          let tuned =
-            Replayer.create_packed (Tea_opt.Repack.repack flat prof)
+          let img =
+            if not pgo then flat
+            else
+              Tea_opt.Repack.repack flat
+                (Tea_opt.Repack.collect flat !pgo_addrs ~len:!pgo_len)
           in
+          let img =
+            if not fuse then img
+            else if not pgo then Tea_opt.Fuse.fuse img
+            else
+              (* pgo+fuse composition: the captured stream, re-collected
+                 over the repacked layout, gates chain selection *)
+              let profile =
+                Tea_opt.Repack.collect img !pgo_addrs ~len:!pgo_len
+              in
+              Tea_opt.Fuse.fuse ~profile img
+          in
+          let tuned = Replayer.create_packed img in
           Replayer.feed_run tuned ~insns:!pgo_insns !pgo_addrs ~len:!pgo_len;
           tuned
       | Replayer.Reference _ -> assert false

@@ -30,6 +30,7 @@ val replay :
   ?transition:Tea_core.Transition.config ->
   ?engine:engine ->
   ?pgo:bool ->
+  ?fuse:bool ->
   ?fuel:int ->
   traces:Tea_traces.Trace.t list ->
   Tea_isa.Image.t ->
@@ -40,4 +41,7 @@ val replay :
     simulated run is buffered, used to {!Tea_opt.Repack.repack} the
     image, and replayed through the repacked engine; coverage, profiles
     and analysis-call counts are identical to the non-PGO run, simulated
-    transition cycles can only improve. *)
+    transition cycles can only improve. [~fuse:true] (packed engine only)
+    additionally runs {!Tea_opt.Fuse.fuse} over the (possibly repacked)
+    image and replays through the superstate-fused engine; the two
+    compose, and every observable is still identical. *)

@@ -228,7 +228,7 @@ let render_table3 rows =
 
 type table4_row = { t4_name : string; row : Tea_pinsim.Overhead.row }
 
-let table4 ?pool ?pgo ?fuel benches =
+let table4 ?pool ?pgo ?fuse ?fuel benches =
   pmap ?pool
     (fun b ->
       Tea_telemetry.Probe.with_span ("table4/" ^ b.profile.Proggen.name)
@@ -238,7 +238,7 @@ let table4 ?pool ?pgo ?fuel benches =
       let traces = mret_traces b in
       {
         t4_name = b.profile.Proggen.name;
-        row = Tea_pinsim.Overhead.measure ?pgo ?fuel ~traces b.image;
+        row = Tea_pinsim.Overhead.measure ?pgo ?fuse ?fuel ~traces b.image;
       })
     benches
 

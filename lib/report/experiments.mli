@@ -79,10 +79,12 @@ type table4_row = { t4_name : string; row : Tea_pinsim.Overhead.row }
 val table4 :
   ?pool:Tea_parallel.Pool.t ->
   ?pgo:bool ->
+  ?fuse:bool ->
   ?fuel:int ->
   bench list ->
   table4_row list
 (** [pgo] profile-repacks the packed column's engine on each benchmark's
-    own stream before measuring ({!Tea_pinsim.Overhead.measure}). *)
+    own stream before measuring, [fuse] superstate-fuses it; both compose
+    ({!Tea_pinsim.Overhead.measure}). *)
 
 val render_table4 : table4_row list -> string

@@ -733,6 +733,98 @@ let test_pc_trace_truncated_file () =
         Alcotest.fail "accepted oversized varint"
       with Pc_trace.Corrupt _ -> ())
 
+(* ---------------- PCTR2 dictionary format ---------------- *)
+
+let write_records ?format path records =
+  let w = Pc_trace.open_writer ?format path in
+  List.iter (fun (start, insns) -> Pc_trace.write w ~start ~insns) records;
+  Pc_trace.close_writer w
+
+let read_records path =
+  List.rev
+    (Pc_trace.fold path [] (fun acc ~start ~insns -> (start, insns) :: acc))
+
+let test_pctr2_both_formats_roundtrip () =
+  (* the same mixed stream — loops, back-jumps, fresh pairs — through
+     each format and back; v2 is the default *)
+  let records =
+    List.concat (List.init 50 (fun _ -> [ (0x8048100, 6); (0x8048120, 4) ]))
+    @ [ (0x9000000, 2); (0x10, 1); (0x9000000, 2); (0x8048100, 6) ]
+  in
+  let path = Filename.temp_file "tea_pc" ".trc" in
+  write_records path records;
+  let via_default = read_records path in
+  let default_bytes =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic 6)
+  in
+  write_records ~format:Pc_trace.V1 path records;
+  let via_v1 = read_records path in
+  write_records ~format:Pc_trace.V2 path records;
+  let via_v2 = read_records path in
+  Sys.remove path;
+  check Alcotest.string "default writes PCTR2" "PCTR2\n" default_bytes;
+  check Alcotest.(list (pair int int)) "default roundtrip" records via_default;
+  check Alcotest.(list (pair int int)) "v1 roundtrip" records via_v1;
+  check Alcotest.(list (pair int int)) "v2 roundtrip" records via_v2
+
+let test_pctr2_size_win () =
+  (* a loopy stream: v2's dictionary tokens must beat v1's per-record
+     delta+count pairs by a wide margin (the satellite's 3-4x claim) *)
+  let records =
+    List.concat
+      (List.init 10_000 (fun _ -> [ (0x8048100, 200); (0x8058204, 150) ]))
+  in
+  let path1 = Filename.temp_file "tea_pc" ".trc" in
+  let path2 = Filename.temp_file "tea_pc" ".trc" in
+  write_records ~format:Pc_trace.V1 path1 records;
+  write_records ~format:Pc_trace.V2 path2 records;
+  let s1 = (Unix.stat path1).Unix.st_size in
+  let s2 = (Unix.stat path2).Unix.st_size in
+  check Alcotest.int "same records" (Pc_trace.length path1)
+    (Pc_trace.length path2);
+  Sys.remove path1;
+  Sys.remove path2;
+  check Alcotest.bool
+    (Printf.sprintf "v2 at least 3x smaller (%d vs %d bytes)" s2 s1)
+    true (s2 * 3 <= s1)
+
+let test_pctr2_corruption () =
+  let with_bytes bytes k =
+    let path = Filename.temp_file "tea_pc" ".trc" in
+    let oc = open_out_bin path in
+    output_string oc bytes;
+    close_out oc;
+    Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> k path)
+  in
+  let expect_corrupt name bytes =
+    with_bytes bytes (fun path ->
+        try
+          ignore (Pc_trace.length path);
+          Alcotest.failf "accepted %s" name
+        with Pc_trace.Corrupt _ -> ())
+  in
+  (* token references a dictionary entry the stream never defined *)
+  expect_corrupt "undefined dictionary token" "PCTR2\n\x05";
+  (* literal escape truncated before its delta / between delta and insns *)
+  expect_corrupt "literal missing delta" "PCTR2\n\x00";
+  expect_corrupt "literal missing insns" "PCTR2\n\x00\x04";
+  (* dangling continuation bit in a token *)
+  expect_corrupt "truncated token varint" "PCTR2\n\x80";
+  (* a valid literal record followed by a truncated one still fails *)
+  expect_corrupt "valid then truncated"
+    "PCTR2\n\x00\x04\x02\x00\x04";
+  (* magic-only is an empty stream, not corrupt *)
+  with_bytes "PCTR2\n" (fun path ->
+      check Alcotest.int "empty v2 stream" 0 (Pc_trace.length path));
+  (* a token backreference resolves to the pair its literal defined *)
+  with_bytes "PCTR2\n\x00\x08\x03\x01\x01" (fun path ->
+      check Alcotest.(list (pair int int)) "token replays the pair"
+        [ (4, 3); (8, 3); (12, 3) ]
+        (read_records path))
+
 let test_pc_trace_writer_misuse () =
   let path = Filename.temp_file "tea_pc" ".trc" in
   let w = Pc_trace.open_writer path in
@@ -902,6 +994,9 @@ let () =
           Alcotest.test_case "writer misuse" `Quick test_pc_trace_writer_misuse;
           Alcotest.test_case "iter_chunks" `Quick test_pc_trace_iter_chunks;
           Alcotest.test_case "offline replay" `Quick test_pc_trace_offline_replay_equivalence;
+          Alcotest.test_case "v1/v2 roundtrip" `Quick test_pctr2_both_formats_roundtrip;
+          Alcotest.test_case "v2 size win" `Quick test_pctr2_size_win;
+          Alcotest.test_case "v2 corruption" `Quick test_pctr2_corruption;
           qtest prop_transition_matches_reference;
         ] );
       ( "serialize",

@@ -404,12 +404,33 @@ let test_hash_pc_exported () =
       end)
     keys
 
+(* Regression: --jobs 0 / negatives used to be accepted by the CLI and
+   silently fall through to the sequential path; parse_jobs is the single
+   validation point and must reject everything create would reject. *)
+let test_pool_parse_jobs () =
+  let ok s n =
+    match Pool.parse_jobs s with
+    | Ok got -> check Alcotest.int s n got
+    | Error msg -> Alcotest.failf "parse_jobs %S rejected: %s" s msg
+  in
+  let rejected s =
+    match Pool.parse_jobs s with
+    | Ok n -> Alcotest.failf "parse_jobs %S accepted as %d" s n
+    | Error msg ->
+        check Alcotest.bool (s ^ " has a reason") true (String.length msg > 0)
+  in
+  ok "1" 1;
+  ok "8" 8;
+  ok " 4 " 4;
+  List.iter rejected [ "0"; "-1"; "-42"; ""; "two"; "1.5"; "1x" ]
+
 let () =
   Alcotest.run "tea_parallel"
     [
       ( "pool",
         [
           Alcotest.test_case "map order and values" `Quick test_pool_map_order;
+          Alcotest.test_case "parse_jobs" `Quick test_pool_parse_jobs;
           Alcotest.test_case "inline jobs=1" `Quick test_pool_inline;
           Alcotest.test_case "map_list" `Quick test_pool_map_list;
           Alcotest.test_case "exception propagation" `Quick test_pool_exception;
