@@ -924,6 +924,205 @@ let run_fuse ~smoke =
   close_out oc;
   progress "[bench] wrote BENCH_fuse.json (%d workloads)" (List.length rows)
 
+(* ---- adversarial scenarios: the BENCH_scenario.json trajectory ----
+
+   Rows cover the three hazard classes over >= 3 base workloads:
+   multi-asid interleaving (round-robin and seeded-random schedules over
+   all bases at once), self-modifying code (periodic invalidation per
+   base) and mid-trace interrupts (a periodic signal per base). Every row
+   enforces the PR's hard gate before it is timed — demuxed replay
+   (sequential [Multi_replayer] AND demux-first sharding at jobs 2 and 4,
+   over flat AND repack+fuse-tuned per-asid images) must produce per-asid
+   Profile snapshots equal to replaying each asid's projection in
+   isolation; any divergence exits 1. Timing is the sequential demuxed
+   replay of the synthesized event file (decode included), best-of-5
+   after one warmup. *)
+
+module Scenario = Tea_workloads.Scenario
+
+type scn_prep = {
+  sp_stream : Scenario.stream;
+  sp_flat : Tea_core.Packed.t;
+  sp_tuned : Tea_core.Packed.t;  (** repacked then fused on its own stream *)
+}
+
+let scn_prep ~strategy asid name =
+  let image = repack_image name in
+  let dbt = Tea_dbt.Stardbt.record ~strategy image in
+  let traces = Tea_traces.Trace_set.to_list dbt.Tea_dbt.Stardbt.set in
+  let flat = Tea_core.Packed.freeze (Tea_core.Builder.build traces) in
+  let path = Filename.temp_file "tea_bench" ".trc" in
+  let _ = Tea_pinsim.Trace_capture.record image path in
+  let stream = Scenario.load_stream ~asid ~name path in
+  Sys.remove path;
+  let starts = stream.Scenario.starts and len = stream.Scenario.len in
+  let repacked =
+    Tea_opt.Repack.repack flat (Tea_opt.Repack.collect flat starts ~len)
+  in
+  let tuned =
+    Tea_opt.Fuse.fuse
+      ~profile:(Tea_opt.Repack.collect repacked starts ~len)
+      repacked
+  in
+  { sp_stream = stream; sp_flat = flat; sp_tuned = tuned }
+
+type scenario_row = {
+  sc_label : string;
+  sc_kind : string;
+  sc_asids : int;
+  sc_events : int;
+  sc_blocks : int;
+  sc_runs : int;  (** per-asid NTE-entry runs after invalidation/interrupt cuts *)
+  sc_ns : float;  (** sequential demuxed replay, ns/event, decode included *)
+}
+
+let scn_snap_eq a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x, p) (y, q) -> x = y && Tea_parallel.Profile.equal p q)
+       a b
+
+let run_scenario_row ~label ~kind (preps : scn_prep array) scn =
+  let file = Filename.temp_file "tea_scn" ".trc" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  let n_events = Scenario.write_file file scn in
+  let gate engine img_for =
+    let make a =
+      Tea_core.Replayer.create_packed (Tea_core.Packed.dup (img_for a))
+    in
+    let isolated = Tea_core.Multi_replayer.replay_isolated make file in
+    let check how demuxed =
+      if not (scn_snap_eq demuxed isolated) then begin
+        Printf.eprintf
+          "[bench] ERROR: %s: %s demuxed replay (%s) diverged from isolated \
+           per-asid replay\n"
+          label engine how;
+        exit 1
+      end
+    in
+    check "sequential"
+      (Tea_core.Multi_replayer.snapshots
+         (Tea_core.Multi_replayer.replay_events make file));
+    List.iter
+      (fun jobs ->
+        Tea_parallel.Pool.with_pool ~jobs (fun pool ->
+            check
+              (Printf.sprintf "jobs %d" jobs)
+              (Tea_parallel.Shard.replay_events pool img_for file)))
+      [ 2; 4 ]
+  in
+  gate "flat" (fun a -> preps.(a).sp_flat);
+  gate "repack+fuse" (fun a -> preps.(a).sp_tuned);
+  let runs = Tea_parallel.Shard.load_events file in
+  let blocks =
+    List.fold_left
+      (fun acc (_, rs) ->
+        List.fold_left (fun acc r -> acc + r.Tea_parallel.Shard.len) acc rs)
+      0 runs
+  in
+  let n_runs = List.fold_left (fun acc (_, rs) -> acc + List.length rs) 0 runs in
+  let make_flat a =
+    Tea_core.Replayer.create_packed (Tea_core.Packed.dup preps.(a).sp_flat)
+  in
+  let reps = 1 + (500_000 / max 1 n_events) in
+  let sample () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Tea_core.Multi_replayer.replay_events make_flat file)
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let best = ref infinity in
+  for round = 0 to 5 do
+    let dt = sample () in
+    if round > 0 && dt < !best then best := dt
+  done;
+  {
+    sc_label = label;
+    sc_kind = kind;
+    sc_asids = List.length runs;
+    sc_events = n_events;
+    sc_blocks = blocks;
+    sc_runs = n_runs;
+    sc_ns = 1e9 *. !best /. float_of_int (reps * n_events);
+  }
+
+let scenario_json ~smoke ~strategy ~bases rows =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.bprintf buf fmt in
+  add "{\n";
+  add "  \"bench\": \"scenario\",\n";
+  add "  \"smoke\": %b,\n" smoke;
+  add "  \"strategy\": %S,\n" strategy;
+  add "  \"bases\": [%s],\n"
+    (String.concat ", " (List.map (Printf.sprintf "%S") bases));
+  add "  \"jobs_gated\": [1, 2, 4],\n";
+  add "  \"engines_gated\": [\"flat\", \"repack+fuse\"],\n";
+  add "  \"gate\": \"demuxed == isolated per-asid Profile equality\",\n";
+  add "  \"rows\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"name\": %S, \"kind\": %S, \"asids\": %d, \"events\": %d, \
+         \"blocks\": %d, \"runs\": %d, \"replay_ns_per_event\": %.2f}%s\n"
+        r.sc_label r.sc_kind r.sc_asids r.sc_events r.sc_blocks r.sc_runs
+        r.sc_ns
+        (if i = n - 1 then "" else ","))
+    rows;
+  add "  ]\n";
+  Buffer.contents buf ^ "}\n"
+
+let run_scenario ~smoke =
+  let strategy_name = "mret" in
+  let strategy = Option.get (Tea_traces.Registry.by_name strategy_name) in
+  let bases =
+    if smoke then [ "micro:listscan"; "micro:copy"; "181.mcf" ]
+    else [ "micro:listscan"; "micro:copy"; "micro:branchy"; "181.mcf"; "164.gzip" ]
+  in
+  progress
+    "[bench] scenario: %d bases, %s traces, gating demuxed vs isolated at \
+     jobs 1/2/4, flat and repack+fuse..."
+    (List.length bases) strategy_name;
+  let preps =
+    Array.of_list (List.mapi (fun i n -> scn_prep ~strategy i n) bases)
+  in
+  let streams = Array.to_list (Array.map (fun p -> p.sp_stream) preps) in
+  let interrupt_every s = max 32 (s.Scenario.len / 8) in
+  let rows =
+    [ ("interleave-rr", "interleave",
+       Scenario.interleave ~quantum:8 ~schedule:Scenario.Round_robin streams);
+      ("interleave-rand", "interleave",
+       Scenario.interleave ~quantum:8 ~schedule:(Scenario.Random_sched 42)
+         streams) ]
+    @ List.map
+        (fun s ->
+          ("smc:" ^ s.Scenario.name, "smc", Scenario.smc ~period:64 s))
+        streams
+    @ List.map
+        (fun s ->
+          ( "interrupt:" ^ s.Scenario.name, "interrupt",
+            Scenario.interrupt ~every:(interrupt_every s) s ))
+        streams
+  in
+  let rows =
+    List.map
+      (fun (label, kind, scn) ->
+        let r = run_scenario_row ~label ~kind preps scn in
+        Printf.printf
+          "%-24s %d asids  %7d events  %7d blocks in %3d runs  %6.1f ns/event  \
+           [gate ok]\n%!"
+          r.sc_label r.sc_asids r.sc_events r.sc_blocks r.sc_runs r.sc_ns;
+        r)
+      rows
+  in
+  let json = scenario_json ~smoke ~strategy:strategy_name ~bases rows in
+  let oc = open_out "BENCH_scenario.json" in
+  output_string oc json;
+  close_out oc;
+  progress "[bench] wrote BENCH_scenario.json (%d rows, all gates passed)"
+    (List.length rows)
+
 (* Same observability surface as tea_tool: --telemetry FILE writes a
    Chrome trace (or JSONL for a .jsonl suffix), --metrics dumps the probe
    counters after the run. With neither flag nothing is installed and
@@ -980,6 +1179,7 @@ let () =
     | [ "packed" ] -> run_packed_compare ()
     | [ "repack" ] -> run_repack ~smoke
     | [ "fuse" ] -> run_fuse ~smoke
+    | [ "scenario" ] -> run_scenario ~smoke
     | [ "parallel" ] -> run_parallel_compare ~benchmarks:table_benchmarks
     | [ "quick" ] -> run_tables ~benchmarks:quick_set ~which:[]
     | [ "ablation" ] -> run_ablations ()
@@ -998,8 +1198,9 @@ let () =
     | _ ->
         prerr_endline
           "usage: main.exe [quick | micro | packed | repack | fuse | \
-           parallel | telemetry | ablation | extensions | table1 table2 \
-           table3 table4] [--smoke] [--telemetry FILE] [--metrics] [--quiet]";
+           scenario | parallel | telemetry | ablation | extensions | table1 \
+           table2 table3 table4] [--smoke] [--telemetry FILE] [--metrics] \
+           [--quiet]";
         exit 2
   in
   match args with

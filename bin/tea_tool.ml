@@ -296,14 +296,224 @@ let print_fuse_line packed =
     (Tea_core.Packed.n_cyclic_chains packed)
     (Tea_core.Packed.fused_edges packed)
 
+(* ---- scenario mode ----
+
+   Adversarial replay scenarios: interleaved multi-asid streams,
+   self-modifying code (periodic invalidation), mid-trace interrupts.
+   The scenario is synthesized into a temporary PCTR3 event file, the
+   demuxed replay (sequential Multi_replayer at --jobs 1, demux-first
+   sharding at --jobs > 1) is gated against replaying each asid's
+   projection in isolation — full per-asid Profile equality, the PR's
+   hard gate — and one deterministic, jobs-invariant summary is
+   printed. *)
+
+let scenario_arg =
+  let doc =
+    "Adversarial replay scenario: interleave (round-robin/random schedule \
+     over this workload and every --with workload, one asid each), smc \
+     (periodic code-patch invalidation), or interrupt (signal cutting the \
+     trace body). Requires --engine=packed; composes with --pgo/--fuse \
+     (each asid's image tuned on its own stream) and --jobs."
+  in
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [ ("interleave", `Interleave); ("smc", `Smc);
+                ("interrupt", `Interrupt) ]))
+        None
+    & info [ "scenario" ] ~docv:"KIND" ~doc)
+
+let with_arg =
+  let doc =
+    "Additional workload for --scenario=interleave (repeatable; asids are \
+     assigned in argument order, the positional workload is asid 0)."
+  in
+  Arg.(value & opt_all string [] & info [ "with" ] ~docv:"WORKLOAD" ~doc)
+
+let quantum_arg =
+  let doc = "Scheduling quantum in blocks for --scenario=interleave." in
+  Arg.(value & opt int 8 & info [ "quantum" ] ~docv:"N" ~doc)
+
+let schedule_arg =
+  let doc = "Interleave schedule: rr (round-robin) or random (seeded)." in
+  Arg.(
+    value
+    & opt (enum [ ("rr", `Rr); ("random", `Random) ]) `Rr
+    & info [ "schedule" ] ~docv:"SCHED" ~doc)
+
+let scenario_seed_arg =
+  let doc = "Seed for --schedule=random." in
+  Arg.(value & opt int 1 & info [ "scenario-seed" ] ~docv:"SEED" ~doc)
+
+let period_arg =
+  let doc = "Blocks between invalidations for --scenario=smc." in
+  Arg.(value & opt int 64 & info [ "period" ] ~docv:"N" ~doc)
+
+let at_arg =
+  let doc =
+    "Block offset of the interrupt for --scenario=interrupt (default: \
+     half the stream)."
+  in
+  Arg.(value & opt (some int) None & info [ "at" ] ~docv:"N" ~doc)
+
+let every_arg =
+  let doc =
+    "Interrupt after every $(docv) blocks for --scenario=interrupt \
+     (overrides --at)."
+  in
+  Arg.(value & opt (some int) None & info [ "every" ] ~docv:"N" ~doc)
+
+let run_scenario ~kind ~name ~withs ~strategy_name ~jobs ~pgo ~fuse ~quantum
+    ~schedule ~seed ~period ~at ~every obs =
+  let module Scenario = Tea_workloads.Scenario in
+  let kind_name =
+    match kind with
+    | `Interleave -> "interleave"
+    | `Smc -> "smc"
+    | `Interrupt -> "interrupt"
+  in
+  let names = name :: withs in
+  (match kind with
+  | `Interleave ->
+      if List.length names < 2 then
+        or_die (Error "--scenario=interleave needs at least one --with workload")
+  | `Smc | `Interrupt ->
+      if withs <> [] then
+        or_die (Error "--with applies only to --scenario=interleave"));
+  (* Per-asid pipeline: record traces, freeze the packed image, capture
+     the workload's own block stream, and tune (--pgo/--fuse) on that
+     stream — the same image then backs both the demuxed and the isolated
+     replay, so tuning cannot break the gate. *)
+  let prep asid wname =
+    let image = or_die (resolve_workload wname) in
+    let strategy = or_die (resolve_strategy strategy_name) in
+    let r = Tea_dbt.Stardbt.record ~strategy image in
+    let traces = Tea_traces.Trace_set.to_list r.Tea_dbt.Stardbt.set in
+    let packed = Tea_core.Packed.freeze (Tea_core.Builder.build traces) in
+    let tmp = Filename.temp_file "tea_scn" ".trc" in
+    let stream =
+      Fun.protect
+        ~finally:(fun () -> Sys.remove tmp)
+        (fun () ->
+          let _ = Tea_pinsim.Trace_capture.record image tmp in
+          Scenario.load_stream ~asid ~name:wname tmp)
+    in
+    let packed =
+      if not pgo then packed
+      else
+        Tea_opt.Repack.repack packed
+          (Tea_opt.Repack.collect packed stream.Scenario.starts
+             ~len:stream.Scenario.len)
+    in
+    let packed =
+      if not fuse then packed
+      else if not pgo then Tea_opt.Fuse.fuse packed
+      else
+        let profile =
+          Tea_opt.Repack.collect packed stream.Scenario.starts
+            ~len:stream.Scenario.len
+        in
+        Tea_opt.Fuse.fuse ~profile packed
+    in
+    (stream, packed)
+  in
+  let prepared =
+    Probe.with_span "scenario_prep" @@ fun () -> List.mapi prep names
+  in
+  let streams = List.map fst prepared in
+  let images = Array.of_list (List.map snd prepared) in
+  let img_for a = images.(a) in
+  let make a = Tea_core.Replayer.create_packed (Tea_core.Packed.dup (img_for a)) in
+  let scn =
+    match kind with
+    | `Interleave ->
+        let schedule =
+          match schedule with
+          | `Rr -> Scenario.Round_robin
+          | `Random -> Scenario.Random_sched seed
+        in
+        Scenario.interleave ~quantum ~schedule streams
+    | `Smc -> Scenario.smc ~period (List.hd streams)
+    | `Interrupt -> Scenario.interrupt ?at ?every (List.hd streams)
+  in
+  let file = Filename.temp_file "tea_scenario" ".trc" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  let n_events = Scenario.write_file file scn in
+  let demuxed =
+    Probe.with_span "scenario_demuxed" @@ fun () ->
+    with_jobs ~quiet:obs.quiet jobs (function
+      | None ->
+          Tea_core.Multi_replayer.snapshots
+            (Tea_core.Multi_replayer.replay_events make file)
+      | Some pool -> Tea_parallel.Shard.replay_events pool img_for file)
+  in
+  let isolated =
+    Probe.with_span "scenario_isolated" @@ fun () ->
+    Tea_core.Multi_replayer.replay_isolated make file
+  in
+  (* the hard gate: full per-asid snapshot equality, at any --jobs *)
+  if
+    List.length demuxed <> List.length isolated
+    || not
+         (List.for_all2
+            (fun (a1, p1) (a2, p2) ->
+              a1 = a2 && Tea_parallel.Profile.equal p1 p2)
+            demuxed isolated)
+  then
+    or_die
+      (Error "scenario gate failed: demuxed replay diverged from isolated \
+              per-asid replay");
+  (* Everything printed is a pure function of the scenario and the tuned
+     images — byte-identical whatever --jobs is. *)
+  let runs = Tea_parallel.Shard.load_events file in
+  Printf.printf "scenario %s (packed engine%s%s): %d streams, %d events\n"
+    kind_name
+    (if pgo then " +pgo" else "")
+    (if fuse then " +fuse" else "")
+    (List.length streams) n_events;
+  List.iter
+    (fun (asid, profile) ->
+      let wname = List.nth names asid in
+      let segs = match List.assoc_opt asid runs with Some l -> l | None -> [] in
+      let blocks =
+        List.fold_left (fun acc r -> acc + r.Tea_parallel.Shard.len) 0 segs
+      in
+      Printf.printf
+        "  asid %d %s: %d blocks in %d runs, coverage %.1f%%, %d enters, %d \
+         exits, %d sim cycles\n"
+        asid wname blocks (List.length segs)
+        (100.0 *. Tea_parallel.Profile.coverage profile)
+        profile.Tea_parallel.Profile.enters profile.Tea_parallel.Profile.exits
+        profile.Tea_parallel.Profile.cycles)
+    demuxed;
+  Printf.printf "scenario gate: demuxed == isolated for %d asids\n"
+    (List.length demuxed)
+
 let replay_cmd =
-  let run name strategy_name traces_file config_name pc_trace engine jobs pgo
-      fuse obs =
+  let rec run name strategy_name traces_file config_name pc_trace engine jobs
+      pgo fuse scenario withs quantum schedule seed period at every obs =
     with_obs obs "replay" @@ fun () ->
     if pgo && engine <> `Packed then
       or_die (Error "--pgo requires --engine=packed");
     if fuse && engine <> `Packed then
       or_die (Error "--fuse requires --engine=packed");
+    match scenario with
+    | Some kind ->
+        if engine <> `Packed then
+          or_die (Error "--scenario requires --engine=packed");
+        if pc_trace <> None then
+          or_die (Error "--scenario synthesizes its own stream; drop --pc-trace");
+        if traces_file <> None then
+          or_die (Error "--scenario records its own traces; drop --traces");
+        ignore config_name;
+        run_scenario ~kind ~name ~withs ~strategy_name ~jobs ~pgo ~fuse
+          ~quantum ~schedule ~seed ~period ~at ~every obs
+    | None -> run_replay name strategy_name traces_file config_name pc_trace
+                engine jobs pgo fuse obs
+  and run_replay name strategy_name traces_file config_name pc_trace engine
+      jobs pgo fuse obs =
     let image = or_die (resolve_workload name) in
     let config = or_die (resolve_config config_name) in
     let traces =
@@ -457,7 +667,9 @@ let replay_cmd =
     (Cmd.info "replay" ~doc:"Replay traces through the TEA under the Pin-like frontend")
     Term.(
       const run $ workload_arg $ strategy_arg $ traces_arg $ config_arg
-      $ pc_trace_arg $ engine_arg $ jobs_arg $ pgo_arg $ fuse_arg $ obs_term)
+      $ pc_trace_arg $ engine_arg $ jobs_arg $ pgo_arg $ fuse_arg
+      $ scenario_arg $ with_arg $ quantum_arg $ schedule_arg
+      $ scenario_seed_arg $ period_arg $ at_arg $ every_arg $ obs_term)
 
 let capture_cmd =
   let out_required =

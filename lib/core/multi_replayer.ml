@@ -1,0 +1,161 @@
+type entry = {
+  rep : Replayer.t;
+  mutable invalidations : int;
+  mutable interrupts : int;
+}
+
+type t = {
+  make : int -> Replayer.t;
+  table : (int, entry) Hashtbl.t;
+  mutable cur_asid : int;
+  mutable cur : entry option; (* cache: table binding of [cur_asid] *)
+  mutable switches : int;
+}
+
+let create make =
+  { make; table = Hashtbl.create 8; cur_asid = 0; cur = None; switches = 0 }
+
+(* The per-block path: one equality test when the stream stays in the same
+   address space, one hash probe on a context switch. Entries are created
+   lazily on the first {e block} of an asid — switch/invalidate/interrupt
+   records alone never materialize an automaton, so the asid set a stream
+   produces is exactly the set of asids that executed code (and matches
+   what isolated per-asid replay produces). *)
+let entry_for t asid =
+  match t.cur with
+  | Some e when asid = t.cur_asid -> e
+  | _ ->
+      let e =
+        match Hashtbl.find_opt t.table asid with
+        | Some e -> e
+        | None ->
+            let e = { rep = t.make asid; invalidations = 0; interrupts = 0 } in
+            Hashtbl.add t.table asid e;
+            e
+      in
+      t.cur_asid <- asid;
+      t.cur <- Some e;
+      e
+
+(* A cut models losing the translated-code context: the automaton drops to
+   NTE with {e no} accounting ([Replayer.set_state] bumps nothing), so a
+   forced eviction is never confused with an organic trace exit and
+   coverage totals stay exact. *)
+let cut e = Replayer.set_state e.rep Automaton.nte
+
+let feed t ~asid ev =
+  match (ev : Pc_trace.event) with
+  | Block { start; insns } -> Replayer.feed_addr (entry_for t asid).rep ~insns start
+  | Switch { asid = a } ->
+      if a <> t.cur_asid || t.cur = None then begin
+        t.cur_asid <- a;
+        t.cur <- Hashtbl.find_opt t.table a
+      end;
+      t.switches <- t.switches + 1
+  | Invalidate { asid = target } -> (
+      match Hashtbl.find_opt t.table target with
+      | None -> () (* nothing translated for that asid yet *)
+      | Some e ->
+          cut e;
+          e.invalidations <- e.invalidations + 1)
+  | Interrupt -> (
+      match Hashtbl.find_opt t.table asid with
+      | None -> ()
+      | Some e ->
+          cut e;
+          e.interrupts <- e.interrupts + 1)
+
+let feed_run_buf = 4096
+
+let replay_file t path =
+  let starts = Array.make feed_run_buf 0 in
+  let insns_a = Array.make feed_run_buf 0 in
+  let fill = ref 0 in
+  let buf_for = ref None in
+  let flush () =
+    (match !buf_for with
+    | Some e when !fill > 0 -> Replayer.feed_run e.rep ~insns:insns_a starts ~len:!fill
+    | _ -> ());
+    fill := 0
+  in
+  Pc_trace.fold_events path () (fun () ~asid ev ->
+      match ev with
+      | Pc_trace.Block { start; insns } ->
+          let e = entry_for t asid in
+          (match !buf_for with
+          | Some e' when e' == e -> ()
+          | _ ->
+              flush ();
+              buf_for := Some e);
+          starts.(!fill) <- start;
+          insns_a.(!fill) <- insns;
+          incr fill;
+          if !fill = feed_run_buf then flush ()
+      | ev ->
+          flush ();
+          buf_for := None;
+          feed t ~asid ev);
+  flush ()
+
+let replay_events make path =
+  let t = create make in
+  replay_file t path;
+  t
+
+let asids t =
+  Hashtbl.fold (fun a _ acc -> a :: acc) t.table [] |> List.sort compare
+
+let replayer t asid =
+  Option.map (fun e -> e.rep) (Hashtbl.find_opt t.table asid)
+
+let cur_asid t = t.cur_asid
+
+let switches t = t.switches
+
+let invalidations t asid =
+  match Hashtbl.find_opt t.table asid with Some e -> e.invalidations | None -> 0
+
+let interrupts t asid =
+  match Hashtbl.find_opt t.table asid with Some e -> e.interrupts | None -> 0
+
+let snapshots t =
+  asids t
+  |> List.map (fun a ->
+         let e = Hashtbl.find t.table a in
+         (a, Replayer.snapshot e.rep))
+
+(* Per-asid projection of an interleaved file: asid [a] keeps its blocks
+   and interrupts in stream order plus every invalidation {e targeting}
+   it (wherever in the interleaving it was issued). Switches vanish —
+   they carry no per-asid observable. Replaying each projection in
+   isolation is the reference the demuxed replay is gated against. *)
+let project path =
+  let buckets : (int, Pc_trace.event list ref) Hashtbl.t = Hashtbl.create 8 in
+  let bucket a =
+    match Hashtbl.find_opt buckets a with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add buckets a r;
+        r
+  in
+  Pc_trace.fold_events path () (fun () ~asid ev ->
+      match ev with
+      | Pc_trace.Block _ | Pc_trace.Interrupt ->
+          let r = bucket asid in
+          r := ev :: !r
+      | Pc_trace.Invalidate { asid = target } ->
+          let r = bucket target in
+          r := ev :: !r
+      | Pc_trace.Switch _ -> ());
+  Hashtbl.fold (fun a r acc -> (a, List.rev !r) :: acc) buckets []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let replay_isolated make path =
+  project path
+  |> List.filter_map (fun (a, evs) ->
+         let t = create make in
+         List.iter (fun ev -> feed t ~asid:a ev) evs;
+         match replayer t a with
+         | None -> None (* no blocks: the asid never executed code *)
+         | Some rep -> Some (a, Replayer.snapshot rep))

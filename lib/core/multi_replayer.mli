@@ -1,0 +1,79 @@
+(** Demultiplexing an interleaved multi-process stream onto per-asid TEAs.
+
+    Real DBT traffic is not one clean PC stream: blocks from several
+    address spaces interleave under the scheduler, self-modifying code
+    invalidates an asid's translations, and asynchronous signals cut a
+    trace body mid-flight. A [Multi_replayer] routes a {!Pc_trace} v3
+    event stream onto one {!Replayer} per asid:
+
+    - {b context switch} is O(1) — a cached current-entry pointer, one
+      hash probe on switch, one equality test per block;
+    - {b lazy creation} — an asid's automaton materializes on its first
+      block, never on a bare switch/invalidate/interrupt, so the asid set
+      equals the set of address spaces that executed code;
+    - {b invalidation} ([Pc_trace.Invalidate]) models self-modifying
+      code: the target asid's automaton state is forced to NTE with no
+      accounting (as {!Replayer.set_state} — no spurious exit, coverage
+      untouched), so its traces re-enter from their heads afterwards;
+    - {b interrupt} ([Pc_trace.Interrupt]) cuts the current asid's trace
+      body the same way: drop to NTE, resume matching at the next block.
+
+    The gate this module is built around: demuxed replay of an
+    interleaved stream is {e observationally identical} — full
+    {!Replayer.snapshot} equality per asid — to replaying each asid's
+    {!project}ion in isolation, because blocks of different asids touch
+    disjoint replayers and a cut is a pure state overwrite. *)
+
+type t
+
+val create : (int -> Replayer.t) -> t
+(** [create make]: [make asid] builds the replayer for an asid on its
+    first block (e.g. [fun a -> Replayer.create_packed (Packed.dup
+    (image_for a))] — pass each asid a {e dup} when images are shared:
+    packed stats and cycles live on the image). *)
+
+val feed : t -> asid:int -> Pc_trace.event -> unit
+(** Route one event. [~asid] is the address space the event lands on
+    (wire directly to {!Pc_trace.fold_events}); a block whose [~asid]
+    differs from the current one performs an implicit switch. *)
+
+val replay_file : t -> string -> unit
+(** Replay a trace file of any {!Pc_trace.format}, batching consecutive
+    same-asid block runs through {!Replayer.feed_run}. Equivalent to
+    folding {!feed} over {!Pc_trace.fold_events}. @raise Pc_trace.Corrupt
+    on bad framing. *)
+
+val replay_events : (int -> Replayer.t) -> string -> t
+(** [create] + [replay_file]. *)
+
+val asids : t -> int list
+(** Asids that executed at least one block, sorted. *)
+
+val replayer : t -> int -> Replayer.t option
+
+val cur_asid : t -> int
+
+val switches : t -> int
+(** Switch records routed (including self-switches). *)
+
+val invalidations : t -> int -> int
+(** Invalidations that landed on an existing asid ([0] for unknown). *)
+
+val interrupts : t -> int -> int
+
+val snapshots : t -> (int * Replayer.snapshot) list
+(** Per-asid profile snapshots, sorted by asid — the demuxed side of the
+    demuxed-vs-isolated gate. *)
+
+val project : string -> (int * Pc_trace.event list) list
+(** Per-asid projection of a trace file, sorted by asid: each asid keeps
+    its blocks and interrupts in stream order plus every invalidation
+    targeting it; switches are dropped. Asids that only ever appear as a
+    switch target (no block, interrupt or invalidation) do not appear. *)
+
+val replay_isolated : (int -> Replayer.t) -> string -> (int * Replayer.snapshot) list
+(** Replay each asid's {!project}ion through a fresh replayer, in
+    isolation; per-asid snapshots for asids that executed blocks, sorted.
+    The reference side of the gate: must equal {!snapshots} of a demuxed
+    {!replay_events} over the same file and factory (with the factory
+    handing out independent replayers, e.g. fresh [Packed.dup]s). *)

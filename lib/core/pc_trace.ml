@@ -1,17 +1,39 @@
-type format = V1 | V2
+type format = V1 | V2 | V3
+
+type event =
+  | Block of { start : int; insns : int }
+  | Switch of { asid : int }
+  | Invalidate of { asid : int }
+  | Interrupt
 
 type writer = {
   oc : out_channel;
   format : format;
-  dict : (int * int, int) Hashtbl.t; (* v2: (delta, insns) -> token *)
+  dict : (int * int, int) Hashtbl.t; (* v2/v3: (delta, insns) -> token *)
   mutable next_id : int;
-  mutable prev : int;
+  mutable prev : int; (* current asid's previous start address *)
+  mutable cur_asid : int;
+  parked : (int, int) Hashtbl.t; (* v3: prev of every non-current asid *)
   mutable closed : bool;
 }
 
 let magic = "TEAPC1\n"
 
 let magic_v2 = "PCTR2\n"
+
+let magic_v3 = "PCTR3\n"
+
+(* v3 reserves the low tokens for events; dictionary ids start above
+   them. v2 has no events, so only the literal escape 0 is reserved. *)
+let tok_literal = 0
+
+let tok_switch = 1
+
+let tok_invalidate = 2
+
+let tok_interrupt = 3
+
+let first_dict_id = function V1 | V2 -> 1 | V3 -> tok_interrupt + 1
 
 (* Decoder memory bound: a hostile or degenerate stream registers at
    most this many dictionary pairs; later literals simply stay
@@ -22,13 +44,16 @@ exception Corrupt of string
 
 let open_writer ?(format = V2) path =
   let oc = open_out_bin path in
-  output_string oc (match format with V1 -> magic | V2 -> magic_v2);
+  output_string oc
+    (match format with V1 -> magic | V2 -> magic_v2 | V3 -> magic_v3);
   {
     oc;
     format;
     dict = Hashtbl.create 256;
-    next_id = 1;
+    next_id = first_dict_id format;
     prev = 0;
+    cur_asid = 0;
+    parked = Hashtbl.create 8;
     closed = false;
   }
 
@@ -51,7 +76,7 @@ let write w ~start ~insns =
   | V1 ->
       write_varint w.oc (zigzag delta);
       write_varint w.oc insns
-  | V2 -> (
+  | V2 | V3 -> (
       (* Dictionary pair-coding: a (delta, insns) pair seen before is one
          small varint token; loops replay the same few pairs over and
          over, so steady-state records cost ~1 byte instead of the
@@ -60,7 +85,7 @@ let write w ~start ~insns =
       match Hashtbl.find_opt w.dict (delta, insns) with
       | Some id -> write_varint w.oc id
       | None ->
-          write_varint w.oc 0;
+          write_varint w.oc tok_literal;
           write_varint w.oc (zigzag delta);
           write_varint w.oc insns;
           if w.next_id < dict_cap then begin
@@ -68,6 +93,41 @@ let write w ~start ~insns =
             w.next_id <- w.next_id + 1
           end));
   w.prev <- start
+
+let require_v3 w what =
+  if w.closed then invalid_arg ("Pc_trace." ^ what ^ ": writer closed");
+  if w.format <> V3 then
+    invalid_arg ("Pc_trace." ^ what ^ ": events require a V3 writer")
+
+(* Each asid runs its own delta chain — interleaving must not destroy the
+   in-loop locality the dictionary coder feeds on — so a switch parks the
+   outgoing asid's [prev] and restores (or zeroes) the incoming one's. *)
+let switch_asid w asid =
+  require_v3 w "switch_asid";
+  if asid < 0 then invalid_arg "Pc_trace.switch_asid: negative asid";
+  write_varint w.oc tok_switch;
+  write_varint w.oc asid;
+  if asid <> w.cur_asid then begin
+    Hashtbl.replace w.parked w.cur_asid w.prev;
+    w.prev <- (match Hashtbl.find_opt w.parked asid with Some p -> p | None -> 0);
+    w.cur_asid <- asid
+  end
+
+let invalidate w asid =
+  require_v3 w "invalidate";
+  if asid < 0 then invalid_arg "Pc_trace.invalidate: negative asid";
+  write_varint w.oc tok_invalidate;
+  write_varint w.oc asid
+
+let interrupt w =
+  require_v3 w "interrupt";
+  write_varint w.oc tok_interrupt
+
+let write_event w = function
+  | Block { start; insns } -> write w ~start ~insns
+  | Switch { asid } -> switch_asid w asid
+  | Invalidate { asid } -> invalidate w asid
+  | Interrupt -> interrupt w
 
 let close_writer w =
   if not w.closed then begin
@@ -77,7 +137,7 @@ let close_writer w =
 
 (* ---- decoding ----
 
-   Both formats decode from a whole-file string: one read, then a tight
+   All formats decode from a whole-file string: one read, then a tight
    index loop — measurably faster than the per-byte [input_byte] channel
    loop the v1 decoder used, and it makes truncation checks exact. *)
 
@@ -94,83 +154,174 @@ let read_varint_s s pos =
   in
   go 0 0
 
-let fold path init f =
-  let s =
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Sniff the magic: the shorter v2/v3 magics first, then v1; a file too
+   short for any header is truncated, a long-enough one with none of the
+   magics is foreign. *)
+let sniff s =
   let len = String.length s in
-  let v2len = String.length magic_v2 in
+  let v23len = String.length magic_v2 in
   let v1len = String.length magic in
-  (* Sniff: v2's shorter magic first, then v1; a file too short for
-     either header is truncated, a long-enough one with neither magic is
-     foreign. *)
-  let version, start_pos =
-    if len >= v2len && String.sub s 0 v2len = magic_v2 then (2, v2len)
-    else if len < v1len then raise (Corrupt "truncated header")
-    else if String.sub s 0 v1len = magic then (1, v1len)
-    else raise (Corrupt "bad magic")
-  in
+  if len >= v23len && String.sub s 0 v23len = magic_v2 then (2, v23len)
+  else if len >= v23len && String.sub s 0 v23len = magic_v3 then (3, v23len)
+  else if len < v1len then raise (Corrupt "truncated header")
+  else if String.sub s 0 v1len = magic then (1, v1len)
+  else raise (Corrupt "bad magic")
+
+let fold_v1 s start_pos init f =
+  let len = String.length s in
   let pos = ref start_pos in
-  if version = 1 then begin
-    let rec loop acc prev =
-      if !pos >= len then acc
-      else begin
-        let delta = unzigzag (read_varint_s s pos) in
-        let insns = read_varint_s s pos in
-        let start = prev + delta in
-        loop (f acc ~start ~insns) start
-      end
-    in
-    loop init 0
-  end
-  else begin
-    (* v2: rebuild the writer's dictionary as tokens stream in *)
-    let cap = ref 256 in
-    let ddelta = ref (Array.make !cap 0) in
-    let dinsns = ref (Array.make !cap 0) in
-    let next_id = ref 1 in
-    let register delta insns =
-      if !next_id < dict_cap then begin
-        if !next_id >= !cap then begin
-          let ncap = 2 * !cap in
-          let nd = Array.make ncap 0 and ni = Array.make ncap 0 in
-          Array.blit !ddelta 0 nd 0 !cap;
-          Array.blit !dinsns 0 ni 0 !cap;
-          ddelta := nd;
-          dinsns := ni;
-          cap := ncap
-        end;
-        !ddelta.(!next_id) <- delta;
-        !dinsns.(!next_id) <- insns;
-        incr next_id
-      end
-    in
-    let rec loop acc prev =
-      if !pos >= len then acc
-      else begin
-        let token = read_varint_s s pos in
-        let delta, insns =
-          if token = 0 then begin
-            let delta = unzigzag (read_varint_s s pos) in
-            let insns = read_varint_s s pos in
-            register delta insns;
-            (delta, insns)
-          end
-          else if token < !next_id then
-            ((!ddelta).(token), (!dinsns).(token))
-          else raise (Corrupt "bad dictionary token")
-        in
-        let start = prev + delta in
-        loop (f acc ~start ~insns) start
-      end
-    in
-    loop init 0
+  let rec loop acc prev =
+    if !pos >= len then acc
+    else begin
+      let delta = unzigzag (read_varint_s s pos) in
+      let insns = read_varint_s s pos in
+      let start = prev + delta in
+      loop (f acc ~start ~insns) start
+    end
+  in
+  loop init 0
+
+(* Shared v2/v3 dictionary state, rebuilt as tokens stream in. *)
+type dict = {
+  mutable ddelta : int array;
+  mutable dinsns : int array;
+  mutable cap : int;
+  mutable next : int;
+  base : int; (* first dictionary id for this format *)
+}
+
+let dict_create base =
+  { ddelta = Array.make 256 0; dinsns = Array.make 256 0; cap = 256; next = base; base }
+
+let dict_register d delta insns =
+  if d.next < dict_cap then begin
+    if d.next >= d.cap then begin
+      let ncap = 2 * d.cap in
+      let nd = Array.make ncap 0 and ni = Array.make ncap 0 in
+      Array.blit d.ddelta 0 nd 0 d.cap;
+      Array.blit d.dinsns 0 ni 0 d.cap;
+      d.ddelta <- nd;
+      d.dinsns <- ni;
+      d.cap <- ncap
+    end;
+    d.ddelta.(d.next) <- delta;
+    d.dinsns.(d.next) <- insns;
+    d.next <- d.next + 1
   end
 
-let length path = fold path 0 (fun n ~start:_ ~insns:_ -> n + 1)
+let fold_v2 s start_pos init f =
+  let len = String.length s in
+  let pos = ref start_pos in
+  let d = dict_create 1 in
+  let rec loop acc prev =
+    if !pos >= len then acc
+    else begin
+      let token = read_varint_s s pos in
+      let delta, insns =
+        if token = tok_literal then begin
+          let delta = unzigzag (read_varint_s s pos) in
+          let insns = read_varint_s s pos in
+          dict_register d delta insns;
+          (delta, insns)
+        end
+        else if token < d.next then (d.ddelta.(token), d.dinsns.(token))
+        else raise (Corrupt "bad dictionary token")
+      in
+      let start = prev + delta in
+      loop (f acc ~start ~insns) start
+    end
+  in
+  loop init 0
+
+(* v3: the v2 dictionary loop plus the event tokens and per-asid delta
+   chains. [f] sees every event with the asid it lands on — for [Switch]
+   that is the asid being switched {e to}. *)
+let fold_v3 s start_pos init f =
+  let len = String.length s in
+  let pos = ref start_pos in
+  let d = dict_create (first_dict_id V3) in
+  let parked = Hashtbl.create 8 in
+  let cur_asid = ref 0 in
+  let prev = ref 0 in
+  let rec loop acc =
+    if !pos >= len then acc
+    else begin
+      let token = read_varint_s s pos in
+      if token = tok_switch then begin
+        let asid = read_varint_s s pos in
+        if asid <> !cur_asid then begin
+          Hashtbl.replace parked !cur_asid !prev;
+          prev :=
+            (match Hashtbl.find_opt parked asid with Some p -> p | None -> 0);
+          cur_asid := asid
+        end;
+        loop (f acc ~asid (Switch { asid }))
+      end
+      else if token = tok_invalidate then begin
+        let asid = read_varint_s s pos in
+        loop (f acc ~asid:!cur_asid (Invalidate { asid }))
+      end
+      else if token = tok_interrupt then loop (f acc ~asid:!cur_asid Interrupt)
+      else begin
+        let delta, insns =
+          if token = tok_literal then begin
+            let delta = unzigzag (read_varint_s s pos) in
+            let insns = read_varint_s s pos in
+            dict_register d delta insns;
+            (delta, insns)
+          end
+          else if token < d.next then (d.ddelta.(token), d.dinsns.(token))
+          else raise (Corrupt "bad dictionary token")
+        in
+        let start = !prev + delta in
+        prev := start;
+        loop (f acc ~asid:!cur_asid (Block { start; insns }))
+      end
+    end
+  in
+  loop init
+
+let fold_events path init f =
+  let s = read_all path in
+  let version, pos0 = sniff s in
+  match version with
+  | 1 ->
+      fold_v1 s pos0 init (fun acc ~start ~insns ->
+          f acc ~asid:0 (Block { start; insns }))
+  | 2 ->
+      fold_v2 s pos0 init (fun acc ~start ~insns ->
+          f acc ~asid:0 (Block { start; insns }))
+  | _ -> fold_v3 s pos0 init f
+
+(* The single-stream view. A v3 file folds iff it is a plain block
+   stream: any Switch/Invalidate/Interrupt means the caller would be
+   silently replaying an interleaved or cut stream against one automaton,
+   so it is rejected rather than mis-decoded. *)
+let fold path init f =
+  let s = read_all path in
+  let version, pos0 = sniff s in
+  match version with
+  | 1 -> fold_v1 s pos0 init f
+  | 2 -> fold_v2 s pos0 init f
+  | _ ->
+      fold_v3 s pos0 init (fun acc ~asid:_ ev ->
+          match ev with
+          | Block { start; insns } -> f acc ~start ~insns
+          | Switch _ | Invalidate _ | Interrupt ->
+              raise
+                (Corrupt
+                   "v3 event stream is not a single PC stream (use \
+                    fold_events)"))
+
+let length path =
+  fold_events path 0 (fun n ~asid:_ ev ->
+      match ev with Block _ -> n + 1 | _ -> n)
 
 let default_chunk = 4096
 

@@ -8,7 +8,7 @@
     This is what shipping a trace from a production system to an analysis
     box looks like.
 
-    Two formats, sniffed by magic on read:
+    Three formats, sniffed by magic on read:
 
     - {b v1} (magic ["TEAPC1\n"]): per block a varint-encoded zig-zag
       delta from the previous start address followed by a varint
@@ -20,19 +20,54 @@
       entries), [k >= 1] repeats dictionary pair [k]. Replay streams
       revisit the same few (delta, insns) pairs in loops, so
       steady-state records compress to ~1 byte — typically 3–4x smaller
-      files than v1 — and both formats now decode from a whole-file
-      buffer in one tight index loop rather than per-byte channel
-      reads. *)
+      files than v1 — and all formats decode from a whole-file buffer in
+      one tight index loop rather than per-byte channel reads.
+    - {b v3} (magic ["PCTR3\n"]): the v2 coding extended to multi-process
+      interleaved streams. Low tokens are reserved for events — [1]
+      switches the current address-space id ([asid], varint operand),
+      [2] invalidates an asid's traces (self-modifying code), [3] marks a
+      mid-trace interrupt — and dictionary ids start at [4]. Each asid
+      runs its own delta chain (the previous start address is parked on
+      switch-out and restored on switch-in), so interleaving does not
+      destroy the delta/dictionary locality the coder feeds on. A stream
+      starts in asid 0. *)
 
-type format = V1 | V2
+type format = V1 | V2 | V3
+
+type event =
+  | Block of { start : int; insns : int }
+      (** One executed logical block. *)
+  | Switch of { asid : int }
+      (** Context switch: subsequent blocks belong to [asid]. *)
+  | Invalidate of { asid : int }
+      (** [asid]'s translated code was invalidated (self-modifying code);
+          its automaton states must be evicted and re-learned. *)
+  | Interrupt
+      (** Asynchronous signal cut the current asid's trace body; replay
+          resumes at NTE. *)
 
 type writer
 
 val open_writer : ?format:format -> string -> writer
 (** Default [V2]. [V1] keeps writing the PR 1 byte format for
-    interchange with older readers. *)
+    interchange with older readers; [V3] enables the event records. *)
 
 val write : writer -> start:int -> insns:int -> unit
+(** Append one block record (any format). Under [V3] it is stamped with
+    the writer's current asid. *)
+
+val switch_asid : writer -> int -> unit
+(** [V3] only. Append a context-switch record; subsequent [write]s belong
+    to the given asid (>= 0). @raise Invalid_argument otherwise. *)
+
+val invalidate : writer -> int -> unit
+(** [V3] only. Append a trace-invalidation record for an asid (>= 0). *)
+
+val interrupt : writer -> unit
+(** [V3] only. Append a mid-trace interrupt record for the current asid. *)
+
+val write_event : writer -> event -> unit
+(** Dispatch to [write] / [switch_asid] / [invalidate] / [interrupt]. *)
 
 val close_writer : writer -> unit
 (** @raise Sys_error on I/O failure. Idempotent. *)
@@ -40,13 +75,24 @@ val close_writer : writer -> unit
 exception Corrupt of string
 
 val fold : string -> 'a -> ('a -> start:int -> insns:int -> 'a) -> 'a
-(** Stream the file through a folder; v1 and v2 files both accepted.
+(** Stream the file through a folder as a {e single} PC stream; v1 and v2
+    files always accepted, and v3 files accepted iff they contain only
+    block records. A v3 stream with switch/invalidate/interrupt events is
+    rejected — folding it as one flat stream would silently replay an
+    interleaved or cut stream against a single automaton — use
+    {!fold_events}.
     @raise Corrupt on bad framing (including a file too short to hold
-    the magic header, and a v2 token referencing a dictionary entry the
-    stream never defined). *)
+    the magic header, a token referencing a dictionary entry the stream
+    never defined, or an event record under this single-stream view). *)
+
+val fold_events : string -> 'a -> ('a -> asid:int -> event -> 'a) -> 'a
+(** Stream the file through a folder as an event stream. All three
+    formats accepted: v1/v2 block records arrive as [Block] with asid 0.
+    [~asid] is the address space the event lands on — for [Switch] that
+    is the asid being switched {e to}. @raise Corrupt on bad framing. *)
 
 val length : string -> int
-(** Number of block records. *)
+(** Number of block records (events not counted). *)
 
 val iter_chunks :
   ?chunk:int ->
@@ -56,7 +102,10 @@ val iter_chunks :
 (** Decode the file in blocks of up to [chunk] (default 4096) records into
     reused parallel arrays; only [starts.(0..len-1)] / [insns.(0..len-1)]
     are valid per call. This is the batched front half of
-    {!Replayer.feed_run}. @raise Corrupt on bad framing. *)
+    {!Replayer.feed_run}. Single-stream view: same acceptance rules as
+    {!fold} — a v3 file with events is rejected rather than chunked with
+    its asid boundaries erased (demultiplex with {!fold_events} or
+    [Multi_replayer] first). @raise Corrupt on bad framing. *)
 
 val replay : Transition.t -> string -> Replayer.t
 (** Replay a TEA against a trace file: the offline half of the

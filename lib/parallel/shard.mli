@@ -56,3 +56,36 @@ val replay_pc_trace : Pool.t -> Tea_core.Packed.t -> string -> Profile.t * int
 (** [load_pc_trace] then [replay_arrays]; returns the merged profile and
     the block count. Bit-identical to
     {!Tea_core.Pc_trace.replay_packed} over the same image. *)
+
+(** {2 Multi-asid event streams}
+
+    {!replay_arrays} assumes one uncut single-asid stream — its sync-point
+    stitching carries a single automaton state across chunk seams, so a
+    seam landing on an asid switch would stitch against the wrong
+    automaton. The multi-asid path therefore demuxes {e first}: the v3
+    event stream is split into per-asid runs, cut at every
+    invalidation/interrupt (each run re-enters at NTE, matching the
+    demuxed {!Tea_core.Multi_replayer} cut, which does no accounting),
+    and each run is sharded independently. Seams never straddle an asid
+    or a cut by construction; per-run profiles merge additively into
+    exactly the per-asid sequential snapshot, at any job count. *)
+
+type run = { starts : int array; insns : int array; len : int }
+(** One contiguous single-asid block run; only [0..len-1] is valid
+    (arrays may be over-allocated). *)
+
+val load_events : string -> (int * run list) list
+(** Decode any {!Tea_core.Pc_trace} format into per-asid runs, sorted by
+    asid, runs in stream order. Asids with no blocks are absent (matching
+    the lazy-entry rule of {!Tea_core.Multi_replayer}); a cut aimed at an
+    asid with no blocks so far is a no-op.
+    @raise Tea_core.Pc_trace.Corrupt on bad framing. *)
+
+val replay_events :
+  Pool.t -> (int -> Tea_core.Packed.t) -> string -> (int * Profile.t) list
+(** [replay_events pool packed_for path] — demux, then shard each asid's
+    runs over [packed_for asid] (workers dup the image internally; a
+    shared image per asid is fine) and merge per asid. The result equals
+    {!Tea_core.Multi_replayer.snapshots} of a sequential demuxed replay
+    over the same images, at any [--jobs] — the interleaved-replay hard
+    gate. *)
