@@ -1123,6 +1123,173 @@ let run_scenario ~smoke =
   progress "[bench] wrote BENCH_scenario.json (%d rows, all gates passed)"
     (List.length rows)
 
+(* ---- replay-as-a-service: the BENCH_serve.json trajectory ----
+
+   Rows measure daemon ingest throughput: 8 concurrent client domains
+   stream a workload's captured PC-trace over a unix socket (half as raw
+   v2, half re-encoded as a 2-asid v3 event stream), plus one adversarial
+   mid-stream disconnect, into a single shared packed image at jobs
+   1/2/4. Every row enforces the daemon gate before it is reported: the
+   fleet profile folded from the concurrent sessions must equal the
+   sequential offline replay of the same streams; any divergence exits
+   1. *)
+
+type serve_row = {
+  sv_base : string;
+  sv_jobs : int;
+  sv_sessions : int;
+  sv_blocks : int;  (** total across completed sessions *)
+  sv_bytes : int;  (** trace bytes ingested *)
+  sv_wall_ms : float;
+  sv_ns : float;  (** wall ns per replayed block *)
+}
+
+let serve_session_streams captured_path ~sessions =
+  let v2 = Tea_core.Pc_trace.read_all captured_path in
+  (* the v3 variant: the same block stream cut into 64-block quanta
+     alternating between two asids — the daemon demuxes it per session *)
+  let v3 =
+    let tmp = Filename.temp_file "tea_bench_v3" ".trc" in
+    let w = Tea_core.Pc_trace.open_writer ~format:Tea_core.Pc_trace.V3 tmp in
+    let i = ref 0 in
+    Tea_core.Pc_trace.fold_events captured_path () (fun () ~asid:_ ev ->
+        (match ev with
+        | Tea_core.Pc_trace.Block _ ->
+            if !i mod 64 = 0 then
+              Tea_core.Pc_trace.switch_asid w (!i / 64 mod 2);
+            incr i
+        | _ -> ());
+        Tea_core.Pc_trace.write_event w ev);
+    Tea_core.Pc_trace.close_writer w;
+    let s = Tea_core.Pc_trace.read_all tmp in
+    Sys.remove tmp;
+    s
+  in
+  List.init sessions (fun i -> if i mod 2 = 0 then v2 else v3)
+
+let run_serve_row ~base ~jobs ~streams image =
+  let sock = Filename.temp_file "tea_bench_serve" ".sock" in
+  Sys.remove sock;
+  let srv =
+    Tea_serve.Server.create ~offline_check:true ~jobs ~image
+      (Tea_serve.Frame.Unix_sock sock)
+  in
+  Fun.protect ~finally:(fun () -> Tea_serve.Server.close srv) @@ fun () ->
+  let addr = Tea_serve.Server.addr srv in
+  let n = List.length streams in
+  let driver =
+    Domain.spawn (fun () -> Tea_serve.Server.run ~until_sessions:(n + 1) srv)
+  in
+  let t0 = Unix.gettimeofday () in
+  let clients =
+    List.map
+      (fun s ->
+        Domain.spawn (fun () ->
+            ignore (Tea_serve.Client.replay_string ~chunk:8192 addr s)))
+      streams
+  in
+  (* the rude client: a prefix of a stream, then a close with no end *)
+  let fd = Tea_serve.Frame.connect addr in
+  Tea_serve.Frame.send fd Tea_serve.Frame.tag_data
+    (String.sub (List.hd streams) 0 100);
+  Unix.close fd;
+  List.iter Domain.join clients;
+  Domain.join driver;
+  let wall = Unix.gettimeofday () -. t0 in
+  let fleet = Tea_serve.Server.fleet_profile srv in
+  let offline = Tea_serve.Server.offline_profile srv in
+  if not (Tea_parallel.Profile.equal fleet offline) then begin
+    Printf.eprintf
+      "[bench] ERROR: serve %s jobs %d: fleet profile diverged from \
+       sequential offline replay\n"
+      base jobs;
+    exit 1
+  end;
+  if Tea_serve.Server.disconnected srv <> 1 then begin
+    Printf.eprintf
+      "[bench] ERROR: serve %s jobs %d: expected exactly 1 disconnect, got \
+       %d\n"
+      base jobs
+      (Tea_serve.Server.disconnected srv);
+    exit 1
+  end;
+  let blocks = fleet.Tea_parallel.Profile.steps in
+  let bytes = List.fold_left (fun a s -> a + String.length s) 0 streams in
+  {
+    sv_base = base;
+    sv_jobs = jobs;
+    sv_sessions = n;
+    sv_blocks = blocks;
+    sv_bytes = bytes;
+    sv_wall_ms = 1e3 *. wall;
+    sv_ns = 1e9 *. wall /. float_of_int (max 1 blocks);
+  }
+
+let serve_json ~smoke rows =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.bprintf buf fmt in
+  add "{\n";
+  add "  \"bench\": \"serve\",\n";
+  add "  \"smoke\": %b,\n" smoke;
+  add "  \"gate\": \"fleet profile == sequential offline replay, 1 rude \
+       disconnect tolerated\",\n";
+  add "  \"rows\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"base\": %S, \"jobs\": %d, \"sessions\": %d, \"blocks\": %d, \
+         \"bytes\": %d, \"wall_ms\": %.2f, \"ingest_ns_per_block\": %.2f}%s\n"
+        r.sv_base r.sv_jobs r.sv_sessions r.sv_blocks r.sv_bytes r.sv_wall_ms
+        r.sv_ns
+        (if i = n - 1 then "" else ","))
+    rows;
+  add "  ]\n";
+  Buffer.contents buf ^ "}\n"
+
+let run_serve ~smoke =
+  let bases =
+    if smoke then [ "micro:listscan" ] else [ "micro:listscan"; "181.mcf" ]
+  in
+  let sessions = 8 in
+  progress
+    "[bench] serve: %d bases, %d concurrent sessions + 1 disconnect, gating \
+     fleet vs offline at jobs 1/2/4..."
+    (List.length bases) sessions;
+  let rows =
+    List.concat_map
+      (fun base ->
+        let image = repack_image base in
+        let path = Filename.temp_file "tea_bench_serve" ".trc" in
+        Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+        let _ = Tea_pinsim.Trace_capture.record image path in
+        let packed =
+          let strategy = Option.get (Tea_traces.Registry.by_name "mret") in
+          let dbt = Tea_dbt.Stardbt.record ~strategy image in
+          Tea_core.Packed.freeze
+            (Tea_core.Builder.build
+               (Tea_traces.Trace_set.to_list dbt.Tea_dbt.Stardbt.set))
+        in
+        let streams = serve_session_streams path ~sessions in
+        List.map
+          (fun jobs ->
+            let r = run_serve_row ~base ~jobs ~streams packed in
+            Printf.printf
+              "serve %-16s jobs %d  %d sessions  %8d blocks  %7.1f ms  \
+               %6.1f ns/block  [gate ok]\n%!"
+              r.sv_base r.sv_jobs r.sv_sessions r.sv_blocks r.sv_wall_ms
+              r.sv_ns;
+            r)
+          [ 1; 2; 4 ])
+      bases
+  in
+  let json = serve_json ~smoke rows in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc json;
+  close_out oc;
+  progress "[bench] wrote BENCH_serve.json (%d rows, all gates passed)"
+    (List.length rows)
+
 (* Same observability surface as tea_tool: --telemetry FILE writes a
    Chrome trace (or JSONL for a .jsonl suffix), --metrics dumps the probe
    counters after the run. With neither flag nothing is installed and
@@ -1180,6 +1347,7 @@ let () =
     | [ "repack" ] -> run_repack ~smoke
     | [ "fuse" ] -> run_fuse ~smoke
     | [ "scenario" ] -> run_scenario ~smoke
+    | [ "serve" ] -> run_serve ~smoke
     | [ "parallel" ] -> run_parallel_compare ~benchmarks:table_benchmarks
     | [ "quick" ] -> run_tables ~benchmarks:quick_set ~which:[]
     | [ "ablation" ] -> run_ablations ()
@@ -1198,9 +1366,9 @@ let () =
     | _ ->
         prerr_endline
           "usage: main.exe [quick | micro | packed | repack | fuse | \
-           scenario | parallel | telemetry | ablation | extensions | table1 \
-           table2 table3 table4] [--smoke] [--telemetry FILE] [--metrics] \
-           [--quiet]";
+           scenario | serve | parallel | telemetry | ablation | extensions | \
+           table1 table2 table3 table4] [--smoke] [--telemetry FILE] \
+           [--metrics] [--quiet]";
         exit 2
   in
   match args with

@@ -192,7 +192,10 @@ let traces_arg =
   Arg.(value & opt (some string) None & info [ "t"; "traces" ] ~docv:"FILE" ~doc)
 
 let pc_trace_arg =
-  let doc = "Replay against a captured PC-trace file instead of re-executing." in
+  let doc =
+    "Replay against a captured PC-trace file instead of re-executing \
+     (use $(b,-) to stream the trace from standard input)."
+  in
   Arg.(value & opt (some string) None & info [ "pc-trace" ] ~docv:"FILE" ~doc)
 
 let config_arg =
@@ -514,6 +517,29 @@ let replay_cmd =
                 engine jobs pgo fuse obs
   and run_replay name strategy_name traces_file config_name pc_trace engine
       jobs pgo fuse obs =
+    (* `--pc-trace -' and other non-seekable inputs: the replay paths read
+       the file several times (length, PGO collection, replay), so a
+       stream — stdin, a FIFO, /dev/stdin — is spooled to a temp file
+       once and replayed from there *)
+    let needs_spool = function
+      | "-" -> true
+      | path -> (
+          match (Unix.stat path).Unix.st_kind with
+          | Unix.S_REG -> false
+          | _ -> true
+          | exception Unix.Unix_error _ -> false (* let open_in report it *))
+    in
+    let pc_trace, cleanup_spool =
+      match pc_trace with
+      | Some path when needs_spool path ->
+          let tmp = Filename.temp_file "tea_stdin" ".pctrace" in
+          let oc = open_out_bin tmp in
+          output_string oc (Tea_core.Pc_trace.read_all path);
+          close_out oc;
+          (Some tmp, fun () -> try Sys.remove tmp with Sys_error _ -> ())
+      | p -> (p, fun () -> ())
+    in
+    Fun.protect ~finally:cleanup_spool @@ fun () ->
     let image = or_die (resolve_workload name) in
     let config = or_die (resolve_config config_name) in
     let traces =
@@ -676,19 +702,30 @@ let capture_cmd =
     let doc = "Output PC-trace file." in
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run name out obs =
+  let format_arg =
+    let doc = "Trace encoding: v1, v2 (default) or v3." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("v1", Tea_core.Pc_trace.V1); ("v2", Tea_core.Pc_trace.V2);
+               ("v3", Tea_core.Pc_trace.V3) ])
+          Tea_core.Pc_trace.V2
+      & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let run name out format obs =
     with_obs obs "capture" @@ fun () ->
     let image = or_die (resolve_workload name) in
     let n =
       Probe.with_span "trace_capture" (fun () ->
-          Tea_pinsim.Trace_capture.record image out)
+          Tea_pinsim.Trace_capture.record ~format image out)
     in
     Printf.printf "captured %d blocks to %s (%d bytes)\n" n out
       (Unix.stat out).Unix.st_size
   in
   Cmd.v
     (Cmd.info "capture" ~doc:"Capture an execution's block stream to a PC-trace file")
-    Term.(const run $ workload_arg $ out_required $ obs_term)
+    Term.(const run $ workload_arg $ out_required $ format_arg $ obs_term)
 
 (* ---- dot ---- *)
 
@@ -1203,6 +1240,180 @@ let table4_cmd =
       const run $ benchmarks_arg $ jobs_arg $ table_pgo_arg $ table_fuse_arg
       $ obs_term)
 
+(* ---- serve / client ---- *)
+
+let addr_conv : Tea_serve.Frame.addr Arg.conv =
+  let parse s =
+    if String.length s > 5 && String.sub s 0 5 = "unix:" then
+      Ok (Tea_serve.Frame.Unix_sock (String.sub s 5 (String.length s - 5)))
+    else if String.length s > 4 && String.sub s 0 4 = "tcp:" then
+      let rest = String.sub s 4 (String.length s - 4) in
+      match String.rindex_opt rest ':' with
+      | None -> Error (`Msg "tcp address must be tcp:HOST:PORT")
+      | Some i -> (
+          let host = String.sub rest 0 i in
+          let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p >= 0 && p < 65536 -> Ok (Tea_serve.Frame.Tcp (host, p))
+          | _ -> Error (`Msg (Printf.sprintf "bad port %S" port)))
+    else Error (`Msg "address must be unix:PATH or tcp:HOST:PORT")
+  in
+  Arg.conv
+    ( (fun s -> parse s),
+      fun ppf a -> Format.pp_print_string ppf (Tea_serve.Frame.pp_addr a) )
+
+(* The daemon's image prep mirrors offline `replay --pc-trace`: freeze the
+   workload's automaton, then tune (--pgo/--fuse) on the workload's own
+   captured block stream — sessions then replay arbitrary client streams
+   against that shared image. *)
+let prepare_serve_image name strategy_name pgo fuse =
+  let image = or_die (resolve_workload name) in
+  let strategy = or_die (resolve_strategy strategy_name) in
+  let r = Tea_dbt.Stardbt.record ~strategy image in
+  let traces = Tea_traces.Trace_set.to_list r.Tea_dbt.Stardbt.set in
+  let packed = Tea_core.Packed.freeze (Tea_core.Builder.build traces) in
+  if not (pgo || fuse) then packed
+  else begin
+    let tmp = Filename.temp_file "tea_serve_prep" ".pctrace" in
+    Fun.protect ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    @@ fun () ->
+    let _ = Tea_pinsim.Trace_capture.record image tmp in
+    let starts, _, len = Tea_parallel.Shard.load_pc_trace tmp in
+    let packed =
+      if not pgo then packed
+      else
+        Tea_opt.Repack.repack packed (Tea_opt.Repack.collect packed starts ~len)
+    in
+    if not fuse then packed
+    else if not pgo then Tea_opt.Fuse.fuse packed
+    else
+      let profile = Tea_opt.Repack.collect packed starts ~len in
+      Tea_opt.Fuse.fuse ~profile packed
+  end
+
+let serve_cmd =
+  let listen_arg =
+    let doc = "Address to listen on: unix:PATH or tcp:HOST:PORT (port 0 \
+               picks an ephemeral port, printed on startup)." in
+    Arg.(
+      value
+      & opt addr_conv (Tea_serve.Frame.Unix_sock "/tmp/tea_serve.sock")
+      & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let sessions_arg =
+    let doc = "Exit after serving $(docv) sessions (runs forever without it)." in
+    Arg.(value & opt (some int) None & info [ "sessions" ] ~docv:"N" ~doc)
+  in
+  let queue_cap_arg =
+    let doc = "Per-session decoded-event queue bound (backpressure knob)." in
+    Arg.(value & opt int 16384 & info [ "queue-cap" ] ~docv:"N" ~doc)
+  in
+  let offline_check_arg =
+    let doc =
+      "Retain every completed session's bytes and, on exit, verify the \
+       fleet profile against a sequential offline replay of them."
+    in
+    Arg.(value & flag & info [ "offline-check" ] ~doc)
+  in
+  let run name strategy_name listen jobs pgo fuse sessions queue_cap
+      offline_check obs =
+    with_obs obs "serve" @@ fun () ->
+    let image =
+      Probe.with_span "serve_prep" @@ fun () ->
+      prepare_serve_image name strategy_name pgo fuse
+    in
+    let srv =
+      Tea_serve.Server.create ~queue_cap ~offline_check ~jobs ~image listen
+    in
+    Fun.protect ~finally:(fun () -> Tea_serve.Server.close srv) @@ fun () ->
+    (* clients wait for this line before connecting *)
+    Printf.printf "serving %s on %s (packed engine%s%s, jobs %d)\n%!" name
+      (Tea_serve.Frame.pp_addr (Tea_serve.Server.addr srv))
+      (if pgo then " +pgo" else "")
+      (if fuse then " +fuse" else "")
+      jobs;
+    Probe.with_span "serve_run" (fun () ->
+        Tea_serve.Server.run ?until_sessions:sessions srv);
+    let fleet = Tea_serve.Server.fleet_profile srv in
+    Printf.printf "served %d sessions (%d disconnected)\n"
+      (Tea_serve.Server.completed srv)
+      (Tea_serve.Server.disconnected srv);
+    Printf.printf "fleet: %s\n" (Format.asprintf "%a" Tea_parallel.Profile.pp fleet);
+    if obs.metrics then
+      print_string
+        (Tea_report.Stats.render ~title:"serve" (Tea_serve.Server.metrics srv));
+    if offline_check then
+      let offline =
+        Probe.with_span "serve_offline_check" @@ fun () ->
+        Tea_serve.Server.offline_profile srv
+      in
+      if Tea_parallel.Profile.equal fleet offline then
+        print_endline "serve gate: fleet == offline"
+      else begin
+        Printf.printf "offline: %s\n"
+          (Format.asprintf "%a" Tea_parallel.Profile.pp offline);
+        or_die
+          (Error
+             "serve gate failed: fleet profile diverged from sequential \
+              offline replay")
+      end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the replay-as-a-service daemon over a shared packed image")
+    Term.(
+      const run $ workload_arg $ strategy_arg $ listen_arg $ jobs_arg $ pgo_arg
+      $ fuse_arg $ sessions_arg $ queue_cap_arg $ offline_check_arg $ obs_term)
+
+let client_cmd =
+  let connect_arg =
+    let doc = "Server address: unix:PATH or tcp:HOST:PORT." in
+    Arg.(
+      required
+      & opt (some addr_conv) None
+      & info [ "connect" ] ~docv:"ADDR" ~doc)
+  in
+  let trace_arg =
+    let doc = "PC-trace file to stream ($(b,-) for standard input)." in
+    Arg.(
+      required & opt (some string) None & info [ "pc-trace" ] ~docv:"FILE" ~doc)
+  in
+  let chunk_arg =
+    let doc =
+      "Data-frame payload size in bytes; small values deliberately split \
+       trace records across frames."
+    in
+    Arg.(value & opt int 65536 & info [ "chunk" ] ~docv:"BYTES" ~doc)
+  in
+  let abort_arg =
+    let doc =
+      "Adversarial mode: send only the first $(docv) bytes, then \
+       disconnect without an end-of-stream frame."
+    in
+    Arg.(value & opt (some int) None & info [ "abort-bytes" ] ~docv:"N" ~doc)
+  in
+  let run connect trace chunk abort_bytes =
+    match abort_bytes with
+    | Some bytes_sent ->
+        (try Tea_serve.Client.abort ~bytes_sent connect trace
+         with Unix.Unix_error (e, _, _) ->
+           or_die (Error ("connect failed: " ^ Unix.error_message e)));
+        Printf.printf "aborted session after %d bytes\n" bytes_sent
+    | None -> (
+        match Tea_serve.Client.replay ~chunk connect trace with
+        | profile ->
+            Printf.printf "profile: %s\n"
+              (Format.asprintf "%a" Tea_parallel.Profile.pp profile)
+        | exception Tea_serve.Client.Server_error msg ->
+            or_die (Error ("server rejected session: " ^ msg))
+        | exception Unix.Unix_error (e, _, _) ->
+            or_die (Error ("connect failed: " ^ Unix.error_message e)))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Stream a PC-trace to a running tea_tool serve daemon")
+    Term.(const run $ connect_arg $ trace_arg $ chunk_arg $ abort_arg)
+
 let () =
   let doc = "Trace Execution Automata: record, replay and inspect traces" in
   let info = Cmd.info "tea_tool" ~version:"1.0.0" ~doc in
@@ -1214,5 +1425,5 @@ let () =
             info_cmd; capture_cmd; dot_cmd; analyze_cmd;
             phases_cmd; cachesim_cmd; bpred_cmd; inspect_cmd; characterize_cmd;
             optimize_cmd; layout_cmd; reuse_cmd; tables_cmd; table1_cmd;
-            table4_cmd;
+            table4_cmd; serve_cmd; client_cmd;
           ]))

@@ -154,24 +154,61 @@ let read_varint_s s pos =
   in
   go 0 0
 
-let read_all path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+(* Whole-input slurp. [in_channel_length] only works on seekable files —
+   on a pipe, FIFO, socket or tty the underlying lseek fails — so those
+   fall back to chunked reads until EOF. ["-"] reads standard input. *)
+let read_channel ic =
+  let chunked () =
+    let chunk = 65536 in
+    let buf = Buffer.create chunk in
+    let b = Bytes.create chunk in
+    let rec go () =
+      let k = input ic b 0 chunk in
+      if k > 0 then begin
+        Buffer.add_subbytes buf b 0 k;
+        go ()
+      end
+    in
+    go ();
+    Buffer.contents buf
+  in
+  match in_channel_length ic with
+  | exception Sys_error _ -> chunked ()
+  | n when n <= 0 -> chunked ()
+  | n -> really_input_string ic n
 
-(* Sniff the magic: the shorter v2/v3 magics first, then v1; a file too
-   short for any header is truncated, a long-enough one with none of the
-   magics is foreign. *)
-let sniff s =
-  let len = String.length s in
-  let v23len = String.length magic_v2 in
-  let v1len = String.length magic in
-  if len >= v23len && String.sub s 0 v23len = magic_v2 then (2, v23len)
-  else if len >= v23len && String.sub s 0 v23len = magic_v3 then (3, v23len)
-  else if len < v1len then raise (Corrupt "truncated header")
-  else if String.sub s 0 v1len = magic then (1, v1len)
+let read_all path =
+  if path = "-" then begin
+    set_binary_mode_in stdin true;
+    read_channel stdin
+  end
+  else
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)
+
+(* Magic classification, shared by the whole-file sniff and the streaming
+   decoder. A prefix is [`Short] only while it could still grow into one
+   of the magics — a short-but-foreign input is [Corrupt "bad magic"],
+   not "truncated header". *)
+let classify_magic s len =
+  let matches m =
+    let ml = String.length m in
+    len >= ml && String.sub s 0 ml = m
+  in
+  let could_grow_into m =
+    len < String.length m && String.sub s 0 len = String.sub m 0 len
+  in
+  if matches magic_v2 then `Found (2, String.length magic_v2)
+  else if matches magic_v3 then `Found (3, String.length magic_v3)
+  else if matches magic then `Found (1, String.length magic)
+  else if could_grow_into magic_v2 || could_grow_into magic_v3
+          || could_grow_into magic then `Short
   else raise (Corrupt "bad magic")
+
+let sniff s =
+  match classify_magic s (String.length s) with
+  | `Found vp -> vp
+  | `Short -> raise (Corrupt "truncated header")
 
 let fold_v1 s start_pos init f =
   let len = String.length s in
@@ -322,6 +359,174 @@ let fold path init f =
 let length path =
   fold_events path 0 (fun n ~asid:_ ev ->
       match ev with Block _ -> n + 1 | _ -> n)
+
+(* ---- incremental decoding ----
+
+   The daemon path: trace bytes arrive over a socket in arbitrary chunks
+   (a frame can split a varint, even the magic), so the decoder keeps the
+   undecoded suffix buffered and replays each *complete* record as it
+   materializes. Record parsing is transactional — all of a record's
+   varints are read before any decoder state (dictionary, delta chains,
+   current asid) is committed, so a chunk boundary in the middle of a
+   literal simply parks the bytes until the next feed. The whole-file
+   folds above stay the fast path for seekable files. *)
+
+type decoder = {
+  mutable dbuf : Bytes.t; (* buffered input; [dpos..dlen) undecoded *)
+  mutable dlen : int;
+  mutable dpos : int;
+  mutable dversion : int; (* 0 until the magic is sniffed *)
+  mutable ddict : dict;
+  dparked : (int, int) Hashtbl.t;
+  mutable dcur_asid : int;
+  mutable dprev : int;
+  mutable dfinished : bool;
+}
+
+exception Need_more
+
+let decoder () =
+  {
+    dbuf = Bytes.create 4096;
+    dlen = 0;
+    dpos = 0;
+    dversion = 0;
+    ddict = dict_create 1;
+    dparked = Hashtbl.create 8;
+    dcur_asid = 0;
+    dprev = 0;
+    dfinished = false;
+  }
+
+let decoder_format d =
+  match d.dversion with
+  | 1 -> Some V1
+  | 2 -> Some V2
+  | 3 -> Some V3
+  | _ -> None
+
+let decoder_pending d = d.dlen - d.dpos
+
+(* Append [s.[off..off+len)], compacting the consumed prefix first so the
+   buffer never grows past (pending record + one feed). *)
+let decoder_append d s off len =
+  if d.dpos > 0 then begin
+    Bytes.blit d.dbuf d.dpos d.dbuf 0 (d.dlen - d.dpos);
+    d.dlen <- d.dlen - d.dpos;
+    d.dpos <- 0
+  end;
+  let need = d.dlen + len in
+  if need > Bytes.length d.dbuf then begin
+    let cap = ref (2 * Bytes.length d.dbuf) in
+    while !cap < need do
+      cap := 2 * !cap
+    done;
+    let nb = Bytes.create !cap in
+    Bytes.blit d.dbuf 0 nb 0 d.dlen;
+    d.dbuf <- nb
+  end;
+  Bytes.blit_string s off d.dbuf d.dlen len;
+  d.dlen <- need
+
+let dread_varint buf len pos =
+  let rec go shift acc =
+    if !pos >= len then raise Need_more;
+    let b = Char.code (Bytes.unsafe_get buf !pos) in
+    incr pos;
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 = 0 then acc
+    else if shift > 56 then raise (Corrupt "varint too long")
+    else go (shift + 7) acc
+  in
+  go 0 0
+
+(* One record, transactionally: parse fully (raising [Need_more] without
+   side effects on a chunk boundary), then commit and emit. Returns false
+   when the buffer holds no complete record. *)
+let decoder_step d emit =
+  if d.dpos >= d.dlen then false
+  else begin
+    let pos = ref d.dpos in
+    let buf = d.dbuf and len = d.dlen in
+    let action =
+      try
+        let v = d.dversion in
+        if v = 1 then begin
+          let delta = unzigzag (dread_varint buf len pos) in
+          let insns = dread_varint buf len pos in
+          Some (`Blk (delta, insns, false))
+        end
+        else begin
+          let token = dread_varint buf len pos in
+          if v = 3 && token = tok_switch then
+            Some (`Sw (dread_varint buf len pos))
+          else if v = 3 && token = tok_invalidate then
+            Some (`Inv (dread_varint buf len pos))
+          else if v = 3 && token = tok_interrupt then Some `Irq
+          else if token = tok_literal then begin
+            let delta = unzigzag (dread_varint buf len pos) in
+            let insns = dread_varint buf len pos in
+            Some (`Blk (delta, insns, true))
+          end
+          else if token < d.ddict.next then
+            Some (`Blk (d.ddict.ddelta.(token), d.ddict.dinsns.(token), false))
+          else raise (Corrupt "bad dictionary token")
+        end
+      with Need_more -> None
+    in
+    match action with
+    | None -> false
+    | Some action ->
+        d.dpos <- !pos;
+        (match action with
+        | `Blk (delta, insns, register) ->
+            if register then dict_register d.ddict delta insns;
+            let start = d.dprev + delta in
+            d.dprev <- start;
+            emit ~asid:d.dcur_asid (Block { start; insns })
+        | `Sw asid ->
+            if asid <> d.dcur_asid then begin
+              Hashtbl.replace d.dparked d.dcur_asid d.dprev;
+              d.dprev <-
+                (match Hashtbl.find_opt d.dparked asid with
+                | Some p -> p
+                | None -> 0);
+              d.dcur_asid <- asid
+            end;
+            emit ~asid (Switch { asid })
+        | `Inv asid -> emit ~asid:d.dcur_asid (Invalidate { asid })
+        | `Irq -> emit ~asid:d.dcur_asid Interrupt);
+        true
+  end
+
+let decoder_feed d ?(off = 0) ?len s emit =
+  if d.dfinished then invalid_arg "Pc_trace.decoder_feed: decoder finished";
+  let len = match len with Some l -> l | None -> String.length s - off in
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Pc_trace.decoder_feed: bad substring";
+  decoder_append d s off len;
+  if d.dversion = 0 then begin
+    (* longest magic is 7 bytes; classify on what we have *)
+    let hl = min d.dlen 7 in
+    let head = Bytes.sub_string d.dbuf d.dpos hl in
+    match classify_magic head hl with
+    | `Short -> () (* keep buffering the header *)
+    | `Found (v, hlen) ->
+        d.dpos <- d.dpos + hlen;
+        d.dversion <- v;
+        d.ddict <- dict_create (first_dict_id (match v with 1 -> V1 | 2 -> V2 | _ -> V3))
+  end;
+  if d.dversion <> 0 then
+    while decoder_step d emit do
+      ()
+    done
+
+let decoder_finish d =
+  if not d.dfinished then begin
+    if d.dversion = 0 then raise (Corrupt "truncated header");
+    if d.dpos < d.dlen then raise (Corrupt "truncated varint");
+    d.dfinished <- true
+  end
 
 let default_chunk = 4096
 

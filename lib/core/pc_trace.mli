@@ -74,6 +74,14 @@ val close_writer : writer -> unit
 
 exception Corrupt of string
 
+val read_all : string -> string
+(** Slurp a trace file's raw bytes. ["-"] reads standard input; pipes,
+    FIFOs, sockets and other non-seekable inputs are read in chunks until
+    EOF (a seekable file stays the single-read fast path). All the
+    path-taking readers below go through this, so every one of them
+    accepts ["-"] and non-seekable paths like [/dev/stdin] or a FIFO.
+    @raise Sys_error on I/O failure. *)
+
 val fold : string -> 'a -> ('a -> start:int -> insns:int -> 'a) -> 'a
 (** Stream the file through a folder as a {e single} PC stream; v1 and v2
     files always accepted, and v3 files accepted iff they contain only
@@ -106,6 +114,51 @@ val iter_chunks :
     {!fold} — a v3 file with events is rejected rather than chunked with
     its asid boundaries erased (demultiplex with {!fold_events} or
     [Multi_replayer] first). @raise Corrupt on bad framing. *)
+
+(** {2 Incremental (streaming) decoding}
+
+    The replay-as-a-service ingestion path: trace bytes arrive over a
+    socket in arbitrary chunks — a chunk boundary can split a varint, a
+    dictionary literal, even the magic — so the decoder buffers the
+    undecoded suffix and emits each event exactly when its record
+    completes. Feeding a file's bytes in any chunking emits exactly the
+    {!fold_events} sequence of that file (property-tested). The
+    whole-file folds above remain the fast path for seekable files. *)
+
+type decoder
+
+val decoder : unit -> decoder
+(** A fresh streaming decoder; the format is sniffed from the first
+    bytes fed. *)
+
+val decoder_feed :
+  decoder ->
+  ?off:int ->
+  ?len:int ->
+  string ->
+  (asid:int -> event -> unit) ->
+  unit
+(** [decoder_feed d s emit] consumes [s.[off..off+len)] (default: all of
+    [s]) and calls [emit] once per completed event, with the same asid
+    stamping as {!fold_events}. Partial records are buffered until a
+    later feed completes them; decoder state (dictionary, per-asid delta
+    chains) commits only on complete records.
+    @raise Corrupt on bad framing (foreign magic, undefined dictionary
+    token, over-long varint) — the decoder is then poisoned and must be
+    discarded.
+    @raise Invalid_argument on a bad substring or a finished decoder. *)
+
+val decoder_finish : decoder -> unit
+(** Declare end-of-stream. Idempotent.
+    @raise Corrupt if the stream ended mid-record ("truncated varint") or
+    before a complete magic ("truncated header" — including the empty
+    stream). *)
+
+val decoder_format : decoder -> format option
+(** The sniffed format, [None] until enough header bytes were fed. *)
+
+val decoder_pending : decoder -> int
+(** Buffered bytes not yet decoded ([0] exactly at a record boundary). *)
 
 val replay : Transition.t -> string -> Replayer.t
 (** Replay a TEA against a trace file: the offline half of the

@@ -19,13 +19,19 @@ type wstat = {
   mutable w_domain : Domain.id option;
 }
 
+(* A queued task, tagged with its batch's completion counter. Each [map]
+   call owns a private counter (guarded by [t.m]), so several driver
+   threads can have batches in flight on the same pool concurrently —
+   a worker finishing a task decrements that task's own batch and wakes
+   the drivers only when a whole batch drained. *)
+type job = { run : unit -> unit; batch : int ref (* guarded by [m] *) }
+
 type t = {
   jobs : int;
   m : Mutex.t;
   work : Condition.t; (* signalled when tasks are queued or on shutdown *)
-  idle : Condition.t; (* signalled when the last in-flight task finishes *)
-  q : (unit -> unit) Queue.t;
-  mutable pending : int; (* queued + running tasks *)
+  idle : Condition.t; (* broadcast whenever some batch fully completes *)
+  q : job Queue.t;
   mutable closed : bool;
   stats : wstat array;
   mutable doms : unit Domain.t array; (* [||] for an inline pool *)
@@ -55,15 +61,15 @@ let rec worker_loop t ws =
   ws.w_wait <- ws.w_wait +. (now () -. t0);
   if Queue.is_empty t.q then Mutex.unlock t.m (* closed: drain and exit *)
   else begin
-    let task = Queue.pop t.q in
+    let job = Queue.pop t.q in
     Mutex.unlock t.m;
     let t1 = now () in
-    task ();
+    job.run ();
     ws.w_busy <- ws.w_busy +. (now () -. t1);
     ws.w_tasks <- ws.w_tasks + 1;
     Mutex.lock t.m;
-    t.pending <- t.pending - 1;
-    if t.pending = 0 then Condition.broadcast t.idle;
+    job.batch := !(job.batch) - 1;
+    if !(job.batch) = 0 then Condition.broadcast t.idle;
     Mutex.unlock t.m;
     worker_loop t ws
   end
@@ -85,7 +91,6 @@ let create ~jobs =
       work = Condition.create ();
       idle = Condition.create ();
       q = Queue.create ();
-      pending = 0;
       closed = false;
       stats = Array.init n_workers fresh_wstat;
       doms = [||];
@@ -116,14 +121,23 @@ let reraise_first results =
     (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
     results
 
+let check_open t =
+  (* under [t.m] for the domained path; the inline pool has no workers to
+     race with, but the lock also serializes against a concurrent
+     [shutdown] flipping the flag mid-check *)
+  Mutex.lock t.m;
+  let closed = t.closed in
+  Mutex.unlock t.m;
+  if closed then invalid_arg "Pool.map: pool is shut down"
+
 let map t ~f n =
   if n < 0 then invalid_arg "Pool.map: negative task count";
-  if t.closed then invalid_arg "Pool.map: pool is shut down";
+  check_open t;
   Tea_telemetry.Probe.with_span "pool.map"
     ~args:[ ("tasks", string_of_int n); ("jobs", string_of_int t.jobs) ]
   @@ fun () ->
   if n = 0 then [||]
-  else if t.doms = [||] then begin
+  else if t.jobs = 1 then begin
     (* inline: run on the caller, still feeding the worker-0 counters so
        [--jobs 1] and [--jobs n] report through the same channel *)
     let ws = t.stats.(0) in
@@ -139,21 +153,35 @@ let map t ~f n =
   end
   else begin
     let results = Array.make n None in
+    (* per-batch completion counter: this map waits on its own batch
+       only, so concurrent maps from other driver threads neither wake
+       us spuriously-complete nor absorb our completions *)
+    let batch = ref n in
     Mutex.lock t.m;
-    t.pending <- t.pending + n;
+    if t.closed then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.map: pool is shut down"
+    end;
     for i = 0 to n - 1 do
       Queue.add
-        (fun () ->
-          results.(i) <-
-            Some
-              (try Ok (f i) with e -> Error (e, Printexc.get_raw_backtrace ())))
+        {
+          run =
+            (fun () ->
+              results.(i) <-
+                Some
+                  (try Ok (f i)
+                   with e -> Error (e, Printexc.get_raw_backtrace ())));
+          batch;
+        }
         t.q
     done;
     Condition.broadcast t.work;
-    (* Wait for completion. The workers' writes into [results] happen
-       before their final [pending] decrement under [t.m], so observing
-       [pending = 0] here orders every result before our reads. *)
-    while t.pending > 0 do
+    (* Wait for this batch. The workers' writes into [results] happen
+       before their final [batch] decrement under [t.m], so observing
+       [!batch = 0] here orders every result before our reads. [idle] is
+       a broadcast shared by all in-flight batches; each driver re-checks
+       its own counter. *)
+    while !batch > 0 do
       Condition.wait t.idle t.m
     done;
     Mutex.unlock t.m;
@@ -176,14 +204,20 @@ let add_units t n =
   in
   go 0
 
+(* Idempotent under concurrency: the closed check and the [doms] grab
+   both happen under [t.m], so exactly one caller observes the open pool
+   and owns the join — a second concurrent caller sees [closed] already
+   set (or [doms] already emptied) and returns without double-joining. *)
 let shutdown t =
-  if not t.closed then begin
-    Mutex.lock t.m;
+  Mutex.lock t.m;
+  if t.closed then Mutex.unlock t.m
+  else begin
     t.closed <- true;
     Condition.broadcast t.work;
+    let doms = t.doms in
+    t.doms <- [||];
     Mutex.unlock t.m;
-    Array.iter Domain.join t.doms;
-    t.doms <- [||]
+    Array.iter Domain.join doms
   end
 
 let with_pool ~jobs f =

@@ -18,7 +18,15 @@
 
     {!map} is not reentrant: tasks must not call {!map} on their own pool
     (the nested call would wait on workers that are all busy running its
-    parents). One driver thread maps at a time. *)
+    parents). It {e is} safe to call {!map} from several driver threads
+    or domains concurrently: each call owns a private batch-completion
+    counter, so interleaved batches complete independently and each
+    driver wakes only when its own batch drained (stress-tested with
+    concurrent drivers in [test_parallel.ml]). On an inline [jobs = 1]
+    pool concurrent drivers each run their tasks inline — results stay
+    correct, only the shared worker-0 wall-clock counters may interleave.
+    {!shutdown} is likewise safe under concurrent callers: exactly one
+    joins the workers, the rest return immediately. *)
 
 type t
 
@@ -52,7 +60,11 @@ val add_units : t -> int -> unit
     worker the units land on the pool-wide residual counter. *)
 
 val shutdown : t -> unit
-(** Join all workers. Idempotent; {!map} afterwards raises. *)
+(** Join all workers. Idempotent, including under concurrent callers:
+    the closed flag and the worker handles are claimed under the pool
+    mutex, so exactly one caller performs the join and later (or
+    concurrent) callers return without double-joining. {!map} afterwards
+    raises. *)
 
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [create], run, and {!shutdown} even on exception. *)

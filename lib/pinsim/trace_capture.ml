@@ -1,5 +1,5 @@
-let record ?fuel image path =
-  let writer = Tea_core.Pc_trace.open_writer path in
+let record ?fuel ?format image path =
+  let writer = Tea_core.Pc_trace.open_writer ?format path in
   let count = ref 0 in
   let filter =
     Edge_filter.create ~emit:(fun block ~expanded ->

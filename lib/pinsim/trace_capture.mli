@@ -3,7 +3,10 @@
     the program once under the instrumentation frontend, ship the (small)
     trace file anywhere, replay TEAs against it offline at will. *)
 
-val record : ?fuel:int -> Tea_isa.Image.t -> string -> int
+val record :
+  ?fuel:int -> ?format:Tea_core.Pc_trace.format -> Tea_isa.Image.t -> string -> int
 (** [record image path] runs [image] under the Pin-policy frontend with
     §4.1 edge filtering and writes every logical block to [path]. Returns
-    the number of block records written. *)
+    the number of block records written. [format] selects the trace
+    encoding (default [V2]; a single-process capture under [V3] emits
+    only block records in asid 0). *)

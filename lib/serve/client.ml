@@ -1,0 +1,42 @@
+exception Server_error of string
+
+let with_connection addr f =
+  let fd = Frame.connect addr in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd)
+
+let send_stream ?(chunk = 65536) fd s =
+  if chunk < 1 then invalid_arg "Client: chunk must be >= 1";
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    let k = min chunk (n - !off) in
+    Frame.send fd Frame.tag_data (String.sub s !off k);
+    off := !off + k
+  done
+
+let replay_string ?chunk addr s =
+  with_connection addr (fun fd ->
+      send_stream ?chunk fd s;
+      Frame.send fd Frame.tag_end "";
+      match Frame.recv fd with
+      | None -> raise (Frame.Corrupt "server closed without a reply")
+      | Some f when f.Frame.tag = Frame.tag_profile ->
+          Frame.decode_profile f.Frame.payload
+      | Some f when f.Frame.tag = Frame.tag_error ->
+          raise (Server_error f.Frame.payload)
+      | Some f ->
+          raise
+            (Frame.Corrupt
+               (Printf.sprintf "unexpected reply tag %C" f.Frame.tag)))
+
+let replay ?chunk addr path =
+  replay_string ?chunk addr (Tea_core.Pc_trace.read_all path)
+
+let abort ~bytes_sent addr path =
+  let s = Tea_core.Pc_trace.read_all path in
+  let n = min bytes_sent (String.length s) in
+  with_connection addr (fun fd ->
+      send_stream fd (String.sub s 0 n)
+      (* no end-of-stream frame: the close below is the disconnect *))

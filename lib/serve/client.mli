@@ -1,0 +1,25 @@
+(** The [tea_client] side: ship a PC-trace to a {!Server} and collect the
+    session profile it replies with. *)
+
+exception Server_error of string
+(** The server answered with an error frame (corrupt trace, bad framing);
+    carries the server's message. *)
+
+val replay_string : ?chunk:int -> Frame.addr -> string -> Tea_parallel.Profile.t
+(** Stream raw trace bytes as data frames of at most [chunk] bytes
+    (default 65536; small values deliberately split records across
+    frames), send end-of-stream, and block for the profile reply.
+    @raise Server_error on an error reply.
+    @raise Frame.Corrupt on a malformed reply.
+    @raise Unix.Unix_error when the server is unreachable or drops the
+    connection. *)
+
+val replay : ?chunk:int -> Frame.addr -> string -> Tea_parallel.Profile.t
+(** {!replay_string} of {!Tea_core.Pc_trace.read_all} of a path (["-"]
+    streams standard input — the trace never touches the local disk). *)
+
+val abort : bytes_sent:int -> Frame.addr -> string -> unit
+(** Adversarial client: send only the first [bytes_sent] bytes of the
+    file's trace stream, then close without an end-of-stream frame — a
+    mid-stream disconnect. The server must drop the session without
+    perturbing any other. *)

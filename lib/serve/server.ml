@@ -1,0 +1,361 @@
+module Core = Tea_core
+module P = Tea_parallel
+module Metrics = Tea_telemetry.Metrics
+
+(* One connected client. The driver owns [fd]/[parser_]/[dec] and pushes
+   decoded events onto [queue]; a pool worker drains [queue] into [multi]
+   during a bulk-synchronous map cycle (the driver is blocked inside
+   [Pool.map] for the whole cycle, so queue and replayer are never touched
+   from two threads at once — the pool's mutex orders cycle N's worker
+   against cycle N+1's). *)
+type session = {
+  fd : Unix.file_descr;
+  parser_ : Frame.parser_;
+  dec : Core.Pc_trace.decoder;
+  multi : Core.Multi_replayer.t;
+  queue : (int * Core.Pc_trace.event) Queue.t;
+  raw : Buffer.t option;  (* retained bytes for the offline differential *)
+  mutable ended : bool;  (* end-of-stream frame received *)
+  mutable failed : string option;  (* first fatal error; session is dropped *)
+  mutable bytes_in : int;
+  mutable blocks : int;
+  mutable busy_ns : int;  (* wall time inside drain tasks *)
+}
+
+type t = {
+  image : Core.Packed.t;
+  pool : P.Pool.t;
+  queue_cap : int;
+  offline_check : bool;
+  listen_fd : Unix.file_descr;
+  bound : Frame.addr;
+  unix_path : string option;
+  stop_r : Unix.file_descr;  (* self-pipe: [stop] wakes a blocking select *)
+  stop_w : Unix.file_descr;
+  reg : Metrics.t;  (* driver-only; workers account into session fields *)
+  mutable sessions : session list;
+  mutable accepted : int;
+  mutable completed_n : int;
+  mutable disconnected_n : int;
+  fleet_m : Mutex.t;
+  mutable fleet : P.Profile.t;
+  mutable retained : string list;  (* completed streams, newest first *)
+  mutable closed : bool;
+}
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let create ?(queue_cap = 16384) ?(offline_check = false) ~jobs ~image addr =
+  if queue_cap < 1 then invalid_arg "Server.create: queue_cap must be >= 1";
+  (* a dead client mid-write must be an EPIPE, not a process kill *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let unix_path =
+    match addr with Frame.Unix_sock p -> Some p | Frame.Tcp _ -> None
+  in
+  (match unix_path with
+  | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | None -> ());
+  let dom =
+    match addr with
+    | Frame.Unix_sock _ -> Unix.PF_UNIX
+    | Frame.Tcp _ -> Unix.PF_INET
+  in
+  let listen_fd = Unix.socket dom Unix.SOCK_STREAM 0 in
+  (try
+     (match addr with
+     | Frame.Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
+     | Frame.Unix_sock _ -> ());
+     Unix.bind listen_fd (Frame.sockaddr_of_addr addr);
+     Unix.listen listen_fd 64;
+     Unix.set_nonblock listen_fd
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  let bound =
+    match addr with
+    | Frame.Tcp (host, _) -> (
+        match Unix.getsockname listen_fd with
+        | Unix.ADDR_INET (_, port) -> Frame.Tcp (host, port)
+        | _ -> addr)
+    | a -> a
+  in
+  let stop_r, stop_w = Unix.pipe () in
+  {
+    image;
+    pool = P.Pool.create ~jobs;
+    queue_cap;
+    offline_check;
+    listen_fd;
+    bound;
+    unix_path;
+    stop_r;
+    stop_w;
+    reg = Metrics.create ();
+    sessions = [];
+    accepted = 0;
+    completed_n = 0;
+    disconnected_n = 0;
+    fleet_m = Mutex.create ();
+    fleet = P.Profile.empty;
+    retained = [];
+    closed = false;
+  }
+
+let addr t = t.bound
+
+(* ---- ingestion (driver thread) ---- *)
+
+let fail_session s msg = if s.failed = None then s.failed <- Some msg
+
+let on_frame t s (f : Frame.frame) =
+  Metrics.count t.reg "serve.frames" 1;
+  if s.ended then fail_session s "frame after end-of-stream"
+  else if f.Frame.tag = Frame.tag_data then begin
+    let n = String.length f.payload in
+    s.bytes_in <- s.bytes_in + n;
+    Metrics.count t.reg "serve.bytes_in" n;
+    (match s.raw with
+    | Some b -> Buffer.add_string b f.payload
+    | None -> ());
+    Core.Pc_trace.decoder_feed s.dec f.payload (fun ~asid ev ->
+        Queue.push (asid, ev) s.queue)
+  end
+  else if f.Frame.tag = Frame.tag_end then s.ended <- true
+  else fail_session s (Printf.sprintf "unexpected frame tag %C" f.Frame.tag)
+
+let read_session t chunk s =
+  match Unix.read s.fd chunk 0 (Bytes.length chunk) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      fail_session s "connection reset"
+  | 0 -> if not s.ended then fail_session s "eof before end-of-stream"
+  | k -> (
+      try Frame.parser_feed s.parser_ (Bytes.sub_string chunk 0 k) (on_frame t s)
+      with
+      | Frame.Corrupt msg -> fail_session s ("bad framing: " ^ msg)
+      | Core.Pc_trace.Corrupt msg -> fail_session s ("corrupt trace: " ^ msg))
+
+let accept_limit_reached t until_sessions =
+  match until_sessions with Some n -> t.accepted >= n | None -> false
+
+let rec accept_all t until_sessions =
+  if not (accept_limit_reached t until_sessions) then
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        accept_all t until_sessions
+    | fd, _ ->
+        t.accepted <- t.accepted + 1;
+        Metrics.count t.reg "serve.sessions_accepted" 1;
+        let s =
+          {
+            fd;
+            parser_ = Frame.parser_ ();
+            dec = Core.Pc_trace.decoder ();
+            multi =
+              Core.Multi_replayer.create (fun _ ->
+                  Core.Replayer.create_packed (Core.Packed.dup t.image));
+            queue = Queue.create ();
+            raw =
+              (if t.offline_check then Some (Buffer.create 4096) else None);
+            ended = false;
+            failed = None;
+            bytes_in = 0;
+            blocks = 0;
+            busy_ns = 0;
+          }
+        in
+        t.sessions <- t.sessions @ [ s ];
+        accept_all t until_sessions
+
+(* ---- replay (pool workers, bulk-synchronous) ---- *)
+
+let drain_cycle t =
+  let ready =
+    List.filter (fun s -> s.failed = None && not (Queue.is_empty s.queue))
+      t.sessions
+  in
+  if ready <> [] then begin
+    let arr = Array.of_list ready in
+    Array.iter
+      (fun s ->
+        Metrics.observe_value t.reg "serve.queue_depth" (Queue.length s.queue))
+      arr;
+    ignore
+      (P.Pool.map t.pool
+         ~f:(fun i ->
+           let s = arr.(i) in
+           let t0 = now_ns () in
+           let n = ref 0 in
+           (try
+              while not (Queue.is_empty s.queue) do
+                let asid, ev = Queue.pop s.queue in
+                Core.Multi_replayer.feed s.multi ~asid ev;
+                match ev with
+                | Core.Pc_trace.Block _ -> incr n
+                | _ -> ()
+              done
+            with e ->
+              s.failed <- Some ("replay error: " ^ Printexc.to_string e));
+           P.Pool.add_units t.pool !n;
+           s.blocks <- s.blocks + !n;
+           s.busy_ns <- s.busy_ns + (now_ns () - t0))
+         (Array.length arr))
+  end
+
+(* ---- completion / disconnect (driver thread) ---- *)
+
+let drop t s msg =
+  (try Frame.send s.fd Frame.tag_error msg
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  (try Unix.close s.fd with Unix.Unix_error _ -> ());
+  t.disconnected_n <- t.disconnected_n + 1;
+  Metrics.count t.reg "serve.disconnects" 1
+
+let complete t s =
+  let prof =
+    P.Profile.merge_all
+      (List.map snd (Core.Multi_replayer.snapshots s.multi))
+  in
+  Mutex.lock t.fleet_m;
+  t.fleet <- P.Profile.merge t.fleet prof;
+  Mutex.unlock t.fleet_m;
+  t.completed_n <- t.completed_n + 1;
+  (match s.raw with
+  | Some b -> t.retained <- Buffer.contents b :: t.retained
+  | None -> ());
+  Metrics.count t.reg "serve.sessions_completed" 1;
+  Metrics.count t.reg "serve.blocks" s.blocks;
+  Metrics.observe_value t.reg "serve.session_bytes" s.bytes_in;
+  Metrics.observe_value t.reg "serve.session_blocks" s.blocks;
+  if s.blocks > 0 then
+    Metrics.observe_value t.reg "serve.session_ns_per_block"
+      (s.busy_ns / s.blocks);
+  (try Frame.send s.fd Frame.tag_profile (Frame.encode_profile prof)
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  try Unix.close s.fd with Unix.Unix_error _ -> ()
+
+let finalize t =
+  let live = ref [] in
+  List.iter
+    (fun s ->
+      match s.failed with
+      | Some msg -> drop t s msg
+      | None ->
+          if s.ended && Queue.is_empty s.queue then
+            match Core.Pc_trace.decoder_finish s.dec with
+            | () -> complete t s
+            | exception Core.Pc_trace.Corrupt msg ->
+                drop t s ("corrupt trace: " ^ msg)
+          else live := s :: !live)
+    t.sessions;
+  t.sessions <- List.rev !live
+
+(* ---- the driver loop ---- *)
+
+let run ?until_sessions t =
+  let chunk = Bytes.create 65536 in
+  let stopping = ref false in
+  let finished = ref false in
+  while not !finished do
+    let accepting =
+      (not !stopping) && not (accept_limit_reached t until_sessions)
+    in
+    let fds =
+      (t.stop_r :: (if accepting then [ t.listen_fd ] else []))
+      @ List.filter_map
+          (fun s ->
+            (* backpressure: a session at queue capacity is not read this
+               cycle; its socket buffer fills and the client's writes
+               block until the pool drains it *)
+            if s.failed = None && (not s.ended)
+               && Queue.length s.queue < t.queue_cap
+            then Some s.fd
+            else None)
+          t.sessions
+    in
+    let ready, _, _ =
+      try Unix.select fds [] [] (-1.0)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.mem t.stop_r ready then begin
+      (try ignore (Unix.read t.stop_r chunk 0 64)
+       with Unix.Unix_error _ -> ());
+      stopping := true
+    end;
+    if accepting && List.mem t.listen_fd ready then
+      accept_all t until_sessions;
+    List.iter
+      (fun s -> if List.memq s.fd ready then read_session t chunk s)
+      t.sessions;
+    drain_cycle t;
+    finalize t;
+    if !stopping then begin
+      List.iter
+        (fun s -> drop t s "server shutting down")
+        t.sessions;
+      t.sessions <- [];
+      finished := true
+    end
+    else if accept_limit_reached t until_sessions && t.sessions = [] then
+      finished := true
+  done
+
+let stop t =
+  try ignore (Unix.write t.stop_w (Bytes.make 1 '\001') 0 1)
+  with Unix.Unix_error _ -> ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    List.iter
+      (fun s -> try Unix.close s.fd with Unix.Unix_error _ -> ())
+      t.sessions;
+    t.sessions <- [];
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+    (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
+    (match t.unix_path with
+    | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+    | None -> ());
+    P.Pool.shutdown t.pool
+  end
+
+(* ---- results ---- *)
+
+let fleet_profile t =
+  Mutex.lock t.fleet_m;
+  let p = t.fleet in
+  Mutex.unlock t.fleet_m;
+  p
+
+let completed t = t.completed_n
+
+let disconnected t = t.disconnected_n
+
+let offline_profile t =
+  if not t.offline_check then
+    invalid_arg "Server.offline_profile: created without ~offline_check:true";
+  List.fold_left
+    (fun acc raw ->
+      let path = Filename.temp_file "tea_serve_offline" ".pctrace" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let oc = open_out_bin path in
+          output_string oc raw;
+          close_out oc;
+          let m =
+            Core.Multi_replayer.replay_events
+              (fun _ -> Core.Replayer.create_packed (Core.Packed.dup t.image))
+              path
+          in
+          P.Profile.merge acc
+            (P.Profile.merge_all
+               (List.map snd (Core.Multi_replayer.snapshots m))))
+      )
+    P.Profile.empty (List.rev t.retained)
+
+let metrics t =
+  Metrics.merge (Metrics.snapshot t.reg) (P.Pool.metrics_snapshot t.pool)

@@ -1,0 +1,99 @@
+(** [tea_serve]: the replay-as-a-service daemon.
+
+    One long-lived process serves many concurrent PC-trace sessions
+    against a {e single shared read-only} {!Tea_core.Packed.t} image —
+    the ROADMAP's "millions of users" story: a session is cheap (one
+    {!Tea_core.Multi_replayer} over a {!Tea_core.Packed.dup} of the
+    image), and per-session profiles are associative, so they fold into
+    one live {e fleet profile} exactly.
+
+    Architecture (the panda-il-trace shape: ingestion never blocks on
+    analysis):
+
+    - a single {b driver} thread owns all I/O: it [select]s over the
+      listener, a stop pipe and every live session socket, accepts new
+      sessions, parses {!Frame}s and feeds the bytes through each
+      session's incremental {!Tea_core.Pc_trace.decoder} onto a {b
+      bounded per-session event queue};
+    - each cycle, every session with queued events becomes one task on a
+      {!Tea_parallel.Pool} — sessions replay {e in parallel across} the
+      pool while each session's own events stay strictly ordered (one
+      task per session per cycle, ordered by the pool mutex);
+    - {b backpressure} is per-session: a session whose queue is at
+      capacity is dropped from the read set until the pool drains it, so
+      its kernel socket buffer fills and {e that client's} writes block —
+      a slow consumer throttles its own producer, never the fleet;
+    - a completed session (end-of-stream frame received and queue
+      drained) folds its profile into the fleet and gets the profile
+      echoed back; a {b mid-stream disconnect} (EOF, reset, bad framing,
+      corrupt trace) discards the partial session — other sessions and
+      the fleet profile are untouched.
+
+    The daemon gate: the fleet profile of [n] concurrent sessions equals
+    the merged profiles of replaying each session's stream offline,
+    sequentially ({!Tea_parallel.Profile.equal} — property-tested at
+    jobs 1/2/4, on flat and repacked+fused images). *)
+
+type t
+
+val create :
+  ?queue_cap:int ->
+  ?offline_check:bool ->
+  jobs:int ->
+  image:Tea_core.Packed.t ->
+  Frame.addr ->
+  t
+(** Bind, listen and spawn the worker pool. [queue_cap] (default 16384)
+    bounds each session's decoded-event queue; [offline_check] (default
+    false) retains every completed session's raw bytes so
+    {!offline_profile} can re-derive the fleet profile sequentially. A
+    [Unix_sock] path is unlinked first; [Tcp] port 0 binds an ephemeral
+    port (read it back with {!addr}).
+    @raise Invalid_argument when [jobs < 1] or [queue_cap < 1].
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val addr : t -> Frame.addr
+(** The bound address (with the real port for ephemeral TCP). *)
+
+val run : ?until_sessions:int -> t -> unit
+(** The driver loop, on the calling thread. Returns after {!stop}, or —
+    with [until_sessions = n] — once [n] sessions have been accepted and
+    every accepted session terminated (completed or disconnected); the
+    listener stops accepting after the [n]th. Call once. *)
+
+val stop : t -> unit
+(** Ask a running {!run} to return (thread/domain-safe, returns
+    immediately; idempotent). *)
+
+val close : t -> unit
+(** Release sockets and shut the pool down. Idempotent; call after
+    {!run} returned. *)
+
+(** {2 Results and observability} *)
+
+val fleet_profile : t -> Tea_parallel.Profile.t
+(** The live fleet profile: the merge of every completed session's
+    profile (thread-safe). *)
+
+val completed : t -> int
+
+val disconnected : t -> int
+(** Sessions dropped mid-stream (EOF without end-of-stream frame, bad
+    framing, corrupt trace bytes). Their partial profiles are {e not} in
+    the fleet. *)
+
+val offline_profile : t -> Tea_parallel.Profile.t
+(** Sequential reference replay: every retained completed-session stream
+    replayed offline through the whole-file decode path, one fresh
+    replayer per session, merged. With the daemon gate this is
+    {!Tea_parallel.Profile.equal} to {!fleet_profile}.
+    @raise Invalid_argument unless the server was created with
+    [~offline_check:true]. *)
+
+val metrics : t -> Tea_telemetry.Metrics.snapshot
+(** Registry counters ([serve.sessions_completed], [serve.bytes_in],
+    [serve.blocks], [serve.frames], [serve.disconnects], ...) and
+    per-session histograms ([serve.session_bytes],
+    [serve.session_blocks], [serve.session_ns_per_block],
+    [serve.queue_depth]) merged with the pool's per-domain counters.
+    Read when {!run} is not mid-cycle (e.g. after it returned). *)

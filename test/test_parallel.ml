@@ -113,6 +113,36 @@ let test_pool_shutdown () =
     (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
       ignore (Pool.create ~jobs:0))
 
+(* Pool lifecycle hardening: several driver domains mapping on one pool
+   at once (each map owns a private batch counter), and shutdown racing
+   shutdown (exactly one caller joins the workers). *)
+let test_pool_concurrent_drivers () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let driver d () =
+            for round = 1 to 25 do
+              let r = Pool.map pool ~f:(fun i -> (d * 1000) + (round * i)) 20 in
+              let expect = Array.init 20 (fun i -> (d * 1000) + (round * i)) in
+              if r <> expect then
+                Alcotest.failf "driver %d round %d: wrong batch results" d round
+            done
+          in
+          let ds = List.init 3 (fun d -> Domain.spawn (driver (d + 1))) in
+          driver 0 ();
+          List.iter Domain.join ds))
+    [ 1; 2 ]
+
+let test_pool_concurrent_shutdown () =
+  let pool = Pool.create ~jobs:2 in
+  ignore (Pool.map pool ~f:(fun i -> i) 8);
+  let ds = List.init 4 (fun _ -> Domain.spawn (fun () -> Pool.shutdown pool)) in
+  Pool.shutdown pool;
+  List.iter Domain.join ds;
+  Alcotest.check_raises "map after concurrent shutdown"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map pool ~f:(fun i -> i) 1))
+
 (* ---------------- Profile ---------------- *)
 
 let profile_of_run stream =
@@ -436,6 +466,10 @@ let () =
           Alcotest.test_case "exception propagation" `Quick test_pool_exception;
           Alcotest.test_case "add_units accounting" `Quick test_pool_add_units;
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+          Alcotest.test_case "concurrent drivers" `Quick
+            test_pool_concurrent_drivers;
+          Alcotest.test_case "concurrent shutdown" `Quick
+            test_pool_concurrent_shutdown;
         ] );
       ( "profile",
         [

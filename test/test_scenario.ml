@@ -136,6 +136,21 @@ let test_v3_corruption () =
       output_string oc "PCT";
       close_out oc;
       expect_corrupt "truncated header" (fun () -> ignore (Pc_trace.length path)));
+  (* short-but-foreign: 6 bytes that match no magic and cannot grow into
+     one must read as a bad magic, not a truncated header *)
+  with_tmp (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "FOOBAR";
+      close_out oc;
+      Alcotest.check_raises "short foreign file" (Pc_trace.Corrupt "bad magic")
+        (fun () -> ignore (Pc_trace.length path)));
+  (* while a true prefix of a magic is still a truncated header *)
+  with_tmp (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "TEAPC1";
+      close_out oc;
+      Alcotest.check_raises "magic prefix" (Pc_trace.Corrupt "truncated header")
+        (fun () -> ignore (Pc_trace.length path)));
   (* an undefined dictionary token right after the magic *)
   with_tmp (fun path ->
       let oc = open_out_bin path in
