@@ -41,6 +41,14 @@ let or_die = function
       prerr_endline ("tea_tool: " ^ msg);
       exit 1
 
+(* An edge profile's per-state visits as the (id, count) pairs the drift
+   comparator consumes. Ids are the slots of the image the profile was
+   collected over — automaton ids when that image was flat. *)
+let visits_counts (prof : Tea_opt.Repack.profile) =
+  List.filter
+    (fun (_, v) -> v > 0)
+    (Array.to_list (Array.mapi (fun i v -> (i, v)) prof.Tea_opt.Repack.visits))
+
 (* ---- observability ----
 
    Every data-producing subcommand takes the same three flags. With none
@@ -263,6 +271,14 @@ let fuse_arg =
      simulated cycles are identical to the unfused replay."
   in
   Arg.(value & flag & info [ "fuse" ] ~doc)
+
+let tiers_arg =
+  let doc =
+    "Install the dispatch-tier profiler for the replay and print the \
+     hotness report (tier mix, fusion coverage, top states) afterwards. \
+     Requires --engine=packed."
+  in
+  Arg.(value & flag & info [ "tiers" ] ~doc)
 
 (* Run [f] with [Some pool] (dumping the pool's per-domain counters on
    stderr afterwards, unless --quiet) or with [None] for the sequential
@@ -496,16 +512,20 @@ let run_scenario ~kind ~name ~withs ~strategy_name ~jobs ~pgo ~fuse ~quantum
 
 let replay_cmd =
   let rec run name strategy_name traces_file config_name pc_trace engine jobs
-      pgo fuse scenario withs quantum schedule seed period at every obs =
+      pgo fuse tiers scenario withs quantum schedule seed period at every obs =
     with_obs obs "replay" @@ fun () ->
     if pgo && engine <> `Packed then
       or_die (Error "--pgo requires --engine=packed");
     if fuse && engine <> `Packed then
       or_die (Error "--fuse requires --engine=packed");
+    if tiers && engine <> `Packed then
+      or_die (Error "--tiers requires --engine=packed");
     match scenario with
     | Some kind ->
         if engine <> `Packed then
           or_die (Error "--scenario requires --engine=packed");
+        if tiers then
+          or_die (Error "--tiers applies only to plain replay; drop --scenario");
         if pc_trace <> None then
           or_die (Error "--scenario synthesizes its own stream; drop --pc-trace");
         if traces_file <> None then
@@ -513,8 +533,22 @@ let replay_cmd =
         ignore config_name;
         run_scenario ~kind ~name ~withs ~strategy_name ~jobs ~pgo ~fuse
           ~quantum ~schedule ~seed ~period ~at ~every obs
-    | None -> run_replay name strategy_name traces_file config_name pc_trace
-                engine jobs pgo fuse obs
+    | None ->
+        let body () =
+          run_replay name strategy_name traces_file config_name pc_trace
+            engine jobs pgo fuse obs
+        in
+        if not tiers then ignore (body ())
+        else begin
+          Tea_core.Tierstat.install ();
+          match body () with
+          | image ->
+              let snap = Tea_core.Tierstat.uninstall () in
+              print_string (Tea_report.Hotness.render ?image snap)
+          | exception e ->
+              ignore (Tea_core.Tierstat.uninstall ());
+              raise e
+        end
   and run_replay name strategy_name traces_file config_name pc_trace engine
       jobs pgo fuse obs =
     (* `--pc-trace -' and other non-seekable inputs: the replay paths read
@@ -607,7 +641,8 @@ let replay_cmd =
             if pgo then
               print_pgo_line packed
                 ~cycles:profile.Tea_parallel.Profile.cycles;
-            if fuse then print_fuse_line packed)
+            if fuse then print_fuse_line packed;
+            Some packed)
     | Some path ->
         (* fully offline: no program execution, just the trace file *)
         let auto =
@@ -658,8 +693,9 @@ let replay_cmd =
         (match Tea_core.Replayer.engine rep with
         | Tea_core.Replayer.Packed p ->
             if pgo then print_pgo_line p ~cycles:(Tea_core.Replayer.cycles rep);
-            if fuse then print_fuse_line p
-        | _ -> ())
+            if fuse then print_fuse_line p;
+            Some p
+        | _ -> None)
     | None ->
         if jobs > 1 then
           or_die (Error "--jobs > 1 applies only to --pc-trace offline replay");
@@ -686,15 +722,16 @@ let replay_cmd =
         (match Tea_core.Replayer.engine rep with
         | Tea_core.Replayer.Packed p ->
             if pgo then print_pgo_line p ~cycles:(Tea_core.Replayer.cycles rep);
-            if fuse then print_fuse_line p
-        | _ -> ())
+            if fuse then print_fuse_line p;
+            Some p
+        | _ -> None)
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay traces through the TEA under the Pin-like frontend")
     Term.(
       const run $ workload_arg $ strategy_arg $ traces_arg $ config_arg
       $ pc_trace_arg $ engine_arg $ jobs_arg $ pgo_arg $ fuse_arg
-      $ scenario_arg $ with_arg $ quantum_arg $ schedule_arg
+      $ tiers_arg $ scenario_arg $ with_arg $ quantum_arg $ schedule_arg
       $ scenario_seed_arg $ period_arg $ at_arg $ every_arg $ obs_term)
 
 let capture_cmd =
@@ -775,7 +812,19 @@ let record_traces image strategy_name =
 (* ---- repack ---- *)
 
 let repack_cmd =
-  let run name strategy_name hot_prefix out obs =
+  let save_profile_arg =
+    let doc =
+      "Also write the collected edge profile (per-state visits, per-edge \
+       taken counts, per-state scan misses over the flat image) as a \
+       TEAEP1 file — the drift-monitor reference for `serve \
+       --drift-profile' and `info --baseline'."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-profile" ] ~docv:"FILE" ~doc)
+  in
+  let run name strategy_name hot_prefix out save_profile obs =
     with_obs obs "repack" @@ fun () ->
     let image = or_die (resolve_workload name) in
     let traces =
@@ -822,6 +871,12 @@ let repack_cmd =
        else float_of_int base_cycles /. float_of_int tuned_cycles);
     Printf.printf "inline cache: %d/%d hits (%.1f%%)\n" hits steps
       (if steps = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int steps);
+    (match save_profile with
+    | Some path ->
+        Tea_opt.Repack.save_profile path
+          (Tea_opt.Repack.collect packed starts ~len);
+        Printf.printf "wrote %s (TEAEP1 edge profile)\n" path
+    | None -> ());
     match out with
     | Some path ->
         Tea_core.Serialize.save_packed path repacked;
@@ -836,7 +891,7 @@ let repack_cmd =
           packed image and compare against the baseline replay")
     Term.(
       const run $ workload_arg $ strategy_arg $ hot_prefix_arg $ out_arg
-      $ obs_term)
+      $ save_profile_arg $ obs_term)
 
 (* ---- fuse ---- *)
 
@@ -918,17 +973,162 @@ let info_cmd =
     let doc = "Packed image file (TEAPK1/TEAPK2/TEAPK3, see `repack -o' and `fuse -o')." in
     Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE" ~doc)
   in
-  let run path =
+  let profile_arg =
+    let doc =
+      "TEAEP1 edge profile collected over this image's layout (see \
+       `repack --save-profile'): print its static dispatch-tier mix \
+       through the image's hot prefixes and its drift distance from the \
+       reference."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+  in
+  let baseline_arg =
+    let doc =
+      "Drift reference: a second TEAEP1 profile to measure --profile \
+       against. Without it, a repacked image's own hotness ranking (its \
+       slot order) is the reference; a flat image has none."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let load_teaep path =
+    match Tea_opt.Repack.load_profile path with
+    | prof -> prof
+    | exception Failure msg ->
+        or_die (Error (Printf.sprintf "%s: %s" path msg))
+  in
+  (* Static tier mix: push the profile's per-edge taken counts through the
+     image's dispatch layout. Edges inside a state's hot prefix resolve by
+     linear scan ("hot"), the tail by binary search ("search"); per-state
+     span misses fall through to the trace-head hash ("hash/miss" — the
+     split needs the stream, not just counts). IC hits depend on repeat
+     patterns the profile doesn't record, so they land in their underlying
+     scan tier here. *)
+  let print_profile_mix packed (prof : Tea_opt.Repack.profile) =
+    let raw = Tea_core.Packed.to_raw packed in
+    let n_slots = Tea_core.Packed.n_slots packed in
+    if
+      Array.length prof.Tea_opt.Repack.visits <> n_slots
+      || Array.length prof.Tea_opt.Repack.taken
+         <> Tea_core.Packed.n_edges packed
+    then
+      or_die
+        (Error
+           "profile shape does not match the image (collected over a \
+            different layout?)");
+    (* TEAEP profiles are indexed in original automaton-id space (the
+       flat layout `repack --save-profile' collects over — the same
+       space serve's fleet counts live in), so a repacked image's spans
+       are walked through the orig_of translation: slot [s] holds the
+       same edge set as original state [orig_of.(s)], and sorting the
+       span by label recovers the flat edge order. Identity on flat
+       images. *)
+    let flat_off = Array.make (n_slots + 1) 0 in
+    for s = 0 to n_slots - 1 do
+      let o = raw.Tea_core.Packed.orig_of.(s) in
+      flat_off.(o + 1) <-
+        raw.Tea_core.Packed.offsets.(s + 1) - raw.Tea_core.Packed.offsets.(s)
+    done;
+    for o = 0 to n_slots - 1 do
+      flat_off.(o + 1) <- flat_off.(o) + flat_off.(o + 1)
+    done;
+    let hot = ref 0 and search = ref 0 and fallthrough = ref 0 in
+    for s = 0 to n_slots - 1 do
+      let lo = raw.Tea_core.Packed.offsets.(s)
+      and hi = raw.Tea_core.Packed.offsets.(s + 1) in
+      let k = raw.Tea_core.Packed.hot_len.(s) in
+      let o = raw.Tea_core.Packed.orig_of.(s) in
+      let span = Array.init (hi - lo) (fun i -> lo + i) in
+      Array.sort
+        (fun a b ->
+          Int.compare raw.Tea_core.Packed.labels.(a)
+            raw.Tea_core.Packed.labels.(b))
+        span;
+      Array.iteri
+        (fun i e ->
+          let n = prof.Tea_opt.Repack.taken.(flat_off.(o) + i) in
+          if e < lo + k then hot := !hot + n else search := !search + n)
+        span;
+      fallthrough := !fallthrough + prof.Tea_opt.Repack.misses.(o)
+    done;
+    let total = !hot + !search + !fallthrough in
+    let pct n =
+      Tea_report.Stats.percent1
+        (float_of_int n /. float_of_int (max 1 total))
+    in
+    Printf.printf
+      "profile: %d resolutions  hot=%s search=%s hash/miss=%s\n" total
+      (pct !hot) (pct !search) (pct !fallthrough)
+  in
+  let run path profile baseline =
     let packed =
       try Tea_core.Serialize.load_packed path
       with Tea_core.Serialize.Parse_error msg ->
         or_die (Error (Printf.sprintf "%s: %s" path msg))
     in
-    print_string (Tea_core.Serialize.describe_packed packed)
+    print_string (Tea_core.Serialize.describe_packed packed);
+    match profile with
+    | None ->
+        if baseline <> None then
+          or_die (Error "--baseline needs --profile to measure against")
+    | Some ppath ->
+        let prof = load_teaep ppath in
+        print_profile_mix packed prof;
+        let live = visits_counts prof in
+        let ref_counts =
+          match baseline with
+          | Some bpath -> Some (visits_counts (load_teaep bpath), live)
+          | None ->
+              (* A repacked image's slot order IS its baked hotness
+                 ranking (hotness-descending renumbering, NTE pinned at
+                 0) — the only trace of the tuning profile a TEAPK2/3
+                 file carries. Re-assigning the live profile's own
+                 sorted masses along that slot order builds a reference
+                 that scores exactly 0 when the live hotness ranking
+                 still matches the baked one, and moves mass (keyed by
+                 original state id, the profile's space) when it does
+                 not. NTE carries no layout decision, so it is dropped
+                 from both sides. *)
+              if Tea_core.Packed.is_repacked packed then begin
+                let hot = List.filter (fun (id, _) -> id <> 0) live in
+                let sorted =
+                  List.sort (fun a b -> Int.compare b a) (List.map snd hot)
+                in
+                let n = Tea_core.Packed.n_slots packed in
+                let rec assign slot counts acc =
+                  match counts with
+                  | [] -> List.rev acc
+                  | c :: rest ->
+                      if slot >= n then List.rev acc
+                      else
+                        assign (slot + 1) rest
+                          ((Tea_core.Packed.orig_state packed slot, c) :: acc)
+                in
+                Some (assign 1 sorted [], hot)
+              end
+              else None
+        in
+        (match ref_counts with
+        | None ->
+            print_endline
+              "drift: no reference (flat image bakes no ranking; pass \
+               --baseline)"
+        | Some (counts, live) ->
+            let d = Tea_observe.Drift.create counts in
+            let dist = Tea_observe.Drift.measure d live in
+            Printf.printf "drift: l1=%.4f threshold=%.2f (%s%s)\n" dist
+              (Tea_observe.Drift.threshold d)
+              (if Tea_observe.Drift.exceeded d dist then "exceeded"
+               else "ok")
+              (if baseline = None then ", vs layout ranking" else ""))
   in
   Cmd.v
-    (Cmd.info "info" ~doc:"Describe a serialized packed image")
-    Term.(const run $ image_arg)
+    (Cmd.info "info"
+       ~doc:
+         "Describe a serialized packed image (optionally with an edge \
+          profile's tier mix and drift)")
+    Term.(const run $ image_arg $ profile_arg $ baseline_arg)
 
 let analyze_cmd =
   let run name strategy_name obs =
@@ -1265,30 +1465,36 @@ let addr_conv : Tea_serve.Frame.addr Arg.conv =
 (* The daemon's image prep mirrors offline `replay --pc-trace`: freeze the
    workload's automaton, then tune (--pgo/--fuse) on the workload's own
    captured block stream — sessions then replay arbitrary client streams
-   against that shared image. *)
+   against that shared image. Alongside the image, a tuned prep returns
+   the tuning profile's per-state visit counts (collected on the flat
+   base, so the ids are automaton ids) as the drift-monitor reference:
+   "what the image's layout was tuned for". *)
 let prepare_serve_image name strategy_name pgo fuse =
   let image = or_die (resolve_workload name) in
   let strategy = or_die (resolve_strategy strategy_name) in
   let r = Tea_dbt.Stardbt.record ~strategy image in
   let traces = Tea_traces.Trace_set.to_list r.Tea_dbt.Stardbt.set in
   let packed = Tea_core.Packed.freeze (Tea_core.Builder.build traces) in
-  if not (pgo || fuse) then packed
+  if not (pgo || fuse) then (packed, None)
   else begin
     let tmp = Filename.temp_file "tea_serve_prep" ".pctrace" in
     Fun.protect ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
     @@ fun () ->
     let _ = Tea_pinsim.Trace_capture.record image tmp in
     let starts, _, len = Tea_parallel.Shard.load_pc_trace tmp in
+    let flat_prof = Tea_opt.Repack.collect packed starts ~len in
+    let ref_counts = visits_counts flat_prof in
     let packed =
-      if not pgo then packed
-      else
-        Tea_opt.Repack.repack packed (Tea_opt.Repack.collect packed starts ~len)
+      if not pgo then packed else Tea_opt.Repack.repack packed flat_prof
     in
-    if not fuse then packed
-    else if not pgo then Tea_opt.Fuse.fuse packed
-    else
-      let profile = Tea_opt.Repack.collect packed starts ~len in
-      Tea_opt.Fuse.fuse ~profile packed
+    let packed =
+      if not fuse then packed
+      else if not pgo then Tea_opt.Fuse.fuse packed
+      else
+        let profile = Tea_opt.Repack.collect packed starts ~len in
+        Tea_opt.Fuse.fuse ~profile packed
+    in
+    (packed, Some ref_counts)
   end
 
 let serve_cmd =
@@ -1315,55 +1521,120 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "offline-check" ] ~doc)
   in
+  let events_arg =
+    let doc =
+      "Append structured JSONL events (session open/close/abort, \
+       drift-threshold crossings, pool stalls) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+  in
+  let drift_profile_arg =
+    let doc =
+      "Drift-monitor reference: a TEAEP1 edge profile (see `repack \
+       --save-profile'). Without it, --pgo/--fuse preps use their own \
+       tuning profile as the reference."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "drift-profile" ] ~docv:"FILE" ~doc)
+  in
+  let drift_threshold_arg =
+    let doc = "Drift threshold: L1 distance that fires a drift event." in
+    Arg.(
+      value
+      & opt float Tea_observe.Drift.default_threshold
+      & info [ "drift-threshold" ] ~docv:"D" ~doc)
+  in
   let run name strategy_name listen jobs pgo fuse sessions queue_cap
-      offline_check obs =
+      offline_check events_path drift_profile drift_threshold obs =
     with_obs obs "serve" @@ fun () ->
-    let image =
+    let image, tuning_ref =
       Probe.with_span "serve_prep" @@ fun () ->
       prepare_serve_image name strategy_name pgo fuse
     in
-    let srv =
-      Tea_serve.Server.create ~queue_cap ~offline_check ~jobs ~image listen
+    let drift_ref =
+      match drift_profile with
+      | Some path -> (
+          match Tea_opt.Repack.load_profile path with
+          | prof -> Some (visits_counts prof)
+          | exception Failure msg ->
+              or_die (Error (Printf.sprintf "%s: %s" path msg)))
+      | None -> tuning_ref
     in
-    Fun.protect ~finally:(fun () -> Tea_serve.Server.close srv) @@ fun () ->
-    (* clients wait for this line before connecting *)
-    Printf.printf "serving %s on %s (packed engine%s%s, jobs %d)\n%!" name
-      (Tea_serve.Frame.pp_addr (Tea_serve.Server.addr srv))
-      (if pgo then " +pgo" else "")
-      (if fuse then " +fuse" else "")
-      jobs;
-    Probe.with_span "serve_run" (fun () ->
-        Tea_serve.Server.run ?until_sessions:sessions srv);
-    let fleet = Tea_serve.Server.fleet_profile srv in
-    Printf.printf "served %d sessions (%d disconnected)\n"
-      (Tea_serve.Server.completed srv)
-      (Tea_serve.Server.disconnected srv);
-    Printf.printf "fleet: %s\n" (Format.asprintf "%a" Tea_parallel.Profile.pp fleet);
-    if obs.metrics then
-      print_string
-        (Tea_report.Stats.render ~title:"serve" (Tea_serve.Server.metrics srv));
-    if offline_check then
-      let offline =
-        Probe.with_span "serve_offline_check" @@ fun () ->
-        Tea_serve.Server.offline_profile srv
+    let drift =
+      Option.map
+        (fun counts ->
+          Tea_observe.Drift.create ~threshold:drift_threshold counts)
+        drift_ref
+    in
+    let events = Option.map Tea_observe.Events.open_file events_path in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Tea_observe.Events.close events)
+    @@ fun () ->
+    (* the dispatch-tier profiler is always on in the daemon: scrapes
+       must see tier counters without a restart *)
+    Tea_core.Tierstat.install ();
+    let finish_tiers () = Tea_core.Tierstat.uninstall () in
+    match
+      let srv =
+        Tea_serve.Server.create ~queue_cap ~offline_check ?events ?drift ~jobs
+          ~image listen
       in
-      if Tea_parallel.Profile.equal fleet offline then
-        print_endline "serve gate: fleet == offline"
-      else begin
-        Printf.printf "offline: %s\n"
-          (Format.asprintf "%a" Tea_parallel.Profile.pp offline);
-        or_die
-          (Error
-             "serve gate failed: fleet profile diverged from sequential \
-              offline replay")
-      end
+      Fun.protect ~finally:(fun () -> Tea_serve.Server.close srv) @@ fun () ->
+      (* clients wait for this line before connecting *)
+      Printf.printf "serving %s on %s (packed engine%s%s, jobs %d)\n%!" name
+        (Tea_serve.Frame.pp_addr (Tea_serve.Server.addr srv))
+        (if pgo then " +pgo" else "")
+        (if fuse then " +fuse" else "")
+        jobs;
+      Probe.with_span "serve_run" (fun () ->
+          Tea_serve.Server.run ?until_sessions:sessions srv);
+      let fleet = Tea_serve.Server.fleet_profile srv in
+      Printf.printf "served %d sessions (%d disconnected)\n"
+        (Tea_serve.Server.completed srv)
+        (Tea_serve.Server.disconnected srv);
+      Printf.printf "fleet: %s\n"
+        (Format.asprintf "%a" Tea_parallel.Profile.pp fleet);
+      (match Tea_serve.Server.drift_distance srv with
+      | Some (d, thr) ->
+          Printf.printf "drift: l1=%.4f threshold=%.2f (%s)\n" d thr
+            (if d > thr then "exceeded" else "ok")
+      | None -> ());
+      if obs.metrics then
+        print_string
+          (Tea_report.Stats.render ~title:"serve" (Tea_serve.Server.metrics srv));
+      if offline_check then
+        let offline =
+          Probe.with_span "serve_offline_check" @@ fun () ->
+          Tea_serve.Server.offline_profile srv
+        in
+        if Tea_parallel.Profile.equal fleet offline then
+          print_endline "serve gate: fleet == offline"
+        else begin
+          Printf.printf "offline: %s\n"
+            (Format.asprintf "%a" Tea_parallel.Profile.pp offline);
+          or_die
+            (Error
+               "serve gate failed: fleet profile diverged from sequential \
+                offline replay")
+        end
+    with
+    | () ->
+        let snap = finish_tiers () in
+        if obs.metrics then
+          print_string (Tea_report.Hotness.render ~image snap)
+    | exception e ->
+        ignore (finish_tiers ());
+        raise e
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the replay-as-a-service daemon over a shared packed image")
     Term.(
       const run $ workload_arg $ strategy_arg $ listen_arg $ jobs_arg $ pgo_arg
-      $ fuse_arg $ sessions_arg $ queue_cap_arg $ offline_check_arg $ obs_term)
+      $ fuse_arg $ sessions_arg $ queue_cap_arg $ offline_check_arg
+      $ events_arg $ drift_profile_arg $ drift_threshold_arg $ obs_term)
 
 let client_cmd =
   let connect_arg =
@@ -1414,6 +1685,40 @@ let client_cmd =
        ~doc:"Stream a PC-trace to a running tea_tool serve daemon")
     Term.(const run $ connect_arg $ trace_arg $ chunk_arg $ abort_arg)
 
+let observe_cmd =
+  let connect_arg =
+    let doc = "Server address: unix:PATH or tcp:HOST:PORT." in
+    Arg.(
+      required
+      & opt (some addr_conv) None
+      & info [ "connect" ] ~docv:"ADDR" ~doc)
+  in
+  let dump_arg =
+    let doc = "Write the exposition to $(docv) instead of standard output." in
+    Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FILE" ~doc)
+  in
+  let run connect dump =
+    match Tea_serve.Client.scrape connect with
+    | text -> (
+        match dump with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc;
+            Printf.printf "wrote %s (%d bytes)\n" path (String.length text)
+        | None -> print_string text)
+    | exception Tea_serve.Client.Server_error msg ->
+        or_die (Error ("server rejected scrape: " ^ msg))
+    | exception Unix.Unix_error (e, _, _) ->
+        or_die (Error ("connect failed: " ^ Unix.error_message e))
+  in
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:
+         "Scrape the Prometheus-style metrics exposition from a running \
+          tea_tool serve daemon")
+    Term.(const run $ connect_arg $ dump_arg)
+
 let () =
   let doc = "Trace Execution Automata: record, replay and inspect traces" in
   let info = Cmd.info "tea_tool" ~version:"1.0.0" ~doc in
@@ -1425,5 +1730,5 @@ let () =
             info_cmd; capture_cmd; dot_cmd; analyze_cmd;
             phases_cmd; cachesim_cmd; bpred_cmd; inspect_cmd; characterize_cmd;
             optimize_cmd; layout_cmd; reuse_cmd; tables_cmd; table1_cmd;
-            table4_cmd; serve_cmd; client_cmd;
+            table4_cmd; serve_cmd; client_cmd; observe_cmd;
           ]))

@@ -67,35 +67,59 @@ let feed t ~asid ev =
 
 let feed_run_buf = 4096
 
+(* Incremental batching front-end: buffers consecutive same-asid block
+   runs and flushes them through {!Replayer.feed_run}, so event-at-a-time
+   producers (the serve daemon's drain cycles, file replay) all take the
+   {e batched} engine loops — the same dispatch path, and therefore the
+   same dispatch-tier attribution, as offline replay. Equivalence with
+   event-at-a-time [feed] is the feed_run == feed_addr property. *)
+type feeder = {
+  f_t : t;
+  f_starts : int array;
+  f_insns : int array;
+  mutable f_fill : int;
+  mutable f_for : entry option;
+}
+
+let feeder ?(buf = feed_run_buf) t =
+  if buf < 1 then invalid_arg "Multi_replayer.feeder: buf must be >= 1";
+  {
+    f_t = t;
+    f_starts = Array.make buf 0;
+    f_insns = Array.make buf 0;
+    f_fill = 0;
+    f_for = None;
+  }
+
+let feeder_flush f =
+  (match f.f_for with
+  | Some e when f.f_fill > 0 ->
+      Replayer.feed_run e.rep ~insns:f.f_insns f.f_starts ~len:f.f_fill
+  | _ -> ());
+  f.f_fill <- 0
+
+let feeder_feed f ~asid ev =
+  match (ev : Pc_trace.event) with
+  | Block { start; insns } ->
+      let e = entry_for f.f_t asid in
+      (match f.f_for with
+      | Some e' when e' == e -> ()
+      | _ ->
+          feeder_flush f;
+          f.f_for <- Some e);
+      f.f_starts.(f.f_fill) <- start;
+      f.f_insns.(f.f_fill) <- insns;
+      f.f_fill <- f.f_fill + 1;
+      if f.f_fill = Array.length f.f_starts then feeder_flush f
+  | ev ->
+      feeder_flush f;
+      f.f_for <- None;
+      feed f.f_t ~asid ev
+
 let replay_file t path =
-  let starts = Array.make feed_run_buf 0 in
-  let insns_a = Array.make feed_run_buf 0 in
-  let fill = ref 0 in
-  let buf_for = ref None in
-  let flush () =
-    (match !buf_for with
-    | Some e when !fill > 0 -> Replayer.feed_run e.rep ~insns:insns_a starts ~len:!fill
-    | _ -> ());
-    fill := 0
-  in
-  Pc_trace.fold_events path () (fun () ~asid ev ->
-      match ev with
-      | Pc_trace.Block { start; insns } ->
-          let e = entry_for t asid in
-          (match !buf_for with
-          | Some e' when e' == e -> ()
-          | _ ->
-              flush ();
-              buf_for := Some e);
-          starts.(!fill) <- start;
-          insns_a.(!fill) <- insns;
-          incr fill;
-          if !fill = feed_run_buf then flush ()
-      | ev ->
-          flush ();
-          buf_for := None;
-          feed t ~asid ev);
-  flush ()
+  let f = feeder t in
+  Pc_trace.fold_events path () (fun () ~asid ev -> feeder_feed f ~asid ev);
+  feeder_flush f
 
 let replay_events make path =
   let t = create make in

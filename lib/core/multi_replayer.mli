@@ -37,11 +37,34 @@ val feed : t -> asid:int -> Pc_trace.event -> unit
     (wire directly to {!Pc_trace.fold_events}); a block whose [~asid]
     differs from the current one performs an implicit switch. *)
 
+type feeder
+(** An incremental batching front-end over one {!t}: buffers consecutive
+    same-asid block runs and flushes them through {!Replayer.feed_run}.
+    Event-at-a-time producers (the serve daemon, streaming decoders) use
+    a feeder so they take the same batched engine loops — and the same
+    {!Tierstat} dispatch-tier attribution — as offline file replay.
+    Equivalent to folding {!feed} (the feed_run == feed_addr property),
+    except that on a fused image batched dispatch resolves chains through
+    the fused tier. Not thread-safe: one feeder per producer. *)
+
+val feeder : ?buf:int -> t -> feeder
+(** [buf] is the run-buffer capacity in blocks (default 4096).
+    @raise Invalid_argument if [buf < 1]. *)
+
+val feeder_feed : feeder -> asid:int -> Pc_trace.event -> unit
+(** Buffer one event. Non-block events and asid changes flush the
+    pending run first, preserving stream order. *)
+
+val feeder_flush : feeder -> unit
+(** Replay any buffered run now. Call at batch boundaries (end of a
+    drain cycle, end of stream) — a feeder holds no state besides the
+    pending run, so flushing is always safe. *)
+
 val replay_file : t -> string -> unit
 (** Replay a trace file of any {!Pc_trace.format}, batching consecutive
-    same-asid block runs through {!Replayer.feed_run}. Equivalent to
-    folding {!feed} over {!Pc_trace.fold_events}. @raise Pc_trace.Corrupt
-    on bad framing. *)
+    same-asid block runs through {!Replayer.feed_run} (a {!feeder}).
+    Equivalent to folding {!feed} over {!Pc_trace.fold_events}.
+    @raise Pc_trace.Corrupt on bad framing. *)
 
 val replay_events : (int -> Replayer.t) -> string -> t
 (** [create] + [replay_file]. *)

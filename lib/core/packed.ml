@@ -394,8 +394,9 @@ let rec probe t keys vals mask pc i cost =
   else probe t keys vals mask pc ((i + 1) land mask) (cost + cost_hash_probe)
 
 (* Shared cold tail: hash the PC and probe for a trace head, charging the
-   hash-path costs and bumping the cross-trace counters. *)
-let step_hash t m pc =
+   hash-path costs and bumping the cross-trace counters. [state] is the
+   dispatch source, only used for tier attribution ([a]). *)
+let step_hash t m a ~state pc =
   let st = t.st in
   t.total_cycles <- t.total_cycles + cost_hash_base;
   let c0 = t.total_cycles in
@@ -415,6 +416,9 @@ let step_hash t m pc =
     (match m with
     | None -> ()
     | Some m -> Tea_telemetry.Metrics.count m "packed.global_hit" 1);
+    (match a with
+    | None -> ()
+    | Some a -> Tierstat.bump a ~tier:Tierstat.t_hash ~state);
     found
   end
   else begin
@@ -422,6 +426,9 @@ let step_hash t m pc =
     (match m with
     | None -> ()
     | Some m -> Tea_telemetry.Metrics.count m "packed.global_miss" 1);
+    (match a with
+    | None -> ()
+    | Some a -> Tierstat.bump a ~tier:Tierstat.t_miss ~state);
     t.total_cycles <- t.total_cycles + Transition.cost_nte_miss;
     Automaton.nte
   end
@@ -442,16 +449,21 @@ let step_flat t state pc =
     else -1
   in
   (* [m] is [None] whenever telemetry is off, so the disabled per-step
-     cost is one atomic load and the option matches below. *)
+     cost is one atomic load and the option matches below; same deal for
+     the tier tally [a]. *)
   let m = Tea_telemetry.Probe.metrics () in
+  let a = Tierstat.tally () in
   if hit >= 0 then begin
     st.Transition.in_trace_hits <- st.Transition.in_trace_hits + 1;
     (match m with
     | None -> ()
     | Some m -> Tea_telemetry.Metrics.count m "packed.in_trace_hit" 1);
+    (match a with
+    | None -> ()
+    | Some a -> Tierstat.bump a ~tier:Tierstat.t_search ~state);
     hit
   end
-  else step_hash t m pc
+  else step_hash t m a ~state pc
 
 (* Repacked dispatch: monomorphic inline cache, then the most-taken-first
    linear prefix, then binary search over the sorted tail, then the hash
@@ -464,6 +476,7 @@ let step_hot t state pc =
   let st = t.st in
   st.Transition.steps <- st.Transition.steps + 1;
   let m = Tea_telemetry.Probe.metrics () in
+  let a = Tierstat.tally () in
   if Array.unsafe_get t.ic_label state = pc then begin
     st.Transition.in_trace_hits <- st.Transition.in_trace_hits + 1;
     t.ic_hit_count <- t.ic_hit_count + 1;
@@ -473,6 +486,9 @@ let step_hot t state pc =
     | Some m ->
         Tea_telemetry.Metrics.count m "packed.ic_hit" 1;
         Tea_telemetry.Metrics.count m "packed.in_trace_hit" 1);
+    (match a with
+    | None -> ()
+    | Some a -> Tierstat.bump a ~tier:Tierstat.t_ic ~state);
     Array.unsafe_get t.ic_target state
   end
   else begin
@@ -505,11 +521,18 @@ let step_hot t state pc =
       (match m with
       | None -> ()
       | Some m -> Tea_telemetry.Metrics.count m "packed.in_trace_hit" 1);
+      (match a with
+      | None -> ()
+      | Some a ->
+          (* [e < lo + k] identifies the hot prefix; the tail is binary
+             search. *)
+          let tier = if e < lo + k then Tierstat.t_hot else Tierstat.t_search in
+          Tierstat.bump a ~tier ~state);
       tgt
     end
     else begin
       t.total_cycles <- t.total_cycles + Array.unsafe_get t.miss_cost state;
-      step_hash t m pc
+      step_hash t m a ~state pc
     end
   end
 

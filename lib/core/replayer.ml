@@ -116,6 +116,10 @@ let run_packed_flat t packed addrs ins ~off ~len =
     | None -> None
     | Some m -> Some (Tea_telemetry.Metrics.histogram m "packed.hash_probe_len")
   in
+  (* Hoisted tier tally: [None] when the dispatch profiler is off, so the
+     disabled path adds one predictable branch per resolution on an
+     immutable local — same budget class as [hprobe]. *)
+  let tly = Tierstat.tally () in
   for i = off to off + len - 1 do
     let pc = Array.unsafe_get addrs i in
     let prev = !state in
@@ -142,6 +146,9 @@ let run_packed_flat t packed addrs ins ~off ~len =
     let next =
       if hit >= 0 then begin
         incr in_hits;
+        (match tly with
+        | None -> ()
+        | Some a -> Tierstat.bump a ~tier:Tierstat.t_search ~state:prev);
         hit
       end
       else begin
@@ -163,6 +170,13 @@ let run_packed_flat t packed addrs ins ~off ~len =
             (* cost_hash_probe = 1 cycle per slot examined *)
             Tea_telemetry.Metrics.observe h
               ((!cycles - c0) / Packed.cost_hash_probe));
+        (match tly with
+        | None -> ()
+        | Some a ->
+            let tier =
+              if !found >= 0 then Tierstat.t_hash else Tierstat.t_miss
+            in
+            Tierstat.bump a ~tier ~state:prev);
         if !found >= 0 then begin
           incr g_hits;
           !found
@@ -244,6 +258,7 @@ let run_packed_hot t packed addrs ins ~off ~len =
     | None -> None
     | Some m -> Some (Tea_telemetry.Metrics.histogram m "packed.hash_probe_len")
   in
+  let tly = Tierstat.tally () in
   for i = off to off + len - 1 do
     let pc = Array.unsafe_get addrs i in
     let prev = !state in
@@ -253,6 +268,9 @@ let run_packed_hot t packed addrs ins ~off ~len =
         incr ic_h;
         incr in_hits;
         cycles := !cycles + Array.unsafe_get ic_cost prev;
+        (match tly with
+        | None -> ()
+        | Some a -> Tierstat.bump a ~tier:Tierstat.t_ic ~state:prev);
         Array.unsafe_get ic_target prev
       end
       else begin
@@ -285,6 +303,15 @@ let run_packed_hot t packed addrs ins ~off ~len =
           Array.unsafe_set ic_label prev pc;
           Array.unsafe_set ic_target prev tgt;
           Array.unsafe_set ic_cost prev c;
+          (match tly with
+          | None -> ()
+          | Some a ->
+              (* [!e < stop]: the most-taken-first prefix; otherwise the
+                 binary-search tail. *)
+              let tier =
+                if !e < stop then Tierstat.t_hot else Tierstat.t_search
+              in
+              Tierstat.bump a ~tier ~state:prev);
           tgt
         end
         else begin
@@ -306,6 +333,13 @@ let run_packed_hot t packed addrs ins ~off ~len =
           | Some h ->
               Tea_telemetry.Metrics.observe h
                 ((!cycles - c0) / Packed.cost_hash_probe));
+          (match tly with
+          | None -> ()
+          | Some a ->
+              let tier =
+                if !found >= 0 then Tierstat.t_hash else Tierstat.t_miss
+              in
+              Tierstat.bump a ~tier ~state:prev);
           if !found >= 0 then begin
             incr g_hits;
             !found
@@ -424,6 +458,7 @@ let run_packed_fused t packed (f : Packed.fusion) addrs ins ~off ~len =
     | None -> None
     | Some m -> Some (Tea_telemetry.Metrics.histogram m "packed.hash_probe_len")
   in
+  let tly = Tierstat.tally () in
   let stop = off + len in
   let i = ref off in
   while !i < stop do
@@ -475,6 +510,29 @@ let run_packed_fused t packed (f : Packed.fusion) addrs ins ~off ~len =
               incr e;
               if !e = hi then e := lo
             done;
+            (* Tier attribution: the source of the edge at ring position
+               [q] is the previous position's target — a fixed property of
+               the cycle, so the charge is independent of how the match
+               splits across batches. *)
+            (match tly with
+            | None -> ()
+            | Some a ->
+                if full > 0 then
+                  for e = lo to hi - 1 do
+                    let src =
+                      Array.unsafe_get ftgt (if e = lo then hi - 1 else e - 1)
+                    in
+                    Tierstat.bump_n a ~tier:Tierstat.t_fused ~state:src full
+                  done;
+                let e = ref (lo + p) in
+                for _ = 1 to rem do
+                  let src =
+                    Array.unsafe_get ftgt (if !e = lo then hi - 1 else !e - 1)
+                  in
+                  Tierstat.bump a ~tier:Tierstat.t_fused ~state:src;
+                  incr e;
+                  if !e = hi then e := lo
+                done);
             covered := !covered + !isum;
             total := !total + !isum;
             in_hits := !in_hits + m;
@@ -504,6 +562,16 @@ let run_packed_fused t packed (f : Packed.fusion) addrs ins ~off ~len =
               let tgt = Array.unsafe_get ftgt e in
               Array.unsafe_set counts tgt (1 + Array.unsafe_get counts tgt)
             done;
+            (* Entry state [prev] sources the first matched edge; each
+               later edge's source is the previous edge's target. *)
+            (match tly with
+            | None -> ()
+            | Some a ->
+                let src = ref prev in
+                for e = lo + p to lo + p + m - 1 do
+                  Tierstat.bump a ~tier:Tierstat.t_fused ~state:!src;
+                  src := Array.unsafe_get ftgt e
+                done);
             covered := !covered + !isum;
             total := !total + !isum;
             in_hits := !in_hits + m;
@@ -526,6 +594,9 @@ let run_packed_fused t packed (f : Packed.fusion) addrs ins ~off ~len =
             incr ic_h;
             incr in_hits;
             cycles := !cycles + Array.unsafe_get ic_cost prev;
+            (match tly with
+            | None -> ()
+            | Some a -> Tierstat.bump a ~tier:Tierstat.t_ic ~state:prev);
             Array.unsafe_get ic_target prev
           end
           else begin
@@ -556,6 +627,13 @@ let run_packed_fused t packed (f : Packed.fusion) addrs ins ~off ~len =
               Array.unsafe_set ic_label prev pc;
               Array.unsafe_set ic_target prev tgt;
               Array.unsafe_set ic_cost prev cst;
+              (match tly with
+              | None -> ()
+              | Some a ->
+                  let tier =
+                    if !e < hstop then Tierstat.t_hot else Tierstat.t_search
+                  in
+                  Tierstat.bump a ~tier ~state:prev);
               tgt
             end
             else begin
@@ -577,6 +655,13 @@ let run_packed_fused t packed (f : Packed.fusion) addrs ins ~off ~len =
               | Some h ->
                   Tea_telemetry.Metrics.observe h
                     ((!cycles - c0) / Packed.cost_hash_probe));
+              (match tly with
+              | None -> ()
+              | Some a ->
+                  let tier =
+                    if !found >= 0 then Tierstat.t_hash else Tierstat.t_miss
+                  in
+                  Tierstat.bump a ~tier ~state:prev);
               if !found >= 0 then begin
                 incr g_hits;
                 !found
@@ -611,6 +696,9 @@ let run_packed_fused t packed (f : Packed.fusion) addrs ins ~off ~len =
           in
           if hit >= 0 then begin
             incr in_hits;
+            (match tly with
+            | None -> ()
+            | Some a -> Tierstat.bump a ~tier:Tierstat.t_search ~state:prev);
             hit
           end
           else begin
@@ -630,6 +718,13 @@ let run_packed_fused t packed (f : Packed.fusion) addrs ins ~off ~len =
             | Some h ->
                 Tea_telemetry.Metrics.observe h
                   ((!cycles - c0) / Packed.cost_hash_probe));
+            (match tly with
+            | None -> ()
+            | Some a ->
+                let tier =
+                  if !found >= 0 then Tierstat.t_hash else Tierstat.t_miss
+                in
+                Tierstat.bump a ~tier ~state:prev);
             if !found >= 0 then begin
               incr g_hits;
               !found

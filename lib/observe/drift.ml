@@ -1,0 +1,64 @@
+(* Profile-drift comparator: L1 distance between a normalized reference
+   weight vector (the profile an image was repacked/fused against) and a
+   live weight vector, restricted to the union of both top-K supports.
+
+   Restricting to the heavy hitters keeps the metric focused on the mass
+   that actually drives layout decisions: a long cold tail reshuffling
+   contributes nothing, while a new hot state missing from the reference
+   contributes its full normalized weight. The distance lives in [0, 2]
+   (0 = identical heavy-hitter mass, 2 = disjoint). *)
+
+type t = {
+  k : int;
+  threshold : float;
+  ref_w : (int, float) Hashtbl.t; (* full normalized reference *)
+  ref_top : int list; (* reference top-K ids *)
+}
+
+let default_k = 32
+let default_threshold = 0.25
+
+let normalize counts =
+  let total =
+    List.fold_left (fun acc (_, c) -> if c > 0 then acc + c else acc) 0 counts
+  in
+  let tbl = Hashtbl.create (List.length counts + 1) in
+  if total > 0 then
+    List.iter
+      (fun (id, c) ->
+        if c > 0 then
+          Hashtbl.replace tbl id
+            (float_of_int c /. float_of_int total
+            +. (try Hashtbl.find tbl id with Not_found -> 0.0)))
+      counts;
+  tbl
+
+let top_k k tbl =
+  Hashtbl.fold (fun id w acc -> (id, w) :: acc) tbl []
+  |> List.sort (fun (ia, wa) (ib, wb) ->
+         let c = Float.compare wb wa in
+         if c <> 0 then c else Int.compare ia ib)
+  |> List.filteri (fun i _ -> i < k)
+  |> List.map fst
+
+let create ?(k = default_k) ?(threshold = default_threshold) ref_counts =
+  if k < 1 then invalid_arg "Drift.create: k must be >= 1";
+  let ref_w = normalize ref_counts in
+  { k; threshold; ref_w; ref_top = top_k k ref_w }
+
+let k t = t.k
+let threshold t = t.threshold
+
+let weight tbl id = try Hashtbl.find tbl id with Not_found -> 0.0
+
+let measure t live_counts =
+  let live_w = normalize live_counts in
+  let support = Hashtbl.create (2 * t.k) in
+  List.iter (fun id -> Hashtbl.replace support id ()) t.ref_top;
+  List.iter (fun id -> Hashtbl.replace support id ()) (top_k t.k live_w);
+  Hashtbl.fold
+    (fun id () acc ->
+      acc +. Float.abs (weight t.ref_w id -. weight live_w id))
+    support 0.0
+
+let exceeded t d = d > t.threshold

@@ -1,0 +1,43 @@
+(** Profile-drift monitor: how far has the live edge/state profile moved
+    from the profile an image was repacked or fused against?
+
+    The comparator normalizes both count vectors to probability mass and
+    takes the L1 distance restricted to the union of the two top-[k]
+    supports — the heavy hitters that drive {!Tea_opt.Repack} layout
+    decisions. The distance lives in [\[0, 2\]]: [0] when the heavy
+    hitters carry identical mass, [2] when the supports are disjoint.
+    This is the trigger signal the ROADMAP's closed-loop continuous-PGO
+    item consumes: when the distance crosses [threshold], the image's
+    hot-prefix/IC/fusion layout was tuned for a workload that is no
+    longer running.
+
+    Pure and deterministic: {!measure} is a function of the reference
+    and the argument alone — callers (the serve daemon) own any
+    crossing state. *)
+
+type t
+
+val default_k : int
+(** 32. *)
+
+val default_threshold : float
+(** 0.25 — a quarter of the heavy-hitter mass displaced. *)
+
+val create : ?k:int -> ?threshold:float -> (int * int) list -> t
+(** [create ref_counts] with [ref_counts] as [(id, count)] pairs —
+    state visit counts ({!Tea_opt.Repack.profile} visits, or a fleet
+    profile's per-state counts). Non-positive counts are ignored;
+    duplicate ids accumulate. @raise Invalid_argument if [k < 1]. *)
+
+val measure : t -> (int * int) list -> float
+(** L1 distance over the top-[k] support union, in [\[0, 2\]]. An empty
+    (or all-zero) live vector scores the reference top-K mass — a fleet
+    that has replayed nothing yet is maximally un-drifted only if the
+    reference is empty too. *)
+
+val exceeded : t -> float -> bool
+(** [exceeded t d] = [d > threshold t]. *)
+
+val k : t -> int
+
+val threshold : t -> float

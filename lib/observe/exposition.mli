@@ -1,0 +1,33 @@
+(** Prometheus-style text exposition.
+
+    Families:
+
+    - [tea_counter{name="..."}] — every registry counter;
+    - [tea_histogram_bucket{name="...",le="..."}] /
+      [_count] / [_sum] — cumulative log2 buckets ([le] is the bucket's
+      inclusive integer upper bound; ["0"] for the [<= 0] bucket;
+      ["+Inf"] closes the series) plus estimated
+      [tea_histogram_quantile{...,q="0.5"|"0.95"|"0.99"}] rows;
+    - [tea_dispatch_tier_total{tier="..."}] — the six dispatch tiers,
+      zeros included, when a {!Tea_core.Tierstat} snapshot is supplied;
+      per-state [tea_dispatch_state_total{state="...",tier="..."}] rows
+      follow for every state that resolved a block;
+    - [tea_drift_l1] / [tea_drift_threshold] gauges when a drift
+      measurement is supplied.
+
+    Deterministic: input snapshots are sorted, names go through
+    {!Tea_telemetry.Metrics.sanitize_name}, label values through
+    {!Tea_telemetry.Metrics.escape_label}, and floats use one fixed
+    format — equal snapshots render to byte-equal text (the
+    scrape-equals-offline gate builds on this). *)
+
+val render :
+  ?tiers:Tea_core.Tierstat.snapshot ->
+  ?translate:(int -> int) ->
+  ?drift:float * float ->
+  Tea_telemetry.Metrics.snapshot ->
+  string
+(** [translate] maps tier-snapshot state ids (packed slots) to automaton
+    ids (pass [Tea_core.Packed.orig_state image] for repacked images);
+    rows are re-sorted by translated id. [drift] is
+    [(distance, threshold)]. *)

@@ -220,6 +220,76 @@ let moved_states packed =
   done;
   !moved
 
+(* ---- edge-profile serialization (TEAEP1) ----
+
+   magic "TEAEP1" | varint n_slots | varint n_edges
+   | n_slots visit varints | n_edges taken varints | n_slots miss varints
+
+   Counts are non-negative ints; LEB128 varints keep typical profiles
+   (mostly small counts) compact. Plain Stdlib channels — the format is
+   shared with offline tooling ([tea_tool repack --save-profile],
+   [tea_tool info --profile]) and the serve daemon's drift reference. *)
+
+let profile_magic = "TEAEP1"
+
+let put_varint buf v =
+  let v = ref v in
+  while !v >= 0x80 do
+    Buffer.add_char buf (Char.chr (0x80 lor (!v land 0x7f)));
+    v := !v lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !v)
+
+let save_profile path p =
+  let buf = Buffer.create (4096 + (Array.length p.taken * 2)) in
+  Buffer.add_string buf profile_magic;
+  put_varint buf (Array.length p.visits);
+  put_varint buf (Array.length p.taken);
+  Array.iter (fun v -> put_varint buf (max 0 v)) p.visits;
+  Array.iter (fun v -> put_varint buf (max 0 v)) p.taken;
+  Array.iter (fun v -> put_varint buf (max 0 v)) p.misses;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+let load_profile path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let corrupt what = failwith ("Repack.load_profile: " ^ what) in
+      let magic = Bytes.create (String.length profile_magic) in
+      (try really_input ic magic 0 (Bytes.length magic)
+       with End_of_file -> corrupt "truncated header");
+      if Bytes.to_string magic <> profile_magic then corrupt "bad magic";
+      let get_varint () =
+        let v = ref 0 and shift = ref 0 and stop = ref false in
+        while not !stop do
+          let byte =
+            try input_byte ic with End_of_file -> corrupt "truncated varint"
+          in
+          if !shift > 56 then corrupt "varint overflow";
+          v := !v lor ((byte land 0x7f) lsl !shift);
+          shift := !shift + 7;
+          if byte < 0x80 then stop := true
+        done;
+        !v
+      in
+      let n_slots = get_varint () in
+      let n_edges = get_varint () in
+      if n_slots < 1 || n_slots > 0x40000000 || n_edges < 0
+         || n_edges > 0x40000000
+      then corrupt "implausible shape";
+      let read_array n = Array.init n (fun _ -> get_varint ()) in
+      let visits = read_array n_slots in
+      let taken = read_array n_edges in
+      let misses = read_array n_slots in
+      (match input_char ic with
+      | _ -> corrupt "trailing bytes"
+      | exception End_of_file -> ());
+      { visits; taken; misses })
+
 let pgo_replay ?hot_prefix src ?insns addrs ~len =
   let baseline = Replayer.create_packed (Packed.dup src) in
   Replayer.feed_run baseline ?insns addrs ~len;

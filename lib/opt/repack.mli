@@ -62,6 +62,15 @@ val repack :
 val moved_states : Tea_core.Packed.t -> int
 (** Slots whose id changed under the permutation (0 for a flat image). *)
 
+val save_profile : string -> profile -> unit
+(** Write a profile as a TEAEP1 file (magic, varint shape, varint
+    counts). Negative counts are clamped to 0. *)
+
+val load_profile : string -> profile
+(** Read a TEAEP1 file. @raise Failure on bad magic, truncation or
+    trailing bytes; shape-check against an image is the caller's job
+    (e.g. {!repack} raises if it does not match). *)
+
 val pgo_replay :
   ?hot_prefix:int ->
   Tea_core.Packed.t ->

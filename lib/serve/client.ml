@@ -34,6 +34,19 @@ let replay_string ?chunk addr s =
 let replay ?chunk addr path =
   replay_string ?chunk addr (Tea_core.Pc_trace.read_all path)
 
+let scrape addr =
+  with_connection addr (fun fd ->
+      Frame.send fd Frame.tag_scrape "";
+      match Frame.recv fd with
+      | None -> raise (Frame.Corrupt "server closed without a reply")
+      | Some f when f.Frame.tag = Frame.tag_metrics -> f.Frame.payload
+      | Some f when f.Frame.tag = Frame.tag_error ->
+          raise (Server_error f.Frame.payload)
+      | Some f ->
+          raise
+            (Frame.Corrupt
+               (Printf.sprintf "unexpected reply tag %C" f.Frame.tag)))
+
 let abort ~bytes_sent addr path =
   let s = Tea_core.Pc_trace.read_all path in
   let n = min bytes_sent (String.length s) in

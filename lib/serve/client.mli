@@ -18,6 +18,16 @@ val replay : ?chunk:int -> Frame.addr -> string -> Tea_parallel.Profile.t
 (** {!replay_string} of {!Tea_core.Pc_trace.read_all} of a path (["-"]
     streams standard input — the trace never touches the local disk). *)
 
+val scrape : Frame.addr -> string
+(** Ask a running server for one metrics exposition
+    ({!Frame.tag_scrape} as the first and only frame) and return the
+    Prometheus-style text it replies with. Scrapes are pure observers:
+    the connection never counts as a session and bumps no metric, so
+    the returned text is unperturbed by the scrape itself.
+    @raise Server_error on an error reply.
+    @raise Frame.Corrupt on a malformed reply.
+    @raise Unix.Unix_error when the server is unreachable. *)
+
 val abort : bytes_sent:int -> Frame.addr -> string -> unit
 (** Adversarial client: send only the first [bytes_sent] bytes of the
     file's trace stream, then close without an end-of-stream frame — a

@@ -10,6 +10,10 @@ let tag_profile = 'P'
 
 let tag_error = 'X'
 
+let tag_scrape = 'S'
+
+let tag_metrics = 'M'
+
 let header_len = 5
 
 type frame = { tag : char; payload : string }

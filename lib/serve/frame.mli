@@ -28,6 +28,19 @@ val tag_end : char
 val tag_profile : char
 val tag_error : char
 
+val tag_scrape : char
+(** Client to server, as the {e first} frame of a connection (empty
+    payload): ask for one metrics exposition instead of replaying. The
+    server answers with a single [tag_metrics] frame and the connection
+    is done. Scrape connections are observers — they never count as
+    sessions, perturb no fleet state, and bump no metrics, so a scrape's
+    own traffic can never show up in what it scrapes. *)
+
+val tag_metrics : char
+(** Server to client: the Prometheus-style text exposition
+    ({!Tea_observe.Exposition}) of the daemon's live metrics, dispatch
+    tiers and drift gauge. *)
+
 type frame = { tag : char; payload : string }
 
 val encode : char -> string -> string

@@ -9,14 +9,20 @@ module Metrics = Tea_telemetry.Metrics
    from two threads at once — the pool's mutex orders cycle N's worker
    against cycle N+1's). *)
 type session = {
+  id : int;  (* 1-based accept order, for the event log *)
   fd : Unix.file_descr;
   parser_ : Frame.parser_;
   dec : Core.Pc_trace.decoder;
   multi : Core.Multi_replayer.t;
+  fdr : Core.Multi_replayer.feeder;  (* batches drain-cycle events *)
   queue : (int * Core.Pc_trace.event) Queue.t;
   raw : Buffer.t option;  (* retained bytes for the offline differential *)
   mutable ended : bool;  (* end-of-stream frame received *)
   mutable failed : string option;  (* first fatal error; session is dropped *)
+  mutable scrape : bool;  (* a metrics observer, not a replay session *)
+  mutable counted : bool;  (* bumped serve.sessions_accepted yet? *)
+  mutable opened : bool;  (* session_open event emitted yet? *)
+  mutable stalled : bool;  (* currently deselected by backpressure *)
   mutable bytes_in : int;
   mutable blocks : int;
   mutable busy_ns : int;  (* wall time inside drain tasks *)
@@ -33,7 +39,11 @@ type t = {
   stop_r : Unix.file_descr;  (* self-pipe: [stop] wakes a blocking select *)
   stop_w : Unix.file_descr;
   reg : Metrics.t;  (* driver-only; workers account into session fields *)
+  events : Tea_observe.Events.t option;  (* None = no-op event log *)
+  drift : Tea_observe.Drift.t option;  (* None = no drift monitor *)
+  mutable drift_over : bool;  (* above threshold at last measurement? *)
   mutable sessions : session list;
+  mutable next_id : int;  (* monotonic session ids for the event log *)
   mutable accepted : int;
   mutable completed_n : int;
   mutable disconnected_n : int;
@@ -45,7 +55,8 @@ type t = {
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
-let create ?(queue_cap = 16384) ?(offline_check = false) ~jobs ~image addr =
+let create ?(queue_cap = 16384) ?(offline_check = false) ?events ?drift ~jobs
+    ~image addr =
   if queue_cap < 1 then invalid_arg "Server.create: queue_cap must be >= 1";
   (* a dead client mid-write must be an EPIPE, not a process kill *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -92,7 +103,11 @@ let create ?(queue_cap = 16384) ?(offline_check = false) ~jobs ~image addr =
     stop_r;
     stop_w;
     reg = Metrics.create ();
+    events;
+    drift;
+    drift_over = false;
     sessions = [];
+    next_id = 0;
     accepted = 0;
     completed_n = 0;
     disconnected_n = 0;
@@ -104,25 +119,109 @@ let create ?(queue_cap = 16384) ?(offline_check = false) ~jobs ~image addr =
 
 let addr t = t.bound
 
+(* ---- observability (driver thread) ---- *)
+
+let fleet_profile t =
+  Mutex.lock t.fleet_m;
+  let p = t.fleet in
+  Mutex.unlock t.fleet_m;
+  p
+
+let metrics t =
+  Metrics.merge (Metrics.snapshot t.reg) (P.Pool.metrics_snapshot t.pool)
+
+let drift_distance t =
+  match t.drift with
+  | None -> None
+  | Some d ->
+      let fleet = fleet_profile t in
+      Some
+        ( Tea_observe.Drift.measure d fleet.P.Profile.counts,
+          Tea_observe.Drift.threshold d )
+
+(* The scrape answer, also readable after [run] returns. Reads only
+   driver-owned or mutex/merge-protected state (registry, pool snapshot,
+   the global tier snapshot, the fleet), so rendering between drain
+   cycles never pauses ingestion. Deterministic: a function of the
+   snapshots alone, so the post-run scrape text equals this rendered
+   after shutdown byte-for-byte. *)
+let exposition t =
+  Tea_observe.Exposition.render
+    ~tiers:(Core.Tierstat.snapshot ())
+    ~translate:(fun st -> Core.Packed.orig_state t.image st)
+    ?drift:(drift_distance t) (metrics t)
+
+let emit_ev t kind fields =
+  match t.events with
+  | None -> ()
+  | Some e -> Tea_observe.Events.emit e kind fields
+
+(* Re-measure drift against the fleet and event the threshold crossing
+   (upward edge only; dropping back below re-arms it). The crossing
+   event depends on completion order, so it lives in the event log only
+   — the exposition gauge is a pure function of the final fleet. *)
+let drift_check t =
+  match t.drift with
+  | None -> ()
+  | Some d ->
+      let dist =
+        Tea_observe.Drift.measure d (fleet_profile t).P.Profile.counts
+      in
+      if Tea_observe.Drift.exceeded d dist then begin
+        if not t.drift_over then
+          emit_ev t "drift_threshold"
+            [
+              ("distance", Tea_observe.Events.F dist);
+              ("threshold", Tea_observe.Events.F (Tea_observe.Drift.threshold d));
+            ];
+        t.drift_over <- true
+      end
+      else t.drift_over <- false
+
 (* ---- ingestion (driver thread) ---- *)
 
 let fail_session s msg = if s.failed = None then s.failed <- Some msg
 
-let on_frame t s (f : Frame.frame) =
-  Metrics.count t.reg "serve.frames" 1;
-  if s.ended then fail_session s "frame after end-of-stream"
-  else if f.Frame.tag = Frame.tag_data then begin
-    let n = String.length f.payload in
-    s.bytes_in <- s.bytes_in + n;
-    Metrics.count t.reg "serve.bytes_in" n;
-    (match s.raw with
-    | Some b -> Buffer.add_string b f.payload
-    | None -> ());
-    Core.Pc_trace.decoder_feed s.dec f.payload (fun ~asid ev ->
-        Queue.push (asid, ev) s.queue)
+(* Deferred accounting: a connection only counts as an accepted session
+   once its first frame proves it is one. Scrape connections are pure
+   observers — they bump no counter and emit no event, so a scrape can
+   never perturb the exposition it returns (post-run scrape text ==
+   offline exposition is a hard test). *)
+let count_session t s =
+  if not s.counted then begin
+    s.counted <- true;
+    Metrics.count t.reg "serve.sessions_accepted" 1
   end
-  else if f.Frame.tag = Frame.tag_end then s.ended <- true
-  else fail_session s (Printf.sprintf "unexpected frame tag %C" f.Frame.tag)
+
+let on_frame t s (f : Frame.frame) =
+  if s.scrape then () (* observer: ignore anything after the scrape ask *)
+  else if f.Frame.tag = Frame.tag_scrape && s.bytes_in = 0 && not s.ended
+  then begin
+    s.scrape <- true;
+    try Frame.send s.fd Frame.tag_metrics (exposition t)
+    with Unix.Unix_error _ | Sys_error _ -> ()
+  end
+  else begin
+    count_session t s;
+    Metrics.count t.reg "serve.frames" 1;
+    if s.ended then fail_session s "frame after end-of-stream"
+    else if f.Frame.tag = Frame.tag_data then begin
+      if not s.opened then begin
+        s.opened <- true;
+        emit_ev t "session_open" [ ("session", Tea_observe.Events.I s.id) ]
+      end;
+      let n = String.length f.payload in
+      s.bytes_in <- s.bytes_in + n;
+      Metrics.count t.reg "serve.bytes_in" n;
+      (match s.raw with
+      | Some b -> Buffer.add_string b f.payload
+      | None -> ());
+      Core.Pc_trace.decoder_feed s.dec f.payload (fun ~asid ev ->
+          Queue.push (asid, ev) s.queue)
+    end
+    else if f.Frame.tag = Frame.tag_end then s.ended <- true
+    else fail_session s (Printf.sprintf "unexpected frame tag %C" f.Frame.tag)
+  end
 
 let read_session t chunk s =
   match Unix.read s.fd chunk 0 (Bytes.length chunk) with
@@ -147,20 +246,28 @@ let rec accept_all t until_sessions =
         accept_all t until_sessions
     | fd, _ ->
         t.accepted <- t.accepted + 1;
-        Metrics.count t.reg "serve.sessions_accepted" 1;
+        t.next_id <- t.next_id + 1;
+        let multi =
+          Core.Multi_replayer.create (fun _ ->
+              Core.Replayer.create_packed (Core.Packed.dup t.image))
+        in
         let s =
           {
+            id = t.next_id;
             fd;
             parser_ = Frame.parser_ ();
             dec = Core.Pc_trace.decoder ();
-            multi =
-              Core.Multi_replayer.create (fun _ ->
-                  Core.Replayer.create_packed (Core.Packed.dup t.image));
+            multi;
+            fdr = Core.Multi_replayer.feeder multi;
             queue = Queue.create ();
             raw =
               (if t.offline_check then Some (Buffer.create 4096) else None);
             ended = false;
             failed = None;
+            scrape = false;
+            counted = false;
+            opened = false;
+            stalled = false;
             bytes_in = 0;
             blocks = 0;
             busy_ns = 0;
@@ -188,14 +295,20 @@ let drain_cycle t =
            let s = arr.(i) in
            let t0 = now_ns () in
            let n = ref 0 in
+           (* The feeder batches consecutive same-asid blocks through
+              Replayer.feed_run — the same engine loops (and the same
+              dispatch-tier attribution) offline replay takes — and is
+              flushed before the task ends, so a completed session's
+              profile is always fully materialized. *)
            (try
               while not (Queue.is_empty s.queue) do
                 let asid, ev = Queue.pop s.queue in
-                Core.Multi_replayer.feed s.multi ~asid ev;
+                Core.Multi_replayer.feeder_feed s.fdr ~asid ev;
                 match ev with
                 | Core.Pc_trace.Block _ -> incr n
                 | _ -> ()
-              done
+              done;
+              Core.Multi_replayer.feeder_flush s.fdr
             with e ->
               s.failed <- Some ("replay error: " ^ Printexc.to_string e));
            P.Pool.add_units t.pool !n;
@@ -207,11 +320,16 @@ let drain_cycle t =
 (* ---- completion / disconnect (driver thread) ---- *)
 
 let drop t s msg =
+  (* a connection that died before any frame still counts: it was a
+     (failed) session, not a scrape *)
+  count_session t s;
   (try Frame.send s.fd Frame.tag_error msg
    with Unix.Unix_error _ | Sys_error _ -> ());
   (try Unix.close s.fd with Unix.Unix_error _ -> ());
   t.disconnected_n <- t.disconnected_n + 1;
-  Metrics.count t.reg "serve.disconnects" 1
+  Metrics.count t.reg "serve.disconnects" 1;
+  emit_ev t "session_abort"
+    [ ("session", Tea_observe.Events.I s.id); ("reason", Tea_observe.Events.S msg) ]
 
 let complete t s =
   let prof =
@@ -232,6 +350,13 @@ let complete t s =
   if s.blocks > 0 then
     Metrics.observe_value t.reg "serve.session_ns_per_block"
       (s.busy_ns / s.blocks);
+  emit_ev t "session_close"
+    [
+      ("session", Tea_observe.Events.I s.id);
+      ("bytes", Tea_observe.Events.I s.bytes_in);
+      ("blocks", Tea_observe.Events.I s.blocks);
+    ];
+  drift_check t;
   (try Frame.send s.fd Frame.tag_profile (Frame.encode_profile prof)
    with Unix.Unix_error _ | Sys_error _ -> ());
   try Unix.close s.fd with Unix.Unix_error _ -> ()
@@ -240,15 +365,22 @@ let finalize t =
   let live = ref [] in
   List.iter
     (fun s ->
-      match s.failed with
-      | Some msg -> drop t s msg
-      | None ->
-          if s.ended && Queue.is_empty s.queue then
-            match Core.Pc_trace.decoder_finish s.dec with
-            | () -> complete t s
-            | exception Core.Pc_trace.Corrupt msg ->
-                drop t s ("corrupt trace: " ^ msg)
-          else live := s :: !live)
+      if s.scrape then begin
+        (* an answered observer: close and vanish — it never counted as
+           a session, so give its accept slot back *)
+        (try Unix.close s.fd with Unix.Unix_error _ -> ());
+        t.accepted <- t.accepted - 1
+      end
+      else
+        match s.failed with
+        | Some msg -> drop t s msg
+        | None ->
+            if s.ended && Queue.is_empty s.queue then
+              match Core.Pc_trace.decoder_finish s.dec with
+              | () -> complete t s
+              | exception Core.Pc_trace.Corrupt msg ->
+                  drop t s ("corrupt trace: " ^ msg)
+            else live := s :: !live)
     t.sessions;
   t.sessions <- List.rev !live
 
@@ -269,9 +401,23 @@ let run ?until_sessions t =
             (* backpressure: a session at queue capacity is not read this
                cycle; its socket buffer fills and the client's writes
                block until the pool drains it *)
-            if s.failed = None && (not s.ended)
-               && Queue.length s.queue < t.queue_cap
-            then Some s.fd
+            if s.failed = None && not s.ended then begin
+              if Queue.length s.queue < t.queue_cap then begin
+                s.stalled <- false;
+                Some s.fd
+              end
+              else begin
+                if not s.stalled then begin
+                  s.stalled <- true;
+                  emit_ev t "pool_stall"
+                    [
+                      ("session", Tea_observe.Events.I s.id);
+                      ("depth", Tea_observe.Events.I (Queue.length s.queue));
+                    ]
+                end;
+                None
+              end
+            end
             else None)
           t.sessions
     in
@@ -324,12 +470,6 @@ let close t =
 
 (* ---- results ---- *)
 
-let fleet_profile t =
-  Mutex.lock t.fleet_m;
-  let p = t.fleet in
-  Mutex.unlock t.fleet_m;
-  p
-
 let completed t = t.completed_n
 
 let disconnected t = t.disconnected_n
@@ -356,6 +496,3 @@ let offline_profile t =
                (List.map snd (Core.Multi_replayer.snapshots m))))
       )
     P.Profile.empty (List.rev t.retained)
-
-let metrics t =
-  Metrics.merge (Metrics.snapshot t.reg) (P.Pool.metrics_snapshot t.pool)

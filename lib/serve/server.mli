@@ -39,6 +39,8 @@ type t
 val create :
   ?queue_cap:int ->
   ?offline_check:bool ->
+  ?events:Tea_observe.Events.t ->
+  ?drift:Tea_observe.Drift.t ->
   jobs:int ->
   image:Tea_core.Packed.t ->
   Frame.addr ->
@@ -46,9 +48,13 @@ val create :
 (** Bind, listen and spawn the worker pool. [queue_cap] (default 16384)
     bounds each session's decoded-event queue; [offline_check] (default
     false) retains every completed session's raw bytes so
-    {!offline_profile} can re-derive the fleet profile sequentially. A
-    [Unix_sock] path is unlinked first; [Tcp] port 0 binds an ephemeral
-    port (read it back with {!addr}).
+    {!offline_profile} can re-derive the fleet profile sequentially.
+    [events] attaches a structured JSONL event log (session lifecycle,
+    pool stalls, drift crossings); [drift] attaches a profile-drift
+    comparator re-measured against the fleet profile after every
+    completed session. Both default to off — the disabled path adds no
+    work to the drain cycle. A [Unix_sock] path is unlinked first;
+    [Tcp] port 0 binds an ephemeral port (read it back with {!addr}).
     @raise Invalid_argument when [jobs < 1] or [queue_cap < 1].
     @raise Unix.Unix_error when the address cannot be bound. *)
 
@@ -97,3 +103,17 @@ val metrics : t -> Tea_telemetry.Metrics.snapshot
     [serve.session_blocks], [serve.session_ns_per_block],
     [serve.queue_depth]) merged with the pool's per-domain counters.
     Read when {!run} is not mid-cycle (e.g. after it returned). *)
+
+val drift_distance : t -> (float * float) option
+(** The last drift measurement against the attached comparator as
+    [(distance, threshold)]; [None] when the server was created without
+    [~drift] or no session has completed yet. *)
+
+val exposition : t -> string
+(** The Prometheus-style text exposition ({!Tea_observe.Exposition}) of
+    {!metrics}, the installed dispatch-tier snapshot
+    ({!Tea_core.Tierstat.snapshot}) and the drift gauge. This is exactly
+    the payload a {!Frame.tag_scrape} connection receives; because
+    scrapes are pure observers (never counted as sessions, no metric
+    bumps), a scrape issued after the last session completed returns
+    this string byte-for-byte. *)

@@ -139,6 +139,73 @@ let merge_all = List.fold_left merge empty
 
 let equal (a : snapshot) (b : snapshot) = a = b
 
+(* ---- quantile estimation over the log2 buckets ---- *)
+
+(* Bucket value bounds for interpolation: bucket 0 is the point value 0,
+   bucket k >= 1 spans [2^(k-1), 2^k). *)
+let bucket_bounds b =
+  if b = 0 then (0.0, 0.0)
+  else (float_of_int (1 lsl (b - 1)), float_of_int (1 lsl b))
+
+let quantile h q =
+  if h.hs_count = 0 then 0.0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    (* rank of the q-th sample, 1-based, ceiling so q = 0 and tiny q hit
+       the first sample and q = 1 the last *)
+    let rank =
+      let r = ceil (q *. float_of_int h.hs_count) in
+      if r < 1.0 then 1.0 else r
+    in
+    let rec find cum = function
+      | [] -> (* unreachable: ranks never exceed the total *) 0.0
+      | (b, n) :: rest ->
+          let cum' = cum + n in
+          if float_of_int cum' >= rank then begin
+            let lo, hi = bucket_bounds b in
+            (* linear interpolation within the bucket's value range *)
+            let pos = (rank -. float_of_int cum) /. float_of_int n in
+            lo +. (pos *. (hi -. lo))
+          end
+          else find cum' rest
+    in
+    find 0 h.hs_buckets
+  end
+
+let p50 h = quantile h 0.5
+let p95 h = quantile h 0.95
+let p99 h = quantile h 0.99
+
+(* ---- exposition helpers ---- *)
+
+let sanitize_name s =
+  let ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = ':'
+  in
+  let b = Bytes.of_string s in
+  for i = 0 to Bytes.length b - 1 do
+    if not (ok (Bytes.get b i)) then Bytes.set b i '_'
+  done;
+  let s' = Bytes.unsafe_to_string b in
+  if s' = "" then "_"
+  else if s'.[0] >= '0' && s'.[0] <= '9' then "_" ^ s'
+  else s'
+
+let escape_label s =
+  let n = String.length s in
+  let b = Buffer.create (n + 8) in
+  for i = 0 to n - 1 do
+    match s.[i] with
+    | '\\' -> Buffer.add_string b "\\\\"
+    | '"' -> Buffer.add_string b "\\\""
+    | '\n' -> Buffer.add_string b "\\n"
+    | c -> Buffer.add_char b c
+  done;
+  Buffer.contents b
+
 let find_counter s name = List.assoc_opt name s.s_counters
 
 let find_histogram s name = List.assoc_opt name s.s_histograms

@@ -80,3 +80,35 @@ val equal : snapshot -> snapshot -> bool
 val find_counter : snapshot -> string -> int option
 
 val find_histogram : snapshot -> string -> hist_snapshot option
+
+(** {2 Quantiles}
+
+    Estimated from the log2 buckets: the bucket holding the requested
+    rank is found by cumulative count, then the value is linearly
+    interpolated inside the bucket's range ([\[2^(k-1), 2^k)]; bucket 0
+    is the point value 0). Deterministic — a pure function of the
+    snapshot — and exact whenever a bucket holds a single distinct
+    value. *)
+
+val quantile : hist_snapshot -> float -> float
+(** [quantile h q] for [q] in [\[0, 1\]] (clamped); [0.] on an empty
+    histogram. *)
+
+val p50 : hist_snapshot -> float
+
+val p95 : hist_snapshot -> float
+
+val p99 : hist_snapshot -> float
+
+(** {2 Exposition helpers} *)
+
+val sanitize_name : string -> string
+(** Map a registry name onto the exposition metric-name alphabet
+    [\[A-Za-z0-9_:\]]: every other byte becomes ['_'], a leading digit
+    gains a ['_'] prefix, [""] becomes ["_"]. Total and deterministic,
+    so sorted registry names stay sorted and goldens are stable. *)
+
+val escape_label : string -> string
+(** Escape a label value for the Prometheus text format: backslash,
+    double quote and newline become backslash-escaped two-byte
+    sequences. *)
