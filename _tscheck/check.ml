@@ -1,0 +1,10 @@
+module T = Tea_core.Tierstat
+let () =
+  T.install ();
+  (match T.tally () with
+   | None -> assert false
+   | Some a ->
+       (* bump state 42, tier 0 only: idx = 252 < 256, no grow *)
+       T.bump a ~tier:T.t_ic ~state:42);
+  let s = T.uninstall () in
+  Printf.printf "total=%d rows=%d\n" (T.total s) (List.length s.T.ts_states)
