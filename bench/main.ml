@@ -924,6 +924,254 @@ let run_fuse ~smoke =
   close_out oc;
   progress "[bench] wrote BENCH_fuse.json (%d workloads)" (List.length rows)
 
+(* ---- closure-threaded dispatch: the BENCH_compile.json trajectory ----
+
+   For every workload: record condition-tree traces (branching spans are
+   the dispatch shapes closure compilation specializes), freeze,
+   profile-repack and fuse on the captured stream (the PR 5+6 engine is
+   the baseline — compilation composes over both passes), compile the
+   tuned image, then time interpreted vs compiled replay of the
+   identical stream. Three hard gates per workload (exit 1): the
+   compiled TBB mapping must match the reference transition engine's on
+   the raw automaton, and the full profile and the simulated cycles must
+   be bit-identical to the interpreted tuned engine. Compilation is a
+   pure wall-clock optimization — the per-step charges are captured from
+   the same cost tables at build time, so any observable drift is a bug.
+
+   The speedup target is scoped to branchy workloads: streams spending
+   < 50% of their steps inside fused chains, so interpreted dispatch
+   actually walks spans per step — the shape the straight-line compares
+   replace. Chain-dominated streams already replay through bulk
+   accounting on both engines and are floor-checked, not geomean-gated. *)
+
+type compile_row = {
+  co_name : string;
+  co_branchy : bool;  (** fused-step fraction < 0.5 — span-walk dominated *)
+  co_blocks : int;
+  co_fraction : float;  (** share of replay steps handled inside chains *)
+  co_closures : int;
+  co_fallback : int;  (** minihash-fallback states (fan-out > scan_cap) *)
+  co_chained : int;  (** fused-chain matcher closures *)
+  co_base_ns : float;  (** repacked+fused interpreted replay, ns/block *)
+  co_compiled_ns : float;
+  co_cycles : int;  (** identical across all three engines, by gate *)
+}
+
+let run_compile_one ~strategy name =
+  let image = repack_image name in
+  let dbt = Tea_dbt.Stardbt.record ~strategy image in
+  let traces = Tea_traces.Trace_set.to_list dbt.Tea_dbt.Stardbt.set in
+  let auto = Tea_core.Builder.build traces in
+  let flat = Tea_core.Packed.freeze auto in
+  let path = Filename.temp_file "tea_bench" ".trc" in
+  let _ = Tea_pinsim.Trace_capture.record image path in
+  let starts, insns, len = Tea_parallel.Shard.load_pc_trace path in
+  Sys.remove path;
+  (* baseline: the full PR 5+6 pipeline — profile-guided repack, then
+     profile-aware fusion over the repacked layout *)
+  let repacked =
+    Tea_opt.Repack.repack flat (Tea_opt.Repack.collect flat starts ~len)
+  in
+  let profile = Tea_opt.Repack.collect repacked starts ~len in
+  let fused = Tea_opt.Fuse.fuse ~profile repacked in
+  let run_packed img =
+    let rep = Tea_core.Replayer.create_packed img in
+    Tea_core.Replayer.feed_run rep ~insns starts ~len;
+    rep
+  in
+  let base_rep = run_packed fused in
+  let compiled = Tea_opt.Compile.compile (Tea_core.Packed.dup fused) in
+  let comp_rep = Tea_core.Replayer.create_compiled compiled in
+  Tea_core.Replayer.feed_run comp_rep ~insns starts ~len;
+  (* gate 1: TBB mapping vs the paper-faithful reference engine on the
+     raw automaton — compilation must not even depend on the layout *)
+  let ref_rep =
+    Tea_core.Replayer.create
+      (Tea_core.Transition.create Tea_core.Transition.config_global_local auto)
+  in
+  Tea_core.Replayer.feed_run ref_rep ~insns starts ~len;
+  if Tea_core.Replayer.tbb_counts ref_rep <> Tea_core.Replayer.tbb_counts comp_rep
+  then begin
+    Printf.eprintf
+      "[bench] ERROR: %s: compiled TBB mapping diverged from the reference \
+       engine\n"
+      name;
+    exit 1
+  end;
+  (* gates 2+3: full profile and simulated cycles vs the interpreted
+     tuned engine *)
+  if
+    not
+      (Tea_parallel.Profile.equal
+         (Tea_parallel.Profile.of_replayer base_rep)
+         (Tea_parallel.Profile.of_replayer comp_rep))
+  then begin
+    Printf.eprintf
+      "[bench] ERROR: %s: compiled replay profile diverged from the \
+       interpreted engine\n"
+      name;
+    exit 1
+  end;
+  if Tea_core.Replayer.cycles comp_rep <> Tea_core.Replayer.cycles base_rep
+  then begin
+    Printf.eprintf
+      "[bench] ERROR: %s: compiled replay charges different simulated \
+       cycles (%d <> %d)\n"
+      name
+      (Tea_core.Replayer.cycles comp_rep)
+      (Tea_core.Replayer.cycles base_rep);
+    exit 1
+  end;
+  (* chain coverage of the stream, as in the fuse bench (skipped when the
+     driver itself owns the probe set) *)
+  let fraction =
+    if Tea_telemetry.Probe.enabled () then 0.0
+    else begin
+      Tea_telemetry.Probe.install ();
+      ignore (run_packed fused);
+      let snap = Tea_telemetry.Probe.uninstall () in
+      let c k =
+        Option.value
+          (List.assoc_opt k snap.Tea_telemetry.Metrics.s_counters)
+          ~default:0
+      in
+      let steps = c "replayer.steps" in
+      if steps = 0 then 0.0
+      else float_of_int (c "packed.fused_steps") /. float_of_int steps
+    end
+  in
+  (* interleaved best-of-5 timing after one warmup; the compiled image is
+     built once outside the loop — of_packed is O(states), a one-time
+     cost amortized over the whole replay fleet, not a per-replay one *)
+  let timed = Tea_opt.Compile.compile (Tea_core.Packed.dup fused) in
+  let reps = 1 + (2_000_000 / max 1 len) in
+  let sample_interp () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      let rep = Tea_core.Replayer.create_packed fused in
+      Tea_core.Replayer.feed_run rep ~insns starts ~len
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let sample_compiled () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      let rep = Tea_core.Replayer.create_compiled timed in
+      Tea_core.Replayer.feed_run rep ~insns starts ~len
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let best_i = ref infinity and best_c = ref infinity in
+  for round = 0 to 5 do
+    let i = sample_interp () in
+    let c = sample_compiled () in
+    if round > 0 then begin
+      if i < !best_i then best_i := i;
+      if c < !best_c then best_c := c
+    end
+  done;
+  let ns dt = 1e9 *. dt /. float_of_int (reps * len) in
+  {
+    co_name = name;
+    co_branchy = fraction < 0.5;
+    co_blocks = len;
+    co_fraction = fraction;
+    co_closures = Tea_core.Compiled.n_closures compiled;
+    co_fallback = Tea_core.Compiled.fallback_states compiled;
+    co_chained = Tea_core.Compiled.chained_states compiled;
+    co_base_ns = ns !best_i;
+    co_compiled_ns = ns !best_c;
+    co_cycles = Tea_core.Replayer.cycles comp_rep;
+  }
+
+let compile_json ~smoke ~strategy rows ~geo_all ~geo_branchy ~floor =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.bprintf buf fmt in
+  add "{\n";
+  add "  \"bench\": \"compile\",\n";
+  add "  \"smoke\": %b,\n" smoke;
+  add "  \"strategy\": %S,\n" strategy;
+  add "  \"scan_cap\": %d,\n" Tea_core.Compiled.scan_cap;
+  add "  \"workloads\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"name\": %S, \"branchy\": %b, \"blocks\": %d, \
+         \"fused_step_fraction\": %.4f,\n"
+        r.co_name r.co_branchy r.co_blocks r.co_fraction;
+      add
+        "     \"closures\": %d, \"minihash_fallback_states\": %d, \
+         \"chain_matchers\": %d, \"sim_cycles\": %d,\n"
+        r.co_closures r.co_fallback r.co_chained r.co_cycles;
+      add
+        "     \"fused_replay_ns_per_block\": %.2f, \
+         \"compiled_replay_ns_per_block\": %.2f, \"replay_speedup\": %.3f}%s\n"
+        r.co_base_ns r.co_compiled_ns
+        (r.co_base_ns /. r.co_compiled_ns)
+        (if i = n - 1 then "" else ","))
+    rows;
+  add "  ],\n";
+  add "  \"geomean_replay_speedup_all\": %.3f,\n" geo_all;
+  add "  \"geomean_replay_speedup_branchy\": %.3f,\n" geo_branchy;
+  add "  \"min_replay_speedup\": %.3f\n" floor;
+  Buffer.contents buf ^ "}\n"
+
+let run_compile ~smoke =
+  let strategy_name = "ctt" in
+  let strategy = Option.get (Tea_traces.Registry.by_name strategy_name) in
+  let names =
+    if smoke then [ "micro:listscan"; "181.mcf" ]
+    else List.map fst repack_micro_set @ Tea_workloads.Spec2000.names
+  in
+  progress
+    "[bench] compile: %d workloads, %s traces, closure-threaded dispatch \
+     over the repacked+fused engine..."
+    (List.length names) strategy_name;
+  let rows =
+    List.map
+      (fun name ->
+        let r = run_compile_one ~strategy name in
+        Printf.printf
+          "%-16s replay %5.1f -> %5.1f ns (%.2fx)  %d closures (%d minihash, \
+           %d chain matchers)  %4.1f%% fused steps%s\n%!"
+          r.co_name r.co_base_ns r.co_compiled_ns
+          (r.co_base_ns /. r.co_compiled_ns)
+          r.co_closures r.co_fallback r.co_chained
+          (100.0 *. r.co_fraction)
+          (if r.co_branchy then "  [branchy]" else "");
+        r)
+      names
+  in
+  let speedup r = r.co_base_ns /. r.co_compiled_ns in
+  let geo_all = Tea_report.Stats.geomean (List.map speedup rows) in
+  let branchy = List.filter (fun r -> r.co_branchy) rows in
+  let geo_branchy =
+    Tea_report.Stats.geomean
+      (List.map speedup (if branchy = [] then rows else branchy))
+  in
+  let floor = List.fold_left (fun m r -> min m (speedup r)) infinity rows in
+  Printf.printf
+    "geomean replay speedup: %.2fx all, %.2fx branchy (target >= 1.15x); \
+     slowest workload %.2fx (floor 0.98x)\n"
+    geo_all geo_branchy floor;
+  if geo_branchy < 1.15 then
+    progress
+      "[bench] WARNING: branchy geomean %.2fx below the 1.15x target"
+      geo_branchy;
+  if floor < 0.98 then
+    progress "[bench] WARNING: a workload regressed below the 0.98x floor";
+  let json =
+    compile_json ~smoke ~strategy:strategy_name rows ~geo_all ~geo_branchy
+      ~floor
+  in
+  let oc = open_out "BENCH_compile.json" in
+  output_string oc json;
+  close_out oc;
+  progress "[bench] wrote BENCH_compile.json (%d workloads, identity gates \
+            passed)"
+    (List.length rows)
+
 (* ---- adversarial scenarios: the BENCH_scenario.json trajectory ----
 
    Rows cover the three hazard classes over >= 3 base workloads:
@@ -1595,6 +1843,7 @@ let () =
     | [ "packed" ] -> run_packed_compare ()
     | [ "repack" ] -> run_repack ~smoke
     | [ "fuse" ] -> run_fuse ~smoke
+    | [ "compile" ] -> run_compile ~smoke
     | [ "scenario" ] -> run_scenario ~smoke
     | [ "serve" ] -> run_serve ~smoke
     | [ "observe" ] -> run_observe ~smoke
@@ -1616,8 +1865,8 @@ let () =
     | _ ->
         prerr_endline
           "usage: main.exe [quick | micro | packed | repack | fuse | \
-           scenario | serve | observe | parallel | telemetry | ablation | \
-           extensions | table1 table2 table3 table4] [--smoke] \
+           compile | scenario | serve | observe | parallel | telemetry | \
+           ablation | extensions | table1 table2 table3 table4] [--smoke] \
            [--telemetry FILE] [--metrics] [--quiet]";
         exit 2
   in

@@ -206,24 +206,35 @@ let pc_trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "pc-trace" ] ~docv:"FILE" ~doc)
 
+(* An enumerated conv, not a free string resolved later: unknown
+   configs are usage errors at the command line, listing the valid
+   values, never a late exit mid-run. *)
 let config_arg =
   let doc = "Lookup configuration: global-local, global-no-local, no-global-local." in
-  Arg.(value & opt string "global-local" & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
-
-let resolve_config = function
-  | "global-local" -> Ok Tea_core.Transition.config_global_local
-  | "global-no-local" -> Ok Tea_core.Transition.config_global_no_local
-  | "no-global-local" -> Ok Tea_core.Transition.config_no_global_local
-  | c -> Error (Printf.sprintf "unknown config %S" c)
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("global-local", Tea_core.Transition.config_global_local);
+             ("global-no-local", Tea_core.Transition.config_global_no_local);
+             ("no-global-local", Tea_core.Transition.config_no_global_local) ])
+        Tea_core.Transition.config_global_local
+    & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
 
 let engine_arg =
   let doc =
     "Transition engine: reference (paper-faithful edge lists + B+ tree, \
-     honours --config) or packed (flat-array fast path)."
+     honours --config), packed (flat-array fast path) or compiled \
+     (closure-threaded dispatch specialized from the packed image; \
+     identical observables, fastest host replay)."
   in
   Arg.(
     value
-    & opt (enum [ ("reference", `Reference); ("packed", `Packed) ]) `Reference
+    & opt
+        (enum
+           [ ("reference", `Reference); ("packed", `Packed);
+             ("compiled", `Compiled) ])
+        `Reference
     & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
 
 (* --jobs validates through the pool's own parser: 0, negatives and
@@ -250,8 +261,8 @@ let pgo_arg =
     "Profile-guided repacking: collect a replay profile first, repack the \
      packed image on it (hot states cache-dense, hot edges linear-scan \
      first, per-state inline caches), then replay through the repacked \
-     engine. Requires --engine=packed. TBB mappings and coverage are \
-     identical to the unrepacked replay."
+     engine. Requires --engine=packed or compiled. TBB mappings and \
+     coverage are identical to the unrepacked replay."
   in
   Arg.(value & flag & info [ "pgo" ] ~doc)
 
@@ -266,9 +277,9 @@ let fuse_arg =
   let doc =
     "Superstate fusion: collapse single-successor TBB chains into \
      superstates and fast-forward monomorphic cycles, then replay through \
-     the fused engine. Requires --engine=packed; composes with --pgo \
-     (repack first, fuse the repacked image). TBB mappings, coverage and \
-     simulated cycles are identical to the unfused replay."
+     the fused engine. Requires --engine=packed or compiled; composes \
+     with --pgo (repack first, fuse the repacked image). TBB mappings, \
+     coverage and simulated cycles are identical to the unfused replay."
   in
   Arg.(value & flag & info [ "fuse" ] ~doc)
 
@@ -276,7 +287,7 @@ let tiers_arg =
   let doc =
     "Install the dispatch-tier profiler for the replay and print the \
      hotness report (tier mix, fusion coverage, top states) afterwards. \
-     Requires --engine=packed."
+     Requires --engine=packed or compiled."
   in
   Arg.(value & flag & info [ "tiers" ] ~doc)
 
@@ -384,8 +395,8 @@ let every_arg =
   in
   Arg.(value & opt (some int) None & info [ "every" ] ~docv:"N" ~doc)
 
-let run_scenario ~kind ~name ~withs ~strategy_name ~jobs ~pgo ~fuse ~quantum
-    ~schedule ~seed ~period ~at ~every obs =
+let run_scenario ~kind ~name ~withs ~strategy_name ~engine ~jobs ~pgo ~fuse
+    ~quantum ~schedule ~seed ~period ~at ~every obs =
   let module Scenario = Tea_workloads.Scenario in
   let kind_name =
     match kind with
@@ -394,13 +405,33 @@ let run_scenario ~kind ~name ~withs ~strategy_name ~jobs ~pgo ~fuse ~quantum
     | `Interrupt -> "interrupt"
   in
   let names = name :: withs in
+  (* scenario knobs are validated here, as usage errors — never left to
+     surface as a raw Invalid_argument out of the scenario generators *)
   (match kind with
   | `Interleave ->
       if List.length names < 2 then
-        or_die (Error "--scenario=interleave needs at least one --with workload")
+        or_die (Error "--scenario=interleave needs at least one --with workload");
+      if quantum < 1 then or_die (Error "--quantum must be >= 1")
   | `Smc | `Interrupt ->
       if withs <> [] then
         or_die (Error "--with applies only to --scenario=interleave"));
+  (match kind with
+  | `Smc -> if period < 1 then or_die (Error "--period must be >= 1")
+  | `Interleave | `Interrupt ->
+      ignore period (* fixed default; never reaches the generator *));
+  (match kind with
+  | `Interrupt ->
+      (match at with
+      | Some n when n < 0 -> or_die (Error "--at must be >= 0")
+      | _ -> ());
+      (match every with
+      | Some n when n < 1 -> or_die (Error "--every must be >= 1")
+      | _ -> ())
+  | `Interleave | `Smc ->
+      if at <> None then
+        or_die (Error "--at applies only to --scenario=interrupt");
+      if every <> None then
+        or_die (Error "--every applies only to --scenario=interrupt"));
   (* Per-asid pipeline: record traces, freeze the packed image, capture
      the workload's own block stream, and tune (--pgo/--fuse) on that
      stream — the same image then backs both the demuxed and the isolated
@@ -444,7 +475,14 @@ let run_scenario ~kind ~name ~withs ~strategy_name ~jobs ~pgo ~fuse ~quantum
   let streams = List.map fst prepared in
   let images = Array.of_list (List.map snd prepared) in
   let img_for a = images.(a) in
-  let make a = Tea_core.Replayer.create_packed (Tea_core.Packed.dup (img_for a)) in
+  let mk_rep img =
+    match engine with
+    | `Packed -> Tea_core.Replayer.create_packed (Tea_core.Packed.dup img)
+    | `Compiled ->
+        Tea_core.Replayer.create_compiled
+          (Tea_core.Compiled.of_packed (Tea_core.Packed.dup img))
+  in
+  let make a = mk_rep (img_for a) in
   let scn =
     match kind with
     | `Interleave ->
@@ -466,7 +504,8 @@ let run_scenario ~kind ~name ~withs ~strategy_name ~jobs ~pgo ~fuse ~quantum
       | None ->
           Tea_core.Multi_replayer.snapshots
             (Tea_core.Multi_replayer.replay_events make file)
-      | Some pool -> Tea_parallel.Shard.replay_events pool img_for file)
+      | Some pool ->
+          Tea_parallel.Shard.replay_events pool img_for ~make:mk_rep file)
   in
   let isolated =
     Probe.with_span "scenario_isolated" @@ fun () ->
@@ -487,8 +526,9 @@ let run_scenario ~kind ~name ~withs ~strategy_name ~jobs ~pgo ~fuse ~quantum
   (* Everything printed is a pure function of the scenario and the tuned
      images — byte-identical whatever --jobs is. *)
   let runs = Tea_parallel.Shard.load_events file in
-  Printf.printf "scenario %s (packed engine%s%s): %d streams, %d events\n"
+  Printf.printf "scenario %s (%s engine%s%s): %d streams, %d events\n"
     kind_name
+    (match engine with `Packed -> "packed" | `Compiled -> "compiled")
     (if pgo then " +pgo" else "")
     (if fuse then " +fuse" else "")
     (List.length streams) n_events;
@@ -514,16 +554,29 @@ let replay_cmd =
   let rec run name strategy_name traces_file config_name pc_trace engine jobs
       pgo fuse tiers scenario withs quantum schedule seed period at every obs =
     with_obs obs "replay" @@ fun () ->
-    if pgo && engine <> `Packed then
-      or_die (Error "--pgo requires --engine=packed");
-    if fuse && engine <> `Packed then
-      or_die (Error "--fuse requires --engine=packed");
-    if tiers && engine <> `Packed then
-      or_die (Error "--tiers requires --engine=packed");
+    if pgo && engine = `Reference then
+      or_die (Error "--pgo requires --engine=packed or compiled");
+    if fuse && engine = `Reference then
+      or_die (Error "--fuse requires --engine=packed or compiled");
+    if tiers && engine = `Reference then
+      or_die (Error "--tiers requires --engine=packed or compiled");
+    (match scenario with
+    | Some _ -> ()
+    | None ->
+        (* scenario-only knobs without --scenario are usage errors, not
+           silently dead flags *)
+        if withs <> [] then or_die (Error "--with requires --scenario");
+        if at <> None then or_die (Error "--at requires --scenario=interrupt");
+        if every <> None then
+          or_die (Error "--every requires --scenario=interrupt"));
     match scenario with
     | Some kind ->
-        if engine <> `Packed then
-          or_die (Error "--scenario requires --engine=packed");
+        let engine =
+          match engine with
+          | `Reference ->
+              or_die (Error "--scenario requires --engine=packed or compiled")
+          | (`Packed | `Compiled) as e -> e
+        in
         if tiers then
           or_die (Error "--tiers applies only to plain replay; drop --scenario");
         if pc_trace <> None then
@@ -531,8 +584,8 @@ let replay_cmd =
         if traces_file <> None then
           or_die (Error "--scenario records its own traces; drop --traces");
         ignore config_name;
-        run_scenario ~kind ~name ~withs ~strategy_name ~jobs ~pgo ~fuse
-          ~quantum ~schedule ~seed ~period ~at ~every obs
+        run_scenario ~kind ~name ~withs ~strategy_name ~engine ~jobs ~pgo
+          ~fuse ~quantum ~schedule ~seed ~period ~at ~every obs
     | None ->
         let body () =
           run_replay name strategy_name traces_file config_name pc_trace
@@ -575,7 +628,7 @@ let replay_cmd =
     in
     Fun.protect ~finally:cleanup_spool @@ fun () ->
     let image = or_die (resolve_workload name) in
-    let config = or_die (resolve_config config_name) in
+    let config = config_name in
     let traces =
       Probe.with_span "acquire_traces" @@ fun () ->
       match traces_file with
@@ -586,7 +639,10 @@ let replay_cmd =
           Tea_traces.Trace_set.to_list r.Tea_dbt.Stardbt.set
     in
     let engine_name =
-      match engine with `Reference -> "reference" | `Packed -> "packed"
+      match engine with
+      | `Reference -> "reference"
+      | `Packed -> "packed"
+      | `Compiled -> "compiled"
     in
     match pc_trace with
     | Some path when jobs > 1 ->
@@ -596,8 +652,10 @@ let replay_cmd =
         (match engine with
         | `Reference ->
             or_die
-              (Error "--jobs > 1 requires --engine=packed for --pc-trace replay")
-        | `Packed ->
+              (Error
+                 "--jobs > 1 requires --engine=packed or compiled for \
+                  --pc-trace replay")
+        | (`Packed | `Compiled) as engine ->
             let auto =
               Probe.with_span "build_automaton" (fun () ->
                   Tea_core.Builder.build traces)
@@ -625,12 +683,21 @@ let replay_cmd =
                   Tea_opt.Fuse.fuse ~profile packed
                 end
             in
+            let make =
+              match engine with
+              | `Packed ->
+                  fun p -> Tea_core.Replayer.create_packed (Tea_core.Packed.dup p)
+              | `Compiled ->
+                  fun p ->
+                    Tea_core.Replayer.create_compiled
+                      (Tea_core.Compiled.of_packed (Tea_core.Packed.dup p))
+            in
             let profile, blocks =
               Probe.with_span "replay_pc_trace" @@ fun () ->
               with_jobs ~quiet:obs.quiet jobs (function
                 | None -> assert false (* jobs > 1 *)
                 | Some pool ->
-                    Tea_parallel.Shard.replay_pc_trace pool packed path)
+                    Tea_parallel.Shard.replay_pc_trace pool packed ~make path)
             in
             Printf.printf
               "offline replay of %s (%s engine): %d blocks, coverage %.1f%%, \
@@ -657,9 +724,9 @@ let replay_cmd =
           match engine with
           | `Reference ->
               Tea_core.Pc_trace.replay (Tea_core.Transition.create config auto) path
-          | `Packed ->
+          | (`Packed | `Compiled) as eng ->
               let packed = Tea_core.Packed.freeze auto in
-              if not (pgo || fuse) then
+              if eng = `Packed && not (pgo || fuse) then
                 Tea_core.Pc_trace.replay_packed packed path
               else begin
                 let starts, insns, len =
@@ -678,7 +745,13 @@ let replay_cmd =
                     let profile = Tea_opt.Repack.collect img starts ~len in
                     Tea_opt.Fuse.fuse ~profile img
                 in
-                let tuned = Tea_core.Replayer.create_packed img in
+                let tuned =
+                  match eng with
+                  | `Packed -> Tea_core.Replayer.create_packed img
+                  | `Compiled ->
+                      Tea_core.Replayer.create_compiled
+                        (Tea_core.Compiled.of_packed img)
+                in
                 Tea_core.Replayer.feed_run tuned ~insns starts ~len;
                 tuned
               end
@@ -695,7 +768,12 @@ let replay_cmd =
             if pgo then print_pgo_line p ~cycles:(Tea_core.Replayer.cycles rep);
             if fuse then print_fuse_line p;
             Some p
-        | _ -> None)
+        | Tea_core.Replayer.Compiled c ->
+            let p = Tea_core.Compiled.base c in
+            if pgo then print_pgo_line p ~cycles:(Tea_core.Replayer.cycles rep);
+            if fuse then print_fuse_line p;
+            Some p
+        | Tea_core.Replayer.Reference _ -> None)
     | None ->
         if jobs > 1 then
           or_die (Error "--jobs > 1 applies only to --pc-trace offline replay");
@@ -724,7 +802,12 @@ let replay_cmd =
             if pgo then print_pgo_line p ~cycles:(Tea_core.Replayer.cycles rep);
             if fuse then print_fuse_line p;
             Some p
-        | _ -> None)
+        | Tea_core.Replayer.Compiled c ->
+            let p = Tea_core.Compiled.base c in
+            if pgo then print_pgo_line p ~cycles:(Tea_core.Replayer.cycles rep);
+            if fuse then print_fuse_line p;
+            Some p
+        | Tea_core.Replayer.Reference _ -> None)
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay traces through the TEA under the Pin-like frontend")
@@ -966,6 +1049,89 @@ let fuse_cmd =
       const run $ workload_arg $ strategy_arg $ pgo_arg $ hot_prefix_arg
       $ out_arg $ obs_term)
 
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let run name strategy_name pgo fuse hot_prefix out obs =
+    with_obs obs "compile" @@ fun () ->
+    let image = or_die (resolve_workload name) in
+    let traces =
+      Probe.with_span "record_traces" (fun () ->
+          record_traces image strategy_name)
+    in
+    let auto =
+      Probe.with_span "build_automaton" (fun () -> Tea_core.Builder.build traces)
+    in
+    let packed = Tea_core.Packed.freeze auto in
+    let tmp = Filename.temp_file "tea_compile" ".trc" in
+    let starts, insns, len =
+      Fun.protect
+        ~finally:(fun () -> Sys.remove tmp)
+        (fun () ->
+          let _ =
+            Probe.with_span "trace_capture" (fun () ->
+                Tea_pinsim.Trace_capture.record image tmp)
+          in
+          Tea_parallel.Shard.load_pc_trace tmp)
+    in
+    (* the compiler consumes any layout, so --pgo/--fuse stack the same
+       way they do under `replay': tune first, then specialize *)
+    let src =
+      if not pgo then packed
+      else
+        Probe.with_span "pgo_repack" @@ fun () ->
+        Tea_opt.Repack.repack ~hot_prefix packed
+          (Tea_opt.Repack.collect packed starts ~len)
+    in
+    let src =
+      if not fuse then src
+      else
+        Probe.with_span "fuse" @@ fun () ->
+        if not pgo then Tea_opt.Fuse.fuse src
+        else
+          let profile = Tea_opt.Repack.collect src starts ~len in
+          Tea_opt.Fuse.fuse ~profile src
+    in
+    let compiled, baseline, tuned =
+      Probe.with_span "compiled_replay" @@ fun () ->
+      Tea_opt.Compile.compiled_replay src ~insns starts ~len
+    in
+    (* hard gates: compilation must be observationally invisible *)
+    if
+      Tea_core.Replayer.tbb_counts baseline
+      <> Tea_core.Replayer.tbb_counts tuned
+    then or_die (Error "compiled TBB mapping diverged from the baseline");
+    if Tea_core.Replayer.cycles baseline <> Tea_core.Replayer.cycles tuned then
+      or_die (Error "compiled simulated cycles diverged from the baseline");
+    Printf.printf "compiled %s: %d blocks replayed, tbb mapping identical\n"
+      name len;
+    if pgo then print_pgo_line src ~cycles:(Tea_core.Replayer.cycles tuned);
+    if fuse then print_fuse_line src;
+    print_string (Tea_opt.Compile.describe compiled);
+    Printf.printf "sim cycles: %d (identical to interpreted)\n"
+      (Tea_core.Replayer.cycles tuned);
+    match out with
+    | Some path ->
+        (* closures don't serialize; the artifact is the source image,
+           re-specialized on load by `replay --engine=compiled' *)
+        Tea_core.Serialize.save_packed path src;
+        Printf.printf "wrote %s (TEAPK%d, %d bytes; dispatch recompiles on load)\n"
+          path
+          (Tea_core.Serialize.packed_version src)
+          (Unix.stat path).Unix.st_size
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Closure-threaded compilation: record, specialize the packed \
+          image's dispatch into preapplied closures (optionally after \
+          --pgo repacking and --fuse chain fusion), and verify the \
+          compiled replay is identical")
+    Term.(
+      const run $ workload_arg $ strategy_arg $ pgo_arg $ fuse_arg
+      $ hot_prefix_arg $ out_arg $ obs_term)
+
 (* ---- info ---- *)
 
 let info_cmd =
@@ -1068,6 +1234,9 @@ let info_cmd =
         or_die (Error (Printf.sprintf "%s: %s" path msg))
     in
     print_string (Tea_core.Serialize.describe_packed packed);
+    (* what `replay --engine=compiled' would specialize this image into:
+       pure function of the arrays, cheap enough to build on the spot *)
+    print_string (Tea_opt.Compile.describe (Tea_opt.Compile.compile packed));
     match profile with
     | None ->
         if baseline <> None then
@@ -1546,7 +1715,19 @@ let serve_cmd =
       & opt float Tea_observe.Drift.default_threshold
       & info [ "drift-threshold" ] ~docv:"D" ~doc)
   in
-  let run name strategy_name listen jobs pgo fuse sessions queue_cap
+  let serve_engine_arg =
+    let doc =
+      "Session replay engine: packed (flat-array dispatch) or compiled \
+       (closure-threaded dispatch; each session compiles its own dup of \
+       the shared image). The fleet profile and the --offline-check gate \
+       are engine-invariant."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("packed", `Packed); ("compiled", `Compiled) ]) `Packed
+      & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let run name strategy_name listen engine jobs pgo fuse sessions queue_cap
       offline_check events_path drift_profile drift_threshold obs =
     with_obs obs "serve" @@ fun () ->
     let image, tuning_ref =
@@ -1578,13 +1759,14 @@ let serve_cmd =
     let finish_tiers () = Tea_core.Tierstat.uninstall () in
     match
       let srv =
-        Tea_serve.Server.create ~queue_cap ~offline_check ?events ?drift ~jobs
-          ~image listen
+        Tea_serve.Server.create ~queue_cap ~offline_check ~engine ?events
+          ?drift ~jobs ~image listen
       in
       Fun.protect ~finally:(fun () -> Tea_serve.Server.close srv) @@ fun () ->
       (* clients wait for this line before connecting *)
-      Printf.printf "serving %s on %s (packed engine%s%s, jobs %d)\n%!" name
+      Printf.printf "serving %s on %s (%s engine%s%s, jobs %d)\n%!" name
         (Tea_serve.Frame.pp_addr (Tea_serve.Server.addr srv))
+        (match engine with `Packed -> "packed" | `Compiled -> "compiled")
         (if pgo then " +pgo" else "")
         (if fuse then " +fuse" else "")
         jobs;
@@ -1632,9 +1814,10 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the replay-as-a-service daemon over a shared packed image")
     Term.(
-      const run $ workload_arg $ strategy_arg $ listen_arg $ jobs_arg $ pgo_arg
-      $ fuse_arg $ sessions_arg $ queue_cap_arg $ offline_check_arg
-      $ events_arg $ drift_profile_arg $ drift_threshold_arg $ obs_term)
+      const run $ workload_arg $ strategy_arg $ listen_arg $ serve_engine_arg
+      $ jobs_arg $ pgo_arg $ fuse_arg $ sessions_arg $ queue_cap_arg
+      $ offline_check_arg $ events_arg $ drift_profile_arg
+      $ drift_threshold_arg $ obs_term)
 
 let client_cmd =
   let connect_arg =
@@ -1727,7 +1910,7 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; record_cmd; replay_cmd; repack_cmd; fuse_cmd;
-            info_cmd; capture_cmd; dot_cmd; analyze_cmd;
+            compile_cmd; info_cmd; capture_cmd; dot_cmd; analyze_cmd;
             phases_cmd; cachesim_cmd; bpred_cmd; inspect_cmd; characterize_cmd;
             optimize_cmd; layout_cmd; reuse_cmd; tables_cmd; table1_cmd;
             table4_cmd; serve_cmd; client_cmd; observe_cmd;

@@ -1,6 +1,9 @@
 module Block = Tea_cfg.Block
 
-type engine = Reference of Transition.t | Packed of Packed.t
+type engine =
+  | Reference of Transition.t
+  | Packed of Packed.t
+  | Compiled of Compiled.t
 
 type t = {
   engine : engine;
@@ -30,6 +33,9 @@ let make engine auto =
 let create trans = make (Reference trans) (Some (Transition.automaton trans))
 
 let create_packed packed = make (Packed packed) (Packed.automaton packed)
+
+let create_compiled compiled =
+  make (Compiled compiled) (Packed.automaton (Compiled.base compiled))
 
 let engine t = t.engine
 
@@ -74,6 +80,11 @@ let feed_addr t ?(insns = 0) addr =
     match t.engine with
     | Reference trans -> Transition.step trans prev addr
     | Packed packed -> Packed.step packed prev addr
+    | Compiled c ->
+        (* single-step path: the base image's interpreted step is
+           observationally identical (and updates the same stats), so
+           the compiled closures stay batch-only *)
+        Packed.step (Compiled.base c) prev addr
   in
   account t prev next insns;
   probe_step prev next
@@ -786,6 +797,46 @@ let run_packed t packed addrs ins ~off ~len =
         run_packed_hot t packed addrs ins ~off ~len
       else run_packed_flat t packed addrs ins ~off ~len
 
+(* Batch replay through the closure-threaded compiled image: the
+   threading itself lives in {!Compiled}; this wrapper validates the
+   entry state, grows the count array once (every closure writes
+   straight into it), applies the batch's deltas and flushes the same
+   telemetry/stats the interpreted loops flush. In-trace hits are
+   derived ([len - hash hits - hash misses]): every step resolves
+   in-span / on-chain, in the global hash, or not at all. *)
+let run_compiled t c addrs ins ~off ~len =
+  let base = Compiled.base c in
+  let n_slots = Packed.n_slots base in
+  if t.state < 0 || t.state >= n_slots then
+    invalid_arg "Replayer.feed_run: state id outside the frozen image";
+  if Array.length t.counts < n_slots then grow_counts t (n_slots - 1);
+  let d = Compiled.run c ~state:t.state ~counts:t.counts ~off addrs ins ~len in
+  let in_hits = len - d.Compiled.d_g_hits - d.Compiled.d_g_miss in
+  (match Tea_telemetry.Probe.metrics () with
+  | None -> ()
+  | Some m ->
+      let open Tea_telemetry.Metrics in
+      count m "replayer.steps" len;
+      count m "replayer.trace_enters" d.Compiled.d_enters;
+      count m "replayer.trace_exits" d.Compiled.d_exits;
+      count m "packed.in_trace_hit" in_hits;
+      count m "packed.global_hit" d.Compiled.d_g_hits;
+      count m "packed.global_miss" d.Compiled.d_g_miss;
+      if Packed.is_fused base then
+        count m "packed.fused_steps" d.Compiled.d_fused_steps);
+  t.state <- d.Compiled.d_state;
+  t.covered <- t.covered + d.Compiled.d_covered;
+  t.total <- t.total + d.Compiled.d_total;
+  t.enters <- t.enters + d.Compiled.d_enters;
+  t.exits <- t.exits + d.Compiled.d_exits;
+  let st = Packed.stats base in
+  st.Transition.steps <- st.Transition.steps + len;
+  st.Transition.in_trace_hits <- st.Transition.in_trace_hits + in_hits;
+  st.Transition.global_hits <- st.Transition.global_hits + d.Compiled.d_g_hits;
+  st.Transition.global_misses <-
+    st.Transition.global_misses + d.Compiled.d_g_miss;
+  Packed.add_cycles base d.Compiled.d_cycles
+
 let no_insns = [||]
 
 let feed_run t ?(off = 0) ?insns addrs ~len =
@@ -795,24 +846,24 @@ let feed_run t ?(off = 0) ?insns addrs ~len =
   | Some a when Array.length a < off + len ->
       invalid_arg "Replayer.feed_run: insns array shorter than len"
   | _ -> ());
+  (* reuse a cached all-zero scratch instead of allocating a fresh
+     array on every no-insns batch *)
+  let scratch_ins () =
+    match insns with
+    | Some a -> a
+    | None ->
+        if len = 0 then no_insns
+        else begin
+          if Array.length t.zeros < off + len then
+            t.zeros <- Array.make (off + len) 0;
+          t.zeros
+        end
+  in
   (* The engine match is hoisted out of the loop: one branchy dispatch per
      batch, not one per block. *)
   match t.engine with
-  | Packed packed ->
-      let ins =
-        match insns with
-        | Some a -> a
-        | None ->
-            (* reuse a cached all-zero scratch instead of allocating a
-               fresh array on every no-insns batch *)
-            if len = 0 then no_insns
-            else begin
-              if Array.length t.zeros < off + len then
-                t.zeros <- Array.make (off + len) 0;
-              t.zeros
-            end
-      in
-      run_packed t packed addrs ins ~off ~len
+  | Packed packed -> run_packed t packed addrs (scratch_ins ()) ~off ~len
+  | Compiled c -> run_compiled t c addrs (scratch_ins ()) ~off ~len
   | Reference trans ->
       let enters0 = t.enters and exits0 = t.exits in
       (match insns with
@@ -860,6 +911,8 @@ let trace_exits t = t.exits
 let repacked_of t =
   match t.engine with
   | Packed p when Packed.is_repacked p -> Some p
+  | Compiled c when Packed.is_repacked (Compiled.base c) ->
+      Some (Compiled.base c)
   | _ -> None
 
 let tbb_counts t =
@@ -889,11 +942,13 @@ let stats t =
   match t.engine with
   | Reference trans -> Transition.stats trans
   | Packed packed -> Packed.stats packed
+  | Compiled c -> Packed.stats (Compiled.base c)
 
 let cycles t =
   match t.engine with
   | Reference trans -> Transition.cycles trans
   | Packed packed -> Packed.cycles packed
+  | Compiled c -> Packed.cycles (Compiled.base c)
 
 let trace_profile t id =
   match t.auto with
@@ -911,6 +966,7 @@ let transition t =
   match t.engine with
   | Reference trans -> trans
   | Packed _ -> invalid_arg "Replayer.transition: packed engine"
+  | Compiled _ -> invalid_arg "Replayer.transition: compiled engine"
 
 (* Everything a replayer accumulates, as one immutable value. Every field
    is an integer total (the counts list is per-state totals), so two

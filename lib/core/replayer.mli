@@ -7,19 +7,26 @@
     example) — without any trace code existing. Per-state execution
     counters are the profile the paper collects this way.
 
-    Two interchangeable transition engines drive a replayer:
+    Three interchangeable transition engines drive a replayer:
 
     - the {b reference} engine ({!Transition}), faithful to the paper's
       per-state edge lists plus B+ tree / linked-list containers with
       their simulated-cycle cost model;
     - the {b packed} engine ({!Packed}), flat-array compiled for replay
-      throughput.
+      throughput;
+    - the {b compiled} engine ({!Compiled}), the packed image specialized
+      into closure-threaded dispatch — each state a preapplied closure
+      jumping straight to its successor's closure.
 
-    Both produce bit-identical state sequences, coverage and profiles
-    (property-tested in [test_packed.ml]); they differ only in speed and
-    in how cross-trace resolutions split across the stats counters. *)
+    All produce bit-identical state sequences, coverage and profiles
+    (property-tested in [test_packed.ml] / [test_compile.ml]); they
+    differ only in speed and in how cross-trace resolutions split across
+    the stats counters. *)
 
-type engine = Reference of Transition.t | Packed of Packed.t
+type engine =
+  | Reference of Transition.t
+  | Packed of Packed.t
+  | Compiled of Compiled.t
 
 type t
 
@@ -28,6 +35,12 @@ val create : Transition.t -> t
 
 val create_packed : Packed.t -> t
 (** A replayer on the packed fast path. *)
+
+val create_compiled : Compiled.t -> t
+(** A replayer on the closure-threaded compiled engine. Stats and cycles
+    accumulate on the underlying packed image ({!Compiled.base}). Like
+    the compiled image itself, not safe to share across domains — build
+    one per worker over a {!Packed.dup} sibling. *)
 
 val engine : t -> engine
 
@@ -112,7 +125,7 @@ val cycles : t -> int
 
 val transition : t -> Transition.t
 (** The reference engine.
-    @raise Invalid_argument on a packed-engine replayer. *)
+    @raise Invalid_argument on a packed- or compiled-engine replayer. *)
 
 (** {2 Snapshots}
 

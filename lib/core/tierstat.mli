@@ -11,7 +11,10 @@
     - [hash]: global trace-head hash-table hit after the span missed;
     - [miss]: unresolved — the replayer cut to the not-in-trace state;
     - [fused]: resolved in bulk by a fused superstate chain (TEAPK3
-      overlay fast-forward).
+      overlay fast-forward);
+    - [compiled]: resolved by the closure-threaded compiled engine
+      ({!Compiled}) — straight-line compares (or a chain matcher) jumping
+      directly to the successor's closure, no tier ladder consulted.
 
     Same global-installation shape as {!Tea_telemetry.Probe}: one
     atomic installation, one {!tally} per domain, immutable mergeable
@@ -30,9 +33,10 @@ val t_search : int
 val t_hash : int
 val t_miss : int
 val t_fused : int
+val t_compiled : int
 
 val tier_name : int -> string
-(** ["ic" | "hot" | "search" | "hash" | "miss" | "fused"]. *)
+(** ["ic" | "hot" | "search" | "hash" | "miss" | "fused" | "compiled"]. *)
 
 (** {2 Installation} *)
 

@@ -25,7 +25,9 @@ let edge_labels packed =
 let resolve packed pc =
   match Packed.head_of packed pc with Some s -> s | None -> Automaton.nte
 
-let replay_arrays pool packed ?insns starts ~len =
+let default_make p = Replayer.create_packed (Packed.dup p)
+
+let replay_arrays pool packed ?(make = default_make) ?insns starts ~len =
   if len < 0 || len > Array.length starts then
     invalid_arg "Shard.replay_arrays: len out of range";
   (match insns with
@@ -41,7 +43,7 @@ let replay_arrays pool packed ?insns starts ~len =
   let work i =
     let lo, hi = bounds.(i) in
     if i = 0 then begin
-      let rep = Replayer.create_packed (Packed.dup packed) in
+      let rep = make packed in
       Replayer.feed_run rep ~off:lo ?insns starts ~len:(hi - lo);
       Pool.add_units pool (hi - lo);
       Whole (Profile.of_replayer rep, Replayer.state rep)
@@ -54,7 +56,7 @@ let replay_arrays pool packed ?insns starts ~len =
       if !sync >= hi then Unsynced
       else begin
         let k = !sync in
-        let rep = Replayer.create_packed (Packed.dup packed) in
+        let rep = make packed in
         Replayer.set_state rep (resolve packed starts.(k));
         let n = hi - k - 1 in
         if n > 0 then Replayer.feed_run rep ~off:(k + 1) ?insns starts ~len:n;
@@ -71,7 +73,7 @@ let replay_arrays pool packed ?insns starts ~len =
   let chunks = Pool.map pool ~f:work n_chunks in
   (* Sequential stitch: carry the true state across chunks, replaying
      only what no worker could — each chunk's uncertain prefix. *)
-  let driver = Replayer.create_packed (Packed.dup packed) in
+  let driver = make packed in
   let driver_steps = ref 0 in
   Array.iteri
     (fun i chunk ->
@@ -119,9 +121,9 @@ let load_pc_trace path =
       incr n);
   (!starts, !insns, !n)
 
-let replay_pc_trace pool packed path =
+let replay_pc_trace pool packed ?make path =
   let starts, insns, len = load_pc_trace path in
-  (replay_arrays pool packed ~insns starts ~len, len)
+  (replay_arrays pool packed ?make ~insns starts ~len, len)
 
 (* ---- multi-asid event streams ----
 
@@ -199,14 +201,16 @@ let load_events path =
     buckets []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let replay_events pool packed_for path =
+let replay_events pool packed_for ?make path =
   load_events path
   |> List.map (fun (asid, runs) ->
          let packed = packed_for asid in
          let profile =
            Profile.merge_all
              (List.map
-                (fun r -> replay_arrays pool packed ~insns:r.insns r.starts ~len:r.len)
+                (fun r ->
+                  replay_arrays pool packed ?make ~insns:r.insns r.starts
+                    ~len:r.len)
                 runs)
          in
          (asid, profile))

@@ -34,15 +34,33 @@
     stitching and the merged profile are all untouched; only the
     inline-cache hit/miss split can differ, the same exception already
     documented for chunk-local ICs (property-tested for 1/2/4 domains in
-    [test_fuse.ml]). *)
+    [test_fuse.ml]).
+
+    {b Engine choice.} Workers and the stitching driver build their
+    replayers through the [make] factory (default: a packed-engine
+    replayer over a {!Tea_core.Packed.dup} sibling). Passing a factory
+    that compiles its dup ({!Tea_core.Replayer.create_compiled} over
+    {!Tea_core.Compiled.of_packed}) runs every shard through
+    closure-threaded dispatch; sync-point detection stays on the shared
+    packed image, and since compiled dispatch is batch-bounded exactly
+    like the interpreted loops, the merged profile remains bit-identical
+    at any job count (property-tested in [test_compile.ml]). *)
 
 val replay_arrays :
-  Pool.t -> Tea_core.Packed.t -> ?insns:int array -> int array -> len:int -> Profile.t
+  Pool.t ->
+  Tea_core.Packed.t ->
+  ?make:(Tea_core.Packed.t -> Tea_core.Replayer.t) ->
+  ?insns:int array ->
+  int array ->
+  len:int ->
+  Profile.t
 (** [replay_arrays pool packed ~insns starts ~len] — shard
     [starts.(0..len-1)] (entry state NTE) across the pool and merge.
     [insns] is the parallel per-block instruction-count array (coverage
     counts 0 per block when absent). Workers credit replayed blocks to
-    {!Pool.add_units}.
+    {!Pool.add_units}. [make] builds each worker's private replayer from
+    the shared image — it must dup (never share mutable counters), and
+    its engine must be observationally identical to the packed one.
     @raise Invalid_argument when [len] exceeds either array. *)
 
 val load_pc_trace : string -> int array * int array * int
@@ -52,7 +70,12 @@ val load_pc_trace : string -> int array * int array * int
     path decodes once up front instead of streaming.
     @raise Tea_core.Pc_trace.Corrupt on bad framing. *)
 
-val replay_pc_trace : Pool.t -> Tea_core.Packed.t -> string -> Profile.t * int
+val replay_pc_trace :
+  Pool.t ->
+  Tea_core.Packed.t ->
+  ?make:(Tea_core.Packed.t -> Tea_core.Replayer.t) ->
+  string ->
+  Profile.t * int
 (** [load_pc_trace] then [replay_arrays]; returns the merged profile and
     the block count. Bit-identical to
     {!Tea_core.Pc_trace.replay_packed} over the same image. *)
@@ -82,10 +105,15 @@ val load_events : string -> (int * run list) list
     @raise Tea_core.Pc_trace.Corrupt on bad framing. *)
 
 val replay_events :
-  Pool.t -> (int -> Tea_core.Packed.t) -> string -> (int * Profile.t) list
+  Pool.t ->
+  (int -> Tea_core.Packed.t) ->
+  ?make:(Tea_core.Packed.t -> Tea_core.Replayer.t) ->
+  string ->
+  (int * Profile.t) list
 (** [replay_events pool packed_for path] — demux, then shard each asid's
-    runs over [packed_for asid] (workers dup the image internally; a
-    shared image per asid is fine) and merge per asid. The result equals
+    runs over [packed_for asid] (workers dup the image internally via
+    [make]; a shared image per asid is fine) and merge per asid. The
+    result equals
     {!Tea_core.Multi_replayer.snapshots} of a sequential demuxed replay
     over the same images, at any [--jobs] — the interleaved-replay hard
     gate. *)

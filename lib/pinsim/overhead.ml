@@ -8,6 +8,7 @@ type row = {
   global_no_local : float;
   global_local : float;
   packed : float;
+  compiled : float;
 }
 
 let measure ?(params = Cost_params.default) ?(pgo = false) ?(fuse = false)
@@ -36,5 +37,8 @@ let measure ?(params = Cost_params.default) ?(pgo = false) ?(fuse = false)
     global_local = replay_with Transition.config_global_local traces;
     packed =
       replay_with ~engine:`Packed ~pgo ~fuse Transition.config_global_local
+        traces;
+    compiled =
+      replay_with ~engine:`Compiled ~pgo ~fuse Transition.config_global_local
         traces;
   }

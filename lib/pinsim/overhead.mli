@@ -1,4 +1,4 @@
-(** The Table 4 measurement harness: one program, six configurations.
+(** The Table 4 measurement harness: one program, seven configurations.
 
     - Native: plain execution (always 1.00);
     - Without Pintool: Pin alone (JIT + dispatch);
@@ -8,7 +8,12 @@
     - Global / No Local: B+ tree, no caches;
     - Global / Local: both (the configuration behind Tables 2 and 3);
     - Packed: the flat-array {!Tea_core.Packed} engine — our beyond-paper
-      column showing what the transition function costs once compiled. *)
+      column showing what the transition function costs once compiled;
+    - Compiled: the closure-threaded {!Tea_core.Compiled} dispatch over
+      the same packed image. Simulated cycles are engine-identical to
+      Packed by construction, so equal columns {e are} the cycle-identity
+      gate — the win is host ns/block, which Table 4's simulated ratios
+      deliberately exclude. *)
 
 type row = {
   native : float;            (** 1.00 by construction *)
@@ -18,6 +23,7 @@ type row = {
   global_no_local : float;
   global_local : float;
   packed : float;
+  compiled : float;
 }
 
 val measure :

@@ -3,7 +3,7 @@ module Packed = Tea_core.Packed
 module Replayer = Tea_core.Replayer
 module Builder = Tea_core.Builder
 
-type engine = [ `Reference | `Packed ]
+type engine = [ `Reference | `Packed | `Compiled ]
 
 type result = {
   coverage : float;
@@ -22,15 +22,17 @@ type result = {
 let replay ?(params = Cost_params.default)
     ?(transition = Transition.config_global_local) ?(engine = `Reference)
     ?(pgo = false) ?(fuse = false) ?fuel ~traces image =
-  if pgo && engine <> `Packed then
+  if pgo && engine = `Reference then
     invalid_arg "Pintool_replay.replay: pgo requires the packed engine";
-  if fuse && engine <> `Packed then
+  if fuse && engine = `Reference then
     invalid_arg "Pintool_replay.replay: fuse requires the packed engine";
   let auto = Builder.build traces in
   let rep =
     match engine with
     | `Reference -> Replayer.create (Transition.create transition auto)
     | `Packed -> Replayer.create_packed (Packed.freeze auto)
+    | `Compiled ->
+        Replayer.create_compiled (Tea_core.Compiled.of_packed (Packed.freeze auto))
   in
   (* §4.1: step the TEA on taken/fall-through edges (merged logical blocks),
      not on Pin's fragment boundaries. *)
@@ -67,29 +69,35 @@ let replay ?(params = Cost_params.default)
   let rep =
     if not tune then rep
     else begin
-      match Replayer.engine rep with
-      | Replayer.Packed flat ->
-          let img =
-            if not pgo then flat
-            else
-              Tea_opt.Repack.repack flat
-                (Tea_opt.Repack.collect flat !pgo_addrs ~len:!pgo_len)
-          in
-          let img =
-            if not fuse then img
-            else if not pgo then Tea_opt.Fuse.fuse img
-            else
-              (* pgo+fuse composition: the captured stream, re-collected
-                 over the repacked layout, gates chain selection *)
-              let profile =
-                Tea_opt.Repack.collect img !pgo_addrs ~len:!pgo_len
-              in
-              Tea_opt.Fuse.fuse ~profile img
-          in
-          let tuned = Replayer.create_packed img in
-          Replayer.feed_run tuned ~insns:!pgo_insns !pgo_addrs ~len:!pgo_len;
-          tuned
-      | Replayer.Reference _ -> assert false
+      let flat, recreate =
+        match Replayer.engine rep with
+        | Replayer.Packed flat -> (flat, Replayer.create_packed)
+        | Replayer.Compiled c ->
+            (* tuning rebuilds the image, so the closures must be
+               re-specialized over the tuned layout *)
+            ( Tea_core.Compiled.base c,
+              fun img ->
+                Replayer.create_compiled (Tea_core.Compiled.of_packed img) )
+        | Replayer.Reference _ -> assert false
+      in
+      let img =
+        if not pgo then flat
+        else
+          Tea_opt.Repack.repack flat
+            (Tea_opt.Repack.collect flat !pgo_addrs ~len:!pgo_len)
+      in
+      let img =
+        if not fuse then img
+        else if not pgo then Tea_opt.Fuse.fuse img
+        else
+          (* pgo+fuse composition: the captured stream, re-collected
+             over the repacked layout, gates chain selection *)
+          let profile = Tea_opt.Repack.collect img !pgo_addrs ~len:!pgo_len in
+          Tea_opt.Fuse.fuse ~profile img
+      in
+      let tuned = recreate img in
+      Replayer.feed_run tuned ~insns:!pgo_insns !pgo_addrs ~len:!pgo_len;
+      tuned
     end
   in
   let st = Replayer.stats rep in

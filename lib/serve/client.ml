@@ -18,8 +18,14 @@ let send_stream ?(chunk = 65536) fd s =
 
 let replay_string ?chunk addr s =
   with_connection addr (fun fd ->
-      send_stream ?chunk fd s;
-      Frame.send fd Frame.tag_end "";
+      (* The server may reject the stream — error frame sent, its end
+         closed — while we are still writing chunks. The rejection frame
+         is already queued on our side of the socket, so swallow the
+         write failure and fall through to the reply read. *)
+      (try
+         send_stream ?chunk fd s;
+         Frame.send fd Frame.tag_end ""
+       with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
       match Frame.recv fd with
       | None -> raise (Frame.Corrupt "server closed without a reply")
       | Some f when f.Frame.tag = Frame.tag_profile ->

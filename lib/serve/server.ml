@@ -30,6 +30,7 @@ type session = {
 
 type t = {
   image : Core.Packed.t;
+  engine : [ `Packed | `Compiled ];
   pool : P.Pool.t;
   queue_cap : int;
   offline_check : bool;
@@ -55,8 +56,18 @@ type t = {
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
-let create ?(queue_cap = 16384) ?(offline_check = false) ?events ?drift ~jobs
-    ~image addr =
+(* Per-asid replayer factory for a session's demuxed replay. Every
+   session (and the offline re-check) dups the shared image, so
+   compiled images — single-domain by construction — are never shared
+   across sessions or workers. *)
+let session_factory t _asid =
+  let img = Core.Packed.dup t.image in
+  match t.engine with
+  | `Packed -> Core.Replayer.create_packed img
+  | `Compiled -> Core.Replayer.create_compiled (Core.Compiled.of_packed img)
+
+let create ?(queue_cap = 16384) ?(offline_check = false) ?(engine = `Packed)
+    ?events ?drift ~jobs ~image addr =
   if queue_cap < 1 then invalid_arg "Server.create: queue_cap must be >= 1";
   (* a dead client mid-write must be an EPIPE, not a process kill *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -94,6 +105,7 @@ let create ?(queue_cap = 16384) ?(offline_check = false) ?events ?drift ~jobs
   let stop_r, stop_w = Unix.pipe () in
   {
     image;
+    engine;
     pool = P.Pool.create ~jobs;
     queue_cap;
     offline_check;
@@ -247,10 +259,7 @@ let rec accept_all t until_sessions =
     | fd, _ ->
         t.accepted <- t.accepted + 1;
         t.next_id <- t.next_id + 1;
-        let multi =
-          Core.Multi_replayer.create (fun _ ->
-              Core.Replayer.create_packed (Core.Packed.dup t.image))
-        in
+        let multi = Core.Multi_replayer.create (session_factory t) in
         let s =
           {
             id = t.next_id;
@@ -486,11 +495,7 @@ let offline_profile t =
           let oc = open_out_bin path in
           output_string oc raw;
           close_out oc;
-          let m =
-            Core.Multi_replayer.replay_events
-              (fun _ -> Core.Replayer.create_packed (Core.Packed.dup t.image))
-              path
-          in
+          let m = Core.Multi_replayer.replay_events (session_factory t) path in
           P.Profile.merge acc
             (P.Profile.merge_all
                (List.map snd (Core.Multi_replayer.snapshots m))))

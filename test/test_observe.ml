@@ -191,9 +191,9 @@ let test_exposition_render () =
   Metrics.observe_value reg "lat" 3;
   let tiers =
     {
-      Tierstat.ts_totals = [| 3; 0; 1; 0; 0; 2 |];
+      Tierstat.ts_totals = [| 3; 0; 1; 0; 0; 2; 4 |];
       ts_states =
-        [ (0, [| 3; 0; 0; 0; 0; 0 |]); (4, [| 0; 0; 1; 0; 0; 2 |]) ];
+        [ (0, [| 3; 0; 0; 0; 0; 0; 0 |]); (4, [| 0; 0; 1; 0; 0; 2; 4 |]) ];
     }
   in
   let got =
@@ -221,9 +221,11 @@ let test_exposition_render () =
      tea_dispatch_tier_total{tier=\"hash\"} 0\n\
      tea_dispatch_tier_total{tier=\"miss\"} 0\n\
      tea_dispatch_tier_total{tier=\"fused\"} 2\n\
+     tea_dispatch_tier_total{tier=\"compiled\"} 4\n\
      # TYPE tea_dispatch_state_total counter\n\
      tea_dispatch_state_total{state=\"6\",tier=\"search\"} 1\n\
      tea_dispatch_state_total{state=\"6\",tier=\"fused\"} 2\n\
+     tea_dispatch_state_total{state=\"6\",tier=\"compiled\"} 4\n\
      tea_dispatch_state_total{state=\"10\",tier=\"ic\"} 3\n\
      # TYPE tea_drift_l1 gauge\n\
      tea_drift_l1 0.5\n\
