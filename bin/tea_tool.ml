@@ -221,21 +221,28 @@ let config_arg =
         Tea_core.Transition.config_global_local
     & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
 
-let engine_arg =
-  let doc =
-    "Transition engine: reference (paper-faithful edge lists + B+ tree, \
-     honours --config), packed (flat-array fast path) or compiled \
-     (closure-threaded dispatch specialized from the packed image; \
-     identical observables, fastest host replay)."
-  in
+(* One constructor for the --engine flag. [values] picks which engines a
+   command accepts — serve never runs the reference engine, so it passes
+   the packed/compiled subset and unknown engines stay usage errors. *)
+let engine_arg_of ~doc values default =
   Arg.(
-    value
-    & opt
-        (enum
-           [ ("reference", `Reference); ("packed", `Packed);
-             ("compiled", `Compiled) ])
-        `Reference
+    value & opt (enum values) default
     & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let engine_name = function
+  | `Reference -> "reference"
+  | `Packed -> "packed"
+  | `Compiled -> "compiled"
+
+let engine_arg =
+  engine_arg_of
+    ~doc:
+      "Transition engine: reference (paper-faithful edge lists + B+ tree, \
+       honours --config), packed (flat-array fast path) or compiled \
+       (closure-threaded dispatch specialized from the packed image; \
+       identical observables, fastest host replay)."
+    [ ("reference", `Reference); ("packed", `Packed); ("compiled", `Compiled) ]
+    `Reference
 
 (* --jobs validates through the pool's own parser: 0, negatives and
    non-integers are usage errors at the command line, never a silent
@@ -291,6 +298,19 @@ let tiers_arg =
   in
   Arg.(value & flag & info [ "tiers" ] ~doc)
 
+let retune_arg =
+  let doc =
+    "Closed-loop PGO, offline: replay the first half of the PC trace on \
+     the flat image, rebuild the repack+fuse ladder from the edge profile \
+     observed so far, hot-swap the image mid-stream (entry state carried \
+     across through the orig-id translation) and finish on the tuned \
+     image. The replay summary line is identical to a plain replay at any \
+     --jobs — the swap is observationally invisible. Requires \
+     --engine=packed or compiled and --pc-trace; mutually exclusive with \
+     --pgo/--fuse (it rebuilds its own tuning)."
+  in
+  Arg.(value & flag & info [ "retune" ] ~doc)
+
 (* Run [f] with [Some pool] (dumping the pool's per-domain counters on
    stderr afterwards, unless --quiet) or with [None] for the sequential
    path. *)
@@ -325,6 +345,91 @@ let print_fuse_line packed =
     (Tea_core.Packed.n_chains packed)
     (Tea_core.Packed.n_cyclic_chains packed)
     (Tea_core.Packed.fused_edges packed)
+
+(* Every number on the retune line is a pure function of the trace prefix
+   the rebuild profiled, so it is jobs-invariant like the pgo line. *)
+let print_retune_line tuned ~mid ~len =
+  Printf.printf
+    "retune: swapped at block %d/%d -> moved %d/%d states, %d chains\n" mid len
+    (Tea_opt.Repack.moved_states tuned)
+    (Tea_core.Packed.n_slots tuned)
+    (Tea_core.Packed.n_chains tuned)
+
+(* ---- shared image plumbing ----
+
+   replay, scenario, repack, fuse, compile and serve all want the same
+   pipeline: record the workload and freeze its automaton into a flat
+   packed image, capture the workload's own block stream as the tuning
+   input, walk the --pgo/--fuse ladder over it, and hand sharded or
+   serving paths a fresh-replayer factory. One definition of each step
+   instead of a copy per subcommand. *)
+
+(* record + freeze: workload name -> (binary image, flat packed image) *)
+let freeze_workload name strategy_name =
+  let image = or_die (resolve_workload name) in
+  let traces =
+    Probe.with_span "record_traces" @@ fun () ->
+    let strategy = or_die (resolve_strategy strategy_name) in
+    let r = Tea_dbt.Stardbt.record ~strategy image in
+    Tea_traces.Trace_set.to_list r.Tea_dbt.Stardbt.set
+  in
+  let auto =
+    Probe.with_span "build_automaton" (fun () -> Tea_core.Builder.build traces)
+  in
+  (image, Tea_core.Packed.freeze auto)
+
+(* capture the workload's own block stream into a temp PC-trace file that
+   never outlives [f] *)
+let with_captured_trace image f =
+  let tmp = Filename.temp_file "tea_capture" ".pctrace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let _ =
+        Probe.with_span "trace_capture" (fun () ->
+            Tea_pinsim.Trace_capture.record image tmp)
+      in
+      f tmp)
+
+let capture_stream image = with_captured_trace image Tea_parallel.Shard.load_pc_trace
+
+(* the --pgo/--fuse tuning ladder over a profiling stream: repack on the
+   flat-image profile, then fuse gated by a profile re-collected over the
+   repacked layout (so chain selection sees the layout it will fuse).
+   Identity when both flags are off. *)
+let tune_image ?hot_prefix ~pgo ~fuse packed starts ~len =
+  let img =
+    if not pgo then packed
+    else
+      Probe.with_span "pgo_repack" @@ fun () ->
+      Tea_opt.Repack.repack ?hot_prefix packed
+        (Tea_opt.Repack.collect packed starts ~len)
+  in
+  if not fuse then img
+  else
+    Probe.with_span "fuse" @@ fun () ->
+    if not pgo then Tea_opt.Fuse.fuse img
+    else
+      let profile = Tea_opt.Repack.collect img starts ~len in
+      Tea_opt.Fuse.fuse ~profile img
+
+(* one fresh replayer over a private dup of a shared image — the factory
+   every sharded and serving path passes down *)
+let make_replayer engine img =
+  match engine with
+  | `Packed -> Tea_core.Replayer.create_packed (Tea_core.Packed.dup img)
+  | `Compiled ->
+      Tea_core.Replayer.create_compiled
+        (Tea_core.Compiled.of_packed (Tea_core.Packed.dup img))
+
+(* the engine value Replayer.rebind swaps in: a private dup of [img]
+   behind the same dispatch tier the session was created with *)
+let swap_engine engine img =
+  match engine with
+  | `Packed -> Tea_core.Replayer.Packed (Tea_core.Packed.dup img)
+  | `Compiled ->
+      Tea_core.Replayer.Compiled
+        (Tea_core.Compiled.of_packed (Tea_core.Packed.dup img))
 
 (* ---- scenario mode ----
 
@@ -437,35 +542,14 @@ let run_scenario ~kind ~name ~withs ~strategy_name ~engine ~jobs ~pgo ~fuse
      stream — the same image then backs both the demuxed and the isolated
      replay, so tuning cannot break the gate. *)
   let prep asid wname =
-    let image = or_die (resolve_workload wname) in
-    let strategy = or_die (resolve_strategy strategy_name) in
-    let r = Tea_dbt.Stardbt.record ~strategy image in
-    let traces = Tea_traces.Trace_set.to_list r.Tea_dbt.Stardbt.set in
-    let packed = Tea_core.Packed.freeze (Tea_core.Builder.build traces) in
-    let tmp = Filename.temp_file "tea_scn" ".trc" in
+    let image, packed = freeze_workload wname strategy_name in
     let stream =
-      Fun.protect
-        ~finally:(fun () -> Sys.remove tmp)
-        (fun () ->
-          let _ = Tea_pinsim.Trace_capture.record image tmp in
+      with_captured_trace image (fun tmp ->
           Scenario.load_stream ~asid ~name:wname tmp)
     in
     let packed =
-      if not pgo then packed
-      else
-        Tea_opt.Repack.repack packed
-          (Tea_opt.Repack.collect packed stream.Scenario.starts
-             ~len:stream.Scenario.len)
-    in
-    let packed =
-      if not fuse then packed
-      else if not pgo then Tea_opt.Fuse.fuse packed
-      else
-        let profile =
-          Tea_opt.Repack.collect packed stream.Scenario.starts
-            ~len:stream.Scenario.len
-        in
-        Tea_opt.Fuse.fuse ~profile packed
+      tune_image ~pgo ~fuse packed stream.Scenario.starts
+        ~len:stream.Scenario.len
     in
     (stream, packed)
   in
@@ -475,13 +559,7 @@ let run_scenario ~kind ~name ~withs ~strategy_name ~engine ~jobs ~pgo ~fuse
   let streams = List.map fst prepared in
   let images = Array.of_list (List.map snd prepared) in
   let img_for a = images.(a) in
-  let mk_rep img =
-    match engine with
-    | `Packed -> Tea_core.Replayer.create_packed (Tea_core.Packed.dup img)
-    | `Compiled ->
-        Tea_core.Replayer.create_compiled
-          (Tea_core.Compiled.of_packed (Tea_core.Packed.dup img))
-  in
+  let mk_rep img = make_replayer engine img in
   let make a = mk_rep (img_for a) in
   let scn =
     match kind with
@@ -552,7 +630,8 @@ let run_scenario ~kind ~name ~withs ~strategy_name ~engine ~jobs ~pgo ~fuse
 
 let replay_cmd =
   let rec run name strategy_name traces_file config_name pc_trace engine jobs
-      pgo fuse tiers scenario withs quantum schedule seed period at every obs =
+      pgo fuse retune tiers scenario withs quantum schedule seed period at
+      every obs =
     with_obs obs "replay" @@ fun () ->
     if pgo && engine = `Reference then
       or_die (Error "--pgo requires --engine=packed or compiled");
@@ -560,6 +639,15 @@ let replay_cmd =
       or_die (Error "--fuse requires --engine=packed or compiled");
     if tiers && engine = `Reference then
       or_die (Error "--tiers requires --engine=packed or compiled");
+    if retune then begin
+      if engine = `Reference then
+        or_die (Error "--retune requires --engine=packed or compiled");
+      if pgo || fuse then
+        or_die (Error "--retune rebuilds its own tuning; drop --pgo/--fuse");
+      if pc_trace = None then or_die (Error "--retune requires --pc-trace");
+      if scenario <> None then
+        or_die (Error "--retune applies only to plain replay; drop --scenario")
+    end;
     (match scenario with
     | Some _ -> ()
     | None ->
@@ -589,7 +677,7 @@ let replay_cmd =
     | None ->
         let body () =
           run_replay name strategy_name traces_file config_name pc_trace
-            engine jobs pgo fuse obs
+            engine jobs pgo fuse retune obs
         in
         if not tiers then ignore (body ())
         else begin
@@ -603,7 +691,7 @@ let replay_cmd =
               raise e
         end
   and run_replay name strategy_name traces_file config_name pc_trace engine
-      jobs pgo fuse obs =
+      jobs pgo fuse retune obs =
     (* `--pc-trace -' and other non-seekable inputs: the replay paths read
        the file several times (length, PGO collection, replay), so a
        stream — stdin, a FIFO, /dev/stdin — is spooled to a temp file
@@ -638,12 +726,7 @@ let replay_cmd =
           let r = Tea_dbt.Stardbt.record ~strategy image in
           Tea_traces.Trace_set.to_list r.Tea_dbt.Stardbt.set
     in
-    let engine_name =
-      match engine with
-      | `Reference -> "reference"
-      | `Packed -> "packed"
-      | `Compiled -> "compiled"
-    in
+    let engine_name = engine_name engine in
     match pc_trace with
     | Some path when jobs > 1 ->
         (* sharded offline replay: chunk the decoded trace across domains
@@ -662,42 +745,58 @@ let replay_cmd =
             in
             let packed = Tea_core.Packed.freeze auto in
             let packed =
-              if not pgo then packed
+              if not (pgo || fuse) then packed
               else
-                Probe.with_span "pgo_repack" @@ fun () ->
                 let starts, _, len = Tea_parallel.Shard.load_pc_trace path in
-                Tea_opt.Repack.repack packed
-                  (Tea_opt.Repack.collect packed starts ~len)
+                tune_image ~pgo ~fuse packed starts ~len
             in
-            let packed =
-              if not fuse then packed
-              else
-                Probe.with_span "fuse" @@ fun () ->
-                if not pgo then Tea_opt.Fuse.fuse packed
-                else begin
-                  (* --pgo --fuse composition: chain selection reuses the
-                     profiling stream, re-collected over the repacked
-                     layout, to gate out low-benefit chains *)
-                  let starts, _, len = Tea_parallel.Shard.load_pc_trace path in
-                  let profile = Tea_opt.Repack.collect packed starts ~len in
-                  Tea_opt.Fuse.fuse ~profile packed
-                end
-            in
-            let make =
-              match engine with
-              | `Packed ->
-                  fun p -> Tea_core.Replayer.create_packed (Tea_core.Packed.dup p)
-              | `Compiled ->
-                  fun p ->
-                    Tea_core.Replayer.create_compiled
-                      (Tea_core.Compiled.of_packed (Tea_core.Packed.dup p))
-            in
-            let profile, blocks =
+            let make = make_replayer engine in
+            let profile, blocks, swapped =
               Probe.with_span "replay_pc_trace" @@ fun () ->
               with_jobs ~quiet:obs.quiet jobs (function
                 | None -> assert false (* jobs > 1 *)
                 | Some pool ->
-                    Tea_parallel.Shard.replay_pc_trace pool packed ~make path)
+                    if not retune then
+                      let profile, blocks =
+                        Tea_parallel.Shard.replay_pc_trace pool packed ~make
+                          path
+                      in
+                      (profile, blocks, None)
+                    else begin
+                      (* segmented sharded replay: first half on the flat
+                         image, rebuild, second half on the tuned image
+                         entered through the orig-id translated exit
+                         state — the merged profile equals the sequential
+                         swapped run bit-for-bit *)
+                      let starts, insns, len =
+                        Tea_parallel.Shard.load_pc_trace path
+                      in
+                      let mid = len / 2 in
+                      let prof1, exit1 =
+                        Tea_parallel.Shard.replay_span pool packed ~make
+                          ~insns starts ~off:0 ~len:mid
+                      in
+                      let tuned, _prof =
+                        Probe.with_span "retune_build" @@ fun () ->
+                        Tea_opt.Retune.build ~src:packed
+                          ~profile_of:(fun img ->
+                            Tea_opt.Repack.collect img starts ~len:mid)
+                          ()
+                      in
+                      let entry =
+                        if exit1 = Tea_core.Automaton.nte then exit1
+                        else
+                          Tea_core.Packed.slot_of_state tuned
+                            (Tea_core.Packed.orig_state packed exit1)
+                      in
+                      let prof2, _ =
+                        Tea_parallel.Shard.replay_span pool tuned ~make ~entry
+                          ~insns starts ~off:mid ~len:(len - mid)
+                      in
+                      ( Tea_parallel.Profile.merge_all [ prof1; prof2 ],
+                        len,
+                        Some (tuned, mid, len) )
+                    end)
             in
             Printf.printf
               "offline replay of %s (%s engine): %d blocks, coverage %.1f%%, \
@@ -709,13 +808,18 @@ let replay_cmd =
               print_pgo_line packed
                 ~cycles:profile.Tea_parallel.Profile.cycles;
             if fuse then print_fuse_line packed;
-            Some packed)
+            (match swapped with
+            | Some (tuned, mid, len) ->
+                print_retune_line tuned ~mid ~len;
+                Some tuned
+            | None -> Some packed))
     | Some path ->
         (* fully offline: no program execution, just the trace file *)
         let auto =
           Probe.with_span "build_automaton" (fun () ->
               Tea_core.Builder.build traces)
         in
+        let swapped = ref None in
         let rep =
           Probe.with_span "replay_pc_trace"
             ~post:(fun rep ->
@@ -726,32 +830,37 @@ let replay_cmd =
               Tea_core.Pc_trace.replay (Tea_core.Transition.create config auto) path
           | (`Packed | `Compiled) as eng ->
               let packed = Tea_core.Packed.freeze auto in
-              if eng = `Packed && not (pgo || fuse) then
+              if retune then begin
+                (* the sequential reference for the sharded swap path:
+                   replay half, rebuild from what was seen, rebind the
+                   live replayer in place, finish on the tuned image *)
+                let starts, insns, len =
+                  Tea_parallel.Shard.load_pc_trace path
+                in
+                let mid = len / 2 in
+                let rep = make_replayer eng packed in
+                Tea_core.Replayer.feed_run rep ~insns starts ~len:mid;
+                let tuned, _prof =
+                  Probe.with_span "retune_build" @@ fun () ->
+                  Tea_opt.Retune.build ~src:packed
+                    ~profile_of:(fun img ->
+                      Tea_opt.Repack.collect img starts ~len:mid)
+                    ()
+                in
+                Tea_core.Replayer.rebind rep (swap_engine eng tuned);
+                Tea_core.Replayer.feed_run rep ~off:mid ~insns starts
+                  ~len:(len - mid);
+                swapped := Some (tuned, mid, len);
+                rep
+              end
+              else if eng = `Packed && not (pgo || fuse) then
                 Tea_core.Pc_trace.replay_packed packed path
               else begin
                 let starts, insns, len =
                   Tea_parallel.Shard.load_pc_trace path
                 in
-                let img =
-                  if not pgo then packed
-                  else
-                    Tea_opt.Repack.repack packed
-                      (Tea_opt.Repack.collect packed starts ~len)
-                in
-                let img =
-                  if not fuse then img
-                  else if not pgo then Tea_opt.Fuse.fuse img
-                  else
-                    let profile = Tea_opt.Repack.collect img starts ~len in
-                    Tea_opt.Fuse.fuse ~profile img
-                in
-                let tuned =
-                  match eng with
-                  | `Packed -> Tea_core.Replayer.create_packed img
-                  | `Compiled ->
-                      Tea_core.Replayer.create_compiled
-                        (Tea_core.Compiled.of_packed img)
-                in
+                let img = tune_image ~pgo ~fuse packed starts ~len in
+                let tuned = make_replayer eng img in
                 Tea_core.Replayer.feed_run tuned ~insns starts ~len;
                 tuned
               end
@@ -763,6 +872,9 @@ let replay_cmd =
           (Tea_core.Pc_trace.length path)
           (100.0 *. Tea_core.Replayer.coverage rep)
           (Tea_core.Replayer.trace_enters rep);
+        (match !swapped with
+        | Some (tuned, mid, len) -> print_retune_line tuned ~mid ~len
+        | None -> ());
         (match Tea_core.Replayer.engine rep with
         | Tea_core.Replayer.Packed p ->
             if pgo then print_pgo_line p ~cycles:(Tea_core.Replayer.cycles rep);
@@ -814,8 +926,9 @@ let replay_cmd =
     Term.(
       const run $ workload_arg $ strategy_arg $ traces_arg $ config_arg
       $ pc_trace_arg $ engine_arg $ jobs_arg $ pgo_arg $ fuse_arg
-      $ tiers_arg $ scenario_arg $ with_arg $ quantum_arg $ schedule_arg
-      $ scenario_seed_arg $ period_arg $ at_arg $ every_arg $ obs_term)
+      $ retune_arg $ tiers_arg $ scenario_arg $ with_arg $ quantum_arg
+      $ schedule_arg $ scenario_seed_arg $ period_arg $ at_arg $ every_arg
+      $ obs_term)
 
 let capture_cmd =
   let out_required =
@@ -909,27 +1022,9 @@ let repack_cmd =
   in
   let run name strategy_name hot_prefix out save_profile obs =
     with_obs obs "repack" @@ fun () ->
-    let image = or_die (resolve_workload name) in
-    let traces =
-      Probe.with_span "record_traces" (fun () ->
-          record_traces image strategy_name)
-    in
-    let auto =
-      Probe.with_span "build_automaton" (fun () -> Tea_core.Builder.build traces)
-    in
-    let packed = Tea_core.Packed.freeze auto in
+    let image, packed = freeze_workload name strategy_name in
     (* profile stream: the block trace of one native run of the workload *)
-    let tmp = Filename.temp_file "tea_repack" ".trc" in
-    let starts, insns, len =
-      Fun.protect
-        ~finally:(fun () -> Sys.remove tmp)
-        (fun () ->
-          let _ =
-            Probe.with_span "trace_capture" (fun () ->
-                Tea_pinsim.Trace_capture.record image tmp)
-          in
-          Tea_parallel.Shard.load_pc_trace tmp)
-    in
+    let starts, insns, len = capture_stream image in
     let repacked, baseline, tuned =
       Probe.with_span "pgo_replay" @@ fun () ->
       Tea_opt.Repack.pgo_replay ~hot_prefix packed ~insns starts ~len
@@ -981,33 +1076,9 @@ let repack_cmd =
 let fuse_cmd =
   let run name strategy_name pgo hot_prefix out obs =
     with_obs obs "fuse" @@ fun () ->
-    let image = or_die (resolve_workload name) in
-    let traces =
-      Probe.with_span "record_traces" (fun () ->
-          record_traces image strategy_name)
-    in
-    let auto =
-      Probe.with_span "build_automaton" (fun () -> Tea_core.Builder.build traces)
-    in
-    let packed = Tea_core.Packed.freeze auto in
-    let tmp = Filename.temp_file "tea_fuse" ".trc" in
-    let starts, insns, len =
-      Fun.protect
-        ~finally:(fun () -> Sys.remove tmp)
-        (fun () ->
-          let _ =
-            Probe.with_span "trace_capture" (fun () ->
-                Tea_pinsim.Trace_capture.record image tmp)
-          in
-          Tea_parallel.Shard.load_pc_trace tmp)
-    in
-    let src =
-      if not pgo then packed
-      else
-        Probe.with_span "pgo_repack" @@ fun () ->
-        Tea_opt.Repack.repack ~hot_prefix packed
-          (Tea_opt.Repack.collect packed starts ~len)
-    in
+    let image, packed = freeze_workload name strategy_name in
+    let starts, insns, len = capture_stream image in
+    let src = tune_image ~hot_prefix ~pgo ~fuse:false packed starts ~len in
     let fused, baseline, tuned =
       Probe.with_span "fused_replay" @@ fun () ->
       (* with --pgo the profiling stream also gates chain selection,
@@ -1054,44 +1125,11 @@ let fuse_cmd =
 let compile_cmd =
   let run name strategy_name pgo fuse hot_prefix out obs =
     with_obs obs "compile" @@ fun () ->
-    let image = or_die (resolve_workload name) in
-    let traces =
-      Probe.with_span "record_traces" (fun () ->
-          record_traces image strategy_name)
-    in
-    let auto =
-      Probe.with_span "build_automaton" (fun () -> Tea_core.Builder.build traces)
-    in
-    let packed = Tea_core.Packed.freeze auto in
-    let tmp = Filename.temp_file "tea_compile" ".trc" in
-    let starts, insns, len =
-      Fun.protect
-        ~finally:(fun () -> Sys.remove tmp)
-        (fun () ->
-          let _ =
-            Probe.with_span "trace_capture" (fun () ->
-                Tea_pinsim.Trace_capture.record image tmp)
-          in
-          Tea_parallel.Shard.load_pc_trace tmp)
-    in
+    let image, packed = freeze_workload name strategy_name in
+    let starts, insns, len = capture_stream image in
     (* the compiler consumes any layout, so --pgo/--fuse stack the same
        way they do under `replay': tune first, then specialize *)
-    let src =
-      if not pgo then packed
-      else
-        Probe.with_span "pgo_repack" @@ fun () ->
-        Tea_opt.Repack.repack ~hot_prefix packed
-          (Tea_opt.Repack.collect packed starts ~len)
-    in
-    let src =
-      if not fuse then src
-      else
-        Probe.with_span "fuse" @@ fun () ->
-        if not pgo then Tea_opt.Fuse.fuse src
-        else
-          let profile = Tea_opt.Repack.collect src starts ~len in
-          Tea_opt.Fuse.fuse ~profile src
-    in
+    let src = tune_image ~hot_prefix ~pgo ~fuse packed starts ~len in
     let compiled, baseline, tuned =
       Probe.with_span "compiled_replay" @@ fun () ->
       Tea_opt.Compile.compiled_replay src ~insns starts ~len
@@ -1634,36 +1672,20 @@ let addr_conv : Tea_serve.Frame.addr Arg.conv =
 (* The daemon's image prep mirrors offline `replay --pc-trace`: freeze the
    workload's automaton, then tune (--pgo/--fuse) on the workload's own
    captured block stream — sessions then replay arbitrary client streams
-   against that shared image. Alongside the image, a tuned prep returns
-   the tuning profile's per-state visit counts (collected on the flat
-   base, so the ids are automaton ids) as the drift-monitor reference:
-   "what the image's layout was tuned for". *)
+   against that shared image. Alongside the image, the prep returns the
+   flat base image (the source every closed-loop rebuild starts from)
+   and, when tuned, the tuning profile's per-state visit counts
+   (collected on the flat base, so the ids are automaton ids) as the
+   drift-monitor reference: "what the image's layout was tuned for". *)
 let prepare_serve_image name strategy_name pgo fuse =
-  let image = or_die (resolve_workload name) in
-  let strategy = or_die (resolve_strategy strategy_name) in
-  let r = Tea_dbt.Stardbt.record ~strategy image in
-  let traces = Tea_traces.Trace_set.to_list r.Tea_dbt.Stardbt.set in
-  let packed = Tea_core.Packed.freeze (Tea_core.Builder.build traces) in
-  if not (pgo || fuse) then (packed, None)
+  let image, packed = freeze_workload name strategy_name in
+  if not (pgo || fuse) then (packed, packed, None)
   else begin
-    let tmp = Filename.temp_file "tea_serve_prep" ".pctrace" in
-    Fun.protect ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
-    @@ fun () ->
-    let _ = Tea_pinsim.Trace_capture.record image tmp in
-    let starts, _, len = Tea_parallel.Shard.load_pc_trace tmp in
-    let flat_prof = Tea_opt.Repack.collect packed starts ~len in
-    let ref_counts = visits_counts flat_prof in
-    let packed =
-      if not pgo then packed else Tea_opt.Repack.repack packed flat_prof
+    let starts, _, len = capture_stream image in
+    let ref_counts =
+      visits_counts (Tea_opt.Repack.collect packed starts ~len)
     in
-    let packed =
-      if not fuse then packed
-      else if not pgo then Tea_opt.Fuse.fuse packed
-      else
-        let profile = Tea_opt.Repack.collect packed starts ~len in
-        Tea_opt.Fuse.fuse ~profile packed
-    in
-    (packed, Some ref_counts)
+    (tune_image ~pgo ~fuse packed starts ~len, packed, Some ref_counts)
   end
 
 let serve_cmd =
@@ -1716,21 +1738,53 @@ let serve_cmd =
       & info [ "drift-threshold" ] ~docv:"D" ~doc)
   in
   let serve_engine_arg =
+    engine_arg_of
+      ~doc:
+        "Session replay engine: packed (flat-array dispatch) or compiled \
+         (closure-threaded dispatch; each session compiles its own dup of \
+         the shared image). The fleet profile and the --offline-check gate \
+         are engine-invariant."
+      [ ("packed", `Packed); ("compiled", `Compiled) ]
+      `Packed
+  in
+  let serve_retune_arg =
     let doc =
-      "Session replay engine: packed (flat-array dispatch) or compiled \
-       (closure-threaded dispatch; each session compiles its own dup of \
-       the shared image). The fleet profile and the --offline-check gate \
-       are engine-invariant."
+      "Closed-loop continuous PGO: when the drift gauge stays over \
+       threshold, rebuild the repack+fuse ladder from the traffic seen so \
+       far in a background domain and hot-swap the image between two \
+       drain cycles, bumping the [tea_image_epoch] gauge and emitting a \
+       `swap' event. Needs a drift reference (--drift-profile or \
+       --pgo/--fuse)."
+    in
+    Arg.(value & flag & info [ "retune" ] ~doc)
+  in
+  let retune_cooldown_arg =
+    let doc =
+      "Completed sessions the retune trigger ignores after a swap \
+       (hysteresis; with --retune)."
     in
     Arg.(
       value
-      & opt (enum [ ("packed", `Packed); ("compiled", `Compiled) ]) `Packed
-      & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+      & opt int Tea_observe.Trigger.default_cooldown
+      & info [ "retune-cooldown" ] ~docv:"N" ~doc)
+  in
+  let save_fleet_arg =
+    let doc =
+      "On shutdown, write the whole fleet's traffic as a TEAEP1 edge \
+       profile over the flat base image — feed it back as the next \
+       boot's `--drift-profile' (or `repack' input) to close the loop \
+       across restarts."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-fleet-profile" ] ~docv:"FILE" ~doc)
   in
   let run name strategy_name listen engine jobs pgo fuse sessions queue_cap
-      offline_check events_path drift_profile drift_threshold obs =
+      offline_check events_path drift_profile drift_threshold retune
+      retune_cooldown save_fleet obs =
     with_obs obs "serve" @@ fun () ->
-    let image, tuning_ref =
+    let image, base, tuning_ref =
       Probe.with_span "serve_prep" @@ fun () ->
       prepare_serve_image name strategy_name pgo fuse
     in
@@ -1749,6 +1803,21 @@ let serve_cmd =
           Tea_observe.Drift.create ~threshold:drift_threshold counts)
         drift_ref
     in
+    if retune && Option.is_none drift then
+      or_die
+        (Error
+           "--retune needs a drift reference: give --drift-profile or tune \
+            with --pgo/--fuse");
+    if retune_cooldown < 0 then
+      or_die (Error "--retune-cooldown must be >= 0");
+    let retune_cfg =
+      if not retune then None
+      else
+        Some
+          { Tea_serve.Server.default_retune with
+            cooldown = retune_cooldown;
+            fuse = true }
+    in
     let events = Option.map Tea_observe.Events.open_file events_path in
     Fun.protect
       ~finally:(fun () -> Option.iter Tea_observe.Events.close events)
@@ -1759,16 +1828,18 @@ let serve_cmd =
     let finish_tiers () = Tea_core.Tierstat.uninstall () in
     match
       let srv =
-        Tea_serve.Server.create ~queue_cap ~offline_check ~engine ?events
-          ?drift ~jobs ~image listen
+        Tea_serve.Server.create ~queue_cap ~offline_check ~engine
+          ~retain:(save_fleet <> None) ?events ?drift ~base
+          ?retune:retune_cfg ~jobs ~image listen
       in
       Fun.protect ~finally:(fun () -> Tea_serve.Server.close srv) @@ fun () ->
       (* clients wait for this line before connecting *)
-      Printf.printf "serving %s on %s (%s engine%s%s, jobs %d)\n%!" name
+      Printf.printf "serving %s on %s (%s engine%s%s%s, jobs %d)\n%!" name
         (Tea_serve.Frame.pp_addr (Tea_serve.Server.addr srv))
-        (match engine with `Packed -> "packed" | `Compiled -> "compiled")
+        (engine_name engine)
         (if pgo then " +pgo" else "")
         (if fuse then " +fuse" else "")
+        (if retune then " +retune" else "")
         jobs;
       Probe.with_span "serve_run" (fun () ->
           Tea_serve.Server.run ?until_sessions:sessions srv);
@@ -1782,6 +1853,16 @@ let serve_cmd =
       | Some (d, thr) ->
           Printf.printf "drift: l1=%.4f threshold=%.2f (%s)\n" d thr
             (if d > thr then "exceeded" else "ok")
+      | None -> ());
+      if retune then
+        Printf.printf "retune: %d hot swaps (%d ns paused)\n"
+          (Tea_serve.Server.epoch srv)
+          (Tea_serve.Server.swap_pause_ns srv);
+      (match save_fleet with
+      | Some path ->
+          Tea_opt.Repack.save_profile path
+            (Tea_serve.Server.fleet_edge_profile srv);
+          Printf.printf "wrote %s (TEAEP1 fleet edge profile)\n" path
       | None -> ());
       if obs.metrics then
         print_string
@@ -1817,7 +1898,8 @@ let serve_cmd =
       const run $ workload_arg $ strategy_arg $ listen_arg $ serve_engine_arg
       $ jobs_arg $ pgo_arg $ fuse_arg $ sessions_arg $ queue_cap_arg
       $ offline_check_arg $ events_arg $ drift_profile_arg
-      $ drift_threshold_arg $ obs_term)
+      $ drift_threshold_arg $ serve_retune_arg $ retune_cooldown_arg
+      $ save_fleet_arg $ obs_term)
 
 let client_cmd =
   let connect_arg =
@@ -1846,7 +1928,21 @@ let client_cmd =
     in
     Arg.(value & opt (some int) None & info [ "abort-bytes" ] ~docv:"N" ~doc)
   in
-  let run connect trace chunk abort_bytes =
+  let retries_arg =
+    let doc =
+      "Retry the connect up to $(docv) times when the server is not up \
+       yet (ECONNREFUSED / missing socket), with bounded exponential \
+       backoff; errors after the connection is up never retry."
+    in
+    Arg.(value & opt int 5 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc = "Seconds before the first connect retry (doubles each time)." in
+    Arg.(value & opt float 0.05 & info [ "backoff" ] ~docv:"SECONDS" ~doc)
+  in
+  let run connect trace chunk abort_bytes retries backoff =
+    if retries < 0 then or_die (Error "--retries must be >= 0");
+    if backoff <= 0.0 then or_die (Error "--backoff must be positive");
     match abort_bytes with
     | Some bytes_sent ->
         (try Tea_serve.Client.abort ~bytes_sent connect trace
@@ -1854,7 +1950,9 @@ let client_cmd =
            or_die (Error ("connect failed: " ^ Unix.error_message e)));
         Printf.printf "aborted session after %d bytes\n" bytes_sent
     | None -> (
-        match Tea_serve.Client.replay ~chunk connect trace with
+        match
+          Tea_serve.Client.replay ~retries ~backoff ~chunk connect trace
+        with
         | profile ->
             Printf.printf "profile: %s\n"
               (Format.asprintf "%a" Tea_parallel.Profile.pp profile)
@@ -1866,7 +1964,9 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client"
        ~doc:"Stream a PC-trace to a running tea_tool serve daemon")
-    Term.(const run $ connect_arg $ trace_arg $ chunk_arg $ abort_arg)
+    Term.(
+      const run $ connect_arg $ trace_arg $ chunk_arg $ abort_arg
+      $ retries_arg $ backoff_arg)
 
 let observe_cmd =
   let connect_arg =

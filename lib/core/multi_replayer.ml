@@ -5,7 +5,7 @@ type entry = {
 }
 
 type t = {
-  make : int -> Replayer.t;
+  mutable make : int -> Replayer.t; (* replaced in place by [rebind] *)
   table : (int, entry) Hashtbl.t;
   mutable cur_asid : int;
   mutable cur : entry option; (* cache: table binding of [cur_asid] *)
@@ -36,6 +36,19 @@ let entry_for t asid =
       t.cur_asid <- asid;
       t.cur <- Some e;
       e
+
+(* Hot image swap across the whole address-space table. Every live
+   replayer is rebound in place — entries, the [cur] cache and any
+   feeder holding an entry stay valid — and the factory is replaced so
+   asids that first appear after the swap are built over the new image.
+   The factory builds a whole replayer per asid only to donate its
+   engine; the throwaway is cheap next to the rebuild that precedes a
+   swap. *)
+let rebind t make =
+  t.make <- make;
+  Hashtbl.iter
+    (fun asid e -> Replayer.rebind e.rep (Replayer.engine (make asid)))
+    t.table
 
 (* A cut models losing the translated-code context: the automaton drops to
    NTE with {e no} accounting ([Replayer.set_state] bumps nothing), so a
@@ -98,19 +111,24 @@ let feeder_flush f =
   | _ -> ());
   f.f_fill <- 0
 
+(* The allocation-free hot path: producers that already hold the block's
+   fields as ints (the daemon's unboxed event queue) feed them straight
+   into the run buffer without ever re-boxing a [Pc_trace.event]. *)
+let feeder_block f ~asid ~start ~insns =
+  let e = entry_for f.f_t asid in
+  (match f.f_for with
+  | Some e' when e' == e -> ()
+  | _ ->
+      feeder_flush f;
+      f.f_for <- Some e);
+  f.f_starts.(f.f_fill) <- start;
+  f.f_insns.(f.f_fill) <- insns;
+  f.f_fill <- f.f_fill + 1;
+  if f.f_fill = Array.length f.f_starts then feeder_flush f
+
 let feeder_feed f ~asid ev =
   match (ev : Pc_trace.event) with
-  | Block { start; insns } ->
-      let e = entry_for f.f_t asid in
-      (match f.f_for with
-      | Some e' when e' == e -> ()
-      | _ ->
-          feeder_flush f;
-          f.f_for <- Some e);
-      f.f_starts.(f.f_fill) <- start;
-      f.f_insns.(f.f_fill) <- insns;
-      f.f_fill <- f.f_fill + 1;
-      if f.f_fill = Array.length f.f_starts then feeder_flush f
+  | Block { start; insns } -> feeder_block f ~asid ~start ~insns
   | ev ->
       feeder_flush f;
       f.f_for <- None;

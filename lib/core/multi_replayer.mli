@@ -32,6 +32,16 @@ val create : (int -> Replayer.t) -> t
     (image_for a))] — pass each asid a {e dup} when images are shared:
     packed stats and cycles live on the image). *)
 
+val rebind : t -> (int -> Replayer.t) -> unit
+(** [rebind t make] hot-swaps every live per-asid replayer onto the
+    image the new factory builds — {!Replayer.rebind} in place, so
+    counts, states, stats and cycles carry across and any {!feeder}
+    stays valid — and installs [make] for asids that first appear later.
+    Call only at a batch boundary (after {!feeder_flush}); like
+    {!create}, the factory must hand each asid a private dup.
+    @raise Invalid_argument if any engine involved is [Reference] or the
+    images disagree on slot count. *)
+
 val feed : t -> asid:int -> Pc_trace.event -> unit
 (** Route one event. [~asid] is the address space the event lands on
     (wire directly to {!Pc_trace.fold_events}); a block whose [~asid]
@@ -54,6 +64,11 @@ val feeder : ?buf:int -> t -> feeder
 val feeder_feed : feeder -> asid:int -> Pc_trace.event -> unit
 (** Buffer one event. Non-block events and asid changes flush the
     pending run first, preserving stream order. *)
+
+val feeder_block : feeder -> asid:int -> start:int -> insns:int -> unit
+(** [feeder_feed f ~asid (Block { start; insns })] without constructing
+    the event — the allocation-free path for producers that hold the
+    fields unboxed (the daemon's drain cycle). *)
 
 val feeder_flush : feeder -> unit
 (** Replay any buffered run now. Call at batch boundaries (end of a

@@ -6,7 +6,7 @@ type engine =
   | Compiled of Compiled.t
 
 type t = {
-  engine : engine;
+  mutable engine : engine; (* swapped in place by [rebind] *)
   auto : Automaton.t option;
   mutable counts : int array; (* execution count per state id, grown on demand *)
   mutable state : Automaton.state;
@@ -967,6 +967,54 @@ let transition t =
   | Reference trans -> trans
   | Packed _ -> invalid_arg "Replayer.transition: packed engine"
   | Compiled _ -> invalid_arg "Replayer.transition: compiled engine"
+
+(* Hot image swap. Replay state lives in three places: the per-slot
+   counts array and current state (slot space of the old image), and the
+   engine stats/cycles (accumulated on the old image's counters). All of
+   it survives a layout change through the orig-id permutation: slot
+   [s] of the old image and slot [slot_of_state new (orig_state old s)]
+   of the new one are the same automaton state, and NTE is pinned to
+   slot 0 in every layout. Stats and cycles are carried additively onto
+   the new image so a snapshot taken right after rebind equals one taken
+   right before — the swap is observationally a no-op. *)
+let image_of_engine who = function
+  | Packed p -> p
+  | Compiled c -> Compiled.base c
+  | Reference _ -> invalid_arg (who ^ ": reference engine cannot be swapped")
+
+let rebind t engine' =
+  let old_img = image_of_engine "Replayer.rebind" t.engine in
+  let new_img = image_of_engine "Replayer.rebind" engine' in
+  if Packed.n_slots new_img <> Packed.n_slots old_img then
+    invalid_arg "Replayer.rebind: images describe different automata";
+  let n_slots = Packed.n_slots old_img in
+  (* counts: old slot space -> orig ids -> new slot space *)
+  let fresh = Array.make (max (Array.length t.counts) (max n_slots 256)) 0 in
+  let limit = min (Array.length t.counts) n_slots in
+  for s = 0 to limit - 1 do
+    let c = Array.unsafe_get t.counts s in
+    if c > 0 then begin
+      let s' = Packed.slot_of_state new_img (Packed.orig_state old_img s) in
+      fresh.(s') <- fresh.(s') + c
+    end
+  done;
+  t.counts <- fresh;
+  if t.state <> Automaton.nte && t.state < n_slots then
+    t.state <- Packed.slot_of_state new_img (Packed.orig_state old_img t.state);
+  (* carry engine-side accounting onto the new image *)
+  let so = Packed.stats old_img and sn = Packed.stats new_img in
+  sn.Transition.steps <- sn.Transition.steps + so.Transition.steps;
+  sn.Transition.in_trace_hits <-
+    sn.Transition.in_trace_hits + so.Transition.in_trace_hits;
+  sn.Transition.cache_hits <- sn.Transition.cache_hits + so.Transition.cache_hits;
+  sn.Transition.global_hits <-
+    sn.Transition.global_hits + so.Transition.global_hits;
+  sn.Transition.global_misses <-
+    sn.Transition.global_misses + so.Transition.global_misses;
+  Packed.add_cycles new_img (Packed.cycles old_img);
+  Packed.add_ic new_img ~hits:(Packed.ic_hits old_img)
+    ~misses:(Packed.ic_misses old_img);
+  t.engine <- engine'
 
 (* Everything a replayer accumulates, as one immutable value. Every field
    is an integer total (the counts list is per-state totals), so two

@@ -84,6 +84,22 @@ val set_state : t -> Automaton.state -> unit
     ids outside the frozen image on the next feed.
     @raise Invalid_argument on a negative id. *)
 
+val rebind : t -> engine -> unit
+(** [rebind t engine'] hot-swaps the replayer onto a different image of
+    the {e same} automaton — flat, repacked, fused or compiled — without
+    losing any accumulated accounting: per-state counts and the current
+    state are translated through the orig-id permutation
+    ({!Packed.orig_state} on the old layout, {!Packed.slot_of_state} on
+    the new), and the old image's engine stats, inline-cache split and
+    simulated cycles are added onto the new image's counters. A
+    {!snapshot} taken immediately after [rebind] equals one taken
+    immediately before; subsequent feeds dispatch through the new image.
+    The caller must hand over a private image (a {!Packed.dup} sibling,
+    or {!Compiled.of_packed} of one) exactly as at creation — counters
+    are mutable and must not be shared.
+    @raise Invalid_argument when either engine is [Reference], or the
+    images disagree on slot count (different automata). *)
+
 val covered_insns : t -> int
 
 val total_insns : t -> int

@@ -17,7 +17,7 @@ let fmt_float v =
 
 let quantiles = [ ("0.5", 0.5); ("0.95", 0.95); ("0.99", 0.99) ]
 
-let render ?tiers ?translate ?drift (s : Metrics.snapshot) =
+let render ?tiers ?translate ?drift ?epoch (s : Metrics.snapshot) =
   let b = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b l) fmt in
   (* counters *)
@@ -94,4 +94,11 @@ let render ?tiers ?translate ?drift (s : Metrics.snapshot) =
       line "tea_drift_l1 %s\n" (fmt_float d);
       line "# TYPE tea_drift_threshold gauge\n";
       line "tea_drift_threshold %s\n" (fmt_float threshold));
+  (* image epoch gauge: which generation of the hot-swapped image the
+     daemon is dispatching through (0 = the image it booted with) *)
+  (match epoch with
+  | None -> ()
+  | Some e ->
+      line "# TYPE tea_image_epoch gauge\n";
+      line "tea_image_epoch %d\n" e);
   Buffer.contents b

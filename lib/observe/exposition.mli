@@ -13,7 +13,9 @@
       per-state [tea_dispatch_state_total{state="...",tier="..."}] rows
       follow for every state that resolved a block;
     - [tea_drift_l1] / [tea_drift_threshold] gauges when a drift
-      measurement is supplied.
+      measurement is supplied;
+    - a [tea_image_epoch] gauge when an image epoch is supplied (the
+      generation of the hot-swapped dispatch image; 0 = boot image).
 
     Deterministic: input snapshots are sorted, names go through
     {!Tea_telemetry.Metrics.sanitize_name}, label values through
@@ -25,9 +27,10 @@ val render :
   ?tiers:Tea_core.Tierstat.snapshot ->
   ?translate:(int -> int) ->
   ?drift:float * float ->
+  ?epoch:int ->
   Tea_telemetry.Metrics.snapshot ->
   string
 (** [translate] maps tier-snapshot state ids (packed slots) to automaton
     ids (pass [Tea_core.Packed.orig_state image] for repacked images);
     rows are re-sorted by translated id. [drift] is
-    [(distance, threshold)]. *)
+    [(distance, threshold)]. [epoch] is the current image epoch. *)

@@ -1,0 +1,140 @@
+(* Closed-loop continuous PGO: the pieces that turn "the drift gauge
+   crossed threshold" into "the daemon dispatches through a freshly
+   repacked+fused image", without stopping replay.
+
+   The serve daemon retains each completed session's raw trace bytes.
+   A retune pass decodes those bytes back into per-asid block segments
+   (cut at invalidations/interrupts, exactly the demux-first discipline
+   of Tea_parallel.Shard.load_events — rebuilt here over in-memory
+   strings because the daemon retains bytes, not files), walks them
+   through Repack.collect to get an edge profile, and rebuilds the
+   tuning ladder from the *flat* source image: collect -> repack ->
+   collect again over the repacked layout -> fuse. Rebuilding from flat
+   every generation keeps each epoch's image one permutation away from
+   orig-id space and every TEAEP1 snapshot in orig space, so epochs
+   never compound.
+
+   The rebuild runs in a background domain (a builder below) while the
+   caller keeps replaying on the current image; the swap itself is the
+   caller's job (Replayer.rebind at a sync point). *)
+
+module Packed = Tea_core.Packed
+module Pc_trace = Tea_core.Pc_trace
+
+type segment = { starts : int array; len : int }
+
+(* -- decoding retained streams back into collectable segments -- *)
+
+type bucket = { mutable bs : int array; mutable bn : int; mutable segs : segment list }
+
+let segments_of_raws raws =
+  let buckets : (int, bucket) Hashtbl.t = Hashtbl.create 8 in
+  let bucket a =
+    match Hashtbl.find_opt buckets a with
+    | Some b -> b
+    | None ->
+        let b = { bs = Array.make 1024 0; bn = 0; segs = [] } in
+        Hashtbl.add buckets a b;
+        b
+  in
+  let cut b =
+    if b.bn > 0 then begin
+      b.segs <- { starts = b.bs; len = b.bn } :: b.segs;
+      b.bs <- Array.make 1024 0;
+      b.bn <- 0
+    end
+  in
+  let emit ~asid ev =
+    match ev with
+    | Pc_trace.Block { start; insns = _ } ->
+        let b = bucket asid in
+        if b.bn = Array.length b.bs then begin
+          let s' = Array.make (2 * b.bn) 0 in
+          Array.blit b.bs 0 s' 0 b.bn;
+          b.bs <- s'
+        end;
+        b.bs.(b.bn) <- start;
+        b.bn <- b.bn + 1
+    | Pc_trace.Invalidate { asid = target } -> (
+        match Hashtbl.find_opt buckets target with
+        | Some b -> cut b
+        | None -> ())
+    | Pc_trace.Interrupt -> (
+        match Hashtbl.find_opt buckets asid with
+        | Some b -> cut b
+        | None -> ())
+    | Pc_trace.Switch _ -> ()
+  in
+  (* each retained string is one complete session stream: private
+     decoder, private asid buckets — sessions never share automata *)
+  let out = ref [] in
+  List.iter
+    (fun raw ->
+      Hashtbl.reset buckets;
+      let dec = Pc_trace.decoder () in
+      Pc_trace.decoder_feed dec raw emit;
+      Pc_trace.decoder_finish dec;
+      Hashtbl.iter
+        (fun _ b ->
+          cut b;
+          out := List.rev_append b.segs !out)
+        buckets)
+    raws;
+  !out
+
+let collect_segments img segs =
+  List.fold_left
+    (fun acc { starts; len } ->
+      Repack.merge acc (Repack.collect img starts ~len))
+    (Repack.empty_profile img) segs
+
+(* -- one generation of the tuning ladder -- *)
+
+let build ?(fuse = true) ?hot_prefix ~src ~profile_of () =
+  if Packed.is_fused src then
+    invalid_arg "Retune.build: source image must be unfused";
+  let prof = profile_of src in
+  let repacked = Repack.repack ?hot_prefix src prof in
+  let tuned =
+    if fuse then Fuse.fuse ~profile:(profile_of repacked) repacked
+    else repacked
+  in
+  (tuned, prof)
+
+(* -- the background builder -- *)
+
+type outcome = (Packed.t * Repack.profile, exn) result
+
+type builder = {
+  cell : outcome option Atomic.t;
+  mutable dom : unit Domain.t option;
+}
+
+let launch f =
+  let cell = Atomic.make None in
+  let dom =
+    Domain.spawn (fun () ->
+        let r = try Ok (f ()) with e -> Error e in
+        Atomic.set cell (Some r))
+  in
+  { cell; dom = Some dom }
+
+let join_done b =
+  match b.dom with
+  | Some d ->
+      Domain.join d;
+      b.dom <- None
+  | None -> ()
+
+let poll b =
+  match Atomic.get b.cell with
+  | None -> None
+  | Some r ->
+      join_done b;
+      Some r
+
+let await b =
+  join_done b;
+  match Atomic.get b.cell with
+  | Some r -> r
+  | None -> assert false (* the domain ran to completion before join *)

@@ -27,23 +27,25 @@ let resolve packed pc =
 
 let default_make p = Replayer.create_packed (Packed.dup p)
 
-let replay_arrays pool packed ?(make = default_make) ?insns starts ~len =
-  if len < 0 || len > Array.length starts then
-    invalid_arg "Shard.replay_arrays: len out of range";
+let replay_span pool packed ?(make = default_make) ?entry ?insns starts ~off
+    ~len =
+  if off < 0 || len < 0 || off + len > Array.length starts then
+    invalid_arg "Shard.replay_span: span out of range";
   (match insns with
-  | Some a when Array.length a < len ->
-      invalid_arg "Shard.replay_arrays: insns array shorter than len"
+  | Some a when Array.length a < off + len ->
+      invalid_arg "Shard.replay_span: insns array shorter than span"
   | _ -> ());
   let n_chunks = max 1 (min (Pool.jobs pool) len) in
   let bounds =
     Array.init n_chunks (fun i ->
-        (i * len / n_chunks, (i + 1) * len / n_chunks))
+        (off + (i * len / n_chunks), off + ((i + 1) * len / n_chunks)))
   in
   let labels = edge_labels packed in
   let work i =
     let lo, hi = bounds.(i) in
     if i = 0 then begin
       let rep = make packed in
+      (match entry with Some e -> Replayer.set_state rep e | None -> ());
       Replayer.feed_run rep ~off:lo ?insns starts ~len:(hi - lo);
       Pool.add_units pool (hi - lo);
       Whole (Profile.of_replayer rep, Replayer.state rep)
@@ -74,6 +76,7 @@ let replay_arrays pool packed ?(make = default_make) ?insns starts ~len =
   (* Sequential stitch: carry the true state across chunks, replaying
      only what no worker could — each chunk's uncertain prefix. *)
   let driver = make packed in
+  (match entry with Some e -> Replayer.set_state driver e | None -> ());
   let driver_steps = ref 0 in
   Array.iteri
     (fun i chunk ->
@@ -102,7 +105,16 @@ let replay_arrays pool packed ?(make = default_make) ?insns starts ~len =
            | Unsynced -> Profile.empty)
          chunks)
   in
-  Profile.merge_all (Profile.of_replayer driver :: parts)
+  (Profile.merge_all (Profile.of_replayer driver :: parts), Replayer.state driver)
+
+let replay_arrays pool packed ?make ?insns starts ~len =
+  if len < 0 || len > Array.length starts then
+    invalid_arg "Shard.replay_arrays: len out of range";
+  (match insns with
+  | Some a when Array.length a < len ->
+      invalid_arg "Shard.replay_arrays: insns array shorter than len"
+  | _ -> ());
+  fst (replay_span pool packed ?make ?insns starts ~off:0 ~len)
 
 let load_pc_trace path =
   let starts = ref (Array.make 4096 0) and insns = ref (Array.make 4096 0) in

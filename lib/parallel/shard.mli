@@ -46,6 +46,30 @@
     like the interpreted loops, the merged profile remains bit-identical
     at any job count (property-tested in [test_compile.ml]). *)
 
+val replay_span :
+  Pool.t ->
+  Tea_core.Packed.t ->
+  ?make:(Tea_core.Packed.t -> Tea_core.Replayer.t) ->
+  ?entry:Tea_core.Automaton.state ->
+  ?insns:int array ->
+  int array ->
+  off:int ->
+  len:int ->
+  Profile.t * Tea_core.Automaton.state
+(** [replay_span pool packed ~entry starts ~off ~len] — shard
+    [starts.(off..off+len-1)] across the pool, entering the span in
+    state [entry] (default NTE), and return the merged profile together
+    with the true exit state of the walk. The generalization that makes
+    {e segmented} sharded replay possible: replay a prefix span, swap
+    images ({!Tea_core.Replayer.rebind} semantics — translate the exit
+    state through [orig_of] and pass it as the next span's [entry]),
+    replay the rest, and the merged profiles equal the sequential
+    swapped run bit-for-bit — chunk seams and span seams commute with
+    the same sync-point argument. [entry] only affects chunk 0 (and the
+    stitching driver's start); every other chunk enters at its own sync
+    point exactly as before.
+    @raise Invalid_argument when [off..off+len) exceeds either array. *)
+
 val replay_arrays :
   Pool.t ->
   Tea_core.Packed.t ->

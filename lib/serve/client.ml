@@ -1,7 +1,31 @@
 exception Server_error of string
 
-let with_connection addr f =
-  let fd = Frame.connect addr in
+(* Bounded exponential backoff around connect: a smoke client racing
+   daemon startup sees ECONNREFUSED (socket bound, backlog not yet
+   listening — or, for a unix path, ENOENT before the bind), not a
+   protocol error. Only connect-phase failures retry; once connected,
+   errors propagate untouched. *)
+let connect ?(retries = 0) ?(backoff = 0.05) addr =
+  if retries < 0 then invalid_arg "Client: retries must be >= 0";
+  if backoff <= 0.0 then invalid_arg "Client: backoff must be positive";
+  let rec go attempt delay =
+    match Frame.connect addr with
+    | fd -> fd
+    | exception
+        Unix.Unix_error
+          ( ( Unix.ECONNREFUSED | Unix.EAGAIN | Unix.EWOULDBLOCK
+            | Unix.ENOENT ),
+            _,
+            _ )
+      when attempt < retries ->
+        (* select as a sub-second portable sleep *)
+        ignore (Unix.select [] [] [] delay);
+        go (attempt + 1) (delay *. 2.0)
+  in
+  go 0 backoff
+
+let with_connection ?retries ?backoff addr f =
+  let fd = connect ?retries ?backoff addr in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () -> f fd)
@@ -16,8 +40,8 @@ let send_stream ?(chunk = 65536) fd s =
     off := !off + k
   done
 
-let replay_string ?chunk addr s =
-  with_connection addr (fun fd ->
+let replay_string ?retries ?backoff ?chunk addr s =
+  with_connection ?retries ?backoff addr (fun fd ->
       (* The server may reject the stream — error frame sent, its end
          closed — while we are still writing chunks. The rejection frame
          is already queued on our side of the socket, so swallow the
@@ -37,11 +61,12 @@ let replay_string ?chunk addr s =
             (Frame.Corrupt
                (Printf.sprintf "unexpected reply tag %C" f.Frame.tag)))
 
-let replay ?chunk addr path =
-  replay_string ?chunk addr (Tea_core.Pc_trace.read_all path)
+let replay ?retries ?backoff ?chunk addr path =
+  replay_string ?retries ?backoff ?chunk addr
+    (Tea_core.Pc_trace.read_all path)
 
-let scrape addr =
-  with_connection addr (fun fd ->
+let scrape ?retries ?backoff addr =
+  with_connection ?retries ?backoff addr (fun fd ->
       Frame.send fd Frame.tag_scrape "";
       match Frame.recv fd with
       | None -> raise (Frame.Corrupt "server closed without a reply")

@@ -5,20 +5,38 @@ exception Server_error of string
 (** The server answered with an error frame (corrupt trace, bad framing);
     carries the server's message. *)
 
-val replay_string : ?chunk:int -> Frame.addr -> string -> Tea_parallel.Profile.t
+val replay_string :
+  ?retries:int ->
+  ?backoff:float ->
+  ?chunk:int ->
+  Frame.addr ->
+  string ->
+  Tea_parallel.Profile.t
 (** Stream raw trace bytes as data frames of at most [chunk] bytes
     (default 65536; small values deliberately split records across
     frames), send end-of-stream, and block for the profile reply.
+    [retries] (default 0) retries the {e connect} up to that many times
+    on [ECONNREFUSED]/[EAGAIN]/[ENOENT] — the errors a client racing
+    daemon startup sees — sleeping [backoff] seconds (default 0.05)
+    before the first retry and doubling each time; errors after the
+    connection is up never retry.
     @raise Server_error on an error reply.
     @raise Frame.Corrupt on a malformed reply.
-    @raise Unix.Unix_error when the server is unreachable or drops the
-    connection. *)
+    @raise Unix.Unix_error when the server stays unreachable past the
+    retry budget or drops the connection.
+    @raise Invalid_argument when [retries < 0] or [backoff <= 0]. *)
 
-val replay : ?chunk:int -> Frame.addr -> string -> Tea_parallel.Profile.t
+val replay :
+  ?retries:int ->
+  ?backoff:float ->
+  ?chunk:int ->
+  Frame.addr ->
+  string ->
+  Tea_parallel.Profile.t
 (** {!replay_string} of {!Tea_core.Pc_trace.read_all} of a path (["-"]
     streams standard input — the trace never touches the local disk). *)
 
-val scrape : Frame.addr -> string
+val scrape : ?retries:int -> ?backoff:float -> Frame.addr -> string
 (** Ask a running server for one metrics exposition
     ({!Frame.tag_scrape} as the first and only frame) and return the
     Prometheus-style text it replies with. Scrapes are pure observers:

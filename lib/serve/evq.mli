@@ -1,0 +1,49 @@
+(** Unboxed per-session event queue for the daemon's drain cycle.
+
+    A FIFO of {!Tea_core.Pc_trace.event}s flattened into stride-4 int
+    records in one growable ring — the driver thread enqueues fields,
+    a pool worker streams them back out of a dense array. No queue
+    cells, no tuples, no constructor blocks: at packed-engine replay
+    speeds the pointer chasing of a [Queue.t] of boxed events is what
+    dominated the drain window, and this removes it. Single-producer /
+    single-consumer is guaranteed externally (the bulk-synchronous
+    drive loop never reads a session's socket while a worker drains its
+    queue), so no synchronisation is needed here. *)
+
+type t
+
+val create : unit -> t
+(** An empty queue (256-record initial ring, doubling as needed). *)
+
+val length : t -> int
+(** Queued events — the backpressure gauge. *)
+
+val is_empty : t -> bool
+
+val push : t -> asid:int -> Tea_core.Pc_trace.event -> unit
+(** Append one event for [asid]. *)
+
+(** {2 Head-record accessors}
+
+    Valid only when [not (is_empty t)]; {!drop} consumes the record.
+    The consumer branches on {!tag} and reads the operand fields —
+    nothing is ever re-boxed into an event value. *)
+
+val tag_block : int
+val tag_switch : int
+val tag_invalidate : int
+val tag_interrupt : int
+
+val tag : t -> int
+
+val asid : t -> int
+(** The asid the event was enqueued under. *)
+
+val f1 : t -> int
+(** [Block]: the start PC. [Switch]/[Invalidate]: the target asid. *)
+
+val f2 : t -> int
+(** [Block]: the instruction count; 0 otherwise. *)
+
+val drop : t -> unit
+(** Consume the head record. *)

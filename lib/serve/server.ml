@@ -15,8 +15,11 @@ type session = {
   dec : Core.Pc_trace.decoder;
   multi : Core.Multi_replayer.t;
   fdr : Core.Multi_replayer.feeder;  (* batches drain-cycle events *)
-  queue : (int * Core.Pc_trace.event) Queue.t;
+  queue : Evq.t;  (* unboxed event ring, see evq.mli *)
   raw : Buffer.t option;  (* retained bytes for the offline differential *)
+  epoch0 : int;  (* image epoch the session was accepted under *)
+  mutable evs : int;  (* events decoded so far (swap-schedule positions) *)
+  mutable swapped : (int * int) list;  (* (event index, new epoch), newest first *)
   mutable ended : bool;  (* end-of-stream frame received *)
   mutable failed : string option;  (* first fatal error; session is dropped *)
   mutable scrape : bool;  (* a metrics observer, not a replay session *)
@@ -28,12 +31,33 @@ type session = {
   mutable busy_ns : int;  (* wall time inside drain tasks *)
 }
 
+(* Closed-loop retune knobs: how the daemon turns a sustained drift
+   crossing into a background rebuild and a hot swap. *)
+type retune = {
+  up : int;  (* consecutive over-threshold sessions before a rebuild *)
+  cooldown : int;  (* sessions ignored by the trigger after a swap *)
+  fuse : bool;  (* fuse the repacked generation *)
+  save_profile : string option;  (* TEAEP1 snapshot path per rebuild *)
+}
+
+let default_retune =
+  {
+    up = Tea_observe.Trigger.default_up;
+    cooldown = Tea_observe.Trigger.default_cooldown;
+    fuse = true;
+    save_profile = None;
+  }
+
 type t = {
-  image : Core.Packed.t;
+  mutable image : Core.Packed.t;  (* current epoch's dispatch image *)
   engine : [ `Packed | `Compiled ];
   pool : P.Pool.t;
   queue_cap : int;
   offline_check : bool;
+  retain : bool;  (* keep completed streams (offline check/retune/save) *)
+  base : Core.Packed.t option;  (* flat source image for rebuilds *)
+  retune : retune option;
+  trigger : Tea_observe.Trigger.t option;  (* Some iff retune is Some *)
   listen_fd : Unix.file_descr;
   bound : Frame.addr;
   unix_path : string option;
@@ -41,8 +65,16 @@ type t = {
   stop_w : Unix.file_descr;
   reg : Metrics.t;  (* driver-only; workers account into session fields *)
   events : Tea_observe.Events.t option;  (* None = no-op event log *)
-  drift : Tea_observe.Drift.t option;  (* None = no drift monitor *)
+  mutable drift : Tea_observe.Drift.t option;  (* None = no drift monitor *)
   mutable drift_over : bool;  (* above threshold at last measurement? *)
+  mutable epoch : int;  (* 0 = boot image; bumped by every swap *)
+  mutable epoch_images : (int * Core.Packed.t) list;  (* epoch -> image *)
+  mutable builder : Tea_opt.Retune.builder option;  (* rebuild in flight *)
+  mutable fleet_gen : int;  (* bumped per completion; trigger tick unit *)
+  mutable checked_gen : int;  (* fleet_gen last observed by the trigger *)
+  mutable swap_pause_ns : int;  (* cumulative wall time inside swaps *)
+  mutable drain_ns : int;  (* busy ns over completed sessions *)
+  mutable drain_blocks : int;  (* blocks over completed sessions *)
   mutable sessions : session list;
   mutable next_id : int;  (* monotonic session ids for the event log *)
   mutable accepted : int;
@@ -50,7 +82,11 @@ type t = {
   mutable disconnected_n : int;
   fleet_m : Mutex.t;
   mutable fleet : P.Profile.t;
-  mutable retained : string list;  (* completed streams, newest first *)
+  mutable retained : (string * int * (int * int) list) list;
+      (* completed streams, newest first: raw bytes, accept epoch, and
+         the (event index, new epoch) swap schedule oldest-first — the
+         recipe the offline differential needs to replay the exact same
+         image at the exact same stream positions *)
   mutable closed : bool;
 }
 
@@ -60,15 +96,23 @@ let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
    session (and the offline re-check) dups the shared image, so
    compiled images — single-domain by construction — are never shared
    across sessions or workers. *)
-let session_factory t _asid =
-  let img = Core.Packed.dup t.image in
+let factory_of t img _asid =
+  let img = Core.Packed.dup img in
   match t.engine with
   | `Packed -> Core.Replayer.create_packed img
   | `Compiled -> Core.Replayer.create_compiled (Core.Compiled.of_packed img)
 
+let session_factory t asid = factory_of t t.image asid
+
 let create ?(queue_cap = 16384) ?(offline_check = false) ?(engine = `Packed)
-    ?events ?drift ~jobs ~image addr =
+    ?(retain = false) ?events ?drift ?base ?retune ~jobs ~image addr =
   if queue_cap < 1 then invalid_arg "Server.create: queue_cap must be >= 1";
+  (match (retune, drift, base) with
+  | Some _, None, _ ->
+      invalid_arg "Server.create: retune requires a drift monitor"
+  | Some _, _, None ->
+      invalid_arg "Server.create: retune requires the flat base image"
+  | _ -> ());
   (* a dead client mid-write must be an EPIPE, not a process kill *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
@@ -109,6 +153,14 @@ let create ?(queue_cap = 16384) ?(offline_check = false) ?(engine = `Packed)
     pool = P.Pool.create ~jobs;
     queue_cap;
     offline_check;
+    retain = offline_check || retain || retune <> None;
+    base;
+    retune;
+    trigger =
+      (match retune with
+      | None -> None
+      | Some r ->
+          Some (Tea_observe.Trigger.create ~up:r.up ~cooldown:r.cooldown ()));
     listen_fd;
     bound;
     unix_path;
@@ -118,6 +170,14 @@ let create ?(queue_cap = 16384) ?(offline_check = false) ?(engine = `Packed)
     events;
     drift;
     drift_over = false;
+    epoch = 0;
+    epoch_images = [ (0, image) ];
+    builder = None;
+    fleet_gen = 0;
+    checked_gen = 0;
+    swap_pause_ns = 0;
+    drain_ns = 0;
+    drain_blocks = 0;
     sessions = [];
     next_id = 0;
     accepted = 0;
@@ -161,7 +221,9 @@ let exposition t =
   Tea_observe.Exposition.render
     ~tiers:(Core.Tierstat.snapshot ())
     ~translate:(fun st -> Core.Packed.orig_state t.image st)
-    ?drift:(drift_distance t) (metrics t)
+    ?drift:(drift_distance t)
+    ?epoch:(match t.retune with None -> None | Some _ -> Some t.epoch)
+    (metrics t)
 
 let emit_ev t kind fields =
   match t.events with
@@ -229,7 +291,11 @@ let on_frame t s (f : Frame.frame) =
       | Some b -> Buffer.add_string b f.payload
       | None -> ());
       Core.Pc_trace.decoder_feed s.dec f.payload (fun ~asid ev ->
-          Queue.push (asid, ev) s.queue)
+          (* [evs] numbers stream positions for the swap schedule; by
+             the time a swap can happen (a drain-cycle boundary) every
+             pushed event has been fed, so the count is exact *)
+          s.evs <- s.evs + 1;
+          Evq.push s.queue ~asid ev)
     end
     else if f.Frame.tag = Frame.tag_end then s.ended <- true
     else fail_session s (Printf.sprintf "unexpected frame tag %C" f.Frame.tag)
@@ -268,9 +334,11 @@ let rec accept_all t until_sessions =
             dec = Core.Pc_trace.decoder ();
             multi;
             fdr = Core.Multi_replayer.feeder multi;
-            queue = Queue.create ();
-            raw =
-              (if t.offline_check then Some (Buffer.create 4096) else None);
+            queue = Evq.create ();
+            raw = (if t.retain then Some (Buffer.create 4096) else None);
+            epoch0 = t.epoch;
+            evs = 0;
+            swapped = [];
             ended = false;
             failed = None;
             scrape = false;
@@ -289,14 +357,14 @@ let rec accept_all t until_sessions =
 
 let drain_cycle t =
   let ready =
-    List.filter (fun s -> s.failed = None && not (Queue.is_empty s.queue))
+    List.filter (fun s -> s.failed = None && not (Evq.is_empty s.queue))
       t.sessions
   in
   if ready <> [] then begin
     let arr = Array.of_list ready in
     Array.iter
       (fun s ->
-        Metrics.observe_value t.reg "serve.queue_depth" (Queue.length s.queue))
+        Metrics.observe_value t.reg "serve.queue_depth" (Evq.length s.queue))
       arr;
     ignore
       (P.Pool.map t.pool
@@ -310,12 +378,27 @@ let drain_cycle t =
               flushed before the task ends, so a completed session's
               profile is always fully materialized. *)
            (try
-              while not (Queue.is_empty s.queue) do
-                let asid, ev = Queue.pop s.queue in
-                Core.Multi_replayer.feeder_feed s.fdr ~asid ev;
-                match ev with
-                | Core.Pc_trace.Block _ -> incr n
-                | _ -> ()
+              let q = s.queue in
+              while not (Evq.is_empty q) do
+                let tag = Evq.tag q
+                and asid = Evq.asid q
+                and a = Evq.f1 q
+                and b = Evq.f2 q in
+                Evq.drop q;
+                if tag = Evq.tag_block then begin
+                  (* the unboxed fast path: fields go straight into the
+                     feeder's run buffer, no event value is rebuilt *)
+                  Core.Multi_replayer.feeder_block s.fdr ~asid ~start:a
+                    ~insns:b;
+                  incr n
+                end
+                else
+                  Core.Multi_replayer.feeder_feed s.fdr ~asid
+                    (if tag = Evq.tag_switch then
+                       Core.Pc_trace.Switch { asid = a }
+                     else if tag = Evq.tag_invalidate then
+                       Core.Pc_trace.Invalidate { asid = a }
+                     else Core.Pc_trace.Interrupt)
               done;
               Core.Multi_replayer.feeder_flush s.fdr
             with e ->
@@ -349,8 +432,13 @@ let complete t s =
   t.fleet <- P.Profile.merge t.fleet prof;
   Mutex.unlock t.fleet_m;
   t.completed_n <- t.completed_n + 1;
+  t.fleet_gen <- t.fleet_gen + 1;
+  t.drain_ns <- t.drain_ns + s.busy_ns;
+  t.drain_blocks <- t.drain_blocks + s.blocks;
   (match s.raw with
-  | Some b -> t.retained <- Buffer.contents b :: t.retained
+  | Some b ->
+      t.retained <-
+        (Buffer.contents b, s.epoch0, List.rev s.swapped) :: t.retained
   | None -> ());
   Metrics.count t.reg "serve.sessions_completed" 1;
   Metrics.count t.reg "serve.blocks" s.blocks;
@@ -384,7 +472,7 @@ let finalize t =
         match s.failed with
         | Some msg -> drop t s msg
         | None ->
-            if s.ended && Queue.is_empty s.queue then
+            if s.ended && Evq.is_empty s.queue then
               match Core.Pc_trace.decoder_finish s.dec with
               | () -> complete t s
               | exception Core.Pc_trace.Corrupt msg ->
@@ -392,6 +480,116 @@ let finalize t =
             else live := s :: !live)
     t.sessions;
   t.sessions <- List.rev !live
+
+(* ---- closed-loop retune (driver thread) ---- *)
+
+let profile_visits (prof : Tea_opt.Repack.profile) =
+  let acc = ref [] in
+  let v = prof.Tea_opt.Repack.visits in
+  for i = Array.length v - 1 downto 0 do
+    if v.(i) > 0 then acc := (i, v.(i)) :: !acc
+  done;
+  !acc
+
+(* Install a freshly built image as the next epoch. Runs between drain
+   cycles, which is what makes it safe and exact: every session queue is
+   empty and every feeder flushed, so each session's [evs] counter is
+   precisely the stream position the swap lands on — recorded in the
+   schedule the offline differential replays. Live replayers are
+   rebound in place (counts/state/stats carried through the orig-id
+   permutation), and the drift monitor is re-referenced to the profile
+   the new layout was tuned for, so the gauge measures staleness of the
+   {e current} image, not the boot one. *)
+let swap_image t cfg (img, prof) =
+  let t0 = now_ns () in
+  t.epoch <- t.epoch + 1;
+  t.image <- img;
+  t.epoch_images <- (t.epoch, img) :: t.epoch_images;
+  let rebound = ref 0 in
+  List.iter
+    (fun s ->
+      if (not s.scrape) && s.failed = None then begin
+        Core.Multi_replayer.rebind s.multi (factory_of t img);
+        s.swapped <- (s.evs, t.epoch) :: s.swapped;
+        incr rebound
+      end)
+    t.sessions;
+  (match t.drift with
+  | Some d ->
+      t.drift <-
+        Some
+          (Tea_observe.Drift.create ~k:(Tea_observe.Drift.k d)
+             ~threshold:(Tea_observe.Drift.threshold d)
+             (profile_visits prof));
+      t.drift_over <- false
+  | None -> ());
+  (match cfg.save_profile with
+  | Some path -> Tea_opt.Repack.save_profile path prof
+  | None -> ());
+  let pause = now_ns () - t0 in
+  t.swap_pause_ns <- t.swap_pause_ns + pause;
+  Metrics.count t.reg "serve.swaps" 1;
+  emit_ev t "swap"
+    [
+      ("epoch", Tea_observe.Events.I t.epoch);
+      ("sessions", Tea_observe.Events.I !rebound);
+      ("pause_ns", Tea_observe.Events.I pause);
+    ]
+
+(* One retune tick, between drain cycles: harvest a finished background
+   rebuild (and swap), then — one observation per completed session, so
+   hysteresis is measured in sessions, not select wakeups — ask the
+   trigger whether to launch the next rebuild over a snapshot of the
+   streams retained so far. *)
+let retune_tick t =
+  match (t.retune, t.trigger) with
+  | Some cfg, Some trig ->
+      (match t.builder with
+      | Some b -> (
+          match Tea_opt.Retune.poll b with
+          | None -> ()
+          | Some (Error e) ->
+              t.builder <- None;
+              emit_ev t "retune_failed"
+                [ ("error", Tea_observe.Events.S (Printexc.to_string e)) ]
+          | Some (Ok built) ->
+              t.builder <- None;
+              swap_image t cfg built)
+      | None -> ());
+      if Option.is_none t.builder && t.fleet_gen > t.checked_gen then begin
+        let ticks = t.fleet_gen - t.checked_gen in
+        t.checked_gen <- t.fleet_gen;
+        match t.drift with
+        | None -> ()
+        | Some d ->
+            let dist =
+              Tea_observe.Drift.measure d (fleet_profile t).P.Profile.counts
+            in
+            let over = Tea_observe.Drift.exceeded d dist in
+            let fire = ref false in
+            for _ = 1 to ticks do
+              if Tea_observe.Trigger.observe trig over then fire := true
+            done;
+            if !fire then begin
+              let raws = List.rev_map (fun (r, _, _) -> r) t.retained in
+              let base = Option.get t.base in
+              emit_ev t "retune_start"
+                [
+                  ("distance", Tea_observe.Events.F dist);
+                  ("streams", Tea_observe.Events.I (List.length raws));
+                ];
+              Metrics.count t.reg "serve.retunes" 1;
+              t.builder <-
+                Some
+                  (Tea_opt.Retune.launch (fun () ->
+                       let segs = Tea_opt.Retune.segments_of_raws raws in
+                       Tea_opt.Retune.build ~fuse:cfg.fuse ~src:base
+                         ~profile_of:(fun img ->
+                           Tea_opt.Retune.collect_segments img segs)
+                         ()))
+            end
+      end
+  | _ -> ()
 
 (* ---- the driver loop ---- *)
 
@@ -411,7 +609,7 @@ let run ?until_sessions t =
                cycle; its socket buffer fills and the client's writes
                block until the pool drains it *)
             if s.failed = None && not s.ended then begin
-              if Queue.length s.queue < t.queue_cap then begin
+              if Evq.length s.queue < t.queue_cap then begin
                 s.stalled <- false;
                 Some s.fd
               end
@@ -421,7 +619,7 @@ let run ?until_sessions t =
                   emit_ev t "pool_stall"
                     [
                       ("session", Tea_observe.Events.I s.id);
-                      ("depth", Tea_observe.Events.I (Queue.length s.queue));
+                      ("depth", Tea_observe.Events.I (Evq.length s.queue));
                     ]
                 end;
                 None
@@ -430,8 +628,11 @@ let run ?until_sessions t =
             else None)
           t.sessions
     in
+    (* with a rebuild in flight, wake periodically so the finished
+       image gets swapped in even while no client is talking *)
+    let timeout = if Option.is_some t.builder then 0.02 else -1.0 in
     let ready, _, _ =
-      try Unix.select fds [] [] (-1.0)
+      try Unix.select fds [] [] timeout
       with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
     in
     if List.mem t.stop_r ready then begin
@@ -446,6 +647,7 @@ let run ?until_sessions t =
       t.sessions;
     drain_cycle t;
     finalize t;
+    retune_tick t;
     if !stopping then begin
       List.iter
         (fun s -> drop t s "server shutting down")
@@ -455,7 +657,14 @@ let run ?until_sessions t =
     end
     else if accept_limit_reached t until_sessions && t.sessions = [] then
       finished := true
-  done
+  done;
+  (* a rebuild still in flight at shutdown: join its domain and discard
+     the image — there is no traffic left to serve it to *)
+  match t.builder with
+  | Some b ->
+      ignore (Tea_opt.Retune.await b);
+      t.builder <- None
+  | None -> ()
 
 let stop t =
   try ignore (Unix.write t.stop_w (Bytes.make 1 '\001') 0 1)
@@ -483,21 +692,70 @@ let completed t = t.completed_n
 
 let disconnected t = t.disconnected_n
 
+let epoch t = t.epoch
+
+let swap_pause_ns t = t.swap_pause_ns
+
+let drain_totals t = (t.drain_ns, t.drain_blocks)
+
+let image_of_epoch t e =
+  match List.assoc_opt e t.epoch_images with Some img -> img | None -> t.image
+
+(* Sequential re-replay of every retained stream, honouring each
+   session's recorded swap schedule: the stream enters on the image of
+   its accept epoch and is rebound at exactly the event indices the live
+   daemon swapped at. Cycles are the one profile component that depends
+   on the image layout, so replaying the same positions on the same
+   epochs is precisely what makes fleet == offline a bit-exact gate
+   across any number of swaps. *)
 let offline_profile t =
   if not t.offline_check then
     invalid_arg "Server.offline_profile: created without ~offline_check:true";
   List.fold_left
-    (fun acc raw ->
-      let path = Filename.temp_file "tea_serve_offline" ".pctrace" in
-      Fun.protect
-        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
-        (fun () ->
-          let oc = open_out_bin path in
-          output_string oc raw;
-          close_out oc;
-          let m = Core.Multi_replayer.replay_events (session_factory t) path in
-          P.Profile.merge acc
-            (P.Profile.merge_all
-               (List.map snd (Core.Multi_replayer.snapshots m))))
-      )
+    (fun acc (raw, epoch0, swaps) ->
+      let evs = ref [] in
+      let dec = Core.Pc_trace.decoder () in
+      Core.Pc_trace.decoder_feed dec raw (fun ~asid ev ->
+          evs := (asid, ev) :: !evs);
+      Core.Pc_trace.decoder_finish dec;
+      let events = Array.of_list (List.rev !evs) in
+      let m =
+        Core.Multi_replayer.create (factory_of t (image_of_epoch t epoch0))
+      in
+      let fdr = Core.Multi_replayer.feeder m in
+      let pending = ref swaps in
+      let rec maybe_swap i =
+        match !pending with
+        | (at, ep) :: rest when at <= i ->
+            Core.Multi_replayer.feeder_flush fdr;
+            Core.Multi_replayer.rebind m (factory_of t (image_of_epoch t ep));
+            pending := rest;
+            maybe_swap i
+        | _ -> ()
+      in
+      Array.iteri
+        (fun i (asid, ev) ->
+          maybe_swap i;
+          Core.Multi_replayer.feeder_feed fdr ~asid ev)
+        events;
+      Core.Multi_replayer.feeder_flush fdr;
+      P.Profile.merge acc
+        (P.Profile.merge_all (List.map snd (Core.Multi_replayer.snapshots m))))
     P.Profile.empty (List.rev t.retained)
+
+(* The fleet's traffic as an edge profile over the flat base image, in
+   orig-id space — what [serve --save-fleet-profile] persists as TEAEP1
+   so the next daemon start (or an offline repack) can seed tuning from
+   real traffic. A pure function of the retained streams: collect walks
+   the base image; epochs are irrelevant. *)
+let fleet_edge_profile t =
+  match t.base with
+  | None -> invalid_arg "Server.fleet_edge_profile: created without ~base"
+  | Some base ->
+      if not t.retain then
+        invalid_arg "Server.fleet_edge_profile: stream retention is off";
+      let segs =
+        Tea_opt.Retune.segments_of_raws
+          (List.rev_map (fun (r, _, _) -> r) t.retained)
+      in
+      Tea_opt.Retune.collect_segments base segs

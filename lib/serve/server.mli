@@ -32,16 +32,49 @@
     The daemon gate: the fleet profile of [n] concurrent sessions equals
     the merged profiles of replaying each session's stream offline,
     sequentially ({!Tea_parallel.Profile.equal} — property-tested at
-    jobs 1/2/4, on flat and repacked+fused images). *)
+    jobs 1/2/4, on flat and repacked+fused images).
+
+    {b Closed-loop continuous PGO.} With [~retune] the daemon re-tunes
+    itself: after each completed session the drift gauge is fed to a
+    {!Tea_observe.Trigger}; when it fires, a background domain rebuilds
+    the repack→fuse ladder from the {e flat base image} and the traffic
+    retained so far ({!Tea_opt.Retune}), and the finished image is
+    hot-swapped in between two drain cycles — every live session's
+    replayers are rebound in place ({!Tea_core.Multi_replayer.rebind}),
+    the swap position is recorded per session, and the image {e epoch}
+    (0 = boot) is bumped, evented ([swap]) and exposed as a
+    [tea_image_epoch] gauge. Because queues are empty and feeders
+    flushed at a drain-cycle boundary, {!offline_profile} can replay
+    each stream against the exact same image at the exact same
+    positions: fleet == offline stays bit-exact across any number of
+    swaps. *)
 
 type t
+
+type retune = {
+  up : int;
+      (** consecutive over-threshold sessions before a rebuild fires *)
+  cooldown : int;
+      (** completed sessions the trigger ignores after a swap *)
+  fuse : bool;  (** fuse the repacked generation *)
+  save_profile : string option;
+      (** write each rebuild's orig-space edge-profile snapshot (TEAEP1)
+          to this path *)
+}
+
+val default_retune : retune
+(** {!Tea_observe.Trigger.default_up} / [default_cooldown], fusing,
+    no snapshot file. *)
 
 val create :
   ?queue_cap:int ->
   ?offline_check:bool ->
   ?engine:[ `Packed | `Compiled ] ->
+  ?retain:bool ->
   ?events:Tea_observe.Events.t ->
   ?drift:Tea_observe.Drift.t ->
+  ?base:Tea_core.Packed.t ->
+  ?retune:retune ->
   jobs:int ->
   image:Tea_core.Packed.t ->
   Frame.addr ->
@@ -56,12 +89,21 @@ val create :
     {!Tea_core.Packed.dup} per asid — observationally identical, so the
     fleet profile and the offline re-check are unchanged.
     [events] attaches a structured JSONL event log (session lifecycle,
-    pool stalls, drift crossings); [drift] attaches a profile-drift
-    comparator re-measured against the fleet profile after every
-    completed session. Both default to off — the disabled path adds no
-    work to the drain cycle. A [Unix_sock] path is unlinked first;
-    [Tcp] port 0 binds an ephemeral port (read it back with {!addr}).
-    @raise Invalid_argument when [jobs < 1] or [queue_cap < 1].
+    pool stalls, drift crossings, retune/swap); [drift] attaches a
+    profile-drift comparator re-measured against the fleet profile
+    after every completed session. Both default to off — the disabled
+    path adds no work to the drain cycle.
+
+    [base] is the flat (unfused, unrepacked) source image rebuilds and
+    {!fleet_edge_profile} collect over; [retune] enables the closed
+    loop and requires both [drift] and [base]. [retain] forces stream
+    retention without [offline_check] (implied by [offline_check] and
+    [retune]) — what {!fleet_edge_profile} needs.
+
+    A [Unix_sock] path is unlinked first; [Tcp] port 0 binds an
+    ephemeral port (read it back with {!addr}).
+    @raise Invalid_argument when [jobs < 1], [queue_cap < 1], or
+    [retune] is given without [drift]/[base].
     @raise Unix.Unix_error when the address cannot be bound. *)
 
 val addr : t -> Frame.addr
@@ -96,11 +138,32 @@ val disconnected : t -> int
 
 val offline_profile : t -> Tea_parallel.Profile.t
 (** Sequential reference replay: every retained completed-session stream
-    replayed offline through the whole-file decode path, one fresh
-    replayer per session, merged. With the daemon gate this is
-    {!Tea_parallel.Profile.equal} to {!fleet_profile}.
+    replayed offline, one fresh replayer per session, honouring the
+    session's recorded swap schedule (same image epoch at the same
+    stream positions), merged. With the daemon gate this is
+    {!Tea_parallel.Profile.equal} to {!fleet_profile} — across any
+    number of hot swaps.
     @raise Invalid_argument unless the server was created with
     [~offline_check:true]. *)
+
+val epoch : t -> int
+(** Current image epoch: 0 until the first hot swap. *)
+
+val swap_pause_ns : t -> int
+(** Cumulative wall time spent inside swaps (epoch bump + rebinding
+    every live session) — the "stop" part of stop-the-fleet, measured. *)
+
+val drain_totals : t -> int * int
+(** [(busy_ns, blocks)] summed over completed sessions — the replay
+    work the pool did, excluding socket I/O and decode. Steady-state
+    ns/block between two samples is the retune bench's throughput
+    measure. *)
+
+val fleet_edge_profile : t -> Tea_opt.Repack.profile
+(** The retained traffic collected as an edge profile over the flat
+    [base] image — orig-id space, {!Tea_opt.Repack.save_profile}-ready
+    (the [serve --save-fleet-profile] payload).
+    @raise Invalid_argument without [~base] or stream retention. *)
 
 val metrics : t -> Tea_telemetry.Metrics.snapshot
 (** Registry counters ([serve.sessions_completed], [serve.bytes_in],
